@@ -1,0 +1,109 @@
+//! Ablations of the design choices DESIGN.md calls out: top-N seed
+//! survival (the paper fixes N = 3), hypervector dimension, and batch
+//! size — each measured as full `fuzz_one` cost on the same inputs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hdc::prelude::*;
+use hdc_data::synth::{SynthConfig, SynthGenerator};
+use hdc_data::GrayImage;
+use hdtest::prelude::*;
+use std::hint::black_box;
+
+fn model_with_dim(dim: usize) -> (HdcClassifier<PixelEncoder>, Vec<GrayImage>) {
+    let mut generator = SynthGenerator::new(SynthConfig { seed: 8, ..Default::default() });
+    let train = generator.dataset(30);
+    let pool = generator.dataset(1);
+    let encoder = PixelEncoder::new(PixelEncoderConfig {
+        dim,
+        width: 28,
+        height: 28,
+        levels: 256,
+        value_encoding: ValueEncoding::Random,
+        seed: 3,
+    })
+    .expect("valid config");
+    let mut model = HdcClassifier::new(encoder, 10);
+    model.train_batch(train.pairs()).expect("training succeeds");
+    (model, pool.images().to_vec())
+}
+
+fn bench_top_n(c: &mut Criterion) {
+    let (model, images) = model_with_dim(2_000);
+    let mut group = c.benchmark_group("ablation_top_n");
+    group.sample_size(10);
+    for top_n in [1usize, 3, 5, 9] {
+        let fuzzer = Fuzzer::new(
+            &model,
+            Strategy::Rand.image_mutation(),
+            Box::new(L2Constraint::default()),
+            FuzzConfig { top_n, ..Default::default() },
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(top_n), &top_n, |bench, _| {
+            let mut seed = 0u64;
+            bench.iter(|| {
+                seed += 1;
+                black_box(
+                    fuzzer
+                        .fuzz_one(&images[seed as usize % images.len()], seed)
+                        .expect("valid inputs"),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_dimension(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_dimension");
+    group.sample_size(10);
+    for dim in [1_000usize, 2_000, 4_000] {
+        let (model, images) = model_with_dim(dim);
+        let fuzzer = Fuzzer::new(
+            &model,
+            Strategy::Gauss.image_mutation(),
+            Box::new(L2Constraint::default()),
+            FuzzConfig::default(),
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(dim), &dim, |bench, _| {
+            let mut seed = 0u64;
+            bench.iter(|| {
+                seed += 1;
+                black_box(
+                    fuzzer
+                        .fuzz_one(&images[seed as usize % images.len()], seed)
+                        .expect("valid inputs"),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_batch_size(c: &mut Criterion) {
+    let (model, images) = model_with_dim(2_000);
+    let mut group = c.benchmark_group("ablation_batch_size");
+    group.sample_size(10);
+    for batch in [3usize, 9, 18] {
+        let fuzzer = Fuzzer::new(
+            &model,
+            Strategy::Rand.image_mutation(),
+            Box::new(L2Constraint::default()),
+            FuzzConfig { batch_size: batch, top_n: 3, ..Default::default() },
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |bench, _| {
+            let mut seed = 0u64;
+            bench.iter(|| {
+                seed += 1;
+                black_box(
+                    fuzzer
+                        .fuzz_one(&images[seed as usize % images.len()], seed)
+                        .expect("valid inputs"),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_top_n, bench_dimension, bench_batch_size);
+criterion_main!(benches);

@@ -1,0 +1,128 @@
+//! Encoder benchmarks: the dominant cost of both training and fuzzing
+//! (every fuzz candidate is one encode), including the dimension ablation
+//! called out in DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hdc::prelude::*;
+use std::hint::black_box;
+
+fn bench_pixel_encoder(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pixel_encode");
+    group.sample_size(20);
+    let image = vec![120u8; 784];
+
+    for dim in [1_000usize, 2_000, 4_000, 10_000] {
+        let encoder = PixelEncoder::new(PixelEncoderConfig {
+            dim,
+            width: 28,
+            height: 28,
+            levels: 256,
+            value_encoding: ValueEncoding::Random,
+            seed: 1,
+        })
+        .expect("valid config");
+        group.bench_with_input(BenchmarkId::new("dim", dim), &dim, |bench, _| {
+            bench.iter(|| black_box(encoder.encode(&image[..]).expect("valid shape")));
+        });
+    }
+    group.finish();
+}
+
+/// Ablation: stored position memory vs rematerialized (permutation)
+/// positions — same statistics, 784x smaller position store.
+fn bench_position_representation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pixel_position_scheme");
+    group.sample_size(20);
+    let image = vec![120u8; 784];
+
+    let stored = PixelEncoder::new(PixelEncoderConfig {
+        dim: 10_000,
+        width: 28,
+        height: 28,
+        levels: 256,
+        value_encoding: ValueEncoding::Random,
+        seed: 1,
+    })
+    .expect("valid config");
+    group.bench_function("stored_positions", |bench| {
+        bench.iter(|| black_box(stored.encode(&image[..]).expect("valid shape")));
+    });
+
+    let permuted = PermutePixelEncoder::new(PermutePixelEncoderConfig {
+        dim: 10_000,
+        width: 28,
+        height: 28,
+        levels: 256,
+        value_encoding: ValueEncoding::Random,
+        seed: 1,
+    })
+    .expect("valid config");
+    group.bench_function("rematerialized_positions", |bench| {
+        bench.iter(|| black_box(permuted.encode(&image[..]).expect("valid shape")));
+    });
+    group.finish();
+}
+
+fn bench_value_encoding_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pixel_encode_value_scheme");
+    group.sample_size(20);
+    let image = vec![90u8; 784];
+    for encoding in [ValueEncoding::Random, ValueEncoding::Level] {
+        let encoder = PixelEncoder::new(PixelEncoderConfig {
+            dim: 10_000,
+            width: 28,
+            height: 28,
+            levels: 256,
+            value_encoding: encoding,
+            seed: 1,
+        })
+        .expect("valid config");
+        group.bench_function(encoding.to_string(), |bench| {
+            bench.iter(|| black_box(encoder.encode(&image[..]).expect("valid shape")));
+        });
+    }
+    group.finish();
+}
+
+fn bench_other_encoders(c: &mut Criterion) {
+    let mut group = c.benchmark_group("extension_encoders");
+    group.sample_size(20);
+
+    let ngram = NgramEncoder::new(NgramEncoderConfig { dim: 10_000, ..Default::default() })
+        .expect("valid config");
+    let text = b"the quick brown fox jumps over the lazy dog and keeps running";
+    group.bench_function("ngram_64B", |bench| {
+        bench.iter(|| black_box(ngram.encode(&text[..]).expect("long enough")));
+    });
+
+    let record = RecordEncoder::new(RecordEncoderConfig {
+        dim: 10_000,
+        fields: 16,
+        ..Default::default()
+    })
+    .expect("valid config");
+    let features: Vec<f64> = (0..16).map(|i| i as f64 / 16.0).collect();
+    group.bench_function("record_16_fields", |bench| {
+        bench.iter(|| black_box(record.encode(&features[..]).expect("valid arity")));
+    });
+
+    let series = TimeSeriesEncoder::new(TimeSeriesEncoderConfig {
+        dim: 10_000,
+        ..Default::default()
+    })
+    .expect("valid config");
+    let signal: Vec<f64> = (0..64).map(|i| (i as f64 * 0.2).sin()).collect();
+    group.bench_function("timeseries_64_samples", |bench| {
+        bench.iter(|| black_box(series.encode(&signal[..]).expect("long enough")));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_pixel_encoder,
+    bench_position_representation,
+    bench_value_encoding_ablation,
+    bench_other_encoders
+);
+criterion_main!(benches);

@@ -1,0 +1,123 @@
+//! Fuzzing loop benchmarks: per-input cost of Alg. 1 under each Table II
+//! strategy and under guided vs unguided survival — the measurements
+//! behind the paper's "400 adversarial images per minute" headline and the
+//! §IV 12% guidance claim.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hdc::prelude::*;
+use hdc_data::synth::{SynthConfig, SynthGenerator};
+use hdc_data::GrayImage;
+use hdtest::prelude::*;
+use std::hint::black_box;
+
+/// A reduced-dimension testbed keeps the bench wall-time sane while
+/// preserving the loop structure (encode cost scales linearly in D).
+fn testbed() -> (HdcClassifier<PixelEncoder>, Vec<GrayImage>) {
+    let mut generator = SynthGenerator::new(SynthConfig { seed: 8, ..Default::default() });
+    let train = generator.dataset(30);
+    let pool = generator.dataset(1);
+    let encoder = PixelEncoder::new(PixelEncoderConfig {
+        dim: 2_000,
+        width: 28,
+        height: 28,
+        levels: 256,
+        value_encoding: ValueEncoding::Random,
+        seed: 3,
+    })
+    .expect("valid config");
+    let mut model = HdcClassifier::new(encoder, 10);
+    model.train_batch(train.pairs()).expect("training succeeds");
+    (model, pool.images().to_vec())
+}
+
+fn bench_fuzz_one_per_strategy(c: &mut Criterion) {
+    let (model, images) = testbed();
+    let mut group = c.benchmark_group("fuzz_one");
+    group.sample_size(10);
+
+    for strategy in Strategy::TABLE2 {
+        let fuzzer = Fuzzer::new(
+            &model,
+            strategy.image_mutation(),
+            Box::new(L2Constraint::default()),
+            FuzzConfig::default(),
+        );
+        group.bench_function(strategy.name().replace('&', "_"), |bench| {
+            let mut seed = 0u64;
+            bench.iter(|| {
+                seed += 1;
+                black_box(
+                    fuzzer
+                        .fuzz_one(&images[seed as usize % images.len()], seed)
+                        .expect("valid inputs"),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_guidance(c: &mut Criterion) {
+    let (model, images) = testbed();
+    let mut group = c.benchmark_group("guidance");
+    group.sample_size(10);
+
+    for guidance in [Guidance::DistanceGuided, Guidance::Unguided] {
+        let fuzzer = Fuzzer::new(
+            &model,
+            Strategy::Rand.image_mutation(),
+            Box::new(L2Constraint::default()),
+            FuzzConfig { guidance, ..Default::default() },
+        );
+        group.bench_function(guidance.to_string().replace(' ', "_"), |bench| {
+            let mut seed = 0u64;
+            bench.iter(|| {
+                seed += 1;
+                black_box(
+                    fuzzer
+                        .fuzz_one(&images[seed as usize % images.len()], seed)
+                        .expect("valid inputs"),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Cost of minimizing one adversarial example (greedy pixel reversion).
+fn bench_minimize(c: &mut Criterion) {
+    use hdtest::{minimize, FuzzOutcome, MinimizeConfig};
+    let (model, images) = testbed();
+    let fuzzer = Fuzzer::new(
+        &model,
+        Strategy::Gauss.image_mutation(),
+        Box::new(L2Constraint::default()),
+        FuzzConfig::default(),
+    );
+    // Pre-generate one adversarial pair outside the timed loop.
+    let mut pair = None;
+    for seed in 0..32 {
+        let original = images[seed as usize % images.len()].clone();
+        let result = fuzzer.fuzz_one(&original, seed).expect("valid inputs");
+        if let FuzzOutcome::Adversarial { input, .. } = result.outcome {
+            pair = Some((original, input, result.reference_label));
+            break;
+        }
+    }
+    let (original, adversarial, reference) = pair.expect("gauss finds an adversarial");
+
+    let mut group = c.benchmark_group("minimize");
+    group.sample_size(10);
+    group.bench_function("gauss_adversarial", |bench| {
+        bench.iter(|| {
+            black_box(
+                minimize(&model, &original, &adversarial, reference, MinimizeConfig::default())
+                    .expect("valid adversarial"),
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fuzz_one_per_strategy, bench_guidance, bench_minimize);
+criterion_main!(benches);

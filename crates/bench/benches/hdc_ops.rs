@@ -1,0 +1,73 @@
+//! Microbenchmarks of the three HDC arithmetic operations and similarity
+//! search — the costs behind every number in the paper's Table II timing
+//! row.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hdc::{Accumulator, Hypervector, PackedHypervector};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_ops(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut group = c.benchmark_group("hdc_ops");
+    group.sample_size(20);
+
+    for dim in [2_000usize, 10_000] {
+        let a = Hypervector::random(dim, &mut rng);
+        let b = Hypervector::random(dim, &mut rng);
+        group.bench_with_input(BenchmarkId::new("random", dim), &dim, |bench, &d| {
+            let mut r = StdRng::seed_from_u64(2);
+            bench.iter(|| black_box(Hypervector::random(d, &mut r)));
+        });
+        group.bench_with_input(BenchmarkId::new("bind", dim), &dim, |bench, _| {
+            bench.iter(|| black_box(a.bind(&b).expect("same dim")));
+        });
+        group.bench_with_input(BenchmarkId::new("permute", dim), &dim, |bench, _| {
+            bench.iter(|| black_box(a.permute(17)));
+        });
+        group.bench_with_input(BenchmarkId::new("cosine", dim), &dim, |bench, _| {
+            bench.iter(|| black_box(hdc::cosine(&a, &b)));
+        });
+        group.bench_with_input(BenchmarkId::new("bundle_add", dim), &dim, |bench, &d| {
+            bench.iter(|| {
+                let mut acc = Accumulator::zeros(d);
+                acc.add(&a).expect("same dim");
+                acc.add(&b).expect("same dim");
+                black_box(acc.bipolarize_deterministic())
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Ablation: bipolar `Vec<i8>` vs bit-packed `u64` representation — the
+/// DESIGN.md representation trade-off.
+fn bench_packed_vs_dense(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut group = c.benchmark_group("representation");
+    group.sample_size(30);
+
+    let dim = 10_000;
+    let a = Hypervector::random(dim, &mut rng);
+    let b = Hypervector::random(dim, &mut rng);
+    let pa = PackedHypervector::from(&a);
+    let pb = PackedHypervector::from(&b);
+
+    group.bench_function("dense_hamming_10k", |bench| {
+        bench.iter(|| black_box(a.hamming_distance(&b).expect("same dim")));
+    });
+    group.bench_function("packed_hamming_10k", |bench| {
+        bench.iter(|| black_box(pa.hamming_distance(&pb)));
+    });
+    group.bench_function("dense_bind_10k", |bench| {
+        bench.iter(|| black_box(a.bind(&b).expect("same dim")));
+    });
+    group.bench_function("packed_bind_10k", |bench| {
+        bench.iter(|| black_box(pa.bind(&pb).expect("same dim")));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ops, bench_packed_vs_dense);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Mutation operator benchmarks: one row per Table I strategy. These ops
+//! must be negligible next to encoding, otherwise the fuzzer's bottleneck
+//! moves — this bench pins that assumption.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hdc_data::synth::{SynthConfig, SynthGenerator};
+use hdtest::mutation::Strategy;
+use hdtest::{CompoundMutation, Mutation};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_mutations(c: &mut Criterion) {
+    let mut generator = SynthGenerator::new(SynthConfig { seed: 5, ..Default::default() });
+    let image = generator.sample_class(8);
+
+    let mut group = c.benchmark_group("mutations");
+    group.sample_size(30);
+    for strategy in Strategy::ALL {
+        let mutation = strategy.image_mutation();
+        group.bench_function(strategy.name().replace('&', "_"), |bench| {
+            let mut rng = StdRng::seed_from_u64(1);
+            bench.iter(|| black_box(mutation.mutate(&image, &mut rng)));
+        });
+    }
+
+    let compound = CompoundMutation::new(vec![
+        Strategy::Gauss.image_mutation(),
+        Strategy::Rand.image_mutation(),
+        Strategy::Shift.image_mutation(),
+    ]);
+    group.bench_function("compound_gauss_rand_shift", |bench| {
+        let mut rng = StdRng::seed_from_u64(1);
+        bench.iter(|| black_box(compound.mutate(&image, &mut rng)));
+    });
+    group.finish();
+}
+
+fn bench_distance_metrics(c: &mut Criterion) {
+    let mut generator = SynthGenerator::new(SynthConfig { seed: 6, ..Default::default() });
+    let a = generator.sample_class(3);
+    let b = generator.sample_class(3);
+
+    let mut group = c.benchmark_group("distance_metrics");
+    group.sample_size(40);
+    group.bench_function("normalized_l1", |bench| {
+        bench.iter(|| black_box(hdc_data::normalized_l1(&a, &b)));
+    });
+    group.bench_function("normalized_l2", |bench| {
+        bench.iter(|| black_box(hdc_data::normalized_l2(&a, &b)));
+    });
+    group.bench_function("linf", |bench| {
+        bench.iter(|| black_box(hdc_data::linf_distance(&a, &b)));
+    });
+    group.finish();
+}
+
+fn bench_synth_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("synthetic_dataset");
+    group.sample_size(30);
+    group.bench_function("render_one_digit", |bench| {
+        let mut generator = SynthGenerator::new(SynthConfig { seed: 7, ..Default::default() });
+        let mut class = 0;
+        bench.iter(|| {
+            class = (class + 1) % 10;
+            black_box(generator.sample_class(class))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_mutations, bench_distance_metrics, bench_synth_generation);
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! Criterion benchmark crate for the HDTest reproduction.
+//!
+//! All content lives in `benches/`; this library target exists only so the
+//! package builds standalone.
+#![forbid(unsafe_code)]

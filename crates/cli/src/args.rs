@@ -1,0 +1,149 @@
+//! Minimal long-flag argument parser.
+//!
+//! The workspace's dependency policy admits only `rand`/`proptest`/
+//! `criterion`, so the CLI parses `--flag value` pairs by hand. Flags are
+//! declared up front so typos fail fast with the list of valid options.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parse or validation failure, printed to stderr with usage.
+#[derive(Debug, PartialEq, Eq)]
+pub struct ArgsError(pub String);
+
+impl fmt::Display for ArgsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ArgsError {}
+
+/// Parsed `--flag value` pairs for one subcommand.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    values: BTreeMap<String, String>,
+}
+
+impl Args {
+    /// Parses `argv` (already stripped of the program and subcommand
+    /// names) against a set of permitted flag names (without `--`).
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown flags, bare values, repeated flags, and flags
+    /// without a value.
+    pub fn parse<S: AsRef<str>>(argv: &[S], allowed: &[&str]) -> Result<Self, ArgsError> {
+        let mut values = BTreeMap::new();
+        let mut iter = argv.iter().map(AsRef::as_ref);
+        while let Some(token) = iter.next() {
+            let Some(name) = token.strip_prefix("--") else {
+                return Err(ArgsError(format!(
+                    "unexpected positional argument '{token}' (flags are --name value)"
+                )));
+            };
+            if !allowed.contains(&name) {
+                return Err(ArgsError(format!(
+                    "unknown flag --{name}; valid flags: {}",
+                    allowed.iter().map(|f| format!("--{f}")).collect::<Vec<_>>().join(", ")
+                )));
+            }
+            let Some(value) = iter.next() else {
+                return Err(ArgsError(format!("flag --{name} requires a value")));
+            };
+            if values.insert(name.to_owned(), value.to_owned()).is_some() {
+                return Err(ArgsError(format!("flag --{name} given twice")));
+            }
+        }
+        Ok(Self { values })
+    }
+
+    /// The raw value of `name`, if present.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(String::as_str)
+    }
+
+    /// A required string flag.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the flag is absent.
+    pub fn required(&self, name: &str) -> Result<&str, ArgsError> {
+        self.get(name).ok_or_else(|| ArgsError(format!("missing required flag --{name}")))
+    }
+
+    /// An optional typed flag with a default.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the value does not parse as `T`.
+    pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, ArgsError> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| ArgsError(format!("flag --{name}: cannot parse '{raw}'"))),
+        }
+    }
+
+    /// A required typed flag.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the flag is absent or does not parse as `T`.
+    #[cfg_attr(not(test), allow(dead_code))] // current commands have no required numeric flags
+    pub fn required_as<T: std::str::FromStr>(&self, name: &str) -> Result<T, ArgsError> {
+        let raw = self.required(name)?;
+        raw.parse().map_err(|_| ArgsError(format!("flag --{name}: cannot parse '{raw}'")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_flag_pairs() {
+        let args = Args::parse(&["--dim", "4000", "--seed", "7"], &["dim", "seed"]).unwrap();
+        assert_eq!(args.get("dim"), Some("4000"));
+        assert_eq!(args.required_as::<u64>("seed").unwrap(), 7);
+    }
+
+    #[test]
+    fn rejects_unknown_flags() {
+        let err = Args::parse(&["--bogus", "1"], &["dim"]).unwrap_err();
+        assert!(err.0.contains("unknown flag --bogus"));
+        assert!(err.0.contains("--dim"));
+    }
+
+    #[test]
+    fn rejects_positional_arguments() {
+        let err = Args::parse(&["train.idx"], &["dim"]).unwrap_err();
+        assert!(err.0.contains("positional"));
+    }
+
+    #[test]
+    fn rejects_missing_value() {
+        let err = Args::parse(&["--dim"], &["dim"]).unwrap_err();
+        assert!(err.0.contains("requires a value"));
+    }
+
+    #[test]
+    fn rejects_duplicates() {
+        let err = Args::parse(&["--dim", "1", "--dim", "2"], &["dim"]).unwrap_err();
+        assert!(err.0.contains("twice"));
+    }
+
+    #[test]
+    fn defaults_and_parse_errors() {
+        let args = Args::parse(&["--dim", "abc"], &["dim"]).unwrap();
+        assert!(args.get_or::<usize>("dim", 5).is_err());
+        assert_eq!(args.get_or::<usize>("missing", 5).unwrap(), 5);
+    }
+
+    #[test]
+    fn required_reports_missing() {
+        let args = Args::parse::<&str>(&[], &["model"]).unwrap();
+        assert!(args.required("model").unwrap_err().0.contains("--model"));
+    }
+}

@@ -1,0 +1,253 @@
+//! Subcommand implementations.
+
+use crate::args::Args;
+use hdc::io::{load_pixel_classifier, save_pixel_classifier};
+use hdc::prelude::*;
+use hdc_data::synth::{SynthConfig, SynthGenerator};
+use hdc_data::{pgm, Dataset, GrayImage};
+use hdtest::prelude::*;
+use hdtest::report::{fmt2, fmt3, fmt_pct, write_records_csv, TextTable};
+use std::error::Error;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::path::Path;
+
+type CliResult = Result<(), Box<dyn Error>>;
+
+/// `gen-data`: synthesize a digit dataset and write IDX pairs.
+pub fn gen_data(args: Args) -> CliResult {
+    let out = args.required("out")?.to_owned();
+    let train_per_class: usize = args.get_or("train", 200)?;
+    let test_per_class: usize = args.get_or("test", 50)?;
+    let seed: u64 = args.get_or("seed", 42)?;
+
+    let dir = Path::new(&out);
+    std::fs::create_dir_all(dir)?;
+    let mut generator = SynthGenerator::new(SynthConfig { seed, ..Default::default() });
+
+    for (name, per_class) in [("train", train_per_class), ("test", test_per_class)] {
+        let ds = generator.dataset(per_class);
+        let images = BufWriter::new(File::create(dir.join(format!("{name}-images.idx")))?);
+        let labels = BufWriter::new(File::create(dir.join(format!("{name}-labels.idx")))?);
+        ds.write_idx(images, labels)?;
+        println!("wrote {} {name} images to {}", ds.len(), dir.display());
+    }
+    Ok(())
+}
+
+fn load_dataset(images: &str, labels: Option<&str>) -> Result<Dataset, Box<dyn Error>> {
+    let image_reader = BufReader::new(File::open(images)?);
+    match labels {
+        Some(labels) => {
+            let label_reader = BufReader::new(File::open(labels)?);
+            Ok(Dataset::read_idx(image_reader, label_reader)?)
+        }
+        None => {
+            let images = hdc_data::idx::read_images(image_reader)?;
+            let labels = vec![0usize; images.len()];
+            Ok(Dataset::new(images, labels).map_err(|e| e.to_string())?)
+        }
+    }
+}
+
+/// `train`: one-shot training from IDX files into a model file.
+pub fn train(args: Args) -> CliResult {
+    let images = args.required("images")?.to_owned();
+    let labels = args.required("labels")?.to_owned();
+    let out = args.required("out")?.to_owned();
+    let dim: usize = args.get_or("dim", hdc::DEFAULT_DIM)?;
+    let levels: usize = args.get_or("levels", 256)?;
+    let seed: u64 = args.get_or("seed", 7)?;
+
+    let dataset = load_dataset(&images, Some(&labels))?;
+    let first = dataset.image(0);
+    let encoder = PixelEncoder::new(PixelEncoderConfig {
+        dim,
+        width: first.width(),
+        height: first.height(),
+        levels,
+        value_encoding: ValueEncoding::Random,
+        seed,
+    })?;
+    let num_classes = dataset.labels().iter().copied().max().unwrap_or(0) + 1;
+    let mut model = HdcClassifier::new(encoder, num_classes);
+
+    let start = std::time::Instant::now();
+    model.train_batch(dataset.pairs())?;
+    println!(
+        "trained {num_classes}-class model (D = {dim}) on {} images in {}s",
+        dataset.len(),
+        fmt2(start.elapsed().as_secs_f64())
+    );
+    save_pixel_classifier(&model, BufWriter::new(File::create(&out)?))?;
+    println!("model written to {out}");
+    Ok(())
+}
+
+/// `eval`: accuracy of a stored model over labeled IDX data.
+pub fn eval(args: Args) -> CliResult {
+    let model_path = args.required("model")?.to_owned();
+    let images = args.required("images")?.to_owned();
+    let labels = args.required("labels")?.to_owned();
+
+    let model = load_pixel_classifier(BufReader::new(File::open(&model_path)?))?;
+    let dataset = load_dataset(&images, Some(&labels))?;
+    let accuracy = model.accuracy(dataset.pairs())?;
+    println!("accuracy over {} images: {}", dataset.len(), fmt_pct(accuracy));
+
+    let mut table = TextTable::new(["class", "count", "accuracy"]);
+    for class in 0..model.num_classes() {
+        let subset = dataset.filter_class(class);
+        if subset.is_empty() {
+            continue;
+        }
+        let acc = model.accuracy(subset.pairs())?;
+        table.push_row([class.to_string(), subset.len().to_string(), fmt_pct(acc)]);
+    }
+    println!("{}", table.render());
+
+    let cm = hdc::ConfusionMatrix::evaluate(&model, dataset.pairs())?;
+    println!("confusion matrix (rows = true class, cols = predicted):");
+    println!("{}", cm.render());
+    Ok(())
+}
+
+fn parse_strategy(name: &str) -> Result<Strategy, Box<dyn Error>> {
+    Strategy::ALL
+        .into_iter()
+        .find(|s| s.name() == name)
+        .ok_or_else(|| {
+            format!(
+                "unknown strategy '{name}'; valid: {}",
+                Strategy::ALL.map(|s| s.name()).join(", ")
+            )
+            .into()
+        })
+}
+
+/// `fuzz`: an HDTest campaign over unlabeled images.
+pub fn fuzz(args: Args) -> CliResult {
+    let model_path = args.required("model")?.to_owned();
+    let images_path = args.required("images")?.to_owned();
+    let strategy = parse_strategy(args.get("strategy").unwrap_or("gauss"))?;
+    let budget: f64 = args.get_or("budget", 1.0)?;
+    let count: usize = args.get_or("count", usize::MAX)?;
+    let seed: u64 = args.get_or("seed", 1234)?;
+    let unguided: bool = args.get_or("unguided", false)?;
+    let minimize_output: bool = args.get_or("minimize", false)?;
+
+    let model = load_pixel_classifier(BufReader::new(File::open(&model_path)?))?;
+    let dataset = load_dataset(&images_path, None)?;
+    let images: Vec<GrayImage> = dataset.images().iter().take(count).cloned().collect();
+
+    let campaign = Campaign::new(
+        &model,
+        CampaignConfig {
+            strategy,
+            l2_budget: strategy.distance_meaningful().then_some(budget),
+            seed,
+            fuzz: FuzzConfig {
+                guidance: if unguided { Guidance::Unguided } else { Guidance::DistanceGuided },
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    let report = campaign.run(&images)?;
+    let stats = report.strategy_stats();
+
+    let mut table = TextTable::new(["metric", "value"]);
+    table.push_row(["strategy".to_owned(), stats.strategy.clone()]);
+    table.push_row(["inputs".to_owned(), stats.inputs.to_string()]);
+    table.push_row(["adversarial images".to_owned(), stats.successes.to_string()]);
+    table.push_row(["success rate".to_owned(), fmt_pct(stats.success_rate())]);
+    table.push_row(["avg norm. L1".to_owned(), fmt3(stats.avg_l1)]);
+    table.push_row(["avg norm. L2".to_owned(), fmt3(stats.avg_l2)]);
+    table.push_row(["avg #iterations".to_owned(), fmt2(stats.avg_iterations)]);
+    table.push_row([
+        "time / 1k generated (s)".to_owned(),
+        stats
+            .time_per_1k()
+            .map(|d| fmt2(d.as_secs_f64()))
+            .unwrap_or_else(|| "n/a".to_owned()),
+    ]);
+    println!("{}", table.render());
+
+    if minimize_output && !report.corpus.is_empty() {
+        let mut before = 0usize;
+        let mut after = 0usize;
+        for example in report.corpus.iter() {
+            let m = hdtest::minimize(
+                &model,
+                &example.original,
+                &example.adversarial,
+                example.reference_label,
+                hdtest::MinimizeConfig::default(),
+            )?;
+            before += m.pixels_before;
+            after += m.pixels_after;
+        }
+        println!(
+            "minimization: {before} -> {after} total changed pixels across the corpus \
+             ({:.1}% reduction)",
+            100.0 * (1.0 - after as f64 / before.max(1) as f64)
+        );
+    }
+
+    if let Some(csv) = args.get("csv") {
+        write_records_csv(&report.records, BufWriter::new(File::create(csv)?))?;
+        println!("per-input records written to {csv}");
+    }
+    if let Some(dir) = args.get("out-dir") {
+        let dir = Path::new(dir);
+        for (k, example) in report.corpus.iter().enumerate() {
+            pgm::save_pgm(&example.original, dir.join(format!("{k:04}_original.pgm")))?;
+            pgm::save_pgm(&example.adversarial, dir.join(format!("{k:04}_adversarial.pgm")))?;
+        }
+        println!("{} adversarial pairs written to {}", report.corpus.len(), dir.display());
+    }
+    Ok(())
+}
+
+/// `defend`: fuzz, retrain on half the corpus, re-attack, store the
+/// hardened model.
+pub fn defend(args: Args) -> CliResult {
+    let model_path = args.required("model")?.to_owned();
+    let images_path = args.required("images")?.to_owned();
+    let out = args.required("out")?.to_owned();
+    let strategy = parse_strategy(args.get("strategy").unwrap_or("gauss"))?;
+    let seed: u64 = args.get_or("seed", 1234)?;
+
+    let mut model = load_pixel_classifier(BufReader::new(File::open(&model_path)?))?;
+    let dataset = load_dataset(&images_path, None)?;
+
+    let campaign = Campaign::new(
+        &model,
+        CampaignConfig {
+            strategy,
+            l2_budget: strategy.distance_meaningful().then_some(1.0),
+            seed,
+            ..Default::default()
+        },
+    );
+    let corpus = campaign.run(dataset.images())?.corpus;
+    println!("generated {} adversarial images with {}", corpus.len(), strategy);
+    if corpus.len() < 2 {
+        return Err("corpus too small to split for the defense".into());
+    }
+
+    let report = retraining_defense(
+        &mut model,
+        &corpus,
+        DefenseConfig { retrain_fraction: 0.5, seed, retrain_passes: 1 },
+    )?;
+    println!(
+        "attack success: {} -> {} (drop {})",
+        fmt_pct(report.success_before),
+        fmt_pct(report.success_after),
+        fmt_pct(report.drop())
+    );
+    save_pixel_classifier(&model, BufWriter::new(File::create(&out)?))?;
+    println!("hardened model written to {out}");
+    Ok(())
+}

@@ -1,0 +1,88 @@
+//! `hdtest` — command-line front end for the HDTest reproduction.
+//!
+//! ```text
+//! hdtest-cli gen-data --out data --train 200 --test 50 [--seed 42]
+//! hdtest-cli train    --images data/train-images.idx --labels data/train-labels.idx \
+//!                 --out model.hdc [--dim 10000] [--seed 7]
+//! hdtest-cli eval     --model model.hdc --images data/test-images.idx --labels data/test-labels.idx
+//! hdtest-cli fuzz     --model model.hdc --images data/test-images.idx --strategy gauss \
+//!                 [--budget 1.0] [--count 100] [--seed 1234] [--csv records.csv] [--out-dir adv]
+//! hdtest-cli defend   --model model.hdc --images data/test-images.idx --out hardened.hdc
+//! ```
+
+mod args;
+mod commands;
+
+use args::Args;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+hdtest-cli — differential fuzz testing of HDC classifiers (DAC 2021 reproduction)
+
+USAGE:
+  hdtest-cli <command> [--flag value]...
+
+COMMANDS:
+  gen-data   generate a synthetic digit dataset as IDX files
+             --out DIR [--train N] [--test N] [--seed N]
+  train      one-shot train an HDC model from IDX files
+             --images F --labels F --out F [--dim N] [--levels N] [--seed N]
+  eval       evaluate a model on labeled IDX data
+             --model F --images F --labels F
+  fuzz       run an HDTest campaign over unlabeled IDX images
+             --model F --images F [--strategy gauss|rand|row_rand|col_rand|row&col_rand|shift]
+             [--budget L2] [--count N] [--seed N] [--csv F] [--out-dir DIR]
+             [--unguided true] [--minimize true]
+  defend     adversarial-retraining defense (fuzz, retrain, re-attack)
+             --model F --images F --out F [--strategy S] [--seed N]
+
+Every run is deterministic given its seeds.";
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = argv.first().map(String::as_str) else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let rest = &argv[1..];
+
+    let result = match command {
+        "gen-data" => Args::parse(rest, &["out", "train", "test", "seed"])
+            .map_err(Into::into)
+            .and_then(commands::gen_data),
+        "train" => Args::parse(rest, &["images", "labels", "out", "dim", "levels", "seed"])
+            .map_err(Into::into)
+            .and_then(commands::train),
+        "eval" => Args::parse(rest, &["model", "images", "labels"])
+            .map_err(Into::into)
+            .and_then(commands::eval),
+        "fuzz" => Args::parse(
+            rest,
+            &[
+                "model", "images", "strategy", "budget", "count", "seed", "csv", "out-dir",
+                "unguided", "minimize",
+            ],
+        )
+        .map_err(Into::into)
+        .and_then(commands::fuzz),
+        "defend" => Args::parse(rest, &["model", "images", "out", "strategy", "seed"])
+            .map_err(Into::into)
+            .and_then(commands::defend),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => {
+            eprintln!("unknown command '{other}'\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! E7 (extension) — hardware bit-error robustness vs algorithmic fragility.
+//!
+//! The paper's related work (§II) contrasts prior studies of HDC
+//! robustness to *hardware* memory errors with HDTest's *algorithmic*
+//! robustness findings. This binary puts the two failure models side by
+//! side on the same classifier: associative-memory bit-flips degrade
+//! accuracy gracefully (holographic redundancy), while HDTest flips
+//! predictions with tiny input perturbations — the asymmetry that makes
+//! the paper's contribution interesting.
+
+use hdc::fault::bit_error_sweep;
+use hdtest::prelude::*;
+use hdtest::report::{fmt_pct, TextTable};
+use hdtest_experiments::common::{banner, build_testbed, Scale, FUZZ_SEED};
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("E7", "hardware bit errors vs adversarial inputs (§II framing)", scale);
+
+    let testbed = build_testbed(scale);
+    let examples: Vec<(&[u8], usize)> = testbed.test.pairs().collect();
+
+    // Hardware side: flip AM bits at increasing rates.
+    let rates = [0.0, 0.01, 0.05, 0.10, 0.20, 0.30, 0.40];
+    let points = bit_error_sweep(&testbed.model, &rates, &examples, FUZZ_SEED)
+        .expect("model is finalized");
+
+    let mut table = TextTable::new(["AM bit-error rate", "flipped bits", "test accuracy"]);
+    for p in &points {
+        table.push_row([
+            format!("{:.0}%", p.bit_error_rate * 100.0),
+            p.flipped.to_string(),
+            fmt_pct(p.accuracy),
+        ]);
+    }
+    println!("hardware fault injection (per-component flips in the AM):");
+    println!("{}", table.render());
+
+    // Algorithmic side: the L2 budget HDTest needs to flip most inputs.
+    let campaign = Campaign::new(
+        &testbed.model,
+        CampaignConfig {
+            strategy: Strategy::Gauss,
+            l2_budget: Some(1.0),
+            seed: FUZZ_SEED,
+            ..Default::default()
+        },
+    );
+    let images: Vec<_> = testbed.fuzz_pool.images().iter().take(100).cloned().collect();
+    let report = campaign.run(&images).expect("non-empty pool");
+    let stats = report.strategy_stats();
+    println!(
+        "adversarial side: {} of {} inputs flipped at mean L2 = {:.3} \
+         (≈{:.1} of one full-scale pixel)",
+        stats.successes,
+        stats.inputs,
+        stats.avg_l2,
+        stats.avg_l2,
+    );
+    println!();
+    println!(
+        "contrast: ~{} AM bits flipped cost {} accuracy, while input \
+         perturbations under one pixel's worth of L2 fool {} of inputs —",
+        points[3].flipped,
+        fmt_pct(points[0].accuracy - points[3].accuracy),
+        fmt_pct(stats.success_rate()),
+    );
+    println!("HDC is hardware-robust but algorithmically fragile, which is the paper's premise.");
+}

@@ -1,0 +1,67 @@
+//! E3 — **Fig. 7**: per-class normalized L1/L2 distances and average
+//! fuzzing iterations.
+//!
+//! The paper observes that some classes resist adversarial generation
+//! (digit "1" needs drastically more iterations) while visually confusable
+//! classes (e.g. "9", near "8"/"3") flip easily, and that iteration count
+//! and distance are not obviously correlated.
+
+use hdtest::prelude::*;
+use hdtest::report::{fmt2, fmt3, TextTable};
+use hdtest_experiments::common::{banner, build_testbed, Scale, FUZZ_SEED};
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("E3", "Fig. 7 — per-class distances and iterations (gauss)", scale);
+
+    let testbed = build_testbed(scale);
+    let images = testbed.fuzz_pool.images();
+
+    let campaign = Campaign::new(
+        &testbed.model,
+        CampaignConfig {
+            strategy: Strategy::Gauss,
+            l2_budget: Some(1.0),
+            seed: FUZZ_SEED,
+            ..Default::default()
+        },
+    );
+    let report = campaign.run(images).expect("campaign inputs are valid");
+    let by_class = report.class_stats(10);
+
+    let mut table =
+        TextTable::new(["class", "inputs", "successes", "avg L1", "avg L2", "avg #iter"]);
+    for c in &by_class {
+        table.push_row([
+            c.class.to_string(),
+            c.inputs.to_string(),
+            c.successes.to_string(),
+            fmt3(c.avg_l1),
+            fmt3(c.avg_l2),
+            fmt2(c.avg_iterations),
+        ]);
+    }
+    println!("{}", table.render());
+
+    // The qualitative observations the paper draws from the figure.
+    let hardest = by_class
+        .iter()
+        .filter(|c| c.inputs > 0)
+        .max_by(|a, b| a.avg_iterations.partial_cmp(&b.avg_iterations).expect("finite"))
+        .expect("ten classes");
+    let easiest = by_class
+        .iter()
+        .filter(|c| c.inputs > 0)
+        .min_by(|a, b| a.avg_iterations.partial_cmp(&b.avg_iterations).expect("finite"))
+        .expect("ten classes");
+    println!(
+        "hardest class by iterations: {} ({} avg) — paper observes \"1\" is hardest",
+        hardest.class,
+        fmt2(hardest.avg_iterations)
+    );
+    println!(
+        "easiest class by iterations: {} ({} avg) — paper observes \"9\" is among the easiest",
+        easiest.class,
+        fmt2(easiest.avg_iterations)
+    );
+}

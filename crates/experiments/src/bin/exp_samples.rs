@@ -1,0 +1,85 @@
+//! E6 — Figs. 1 and 4–6: sample original / mutated-pixel / adversarial
+//! images.
+//!
+//! Writes PGM triples (original, difference mask, adversarial) for the
+//! `gauss`, `rand` and `shift` strategies under `out/figures/`, and prints
+//! ASCII renderings of the first triple per strategy — the same panels the
+//! paper shows.
+
+use hdc_data::pgm;
+use hdtest::prelude::*;
+use hdtest_experiments::common::{banner, build_testbed, Scale, FUZZ_SEED};
+use std::path::PathBuf;
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("E6", "sample adversarial images (Figs. 1, 4-6)", scale);
+
+    let testbed = build_testbed(scale);
+    // A small slice of the pool is enough for samples.
+    let images: Vec<_> = testbed.fuzz_pool.images().iter().take(60).cloned().collect();
+    let out_dir = PathBuf::from("out/figures");
+
+    for strategy in [Strategy::Gauss, Strategy::Rand, Strategy::Shift] {
+        let l2_budget = strategy.distance_meaningful().then_some(1.0);
+        let campaign = Campaign::new(
+            &testbed.model,
+            CampaignConfig { strategy, l2_budget, seed: FUZZ_SEED, ..Default::default() },
+        );
+        let report = campaign.run(&images).expect("campaign inputs are valid");
+        println!(
+            "--- {} ({} adversarial images from {} inputs) ---",
+            strategy,
+            report.corpus.len(),
+            images.len()
+        );
+
+        for (k, example) in report.corpus.iter().take(4).enumerate() {
+            let stem = out_dir.join(format!("{}_{k}", strategy.name().replace('&', "_")));
+            pgm::save_pgm(&example.original, stem.with_extension("original.pgm"))
+                .expect("PGM write succeeds");
+            pgm::save_pgm(
+                &pgm::diff_image(&example.original, &example.adversarial),
+                stem.with_extension("mutated_pixels.pgm"),
+            )
+            .expect("PGM write succeeds");
+            pgm::save_pgm(&example.adversarial, stem.with_extension("adversarial.pgm"))
+                .expect("PGM write succeeds");
+
+            if k == 0 {
+                println!(
+                    "predicted \"{}\" originally, \"{}\" after mutation \
+                     ({} pixels changed, L1={:.2}, L2={:.2}, {} iterations)",
+                    example.reference_label,
+                    example.adversarial_label,
+                    example.mutated_pixels(),
+                    example.l1,
+                    example.l2,
+                    example.iterations
+                );
+                print_side_by_side(
+                    &pgm::to_ascii(&example.original),
+                    &pgm::diff_mask(&example.original, &example.adversarial),
+                    &pgm::to_ascii(&example.adversarial),
+                );
+            }
+        }
+    }
+    println!("PGM files written under {}", out_dir.display());
+}
+
+/// Prints three equally tall ASCII panels side by side, separated by bars.
+fn print_side_by_side(a: &str, b: &str, c: &str) {
+    println!("{:<30}{:<30}adversarial", "original", "mutated pixels");
+    let (la, lb, lc): (Vec<&str>, Vec<&str>, Vec<&str>) =
+        (a.lines().collect(), b.lines().collect(), c.lines().collect());
+    for i in 0..la.len().max(lb.len()).max(lc.len()) {
+        println!(
+            "{:<30}{:<30}{}",
+            la.get(i).unwrap_or(&""),
+            lb.get(i).unwrap_or(&""),
+            lc.get(i).unwrap_or(&"")
+        );
+    }
+    println!();
+}

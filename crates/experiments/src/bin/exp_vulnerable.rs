@@ -1,0 +1,83 @@
+//! E12 (extension) — vulnerable-case analysis (§V-B).
+//!
+//! Quantifies the paper's observation that some inputs flip with
+//! negligible perturbations: pairs each input's *static* prediction margin
+//! with the fuzzing effort HDTest spent on it, reports rank correlations,
+//! and lists the most vulnerable inputs a defender should prioritize.
+
+use hdtest::analysis::VulnerabilityReport;
+use hdtest::prelude::*;
+use hdtest::report::{fmt2, fmt3, TextTable};
+use hdtest_experiments::common::{banner, build_testbed, Scale, FUZZ_SEED};
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("E12", "vulnerable cases: margin vs fuzzing effort (§V-B)", scale);
+
+    let testbed = build_testbed(scale);
+    let images: Vec<_> = testbed.fuzz_pool.images().iter().take(300).cloned().collect();
+
+    let campaign = Campaign::new(
+        &testbed.model,
+        CampaignConfig {
+            strategy: Strategy::Rand, // iteration-rich strategy: effort varies most
+            l2_budget: Some(1.0),
+            seed: FUZZ_SEED,
+            ..Default::default()
+        },
+    );
+    let report = campaign.run(&images).expect("non-empty pool");
+    let analysis = VulnerabilityReport::from_campaign(&testbed.model, &images, &report)
+        .expect("matching image set");
+
+    println!(
+        "margin ↔ iterations Spearman correlation: {}",
+        fmt3(analysis.margin_iterations_correlation)
+    );
+    println!(
+        "margin ↔ adversarial-L2 Spearman correlation: {}",
+        fmt3(analysis.margin_l2_correlation)
+    );
+    println!();
+    println!("a positive correlation means the (statically computable) prediction margin");
+    println!("predicts which inputs resist fuzzing — defenders can triage without fuzzing.");
+    println!();
+
+    let mut table =
+        TextTable::new(["rank", "input", "class", "margin", "iterations", "L2 to flip"]);
+    for (rank, record) in analysis.most_vulnerable(10).iter().enumerate() {
+        table.push_row([
+            (rank + 1).to_string(),
+            record.input_index.to_string(),
+            record.reference_label.to_string(),
+            format!("{:.4}", record.margin),
+            record.iterations.to_string(),
+            record.l2.map(fmt3).unwrap_or_default(),
+        ]);
+    }
+    println!("most vulnerable inputs (smallest perturbation to flip):");
+    println!("{}", table.render());
+
+    // Effort histogram: how unevenly distributed is robustness?
+    let mut buckets = [0usize; 5];
+    for r in &analysis.records {
+        let b = match r.iterations {
+            0..=1 => 0,
+            2..=3 => 1,
+            4..=7 => 2,
+            8..=15 => 3,
+            _ => 4,
+        };
+        buckets[b] += 1;
+    }
+    let mut hist = TextTable::new(["iterations", "inputs"]);
+    for (label, count) in ["1", "2-3", "4-7", "8-15", "16+"].iter().zip(buckets) {
+        hist.push_row([(*label).to_owned(), count.to_string()]);
+    }
+    println!("fuzzing-effort distribution:");
+    println!("{}", hist.render());
+    println!(
+        "mean iterations: {}",
+        fmt2(report.strategy_stats().avg_iterations)
+    );
+}

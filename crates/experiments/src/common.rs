@@ -1,0 +1,115 @@
+//! Shared harness for the experiment binaries (E1–E6).
+//!
+//! Every experiment uses the same testbed construction so numbers are
+//! comparable across binaries: a synthetic-digit dataset (the MNIST
+//! substitute, see DESIGN.md) and the paper's HDC model (28×28 pixel
+//! encoder, 256 random value levels, D = 10,000).
+
+use hdc::prelude::*;
+use hdc_data::synth::{SynthConfig, SynthGenerator};
+use hdc_data::Dataset;
+
+/// Seed for dataset generation: fixed so every binary sees the same data.
+pub const DATA_SEED: u64 = 42;
+/// Seed for the HDC item memories.
+pub const MODEL_SEED: u64 = 7;
+/// Seed for fuzzing campaigns.
+pub const FUZZ_SEED: u64 = 1234;
+
+/// Experiment scale, controlled by the `HDTEST_SCALE` environment variable
+/// (`quick` or `full`, default `full`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Reduced sizes for smoke runs.
+    Quick,
+    /// Paper-scale runs (default).
+    Full,
+}
+
+impl Scale {
+    /// Reads the scale from the environment.
+    pub fn from_env() -> Scale {
+        match std::env::var("HDTEST_SCALE").as_deref() {
+            Ok("quick") => Scale::Quick,
+            _ => Scale::Full,
+        }
+    }
+
+    /// Training images per class.
+    pub fn train_per_class(self) -> usize {
+        match self {
+            Scale::Quick => 50,
+            Scale::Full => 200,
+        }
+    }
+
+    /// Held-out test images per class (accuracy measurement).
+    pub fn test_per_class(self) -> usize {
+        match self {
+            Scale::Quick => 20,
+            Scale::Full => 100,
+        }
+    }
+
+    /// Unlabeled images per class handed to the fuzzer.
+    pub fn fuzz_per_class(self) -> usize {
+        match self {
+            Scale::Quick => 10,
+            Scale::Full => 110,
+        }
+    }
+}
+
+/// The common experimental setup.
+pub struct Testbed {
+    /// The trained HDC model under test.
+    pub model: HdcClassifier<PixelEncoder>,
+    /// Training set (labeled).
+    pub train: Dataset,
+    /// Held-out test set (labeled, for accuracy).
+    pub test: Dataset,
+    /// Fuzzing input pool (treated as unlabeled by HDTest).
+    pub fuzz_pool: Dataset,
+}
+
+/// Builds the paper's model configuration at dimension `dim`.
+pub fn paper_encoder(dim: usize) -> PixelEncoder {
+    PixelEncoder::new(PixelEncoderConfig {
+        dim,
+        width: 28,
+        height: 28,
+        levels: 256,
+        value_encoding: ValueEncoding::Random,
+        seed: MODEL_SEED,
+    })
+    .expect("paper encoder configuration is valid")
+}
+
+/// Builds the standard testbed: synthetic digits + trained D=10,000 model.
+pub fn build_testbed(scale: Scale) -> Testbed {
+    build_testbed_with_dim(scale, hdc::DEFAULT_DIM)
+}
+
+/// Builds the testbed with a custom hypervector dimension (ablations).
+pub fn build_testbed_with_dim(scale: Scale, dim: usize) -> Testbed {
+    let mut generator = SynthGenerator::new(SynthConfig { seed: DATA_SEED, ..Default::default() });
+    let train = generator.dataset(scale.train_per_class());
+    let test = generator.dataset(scale.test_per_class());
+    let fuzz_pool = generator.dataset(scale.fuzz_per_class());
+
+    let mut model = HdcClassifier::new(paper_encoder(dim), 10);
+    model.train_batch(train.pairs()).expect("training on generated data cannot fail");
+
+    Testbed { model, train, test, fuzz_pool }
+}
+
+/// Prints the standard experiment banner.
+pub fn banner(id: &str, title: &str, scale: Scale) {
+    println!("=== {id}: {title} ===");
+    println!(
+        "dataset: synthetic digits (MNIST substitute, seed {DATA_SEED}); \
+         model: pixel encoder D=10000, random value memory (seed {MODEL_SEED}); \
+         scale: {scale:?}"
+    );
+    println!();
+}

@@ -1,0 +1,10 @@
+//! Shared harness for the HDTest experiment binaries.
+//!
+//! Each binary under `src/bin` regenerates one table or figure of the paper
+//! (see DESIGN.md for the experiment index); this library holds the common
+//! testbed so their numbers are comparable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod common;

@@ -1,0 +1,164 @@
+//! Optional image augmentation: smooth elastic-style warps.
+//!
+//! MNIST-style pipelines classically augment training data with small
+//! elastic distortions. The synthetic generator already injects affine
+//! jitter; this module adds *non-affine* local warping — a coarse random
+//! displacement field, bilinearly interpolated to pixel resolution and
+//! applied with bilinear resampling. It is not used by the default
+//! experiment datasets (which stay bit-stable), but lets users stress-test
+//! HDC models with richer intra-class variation.
+
+use crate::image::GrayImage;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the elastic warp.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ElasticConfig {
+    /// Side length of the coarse displacement grid (≥ 2). Smaller grids
+    /// give smoother, larger-scale warps.
+    pub grid: usize,
+    /// Maximum displacement magnitude at a grid node, in pixels.
+    pub amplitude: f64,
+}
+
+impl Default for ElasticConfig {
+    fn default() -> Self {
+        Self { grid: 4, amplitude: 1.5 }
+    }
+}
+
+/// Applies a seeded elastic warp to `image`.
+///
+/// The displacement field is generated on a `grid × grid` lattice and
+/// bilinearly upsampled; sampling outside the canvas reads as background
+/// (0), matching the renderer's conventions.
+///
+/// # Panics
+///
+/// Panics if `config.grid < 2` or `config.amplitude` is negative or not
+/// finite.
+pub fn elastic_warp(image: &GrayImage, config: ElasticConfig, seed: u64) -> GrayImage {
+    assert!(config.grid >= 2, "elastic grid must be at least 2x2");
+    assert!(
+        config.amplitude >= 0.0 && config.amplitude.is_finite(),
+        "elastic amplitude must be finite and non-negative"
+    );
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0xe1a5);
+    let g = config.grid;
+    let amp = config.amplitude;
+    // Random displacement at each lattice node.
+    let field: Vec<(f64, f64)> = (0..g * g)
+        .map(|_| (rng.gen_range(-amp..=amp), rng.gen_range(-amp..=amp)))
+        .collect();
+
+    let (w, h) = (image.width(), image.height());
+    let node = |gx: usize, gy: usize| field[gy * g + gx];
+
+    GrayImage::from_fn(w, h, |x, y| {
+        // Bilinear interpolation of the displacement field at (x, y).
+        let fx = x as f64 / (w - 1).max(1) as f64 * (g - 1) as f64;
+        let fy = y as f64 / (h - 1).max(1) as f64 * (g - 1) as f64;
+        let (gx0, gy0) = (fx.floor() as usize, fy.floor() as usize);
+        let (gx1, gy1) = ((gx0 + 1).min(g - 1), (gy0 + 1).min(g - 1));
+        let (tx, ty) = (fx - gx0 as f64, fy - gy0 as f64);
+        let lerp2 = |a: (f64, f64), b: (f64, f64), t: f64| {
+            (a.0 + (b.0 - a.0) * t, a.1 + (b.1 - a.1) * t)
+        };
+        let top = lerp2(node(gx0, gy0), node(gx1, gy0), tx);
+        let bottom = lerp2(node(gx0, gy1), node(gx1, gy1), tx);
+        let (dx, dy) = lerp2(top, bottom, ty);
+
+        // Bilinear resample of the source at the displaced position.
+        sample_bilinear(image, x as f64 + dx, y as f64 + dy)
+    })
+}
+
+/// Bilinear sample with zero (background) outside the canvas.
+fn sample_bilinear(image: &GrayImage, x: f64, y: f64) -> u8 {
+    let (w, h) = (image.width() as isize, image.height() as isize);
+    let x0 = x.floor() as isize;
+    let y0 = y.floor() as isize;
+    let (tx, ty) = (x - x0 as f64, y - y0 as f64);
+    let at = |px: isize, py: isize| -> f64 {
+        if px < 0 || py < 0 || px >= w || py >= h {
+            0.0
+        } else {
+            f64::from(image.get(px as usize, py as usize))
+        }
+    };
+    let top = at(x0, y0) * (1.0 - tx) + at(x0 + 1, y0) * tx;
+    let bottom = at(x0, y0 + 1) * (1.0 - tx) + at(x0 + 1, y0 + 1) * tx;
+    (top * (1.0 - ty) + bottom * ty).round().clamp(0.0, 255.0) as u8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{SynthConfig, SynthGenerator};
+
+    fn digit() -> GrayImage {
+        SynthGenerator::new(SynthConfig { seed: 4, ..Default::default() }).sample_class(5)
+    }
+
+    #[test]
+    fn zero_amplitude_is_identity() {
+        let img = digit();
+        let out = elastic_warp(&img, ElasticConfig { grid: 4, amplitude: 0.0 }, 1);
+        assert_eq!(out, img);
+    }
+
+    #[test]
+    fn warp_is_deterministic_per_seed() {
+        let img = digit();
+        let cfg = ElasticConfig::default();
+        assert_eq!(elastic_warp(&img, cfg, 7), elastic_warp(&img, cfg, 7));
+        assert_ne!(elastic_warp(&img, cfg, 7), elastic_warp(&img, cfg, 8));
+    }
+
+    #[test]
+    fn warp_changes_pixels_but_preserves_rough_mass() {
+        let img = digit();
+        let out = elastic_warp(&img, ElasticConfig::default(), 3);
+        assert_ne!(out, img, "a nonzero warp must move something");
+        // Ink mass stays within 40% — the glyph deforms, it does not
+        // vanish or explode.
+        let before = img.mean_intensity();
+        let after = out.mean_intensity();
+        assert!(
+            (after - before).abs() < before * 0.4,
+            "mass drifted too far: {before:.2} -> {after:.2}"
+        );
+    }
+
+    #[test]
+    fn warp_keeps_shape() {
+        let img = digit();
+        let out = elastic_warp(&img, ElasticConfig::default(), 3);
+        assert_eq!((out.width(), out.height()), (img.width(), img.height()));
+    }
+
+    #[test]
+    fn bilinear_sampling_interpolates() {
+        let mut img = GrayImage::new(2, 1);
+        img.set(0, 0, 0);
+        img.set(1, 0, 200);
+        assert_eq!(sample_bilinear(&img, 0.0, 0.0), 0);
+        assert_eq!(sample_bilinear(&img, 1.0, 0.0), 200);
+        assert_eq!(sample_bilinear(&img, 0.5, 0.0), 100);
+        // Outside the canvas: background.
+        assert_eq!(sample_bilinear(&img, -5.0, 0.0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2x2")]
+    fn degenerate_grid_panics() {
+        let _ = elastic_warp(&digit(), ElasticConfig { grid: 1, amplitude: 1.0 }, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_amplitude_panics() {
+        let _ = elastic_warp(&digit(), ElasticConfig { grid: 4, amplitude: -1.0 }, 0);
+    }
+}

@@ -1,0 +1,393 @@
+//! Labeled image datasets.
+
+use crate::image::GrayImage;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// A labeled set of equally-shaped greyscale images.
+///
+/// ```
+/// use hdc_data::{Dataset, GrayImage};
+///
+/// let ds = Dataset::new(
+///     vec![GrayImage::new(4, 4), GrayImage::new(4, 4)],
+///     vec![0, 1],
+/// )?;
+/// assert_eq!(ds.len(), 2);
+/// assert_eq!(ds.label(1), 1);
+/// # Ok::<(), hdc_data::dataset::DatasetError>(())
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Dataset {
+    images: Vec<GrayImage>,
+    labels: Vec<usize>,
+}
+
+/// Errors from dataset construction.
+#[derive(Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DatasetError {
+    /// `images` and `labels` had different lengths.
+    LengthMismatch {
+        /// Number of images provided.
+        images: usize,
+        /// Number of labels provided.
+        labels: usize,
+    },
+    /// Two images differed in shape.
+    ShapeMismatch,
+}
+
+impl fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatasetError::LengthMismatch { images, labels } => {
+                write!(f, "dataset has {images} images but {labels} labels")
+            }
+            DatasetError::ShapeMismatch => write!(f, "dataset images differ in shape"),
+        }
+    }
+}
+
+impl std::error::Error for DatasetError {}
+
+impl Dataset {
+    /// Creates a dataset from parallel image and label vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::LengthMismatch`] or
+    /// [`DatasetError::ShapeMismatch`].
+    pub fn new(images: Vec<GrayImage>, labels: Vec<usize>) -> Result<Self, DatasetError> {
+        if images.len() != labels.len() {
+            return Err(DatasetError::LengthMismatch {
+                images: images.len(),
+                labels: labels.len(),
+            });
+        }
+        if let Some(first) = images.first() {
+            let shape = (first.width(), first.height());
+            if images.iter().any(|i| (i.width(), i.height()) != shape) {
+                return Err(DatasetError::ShapeMismatch);
+            }
+        }
+        Ok(Self { images, labels })
+    }
+
+    /// An empty dataset.
+    pub fn empty() -> Self {
+        Self { images: Vec::new(), labels: Vec::new() }
+    }
+
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.images.len()
+    }
+
+    /// Whether the dataset has no examples.
+    pub fn is_empty(&self) -> bool {
+        self.images.is_empty()
+    }
+
+    /// The image at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn image(&self, index: usize) -> &GrayImage {
+        &self.images[index]
+    }
+
+    /// The label at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn label(&self, index: usize) -> usize {
+        self.labels[index]
+    }
+
+    /// All images in order.
+    pub fn images(&self) -> &[GrayImage] {
+        &self.images
+    }
+
+    /// All labels in order.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Appends an example.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `image` disagrees in shape with existing examples.
+    pub fn push(&mut self, image: GrayImage, label: usize) {
+        if let Some(first) = self.images.first() {
+            assert_eq!(
+                (first.width(), first.height()),
+                (image.width(), image.height()),
+                "dataset images must share a shape"
+            );
+        }
+        self.images.push(image);
+        self.labels.push(label);
+    }
+
+    /// Iterates over `(image, label)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&GrayImage, usize)> {
+        self.images.iter().zip(self.labels.iter().copied())
+    }
+
+    /// Iterates over `(pixel-slice, label)` pairs in the form
+    /// `HdcClassifier::train_batch` consumes.
+    pub fn pairs(&self) -> impl Iterator<Item = (&[u8], usize)> {
+        self.images.iter().map(|i| i.as_slice()).zip(self.labels.iter().copied())
+    }
+
+    /// The subset with the given label.
+    pub fn filter_class(&self, class: usize) -> Dataset {
+        let mut out = Dataset::empty();
+        for (img, label) in self.iter() {
+            if label == class {
+                out.push(img.clone(), label);
+            }
+        }
+        out
+    }
+
+    /// Splits off the first `count` examples into one dataset and the rest
+    /// into another (no shuffling; shuffle first if order matters).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > len()`.
+    pub fn split_at(&self, count: usize) -> (Dataset, Dataset) {
+        assert!(count <= self.len(), "split point {count} beyond {} examples", self.len());
+        let head = Dataset {
+            images: self.images[..count].to_vec(),
+            labels: self.labels[..count].to_vec(),
+        };
+        let tail = Dataset {
+            images: self.images[count..].to_vec(),
+            labels: self.labels[count..].to_vec(),
+        };
+        (head, tail)
+    }
+
+    /// Returns a copy with examples shuffled by a seeded Fisher–Yates pass.
+    pub fn shuffled(&self, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        for i in (1..order.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            order.swap(i, j);
+        }
+        Dataset {
+            images: order.iter().map(|&i| self.images[i].clone()).collect(),
+            labels: order.iter().map(|&i| self.labels[i]).collect(),
+        }
+    }
+
+    /// Takes at most `count` examples per class, preserving order — used to
+    /// build the bounded fuzzing input sets of the experiments.
+    pub fn take_per_class(&self, count: usize) -> Dataset {
+        let max_label = self.labels.iter().copied().max().unwrap_or(0);
+        let mut taken = vec![0usize; max_label + 1];
+        let mut out = Dataset::empty();
+        for (img, label) in self.iter() {
+            if taken[label] < count {
+                taken[label] += 1;
+                out.push(img.clone(), label);
+            }
+        }
+        out
+    }
+
+    /// Writes the dataset as an MNIST-style IDX pair (images + labels).
+    ///
+    /// Labels above 255 cannot be represented in IDX1 and are rejected.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` for unrepresentable labels or the underlying
+    /// I/O error.
+    pub fn write_idx<W1, W2>(&self, images_out: W1, labels_out: W2) -> std::io::Result<()>
+    where
+        W1: std::io::Write,
+        W2: std::io::Write,
+    {
+        let labels: Vec<u8> = self
+            .labels
+            .iter()
+            .map(|&l| {
+                u8::try_from(l).map_err(|_| {
+                    std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!("label {l} does not fit the IDX1 u8 label format"),
+                    )
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        crate::idx::write_images(&self.images, images_out)?;
+        crate::idx::write_labels(&labels, labels_out)
+    }
+
+    /// Reads a dataset from an MNIST-style IDX pair.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` for malformed payloads or an image/label
+    /// count mismatch.
+    pub fn read_idx<R1, R2>(images_in: R1, labels_in: R2) -> std::io::Result<Self>
+    where
+        R1: std::io::Read,
+        R2: std::io::Read,
+    {
+        let images = crate::idx::read_images(images_in)?;
+        let labels: Vec<usize> =
+            crate::idx::read_labels(labels_in)?.into_iter().map(usize::from).collect();
+        Dataset::new(images, labels).map_err(|e| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())
+        })
+    }
+
+    /// Class frequency histogram (index = label).
+    pub fn class_histogram(&self) -> Vec<usize> {
+        let max_label = self.labels.iter().copied().max().unwrap_or(0);
+        let mut hist = vec![0usize; max_label + 1];
+        for &l in &self.labels {
+            hist[l] += 1;
+        }
+        hist
+    }
+}
+
+impl fmt::Debug for Dataset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Dataset({} examples, histogram {:?})", self.len(), self.class_histogram())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ds() -> Dataset {
+        let images = (0..6).map(|k| GrayImage::from_fn(2, 2, |_, _| k as u8)).collect();
+        Dataset::new(images, vec![0, 1, 2, 0, 1, 2]).unwrap()
+    }
+
+    #[test]
+    fn new_validates_lengths() {
+        let images = vec![GrayImage::new(2, 2)];
+        assert_eq!(
+            Dataset::new(images, vec![0, 1]).unwrap_err(),
+            DatasetError::LengthMismatch { images: 1, labels: 2 }
+        );
+    }
+
+    #[test]
+    fn new_validates_shapes() {
+        let images = vec![GrayImage::new(2, 2), GrayImage::new(3, 2)];
+        assert_eq!(Dataset::new(images, vec![0, 1]).unwrap_err(), DatasetError::ShapeMismatch);
+    }
+
+    #[test]
+    fn iter_and_pairs_agree() {
+        let d = ds();
+        for ((img, l1), (slice, l2)) in d.iter().zip(d.pairs()) {
+            assert_eq!(img.as_slice(), slice);
+            assert_eq!(l1, l2);
+        }
+    }
+
+    #[test]
+    fn filter_class_selects() {
+        let d = ds().filter_class(1);
+        assert_eq!(d.len(), 2);
+        assert!(d.labels().iter().all(|&l| l == 1));
+    }
+
+    #[test]
+    fn split_at_partitions() {
+        let (head, tail) = ds().split_at(2);
+        assert_eq!(head.len(), 2);
+        assert_eq!(tail.len(), 4);
+        assert_eq!(head.label(0), 0);
+        assert_eq!(tail.label(0), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond")]
+    fn split_beyond_len_panics() {
+        let _ = ds().split_at(7);
+    }
+
+    #[test]
+    fn shuffle_is_deterministic_permutation() {
+        let d = ds();
+        let a = d.shuffled(9);
+        let b = d.shuffled(9);
+        assert_eq!(a, b);
+        assert_eq!(a.class_histogram(), d.class_histogram());
+        assert_ne!(a.labels(), d.labels(), "seed 9 must actually permute");
+    }
+
+    #[test]
+    fn take_per_class_bounds() {
+        let d = ds().take_per_class(1);
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.class_histogram(), vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn histogram_counts() {
+        assert_eq!(ds().class_histogram(), vec![2, 2, 2]);
+        assert_eq!(Dataset::empty().class_histogram(), vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "share a shape")]
+    fn push_validates_shape() {
+        let mut d = ds();
+        d.push(GrayImage::new(5, 5), 0);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = DatasetError::LengthMismatch { images: 1, labels: 2 };
+        assert_eq!(e.to_string(), "dataset has 1 images but 2 labels");
+    }
+
+    #[test]
+    fn idx_round_trip() {
+        let d = ds();
+        let mut images = Vec::new();
+        let mut labels = Vec::new();
+        d.write_idx(&mut images, &mut labels).unwrap();
+        let back = Dataset::read_idx(&images[..], &labels[..]).unwrap();
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    fn idx_rejects_oversized_labels() {
+        let d = Dataset::new(vec![GrayImage::new(2, 2)], vec![300]).unwrap();
+        let mut images = Vec::new();
+        let mut labels = Vec::new();
+        assert!(d.write_idx(&mut images, &mut labels).is_err());
+    }
+
+    #[test]
+    fn idx_read_rejects_count_mismatch() {
+        let d = ds();
+        let mut images = Vec::new();
+        let mut labels = Vec::new();
+        d.write_idx(&mut images, &mut labels).unwrap();
+        // Drop one label: counts disagree.
+        let mut bad_labels = Vec::new();
+        crate::idx::write_labels(&[0, 1], &mut bad_labels).unwrap();
+        assert!(Dataset::read_idx(&images[..], &bad_labels[..]).is_err());
+    }
+}

@@ -1,0 +1,196 @@
+//! IDX format support (the MNIST distribution format).
+//!
+//! The reproduction trains on synthetic digits by default, but when genuine
+//! MNIST files (`train-images-idx3-ubyte` etc.) are present they load here
+//! unchanged. Writing is also supported so synthetic datasets can be
+//! exported for other MNIST-consuming tools.
+//!
+//! Format: big-endian magic (`0x0000_0803` for u8 rank-3 tensors,
+//! `0x0000_0801` for u8 rank-1 label vectors), per-dimension sizes, then raw
+//! payload bytes.
+
+use crate::image::GrayImage;
+use std::io::{self, Read, Write};
+
+const MAGIC_IMAGES: u32 = 0x0000_0803;
+const MAGIC_LABELS: u32 = 0x0000_0801;
+
+fn invalid(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// Reads an IDX3 image tensor into a vector of [`GrayImage`].
+///
+/// # Errors
+///
+/// Returns `InvalidData` for a wrong magic number, implausible header or
+/// truncated payload.
+pub fn read_images<R: Read>(mut reader: R) -> io::Result<Vec<GrayImage>> {
+    let magic = read_u32(&mut reader)?;
+    if magic != MAGIC_IMAGES {
+        return Err(invalid(format!("bad IDX image magic {magic:#010x}")));
+    }
+    let count = read_u32(&mut reader)? as usize;
+    let height = read_u32(&mut reader)? as usize;
+    let width = read_u32(&mut reader)? as usize;
+    if width == 0 || height == 0 || width > 4096 || height > 4096 {
+        return Err(invalid(format!("implausible IDX image shape {width}x{height}")));
+    }
+    let mut images = Vec::with_capacity(count);
+    let mut buf = vec![0u8; width * height];
+    for _ in 0..count {
+        reader.read_exact(&mut buf)?;
+        images.push(GrayImage::from_pixels(width, height, buf.clone()));
+    }
+    Ok(images)
+}
+
+/// Reads an IDX1 label vector.
+///
+/// # Errors
+///
+/// Returns `InvalidData` for a wrong magic number or truncated payload.
+pub fn read_labels<R: Read>(mut reader: R) -> io::Result<Vec<u8>> {
+    let magic = read_u32(&mut reader)?;
+    if magic != MAGIC_LABELS {
+        return Err(invalid(format!("bad IDX label magic {magic:#010x}")));
+    }
+    let count = read_u32(&mut reader)? as usize;
+    let mut labels = vec![0u8; count];
+    reader.read_exact(&mut labels)?;
+    Ok(labels)
+}
+
+/// Writes images as an IDX3 tensor.
+///
+/// # Errors
+///
+/// Returns `InvalidData` if images disagree in shape, or the underlying I/O
+/// error.
+///
+/// # Panics
+///
+/// Never panics; an empty slice writes a zero-count header with 0×0 shape.
+pub fn write_images<W: Write>(images: &[GrayImage], mut writer: W) -> io::Result<()> {
+    let (width, height) = match images.first() {
+        Some(img) => (img.width(), img.height()),
+        None => (0, 0),
+    };
+    if let Some(bad) = images.iter().find(|i| i.width() != width || i.height() != height) {
+        return Err(invalid(format!(
+            "inconsistent image shape {}x{} (expected {width}x{height})",
+            bad.width(),
+            bad.height()
+        )));
+    }
+    write_u32(&mut writer, MAGIC_IMAGES)?;
+    write_u32(&mut writer, images.len() as u32)?;
+    write_u32(&mut writer, height as u32)?;
+    write_u32(&mut writer, width as u32)?;
+    for img in images {
+        writer.write_all(img.as_slice())?;
+    }
+    Ok(())
+}
+
+/// Writes labels as an IDX1 vector.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error.
+pub fn write_labels<W: Write>(labels: &[u8], mut writer: W) -> io::Result<()> {
+    write_u32(&mut writer, MAGIC_LABELS)?;
+    write_u32(&mut writer, labels.len() as u32)?;
+    writer.write_all(labels)?;
+    Ok(())
+}
+
+fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_be_bytes(buf))
+}
+
+fn write_u32<W: Write>(w: &mut W, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_be_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_images() -> Vec<GrayImage> {
+        (0..3)
+            .map(|k| GrayImage::from_fn(4, 5, |x, y| (k * 50 + x * 2 + y) as u8))
+            .collect()
+    }
+
+    #[test]
+    fn image_round_trip() {
+        let imgs = sample_images();
+        let mut buf = Vec::new();
+        write_images(&imgs, &mut buf).unwrap();
+        let back = read_images(&buf[..]).unwrap();
+        assert_eq!(back, imgs);
+    }
+
+    #[test]
+    fn label_round_trip() {
+        let labels = vec![0u8, 3, 9, 5];
+        let mut buf = Vec::new();
+        write_labels(&labels, &mut buf).unwrap();
+        assert_eq!(read_labels(&buf[..]).unwrap(), labels);
+    }
+
+    #[test]
+    fn header_is_big_endian() {
+        let mut buf = Vec::new();
+        write_images(&sample_images(), &mut buf).unwrap();
+        assert_eq!(&buf[..4], &[0, 0, 8, 3]);
+        assert_eq!(&buf[4..8], &[0, 0, 0, 3]); // count
+        assert_eq!(&buf[8..12], &[0, 0, 0, 5]); // rows
+        assert_eq!(&buf[12..16], &[0, 0, 0, 4]); // cols
+    }
+
+    #[test]
+    fn wrong_magic_rejected() {
+        let mut buf = Vec::new();
+        write_labels(&[1, 2, 3], &mut buf).unwrap();
+        assert!(read_images(&buf[..]).is_err());
+
+        let mut buf = Vec::new();
+        write_images(&sample_images(), &mut buf).unwrap();
+        assert!(read_labels(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn truncated_payload_rejected() {
+        let mut buf = Vec::new();
+        write_images(&sample_images(), &mut buf).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(read_images(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn inconsistent_shapes_rejected() {
+        let imgs = vec![GrayImage::new(4, 4), GrayImage::new(5, 4)];
+        let mut buf = Vec::new();
+        assert!(write_images(&imgs, &mut buf).is_err());
+    }
+
+    #[test]
+    fn empty_image_list_round_trips_header() {
+        let mut buf = Vec::new();
+        write_images(&[], &mut buf).unwrap();
+        // A zero-count file has a 0x0 shape, which the reader rejects as
+        // implausible — acceptable: MNIST files are never empty.
+        assert!(read_images(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn empty_labels_round_trip() {
+        let mut buf = Vec::new();
+        write_labels(&[], &mut buf).unwrap();
+        assert!(read_labels(&buf[..]).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,272 @@
+//! The greyscale image type shared by the HDC model and the fuzzer.
+
+use std::fmt;
+
+/// A dense row-major greyscale image with `u8` pixels (0 = background,
+/// 255 = full ink), matching MNIST conventions.
+///
+/// ```
+/// use hdc_data::GrayImage;
+///
+/// let mut img = GrayImage::new(28, 28);
+/// img.set(14, 3, 255);
+/// assert_eq!(img.get(14, 3), 255);
+/// assert_eq!(img.as_slice().len(), 784);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct GrayImage {
+    width: usize,
+    height: usize,
+    pixels: Vec<u8>,
+}
+
+impl GrayImage {
+    /// Creates an all-background (zero) image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(width > 0 && height > 0, "image dimensions must be non-zero");
+        Self { width, height, pixels: vec![0; width * height] }
+    }
+
+    /// Wraps an existing row-major pixel buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pixels.len() != width * height` or a dimension is zero.
+    pub fn from_pixels(width: usize, height: usize, pixels: Vec<u8>) -> Self {
+        assert!(width > 0 && height > 0, "image dimensions must be non-zero");
+        assert_eq!(pixels.len(), width * height, "pixel buffer size mismatch");
+        Self { width, height, pixels }
+    }
+
+    /// Builds an image by evaluating `f(x, y)` at every pixel.
+    pub fn from_fn<F: FnMut(usize, usize) -> u8>(width: usize, height: usize, mut f: F) -> Self {
+        let mut img = Self::new(width, height);
+        for y in 0..height {
+            for x in 0..width {
+                img.set(x, y, f(x, y));
+            }
+        }
+        img
+    }
+
+    /// Image width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Total pixel count (`width × height`).
+    pub fn len(&self) -> usize {
+        self.pixels.len()
+    }
+
+    /// Whether the image has zero pixels (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.pixels.is_empty()
+    }
+
+    /// Reads the pixel at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate is out of bounds.
+    pub fn get(&self, x: usize, y: usize) -> u8 {
+        assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of bounds");
+        self.pixels[y * self.width + x]
+    }
+
+    /// Writes the pixel at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate is out of bounds.
+    pub fn set(&mut self, x: usize, y: usize, value: u8) {
+        assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of bounds");
+        self.pixels[y * self.width + x] = value;
+    }
+
+    /// The flattened pixel array the paper's encoder consumes (§III-A
+    /// step 1: indices encode position, values encode greyscale level).
+    pub fn as_slice(&self) -> &[u8] {
+        &self.pixels
+    }
+
+    /// Mutable access to the flattened pixel array (used by mutations).
+    pub fn as_mut_slice(&mut self) -> &mut [u8] {
+        &mut self.pixels
+    }
+
+    /// Consumes the image, returning the pixel buffer.
+    pub fn into_pixels(self) -> Vec<u8> {
+        self.pixels
+    }
+
+    /// Iterates over rows as slices.
+    pub fn rows(&self) -> impl Iterator<Item = &[u8]> {
+        self.pixels.chunks_exact(self.width)
+    }
+
+    /// Number of pixels above an ink threshold (used by tests and the
+    /// dataset generator to sanity-check rendering).
+    pub fn ink_pixels(&self, threshold: u8) -> usize {
+        self.pixels.iter().filter(|&&p| p >= threshold).count()
+    }
+
+    /// Mean pixel intensity in `[0, 255]`.
+    pub fn mean_intensity(&self) -> f64 {
+        self.pixels.iter().map(|&p| f64::from(p)).sum::<f64>() / self.pixels.len() as f64
+    }
+
+    /// Returns a copy shifted by `(dx, dy)` pixels with zero fill — the
+    /// geometric primitive behind the paper's `shift` mutation strategy.
+    /// Pixels shifted outside the canvas are dropped.
+    pub fn shifted(&self, dx: isize, dy: isize) -> Self {
+        let mut out = Self::new(self.width, self.height);
+        for y in 0..self.height {
+            for x in 0..self.width {
+                let sx = x as isize - dx;
+                let sy = y as isize - dy;
+                if sx >= 0 && sy >= 0 && (sx as usize) < self.width && (sy as usize) < self.height
+                {
+                    out.set(x, y, self.get(sx as usize, sy as usize));
+                }
+            }
+        }
+        out
+    }
+
+    /// Count of pixels that differ from `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn diff_pixels(&self, other: &Self) -> usize {
+        assert_eq!(
+            (self.width, self.height),
+            (other.width, other.height),
+            "image shape mismatch"
+        );
+        self.pixels.iter().zip(&other.pixels).filter(|(a, b)| a != b).count()
+    }
+}
+
+impl fmt::Debug for GrayImage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "GrayImage({}x{}, mean={:.1}, ink={})",
+            self.width,
+            self.height,
+            self.mean_intensity(),
+            self.ink_pixels(128)
+        )
+    }
+}
+
+impl AsRef<[u8]> for GrayImage {
+    fn as_ref(&self) -> &[u8] {
+        &self.pixels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_is_black() {
+        let img = GrayImage::new(4, 3);
+        assert_eq!(img.len(), 12);
+        assert!(img.as_slice().iter().all(|&p| p == 0));
+        assert_eq!(img.mean_intensity(), 0.0);
+    }
+
+    #[test]
+    fn get_set_round_trip() {
+        let mut img = GrayImage::new(5, 5);
+        img.set(2, 3, 200);
+        assert_eq!(img.get(2, 3), 200);
+        assert_eq!(img.as_slice()[3 * 5 + 2], 200);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_out_of_bounds_panics() {
+        let img = GrayImage::new(4, 4);
+        let _ = img.get(4, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn from_pixels_validates_len() {
+        let _ = GrayImage::from_pixels(4, 4, vec![0; 15]);
+    }
+
+    #[test]
+    fn from_fn_row_major() {
+        let img = GrayImage::from_fn(3, 2, |x, y| (y * 3 + x) as u8);
+        assert_eq!(img.as_slice(), &[0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn rows_iterates_in_order() {
+        let img = GrayImage::from_fn(2, 2, |x, y| (y * 2 + x) as u8);
+        let rows: Vec<&[u8]> = img.rows().collect();
+        assert_eq!(rows, vec![&[0u8, 1][..], &[2u8, 3][..]]);
+    }
+
+    #[test]
+    fn shift_right_down() {
+        let mut img = GrayImage::new(3, 3);
+        img.set(0, 0, 9);
+        let s = img.shifted(1, 1);
+        assert_eq!(s.get(1, 1), 9);
+        assert_eq!(s.get(0, 0), 0);
+    }
+
+    #[test]
+    fn shift_drops_out_of_canvas() {
+        let mut img = GrayImage::new(3, 3);
+        img.set(2, 2, 9);
+        let s = img.shifted(1, 0);
+        assert_eq!(s.ink_pixels(1), 0, "pixel shifted off the edge is dropped");
+    }
+
+    #[test]
+    fn shift_zero_is_identity() {
+        let img = GrayImage::from_fn(4, 4, |x, y| (x * y) as u8);
+        assert_eq!(img.shifted(0, 0), img);
+    }
+
+    #[test]
+    fn diff_pixels_counts() {
+        let a = GrayImage::new(2, 2);
+        let mut b = a.clone();
+        b.set(0, 1, 1);
+        b.set(1, 1, 2);
+        assert_eq!(a.diff_pixels(&b), 2);
+        assert_eq!(a.diff_pixels(&a), 0);
+    }
+
+    #[test]
+    fn ink_pixels_thresholds() {
+        let mut img = GrayImage::new(2, 2);
+        img.set(0, 0, 255);
+        img.set(1, 0, 100);
+        assert_eq!(img.ink_pixels(1), 2);
+        assert_eq!(img.ink_pixels(128), 1);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        assert!(!format!("{:?}", GrayImage::new(2, 2)).is_empty());
+    }
+}

@@ -1,0 +1,38 @@
+//! # `hdc-data` — datasets and image utilities for the HDTest reproduction
+//!
+//! The HDTest paper evaluates on MNIST. This environment has no MNIST files,
+//! so this crate provides a **synthetic handwritten-digit dataset**
+//! ([`synth`]) that preserves the properties the experiments rely on:
+//! 28×28 greyscale images, 10 visually confusable classes, and an HDC
+//! operating point around 90% accuracy. A loader for the real MNIST IDX
+//! format ([`idx`]) is included so genuine MNIST drops in unchanged when
+//! available.
+//!
+//! Also here: the [`GrayImage`] type shared by the model and the fuzzer,
+//! the normalized L1/L2/L∞ perturbation metrics of the paper's Table II
+//! ([`metrics`]), and PGM/ASCII image export for reproducing the paper's
+//! sample figures ([`pgm`]).
+//!
+//! ```
+//! use hdc_data::synth::{SynthConfig, SynthGenerator};
+//!
+//! let mut gen = SynthGenerator::new(SynthConfig { seed: 1, ..Default::default() });
+//! let (image, label) = gen.sample();
+//! assert_eq!(image.width(), 28);
+//! assert!(label < 10);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod augment;
+pub mod dataset;
+pub mod idx;
+pub mod image;
+pub mod metrics;
+pub mod pgm;
+pub mod synth;
+
+pub use dataset::Dataset;
+pub use image::GrayImage;
+pub use metrics::{linf_distance, normalized_l1, normalized_l2};

@@ -1,0 +1,145 @@
+//! Perturbation distance metrics (paper Table II / Fig. 7).
+//!
+//! The paper reports the *normalized L1 and L2 distance* between a mutated
+//! image and its original, where each pixel difference is normalized to
+//! `[0, 1]` by the greyscale range:
+//!
+//! * `L1 = Σᵢ |aᵢ − bᵢ| / 255`
+//! * `L2 = sqrt( Σᵢ ((aᵢ − bᵢ) / 255)² )`
+//!
+//! Under this convention one fully flipped pixel contributes exactly `1.0`
+//! to L1 and `1.0` to L2, matching the paper's fuzzing constraint example
+//! "`L2 < 1`" (§IV) — a budget of less than one full-scale pixel flip,
+//! spreadable across many small changes.
+
+use crate::image::GrayImage;
+
+/// Normalized L1 distance: `Σ |Δᵢ| / 255`.
+///
+/// # Panics
+///
+/// Panics if the images differ in shape.
+pub fn normalized_l1(a: &GrayImage, b: &GrayImage) -> f64 {
+    check_shape(a, b);
+    a.as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(&x, &y)| (f64::from(x) - f64::from(y)).abs() / 255.0)
+        .sum()
+}
+
+/// Normalized L2 distance: `sqrt(Σ (Δᵢ / 255)²)`.
+///
+/// # Panics
+///
+/// Panics if the images differ in shape.
+pub fn normalized_l2(a: &GrayImage, b: &GrayImage) -> f64 {
+    check_shape(a, b);
+    a.as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(&x, &y)| {
+            let d = (f64::from(x) - f64::from(y)) / 255.0;
+            d * d
+        })
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// L∞ distance: the largest single-pixel difference, normalized to `[0, 1]`.
+///
+/// # Panics
+///
+/// Panics if the images differ in shape.
+pub fn linf_distance(a: &GrayImage, b: &GrayImage) -> f64 {
+    check_shape(a, b);
+    a.as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(&x, &y)| (f64::from(x) - f64::from(y)).abs() / 255.0)
+        .fold(0.0, f64::max)
+}
+
+fn check_shape(a: &GrayImage, b: &GrayImage) {
+    assert_eq!(
+        (a.width(), a.height()),
+        (b.width(), b.height()),
+        "distance metrics require equal image shapes"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn img(pixels: &[u8]) -> GrayImage {
+        GrayImage::from_pixels(pixels.len(), 1, pixels.to_vec())
+    }
+
+    #[test]
+    fn identical_images_zero_distance() {
+        let a = img(&[0, 128, 255, 7]);
+        assert_eq!(normalized_l1(&a, &a), 0.0);
+        assert_eq!(normalized_l2(&a, &a), 0.0);
+        assert_eq!(linf_distance(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn one_full_flip_is_unit_distance() {
+        let a = img(&[0, 0, 0, 0]);
+        let b = img(&[255, 0, 0, 0]);
+        assert!((normalized_l1(&a, &b) - 1.0).abs() < 1e-12);
+        assert!((normalized_l2(&a, &b) - 1.0).abs() < 1e-12);
+        assert!((linf_distance(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn l1_sums_l2_root_sums() {
+        let a = img(&[0, 0, 0, 0]);
+        let b = img(&[255, 255, 0, 0]);
+        assert!((normalized_l1(&a, &b) - 2.0).abs() < 1e-12);
+        assert!((normalized_l2(&a, &b) - 2.0_f64.sqrt()).abs() < 1e-12);
+        assert!((linf_distance(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn metrics_are_symmetric() {
+        let a = img(&[10, 200, 30]);
+        let b = img(&[90, 10, 30]);
+        assert_eq!(normalized_l1(&a, &b), normalized_l1(&b, &a));
+        assert_eq!(normalized_l2(&a, &b), normalized_l2(&b, &a));
+        assert_eq!(linf_distance(&a, &b), linf_distance(&b, &a));
+    }
+
+    #[test]
+    fn l1_dominates_l2_dominates_linf() {
+        let a = img(&[0, 0, 0, 0, 0]);
+        let b = img(&[50, 60, 70, 10, 5]);
+        let l1 = normalized_l1(&a, &b);
+        let l2 = normalized_l2(&a, &b);
+        let li = linf_distance(&a, &b);
+        assert!(l1 >= l2 && l2 >= li, "l1={l1} l2={l2} linf={li}");
+    }
+
+    #[test]
+    fn small_perturbations_fit_unit_l2_budget() {
+        // 40 pixels changed by 4/255 each: the shape of budget the paper's
+        // `rand` strategy operates in.
+        let a = img(&vec![100u8; 784]);
+        let mut pixels = vec![100u8; 784];
+        for p in pixels.iter_mut().take(40) {
+            *p += 4;
+        }
+        let b = img(&pixels);
+        assert!(normalized_l2(&a, &b) < 1.0);
+        assert!(normalized_l1(&a, &b) < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal image shapes")]
+    fn shape_mismatch_panics() {
+        let a = img(&[0, 0]);
+        let b = img(&[0, 0, 0]);
+        let _ = normalized_l1(&a, &b);
+    }
+}

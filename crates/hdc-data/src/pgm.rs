@@ -1,0 +1,234 @@
+//! PGM export and ASCII rendering.
+//!
+//! The paper's Figures 1 and 4–6 show original images, mutated-pixel masks
+//! and generated adversarial images. The experiment binaries reproduce those
+//! figures as portable greymap (PGM) files — viewable everywhere — plus
+//! terminal ASCII art for quick inspection.
+
+use crate::image::GrayImage;
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Writes `image` as a binary PGM (P5) to `writer`.
+///
+/// A mut reference can be passed for any `W: Write`.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error on write failure.
+pub fn write_pgm<W: Write>(image: &GrayImage, mut writer: W) -> io::Result<()> {
+    writeln!(writer, "P5")?;
+    writeln!(writer, "{} {}", image.width(), image.height())?;
+    writeln!(writer, "255")?;
+    writer.write_all(image.as_slice())?;
+    Ok(())
+}
+
+/// Writes `image` as a PGM file at `path`, creating parent directories.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error on failure.
+pub fn save_pgm<P: AsRef<Path>>(image: &GrayImage, path: P) -> io::Result<()> {
+    if let Some(parent) = path.as_ref().parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let file = std::fs::File::create(path)?;
+    write_pgm(image, io::BufWriter::new(file))
+}
+
+/// Reads a binary PGM (P5) image.
+///
+/// # Errors
+///
+/// Returns `InvalidData` for malformed headers or truncated payloads.
+pub fn read_pgm<R: io::Read>(mut reader: R) -> io::Result<GrayImage> {
+    let mut data = Vec::new();
+    reader.read_to_end(&mut data)?;
+    let header_err = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+
+    // Parse "P5 <w> <h> <max>" allowing arbitrary whitespace, then one
+    // whitespace byte before the payload.
+    let mut fields = Vec::new();
+    let mut pos = 0usize;
+    while fields.len() < 4 && pos < data.len() {
+        while pos < data.len() && data[pos].is_ascii_whitespace() {
+            pos += 1;
+        }
+        let start = pos;
+        while pos < data.len() && !data[pos].is_ascii_whitespace() {
+            pos += 1;
+        }
+        if start < pos {
+            fields.push(&data[start..pos]);
+        }
+    }
+    if fields.len() < 4 || fields[0] != b"P5" {
+        return Err(header_err("not a binary PGM (P5) file"));
+    }
+    let parse = |bytes: &[u8]| -> io::Result<usize> {
+        std::str::from_utf8(bytes)
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| header_err("invalid PGM header field"))
+    };
+    let width = parse(fields[1])?;
+    let height = parse(fields[2])?;
+    let maxval = parse(fields[3])?;
+    if maxval != 255 {
+        return Err(header_err("only 8-bit PGM supported"));
+    }
+    if width == 0 || height == 0 {
+        return Err(header_err("degenerate PGM dimensions"));
+    }
+    pos += 1; // single whitespace after maxval
+    let need = width * height;
+    if data.len() < pos + need {
+        return Err(header_err("truncated PGM payload"));
+    }
+    Ok(GrayImage::from_pixels(width, height, data[pos..pos + need].to_vec()))
+}
+
+/// Renders `image` as ASCII art, darkest pixels as the densest glyphs.
+pub fn to_ascii(image: &GrayImage) -> String {
+    const RAMP: &[u8] = b" .:-=+*#%@";
+    let mut out = String::with_capacity((image.width() + 1) * image.height());
+    for row in image.rows() {
+        for &p in row {
+            let idx = usize::from(p) * (RAMP.len() - 1) / 255;
+            out.push(char::from(RAMP[idx]));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders the difference mask between two images: `#` where pixels differ,
+/// `.` where they agree — the paper's "mutated pixels" panels (Figs 4–5 b).
+///
+/// # Panics
+///
+/// Panics if the shapes differ.
+pub fn diff_mask(original: &GrayImage, mutated: &GrayImage) -> String {
+    assert_eq!(
+        (original.width(), original.height()),
+        (mutated.width(), mutated.height()),
+        "diff mask requires equal image shapes"
+    );
+    let mut out = String::with_capacity((original.width() + 1) * original.height());
+    for (a_row, b_row) in original.rows().zip(mutated.rows()) {
+        for (&a, &b) in a_row.iter().zip(b_row) {
+            out.push(if a == b { '.' } else { '#' });
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// The difference mask as an image: 255 where pixels differ, 0 elsewhere.
+///
+/// # Panics
+///
+/// Panics if the shapes differ.
+pub fn diff_image(original: &GrayImage, mutated: &GrayImage) -> GrayImage {
+    assert_eq!(
+        (original.width(), original.height()),
+        (mutated.width(), mutated.height()),
+        "diff image requires equal image shapes"
+    );
+    let pixels = original
+        .as_slice()
+        .iter()
+        .zip(mutated.as_slice())
+        .map(|(&a, &b)| if a == b { 0 } else { 255 })
+        .collect();
+    GrayImage::from_pixels(original.width(), original.height(), pixels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gradient() -> GrayImage {
+        GrayImage::from_fn(4, 2, |x, y| ((y * 4 + x) * 30) as u8)
+    }
+
+    #[test]
+    fn pgm_round_trip() {
+        let img = gradient();
+        let mut buf = Vec::new();
+        write_pgm(&img, &mut buf).unwrap();
+        let back = read_pgm(&buf[..]).unwrap();
+        assert_eq!(back, img);
+    }
+
+    #[test]
+    fn pgm_header_format() {
+        let img = gradient();
+        let mut buf = Vec::new();
+        write_pgm(&img, &mut buf).unwrap();
+        let text = String::from_utf8_lossy(&buf[..12]);
+        assert!(text.starts_with("P5\n4 2\n255\n"));
+    }
+
+    #[test]
+    fn read_rejects_bad_magic() {
+        assert!(read_pgm(&b"P2\n2 2\n255\n\0\0\0\0"[..]).is_err());
+    }
+
+    #[test]
+    fn read_rejects_truncated() {
+        let img = gradient();
+        let mut buf = Vec::new();
+        write_pgm(&img, &mut buf).unwrap();
+        buf.truncate(buf.len() - 1);
+        assert!(read_pgm(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn ascii_shape() {
+        let art = to_ascii(&gradient());
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines.iter().all(|l| l.len() == 4));
+        // Black pixel renders as space, bright as dense glyph.
+        assert!(art.starts_with(' '));
+    }
+
+    #[test]
+    fn ascii_extremes() {
+        let mut img = GrayImage::new(2, 1);
+        img.set(1, 0, 255);
+        let art = to_ascii(&img);
+        assert_eq!(art, " @\n");
+    }
+
+    #[test]
+    fn diff_mask_marks_changes() {
+        let a = gradient();
+        let mut b = a.clone();
+        b.set(0, 0, 200);
+        let mask = diff_mask(&a, &b);
+        assert!(mask.starts_with('#'));
+        assert_eq!(mask.matches('#').count(), 1);
+    }
+
+    #[test]
+    fn diff_image_binary() {
+        let a = gradient();
+        let mut b = a.clone();
+        b.set(3, 1, 0);
+        let d = diff_image(&a, &b);
+        assert_eq!(d.ink_pixels(255), 1);
+    }
+
+    #[test]
+    fn save_pgm_creates_directories() {
+        let dir = std::env::temp_dir().join("hdtest-pgm-test").join("nested");
+        let path = dir.join("img.pgm");
+        save_pgm(&gradient(), &path).unwrap();
+        let back = read_pgm(std::fs::File::open(&path).unwrap()).unwrap();
+        assert_eq!(back, gradient());
+        let _ = std::fs::remove_dir_all(dir.parent().unwrap());
+    }
+}

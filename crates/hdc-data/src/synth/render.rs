@@ -1,0 +1,230 @@
+//! Affine jitter and anti-aliased stroke rasterization.
+
+use super::template::Stroke;
+use crate::image::GrayImage;
+
+/// Per-sample affine transform applied to a digit skeleton before
+/// rasterization, modelling handwriting variation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AffineJitter {
+    /// Rotation around the canvas centre, radians.
+    pub rotation: f64,
+    /// Horizontal scale factor.
+    pub scale_x: f64,
+    /// Vertical scale factor.
+    pub scale_y: f64,
+    /// Horizontal shear (slant): `x += shear * (y - cy)`.
+    pub shear: f64,
+    /// Horizontal translation in pixels.
+    pub translate_x: f64,
+    /// Vertical translation in pixels.
+    pub translate_y: f64,
+}
+
+impl Default for AffineJitter {
+    /// The identity transform.
+    fn default() -> Self {
+        Self {
+            rotation: 0.0,
+            scale_x: 1.0,
+            scale_y: 1.0,
+            shear: 0.0,
+            translate_x: 0.0,
+            translate_y: 0.0,
+        }
+    }
+}
+
+/// Rasterization parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RenderParams {
+    /// Canvas width in pixels.
+    pub width: usize,
+    /// Canvas height in pixels.
+    pub height: usize,
+    /// Stroke thickness in pixels (half-width of the full-ink core).
+    pub thickness: f64,
+    /// Peak ink intensity.
+    pub ink: u8,
+}
+
+impl AffineJitter {
+    /// Maps a unit-square template point to pixel coordinates on a canvas
+    /// of the given size.
+    pub fn apply(&self, point: (f64, f64), width: usize, height: usize) -> (f64, f64) {
+        let (cx, cy) = (width as f64 / 2.0, height as f64 / 2.0);
+        // Centre the unit square, scale to pixels.
+        let x = (point.0 - 0.5) * width as f64;
+        let y = (point.1 - 0.5) * height as f64;
+        // Scale, shear, rotate, translate.
+        let x = x * self.scale_x;
+        let y = y * self.scale_y;
+        let x = x + self.shear * y;
+        let (sin, cos) = self.rotation.sin_cos();
+        let rx = x * cos - y * sin;
+        let ry = x * sin + y * cos;
+        (rx + cx + self.translate_x, ry + cy + self.translate_y)
+    }
+}
+
+/// Squared distance from point `p` to segment `ab`.
+fn dist_sq_to_segment(p: (f64, f64), a: (f64, f64), b: (f64, f64)) -> f64 {
+    let (px, py) = p;
+    let (ax, ay) = a;
+    let (bx, by) = b;
+    let (dx, dy) = (bx - ax, by - ay);
+    let len_sq = dx * dx + dy * dy;
+    let t = if len_sq <= f64::EPSILON {
+        0.0
+    } else {
+        (((px - ax) * dx + (py - ay) * dy) / len_sq).clamp(0.0, 1.0)
+    };
+    let (qx, qy) = (ax + t * dx, ay + t * dy);
+    (px - qx) * (px - qx) + (py - qy) * (py - qy)
+}
+
+/// Rasterizes a set of strokes onto a fresh canvas with anti-aliased edges:
+/// full ink within `thickness / 2` of a stroke centreline, linear falloff
+/// over one further pixel, exact zero beyond.
+pub fn rasterize(strokes: &[Stroke], jitter: &AffineJitter, params: &RenderParams) -> GrayImage {
+    const FALLOFF: f64 = 1.0;
+    let mut img = GrayImage::new(params.width, params.height);
+    let core = params.thickness / 2.0;
+    let reach = core + FALLOFF;
+
+    for stroke in strokes {
+        let pts: Vec<(f64, f64)> =
+            stroke.iter().map(|&p| jitter.apply(p, params.width, params.height)).collect();
+        for seg in pts.windows(2) {
+            let (a, b) = (seg[0], seg[1]);
+            // Only pixels inside the segment's inflated bounding box can
+            // receive ink.
+            let x_min = (a.0.min(b.0) - reach).floor().max(0.0) as usize;
+            let x_max = (a.0.max(b.0) + reach).ceil().min(params.width as f64 - 1.0) as usize;
+            let y_min = (a.1.min(b.1) - reach).floor().max(0.0) as usize;
+            let y_max = (a.1.max(b.1) + reach).ceil().min(params.height as f64 - 1.0) as usize;
+            if x_min > x_max || y_min > y_max {
+                continue;
+            }
+            for y in y_min..=y_max {
+                for x in x_min..=x_max {
+                    let d = dist_sq_to_segment((x as f64 + 0.5, y as f64 + 0.5), a, b).sqrt();
+                    let coverage = if d <= core {
+                        1.0
+                    } else if d < reach {
+                        1.0 - (d - core) / FALLOFF
+                    } else {
+                        continue;
+                    };
+                    let value = (coverage * f64::from(params.ink)).round() as u8;
+                    if value > img.get(x, y) {
+                        img.set(x, y, value);
+                    }
+                }
+            }
+        }
+    }
+    img
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> RenderParams {
+        RenderParams { width: 28, height: 28, thickness: 1.5, ink: 255 }
+    }
+
+    #[test]
+    fn identity_jitter_centers_points() {
+        let j = AffineJitter::default();
+        let (x, y) = j.apply((0.5, 0.5), 28, 28);
+        assert!((x - 14.0).abs() < 1e-9 && (y - 14.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn translation_moves_points() {
+        let j = AffineJitter { translate_x: 3.0, translate_y: -2.0, ..Default::default() };
+        let (x, y) = j.apply((0.5, 0.5), 28, 28);
+        assert!((x - 17.0).abs() < 1e-9 && (y - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rotation_quarter_turn() {
+        let j = AffineJitter { rotation: std::f64::consts::FRAC_PI_2, ..Default::default() };
+        // Point one unit right of centre rotates to one unit below centre
+        // (y grows downward).
+        let (x, y) = j.apply((0.5 + 1.0 / 28.0, 0.5), 28, 28);
+        assert!((x - 14.0).abs() < 1e-9, "x = {x}");
+        assert!((y - 15.0).abs() < 1e-9, "y = {y}");
+    }
+
+    #[test]
+    fn horizontal_line_renders_full_ink_core() {
+        let stroke: Vec<Stroke> = vec![vec![(0.2, 0.5), (0.8, 0.5)]];
+        let img = rasterize(&stroke, &AffineJitter::default(), &params());
+        // Centre of the stroke is on the row boundary y=14; rows 13 and 14
+        // both sit 0.5 px from the centreline, within the ink core + falloff.
+        assert!(img.get(14, 13) > 150 || img.get(14, 14) > 150);
+        // Far corner stays empty.
+        assert_eq!(img.get(1, 1), 0);
+    }
+
+    #[test]
+    fn thicker_strokes_have_more_ink() {
+        let stroke: Vec<Stroke> = vec![vec![(0.2, 0.5), (0.8, 0.5)]];
+        let thin = rasterize(
+            &stroke,
+            &AffineJitter::default(),
+            &RenderParams { thickness: 1.0, ..params() },
+        );
+        let thick = rasterize(
+            &stroke,
+            &AffineJitter::default(),
+            &RenderParams { thickness: 3.0, ..params() },
+        );
+        assert!(thick.ink_pixels(100) > thin.ink_pixels(100));
+    }
+
+    #[test]
+    fn ink_level_caps_intensity() {
+        let stroke: Vec<Stroke> = vec![vec![(0.2, 0.5), (0.8, 0.5)]];
+        let img = rasterize(
+            &stroke,
+            &AffineJitter::default(),
+            &RenderParams { ink: 180, ..params() },
+        );
+        assert!(img.as_slice().iter().all(|&p| p <= 180));
+        assert!(img.as_slice().contains(&180));
+    }
+
+    #[test]
+    fn distance_to_segment_endpoints_and_interior() {
+        // Beyond endpoint a.
+        let d = dist_sq_to_segment((0.0, 0.0), (1.0, 0.0), (2.0, 0.0)).sqrt();
+        assert!((d - 1.0).abs() < 1e-9);
+        // Perpendicular from interior.
+        let d = dist_sq_to_segment((1.5, 2.0), (1.0, 0.0), (2.0, 0.0)).sqrt();
+        assert!((d - 2.0).abs() < 1e-9);
+        // Degenerate zero-length segment.
+        let d = dist_sq_to_segment((3.0, 4.0), (0.0, 0.0), (0.0, 0.0)).sqrt();
+        assert!((d - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn strokes_off_canvas_render_empty() {
+        let stroke: Vec<Stroke> = vec![vec![(0.5, 0.5), (0.6, 0.5)]];
+        let j = AffineJitter { translate_x: 100.0, ..Default::default() };
+        let img = rasterize(&stroke, &j, &params());
+        assert_eq!(img.ink_pixels(1), 0);
+    }
+
+    #[test]
+    fn antialiased_edges_exist() {
+        let stroke: Vec<Stroke> = vec![vec![(0.2, 0.5), (0.8, 0.5)]];
+        let img = rasterize(&stroke, &AffineJitter::default(), &params());
+        let partial =
+            img.as_slice().iter().filter(|&&p| p > 0 && p < 255).count();
+        assert!(partial > 5, "expected anti-aliased edge pixels, got {partial}");
+    }
+}

@@ -1,0 +1,141 @@
+//! Digit stroke skeletons.
+//!
+//! Each digit class 0–9 is a set of polylines in the unit square
+//! (`x` rightward, `y` downward, matching raster conventions). Curved
+//! segments are sampled elliptical arcs. The skeletons are deliberately
+//! plain — the per-sample affine jitter in [`super::render`] supplies the
+//! handwriting-like variation.
+
+/// A polyline stroke in unit coordinates.
+pub type Stroke = Vec<(f64, f64)>;
+
+/// Samples an elliptical arc centred at `(cx, cy)` with radii `(rx, ry)`
+/// from `start_deg` to `end_deg` (degrees; `y` grows downward, so 270° is
+/// the top of the ellipse) into `n` segments.
+fn arc(cx: f64, cy: f64, rx: f64, ry: f64, start_deg: f64, end_deg: f64, n: usize) -> Stroke {
+    (0..=n)
+        .map(|i| {
+            let t = start_deg + (end_deg - start_deg) * (i as f64) / (n as f64);
+            let rad = t.to_radians();
+            (cx + rx * rad.cos(), cy + ry * rad.sin())
+        })
+        .collect()
+}
+
+/// Straight segment helper.
+fn line(ax: f64, ay: f64, bx: f64, by: f64) -> Stroke {
+    vec![(ax, ay), (bx, by)]
+}
+
+/// The stroke skeleton of a digit class.
+///
+/// # Panics
+///
+/// Panics if `class >= 10`.
+///
+/// ```
+/// let strokes = hdc_data::synth::digit_template(8);
+/// assert_eq!(strokes.len(), 2, "an 8 is two loops");
+/// ```
+pub fn digit_template(class: usize) -> Vec<Stroke> {
+    match class {
+        // 0: a single tall ellipse.
+        0 => vec![arc(0.5, 0.5, 0.26, 0.36, 0.0, 360.0, 32)],
+        // 1: serif flag plus a vertical stem.
+        1 => vec![line(0.36, 0.3, 0.53, 0.13), line(0.53, 0.13, 0.53, 0.87)],
+        // 2: top curve, diagonal descender, bottom bar.
+        2 => vec![
+            arc(0.5, 0.3, 0.23, 0.17, 180.0, 380.0, 16),
+            line(0.71, 0.36, 0.26, 0.85),
+            line(0.26, 0.85, 0.76, 0.85),
+        ],
+        // 3: two stacked right-facing bowls.
+        3 => vec![
+            arc(0.42, 0.32, 0.26, 0.17, 250.0, 450.0, 16),
+            arc(0.42, 0.67, 0.28, 0.18, 270.0, 460.0, 16),
+        ],
+        // 4: diagonal, crossbar, vertical stem.
+        4 => vec![
+            line(0.62, 0.12, 0.24, 0.58),
+            line(0.24, 0.58, 0.8, 0.58),
+            line(0.62, 0.12, 0.62, 0.88),
+        ],
+        // 5: top bar, left drop, lower bowl.
+        5 => vec![
+            line(0.72, 0.14, 0.32, 0.14),
+            line(0.32, 0.14, 0.3, 0.46),
+            arc(0.43, 0.64, 0.27, 0.21, 255.0, 455.0, 16),
+        ],
+        // 6: sweeping descender into a closed lower loop.
+        6 => vec![
+            vec![(0.68, 0.13), (0.55, 0.25), (0.44, 0.42), (0.38, 0.58)],
+            arc(0.48, 0.65, 0.22, 0.21, 0.0, 360.0, 28),
+        ],
+        // 7: top bar and a long diagonal.
+        7 => vec![line(0.25, 0.15, 0.75, 0.15), line(0.75, 0.15, 0.42, 0.87)],
+        // 8: two stacked loops, the lower slightly larger.
+        8 => vec![
+            arc(0.5, 0.3, 0.19, 0.17, 0.0, 360.0, 24),
+            arc(0.5, 0.68, 0.23, 0.2, 0.0, 360.0, 24),
+        ],
+        // 9: upper loop with a trailing tail.
+        9 => vec![
+            arc(0.5, 0.33, 0.21, 0.19, 0.0, 360.0, 24),
+            vec![(0.71, 0.35), (0.66, 0.6), (0.58, 0.87)],
+        ],
+        other => panic!("digit class must be 0–9, got {other}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_templates_exist() {
+        for class in 0..10 {
+            let strokes = digit_template(class);
+            assert!(!strokes.is_empty(), "class {class} has no strokes");
+            for s in &strokes {
+                assert!(s.len() >= 2, "class {class} has a degenerate stroke");
+            }
+        }
+    }
+
+    #[test]
+    fn templates_stay_inside_unit_square_with_margin() {
+        for class in 0..10 {
+            for stroke in digit_template(class) {
+                for (x, y) in stroke {
+                    assert!(
+                        (0.05..=0.95).contains(&x) && (0.05..=0.95).contains(&y),
+                        "class {class} point ({x:.2},{y:.2}) leaves the safe area"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn arc_endpoints_match_angles() {
+        let a = arc(0.5, 0.5, 0.2, 0.2, 0.0, 90.0, 8);
+        let (x0, y0) = a[0];
+        let (x1, y1) = *a.last().unwrap();
+        assert!((x0 - 0.7).abs() < 1e-9 && (y0 - 0.5).abs() < 1e-9);
+        assert!((x1 - 0.5).abs() < 1e-9 && (y1 - 0.7).abs() < 1e-9, "90° is downward");
+    }
+
+    #[test]
+    fn full_circle_closes() {
+        let a = arc(0.5, 0.5, 0.3, 0.3, 0.0, 360.0, 16);
+        let (x0, y0) = a[0];
+        let (x1, y1) = *a.last().unwrap();
+        assert!((x0 - x1).abs() < 1e-9 && (y0 - y1).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "digit class must be 0–9")]
+    fn out_of_range_panics() {
+        let _ = digit_template(11);
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based tests for the dataset layer (proptest).
+
+use hdc_data::synth::{digit_template, AffineJitter, RenderParams, SynthConfig, SynthGenerator};
+use hdc_data::{metrics, Dataset, GrayImage};
+use proptest::prelude::*;
+
+fn arb_jitter() -> impl Strategy<Value = AffineJitter> {
+    (
+        -0.3f64..0.3,
+        0.8f64..1.2,
+        0.8f64..1.2,
+        -0.3f64..0.3,
+        -3.0f64..3.0,
+        -3.0f64..3.0,
+    )
+        .prop_map(|(rotation, scale_x, scale_y, shear, translate_x, translate_y)| AffineJitter {
+            rotation,
+            scale_x,
+            scale_y,
+            shear,
+            translate_x,
+            translate_y,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn every_digit_renders_ink_under_any_reasonable_jitter(
+        class in 0usize..10,
+        jitter in arb_jitter(),
+        thickness in 0.8f64..2.5,
+    ) {
+        let params = RenderParams { width: 28, height: 28, thickness, ink: 255 };
+        let img = hdc_data::synth::rasterize(&digit_template(class), &jitter, &params);
+        prop_assert!(img.ink_pixels(64) > 8, "class {class} lost its ink");
+        // Background must stay exact zero somewhere (corners are margin).
+        prop_assert_eq!(img.get(0, 0).min(img.get(27, 27)), 0);
+    }
+
+    #[test]
+    fn generator_is_a_pure_function_of_seed(seed in any::<u64>(), class in 0usize..10) {
+        let cfg = SynthConfig { seed, ..Default::default() };
+        let a = SynthGenerator::new(cfg).sample_class(class);
+        let b = SynthGenerator::new(cfg).sample_class(class);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn shifts_compose(dx1 in -3isize..3, dy1 in -3isize..3, dx2 in -3isize..3, dy2 in -3isize..3) {
+        // Composition loses at most the pixels that crossed the border.
+        let mut img = GrayImage::new(16, 16);
+        img.set(8, 8, 200);
+        let two_step = img.shifted(dx1, dy1).shifted(dx2, dy2);
+        let one_step = img.shifted(dx1 + dx2, dy1 + dy2);
+        // The single marked pixel never leaves the canvas for |d| ≤ 6.
+        prop_assert_eq!(two_step, one_step);
+    }
+
+    #[test]
+    fn dataset_shuffle_preserves_pairings(seed in any::<u64>()) {
+        let mut generator = SynthGenerator::new(SynthConfig { seed: 3, ..Default::default() });
+        let ds = generator.dataset(2);
+        let shuffled = ds.shuffled(seed);
+        // Every (image, label) pair of the shuffle exists in the original.
+        for (img, label) in shuffled.iter() {
+            let found = ds.iter().any(|(i, l)| l == label && i == img);
+            prop_assert!(found, "shuffle must not invent or relabel examples");
+        }
+        prop_assert_eq!(shuffled.len(), ds.len());
+    }
+
+    #[test]
+    fn metrics_scale_linearly_with_uniform_delta(delta in 1u8..100) {
+        let a = GrayImage::from_pixels(4, 1, vec![100; 4]);
+        let b = GrayImage::from_pixels(4, 1, vec![100 + delta; 4]);
+        let l1 = metrics::normalized_l1(&a, &b);
+        let expected = 4.0 * f64::from(delta) / 255.0;
+        prop_assert!((l1 - expected).abs() < 1e-9);
+        let l2 = metrics::normalized_l2(&a, &b);
+        prop_assert!((l2 - 2.0 * f64::from(delta) / 255.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn idx_dataset_round_trip(seed in any::<u64>()) {
+        let mut generator = SynthGenerator::new(SynthConfig { seed, ..Default::default() });
+        let ds = generator.dataset(1);
+        let mut images = Vec::new();
+        let mut labels = Vec::new();
+        ds.write_idx(&mut images, &mut labels).unwrap();
+        prop_assert_eq!(Dataset::read_idx(&images[..], &labels[..]).unwrap(), ds);
+    }
+
+    #[test]
+    fn take_per_class_never_exceeds_bound(count in 0usize..5) {
+        let mut generator = SynthGenerator::new(SynthConfig { seed: 5, ..Default::default() });
+        let ds = generator.dataset(3);
+        let taken = ds.take_per_class(count);
+        for &n in &taken.class_histogram() {
+            prop_assert!(n <= count);
+        }
+    }
+}

@@ -1,0 +1,295 @@
+//! The associative memory (AM): one reference hypervector per class.
+//!
+//! Training (§III-B) bundles every training image's hypervector into its
+//! class accumulator; after an epoch the accumulators are bipolarized into
+//! the reference hypervectors used for similarity search. Keeping the raw
+//! accumulators alongside the bipolarized snapshot enables the retraining
+//! defense of §V-D (adding correctly labeled adversarial examples and
+//! re-bipolarizing).
+
+use crate::accumulator::Accumulator;
+use crate::encoder::bipolarize_sums;
+use crate::error::HdcError;
+use crate::hypervector::Hypervector;
+use crate::similarity::cosine;
+
+/// Per-class bundling accumulators plus their bipolarized snapshot.
+#[derive(Debug, Clone)]
+pub struct AssociativeMemory {
+    accumulators: Vec<Accumulator>,
+    references: Vec<Hypervector>,
+    dim: usize,
+    finalized: bool,
+}
+
+impl AssociativeMemory {
+    /// Creates an empty AM for `num_classes` classes of dimension `dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_classes` or `dim` is zero.
+    pub fn new(num_classes: usize, dim: usize) -> Self {
+        assert!(num_classes > 0, "associative memory needs at least one class");
+        assert!(dim > 0, "hypervector dimension must be non-zero");
+        Self {
+            accumulators: (0..num_classes).map(|_| Accumulator::zeros(dim)).collect(),
+            references: Vec::new(),
+            dim,
+            finalized: false,
+        }
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.accumulators.len()
+    }
+
+    /// Hypervector dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Whether [`finalize`](Self::finalize) has been called since the last
+    /// mutation.
+    pub fn is_finalized(&self) -> bool {
+        self.finalized
+    }
+
+    /// Bundles `hv` into the accumulator of `class`.
+    ///
+    /// Invalidates the finalized snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::UnknownClass`] or [`HdcError::DimensionMismatch`].
+    pub fn add(&mut self, class: usize, hv: &Hypervector) -> Result<(), HdcError> {
+        let num_classes = self.num_classes();
+        let acc = self
+            .accumulators
+            .get_mut(class)
+            .ok_or(HdcError::UnknownClass { class, num_classes })?;
+        acc.add(hv)?;
+        self.finalized = false;
+        Ok(())
+    }
+
+    /// Removes `hv` from the accumulator of `class` (adaptive retraining
+    /// subtracts the query from a wrongly predicted class).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::UnknownClass`] or [`HdcError::DimensionMismatch`].
+    pub fn subtract(&mut self, class: usize, hv: &Hypervector) -> Result<(), HdcError> {
+        let num_classes = self.num_classes();
+        let acc = self
+            .accumulators
+            .get_mut(class)
+            .ok_or(HdcError::UnknownClass { class, num_classes })?;
+        acc.subtract(hv)?;
+        self.finalized = false;
+        Ok(())
+    }
+
+    /// Bipolarizes every accumulator into the reference snapshot (Eq. 1,
+    /// deterministic parity tie-break).
+    pub fn finalize(&mut self) {
+        self.references = self.accumulators.iter().map(|a| bipolarize_sums(a.sums())).collect();
+        self.finalized = true;
+    }
+
+    /// The bipolarized reference hypervector for `class`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::EmptyModel`] before [`finalize`](Self::finalize)
+    /// and [`HdcError::UnknownClass`] for an out-of-range class.
+    pub fn reference(&self, class: usize) -> Result<&Hypervector, HdcError> {
+        if !self.finalized {
+            return Err(HdcError::EmptyModel);
+        }
+        self.references
+            .get(class)
+            .ok_or(HdcError::UnknownClass { class, num_classes: self.num_classes() })
+    }
+
+    /// The raw accumulator for `class`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::UnknownClass`] for an out-of-range class.
+    pub fn accumulator(&self, class: usize) -> Result<&Accumulator, HdcError> {
+        self.accumulators
+            .get(class)
+            .ok_or(HdcError::UnknownClass { class, num_classes: self.num_classes() })
+    }
+
+    /// Cosine similarity of `query` against every class reference, in class
+    /// order (§III-C).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::EmptyModel`] before finalization or
+    /// [`HdcError::DimensionMismatch`] for a query of the wrong dimension.
+    pub fn similarities(&self, query: &Hypervector) -> Result<Vec<f64>, HdcError> {
+        if !self.finalized {
+            return Err(HdcError::EmptyModel);
+        }
+        if query.dim() != self.dim {
+            return Err(HdcError::DimensionMismatch { expected: self.dim, actual: query.dim() });
+        }
+        Ok(self.references.iter().map(|r| cosine(query, r)).collect())
+    }
+
+    /// The class whose reference is most similar to `query`, with the full
+    /// similarity vector.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`similarities`](Self::similarities).
+    pub fn classify(&self, query: &Hypervector) -> Result<(usize, Vec<f64>), HdcError> {
+        let sims = self.similarities(query)?;
+        let best = sims
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("cosine is never NaN"))
+            .map(|(i, _)| i)
+            .expect("at least one class");
+        Ok((best, sims))
+    }
+
+    /// Reconstructs an AM from raw accumulators (persistence path).
+    /// The snapshot is re-derived by [`finalize`](Self::finalize).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::EmptyModel`] for an empty vector and
+    /// [`HdcError::DimensionMismatch`] for inconsistent dimensions.
+    pub fn from_accumulators(accumulators: Vec<Accumulator>) -> Result<Self, HdcError> {
+        let dim = accumulators.first().ok_or(HdcError::EmptyModel)?.dim();
+        if let Some(bad) = accumulators.iter().find(|a| a.dim() != dim) {
+            return Err(HdcError::DimensionMismatch { expected: dim, actual: bad.dim() });
+        }
+        let mut am = Self { accumulators, references: Vec::new(), dim, finalized: false };
+        am.finalize();
+        Ok(am)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(31)
+    }
+
+    #[test]
+    fn classify_recovers_trained_class() {
+        let mut r = rng();
+        let mut am = AssociativeMemory::new(3, 5_000);
+        let protos: Vec<Hypervector> =
+            (0..3).map(|_| Hypervector::random(5_000, &mut r)).collect();
+        for (c, p) in protos.iter().enumerate() {
+            // Bundle a few noisy variants of each prototype.
+            for _ in 0..5 {
+                am.add(c, &p.with_noise(250, &mut r)).unwrap();
+            }
+        }
+        am.finalize();
+        for (c, p) in protos.iter().enumerate() {
+            let (pred, sims) = am.classify(p).unwrap();
+            assert_eq!(pred, c);
+            assert_eq!(sims.len(), 3);
+            assert!(sims[c] > 0.5);
+        }
+    }
+
+    #[test]
+    fn unfinalized_am_errors() {
+        let mut r = rng();
+        let am = AssociativeMemory::new(2, 100);
+        let q = Hypervector::random(100, &mut r);
+        assert!(matches!(am.similarities(&q), Err(HdcError::EmptyModel)));
+        assert!(matches!(am.reference(0), Err(HdcError::EmptyModel)));
+    }
+
+    #[test]
+    fn mutation_invalidates_snapshot() {
+        let mut r = rng();
+        let mut am = AssociativeMemory::new(2, 100);
+        let hv = Hypervector::random(100, &mut r);
+        am.add(0, &hv).unwrap();
+        am.finalize();
+        assert!(am.is_finalized());
+        am.add(1, &hv).unwrap();
+        assert!(!am.is_finalized());
+    }
+
+    #[test]
+    fn unknown_class_rejected() {
+        let mut r = rng();
+        let mut am = AssociativeMemory::new(2, 100);
+        let hv = Hypervector::random(100, &mut r);
+        assert!(matches!(
+            am.add(2, &hv),
+            Err(HdcError::UnknownClass { class: 2, num_classes: 2 })
+        ));
+        assert!(am.subtract(5, &hv).is_err());
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let mut r = rng();
+        let mut am = AssociativeMemory::new(2, 100);
+        let hv = Hypervector::random(50, &mut r);
+        assert!(am.add(0, &hv).is_err());
+        am.add(0, &Hypervector::random(100, &mut r)).unwrap();
+        am.finalize();
+        assert!(am.similarities(&hv).is_err());
+    }
+
+    #[test]
+    fn add_then_subtract_is_neutral() {
+        let mut r = rng();
+        let mut am = AssociativeMemory::new(2, 1_000);
+        let base = Hypervector::random(1_000, &mut r);
+        am.add(0, &base).unwrap();
+        am.finalize();
+        let before = am.reference(0).unwrap().clone();
+
+        let extra = Hypervector::random(1_000, &mut r);
+        am.add(0, &extra).unwrap();
+        am.subtract(0, &extra).unwrap();
+        am.finalize();
+        assert_eq!(*am.reference(0).unwrap(), before);
+    }
+
+    #[test]
+    fn from_accumulators_round_trip() {
+        let mut r = rng();
+        let mut am = AssociativeMemory::new(2, 256);
+        am.add(0, &Hypervector::random(256, &mut r)).unwrap();
+        am.add(1, &Hypervector::random(256, &mut r)).unwrap();
+        am.finalize();
+
+        let accs = vec![am.accumulator(0).unwrap().clone(), am.accumulator(1).unwrap().clone()];
+        let rebuilt = AssociativeMemory::from_accumulators(accs).unwrap();
+        assert_eq!(rebuilt.reference(0).unwrap(), am.reference(0).unwrap());
+        assert_eq!(rebuilt.reference(1).unwrap(), am.reference(1).unwrap());
+    }
+
+    #[test]
+    fn from_accumulators_validates() {
+        assert!(AssociativeMemory::from_accumulators(vec![]).is_err());
+        let accs = vec![Accumulator::zeros(10), Accumulator::zeros(20)];
+        assert!(AssociativeMemory::from_accumulators(accs).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one class")]
+    fn zero_classes_panics() {
+        let _ = AssociativeMemory::new(0, 10);
+    }
+}

@@ -1,0 +1,393 @@
+//! Binarized HDC classifier on bit-packed hypervectors.
+//!
+//! The paper's related work cites hardware-oriented dense *binary* HDC
+//! (Schmuck et al., JETC 2019: "rematerialization of hypervectors,
+//! binarized bundling, and combinational associative memory"). This module
+//! implements that variant end to end: class vectors are bit-packed, the
+//! similarity check is Hamming distance via XOR + popcount, and training
+//! keeps per-component counters so binarized bundling stays exact.
+//!
+//! The binary classifier is also the second implementation used by
+//! `hdtest`'s cross-model differential mode: inputs on which the dense
+//! bipolar model and this binarized model disagree expose
+//! quantization-sensitivity, the same class of bug the paper's
+//! self-differential oracle exposes for a single model.
+
+use crate::encoder::Encoder;
+use crate::error::HdcError;
+use crate::hypervector::Hypervector;
+use crate::packed::PackedHypervector;
+
+/// The outcome of classifying one input with the binarized model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BinaryPrediction {
+    /// Predicted class (minimum Hamming distance).
+    pub class: usize,
+    /// Hamming distance to the predicted class reference.
+    pub distance: usize,
+    /// Hamming distance to every class reference, in class order.
+    pub distances: Vec<usize>,
+}
+
+/// A binarized HDC classifier: packed class references, Hamming search.
+///
+/// Shares any [`Encoder`]; the encoder's bipolar output is packed to bits
+/// (`+1 → 1`, `-1 → 0`) before the associative-memory lookup, which is
+/// exactly how binarized hardware consumes a bipolar encoding pipeline.
+///
+/// ```
+/// use hdc::binary::BinaryClassifier;
+/// use hdc::prelude::*;
+///
+/// let encoder = PixelEncoder::new(PixelEncoderConfig {
+///     dim: 1_000, width: 3, height: 3, levels: 4,
+///     value_encoding: ValueEncoding::Random, seed: 2,
+/// })?;
+/// let mut model = BinaryClassifier::new(encoder, 2);
+/// model.train_one(&[0u8; 9][..], 0)?;
+/// model.train_one(&[255u8; 9][..], 1)?;
+/// model.finalize();
+/// assert_eq!(model.predict(&[255u8; 9][..])?.class, 1);
+/// # Ok::<(), hdc::HdcError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct BinaryClassifier<E> {
+    encoder: E,
+    /// Per-class, per-component count of set bits seen during training.
+    counters: Vec<Vec<u32>>,
+    /// Per-class count of bundled examples.
+    counts: Vec<u32>,
+    references: Vec<PackedHypervector>,
+    dim: usize,
+    finalized: bool,
+}
+
+impl<E: Encoder> BinaryClassifier<E> {
+    /// Creates an untrained binarized classifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_classes` is zero.
+    pub fn new(encoder: E, num_classes: usize) -> Self {
+        assert!(num_classes > 0, "binary classifier needs at least one class");
+        let dim = encoder.dim();
+        Self {
+            encoder,
+            counters: vec![vec![0; dim]; num_classes],
+            counts: vec![0; num_classes],
+            references: Vec::new(),
+            dim,
+            finalized: false,
+        }
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Hypervector dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The encoder.
+    pub fn encoder(&self) -> &E {
+        &self.encoder
+    }
+
+    /// Whether [`finalize`](Self::finalize) has run since the last update.
+    pub fn is_finalized(&self) -> bool {
+        self.finalized
+    }
+
+    /// Encodes an input and packs it to bits.
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoder shape errors.
+    pub fn encode_packed(&self, input: &E::Input) -> Result<PackedHypervector, HdcError> {
+        let hv: Hypervector = self.encoder.encode(input)?;
+        Ok(PackedHypervector::from(&hv))
+    }
+
+    /// Binarized bundling (one-shot training): per-component set-bit
+    /// counters accumulate; the reference is their majority at finalize.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::UnknownClass`] for a bad label or propagates
+    /// encoder errors.
+    pub fn train_one(&mut self, input: &E::Input, label: usize) -> Result<(), HdcError> {
+        let num_classes = self.num_classes();
+        if label >= num_classes {
+            return Err(HdcError::UnknownClass { class: label, num_classes });
+        }
+        let packed = self.encode_packed(input)?;
+        let counter = &mut self.counters[label];
+        for (i, c) in counter.iter_mut().enumerate() {
+            if packed.bit(i) {
+                *c += 1;
+            }
+        }
+        self.counts[label] += 1;
+        self.finalized = false;
+        Ok(())
+    }
+
+    /// Trains on a batch and finalizes.
+    ///
+    /// # Errors
+    ///
+    /// Fails fast on the first bad label or malformed input.
+    pub fn train_batch<'a, It>(&mut self, examples: It) -> Result<(), HdcError>
+    where
+        It: IntoIterator<Item = (&'a E::Input, usize)>,
+        E::Input: 'a,
+    {
+        for (input, label) in examples {
+            self.train_one(input, label)?;
+        }
+        self.finalize();
+        Ok(())
+    }
+
+    /// Majority-binarizes every class counter into its packed reference.
+    /// Ties (possible with even counts) resolve by component parity, the
+    /// same deterministic rule the dense pipeline uses.
+    pub fn finalize(&mut self) {
+        self.references = self
+            .counters
+            .iter()
+            .zip(&self.counts)
+            .map(|(counter, &count)| {
+                let mut reference = PackedHypervector::zeros(self.dim);
+                for (i, &ones) in counter.iter().enumerate() {
+                    let double = 2 * u64::from(ones);
+                    let total = u64::from(count);
+                    let bit = match double.cmp(&total) {
+                        std::cmp::Ordering::Greater => true,
+                        std::cmp::Ordering::Less => false,
+                        std::cmp::Ordering::Equal => i % 2 == 0,
+                    };
+                    if bit {
+                        reference.set_bit(i, true);
+                    }
+                }
+                reference
+            })
+            .collect();
+        self.finalized = true;
+    }
+
+    /// The packed reference for `class`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::EmptyModel`] before finalization or
+    /// [`HdcError::UnknownClass`] for a bad class.
+    pub fn reference(&self, class: usize) -> Result<&PackedHypervector, HdcError> {
+        if !self.finalized {
+            return Err(HdcError::EmptyModel);
+        }
+        self.references
+            .get(class)
+            .ok_or(HdcError::UnknownClass { class, num_classes: self.num_classes() })
+    }
+
+    /// Classifies by minimum Hamming distance (the combinational
+    /// associative-memory lookup of binary HDC hardware).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::EmptyModel`] before finalization or propagates
+    /// encoder errors.
+    pub fn predict(&self, input: &E::Input) -> Result<BinaryPrediction, HdcError> {
+        if !self.finalized {
+            return Err(HdcError::EmptyModel);
+        }
+        let query = self.encode_packed(input)?;
+        let distances: Vec<usize> =
+            self.references.iter().map(|r| r.hamming_distance(&query)).collect();
+        // On exact ties the *last* minimal class wins, matching the dense
+        // classifier's argmax-cosine tie-breaking so the two
+        // implementations are interchangeable (cos = 1 − 2·h/D).
+        let mut class = 0usize;
+        for (i, &d) in distances.iter().enumerate() {
+            if d <= distances[class] {
+                class = i;
+            }
+        }
+        Ok(BinaryPrediction { class, distance: distances[class], distances })
+    }
+
+    /// Fraction of `(input, label)` pairs predicted correctly.
+    ///
+    /// # Errors
+    ///
+    /// Propagates prediction errors; [`HdcError::EmptyModel`] for an empty
+    /// iterator.
+    pub fn accuracy<'a, It>(&self, examples: It) -> Result<f64, HdcError>
+    where
+        It: IntoIterator<Item = (&'a E::Input, usize)>,
+        E::Input: 'a,
+    {
+        let mut correct = 0usize;
+        let mut total = 0usize;
+        for (input, label) in examples {
+            if self.predict(input)?.class == label {
+                correct += 1;
+            }
+            total += 1;
+        }
+        if total == 0 {
+            return Err(HdcError::EmptyModel);
+        }
+        Ok(correct as f64 / total as f64)
+    }
+
+    /// The normalized-Hamming equivalent of the fuzzer's fitness signal:
+    /// distance of the query to the reference class, in `[0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::EmptyModel`] / [`HdcError::UnknownClass`] or
+    /// propagates encoder errors.
+    pub fn fitness(&self, input: &E::Input, reference_class: usize) -> Result<f64, HdcError> {
+        let query = self.encode_packed(input)?;
+        let reference = self.reference(reference_class)?;
+        Ok(reference.normalized_hamming(&query))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoder::{PixelEncoder, PixelEncoderConfig};
+    use crate::memory::ValueEncoding;
+    use crate::HdcClassifier;
+
+    fn encoder() -> PixelEncoder {
+        PixelEncoder::new(PixelEncoderConfig {
+            dim: 2_000,
+            width: 4,
+            height: 4,
+            levels: 8,
+            value_encoding: ValueEncoding::Random,
+            seed: 44,
+        })
+        .expect("valid config")
+    }
+
+    const INK: u8 = 224;
+
+    fn patterns() -> [[u8; 16]; 3] {
+        let i = INK;
+        [
+            [i, i, i, i, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0],
+            [0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, i, i, i, i],
+            [i, 0, 0, 0, i, 0, 0, 0, i, 0, 0, 0, i, 0, 0, 0],
+        ]
+    }
+
+    #[test]
+    fn trains_and_predicts() {
+        let mut model = BinaryClassifier::new(encoder(), 3);
+        let pats = patterns();
+        model.train_batch(pats.iter().enumerate().map(|(l, p)| (&p[..], l))).unwrap();
+        for (label, p) in pats.iter().enumerate() {
+            let pred = model.predict(&p[..]).unwrap();
+            assert_eq!(pred.class, label);
+            assert_eq!(pred.distance, pred.distances[label]);
+            assert_eq!(pred.distances.len(), 3);
+        }
+    }
+
+    #[test]
+    fn predict_before_finalize_errors() {
+        let mut model = BinaryClassifier::new(encoder(), 2);
+        model.train_one(&patterns()[0][..], 0).unwrap();
+        assert!(matches!(model.predict(&patterns()[0][..]), Err(HdcError::EmptyModel)));
+    }
+
+    #[test]
+    fn bad_label_rejected() {
+        let mut model = BinaryClassifier::new(encoder(), 2);
+        assert!(matches!(
+            model.train_one(&patterns()[0][..], 7),
+            Err(HdcError::UnknownClass { class: 7, num_classes: 2 })
+        ));
+    }
+
+    #[test]
+    fn agrees_with_dense_model_on_single_example_classes() {
+        // With one training example per class both models store the same
+        // information (majority of one = identity), so they must agree.
+        let mut binary = BinaryClassifier::new(encoder(), 3);
+        let mut dense = HdcClassifier::new(encoder(), 3);
+        let pats = patterns();
+        for (l, p) in pats.iter().enumerate() {
+            binary.train_one(&p[..], l).unwrap();
+            dense.train_one(&p[..], l).unwrap();
+        }
+        binary.finalize();
+        dense.finalize();
+        // Probe with noisy variants of the patterns.
+        for (l, p) in pats.iter().enumerate() {
+            let mut probe = *p;
+            probe[5] = 100;
+            let b = binary.predict(&probe[..]).unwrap().class;
+            let d = dense.predict(&probe[..]).unwrap().class;
+            assert_eq!(b, d, "models disagree on a near-prototype probe of class {l}");
+        }
+    }
+
+    #[test]
+    fn accuracy_on_training_set() {
+        let mut model = BinaryClassifier::new(encoder(), 3);
+        let pats = patterns();
+        model.train_batch(pats.iter().enumerate().map(|(l, p)| (&p[..], l))).unwrap();
+        let acc = model.accuracy(pats.iter().enumerate().map(|(l, p)| (&p[..], l))).unwrap();
+        assert!((acc - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fitness_lower_for_own_class() {
+        let mut model = BinaryClassifier::new(encoder(), 3);
+        let pats = patterns();
+        model.train_batch(pats.iter().enumerate().map(|(l, p)| (&p[..], l))).unwrap();
+        let own = model.fitness(&pats[0][..], 0).unwrap();
+        let other = model.fitness(&pats[0][..], 1).unwrap();
+        assert!(own < other, "own {own} vs other {other}");
+        assert!((0.0..=1.0).contains(&own));
+    }
+
+    #[test]
+    fn majority_bundling_tolerates_outliers() {
+        let mut model = BinaryClassifier::new(encoder(), 2);
+        let pats = patterns();
+        // Class 0: three copies of pattern 0 and one outlier (pattern 1);
+        // majority keeps the class usable.
+        for _ in 0..3 {
+            model.train_one(&pats[0][..], 0).unwrap();
+        }
+        model.train_one(&pats[1][..], 0).unwrap();
+        model.train_one(&pats[2][..], 1).unwrap();
+        model.finalize();
+        assert_eq!(model.predict(&pats[0][..]).unwrap().class, 0);
+    }
+
+    #[test]
+    fn accuracy_empty_errors() {
+        let mut model = BinaryClassifier::new(encoder(), 2);
+        model.train_one(&patterns()[0][..], 0).unwrap();
+        model.finalize();
+        assert!(model.accuracy(std::iter::empty::<(&[u8], usize)>()).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one class")]
+    fn zero_classes_panics() {
+        let _ = BinaryClassifier::new(encoder(), 0);
+    }
+}

@@ -1,0 +1,398 @@
+//! The end-to-end HDC classifier: encoder + associative memory.
+//!
+//! Implements the paper's three phases (§III): encoding, one-shot training
+//! into the associative memory, and similarity-check testing. Also provides
+//! the two retraining modes used by the §V-D defense case study.
+
+use crate::am::AssociativeMemory;
+use crate::encoder::Encoder;
+use crate::error::HdcError;
+use crate::hypervector::Hypervector;
+use crate::similarity::cosine;
+
+/// The outcome of classifying one input.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Prediction {
+    /// The predicted class (argmax of cosine similarity).
+    pub class: usize,
+    /// Cosine similarity of the query to the predicted class reference.
+    pub similarity: f64,
+    /// Margin between the best and second-best similarity (0 for a
+    /// single-class model). Small margins flag near-boundary inputs —
+    /// exactly the "vulnerable cases" §V-B highlights.
+    pub margin: f64,
+    /// Cosine similarity against every class reference, in class order.
+    pub similarities: Vec<f64>,
+}
+
+/// An HDC classifier generic over its [`Encoder`].
+///
+/// The raw input type is the encoder's [`Encoder::Input`] (e.g. `[u8]`
+/// pixel arrays for the paper's image model, `[f64]` for records/signals).
+///
+/// ```
+/// use hdc::prelude::*;
+///
+/// let encoder = PixelEncoder::new(PixelEncoderConfig {
+///     dim: 1_000, width: 3, height: 3, levels: 4,
+///     value_encoding: ValueEncoding::Random, seed: 2,
+/// })?;
+/// let mut model = HdcClassifier::new(encoder, 2);
+/// model.train_one(&[0u8; 9][..], 0)?;
+/// model.train_one(&[255u8; 9][..], 1)?;
+/// model.finalize();
+/// assert_eq!(model.predict(&[255u8; 9][..])?.class, 1);
+/// # Ok::<(), hdc::HdcError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct HdcClassifier<E> {
+    encoder: E,
+    am: AssociativeMemory,
+}
+
+impl<E> HdcClassifier<E> {
+    /// The associative memory (reference vectors and accumulators).
+    pub fn associative_memory(&self) -> &AssociativeMemory {
+        &self.am
+    }
+
+    /// Crate-internal: lets model persistence swap in a deserialized AM.
+    pub(crate) fn am_mut(&mut self) -> &mut AssociativeMemory {
+        &mut self.am
+    }
+
+    /// The encoder.
+    pub fn encoder(&self) -> &E {
+        &self.encoder
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.am.num_classes()
+    }
+
+    /// Bipolarizes the associative memory; must be called after training or
+    /// retraining and before prediction.
+    pub fn finalize(&mut self) {
+        self.am.finalize();
+    }
+
+    /// Whether the model is ready for prediction.
+    pub fn is_finalized(&self) -> bool {
+        self.am.is_finalized()
+    }
+}
+
+impl<E: Encoder> HdcClassifier<E> {
+    /// Creates an untrained classifier with `num_classes` classes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_classes` is zero.
+    pub fn new(encoder: E, num_classes: usize) -> Self {
+        let dim = encoder.dim();
+        Self { encoder, am: AssociativeMemory::new(num_classes, dim) }
+    }
+
+    /// Encodes `input` into its query hypervector.
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoder shape errors.
+    pub fn encode(&self, input: &E::Input) -> Result<Hypervector, HdcError> {
+        self.encoder.encode(input)
+    }
+
+    /// One-shot training: bundles the encoded input into its class (§III-B).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::UnknownClass`] for a bad label or propagates
+    /// encoder errors.
+    pub fn train_one(&mut self, input: &E::Input, label: usize) -> Result<(), HdcError> {
+        let hv = self.encoder.encode(input)?;
+        self.am.add(label, &hv)
+    }
+
+    /// Trains on a batch of `(input, label)` pairs and finalizes.
+    ///
+    /// # Errors
+    ///
+    /// Fails fast on the first bad label or malformed input.
+    pub fn train_batch<'a, It>(&mut self, examples: It) -> Result<(), HdcError>
+    where
+        It: IntoIterator<Item = (&'a E::Input, usize)>,
+        E::Input: 'a,
+    {
+        for (input, label) in examples {
+            self.train_one(input, label)?;
+        }
+        self.finalize();
+        Ok(())
+    }
+
+    /// Classifies `input` by maximum cosine similarity (§III-C).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::EmptyModel`] if the model was never finalized, or
+    /// propagates encoder errors.
+    pub fn predict(&self, input: &E::Input) -> Result<Prediction, HdcError> {
+        let query = self.encoder.encode(input)?;
+        self.predict_encoded(&query)
+    }
+
+    /// Classifies an already-encoded query hypervector.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`predict`](Self::predict), minus encoder errors.
+    pub fn predict_encoded(&self, query: &Hypervector) -> Result<Prediction, HdcError> {
+        let (class, similarities) = self.am.classify(query)?;
+        let best = similarities[class];
+        let second = similarities
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != class)
+            .map(|(_, &s)| s)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let margin = if second.is_finite() { best - second } else { 0.0 };
+        Ok(Prediction { class, similarity: best, margin, similarities })
+    }
+
+    /// The fuzzer's greybox fitness signal (§IV):
+    /// `1 − cosine(AM[reference], encode(input))`.
+    ///
+    /// Higher fitness = the input has drifted further from its reference
+    /// class, i.e. is closer to flipping the prediction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::UnknownClass`] / [`HdcError::EmptyModel`], or
+    /// propagates encoder errors.
+    pub fn fitness(&self, input: &E::Input, reference_class: usize) -> Result<f64, HdcError> {
+        let query = self.encoder.encode(input)?;
+        let reference = self.am.reference(reference_class)?;
+        Ok(1.0 - cosine(reference, &query))
+    }
+
+    /// Additive retraining (§V-D defense): bundles a correctly labeled
+    /// example into its class. Call [`finalize`](Self::finalize) afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`train_one`](Self::train_one).
+    pub fn retrain_one(&mut self, input: &E::Input, label: usize) -> Result<(), HdcError> {
+        self.train_one(input, label)
+    }
+
+    /// Adaptive (perceptron-style) retraining: if the model mispredicts,
+    /// the query is added to the true class and subtracted from the wrongly
+    /// predicted class. Returns whether an update was applied.
+    ///
+    /// This is the "retraining mechanism" the paper's §V-E discussion points
+    /// to as active HDC research; it converges faster than purely additive
+    /// updates when classes overlap.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::EmptyModel`] if called before finalization, or
+    /// propagates label/encoder errors.
+    pub fn retrain_adaptive(&mut self, input: &E::Input, label: usize) -> Result<bool, HdcError> {
+        if label >= self.num_classes() {
+            return Err(HdcError::UnknownClass { class: label, num_classes: self.num_classes() });
+        }
+        let query = self.encoder.encode(input)?;
+        let prediction = self.predict_encoded(&query)?;
+        if prediction.class == label {
+            return Ok(false);
+        }
+        self.am.add(label, &query)?;
+        self.am.subtract(prediction.class, &query)?;
+        Ok(true)
+    }
+
+    /// Fraction of `(input, label)` pairs predicted correctly.
+    ///
+    /// # Errors
+    ///
+    /// Propagates prediction errors.
+    pub fn accuracy<'a, It>(&self, examples: It) -> Result<f64, HdcError>
+    where
+        It: IntoIterator<Item = (&'a E::Input, usize)>,
+        E::Input: 'a,
+    {
+        let mut correct = 0usize;
+        let mut total = 0usize;
+        for (input, label) in examples {
+            if self.predict(input)?.class == label {
+                correct += 1;
+            }
+            total += 1;
+        }
+        if total == 0 {
+            return Err(HdcError::EmptyModel);
+        }
+        Ok(correct as f64 / total as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoder::{PixelEncoder, PixelEncoderConfig};
+    use crate::memory::ValueEncoding;
+
+    fn tiny_model() -> HdcClassifier<PixelEncoder> {
+        let encoder = PixelEncoder::new(PixelEncoderConfig {
+            dim: 2_000,
+            width: 4,
+            height: 4,
+            levels: 8,
+            value_encoding: ValueEncoding::Random,
+            seed: 77,
+        })
+        .unwrap();
+        HdcClassifier::new(encoder, 3)
+    }
+
+    /// Three visually distinct 4×4 patterns. Pixel values use the full
+    /// 0–255 range because `quantize` buckets that range into `levels`.
+    const INK: u8 = 224;
+
+    fn patterns() -> [[u8; 16]; 3] {
+        let i = INK;
+        [
+            [i, i, i, i, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0], // top bar
+            [0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, i, i, i, i], // bottom bar
+            [i, 0, 0, 0, i, 0, 0, 0, i, 0, 0, 0, i, 0, 0, 0], // left bar
+        ]
+    }
+
+    #[test]
+    fn train_and_predict_separable_patterns() {
+        let mut model = tiny_model();
+        for (label, p) in patterns().iter().enumerate() {
+            model.train_one(&p[..], label).unwrap();
+        }
+        model.finalize();
+        for (label, p) in patterns().iter().enumerate() {
+            let pred = model.predict(&p[..]).unwrap();
+            assert_eq!(pred.class, label);
+            assert!(pred.similarity > 0.5);
+            assert!(pred.margin > 0.0);
+            assert_eq!(pred.similarities.len(), 3);
+        }
+    }
+
+    #[test]
+    fn predict_before_finalize_errors() {
+        let mut model = tiny_model();
+        model.train_one(&patterns()[0][..], 0).unwrap();
+        assert!(matches!(model.predict(&patterns()[0][..]), Err(HdcError::EmptyModel)));
+    }
+
+    #[test]
+    fn train_batch_finalizes() {
+        let mut model = tiny_model();
+        let pats = patterns();
+        let examples = pats.iter().enumerate().map(|(l, p)| (&p[..], l));
+        model.train_batch(examples).unwrap();
+        assert!(model.is_finalized());
+        assert_eq!(model.predict(&pats[1][..]).unwrap().class, 1);
+    }
+
+    #[test]
+    fn bad_label_rejected() {
+        let mut model = tiny_model();
+        assert!(matches!(
+            model.train_one(&patterns()[0][..], 9),
+            Err(HdcError::UnknownClass { class: 9, num_classes: 3 })
+        ));
+    }
+
+    #[test]
+    fn fitness_low_for_own_class() {
+        let mut model = tiny_model();
+        let pats = patterns();
+        model.train_batch(pats.iter().enumerate().map(|(l, p)| (&p[..], l))).unwrap();
+        let own = model.fitness(&pats[0][..], 0).unwrap();
+        let other = model.fitness(&pats[0][..], 1).unwrap();
+        assert!(own < other, "fitness to own class {own} must be below other class {other}");
+        assert!((0.0..=2.0).contains(&own));
+    }
+
+    #[test]
+    fn accuracy_on_training_set_is_one() {
+        let mut model = tiny_model();
+        let pats = patterns();
+        model.train_batch(pats.iter().enumerate().map(|(l, p)| (&p[..], l))).unwrap();
+        let acc = model.accuracy(pats.iter().enumerate().map(|(l, p)| (&p[..], l))).unwrap();
+        assert!((acc - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accuracy_empty_set_errors() {
+        let mut model = tiny_model();
+        let pats = patterns();
+        model.train_batch(pats.iter().enumerate().map(|(l, p)| (&p[..], l))).unwrap();
+        assert!(model.accuracy(std::iter::empty::<(&[u8], usize)>()).is_err());
+    }
+
+    #[test]
+    fn adaptive_retrain_no_update_when_correct() {
+        let mut model = tiny_model();
+        let pats = patterns();
+        model.train_batch(pats.iter().enumerate().map(|(l, p)| (&p[..], l))).unwrap();
+        let updated = model.retrain_adaptive(&pats[0][..], 0).unwrap();
+        assert!(!updated);
+        assert!(model.is_finalized(), "no update must not invalidate the snapshot");
+    }
+
+    #[test]
+    fn adaptive_retrain_fixes_forced_error() {
+        let mut model = tiny_model();
+        let pats = patterns();
+        // Mislabel on purpose: train pattern 0 as class 1.
+        model.train_one(&pats[0][..], 1).unwrap();
+        model.train_one(&pats[1][..], 0).unwrap();
+        model.train_one(&pats[2][..], 2).unwrap();
+        model.finalize();
+        assert_eq!(model.predict(&pats[0][..]).unwrap().class, 1);
+
+        // A few adaptive rounds with correct labels repair the model.
+        for _ in 0..5 {
+            for (l, p) in pats.iter().enumerate() {
+                model.retrain_adaptive(&p[..], l).unwrap();
+                model.finalize();
+            }
+        }
+        assert_eq!(model.predict(&pats[0][..]).unwrap().class, 0);
+    }
+
+    #[test]
+    fn retrain_one_strengthens_class() {
+        let mut model = tiny_model();
+        let pats = patterns();
+        model.train_batch(pats.iter().enumerate().map(|(l, p)| (&p[..], l))).unwrap();
+        let before = model.predict(&pats[0][..]).unwrap().similarity;
+        for _ in 0..3 {
+            model.retrain_one(&pats[0][..], 0).unwrap();
+        }
+        model.finalize();
+        let after = model.predict(&pats[0][..]).unwrap().similarity;
+        assert!(after >= before - 0.05, "retraining on an example must not hurt it");
+    }
+
+    #[test]
+    fn predict_encoded_matches_predict() {
+        let mut model = tiny_model();
+        let pats = patterns();
+        model.train_batch(pats.iter().enumerate().map(|(l, p)| (&p[..], l))).unwrap();
+        let hv = model.encode(&pats[2][..]).unwrap();
+        assert_eq!(
+            model.predict(&pats[2][..]).unwrap(),
+            model.predict_encoded(&hv).unwrap()
+        );
+    }
+}

@@ -1,0 +1,123 @@
+//! Application encoders: mapping raw inputs to hypervectors.
+//!
+//! The paper notes (§I) that HDC encoding is application-specific; HDTest
+//! therefore assumes only a greybox interface. This module provides the
+//! paper's pixel encoder (§III-A) plus three encoders representative of the
+//! applications the paper cites — n-gram text (language identification),
+//! record/feature (biosignals), and time-series (voice) — all behind the
+//! uniform [`Encoder`] trait so the fuzzer works against any of them.
+//!
+//! Encoding is deterministic: the item memories are fixed at construction
+//! and bipolarization ties break by component parity, never by a live RNG.
+//! A testing tool must be able to re-encode the same input to the same
+//! hypervector, otherwise prediction discrepancies could come from the
+//! encoder instead of the mutation.
+
+mod ngram;
+mod permute_pixel;
+mod pixel;
+mod record;
+mod timeseries;
+
+pub use ngram::{NgramEncoder, NgramEncoderConfig};
+pub use permute_pixel::{PermutePixelEncoder, PermutePixelEncoderConfig};
+pub use pixel::{PixelEncoder, PixelEncoderConfig};
+pub use record::{RecordEncoder, RecordEncoderConfig};
+pub use timeseries::{TimeSeriesEncoder, TimeSeriesEncoderConfig};
+
+use crate::error::HdcError;
+use crate::hypervector::Hypervector;
+
+/// Maps inputs of the associated [`Input`](Encoder::Input) type to
+/// hypervectors of a fixed dimension.
+///
+/// Implementations must be pure: the same input always encodes to the same
+/// hypervector. All randomness lives in the item memories generated at
+/// construction time from an explicit seed.
+pub trait Encoder: Send + Sync {
+    /// The raw input type (e.g. `[u8]` pixel arrays, `[f64]` records).
+    type Input: ?Sized;
+
+    /// Dimension of produced hypervectors.
+    fn dim(&self) -> usize;
+
+    /// Encodes `input` into its representative hypervector.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return [`HdcError::InputShapeMismatch`] or
+    /// [`HdcError::ValueOutOfRange`] when `input` does not match the shape
+    /// the encoder was configured for.
+    fn encode(&self, input: &Self::Input) -> Result<Hypervector, HdcError>;
+}
+
+impl<E: Encoder + ?Sized> Encoder for &E {
+    type Input = E::Input;
+
+    fn dim(&self) -> usize {
+        (**self).dim()
+    }
+
+    fn encode(&self, input: &Self::Input) -> Result<Hypervector, HdcError> {
+        (**self).encode(input)
+    }
+}
+
+/// Bipolarizes raw componentwise sums deterministically.
+///
+/// Positive sums map to `+1`, negative to `-1`; exact zeros break by
+/// component parity (even index → `+1`), which is unbiased across the vector
+/// yet reproducible (Eq. 1 of the paper uses a random choice; determinism is
+/// required here so encoding stays a pure function).
+pub(crate) fn bipolarize_sums(sums: &[i32]) -> Hypervector {
+    let components = sums
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| {
+            if s > 0 {
+                1
+            } else if s < 0 {
+                -1
+            } else if i % 2 == 0 {
+                1
+            } else {
+                -1
+            }
+        })
+        .collect();
+    Hypervector::from_components(components).expect("bipolarize produces valid components")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bipolarize_sums_signs() {
+        let hv = bipolarize_sums(&[3, -2, 0, 0, 7, -1]);
+        assert_eq!(hv.as_slice(), &[1, -1, 1, -1, 1, -1]);
+    }
+
+    #[test]
+    fn bipolarize_sums_is_deterministic() {
+        let sums = vec![0i32; 100];
+        assert_eq!(bipolarize_sums(&sums), bipolarize_sums(&sums));
+    }
+
+    #[test]
+    fn encoder_impl_for_reference() {
+        let enc = PixelEncoder::new(PixelEncoderConfig {
+            dim: 64,
+            width: 2,
+            height: 2,
+            levels: 4,
+            value_encoding: crate::memory::ValueEncoding::Random,
+            seed: 1,
+        })
+        .unwrap();
+        let by_ref: &PixelEncoder = &enc;
+        assert_eq!(Encoder::dim(&by_ref), 64);
+        let input = [0u8, 1, 2, 3];
+        assert_eq!(by_ref.encode(&input[..]).unwrap(), enc.encode(&input[..]).unwrap());
+    }
+}

@@ -1,0 +1,184 @@
+//! N-gram text encoder for sequence classification.
+//!
+//! Implements the classic HDC language-identification encoding (Rahimi et
+//! al., ISLPED 2016 — reference [2] of the paper): each symbol has a random
+//! hypervector; an n-gram `s₀ s₁ … sₙ₋₁` is encoded as
+//!
+//! ```text
+//! ρⁿ⁻¹(HV[s₀]) ⊛ ρⁿ⁻²(HV[s₁]) ⊛ … ⊛ HV[sₙ₋₁]
+//! ```
+//!
+//! and the text hypervector is the bipolarized bundle of all its n-grams.
+//! This is the "other HDC model structure" (§V-E) used to demonstrate that
+//! HDTest generalizes beyond images.
+
+use crate::encoder::{bipolarize_sums, Encoder};
+use crate::error::HdcError;
+use crate::hypervector::Hypervector;
+use crate::memory::ItemMemory;
+
+/// Configuration for [`NgramEncoder`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NgramEncoderConfig {
+    /// Hypervector dimension `D`.
+    pub dim: usize,
+    /// N-gram width (the language-identification literature uses 3).
+    pub n: usize,
+    /// Symbol alphabet size; inputs are byte strings so at most 256.
+    pub alphabet: usize,
+    /// Master seed for the symbol memory.
+    pub seed: u64,
+}
+
+impl Default for NgramEncoderConfig {
+    fn default() -> Self {
+        Self { dim: crate::DEFAULT_DIM, n: 3, alphabet: 256, seed: 0 }
+    }
+}
+
+/// Encodes byte strings via bundled permuted-bound n-grams.
+///
+/// ```
+/// use hdc::{Encoder, NgramEncoder, NgramEncoderConfig};
+///
+/// let enc = NgramEncoder::new(NgramEncoderConfig { dim: 2_000, ..Default::default() })?;
+/// let hv = enc.encode("the quick brown fox".as_bytes())?;
+/// assert_eq!(hv.dim(), 2_000);
+/// # Ok::<(), hdc::HdcError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct NgramEncoder {
+    symbols: ItemMemory,
+    config: NgramEncoderConfig,
+}
+
+impl NgramEncoder {
+    /// Generates the symbol memory from `config.seed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::EmptyMemory`] if `alphabet` is zero,
+    /// [`HdcError::ZeroDimension`] if `dim` is zero, and
+    /// [`HdcError::InputShapeMismatch`] if `n` is zero.
+    pub fn new(config: NgramEncoderConfig) -> Result<Self, HdcError> {
+        if config.n == 0 {
+            return Err(HdcError::InputShapeMismatch { expected: 1, actual: 0 });
+        }
+        let symbols = ItemMemory::new(config.alphabet, config.dim, config.seed, "ngram-symbol")?;
+        Ok(Self { symbols, config })
+    }
+
+    /// The configuration this encoder was built with.
+    pub fn config(&self) -> &NgramEncoderConfig {
+        &self.config
+    }
+
+    /// Encodes a single n-gram window.
+    fn encode_ngram(&self, window: &[u8]) -> Result<Hypervector, HdcError> {
+        let n = window.len();
+        let mut out: Option<Hypervector> = None;
+        for (offset, &sym) in window.iter().enumerate() {
+            let sym_hv = self.symbols.get(usize::from(sym) % self.config.alphabet)?;
+            let rotated = sym_hv.permute(n - 1 - offset);
+            out = Some(match out {
+                None => rotated,
+                Some(acc) => acc.bind(&rotated)?,
+            });
+        }
+        Ok(out.expect("n >= 1 guaranteed by constructor"))
+    }
+}
+
+impl Encoder for NgramEncoder {
+    type Input = [u8];
+
+    fn dim(&self) -> usize {
+        self.config.dim
+    }
+
+    fn encode(&self, text: &[u8]) -> Result<Hypervector, HdcError> {
+        let n = self.config.n;
+        if text.len() < n {
+            return Err(HdcError::InputShapeMismatch { expected: n, actual: text.len() });
+        }
+        let mut sums = vec![0i32; self.config.dim];
+        for window in text.windows(n) {
+            let g = self.encode_ngram(window)?;
+            for (s, &c) in sums.iter_mut().zip(g.as_slice()) {
+                *s += i32::from(c);
+            }
+        }
+        Ok(bipolarize_sums(&sums))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::similarity::cosine;
+
+    fn encoder() -> NgramEncoder {
+        NgramEncoder::new(NgramEncoderConfig { dim: 10_000, n: 3, alphabet: 256, seed: 11 })
+            .unwrap()
+    }
+
+    #[test]
+    fn deterministic() {
+        let enc = encoder();
+        let a = enc.encode(b"hello world").unwrap();
+        let b = enc.encode(b"hello world").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn too_short_input_errors() {
+        let enc = encoder();
+        assert!(matches!(
+            enc.encode(b"hi"),
+            Err(HdcError::InputShapeMismatch { expected: 3, actual: 2 })
+        ));
+        assert!(enc.encode(b"hey").is_ok());
+    }
+
+    #[test]
+    fn order_matters() {
+        // Permutation encodes position: "abc" and "cba" must differ.
+        let enc = encoder();
+        let abc = enc.encode(b"abcabcabc").unwrap();
+        let cba = enc.encode(b"cbacbacba").unwrap();
+        assert!(cosine(&abc, &cba) < 0.5);
+    }
+
+    #[test]
+    fn shared_ngrams_increase_similarity() {
+        let enc = encoder();
+        let a = enc.encode(b"the quick brown fox jumps over the lazy dog").unwrap();
+        let b = enc.encode(b"the quick brown fox leaps over the lazy cat").unwrap();
+        let c = enc.encode(b"zzzzqqqqxxxxwwwwvvvv").unwrap();
+        assert!(cosine(&a, &b) > cosine(&a, &c));
+        assert!(cosine(&a, &b) > 0.3);
+    }
+
+    #[test]
+    fn zero_n_rejected() {
+        assert!(NgramEncoder::new(NgramEncoderConfig { n: 0, ..Default::default() }).is_err());
+    }
+
+    #[test]
+    fn unigram_encoder_ignores_order() {
+        let enc =
+            NgramEncoder::new(NgramEncoderConfig { dim: 10_000, n: 1, alphabet: 256, seed: 4 })
+                .unwrap();
+        let a = enc.encode(b"abab").unwrap();
+        let b = enc.encode(b"baba").unwrap();
+        // Unigram bags are order-free: identical multisets encode equal.
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn exact_window_length_input() {
+        let enc = encoder();
+        let hv = enc.encode(b"abc").unwrap();
+        assert_eq!(hv.dim(), 10_000);
+    }
+}

@@ -1,0 +1,283 @@
+//! The paper's image encoder (§III-A).
+//!
+//! An image is flattened to a pixel array; each pixel's hypervector is the
+//! binding of its *position* hypervector and its greyscale *value*
+//! hypervector; the image hypervector is the bipolarized bundle of all pixel
+//! hypervectors:
+//!
+//! ```text
+//! ImgHV = bipolarize( Σᵢ  PosHV[i] ⊛ ValHV[pixel[i]] )
+//! ```
+
+use crate::encoder::{bipolarize_sums, Encoder};
+use crate::error::HdcError;
+use crate::hypervector::Hypervector;
+use crate::memory::{ItemMemory, LevelMemory, ValueEncoding};
+
+/// Configuration for [`PixelEncoder`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PixelEncoderConfig {
+    /// Hypervector dimension `D` (the paper uses 10,000).
+    pub dim: usize,
+    /// Image width in pixels (MNIST: 28).
+    pub width: usize,
+    /// Image height in pixels (MNIST: 28).
+    pub height: usize,
+    /// Number of greyscale quantization levels (MNIST: 256).
+    pub levels: usize,
+    /// Scheme for the value memory. The paper uses [`ValueEncoding::Random`].
+    pub value_encoding: ValueEncoding,
+    /// Master seed for the position and value memories.
+    pub seed: u64,
+}
+
+impl Default for PixelEncoderConfig {
+    /// The paper's MNIST configuration: 28×28, 256 levels, D = 10,000,
+    /// random value memory.
+    fn default() -> Self {
+        Self {
+            dim: crate::DEFAULT_DIM,
+            width: 28,
+            height: 28,
+            levels: 256,
+            value_encoding: ValueEncoding::Random,
+            seed: 0,
+        }
+    }
+}
+
+/// Encodes flattened greyscale images (`&[u8]`, row-major) into
+/// hypervectors per the paper's §III-A pipeline.
+///
+/// ```
+/// use hdc::{Encoder, PixelEncoder, PixelEncoderConfig};
+///
+/// let enc = PixelEncoder::new(PixelEncoderConfig {
+///     dim: 2_000, width: 4, height: 4, levels: 16,
+///     value_encoding: hdc::ValueEncoding::Random, seed: 1,
+/// })?;
+/// let image = [5u8; 16];
+/// let hv = enc.encode(&image[..])?;
+/// assert_eq!(hv.dim(), 2_000);
+/// # Ok::<(), hdc::HdcError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct PixelEncoder {
+    positions: ItemMemory,
+    values: LevelMemory,
+    config: PixelEncoderConfig,
+}
+
+impl PixelEncoder {
+    /// Generates the position memory (`width × height` entries) and value
+    /// memory (`levels` entries) from `config.seed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::ZeroDimension`] / [`HdcError::EmptyMemory`] when
+    /// `dim`, `width × height`, or `levels` is zero.
+    pub fn new(config: PixelEncoderConfig) -> Result<Self, HdcError> {
+        let pixels = config.width * config.height;
+        let positions = ItemMemory::new(pixels, config.dim, config.seed, "pixel-position")?;
+        let values = LevelMemory::new(
+            config.levels,
+            config.dim,
+            config.value_encoding,
+            config.seed,
+            "pixel-value",
+        )?;
+        Ok(Self { positions, values, config })
+    }
+
+    /// The configuration this encoder was built with.
+    pub fn config(&self) -> &PixelEncoderConfig {
+        &self.config
+    }
+
+    /// Number of pixels expected per image.
+    pub fn pixel_count(&self) -> usize {
+        self.config.width * self.config.height
+    }
+
+    /// The position item memory (one hypervector per pixel index).
+    pub fn position_memory(&self) -> &ItemMemory {
+        &self.positions
+    }
+
+    /// The greyscale value memory.
+    pub fn value_memory(&self) -> &LevelMemory {
+        &self.values
+    }
+
+    /// Quantizes a raw pixel value (0–255) to a value-memory level.
+    ///
+    /// With 256 levels this is the identity; with fewer levels the range is
+    /// divided evenly.
+    pub fn quantize(&self, value: u8) -> usize {
+        let levels = self.config.levels;
+        if levels >= 256 {
+            usize::from(value)
+        } else {
+            usize::from(value) * levels / 256
+        }
+    }
+}
+
+impl Encoder for PixelEncoder {
+    type Input = [u8];
+
+    fn dim(&self) -> usize {
+        self.config.dim
+    }
+
+    fn encode(&self, pixels: &[u8]) -> Result<Hypervector, HdcError> {
+        let expected = self.pixel_count();
+        if pixels.len() != expected {
+            return Err(HdcError::InputShapeMismatch { expected, actual: pixels.len() });
+        }
+        let dim = self.config.dim;
+        let mut sums = vec![0i32; dim];
+        for (i, &p) in pixels.iter().enumerate() {
+            let pos = self.positions.get(i)?.as_slice();
+            let val = self.values.get(self.quantize(p))?.as_slice();
+            for ((s, &a), &b) in sums.iter_mut().zip(pos).zip(val) {
+                // a, b ∈ {-1, +1}: the product is the bound pixel component.
+                *s += i32::from(a * b);
+            }
+        }
+        Ok(bipolarize_sums(&sums))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::similarity::cosine;
+
+    fn encoder(dim: usize, side: usize, levels: usize) -> PixelEncoder {
+        PixelEncoder::new(PixelEncoderConfig {
+            dim,
+            width: side,
+            height: side,
+            levels,
+            value_encoding: ValueEncoding::Random,
+            seed: 123,
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn encode_is_deterministic() {
+        let enc = encoder(1_000, 4, 16);
+        let img = [7u8; 16];
+        assert_eq!(enc.encode(&img[..]).unwrap(), enc.encode(&img[..]).unwrap());
+    }
+
+    #[test]
+    fn encode_rejects_wrong_shape() {
+        let enc = encoder(500, 4, 16);
+        let short = [0u8; 15];
+        assert!(matches!(
+            enc.encode(&short[..]),
+            Err(HdcError::InputShapeMismatch { expected: 16, actual: 15 })
+        ));
+    }
+
+    #[test]
+    fn identical_images_max_similarity() {
+        let enc = encoder(2_000, 6, 256);
+        let img = [100u8; 36];
+        let a = enc.encode(&img[..]).unwrap();
+        let b = enc.encode(&img[..]).unwrap();
+        assert!((cosine(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn similar_images_more_similar_than_different() {
+        let enc = encoder(10_000, 8, 256);
+        let base = [200u8; 64];
+        let mut near = base;
+        near[0] = 0; // one changed pixel
+        let mut far = [0u8; 64];
+        far.iter_mut().enumerate().for_each(|(i, p)| *p = (i * 4) as u8);
+
+        let hv_base = enc.encode(&base[..]).unwrap();
+        let hv_near = enc.encode(&near[..]).unwrap();
+        let hv_far = enc.encode(&far[..]).unwrap();
+        let sim_near = cosine(&hv_base, &hv_near);
+        let sim_far = cosine(&hv_base, &hv_far);
+        assert!(
+            sim_near > sim_far,
+            "one-pixel change ({sim_near}) should stay closer than a different image ({sim_far})"
+        );
+        assert!(sim_near > 0.9, "63/64 shared pixels should be highly similar: {sim_near}");
+    }
+
+    #[test]
+    fn random_value_memory_makes_levels_orthogonal() {
+        // With the paper's random value memory, changing every pixel by one
+        // grey level yields an almost-orthogonal image hypervector — the
+        // brittleness HDTest exploits.
+        // 9×9 = 81 pixels: an odd pixel count means bundling sums are never
+        // zero, so no tie-break correlation clouds the measurement.
+        let enc = encoder(10_000, 9, 256);
+        let base = [100u8; 81];
+        let shifted = [101u8; 81];
+        let a = enc.encode(&base[..]).unwrap();
+        let b = enc.encode(&shifted[..]).unwrap();
+        assert!(cosine(&a, &b).abs() < 0.06);
+    }
+
+    #[test]
+    fn level_value_memory_preserves_small_changes() {
+        let enc = PixelEncoder::new(PixelEncoderConfig {
+            dim: 10_000,
+            width: 9,
+            height: 9,
+            levels: 256,
+            value_encoding: ValueEncoding::Level,
+            seed: 123,
+        })
+        .unwrap();
+        let base = [100u8; 81];
+        let shifted = [101u8; 81];
+        let a = enc.encode(&base[..]).unwrap();
+        let b = enc.encode(&shifted[..]).unwrap();
+        assert!(cosine(&a, &b) > 0.9, "level encoding keeps ±1 changes similar");
+    }
+
+    #[test]
+    fn quantize_identity_at_256_levels() {
+        let enc = encoder(100, 2, 256);
+        assert_eq!(enc.quantize(0), 0);
+        assert_eq!(enc.quantize(255), 255);
+        assert_eq!(enc.quantize(128), 128);
+    }
+
+    #[test]
+    fn quantize_buckets_at_fewer_levels() {
+        let enc = encoder(100, 2, 4);
+        assert_eq!(enc.quantize(0), 0);
+        assert_eq!(enc.quantize(63), 0);
+        assert_eq!(enc.quantize(64), 1);
+        assert_eq!(enc.quantize(255), 3);
+    }
+
+    #[test]
+    fn default_config_matches_paper() {
+        let c = PixelEncoderConfig::default();
+        assert_eq!(c.dim, 10_000);
+        assert_eq!(c.width, 28);
+        assert_eq!(c.height, 28);
+        assert_eq!(c.levels, 256);
+        assert_eq!(c.value_encoding, ValueEncoding::Random);
+    }
+
+    #[test]
+    fn different_seeds_give_different_encodings() {
+        let a = PixelEncoder::new(PixelEncoderConfig { seed: 1, dim: 1_000, width: 4, height: 4, levels: 16, value_encoding: ValueEncoding::Random }).unwrap();
+        let b = PixelEncoder::new(PixelEncoderConfig { seed: 2, dim: 1_000, width: 4, height: 4, levels: 16, value_encoding: ValueEncoding::Random }).unwrap();
+        let img = [3u8; 16];
+        assert_ne!(a.encode(&img[..]).unwrap(), b.encode(&img[..]).unwrap());
+    }
+}

@@ -1,0 +1,360 @@
+//! Dense bipolar hypervectors.
+//!
+//! A [`Hypervector`] is the fundamental building block of HDC: a
+//! high-dimensional vector whose components are independently and identically
+//! distributed over `{-1, +1}`. Random hypervectors of dimension `D ≈ 10,000`
+//! are quasi-orthogonal with overwhelming probability, which is what makes
+//! holographic superposition (bundling) and binding work.
+
+use crate::error::HdcError;
+use crate::rng::random_bipolar;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::fmt;
+use std::ops::Index;
+
+/// A dense bipolar hypervector with components in `{-1, +1}`.
+///
+/// The representation is `Vec<i8>` so binding is a single elementwise
+/// multiply and dot products stay in integer arithmetic.
+///
+/// ```
+/// use hdc::Hypervector;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let a = Hypervector::random(1_000, &mut rng);
+/// let b = Hypervector::random(1_000, &mut rng);
+/// // Random hypervectors are quasi-orthogonal.
+/// assert!(hdc::cosine(&a, &b).abs() < 0.12);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Hypervector {
+    components: Vec<i8>,
+}
+
+impl Hypervector {
+    /// Creates a hypervector from raw bipolar components.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::ZeroDimension`] for an empty slice and
+    /// [`HdcError::Corrupt`] if any component is not `-1` or `+1`.
+    pub fn from_components(components: Vec<i8>) -> Result<Self, HdcError> {
+        if components.is_empty() {
+            return Err(HdcError::ZeroDimension);
+        }
+        if let Some(bad) = components.iter().find(|&&c| c != 1 && c != -1) {
+            return Err(HdcError::Corrupt(format!(
+                "bipolar component must be ±1, found {bad}"
+            )));
+        }
+        Ok(Self { components })
+    }
+
+    /// Creates a hypervector without validating that components are bipolar.
+    ///
+    /// Callers must guarantee every component is `-1` or `+1`; other values
+    /// silently corrupt similarity computations. Used internally on
+    /// hot paths where the invariant is already established.
+    pub(crate) fn from_components_unchecked(components: Vec<i8>) -> Self {
+        debug_assert!(components.iter().all(|&c| c == 1 || c == -1));
+        Self { components }
+    }
+
+    /// Draws a fresh i.i.d. random bipolar hypervector of dimension `dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is zero.
+    pub fn random(dim: usize, rng: &mut StdRng) -> Self {
+        assert!(dim > 0, "hypervector dimension must be non-zero");
+        Self { components: random_bipolar(dim, rng) }
+    }
+
+    /// A hypervector with every component `+1` (the binding identity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is zero.
+    pub fn ones(dim: usize) -> Self {
+        assert!(dim > 0, "hypervector dimension must be non-zero");
+        Self { components: vec![1; dim] }
+    }
+
+    /// The dimension `D` of the hypervector.
+    pub fn dim(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Borrows the raw bipolar components.
+    pub fn as_slice(&self) -> &[i8] {
+        &self.components
+    }
+
+    /// Consumes the hypervector, returning its components.
+    pub fn into_components(self) -> Vec<i8> {
+        self.components
+    }
+
+    /// Elementwise multiplication (the HDC binding operation ⊛).
+    ///
+    /// The result is quasi-orthogonal to both operands, and binding is its
+    /// own inverse: `a ⊛ a = 1`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::DimensionMismatch`] if the operands differ in
+    /// dimension.
+    pub fn bind(&self, other: &Self) -> Result<Self, HdcError> {
+        if self.dim() != other.dim() {
+            return Err(HdcError::DimensionMismatch {
+                expected: self.dim(),
+                actual: other.dim(),
+            });
+        }
+        let components = self
+            .components
+            .iter()
+            .zip(&other.components)
+            .map(|(&a, &b)| a * b)
+            .collect();
+        Ok(Self { components })
+    }
+
+    /// Cyclic right-shift by `amount` positions (the HDC permutation ρ).
+    ///
+    /// Permutation preserves component statistics but produces a vector
+    /// quasi-orthogonal to the input for any non-zero shift. `ρ` distributes
+    /// over binding and bundling, which sequence encoders exploit.
+    pub fn permute(&self, amount: usize) -> Self {
+        let dim = self.dim();
+        let k = amount % dim;
+        if k == 0 {
+            return self.clone();
+        }
+        let mut components = Vec::with_capacity(dim);
+        components.extend_from_slice(&self.components[dim - k..]);
+        components.extend_from_slice(&self.components[..dim - k]);
+        Self { components }
+    }
+
+    /// Inverse of [`permute`](Self::permute): cyclic left-shift.
+    pub fn permute_inverse(&self, amount: usize) -> Self {
+        let dim = self.dim();
+        let k = amount % dim;
+        self.permute(dim - k)
+    }
+
+    /// Flips the sign of every component.
+    pub fn negate(&self) -> Self {
+        Self { components: self.components.iter().map(|&c| -c).collect() }
+    }
+
+    /// Number of positions at which `self` and `other` disagree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::DimensionMismatch`] if dimensions differ.
+    pub fn hamming_distance(&self, other: &Self) -> Result<usize, HdcError> {
+        if self.dim() != other.dim() {
+            return Err(HdcError::DimensionMismatch {
+                expected: self.dim(),
+                actual: other.dim(),
+            });
+        }
+        Ok(self
+            .components
+            .iter()
+            .zip(&other.components)
+            .filter(|(a, b)| a != b)
+            .count())
+    }
+
+    /// Returns a copy with `count` uniformly chosen components sign-flipped.
+    ///
+    /// Useful for modelling bit-error noise (the paper's related work
+    /// discusses HDC robustness against memory errors) and in tests.
+    pub fn with_noise(&self, count: usize, rng: &mut StdRng) -> Self {
+        let mut out = self.clone();
+        let dim = out.dim();
+        for _ in 0..count.min(dim) {
+            let i = rng.gen_range(0..dim);
+            out.components[i] = -out.components[i];
+        }
+        out
+    }
+}
+
+impl Index<usize> for Hypervector {
+    type Output = i8;
+
+    fn index(&self, index: usize) -> &Self::Output {
+        &self.components[index]
+    }
+}
+
+impl fmt::Debug for Hypervector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let dim = self.dim();
+        let head: Vec<i8> = self.components.iter().take(8).copied().collect();
+        write!(f, "Hypervector(dim={dim}, head={head:?}…)")
+    }
+}
+
+impl AsRef<[i8]> for Hypervector {
+    fn as_ref(&self) -> &[i8] {
+        &self.components
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::similarity::cosine;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn random_is_bipolar() {
+        let hv = Hypervector::random(512, &mut rng());
+        assert!(hv.as_slice().iter().all(|&c| c == 1 || c == -1));
+        assert_eq!(hv.dim(), 512);
+    }
+
+    #[test]
+    fn random_is_balanced() {
+        let hv = Hypervector::random(10_000, &mut rng());
+        let ones = hv.as_slice().iter().filter(|&&c| c == 1).count();
+        // Binomial(10_000, 0.5): 5000 ± a few hundred.
+        assert!((4_500..=5_500).contains(&ones), "ones = {ones}");
+    }
+
+    #[test]
+    fn from_components_validates() {
+        assert!(Hypervector::from_components(vec![]).is_err());
+        assert!(Hypervector::from_components(vec![1, -1, 0]).is_err());
+        assert!(Hypervector::from_components(vec![1, -1, 1]).is_ok());
+    }
+
+    #[test]
+    fn bind_is_self_inverse() {
+        let mut r = rng();
+        let a = Hypervector::random(1_000, &mut r);
+        let id = a.bind(&a).unwrap();
+        assert_eq!(id, Hypervector::ones(1_000));
+    }
+
+    #[test]
+    fn bind_produces_orthogonal_vector() {
+        let mut r = rng();
+        let a = Hypervector::random(10_000, &mut r);
+        let b = Hypervector::random(10_000, &mut r);
+        let c = a.bind(&b).unwrap();
+        assert!(cosine(&a, &c).abs() < 0.05);
+        assert!(cosine(&b, &c).abs() < 0.05);
+    }
+
+    #[test]
+    fn bind_dimension_mismatch() {
+        let mut r = rng();
+        let a = Hypervector::random(100, &mut r);
+        let b = Hypervector::random(200, &mut r);
+        assert!(matches!(
+            a.bind(&b),
+            Err(HdcError::DimensionMismatch { expected: 100, actual: 200 })
+        ));
+    }
+
+    #[test]
+    fn bind_is_commutative() {
+        let mut r = rng();
+        let a = Hypervector::random(256, &mut r);
+        let b = Hypervector::random(256, &mut r);
+        assert_eq!(a.bind(&b).unwrap(), b.bind(&a).unwrap());
+    }
+
+    #[test]
+    fn permute_round_trips() {
+        let mut r = rng();
+        let a = Hypervector::random(777, &mut r);
+        for k in [0, 1, 5, 776, 777, 1000] {
+            assert_eq!(a.permute(k).permute_inverse(k), a, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn permute_shifts_right() {
+        let hv = Hypervector::from_components(vec![1, 1, -1, 1]).unwrap();
+        let shifted = hv.permute(1);
+        assert_eq!(shifted.as_slice(), &[1, 1, 1, -1]);
+    }
+
+    #[test]
+    fn permute_produces_orthogonal_vector() {
+        let mut r = rng();
+        let a = Hypervector::random(10_000, &mut r);
+        assert!(cosine(&a, &a.permute(1)).abs() < 0.05);
+    }
+
+    #[test]
+    fn permute_by_dim_is_identity() {
+        let mut r = rng();
+        let a = Hypervector::random(64, &mut r);
+        assert_eq!(a.permute(64), a);
+    }
+
+    #[test]
+    fn negate_flips_cosine() {
+        let mut r = rng();
+        let a = Hypervector::random(1_000, &mut r);
+        let n = a.negate();
+        assert!((cosine(&a, &n) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hamming_distance_to_self_is_zero() {
+        let mut r = rng();
+        let a = Hypervector::random(300, &mut r);
+        assert_eq!(a.hamming_distance(&a).unwrap(), 0);
+    }
+
+    #[test]
+    fn hamming_distance_to_negation_is_dim() {
+        let mut r = rng();
+        let a = Hypervector::random(300, &mut r);
+        assert_eq!(a.hamming_distance(&a.negate()).unwrap(), 300);
+    }
+
+    #[test]
+    fn with_noise_bounded_change() {
+        let mut r = rng();
+        let a = Hypervector::random(1_000, &mut r);
+        let noisy = a.with_noise(50, &mut r);
+        let d = a.hamming_distance(&noisy).unwrap();
+        assert!(d <= 50, "at most 50 flips, got {d}");
+        assert!(d > 0, "expected some flips");
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension must be non-zero")]
+    fn random_zero_dim_panics() {
+        let _ = Hypervector::random(0, &mut rng());
+    }
+
+    #[test]
+    fn index_accesses_components() {
+        let hv = Hypervector::from_components(vec![1, -1, 1]).unwrap();
+        assert_eq!(hv[0], 1);
+        assert_eq!(hv[1], -1);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let hv = Hypervector::ones(16);
+        assert!(!format!("{hv:?}").is_empty());
+    }
+}

@@ -1,0 +1,202 @@
+//! Model persistence.
+//!
+//! Trained pixel-encoder classifiers serialize to a small self-describing
+//! binary format (`HDC1` magic). Only the encoder *configuration* and the
+//! per-class accumulators are stored: the item memories are pseudo-random
+//! functions of the seed, so they regenerate bit-exactly on load. This keeps
+//! model files proportional to `num_classes × D`, not `pixels × D`.
+
+use crate::accumulator::Accumulator;
+use crate::am::AssociativeMemory;
+use crate::classifier::HdcClassifier;
+use crate::encoder::{PixelEncoder, PixelEncoderConfig};
+use crate::error::HdcError;
+use crate::memory::ValueEncoding;
+use std::io::{Read, Write};
+
+const MAGIC: &[u8; 4] = b"HDC1";
+
+/// Serializes a trained pixel classifier to `writer`.
+///
+/// A mut reference can be passed for any `W: Write` (e.g. `&mut file`).
+///
+/// # Errors
+///
+/// Returns [`HdcError::Io`] on write failure.
+pub fn save_pixel_classifier<W: Write>(
+    model: &HdcClassifier<PixelEncoder>,
+    mut writer: W,
+) -> Result<(), HdcError> {
+    let config = model.encoder().config();
+    writer.write_all(MAGIC)?;
+    write_u64(&mut writer, config.dim as u64)?;
+    write_u64(&mut writer, config.width as u64)?;
+    write_u64(&mut writer, config.height as u64)?;
+    write_u64(&mut writer, config.levels as u64)?;
+    write_u64(
+        &mut writer,
+        match config.value_encoding {
+            ValueEncoding::Random => 0,
+            ValueEncoding::Level => 1,
+        },
+    )?;
+    write_u64(&mut writer, config.seed)?;
+    let am = model.associative_memory();
+    write_u64(&mut writer, am.num_classes() as u64)?;
+    for class in 0..am.num_classes() {
+        let acc = am.accumulator(class)?;
+        write_u64(&mut writer, acc.count() as u64)?;
+        for &s in acc.sums() {
+            writer.write_all(&s.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Deserializes a trained pixel classifier from `reader`. The returned model
+/// is already finalized.
+///
+/// A mut reference can be passed for any `R: Read` (e.g. `&mut file`).
+///
+/// # Errors
+///
+/// Returns [`HdcError::Corrupt`] for bad magic or inconsistent payloads,
+/// [`HdcError::Io`] on read failure.
+pub fn load_pixel_classifier<R: Read>(
+    mut reader: R,
+) -> Result<HdcClassifier<PixelEncoder>, HdcError> {
+    let mut magic = [0u8; 4];
+    reader.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(HdcError::Corrupt(format!("bad magic {magic:?}")));
+    }
+    let dim = read_usize(&mut reader)?;
+    let width = read_usize(&mut reader)?;
+    let height = read_usize(&mut reader)?;
+    let levels = read_usize(&mut reader)?;
+    let value_encoding = match read_u64(&mut reader)? {
+        0 => ValueEncoding::Random,
+        1 => ValueEncoding::Level,
+        other => return Err(HdcError::Corrupt(format!("unknown value encoding tag {other}"))),
+    };
+    let seed = read_u64(&mut reader)?;
+    let num_classes = read_usize(&mut reader)?;
+    if num_classes == 0 || num_classes > 1 << 20 {
+        return Err(HdcError::Corrupt(format!("implausible class count {num_classes}")));
+    }
+    if dim == 0 || dim > 1 << 26 {
+        return Err(HdcError::Corrupt(format!("implausible dimension {dim}")));
+    }
+
+    let mut accumulators = Vec::with_capacity(num_classes);
+    for _ in 0..num_classes {
+        let count = read_usize(&mut reader)?;
+        let mut sums = Vec::with_capacity(dim);
+        let mut buf = [0u8; 4];
+        for _ in 0..dim {
+            reader.read_exact(&mut buf)?;
+            sums.push(i32::from_le_bytes(buf));
+        }
+        accumulators.push(Accumulator::from_raw(sums, count)?);
+    }
+
+    let encoder =
+        PixelEncoder::new(PixelEncoderConfig { dim, width, height, levels, value_encoding, seed })?;
+    let am = AssociativeMemory::from_accumulators(accumulators)?;
+    let mut model = HdcClassifier::new(encoder, am.num_classes());
+    // `from_accumulators` finalized the AM, so the model is prediction-ready.
+    *model.am_mut() = am;
+    Ok(model)
+}
+
+fn write_u64<W: Write>(w: &mut W, v: u64) -> Result<(), HdcError> {
+    w.write_all(&v.to_le_bytes())?;
+    Ok(())
+}
+
+fn read_u64<R: Read>(r: &mut R) -> Result<u64, HdcError> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+fn read_usize<R: Read>(r: &mut R) -> Result<usize, HdcError> {
+    let v = read_u64(r)?;
+    usize::try_from(v).map_err(|_| HdcError::Corrupt(format!("value {v} exceeds usize")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trained_model() -> HdcClassifier<PixelEncoder> {
+        let encoder = PixelEncoder::new(PixelEncoderConfig {
+            dim: 512,
+            width: 4,
+            height: 4,
+            levels: 8,
+            value_encoding: ValueEncoding::Random,
+            seed: 5,
+        })
+        .unwrap();
+        let mut model = HdcClassifier::new(encoder, 2);
+        model.train_one(&[0u8; 16][..], 0).unwrap();
+        model.train_one(&[224u8; 16][..], 1).unwrap();
+        model.finalize();
+        model
+    }
+
+    #[test]
+    fn round_trip_preserves_predictions() {
+        let model = trained_model();
+        let mut buf = Vec::new();
+        save_pixel_classifier(&model, &mut buf).unwrap();
+        let loaded = load_pixel_classifier(&buf[..]).unwrap();
+
+        for img in [[0u8; 16], [224u8; 16], [96u8; 16]] {
+            let a = model.predict(&img[..]).unwrap();
+            let b = loaded.predict(&img[..]).unwrap();
+            assert_eq!(a.class, b.class);
+            assert!((a.similarity - b.similarity).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn round_trip_preserves_accumulators() {
+        let model = trained_model();
+        let mut buf = Vec::new();
+        save_pixel_classifier(&model, &mut buf).unwrap();
+        let loaded = load_pixel_classifier(&buf[..]).unwrap();
+        for c in 0..2 {
+            assert_eq!(
+                model.associative_memory().accumulator(c).unwrap(),
+                loaded.associative_memory().accumulator(c).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let buf = b"NOPE_________________".to_vec();
+        assert!(matches!(load_pixel_classifier(&buf[..]), Err(HdcError::Corrupt(_))));
+    }
+
+    #[test]
+    fn truncated_payload_rejected() {
+        let model = trained_model();
+        let mut buf = Vec::new();
+        save_pixel_classifier(&model, &mut buf).unwrap();
+        buf.truncate(buf.len() / 2);
+        assert!(load_pixel_classifier(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn implausible_header_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        for v in [u64::MAX, 4, 4, 8, 0, 5, 2] {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        assert!(matches!(load_pixel_classifier(&buf[..]), Err(HdcError::Corrupt(_))));
+    }
+}

@@ -1,0 +1,107 @@
+//! # `hdc` — a hyperdimensional computing (HDC) substrate
+//!
+//! This crate implements the full HDC stack required by the HDTest paper
+//! (Ma et al., DAC 2021): hypervectors with the three canonical arithmetic
+//! operations (addition ⨁, multiplication ⊛, permutation ρ), random item
+//! memories, application encoders, an associative memory, and a trainable
+//! classifier with one-shot training and retraining.
+//!
+//! ## Model
+//!
+//! A [`Hypervector`] is a dense bipolar vector (`±1` components) of dimension
+//! `D` (typically 10,000). Multiplication and permutation produce vectors
+//! orthogonal to their operands; addition preserves similarity to each
+//! operand. Classes are represented in an [`AssociativeMemory`]: the bundled
+//! (summed, then bipolarized) hypervectors of all training inputs of that
+//! class. Prediction encodes a query input and returns the class whose
+//! reference vector has maximal cosine similarity.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use hdc::prelude::*;
+//!
+//! // Encode 4x4 images of 4 grey levels into 1,000-dimensional hypervectors.
+//! let encoder = PixelEncoder::new(PixelEncoderConfig {
+//!     dim: 1_000,
+//!     width: 4,
+//!     height: 4,
+//!     levels: 4,
+//!     value_encoding: ValueEncoding::Random,
+//!     seed: 7,
+//! })?;
+//! let mut model = HdcClassifier::new(encoder, 2);
+//!
+//! // One-shot training: bundle each example into its class accumulator.
+//! let dark = vec![0u8; 16];
+//! let light = vec![255u8; 16];
+//! model.train_one(&dark, 0)?;
+//! model.train_one(&light, 1)?;
+//! model.finalize();
+//!
+//! assert_eq!(model.predict(&dark)?.class, 0);
+//! assert_eq!(model.predict(&light)?.class, 1);
+//! # Ok::<(), hdc::HdcError>(())
+//! ```
+//!
+//! The sibling crates build on this substrate: `hdc-data` provides image
+//! types and the synthetic digit dataset, and `hdtest` implements the
+//! distance-guided differential fuzzer that is the paper's contribution.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod accumulator;
+pub mod am;
+pub mod binary;
+pub mod classifier;
+pub mod confusion;
+pub mod encoder;
+pub mod error;
+pub mod fault;
+pub mod hypervector;
+pub mod io;
+pub mod memory;
+pub mod ops;
+pub mod packed;
+pub mod rng;
+pub mod similarity;
+
+pub use accumulator::Accumulator;
+pub use am::AssociativeMemory;
+pub use binary::{BinaryClassifier, BinaryPrediction};
+pub use classifier::{HdcClassifier, Prediction};
+pub use confusion::ConfusionMatrix;
+pub use encoder::{
+    Encoder, NgramEncoder, NgramEncoderConfig, PermutePixelEncoder, PermutePixelEncoderConfig,
+    PixelEncoder, PixelEncoderConfig, RecordEncoder, RecordEncoderConfig, TimeSeriesEncoder,
+    TimeSeriesEncoderConfig,
+};
+pub use error::HdcError;
+pub use fault::{bit_error_sweep, BitErrorPoint, FaultyAssociativeMemory};
+pub use hypervector::Hypervector;
+pub use memory::{ItemMemory, LevelMemory, ValueEncoding};
+pub use packed::PackedHypervector;
+pub use similarity::{cosine, cosine_accum, dot, hamming, normalized_hamming};
+
+/// Convenience re-exports for downstream users.
+pub mod prelude {
+    pub use crate::accumulator::Accumulator;
+    pub use crate::am::AssociativeMemory;
+    pub use crate::binary::{BinaryClassifier, BinaryPrediction};
+    pub use crate::classifier::{HdcClassifier, Prediction};
+    pub use crate::confusion::ConfusionMatrix;
+    pub use crate::encoder::{
+        Encoder, NgramEncoder, NgramEncoderConfig, PermutePixelEncoder,
+        PermutePixelEncoderConfig, PixelEncoder, PixelEncoderConfig, RecordEncoder,
+        RecordEncoderConfig, TimeSeriesEncoder, TimeSeriesEncoderConfig,
+    };
+    pub use crate::error::HdcError;
+    pub use crate::hypervector::Hypervector;
+    pub use crate::memory::{ItemMemory, LevelMemory, ValueEncoding};
+    pub use crate::packed::PackedHypervector;
+    pub use crate::similarity::{cosine, dot, hamming, normalized_hamming};
+}
+
+/// The default hypervector dimension used throughout the paper (`D = 10,000`).
+pub const DEFAULT_DIM: usize = 10_000;

@@ -1,0 +1,376 @@
+//! Item memories: indexed stores of (pseudo-)random hypervectors.
+//!
+//! The paper's pixel encoder (§III-A) uses two memories generated once and
+//! reused for every image:
+//!
+//! * the **position memory** — one random hypervector per pixel index
+//!   (28 × 28 = 784 entries for MNIST), and
+//! * the **value memory** — one hypervector per greyscale level.
+//!
+//! The paper draws value hypervectors fully at random ([`ValueEncoding::Random`]).
+//! This crate also provides the standard *level* (thermometer) encoding
+//! ([`ValueEncoding::Level`]), where nearby levels share most components, as
+//! used across the HDC literature the paper cites; the fuzzer treats either
+//! uniformly through the greybox interface.
+
+use crate::error::HdcError;
+use crate::hypervector::Hypervector;
+use crate::rng::derive_rng;
+use rand::Rng;
+
+/// How scalar values are mapped to value hypervectors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ValueEncoding {
+    /// Every level gets an independent random hypervector (the paper's
+    /// §III-A choice). Adjacent levels are quasi-orthogonal.
+    #[default]
+    Random,
+    /// Thermometer/level encoding: level 0 and the maximum level are random
+    /// and quasi-orthogonal; intermediate levels interpolate by flipping a
+    /// proportional prefix of components, so similarity decreases linearly
+    /// with level distance.
+    Level,
+}
+
+impl std::fmt::Display for ValueEncoding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ValueEncoding::Random => write!(f, "random"),
+            ValueEncoding::Level => write!(f, "level"),
+        }
+    }
+}
+
+/// An indexed memory of independent random hypervectors.
+///
+/// Used for pixel positions, record field keys, alphabet symbols, etc.
+///
+/// ```
+/// use hdc::ItemMemory;
+///
+/// let mem = ItemMemory::new(784, 1_000, 42, "position")?;
+/// assert_eq!(mem.len(), 784);
+/// // Entries are quasi-orthogonal.
+/// let sim = hdc::cosine(mem.get(0)?, mem.get(1)?);
+/// assert!(sim.abs() < 0.12);
+/// # Ok::<(), hdc::HdcError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ItemMemory {
+    items: Vec<Hypervector>,
+    dim: usize,
+}
+
+impl ItemMemory {
+    /// Generates `count` random hypervectors of dimension `dim`, seeded from
+    /// `(seed, label)` so distinct memories in the same model do not share a
+    /// random stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::EmptyMemory`] if `count` is zero or
+    /// [`HdcError::ZeroDimension`] if `dim` is zero.
+    pub fn new(count: usize, dim: usize, seed: u64, label: &str) -> Result<Self, HdcError> {
+        if count == 0 {
+            return Err(HdcError::EmptyMemory);
+        }
+        if dim == 0 {
+            return Err(HdcError::ZeroDimension);
+        }
+        let mut rng = derive_rng(seed, label);
+        let items = (0..count).map(|_| Hypervector::random(dim, &mut rng)).collect();
+        Ok(Self { items, dim })
+    }
+
+    /// Builds an item memory from explicit hypervectors (persistence path).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::EmptyMemory`] for an empty vector and
+    /// [`HdcError::DimensionMismatch`] on inconsistent dimensions.
+    pub fn from_items(items: Vec<Hypervector>) -> Result<Self, HdcError> {
+        let dim = items.first().ok_or(HdcError::EmptyMemory)?.dim();
+        if let Some(bad) = items.iter().find(|hv| hv.dim() != dim) {
+            return Err(HdcError::DimensionMismatch { expected: dim, actual: bad.dim() });
+        }
+        Ok(Self { items, dim })
+    }
+
+    /// Number of stored items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the memory is empty (never true for a constructed memory).
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Hypervector dimension of every entry.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Looks up the hypervector for `index`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::ValueOutOfRange`] if `index >= len()`.
+    pub fn get(&self, index: usize) -> Result<&Hypervector, HdcError> {
+        self.items
+            .get(index)
+            .ok_or(HdcError::ValueOutOfRange { value: index, levels: self.items.len() })
+    }
+
+    /// Iterates over the stored hypervectors in index order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Hypervector> {
+        self.items.iter()
+    }
+
+    /// Returns the index of the stored item most similar (max dot product)
+    /// to `query`, with its cosine similarity — a clean-up memory lookup.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::DimensionMismatch`] if `query` has the wrong
+    /// dimension.
+    pub fn nearest(&self, query: &Hypervector) -> Result<(usize, f64), HdcError> {
+        if query.dim() != self.dim {
+            return Err(HdcError::DimensionMismatch { expected: self.dim, actual: query.dim() });
+        }
+        let mut best = (0usize, f64::NEG_INFINITY);
+        for (i, item) in self.items.iter().enumerate() {
+            let sim = crate::similarity::cosine(query, item);
+            if sim > best.1 {
+                best = (i, sim);
+            }
+        }
+        Ok(best)
+    }
+}
+
+/// A value memory mapping quantized scalar levels to hypervectors.
+///
+/// Construct with [`LevelMemory::new`], choosing the paper's fully random
+/// mapping or the correlated level encoding via [`ValueEncoding`].
+#[derive(Debug, Clone)]
+pub struct LevelMemory {
+    items: Vec<Hypervector>,
+    encoding: ValueEncoding,
+    dim: usize,
+}
+
+impl LevelMemory {
+    /// Generates a value memory with `levels` entries of dimension `dim`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::EmptyMemory`] if `levels` is zero or
+    /// [`HdcError::ZeroDimension`] if `dim` is zero.
+    pub fn new(
+        levels: usize,
+        dim: usize,
+        encoding: ValueEncoding,
+        seed: u64,
+        label: &str,
+    ) -> Result<Self, HdcError> {
+        if levels == 0 {
+            return Err(HdcError::EmptyMemory);
+        }
+        if dim == 0 {
+            return Err(HdcError::ZeroDimension);
+        }
+        let mut rng = derive_rng(seed, label);
+        let items = match encoding {
+            ValueEncoding::Random => {
+                (0..levels).map(|_| Hypervector::random(dim, &mut rng)).collect()
+            }
+            ValueEncoding::Level => {
+                // Start from a random base; for each level flip a distinct,
+                // randomly chosen set of ~dim/(2*(levels-1)) components so the
+                // first and last levels differ in ~dim/2 positions
+                // (quasi-orthogonal) and similarity decays linearly.
+                let base = Hypervector::random(dim, &mut rng);
+                if levels == 1 {
+                    vec![base]
+                } else {
+                    let mut order: Vec<usize> = (0..dim).collect();
+                    // Fisher–Yates shuffle for the flip order.
+                    for i in (1..dim).rev() {
+                        let j = rng.gen_range(0..=i);
+                        order.swap(i, j);
+                    }
+                    let mut items = Vec::with_capacity(levels);
+                    let mut current = base.into_components();
+                    items.push(Hypervector::from_components(current.clone()).expect("bipolar"));
+                    let half = dim / 2;
+                    for level in 1..levels {
+                        let from = half * (level - 1) / (levels - 1);
+                        let to = half * level / (levels - 1);
+                        for &idx in &order[from..to] {
+                            current[idx] = -current[idx];
+                        }
+                        items.push(
+                            Hypervector::from_components(current.clone()).expect("bipolar"),
+                        );
+                    }
+                    items
+                }
+            }
+        };
+        Ok(Self { items, encoding, dim })
+    }
+
+    /// Number of quantization levels.
+    pub fn levels(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Hypervector dimension of every entry.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The encoding scheme this memory was built with.
+    pub fn encoding(&self) -> ValueEncoding {
+        self.encoding
+    }
+
+    /// Looks up the hypervector for quantized `level`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::ValueOutOfRange`] if `level >= levels()`.
+    pub fn get(&self, level: usize) -> Result<&Hypervector, HdcError> {
+        self.items
+            .get(level)
+            .ok_or(HdcError::ValueOutOfRange { value: level, levels: self.items.len() })
+    }
+
+    /// Iterates over level hypervectors in level order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Hypervector> {
+        self.items.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::similarity::cosine;
+
+    #[test]
+    fn item_memory_is_deterministic() {
+        let a = ItemMemory::new(10, 500, 7, "pos").unwrap();
+        let b = ItemMemory::new(10, 500, 7, "pos").unwrap();
+        for i in 0..10 {
+            assert_eq!(a.get(i).unwrap(), b.get(i).unwrap());
+        }
+    }
+
+    #[test]
+    fn item_memory_labels_give_distinct_streams() {
+        let a = ItemMemory::new(1, 500, 7, "pos").unwrap();
+        let b = ItemMemory::new(1, 500, 7, "val").unwrap();
+        assert_ne!(a.get(0).unwrap(), b.get(0).unwrap());
+    }
+
+    #[test]
+    fn item_memory_entries_quasi_orthogonal() {
+        let mem = ItemMemory::new(20, 10_000, 3, "pos").unwrap();
+        for i in 0..20 {
+            for j in (i + 1)..20 {
+                let sim = cosine(mem.get(i).unwrap(), mem.get(j).unwrap());
+                assert!(sim.abs() < 0.06, "entries {i},{j} too similar: {sim}");
+            }
+        }
+    }
+
+    #[test]
+    fn item_memory_rejects_degenerate_configs() {
+        assert!(ItemMemory::new(0, 100, 1, "x").is_err());
+        assert!(ItemMemory::new(10, 0, 1, "x").is_err());
+    }
+
+    #[test]
+    fn item_memory_get_out_of_range() {
+        let mem = ItemMemory::new(4, 100, 1, "x").unwrap();
+        assert!(mem.get(4).is_err());
+        assert!(mem.get(3).is_ok());
+    }
+
+    #[test]
+    fn item_memory_nearest_finds_exact_match() {
+        let mem = ItemMemory::new(16, 2_000, 5, "x").unwrap();
+        let (idx, sim) = mem.nearest(mem.get(9).unwrap()).unwrap();
+        assert_eq!(idx, 9);
+        assert!((sim - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn item_memory_nearest_tolerates_noise() {
+        use rand::SeedableRng;
+        let mem = ItemMemory::new(16, 2_000, 5, "x").unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        // Flip 20% of components; clean-up must still recover the item.
+        let noisy = mem.get(9).unwrap().with_noise(400, &mut rng);
+        let (idx, _) = mem.nearest(&noisy).unwrap();
+        assert_eq!(idx, 9);
+    }
+
+    #[test]
+    fn random_value_memory_adjacent_levels_orthogonal() {
+        let mem = LevelMemory::new(256, 10_000, ValueEncoding::Random, 2, "val").unwrap();
+        let sim = cosine(mem.get(100).unwrap(), mem.get(101).unwrap());
+        assert!(sim.abs() < 0.06, "adjacent random levels should be orthogonal: {sim}");
+    }
+
+    #[test]
+    fn level_memory_similarity_decays_linearly() {
+        let mem = LevelMemory::new(9, 10_000, ValueEncoding::Level, 2, "val").unwrap();
+        let s0 = cosine(mem.get(0).unwrap(), mem.get(0).unwrap());
+        let s4 = cosine(mem.get(0).unwrap(), mem.get(4).unwrap());
+        let s8 = cosine(mem.get(0).unwrap(), mem.get(8).unwrap());
+        assert!((s0 - 1.0).abs() < 1e-12);
+        // Halfway level should be ~0.5 similar; extremes quasi-orthogonal.
+        assert!((s4 - 0.5).abs() < 0.06, "s4 = {s4}");
+        assert!(s8.abs() < 0.06, "s8 = {s8}");
+        // Monotone decay.
+        let sims: Vec<f64> =
+            (0..9).map(|l| cosine(mem.get(0).unwrap(), mem.get(l).unwrap())).collect();
+        for w in sims.windows(2) {
+            assert!(w[1] <= w[0] + 1e-9, "similarity must decay: {sims:?}");
+        }
+    }
+
+    #[test]
+    fn level_memory_single_level() {
+        let mem = LevelMemory::new(1, 100, ValueEncoding::Level, 2, "val").unwrap();
+        assert_eq!(mem.levels(), 1);
+    }
+
+    #[test]
+    fn level_memory_deterministic() {
+        let a = LevelMemory::new(16, 500, ValueEncoding::Level, 9, "v").unwrap();
+        let b = LevelMemory::new(16, 500, ValueEncoding::Level, 9, "v").unwrap();
+        for l in 0..16 {
+            assert_eq!(a.get(l).unwrap(), b.get(l).unwrap());
+        }
+    }
+
+    #[test]
+    fn from_items_validates_dims() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let a = Hypervector::random(10, &mut rng);
+        let b = Hypervector::random(11, &mut rng);
+        assert!(ItemMemory::from_items(vec![a.clone(), b]).is_err());
+        assert!(ItemMemory::from_items(vec![a.clone(), a]).is_ok());
+        assert!(ItemMemory::from_items(vec![]).is_err());
+    }
+
+    #[test]
+    fn value_encoding_display() {
+        assert_eq!(ValueEncoding::Random.to_string(), "random");
+        assert_eq!(ValueEncoding::Level.to_string(), "level");
+    }
+}

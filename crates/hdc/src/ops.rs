@@ -1,0 +1,146 @@
+//! Free-function façade over the three HDC arithmetic operations.
+//!
+//! The paper (§III-A) names them addition (⨁), multiplication (⊛) and
+//! permutation (ρ). Methods on [`Hypervector`] and [`Accumulator`] are the
+//! primary API; these functions exist for call sites that read better in
+//! operator order (e.g. encoder pipelines) and for bundling iterators.
+
+use crate::accumulator::Accumulator;
+use crate::error::HdcError;
+use crate::hypervector::Hypervector;
+use rand::rngs::StdRng;
+
+/// Multiplication ⊛: elementwise product, self-inverse, produces a vector
+/// quasi-orthogonal to both operands.
+///
+/// # Errors
+///
+/// Returns [`HdcError::DimensionMismatch`] if dimensions differ.
+pub fn bind(a: &Hypervector, b: &Hypervector) -> Result<Hypervector, HdcError> {
+    a.bind(b)
+}
+
+/// Binds an arbitrary number of hypervectors together.
+///
+/// # Errors
+///
+/// Returns [`HdcError::EmptyMemory`] for an empty iterator and
+/// [`HdcError::DimensionMismatch`] on inconsistent dimensions.
+pub fn bind_all<'a, I>(vectors: I) -> Result<Hypervector, HdcError>
+where
+    I: IntoIterator<Item = &'a Hypervector>,
+{
+    let mut iter = vectors.into_iter();
+    let first = iter.next().ok_or(HdcError::EmptyMemory)?;
+    let mut out = first.clone();
+    for hv in iter {
+        out = out.bind(hv)?;
+    }
+    Ok(out)
+}
+
+/// Permutation ρ: cyclic shift by `amount`.
+pub fn permute(hv: &Hypervector, amount: usize) -> Hypervector {
+    hv.permute(amount)
+}
+
+/// Addition ⨁ over an iterator of hypervectors, bipolarized per Eq. 1 with
+/// random tie-breaking.
+///
+/// # Errors
+///
+/// Returns [`HdcError::EmptyMemory`] for an empty iterator and
+/// [`HdcError::DimensionMismatch`] on inconsistent dimensions.
+pub fn bundle<'a, I>(vectors: I, rng: &mut StdRng) -> Result<Hypervector, HdcError>
+where
+    I: IntoIterator<Item = &'a Hypervector>,
+{
+    Ok(bundle_accumulate(vectors)?.bipolarize(rng))
+}
+
+/// Addition ⨁ returning the raw integer accumulator (no bipolarization).
+///
+/// # Errors
+///
+/// Returns [`HdcError::EmptyMemory`] for an empty iterator and
+/// [`HdcError::DimensionMismatch`] on inconsistent dimensions.
+pub fn bundle_accumulate<'a, I>(vectors: I) -> Result<Accumulator, HdcError>
+where
+    I: IntoIterator<Item = &'a Hypervector>,
+{
+    let mut iter = vectors.into_iter();
+    let first = iter.next().ok_or(HdcError::EmptyMemory)?;
+    let mut acc = Accumulator::zeros(first.dim());
+    acc.add(first)?;
+    for hv in iter {
+        acc.add(hv)?;
+    }
+    Ok(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::similarity::cosine;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(29)
+    }
+
+    #[test]
+    fn bind_all_matches_pairwise() {
+        let mut r = rng();
+        let a = Hypervector::random(256, &mut r);
+        let b = Hypervector::random(256, &mut r);
+        let c = Hypervector::random(256, &mut r);
+        let chained = a.bind(&b).unwrap().bind(&c).unwrap();
+        let all = bind_all([&a, &b, &c]).unwrap();
+        assert_eq!(chained, all);
+    }
+
+    #[test]
+    fn bind_all_empty_errors() {
+        assert!(bind_all(std::iter::empty::<&Hypervector>()).is_err());
+    }
+
+    #[test]
+    fn bundle_of_one_is_identity() {
+        let mut r = rng();
+        let a = Hypervector::random(128, &mut r);
+        assert_eq!(bundle([&a], &mut r).unwrap(), a);
+    }
+
+    #[test]
+    fn bundle_similar_to_operands() {
+        let mut r = rng();
+        let vs: Vec<Hypervector> = (0..5).map(|_| Hypervector::random(10_000, &mut r)).collect();
+        let b = bundle(vs.iter(), &mut r).unwrap();
+        for v in &vs {
+            assert!(cosine(v, &b) > 0.2);
+        }
+    }
+
+    #[test]
+    fn bundle_accumulate_count() {
+        let mut r = rng();
+        let vs: Vec<Hypervector> = (0..7).map(|_| Hypervector::random(64, &mut r)).collect();
+        let acc = bundle_accumulate(vs.iter()).unwrap();
+        assert_eq!(acc.count(), 7);
+    }
+
+    #[test]
+    fn bundle_dimension_mismatch() {
+        let mut r = rng();
+        let a = Hypervector::random(64, &mut r);
+        let b = Hypervector::random(65, &mut r);
+        assert!(bundle([&a, &b], &mut r).is_err());
+    }
+
+    #[test]
+    fn permute_facade_delegates() {
+        let mut r = rng();
+        let a = Hypervector::random(99, &mut r);
+        assert_eq!(permute(&a, 7), a.permute(7));
+    }
+}

@@ -1,0 +1,326 @@
+//! Bit-packed binary hypervectors.
+//!
+//! Dense *binary* HDC (components in `{0, 1}`) admits a 64×-denser
+//! representation than bipolar `Vec<i8>`: one bit per component, with
+//! Hamming distance computed by XOR + popcount. This is the representation
+//! hardware implementations use (the paper cites Schmuck et al., JETC 2019,
+//! on binarized bundling and combinational associative memories) and is
+//! benchmarked against the bipolar representation in `crates/bench`.
+//!
+//! Mapping: bipolar `+1` ↔ bit `1`, bipolar `-1` ↔ bit `0`. Binding (⊛)
+//! becomes XNOR (implemented as `!(a ^ b)` with tail masking); bundling is
+//! bitwise majority.
+
+use crate::error::HdcError;
+use crate::hypervector::Hypervector;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::fmt;
+
+/// A binary hypervector packed 64 components per machine word.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct PackedHypervector {
+    words: Vec<u64>,
+    dim: usize,
+}
+
+impl PackedHypervector {
+    /// Draws a fresh random packed hypervector of dimension `dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is zero.
+    pub fn random(dim: usize, rng: &mut StdRng) -> Self {
+        assert!(dim > 0, "hypervector dimension must be non-zero");
+        let n_words = dim.div_ceil(64);
+        let mut words: Vec<u64> = (0..n_words).map(|_| rng.gen()).collect();
+        Self::mask_tail(&mut words, dim);
+        Self { words, dim }
+    }
+
+    /// All-zero packed hypervector (bipolar all `-1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is zero.
+    pub fn zeros(dim: usize) -> Self {
+        assert!(dim > 0, "hypervector dimension must be non-zero");
+        Self { words: vec![0; dim.div_ceil(64)], dim }
+    }
+
+    /// The dimension `D`.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Borrows the packed words. Bits at positions `>= dim` in the last
+    /// word are always zero.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Reads the bit (component) at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= dim`.
+    pub fn bit(&self, index: usize) -> bool {
+        assert!(index < self.dim, "bit index {index} out of range");
+        (self.words[index / 64] >> (index % 64)) & 1 == 1
+    }
+
+    /// Sets the bit (component) at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= dim`.
+    pub fn set_bit(&mut self, index: usize, value: bool) {
+        assert!(index < self.dim, "bit index {index} out of range");
+        let w = &mut self.words[index / 64];
+        if value {
+            *w |= 1 << (index % 64);
+        } else {
+            *w &= !(1 << (index % 64));
+        }
+    }
+
+    /// Binding for binary hypervectors: XNOR, the packed equivalent of
+    /// bipolar elementwise multiplication.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::DimensionMismatch`] if dimensions differ.
+    pub fn bind(&self, other: &Self) -> Result<Self, HdcError> {
+        if self.dim != other.dim {
+            return Err(HdcError::DimensionMismatch { expected: self.dim, actual: other.dim });
+        }
+        let mut words: Vec<u64> =
+            self.words.iter().zip(&other.words).map(|(&a, &b)| !(a ^ b)).collect();
+        Self::mask_tail(&mut words, self.dim);
+        Ok(Self { words, dim: self.dim })
+    }
+
+    /// Cyclic right-shift by `amount` bit positions (permutation ρ).
+    pub fn permute(&self, amount: usize) -> Self {
+        let k = amount % self.dim;
+        if k == 0 {
+            return self.clone();
+        }
+        // Straightforward bit-at-a-time rotation; packed permutation is not
+        // on any hot path (encoders that permute use the bipolar form).
+        let mut out = Self::zeros(self.dim);
+        for i in 0..self.dim {
+            if self.bit(i) {
+                out.set_bit((i + k) % self.dim, true);
+            }
+        }
+        out
+    }
+
+    /// Hamming distance via XOR + popcount.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn hamming_distance(&self, other: &Self) -> usize {
+        assert_eq!(self.dim, other.dim, "hamming: dimension mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(&a, &b)| (a ^ b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Normalized Hamming distance in `[0, 1]`.
+    pub fn normalized_hamming(&self, other: &Self) -> f64 {
+        self.hamming_distance(other) as f64 / self.dim as f64
+    }
+
+    /// Bitwise majority of an odd number of packed hypervectors (binarized
+    /// bundling). Ties cannot occur with an odd operand count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::EmptyMemory`] for an empty slice and
+    /// [`HdcError::DimensionMismatch`] on inconsistent dimensions. An even
+    /// count is accepted; ties resolve toward `0`.
+    pub fn majority(vectors: &[Self]) -> Result<Self, HdcError> {
+        let first = vectors.first().ok_or(HdcError::EmptyMemory)?;
+        let dim = first.dim;
+        let mut counts = vec![0usize; dim];
+        for v in vectors {
+            if v.dim != dim {
+                return Err(HdcError::DimensionMismatch { expected: dim, actual: v.dim });
+            }
+            for (i, c) in counts.iter_mut().enumerate() {
+                if v.bit(i) {
+                    *c += 1;
+                }
+            }
+        }
+        let mut out = Self::zeros(dim);
+        let threshold = vectors.len();
+        for (i, &c) in counts.iter().enumerate() {
+            if 2 * c > threshold {
+                out.set_bit(i, true);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    fn mask_tail(words: &mut [u64], dim: usize) {
+        let rem = dim % 64;
+        if rem != 0 {
+            if let Some(last) = words.last_mut() {
+                *last &= (1u64 << rem) - 1;
+            }
+        }
+    }
+}
+
+impl From<&Hypervector> for PackedHypervector {
+    /// Packs a bipolar hypervector: `+1 → 1`, `-1 → 0`.
+    fn from(hv: &Hypervector) -> Self {
+        let dim = hv.dim();
+        let mut out = Self::zeros(dim);
+        for (i, &c) in hv.as_slice().iter().enumerate() {
+            if c == 1 {
+                out.set_bit(i, true);
+            }
+        }
+        out
+    }
+}
+
+impl From<&PackedHypervector> for Hypervector {
+    /// Unpacks to bipolar form: `1 → +1`, `0 → -1`.
+    fn from(p: &PackedHypervector) -> Self {
+        let components: Vec<i8> = (0..p.dim()).map(|i| if p.bit(i) { 1 } else { -1 }).collect();
+        Hypervector::from_components_unchecked(components)
+    }
+}
+
+impl fmt::Debug for PackedHypervector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PackedHypervector(dim={}, ones={})", self.dim, self.count_ones())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(23)
+    }
+
+    #[test]
+    fn pack_unpack_round_trip() {
+        let mut r = rng();
+        let hv = Hypervector::random(1_000, &mut r);
+        let packed = PackedHypervector::from(&hv);
+        let back = Hypervector::from(&packed);
+        assert_eq!(hv, back);
+    }
+
+    #[test]
+    fn hamming_matches_bipolar_hamming() {
+        let mut r = rng();
+        let a = Hypervector::random(777, &mut r);
+        let b = Hypervector::random(777, &mut r);
+        let pa = PackedHypervector::from(&a);
+        let pb = PackedHypervector::from(&b);
+        assert_eq!(pa.hamming_distance(&pb), a.hamming_distance(&b).unwrap());
+    }
+
+    #[test]
+    fn bind_matches_bipolar_bind() {
+        let mut r = rng();
+        let a = Hypervector::random(130, &mut r);
+        let b = Hypervector::random(130, &mut r);
+        let bound = a.bind(&b).unwrap();
+        let packed_bound = PackedHypervector::from(&a).bind(&PackedHypervector::from(&b)).unwrap();
+        assert_eq!(PackedHypervector::from(&bound), packed_bound);
+    }
+
+    #[test]
+    fn permute_matches_bipolar_permute() {
+        let mut r = rng();
+        let a = Hypervector::random(100, &mut r);
+        for k in [0, 1, 37, 99] {
+            let expected = PackedHypervector::from(&a.permute(k));
+            let actual = PackedHypervector::from(&a).permute(k);
+            assert_eq!(expected, actual, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn tail_bits_stay_zero() {
+        let mut r = rng();
+        // dim not a multiple of 64 exercises tail masking.
+        let p = PackedHypervector::random(70, &mut r);
+        let last = *p.words().last().unwrap();
+        assert_eq!(last >> 6, 0, "tail bits must be masked");
+        let q = PackedHypervector::random(70, &mut r);
+        let bound = p.bind(&q).unwrap();
+        assert_eq!(*bound.words().last().unwrap() >> 6, 0);
+    }
+
+    #[test]
+    fn majority_of_three() {
+        let mut r = rng();
+        let vs: Vec<PackedHypervector> =
+            (0..3).map(|_| PackedHypervector::random(2_048, &mut r)).collect();
+        let maj = PackedHypervector::majority(&vs).unwrap();
+        // Majority must be closer to each operand than to a random vector.
+        let unrelated = PackedHypervector::random(2_048, &mut r);
+        for v in &vs {
+            assert!(maj.hamming_distance(v) < maj.hamming_distance(&unrelated));
+        }
+    }
+
+    #[test]
+    fn majority_rejects_empty_and_mismatched() {
+        assert!(PackedHypervector::majority(&[]).is_err());
+        let mut r = rng();
+        let a = PackedHypervector::random(64, &mut r);
+        let b = PackedHypervector::random(65, &mut r);
+        assert!(PackedHypervector::majority(&[a, b]).is_err());
+    }
+
+    #[test]
+    fn set_and_get_bits() {
+        let mut p = PackedHypervector::zeros(100);
+        p.set_bit(0, true);
+        p.set_bit(63, true);
+        p.set_bit(64, true);
+        p.set_bit(99, true);
+        assert!(p.bit(0) && p.bit(63) && p.bit(64) && p.bit(99));
+        assert!(!p.bit(1) && !p.bit(65));
+        assert_eq!(p.count_ones(), 4);
+        p.set_bit(0, false);
+        assert!(!p.bit(0));
+        assert_eq!(p.count_ones(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bit_out_of_range_panics() {
+        let p = PackedHypervector::zeros(10);
+        let _ = p.bit(10);
+    }
+
+    #[test]
+    fn bind_self_is_all_ones() {
+        let mut r = rng();
+        let p = PackedHypervector::random(200, &mut r);
+        let bound = p.bind(&p).unwrap();
+        assert_eq!(bound.count_ones(), 200);
+    }
+}

@@ -1,0 +1,183 @@
+//! Similarity and distance metrics between hypervectors.
+//!
+//! The paper's testing phase (§III-C) ranks classes by cosine similarity
+//! between the query hypervector and each reference vector in the associative
+//! memory; the fuzzer's fitness function (§IV) is `1 − cosine`.
+
+use crate::accumulator::Accumulator;
+use crate::hypervector::Hypervector;
+use crate::packed::PackedHypervector;
+
+/// Integer dot product of two bipolar hypervectors.
+///
+/// # Panics
+///
+/// Panics if the dimensions differ (callers on hot paths are expected to
+/// have validated shapes at construction time).
+pub fn dot(a: &Hypervector, b: &Hypervector) -> i64 {
+    assert_eq!(a.dim(), b.dim(), "dot: dimension mismatch");
+    a.as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(&x, &y)| i64::from(x) * i64::from(y))
+        .sum()
+}
+
+/// Cosine similarity of two bipolar hypervectors, in `[-1, 1]`.
+///
+/// For bipolar vectors `‖a‖ = ‖b‖ = √D`, so this is `dot / D`.
+///
+/// ```
+/// use hdc::Hypervector;
+/// let a = Hypervector::ones(100);
+/// assert!((hdc::cosine(&a, &a) - 1.0).abs() < 1e-12);
+/// ```
+pub fn cosine(a: &Hypervector, b: &Hypervector) -> f64 {
+    dot(a, b) as f64 / a.dim() as f64
+}
+
+/// Cosine similarity between a bipolar query and an integer accumulator
+/// (non-bipolarized class vector), in `[-1, 1]`.
+///
+/// Supports similarity checks against "soft" class vectors before
+/// bipolarization, as some HDC variants do.
+///
+/// # Panics
+///
+/// Panics if dimensions differ or the accumulator is all-zero.
+pub fn cosine_accum(query: &Hypervector, acc: &Accumulator) -> f64 {
+    assert_eq!(query.dim(), acc.dim(), "cosine_accum: dimension mismatch");
+    let mut dot = 0f64;
+    let mut norm_sq = 0f64;
+    for (&q, &s) in query.as_slice().iter().zip(acc.sums()) {
+        dot += f64::from(q) * f64::from(s);
+        norm_sq += f64::from(s) * f64::from(s);
+    }
+    assert!(norm_sq > 0.0, "cosine_accum: zero accumulator");
+    dot / ((query.dim() as f64).sqrt() * norm_sq.sqrt())
+}
+
+/// Hamming distance (count of differing components) between two bipolar
+/// hypervectors.
+///
+/// # Panics
+///
+/// Panics if dimensions differ.
+pub fn hamming(a: &Hypervector, b: &Hypervector) -> usize {
+    assert_eq!(a.dim(), b.dim(), "hamming: dimension mismatch");
+    a.as_slice().iter().zip(b.as_slice()).filter(|(x, y)| x != y).count()
+}
+
+/// Normalized Hamming distance in `[0, 1]`; `0.5` for unrelated vectors.
+pub fn normalized_hamming(a: &Hypervector, b: &Hypervector) -> f64 {
+    hamming(a, b) as f64 / a.dim() as f64
+}
+
+/// Hamming distance between two bit-packed binary hypervectors.
+///
+/// # Panics
+///
+/// Panics if dimensions differ.
+pub fn hamming_packed(a: &PackedHypervector, b: &PackedHypervector) -> usize {
+    a.hamming_distance(b)
+}
+
+/// Converts a cosine similarity to the equivalent normalized Hamming
+/// distance for bipolar vectors: `h = (1 − cos) / 2`.
+pub fn cosine_to_hamming(cos: f64) -> f64 {
+    (1.0 - cos) / 2.0
+}
+
+/// Converts a normalized Hamming distance to the equivalent cosine
+/// similarity for bipolar vectors: `cos = 1 − 2h`.
+pub fn hamming_to_cosine(h: f64) -> f64 {
+    1.0 - 2.0 * h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(17)
+    }
+
+    #[test]
+    fn cosine_self_is_one() {
+        let a = Hypervector::random(1_000, &mut rng());
+        assert!((cosine(&a, &a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_negation_is_minus_one() {
+        let a = Hypervector::random(1_000, &mut rng());
+        assert!((cosine(&a, &a.negate()) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_random_pair_near_zero() {
+        let mut r = rng();
+        let a = Hypervector::random(10_000, &mut r);
+        let b = Hypervector::random(10_000, &mut r);
+        assert!(cosine(&a, &b).abs() < 0.05);
+    }
+
+    #[test]
+    fn cosine_symmetric() {
+        let mut r = rng();
+        let a = Hypervector::random(500, &mut r);
+        let b = Hypervector::random(500, &mut r);
+        assert_eq!(cosine(&a, &b), cosine(&b, &a));
+    }
+
+    #[test]
+    fn dot_matches_hamming_identity() {
+        // dot = D - 2 * hamming for bipolar vectors.
+        let mut r = rng();
+        let a = Hypervector::random(2_000, &mut r);
+        let b = Hypervector::random(2_000, &mut r);
+        let d = dot(&a, &b);
+        let h = hamming(&a, &b) as i64;
+        assert_eq!(d, 2_000 - 2 * h);
+    }
+
+    #[test]
+    fn conversion_round_trip() {
+        for cos in [-1.0, -0.5, 0.0, 0.25, 1.0] {
+            let back = hamming_to_cosine(cosine_to_hamming(cos));
+            assert!((back - cos).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn cosine_accum_matches_cosine_for_bipolar_accum() {
+        let mut r = rng();
+        let a = Hypervector::random(1_000, &mut r);
+        let b = Hypervector::random(1_000, &mut r);
+        let mut acc = Accumulator::zeros(1_000);
+        acc.add(&b).unwrap();
+        let c1 = cosine(&a, &b);
+        let c2 = cosine_accum(&a, &acc);
+        assert!((c1 - c2).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn dot_panics_on_mismatch() {
+        let mut r = rng();
+        let a = Hypervector::random(10, &mut r);
+        let b = Hypervector::random(20, &mut r);
+        let _ = dot(&a, &b);
+    }
+
+    #[test]
+    fn normalized_hamming_range() {
+        let mut r = rng();
+        let a = Hypervector::random(4_096, &mut r);
+        let b = Hypervector::random(4_096, &mut r);
+        let h = normalized_hamming(&a, &b);
+        assert!((0.4..=0.6).contains(&h), "h = {h}");
+    }
+}

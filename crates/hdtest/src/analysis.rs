@@ -1,0 +1,284 @@
+//! Vulnerable-case analysis (§V-B).
+//!
+//! The paper observes that "the difficulty of generating adversarial
+//! inputs tend to vary for different samples … which we refer to as
+//! vulnerable cases. Such vulnerable cases bring potential security
+//! loopholes … and HDTest is able to pinpoint and highlight them."
+//!
+//! This module quantifies that observation: for every fuzzed input it
+//! pairs the model's *prediction margin* (best minus second-best cosine)
+//! with the fuzzing effort (iterations) and achieved perturbation (L2),
+//! and reports rank correlations. A strong negative margin↔effort
+//! correlation means the margin is a cheap *static* predictor of
+//! vulnerability — useful for prioritizing defenses without fuzzing
+//! everything.
+
+use crate::campaign::CampaignReport;
+use crate::error::HdtestError;
+use hdc::encoder::Encoder;
+use hdc::HdcClassifier;
+use hdc_data::GrayImage;
+
+/// Margin/effort observations for one fuzzed input.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VulnerabilityRecord {
+    /// Index of the input in the campaign.
+    pub input_index: usize,
+    /// The model's reference prediction.
+    pub reference_label: usize,
+    /// Prediction margin on the *original* input.
+    pub margin: f64,
+    /// Fuzzing iterations spent.
+    pub iterations: usize,
+    /// Whether an adversarial input was found.
+    pub success: bool,
+    /// Normalized L2 of the adversarial pair (successes only).
+    pub l2: Option<f64>,
+}
+
+/// The aggregated §V-B analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VulnerabilityReport {
+    /// Per-input observations, in input order.
+    pub records: Vec<VulnerabilityRecord>,
+    /// Spearman rank correlation between margin and iterations
+    /// (positive: larger margins take longer to break).
+    pub margin_iterations_correlation: f64,
+    /// Spearman rank correlation between margin and adversarial L2
+    /// (successes only).
+    pub margin_l2_correlation: f64,
+}
+
+impl VulnerabilityReport {
+    /// Pairs a campaign's records with the model's margins on the original
+    /// inputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdtestError::Config`] when the image set does not match
+    /// the campaign, or propagates model errors.
+    pub fn from_campaign<E>(
+        model: &HdcClassifier<E>,
+        images: &[GrayImage],
+        report: &CampaignReport,
+    ) -> Result<Self, HdtestError>
+    where
+        E: Encoder<Input = [u8]>,
+    {
+        if images.len() != report.records.len() {
+            return Err(HdtestError::Config(format!(
+                "campaign has {} records but {} images were provided",
+                report.records.len(),
+                images.len()
+            )));
+        }
+        let mut records = Vec::with_capacity(images.len());
+        for record in &report.records {
+            let image = &images[record.input_index];
+            let prediction = model.predict(image.as_slice())?;
+            records.push(VulnerabilityRecord {
+                input_index: record.input_index,
+                reference_label: record.reference_label,
+                margin: prediction.margin,
+                iterations: record.iterations,
+                success: record.success,
+                l2: record.l2,
+            });
+        }
+        let margins: Vec<f64> = records.iter().map(|r| r.margin).collect();
+        let iterations: Vec<f64> = records.iter().map(|r| r.iterations as f64).collect();
+        let margin_iterations_correlation = spearman(&margins, &iterations);
+
+        let success_pairs: (Vec<f64>, Vec<f64>) = records
+            .iter()
+            .filter_map(|r| r.l2.map(|l2| (r.margin, l2)))
+            .unzip();
+        let margin_l2_correlation = spearman(&success_pairs.0, &success_pairs.1);
+
+        Ok(Self { records, margin_iterations_correlation, margin_l2_correlation })
+    }
+
+    /// The `count` most vulnerable inputs: successful flips ordered by
+    /// smallest achieved L2, then fewest iterations.
+    pub fn most_vulnerable(&self, count: usize) -> Vec<&VulnerabilityRecord> {
+        let mut flipped: Vec<&VulnerabilityRecord> =
+            self.records.iter().filter(|r| r.success).collect();
+        flipped.sort_by(|a, b| {
+            let al2 = a.l2.unwrap_or(f64::INFINITY);
+            let bl2 = b.l2.unwrap_or(f64::INFINITY);
+            al2.partial_cmp(&bl2)
+                .expect("distances are finite")
+                .then(a.iterations.cmp(&b.iterations))
+        });
+        flipped.truncate(count);
+        flipped
+    }
+}
+
+/// Pearson linear correlation of two equally long samples.
+///
+/// Returns `0.0` for degenerate inputs (length < 2 or zero variance).
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "correlation requires paired samples");
+    let n = xs.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    let (mx, my) = (mean(xs), mean(ys));
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx) * (x - mx);
+        vy += (y - my) * (y - my);
+    }
+    if vx <= 0.0 || vy <= 0.0 {
+        return 0.0;
+    }
+    cov / (vx.sqrt() * vy.sqrt())
+}
+
+/// Spearman rank correlation: Pearson over average ranks (ties share the
+/// mean of their rank range).
+///
+/// Returns `0.0` for degenerate inputs.
+pub fn spearman(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "correlation requires paired samples");
+    pearson(&ranks(xs), &ranks(ys))
+}
+
+/// Average ranks (1-based) with tie handling.
+fn ranks(values: &[f64]) -> Vec<f64> {
+    let mut order: Vec<usize> = (0..values.len()).collect();
+    order.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).expect("values are finite"));
+    let mut out = vec![0.0; values.len()];
+    let mut i = 0;
+    while i < order.len() {
+        // Find the tie group [i, j).
+        let mut j = i + 1;
+        while j < order.len() && values[order[j]] == values[order[i]] {
+            j += 1;
+        }
+        // Average 1-based rank of the group.
+        let avg = (i + 1 + j) as f64 / 2.0;
+        for &idx in &order[i..j] {
+            out[idx] = avg;
+        }
+        i = j;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{Campaign, CampaignConfig};
+    use crate::mutation::Strategy;
+    use hdc::prelude::*;
+
+    #[test]
+    fn pearson_perfect_correlations() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let up = [2.0, 4.0, 6.0, 8.0];
+        let down = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&xs, &up) - 1.0).abs() < 1e-12);
+        assert!((pearson(&xs, &down) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_degenerate_cases() {
+        assert_eq!(pearson(&[], &[]), 0.0);
+        assert_eq!(pearson(&[1.0], &[2.0]), 0.0);
+        assert_eq!(pearson(&[3.0, 3.0, 3.0], &[1.0, 2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn spearman_is_rank_based() {
+        // Monotone but nonlinear: Spearman 1, Pearson < 1.
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let ys = [1.0, 8.0, 27.0, 64.0, 125.0];
+        assert!((spearman(&xs, &ys) - 1.0).abs() < 1e-12);
+        assert!(pearson(&xs, &ys) < 1.0);
+    }
+
+    #[test]
+    fn ranks_handle_ties() {
+        let r = ranks(&[10.0, 20.0, 20.0, 30.0]);
+        assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    fn spearman_of_independent_sequences_is_small() {
+        let xs: Vec<f64> = (0..100).map(|i| ((i * 7919) % 100) as f64).collect();
+        let ys: Vec<f64> = (0..100).map(|i| ((i * 104729) % 100) as f64).collect();
+        assert!(spearman(&xs, &ys).abs() < 0.3);
+    }
+
+    #[test]
+    fn vulnerability_report_from_campaign() {
+        let encoder = PixelEncoder::new(PixelEncoderConfig {
+            dim: 2_000,
+            width: 8,
+            height: 8,
+            levels: 256,
+            value_encoding: ValueEncoding::Random,
+            seed: 2,
+        })
+        .expect("valid config");
+        let mut model = HdcClassifier::new(encoder, 2);
+        for v in [0u8, 15, 30] {
+            model.train_one(&[v; 64][..], 0).unwrap();
+        }
+        for v in [200u8, 225, 250] {
+            model.train_one(&[v; 64][..], 1).unwrap();
+        }
+        model.finalize();
+
+        let images: Vec<GrayImage> =
+            (0..8).map(|i| GrayImage::from_pixels(8, 8, vec![(i * 5) as u8; 64])).collect();
+        let campaign = Campaign::new(
+            &model,
+            CampaignConfig { strategy: Strategy::Gauss, l2_budget: None, ..Default::default() },
+        );
+        let report = campaign.run(&images).unwrap();
+        let analysis = VulnerabilityReport::from_campaign(&model, &images, &report).unwrap();
+
+        assert_eq!(analysis.records.len(), 8);
+        assert!(analysis.margin_iterations_correlation.abs() <= 1.0);
+        let top = analysis.most_vulnerable(3);
+        assert!(top.len() <= 3);
+        for w in top.windows(2) {
+            assert!(w[0].l2.unwrap_or(f64::INFINITY) <= w[1].l2.unwrap_or(f64::INFINITY));
+        }
+    }
+
+    #[test]
+    fn mismatched_images_rejected() {
+        let encoder = PixelEncoder::new(PixelEncoderConfig {
+            dim: 500,
+            width: 8,
+            height: 8,
+            levels: 256,
+            value_encoding: ValueEncoding::Random,
+            seed: 2,
+        })
+        .expect("valid config");
+        let mut model = HdcClassifier::new(encoder, 2);
+        model.train_one(&[0u8; 64][..], 0).unwrap();
+        model.train_one(&[250u8; 64][..], 1).unwrap();
+        model.finalize();
+        let images = vec![GrayImage::new(8, 8); 2];
+        let campaign = Campaign::new(
+            &model,
+            CampaignConfig { l2_budget: None, ..Default::default() },
+        );
+        let report = campaign.run(&images).unwrap();
+        let too_few = vec![GrayImage::new(8, 8); 1];
+        assert!(matches!(
+            VulnerabilityReport::from_campaign(&model, &too_few, &report),
+            Err(HdtestError::Config(_))
+        ));
+    }
+}

@@ -1,0 +1,192 @@
+//! Perturbation budgets (§IV).
+//!
+//! "To ensure the added perturbations are within an 'invisible' range, we
+//! set a threshold for the distance metric during fuzzing (e.g. L2 < 1).
+//! When generated images are beyond this limit, it is regarded as
+//! unacceptable and then discarded. This constraint can be modified by the
+//! user…" — the [`Constraint`] trait is exactly that user-modifiable hook.
+
+use hdc_data::{linf_distance, normalized_l1, normalized_l2, GrayImage};
+
+/// Accepts or discards a mutated candidate based on its distance from the
+/// *original* input (not its parent seed — drift is measured end to end).
+pub trait Constraint<I>: Send + Sync {
+    /// Whether `candidate` is still within the invisibility budget.
+    fn accepts(&self, original: &I, candidate: &I) -> bool;
+
+    /// Human-readable description for reports.
+    fn describe(&self) -> String;
+}
+
+/// No budget: every candidate is acceptable. Used for `shift`, whose pixel
+/// distances the paper deems not meaningful (§V-B), and for non-image
+/// inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NoConstraint;
+
+impl<I> Constraint<I> for NoConstraint {
+    fn accepts(&self, _original: &I, _candidate: &I) -> bool {
+        true
+    }
+
+    fn describe(&self) -> String {
+        "unconstrained".to_owned()
+    }
+}
+
+/// Normalized-L2 budget, the paper's example (`L2 < 1`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct L2Constraint {
+    /// Maximum allowed normalized L2 distance (exclusive).
+    pub budget: f64,
+}
+
+impl Default for L2Constraint {
+    /// The paper's example threshold: `L2 < 1`.
+    fn default() -> Self {
+        Self { budget: 1.0 }
+    }
+}
+
+impl Constraint<GrayImage> for L2Constraint {
+    fn accepts(&self, original: &GrayImage, candidate: &GrayImage) -> bool {
+        normalized_l2(original, candidate) < self.budget
+    }
+
+    fn describe(&self) -> String {
+        format!("L2 < {}", self.budget)
+    }
+}
+
+/// Normalized-L1 budget.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct L1Constraint {
+    /// Maximum allowed normalized L1 distance (exclusive).
+    pub budget: f64,
+}
+
+impl Constraint<GrayImage> for L1Constraint {
+    fn accepts(&self, original: &GrayImage, candidate: &GrayImage) -> bool {
+        normalized_l1(original, candidate) < self.budget
+    }
+
+    fn describe(&self) -> String {
+        format!("L1 < {}", self.budget)
+    }
+}
+
+/// Per-pixel (L∞) budget: no single pixel may move more than `budget`
+/// of full scale.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinfConstraint {
+    /// Maximum allowed per-pixel change in `[0, 1]` (exclusive).
+    pub budget: f64,
+}
+
+impl Constraint<GrayImage> for LinfConstraint {
+    fn accepts(&self, original: &GrayImage, candidate: &GrayImage) -> bool {
+        linf_distance(original, candidate) < self.budget
+    }
+
+    fn describe(&self) -> String {
+        format!("L∞ < {}", self.budget)
+    }
+}
+
+/// Conjunction: a candidate must satisfy *all* member constraints.
+pub struct AllConstraints<I> {
+    members: Vec<Box<dyn Constraint<I>>>,
+}
+
+impl<I> AllConstraints<I> {
+    /// Combines the given constraints; an empty list accepts everything.
+    pub fn new(members: Vec<Box<dyn Constraint<I>>>) -> Self {
+        Self { members }
+    }
+}
+
+impl<I> Constraint<I> for AllConstraints<I>
+where
+    I: Send + Sync,
+{
+    fn accepts(&self, original: &I, candidate: &I) -> bool {
+        self.members.iter().all(|c| c.accepts(original, candidate))
+    }
+
+    fn describe(&self) -> String {
+        if self.members.is_empty() {
+            "unconstrained".to_owned()
+        } else {
+            self.members.iter().map(|c| c.describe()).collect::<Vec<_>>().join(" ∧ ")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn img(pixels: &[u8]) -> GrayImage {
+        GrayImage::from_pixels(pixels.len(), 1, pixels.to_vec())
+    }
+
+    #[test]
+    fn no_constraint_accepts_everything() {
+        let a = img(&[0, 0]);
+        let b = img(&[255, 255]);
+        assert!(NoConstraint.accepts(&a, &b));
+        assert_eq!(Constraint::<GrayImage>::describe(&NoConstraint), "unconstrained");
+    }
+
+    #[test]
+    fn l2_budget_is_exclusive() {
+        let a = img(&[0, 0, 0]);
+        let one_flip = img(&[255, 0, 0]);
+        let half = img(&[128, 0, 0]);
+        let c = L2Constraint::default();
+        assert!(!c.accepts(&a, &one_flip), "exactly 1.0 is out of budget");
+        assert!(c.accepts(&a, &half));
+        assert_eq!(c.describe(), "L2 < 1");
+    }
+
+    #[test]
+    fn l1_budget() {
+        let a = img(&[0, 0, 0, 0]);
+        let b = img(&[64, 64, 64, 64]); // L1 ≈ 1.0
+        assert!(!L1Constraint { budget: 1.0 }.accepts(&a, &b));
+        assert!(L1Constraint { budget: 1.5 }.accepts(&a, &b));
+    }
+
+    #[test]
+    fn linf_budget() {
+        let a = img(&[100, 100]);
+        let b = img(&[110, 100]);
+        assert!(LinfConstraint { budget: 0.05 }.accepts(&a, &b));
+        assert!(!LinfConstraint { budget: 0.03 }.accepts(&a, &b));
+    }
+
+    #[test]
+    fn all_constraints_conjunction() {
+        let a = img(&[0, 0, 0, 0]);
+        // 40 levels on two pixels: L2 ≈ 0.22, L∞ ≈ 0.157.
+        let b = img(&[40, 40, 0, 0]);
+        let both = AllConstraints::new(vec![
+            Box::new(L2Constraint { budget: 0.5 }),
+            Box::new(LinfConstraint { budget: 0.2 }),
+        ]);
+        assert!(both.accepts(&a, &b));
+        let tight = AllConstraints::new(vec![
+            Box::new(L2Constraint { budget: 0.5 }),
+            Box::new(LinfConstraint { budget: 0.1 }),
+        ]);
+        assert!(!tight.accepts(&a, &b));
+        assert!(both.describe().contains('∧'));
+    }
+
+    #[test]
+    fn empty_conjunction_accepts() {
+        let c: AllConstraints<GrayImage> = AllConstraints::new(vec![]);
+        assert!(c.accepts(&img(&[0]), &img(&[255])));
+        assert_eq!(c.describe(), "unconstrained");
+    }
+}

@@ -1,0 +1,351 @@
+//! Storage for generated adversarial examples.
+//!
+//! A campaign's output is a corpus of `(original, adversarial)` pairs with
+//! their perturbation metrics — the set `S` of Alg. 1, enriched with the
+//! bookkeeping the defense case study (§V-D) and the figures need.
+
+use hdc_data::{normalized_l1, normalized_l2, GrayImage};
+
+/// One successful adversarial generation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdversarialExample {
+    /// The unmodified input the fuzzer started from.
+    pub original: GrayImage,
+    /// The mutated input that flipped the prediction.
+    pub adversarial: GrayImage,
+    /// The model's prediction on `original` (the differential reference;
+    /// also the "correct label" used for retraining in §V-D).
+    pub reference_label: usize,
+    /// The model's (different) prediction on `adversarial`.
+    pub adversarial_label: usize,
+    /// Fuzzing iterations spent.
+    pub iterations: usize,
+    /// Normalized L1 distance between the pair.
+    pub l1: f64,
+    /// Normalized L2 distance between the pair.
+    pub l2: f64,
+}
+
+impl AdversarialExample {
+    /// Builds an example, computing the distance metrics.
+    pub fn new(
+        original: GrayImage,
+        adversarial: GrayImage,
+        reference_label: usize,
+        adversarial_label: usize,
+        iterations: usize,
+    ) -> Self {
+        let l1 = normalized_l1(&original, &adversarial);
+        let l2 = normalized_l2(&original, &adversarial);
+        Self { original, adversarial, reference_label, adversarial_label, iterations, l1, l2 }
+    }
+
+    /// Number of pixels that differ between the pair.
+    pub fn mutated_pixels(&self) -> usize {
+        self.original.diff_pixels(&self.adversarial)
+    }
+}
+
+/// A collection of adversarial examples from one or more campaigns.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AdversarialCorpus {
+    examples: Vec<AdversarialExample>,
+}
+
+impl AdversarialCorpus {
+    /// An empty corpus.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of stored examples.
+    pub fn len(&self) -> usize {
+        self.examples.len()
+    }
+
+    /// Whether the corpus is empty.
+    pub fn is_empty(&self) -> bool {
+        self.examples.is_empty()
+    }
+
+    /// Appends an example.
+    pub fn push(&mut self, example: AdversarialExample) {
+        self.examples.push(example);
+    }
+
+    /// All stored examples in insertion order.
+    pub fn examples(&self) -> &[AdversarialExample] {
+        &self.examples
+    }
+
+    /// Iterates over stored examples.
+    pub fn iter(&self) -> std::slice::Iter<'_, AdversarialExample> {
+        self.examples.iter()
+    }
+
+    /// Splits the corpus into `(head, tail)` at `count` examples after a
+    /// seeded shuffle — the §V-D "randomly split such 1000 images into two
+    /// subsets" step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > len()`.
+    pub fn shuffled_split(&self, count: usize, seed: u64) -> (Self, Self) {
+        assert!(count <= self.len(), "split point {count} beyond {}", self.len());
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        for i in (1..order.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            order.swap(i, j);
+        }
+        let head = order[..count].iter().map(|&i| self.examples[i].clone()).collect();
+        let tail = order[count..].iter().map(|&i| self.examples[i].clone()).collect();
+        (Self { examples: head }, Self { examples: tail })
+    }
+
+    /// Examples whose reference label is `class`.
+    pub fn filter_reference_class(&self, class: usize) -> Self {
+        Self {
+            examples: self
+                .examples
+                .iter()
+                .filter(|e| e.reference_label == class)
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Mean normalized L1 over the corpus (`None` when empty).
+    pub fn mean_l1(&self) -> Option<f64> {
+        mean(self.examples.iter().map(|e| e.l1))
+    }
+
+    /// Mean normalized L2 over the corpus (`None` when empty).
+    pub fn mean_l2(&self) -> Option<f64> {
+        mean(self.examples.iter().map(|e| e.l2))
+    }
+
+    /// Mean iterations per stored example (`None` when empty).
+    pub fn mean_iterations(&self) -> Option<f64> {
+        mean(self.examples.iter().map(|e| e.iterations as f64))
+    }
+
+    /// The `count` examples with the smallest L2 — the paper's §V-B
+    /// "vulnerable cases" that flip with near-invisible perturbations.
+    pub fn most_vulnerable(&self, count: usize) -> Vec<&AdversarialExample> {
+        let mut sorted: Vec<&AdversarialExample> = self.examples.iter().collect();
+        sorted.sort_by(|a, b| a.l2.partial_cmp(&b.l2).expect("distances are never NaN"));
+        sorted.truncate(count);
+        sorted
+    }
+}
+
+impl AdversarialCorpus {
+    /// Writes the corpus to `dir`: per-example PGM pairs
+    /// (`NNNN_original.pgm`, `NNNN_adversarial.pgm`) plus a
+    /// `manifest.csv` with labels, iterations and distances.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error.
+    pub fn save_to_dir<P: AsRef<std::path::Path>>(&self, dir: P) -> std::io::Result<()> {
+        use std::io::Write;
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let mut manifest = std::io::BufWriter::new(std::fs::File::create(
+            dir.join("manifest.csv"),
+        )?);
+        writeln!(manifest, "index,reference_label,adversarial_label,iterations,l1,l2")?;
+        for (k, example) in self.examples.iter().enumerate() {
+            hdc_data::pgm::save_pgm(&example.original, dir.join(format!("{k:04}_original.pgm")))?;
+            hdc_data::pgm::save_pgm(
+                &example.adversarial,
+                dir.join(format!("{k:04}_adversarial.pgm")),
+            )?;
+            writeln!(
+                manifest,
+                "{k},{},{},{},{:.6},{:.6}",
+                example.reference_label,
+                example.adversarial_label,
+                example.iterations,
+                example.l1,
+                example.l2,
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Reads a corpus previously written by [`save_to_dir`](Self::save_to_dir).
+    /// Distances are recomputed from the images (and must match the
+    /// manifest within rounding).
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` for a malformed manifest or missing images.
+    pub fn load_from_dir<P: AsRef<std::path::Path>>(dir: P) -> std::io::Result<Self> {
+        let dir = dir.as_ref();
+        let invalid =
+            |msg: String| std::io::Error::new(std::io::ErrorKind::InvalidData, msg);
+        let manifest = std::fs::read_to_string(dir.join("manifest.csv"))?;
+        let mut corpus = Self::new();
+        for (line_no, line) in manifest.lines().enumerate().skip(1) {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let fields: Vec<&str> = line.split(',').collect();
+            if fields.len() != 6 {
+                return Err(invalid(format!("manifest line {line_no}: expected 6 fields")));
+            }
+            let parse = |s: &str| -> std::io::Result<usize> {
+                s.parse().map_err(|_| invalid(format!("manifest line {line_no}: bad number {s}")))
+            };
+            let k = parse(fields[0])?;
+            let reference_label = parse(fields[1])?;
+            let adversarial_label = parse(fields[2])?;
+            let iterations = parse(fields[3])?;
+            let original = hdc_data::pgm::read_pgm(std::fs::File::open(
+                dir.join(format!("{k:04}_original.pgm")),
+            )?)?;
+            let adversarial = hdc_data::pgm::read_pgm(std::fs::File::open(
+                dir.join(format!("{k:04}_adversarial.pgm")),
+            )?)?;
+            corpus.push(AdversarialExample::new(
+                original,
+                adversarial,
+                reference_label,
+                adversarial_label,
+                iterations,
+            ));
+        }
+        Ok(corpus)
+    }
+}
+
+impl FromIterator<AdversarialExample> for AdversarialCorpus {
+    fn from_iter<T: IntoIterator<Item = AdversarialExample>>(iter: T) -> Self {
+        Self { examples: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<AdversarialExample> for AdversarialCorpus {
+    fn extend<T: IntoIterator<Item = AdversarialExample>>(&mut self, iter: T) {
+        self.examples.extend(iter);
+    }
+}
+
+fn mean(values: impl Iterator<Item = f64>) -> Option<f64> {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        sum += v;
+        n += 1;
+    }
+    (n > 0).then(|| sum / n as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example(l2_pixels: u8, reference: usize, iterations: usize) -> AdversarialExample {
+        let original = GrayImage::new(4, 4);
+        let mut adversarial = original.clone();
+        adversarial.set(0, 0, l2_pixels);
+        AdversarialExample::new(original, adversarial, reference, reference + 1, iterations)
+    }
+
+    #[test]
+    fn example_computes_distances() {
+        let e = example(255, 0, 2);
+        assert!((e.l1 - 1.0).abs() < 1e-12);
+        assert!((e.l2 - 1.0).abs() < 1e-12);
+        assert_eq!(e.mutated_pixels(), 1);
+    }
+
+    #[test]
+    fn corpus_means() {
+        let corpus: AdversarialCorpus =
+            [example(255, 0, 2), example(51, 1, 4)].into_iter().collect();
+        assert!((corpus.mean_l1().unwrap() - 0.6).abs() < 1e-9);
+        assert!((corpus.mean_iterations().unwrap() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_corpus_has_no_means() {
+        let corpus = AdversarialCorpus::new();
+        assert!(corpus.mean_l1().is_none());
+        assert!(corpus.mean_l2().is_none());
+        assert!(corpus.mean_iterations().is_none());
+        assert!(corpus.is_empty());
+    }
+
+    #[test]
+    fn shuffled_split_partitions_everything() {
+        let corpus: AdversarialCorpus =
+            (0..10).map(|i| example((i * 20) as u8 + 10, i % 3, i)).collect();
+        let (head, tail) = corpus.shuffled_split(4, 9);
+        assert_eq!(head.len(), 4);
+        assert_eq!(tail.len(), 6);
+        // Same split for the same seed.
+        let (head2, _) = corpus.shuffled_split(4, 9);
+        assert_eq!(head, head2);
+        // Different seed gives a different split (with these sizes).
+        let (head3, _) = corpus.shuffled_split(4, 10);
+        assert_ne!(head, head3);
+    }
+
+    #[test]
+    fn filter_reference_class_selects() {
+        let corpus: AdversarialCorpus =
+            (0..9).map(|i| example(100, i % 3, i)).collect();
+        let only1 = corpus.filter_reference_class(1);
+        assert_eq!(only1.len(), 3);
+        assert!(only1.iter().all(|e| e.reference_label == 1));
+    }
+
+    #[test]
+    fn most_vulnerable_sorts_by_l2() {
+        let corpus: AdversarialCorpus =
+            [example(200, 0, 1), example(10, 1, 1), example(100, 2, 1)].into_iter().collect();
+        let top = corpus.most_vulnerable(2);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].reference_label, 1, "smallest perturbation first");
+        assert!(top[0].l2 <= top[1].l2);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond")]
+    fn split_beyond_len_panics() {
+        AdversarialCorpus::new().shuffled_split(1, 0);
+    }
+
+    #[test]
+    fn directory_round_trip() {
+        let corpus: AdversarialCorpus =
+            (0..4).map(|i| example((i * 40 + 20) as u8, i % 2, i + 1)).collect();
+        let dir = std::env::temp_dir().join("hdtest-corpus-roundtrip");
+        let _ = std::fs::remove_dir_all(&dir);
+        corpus.save_to_dir(&dir).unwrap();
+        let back = AdversarialCorpus::load_from_dir(&dir).unwrap();
+        assert_eq!(back, corpus);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_rejects_bad_manifest() {
+        let dir = std::env::temp_dir().join("hdtest-corpus-badmanifest");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("manifest.csv"), "header\n1,2,3\n").unwrap();
+        assert!(AdversarialCorpus::load_from_dir(&dir).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_missing_directory_errors() {
+        let dir = std::env::temp_dir().join("hdtest-corpus-nonexistent");
+        let _ = std::fs::remove_dir_all(&dir);
+        assert!(AdversarialCorpus::load_from_dir(&dir).is_err());
+    }
+}

@@ -1,0 +1,67 @@
+//! Error types for the fuzzing framework.
+
+use std::fmt;
+
+/// Errors produced by fuzzing configuration and execution.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum HdtestError {
+    /// The model under test failed (encoding error, untrained model, …).
+    Model(hdc::HdcError),
+    /// A fuzzing configuration value was invalid.
+    Config(String),
+    /// A campaign was asked to run over an empty input set.
+    EmptyInputSet,
+}
+
+impl fmt::Display for HdtestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HdtestError::Model(e) => write!(f, "model under test failed: {e}"),
+            HdtestError::Config(msg) => write!(f, "invalid fuzzing configuration: {msg}"),
+            HdtestError::EmptyInputSet => write!(f, "campaign requires at least one input"),
+        }
+    }
+}
+
+impl std::error::Error for HdtestError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HdtestError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<hdc::HdcError> for HdtestError {
+    fn from(e: hdc::HdcError) -> Self {
+        HdtestError::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(HdtestError::Config("bad".into()).to_string().contains("bad"));
+        assert!(HdtestError::EmptyInputSet.to_string().contains("at least one"));
+        let wrapped = HdtestError::from(hdc::HdcError::EmptyModel);
+        assert!(wrapped.to_string().contains("model under test"));
+    }
+
+    #[test]
+    fn model_error_has_source() {
+        use std::error::Error;
+        let e = HdtestError::from(hdc::HdcError::EmptyModel);
+        assert!(e.source().is_some());
+        assert!(HdtestError::EmptyInputSet.source().is_none());
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<HdtestError>();
+    }
+}

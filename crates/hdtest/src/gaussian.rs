@@ -1,0 +1,95 @@
+//! Gaussian sampling via the Box–Muller transform.
+//!
+//! The `gauss` mutation strategy needs normally distributed noise; rather
+//! than pulling in `rand_distr` for one distribution, this module implements
+//! the polar-free Box–Muller transform directly.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Draws one sample from `N(0, sigma²)`.
+///
+/// # Panics
+///
+/// Panics if `sigma` is negative or not finite.
+pub fn sample_gaussian(sigma: f64, rng: &mut StdRng) -> f64 {
+    assert!(sigma >= 0.0 && sigma.is_finite(), "sigma must be a finite non-negative number");
+    if sigma == 0.0 {
+        return 0.0;
+    }
+    // Box–Muller: u1 ∈ (0, 1] avoids ln(0).
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    let mag = (-2.0 * u1.ln()).sqrt();
+    sigma * mag * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Fills a buffer with i.i.d. `N(0, sigma²)` samples.
+pub fn fill_gaussian(buf: &mut [f64], sigma: f64, rng: &mut StdRng) {
+    for v in buf {
+        *v = sample_gaussian(sigma, rng);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(1234)
+    }
+
+    #[test]
+    fn zero_sigma_is_zero() {
+        let mut r = rng();
+        for _ in 0..10 {
+            assert_eq!(sample_gaussian(0.0, &mut r), 0.0);
+        }
+    }
+
+    #[test]
+    fn sample_moments_match() {
+        let mut r = rng();
+        let n = 200_000;
+        let sigma = 3.0;
+        let samples: Vec<f64> = (0..n).map(|_| sample_gaussian(sigma, &mut r)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean = {mean}");
+        assert!((var - sigma * sigma).abs() < 0.2, "var = {var}");
+    }
+
+    #[test]
+    fn tails_behave_like_gaussian() {
+        let mut r = rng();
+        let n = 100_000;
+        let within_1sigma =
+            (0..n).filter(|_| sample_gaussian(1.0, &mut r).abs() < 1.0).count() as f64 / n as f64;
+        // Φ(1) − Φ(−1) ≈ 0.6827.
+        assert!((within_1sigma - 0.6827).abs() < 0.01, "p = {within_1sigma}");
+    }
+
+    #[test]
+    fn fill_gaussian_fills_all() {
+        let mut r = rng();
+        let mut buf = vec![0.0; 64];
+        fill_gaussian(&mut buf, 2.0, &mut r);
+        assert!(buf.iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "finite non-negative")]
+    fn negative_sigma_panics() {
+        let _ = sample_gaussian(-1.0, &mut rng());
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = rng();
+        let mut b = rng();
+        for _ in 0..16 {
+            assert_eq!(sample_gaussian(1.5, &mut a), sample_gaussian(1.5, &mut b));
+        }
+    }
+}

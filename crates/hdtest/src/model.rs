@@ -1,0 +1,203 @@
+//! The greybox interface to the model under test.
+//!
+//! HDTest assumes a *greybox* testing scenario (§IV): the fuzzer can query
+//! predictions and one scalar piece of internal information — the HV
+//! distance between a query and the reference class vector. Anything
+//! exposing this interface can be fuzzed; the paper's §V-E argues this is
+//! what lets HDTest extend to other HDC model structures.
+
+use crate::error::HdtestError;
+use hdc::encoder::Encoder;
+use hdc::HdcClassifier;
+
+/// A classifier under test, exposing exactly the greybox signals HDTest
+/// needs: predictions and the distance-based fitness.
+pub trait TargetModel: Sync {
+    /// Raw input type consumed by the model (e.g. `[u8]` pixels).
+    type Input: ?Sized;
+
+    /// Number of classes the model distinguishes.
+    fn num_classes(&self) -> usize;
+
+    /// The model's predicted class for `input`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdtestError::Model`] when the model rejects the input.
+    fn predict(&self, input: &Self::Input) -> Result<usize, HdtestError>;
+
+    /// The fuzzer's guidance signal:
+    /// `1 − cosine(AM[reference], encode(input))` (§IV).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdtestError::Model`] when the model rejects the input or
+    /// `reference` is out of range.
+    fn fitness(&self, input: &Self::Input, reference: usize) -> Result<f64, HdtestError>;
+
+    /// Prediction and fitness from one pass. The default delegates to
+    /// [`predict`](Self::predict) + [`fitness`](Self::fitness); models that
+    /// can share the encoding (like [`HdcClassifier`]) override this to
+    /// halve the fuzzer's per-candidate cost.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`predict`](Self::predict) and [`fitness`](Self::fitness).
+    fn evaluate(
+        &self,
+        input: &Self::Input,
+        reference: usize,
+    ) -> Result<(usize, f64), HdtestError> {
+        Ok((self.predict(input)?, self.fitness(input, reference)?))
+    }
+}
+
+impl<E: Encoder> TargetModel for HdcClassifier<E> {
+    type Input = E::Input;
+
+    fn num_classes(&self) -> usize {
+        HdcClassifier::num_classes(self)
+    }
+
+    fn predict(&self, input: &Self::Input) -> Result<usize, HdtestError> {
+        Ok(HdcClassifier::predict(self, input)?.class)
+    }
+
+    fn fitness(&self, input: &Self::Input, reference: usize) -> Result<f64, HdtestError> {
+        Ok(HdcClassifier::fitness(self, input, reference)?)
+    }
+
+    fn evaluate(
+        &self,
+        input: &Self::Input,
+        reference: usize,
+    ) -> Result<(usize, f64), HdtestError> {
+        // One encoding serves both the prediction and the fitness signal.
+        let prediction = HdcClassifier::predict(self, input)?;
+        let similarity =
+            *prediction.similarities.get(reference).ok_or(hdc::HdcError::UnknownClass {
+                class: reference,
+                num_classes: self.num_classes(),
+            })?;
+        Ok((prediction.class, 1.0 - similarity))
+    }
+}
+
+impl<E: Encoder> TargetModel for hdc::binary::BinaryClassifier<E> {
+    type Input = E::Input;
+
+    fn num_classes(&self) -> usize {
+        hdc::binary::BinaryClassifier::num_classes(self)
+    }
+
+    fn predict(&self, input: &Self::Input) -> Result<usize, HdtestError> {
+        Ok(hdc::binary::BinaryClassifier::predict(self, input)?.class)
+    }
+
+    fn fitness(&self, input: &Self::Input, reference: usize) -> Result<f64, HdtestError> {
+        // Normalized Hamming distance plays the same role as 1 − cosine
+        // (they are affinely related for bipolar vectors).
+        Ok(hdc::binary::BinaryClassifier::fitness(self, input, reference)?)
+    }
+
+    fn evaluate(
+        &self,
+        input: &Self::Input,
+        reference: usize,
+    ) -> Result<(usize, f64), HdtestError> {
+        let prediction = hdc::binary::BinaryClassifier::predict(self, input)?;
+        let distance =
+            *prediction.distances.get(reference).ok_or(hdc::HdcError::UnknownClass {
+                class: reference,
+                num_classes: self.num_classes(),
+            })?;
+        Ok((prediction.class, distance as f64 / self.dim() as f64))
+    }
+}
+
+impl<M: TargetModel + ?Sized> TargetModel for &M {
+    type Input = M::Input;
+
+    fn num_classes(&self) -> usize {
+        (**self).num_classes()
+    }
+
+    fn predict(&self, input: &Self::Input) -> Result<usize, HdtestError> {
+        (**self).predict(input)
+    }
+
+    fn fitness(&self, input: &Self::Input, reference: usize) -> Result<f64, HdtestError> {
+        (**self).fitness(input, reference)
+    }
+
+    fn evaluate(
+        &self,
+        input: &Self::Input,
+        reference: usize,
+    ) -> Result<(usize, f64), HdtestError> {
+        (**self).evaluate(input, reference)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdc::prelude::*;
+
+    fn model() -> HdcClassifier<PixelEncoder> {
+        let encoder = PixelEncoder::new(PixelEncoderConfig {
+            dim: 1_000,
+            width: 3,
+            height: 3,
+            levels: 256,
+            value_encoding: ValueEncoding::Random,
+            seed: 4,
+        })
+        .unwrap();
+        let mut m = HdcClassifier::new(encoder, 2);
+        m.train_one(&[0u8; 9][..], 0).unwrap();
+        m.train_one(&[250u8; 9][..], 1).unwrap();
+        m.finalize();
+        m
+    }
+
+    #[test]
+    fn classifier_implements_target_model() {
+        let m = model();
+        let t: &dyn TargetModel<Input = [u8]> = &m;
+        assert_eq!(t.num_classes(), 2);
+        assert_eq!(t.predict(&[0u8; 9]).unwrap(), 0);
+        assert_eq!(t.predict(&[250u8; 9]).unwrap(), 1);
+    }
+
+    #[test]
+    fn fitness_increases_away_from_reference() {
+        let m = model();
+        let own = m.fitness(&[0u8; 9][..], 0).unwrap();
+        let far = TargetModel::fitness(&m, &[250u8; 9][..], 0).unwrap();
+        assert!(far > own);
+    }
+
+    #[test]
+    fn reference_impl_delegates() {
+        let m = model();
+        let by_ref = &m;
+        assert_eq!(TargetModel::num_classes(&by_ref), 2);
+        assert_eq!(TargetModel::predict(&by_ref, &[0u8; 9]).unwrap(), 0);
+    }
+
+    #[test]
+    fn untrained_model_propagates_error() {
+        let encoder = PixelEncoder::new(PixelEncoderConfig {
+            dim: 500,
+            width: 3,
+            height: 3,
+            levels: 256,
+            value_encoding: ValueEncoding::Random,
+            seed: 4,
+        })
+        .unwrap();
+        let m = HdcClassifier::new(encoder, 2);
+        assert!(TargetModel::predict(&m, &[0u8; 9]).is_err());
+    }
+}

@@ -1,0 +1,179 @@
+//! Mutations for numeric feature records and signals (`Vec<f64>`).
+//!
+//! The paper's §V-E extensibility claim covers the biosignal applications
+//! its introduction cites (EMG gestures, EEG, voice). These operators fuzz
+//! the `hdc::RecordEncoder` / `hdc::TimeSeriesEncoder` models through the
+//! same generic [`Fuzzer`](crate::fuzzer::Fuzzer) loop.
+
+use super::Mutation;
+use crate::gaussian::sample_gaussian;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Adds Gaussian noise to a random subset of record fields.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FieldJitter {
+    /// Noise standard deviation, in the record's value units.
+    pub sigma: f64,
+    /// Fraction of fields perturbed per application.
+    pub fraction: f64,
+}
+
+impl Default for FieldJitter {
+    fn default() -> Self {
+        Self { sigma: 0.03, fraction: 0.5 }
+    }
+}
+
+impl Mutation<Vec<f64>> for FieldJitter {
+    fn name(&self) -> &str {
+        "field_jitter"
+    }
+
+    fn mutate(&self, input: &Vec<f64>, rng: &mut StdRng) -> Vec<f64> {
+        let mut out = input.clone();
+        for v in &mut out {
+            if rng.gen::<f64>() < self.fraction {
+                *v += sample_gaussian(self.sigma, rng);
+            }
+        }
+        out
+    }
+}
+
+/// Scales the whole signal by a random factor near 1 — amplitude drift,
+/// the classic biosignal nuisance variation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AmplitudeScale {
+    /// Maximum relative scale deviation (factor drawn from `1 ± max_delta`).
+    pub max_delta: f64,
+}
+
+impl Default for AmplitudeScale {
+    fn default() -> Self {
+        Self { max_delta: 0.05 }
+    }
+}
+
+impl Mutation<Vec<f64>> for AmplitudeScale {
+    fn name(&self) -> &str {
+        "amplitude_scale"
+    }
+
+    fn mutate(&self, input: &Vec<f64>, rng: &mut StdRng) -> Vec<f64> {
+        let factor = 1.0 + rng.gen_range(-self.max_delta..=self.max_delta);
+        input.iter().map(|&v| v * factor).collect()
+    }
+}
+
+/// Rotates the signal in time by up to `max_step` samples — temporal
+/// misalignment, the signal analogue of the paper's `shift`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimeShift {
+    /// Maximum rotation per application, in samples.
+    pub max_step: usize,
+}
+
+impl Default for TimeShift {
+    fn default() -> Self {
+        Self { max_step: 1 }
+    }
+}
+
+impl Mutation<Vec<f64>> for TimeShift {
+    fn name(&self) -> &str {
+        "time_shift"
+    }
+
+    fn mutate(&self, input: &Vec<f64>, rng: &mut StdRng) -> Vec<f64> {
+        if input.is_empty() {
+            return input.clone();
+        }
+        let step = rng.gen_range(1..=self.max_step.max(1)) % input.len().max(1);
+        let mut out = input.clone();
+        if rng.gen::<bool>() {
+            out.rotate_right(step);
+        } else {
+            out.rotate_left(step);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(31)
+    }
+
+    fn signal() -> Vec<f64> {
+        (0..32).map(|i| (i as f64 * 0.3).sin()).collect()
+    }
+
+    #[test]
+    fn field_jitter_perturbs_gently() {
+        let s = signal();
+        let out = FieldJitter::default().mutate(&s, &mut rng());
+        assert_eq!(out.len(), s.len());
+        let max_change = s
+            .iter()
+            .zip(&out)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max);
+        assert!(max_change > 0.0, "something must change");
+        assert!(max_change < 0.5, "jitter must stay gentle: {max_change}");
+    }
+
+    #[test]
+    fn amplitude_scale_is_proportional() {
+        let s = signal();
+        let out = AmplitudeScale { max_delta: 0.1 }.mutate(&s, &mut rng());
+        // Ratio is constant across samples (where defined).
+        let ratios: Vec<f64> = s
+            .iter()
+            .zip(&out)
+            .filter(|(a, _)| a.abs() > 1e-9)
+            .map(|(a, b)| b / a)
+            .collect();
+        for w in ratios.windows(2) {
+            assert!((w[0] - w[1]).abs() < 1e-9);
+        }
+        assert!((ratios[0] - 1.0).abs() <= 0.1 + 1e-12);
+    }
+
+    #[test]
+    fn time_shift_is_a_rotation() {
+        let s = signal();
+        let out = TimeShift { max_step: 3 }.mutate(&s, &mut rng());
+        let mut a = s.clone();
+        let mut b = out.clone();
+        a.sort_by(|x, y| x.partial_cmp(y).expect("finite"));
+        b.sort_by(|x, y| x.partial_cmp(y).expect("finite"));
+        assert_eq!(a, b, "rotation preserves the multiset");
+        assert_ne!(s, out, "rotation must move samples");
+    }
+
+    #[test]
+    fn time_shift_empty_signal_is_safe() {
+        let out = TimeShift::default().mutate(&Vec::new(), &mut rng());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(Mutation::<Vec<f64>>::name(&FieldJitter::default()), "field_jitter");
+        assert_eq!(Mutation::<Vec<f64>>::name(&AmplitudeScale::default()), "amplitude_scale");
+        assert_eq!(Mutation::<Vec<f64>>::name(&TimeShift::default()), "time_shift");
+    }
+
+    #[test]
+    fn deterministic_given_rng() {
+        let s = signal();
+        let a = FieldJitter::default().mutate(&s, &mut StdRng::seed_from_u64(5));
+        let b = FieldJitter::default().mutate(&s, &mut StdRng::seed_from_u64(5));
+        assert_eq!(a, b);
+    }
+}

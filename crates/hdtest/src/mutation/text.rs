@@ -1,0 +1,197 @@
+//! Byte-string mutations for sequence models.
+//!
+//! The paper (§V-E) argues HDTest "can be naturally extended to other HDC
+//! model structures" because it only needs the greybox HV-distance
+//! interface. These operators fuzz the n-gram text classifier from
+//! `hdc::NgramEncoder` with edits at the byte level, demonstrating that
+//! claim end to end (see the `text_language_fuzzing` example).
+
+use super::Mutation;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Replaces up to `count` random bytes with random values from `alphabet`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ByteSubstitute {
+    /// Maximum number of substitutions per application.
+    pub count: usize,
+    /// Replacement alphabet (e.g. `b"abcdefghijklmnopqrstuvwxyz "`).
+    pub alphabet: Vec<u8>,
+}
+
+impl ByteSubstitute {
+    /// Substitution over lowercase letters and space, one byte at a time.
+    pub fn lowercase() -> Self {
+        Self { count: 1, alphabet: b"abcdefghijklmnopqrstuvwxyz ".to_vec() }
+    }
+}
+
+impl Mutation<Vec<u8>> for ByteSubstitute {
+    fn name(&self) -> &str {
+        "byte_substitute"
+    }
+
+    fn mutate(&self, input: &Vec<u8>, rng: &mut StdRng) -> Vec<u8> {
+        let mut out = input.clone();
+        if out.is_empty() || self.alphabet.is_empty() {
+            return out;
+        }
+        for _ in 0..self.count.max(1) {
+            let i = rng.gen_range(0..out.len());
+            out[i] = self.alphabet[rng.gen_range(0..self.alphabet.len())];
+        }
+        out
+    }
+}
+
+/// Swaps two adjacent bytes — the classic transposition typo.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ByteSwap;
+
+impl Mutation<Vec<u8>> for ByteSwap {
+    fn name(&self) -> &str {
+        "byte_swap"
+    }
+
+    fn mutate(&self, input: &Vec<u8>, rng: &mut StdRng) -> Vec<u8> {
+        let mut out = input.clone();
+        if out.len() >= 2 {
+            let i = rng.gen_range(0..out.len() - 1);
+            out.swap(i, i + 1);
+        }
+        out
+    }
+}
+
+/// Duplicates one random byte (insertion without inventing new symbols).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ByteDuplicate;
+
+impl Mutation<Vec<u8>> for ByteDuplicate {
+    fn name(&self) -> &str {
+        "byte_duplicate"
+    }
+
+    fn mutate(&self, input: &Vec<u8>, rng: &mut StdRng) -> Vec<u8> {
+        let mut out = input.clone();
+        if !out.is_empty() {
+            let i = rng.gen_range(0..out.len());
+            out.insert(i, out[i]);
+        }
+        out
+    }
+}
+
+/// Deletes one random byte, never shrinking below `min_len`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ByteDelete {
+    /// Shortest permitted output length (protects n-gram encoders that
+    /// reject inputs shorter than `n`).
+    pub min_len: usize,
+}
+
+impl Default for ByteDelete {
+    fn default() -> Self {
+        Self { min_len: 3 }
+    }
+}
+
+impl Mutation<Vec<u8>> for ByteDelete {
+    fn name(&self) -> &str {
+        "byte_delete"
+    }
+
+    fn mutate(&self, input: &Vec<u8>, rng: &mut StdRng) -> Vec<u8> {
+        let mut out = input.clone();
+        if out.len() > self.min_len {
+            let i = rng.gen_range(0..out.len());
+            out.remove(i);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn substitute_changes_at_most_count_bytes() {
+        let input = b"hello world".to_vec();
+        let m = ByteSubstitute::lowercase();
+        let mut r = rng();
+        let out = m.mutate(&input, &mut r);
+        assert_eq!(out.len(), input.len());
+        let diff = input.iter().zip(&out).filter(|(a, b)| a != b).count();
+        assert!(diff <= 1);
+    }
+
+    #[test]
+    fn substitute_uses_alphabet_only() {
+        let input = vec![b'!'; 32];
+        let m = ByteSubstitute { count: 32, alphabet: b"ab".to_vec() };
+        let mut r = rng();
+        let out = m.mutate(&input, &mut r);
+        assert!(out.iter().all(|&b| b == b'!' || b == b'a' || b == b'b'));
+        assert_ne!(out, input);
+    }
+
+    #[test]
+    fn substitute_handles_empty_input() {
+        let m = ByteSubstitute::lowercase();
+        assert!(m.mutate(&Vec::new(), &mut rng()).is_empty());
+    }
+
+    #[test]
+    fn swap_preserves_multiset() {
+        let input = b"abcdef".to_vec();
+        let mut r = rng();
+        let out = ByteSwap.mutate(&input, &mut r);
+        let mut a = input.clone();
+        let mut b = out.clone();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+        assert_eq!(out.len(), input.len());
+    }
+
+    #[test]
+    fn swap_short_input_is_identity() {
+        let input = b"a".to_vec();
+        assert_eq!(ByteSwap.mutate(&input, &mut rng()), input);
+    }
+
+    #[test]
+    fn duplicate_grows_by_one() {
+        let input = b"xyz".to_vec();
+        let out = ByteDuplicate.mutate(&input, &mut rng());
+        assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    fn delete_respects_min_len() {
+        let m = ByteDelete { min_len: 3 };
+        let mut r = rng();
+        let mut text = b"abcdef".to_vec();
+        for _ in 0..20 {
+            text = m.mutate(&text, &mut r);
+        }
+        assert_eq!(text.len(), 3, "deletion must stop at min_len");
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(Mutation::<Vec<u8>>::name(&ByteSwap), "byte_swap");
+        assert_eq!(Mutation::<Vec<u8>>::name(&ByteDuplicate), "byte_duplicate");
+        assert_eq!(Mutation::<Vec<u8>>::name(&ByteDelete::default()), "byte_delete");
+        assert_eq!(
+            Mutation::<Vec<u8>>::name(&ByteSubstitute::lowercase()),
+            "byte_substitute"
+        );
+    }
+}

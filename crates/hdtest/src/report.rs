@@ -1,0 +1,209 @@
+//! Plain-text table rendering for experiment output.
+//!
+//! The experiment binaries print tables shaped like the paper's (Table II,
+//! Fig. 7 as a table of series). This is a minimal right-padded renderer —
+//! no external tabulation dependency.
+
+/// A simple column-aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given header cells.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
+        Self { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row. Rows shorter than the header are right-padded with
+    /// empty cells; longer rows extend the table width.
+    pub fn push_row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, row: I) {
+        self.rows.push(row.into_iter().map(Into::into).collect());
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with a separator under the header.
+    pub fn render(&self) -> String {
+        let columns = self
+            .rows
+            .iter()
+            .map(|r| r.len())
+            .chain(std::iter::once(self.header.len()))
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; columns];
+        let measure = |widths: &mut Vec<usize>, row: &[String]| {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        };
+        measure(&mut widths, &self.header);
+        for row in &self.rows {
+            measure(&mut widths, row);
+        }
+
+        let render_row = |row: &[String], widths: &[usize]| -> String {
+            let cells: Vec<String> = widths
+                .iter()
+                .enumerate()
+                .map(|(i, &w)| {
+                    let cell = row.get(i).map(String::as_str).unwrap_or("");
+                    format!("{cell:<w$}")
+                })
+                .collect();
+            cells.join("  ").trim_end().to_owned()
+        };
+
+        let mut out = String::new();
+        out.push_str(&render_row(&self.header, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&render_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Writes campaign records as CSV (one row per fuzzed input) for external
+/// plotting — the raw data behind the Table II and Fig. 7 aggregates.
+///
+/// A mut reference can be passed for any `W: Write`.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error on write failure.
+pub fn write_records_csv<W: std::io::Write>(
+    records: &[crate::stats::FuzzRecord],
+    mut writer: W,
+) -> std::io::Result<()> {
+    writeln!(
+        writer,
+        "input_index,reference_label,success,adversarial_label,iterations,candidates,l1,l2"
+    )?;
+    for r in records {
+        writeln!(
+            writer,
+            "{},{},{},{},{},{},{},{}",
+            r.input_index,
+            r.reference_label,
+            r.success,
+            r.adversarial_label.map(|l| l.to_string()).unwrap_or_default(),
+            r.iterations,
+            r.candidates_evaluated,
+            r.l1.map(|v| format!("{v:.6}")).unwrap_or_default(),
+            r.l2.map(|v| format!("{v:.6}")).unwrap_or_default(),
+        )?;
+    }
+    Ok(())
+}
+
+/// Formats a float with three decimals, the precision the paper's tables
+/// use for distances.
+pub fn fmt3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Formats a float with two decimals, the paper's precision for iteration
+/// counts and seconds.
+pub fn fmt2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Formats a fraction as a percentage with one decimal.
+pub fn fmt_pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(["Metric", "gauss", "rand"]);
+        t.push_row(["L1", "2.91", "0.58"]);
+        t.push_row(["Avg. #Iter.", "1.46", "12.18"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("Metric"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // Columns align: "gauss" column starts at the same offset everywhere.
+        let col = lines[0].find("gauss").unwrap();
+        assert_eq!(&lines[2][col..col + 4], "2.91");
+        assert_eq!(&lines[3][col..col + 4], "1.46");
+    }
+
+    #[test]
+    fn handles_ragged_rows() {
+        let mut t = TextTable::new(["a", "b"]);
+        t.push_row(["1"]);
+        t.push_row(["1", "2", "3"]);
+        let s = t.render();
+        assert_eq!(s.lines().count(), 4);
+    }
+
+    #[test]
+    fn empty_table_renders_header_only() {
+        let t = TextTable::new(["only", "header"]);
+        assert!(t.is_empty());
+        assert_eq!(t.render().lines().count(), 2);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt3(0.12345), "0.123");
+        assert_eq!(fmt2(12.184), "12.18");
+        assert_eq!(fmt_pct(0.215), "21.5%");
+    }
+
+    #[test]
+    fn csv_export_shape() {
+        use crate::stats::FuzzRecord;
+        let records = vec![
+            FuzzRecord {
+                input_index: 0,
+                reference_label: 3,
+                success: true,
+                adversarial_label: Some(5),
+                iterations: 2,
+                candidates_evaluated: 18,
+                l1: Some(1.5),
+                l2: Some(0.25),
+            },
+            FuzzRecord {
+                input_index: 1,
+                reference_label: 7,
+                success: false,
+                adversarial_label: None,
+                iterations: 30,
+                candidates_evaluated: 270,
+                l1: None,
+                l2: None,
+            },
+        ];
+        let mut buf = Vec::new();
+        write_records_csv(&records, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("input_index,"));
+        assert_eq!(lines[1], "0,3,true,5,2,18,1.500000,0.250000");
+        assert_eq!(lines[2], "1,7,false,,30,270,,");
+    }
+}

@@ -1,0 +1,225 @@
+//! Campaign statistics: the numbers behind Table II and Fig. 7.
+
+use std::time::Duration;
+
+/// Per-input bookkeeping collected by a campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuzzRecord {
+    /// Index of the input in the campaign's input set.
+    pub input_index: usize,
+    /// The model's prediction on the original input.
+    pub reference_label: usize,
+    /// Whether an adversarial input was generated.
+    pub success: bool,
+    /// The wrong label, when successful.
+    pub adversarial_label: Option<usize>,
+    /// Fuzzing iterations spent on this input.
+    pub iterations: usize,
+    /// Candidates the model evaluated for this input.
+    pub candidates_evaluated: usize,
+    /// Normalized L1 distance of the adversarial pair (successes only).
+    pub l1: Option<f64>,
+    /// Normalized L2 distance of the adversarial pair (successes only).
+    pub l2: Option<f64>,
+}
+
+/// Aggregate statistics for one mutation strategy — one Table II column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StrategyStats {
+    /// Strategy name (`gauss`, `rand`, …).
+    pub strategy: String,
+    /// Inputs fuzzed.
+    pub inputs: usize,
+    /// Adversarial inputs generated.
+    pub successes: usize,
+    /// Mean normalized L1 over successes (the paper's "Avg. Norm. Dist.
+    /// L1").
+    pub avg_l1: f64,
+    /// Mean normalized L2 over successes.
+    pub avg_l2: f64,
+    /// The paper's `Avg.#iterations = #total iterations / #images`.
+    pub avg_iterations: f64,
+    /// Wall-clock time of the whole campaign.
+    pub elapsed: Duration,
+}
+
+impl StrategyStats {
+    /// Aggregates per-input records into strategy-level statistics.
+    pub fn from_records(strategy: &str, records: &[FuzzRecord], elapsed: Duration) -> Self {
+        let successes = records.iter().filter(|r| r.success).count();
+        let total_iterations: usize = records.iter().map(|r| r.iterations).sum();
+        let avg = |f: fn(&FuzzRecord) -> Option<f64>| -> f64 {
+            let vals: Vec<f64> = records.iter().filter_map(f).collect();
+            if vals.is_empty() {
+                0.0
+            } else {
+                vals.iter().sum::<f64>() / vals.len() as f64
+            }
+        };
+        Self {
+            strategy: strategy.to_owned(),
+            inputs: records.len(),
+            successes,
+            avg_l1: avg(|r| r.l1),
+            avg_l2: avg(|r| r.l2),
+            avg_iterations: if records.is_empty() {
+                0.0
+            } else {
+                total_iterations as f64 / records.len() as f64
+            },
+            elapsed,
+        }
+    }
+
+    /// Fraction of inputs for which an adversarial was generated.
+    pub fn success_rate(&self) -> f64 {
+        if self.inputs == 0 {
+            0.0
+        } else {
+            self.successes as f64 / self.inputs as f64
+        }
+    }
+
+    /// The paper's "Time Per-1K Gen. Img. (s)": wall time extrapolated to
+    /// 1,000 generated adversarial images. `None` with zero successes.
+    pub fn time_per_1k(&self) -> Option<Duration> {
+        if self.successes == 0 {
+            return None;
+        }
+        let secs = self.elapsed.as_secs_f64() * 1000.0 / self.successes as f64;
+        Some(Duration::from_secs_f64(secs))
+    }
+
+    /// Generated adversarial images per second of campaign wall time.
+    pub fn throughput_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.successes as f64 / secs
+        }
+    }
+}
+
+/// Per-class statistics — one Fig. 7 bar group.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassStats {
+    /// The (reference) digit class.
+    pub class: usize,
+    /// Inputs with this reference class.
+    pub inputs: usize,
+    /// Successful generations.
+    pub successes: usize,
+    /// Mean normalized L1 over successes.
+    pub avg_l1: f64,
+    /// Mean normalized L2 over successes.
+    pub avg_l2: f64,
+    /// Mean iterations per input of this class.
+    pub avg_iterations: f64,
+}
+
+impl ClassStats {
+    /// Groups records by reference label (0..`num_classes`).
+    pub fn from_records(records: &[FuzzRecord], num_classes: usize) -> Vec<ClassStats> {
+        (0..num_classes)
+            .map(|class| {
+                let subset: Vec<&FuzzRecord> =
+                    records.iter().filter(|r| r.reference_label == class).collect();
+                let successes = subset.iter().filter(|r| r.success).count();
+                let mean_of = |vals: Vec<f64>| -> f64 {
+                    if vals.is_empty() {
+                        0.0
+                    } else {
+                        vals.iter().sum::<f64>() / vals.len() as f64
+                    }
+                };
+                ClassStats {
+                    class,
+                    inputs: subset.len(),
+                    successes,
+                    avg_l1: mean_of(subset.iter().filter_map(|r| r.l1).collect()),
+                    avg_l2: mean_of(subset.iter().filter_map(|r| r.l2).collect()),
+                    avg_iterations: mean_of(
+                        subset.iter().map(|r| r.iterations as f64).collect(),
+                    ),
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(class: usize, success: bool, iters: usize, l2: f64) -> FuzzRecord {
+        FuzzRecord {
+            input_index: 0,
+            reference_label: class,
+            success,
+            adversarial_label: success.then_some(class + 1),
+            iterations: iters,
+            candidates_evaluated: iters * 9,
+            l1: success.then_some(l2 * 6.0),
+            l2: success.then_some(l2),
+        }
+    }
+
+    #[test]
+    fn strategy_stats_aggregate() {
+        let records = vec![
+            record(0, true, 2, 0.1),
+            record(1, true, 4, 0.3),
+            record(2, false, 30, 0.0),
+        ];
+        let s = StrategyStats::from_records("gauss", &records, Duration::from_secs(6));
+        assert_eq!(s.inputs, 3);
+        assert_eq!(s.successes, 2);
+        // Paper definition: total iterations over all images.
+        assert!((s.avg_iterations - 12.0).abs() < 1e-12);
+        assert!((s.avg_l2 - 0.2).abs() < 1e-12);
+        assert!((s.success_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_per_1k_extrapolates() {
+        let records = vec![record(0, true, 1, 0.1); 10];
+        let s = StrategyStats::from_records("rand", &records, Duration::from_secs(2));
+        // 10 successes in 2 s → 200 s per 1000.
+        assert_eq!(s.time_per_1k().unwrap(), Duration::from_secs(200));
+        assert!((s.throughput_per_sec() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_per_1k_none_without_successes() {
+        let records = vec![record(0, false, 30, 0.0)];
+        let s = StrategyStats::from_records("rand", &records, Duration::from_secs(1));
+        assert!(s.time_per_1k().is_none());
+        assert_eq!(s.success_rate(), 0.0);
+    }
+
+    #[test]
+    fn empty_records_are_safe() {
+        let s = StrategyStats::from_records("x", &[], Duration::ZERO);
+        assert_eq!(s.avg_iterations, 0.0);
+        assert_eq!(s.success_rate(), 0.0);
+        assert_eq!(s.throughput_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn class_stats_group_by_reference() {
+        let records = vec![
+            record(0, true, 2, 0.1),
+            record(0, true, 6, 0.2),
+            record(1, false, 30, 0.0),
+        ];
+        let by_class = ClassStats::from_records(&records, 3);
+        assert_eq!(by_class.len(), 3);
+        assert_eq!(by_class[0].inputs, 2);
+        assert_eq!(by_class[0].successes, 2);
+        assert!((by_class[0].avg_iterations - 4.0).abs() < 1e-12);
+        assert!((by_class[0].avg_l2 - 0.15).abs() < 1e-9);
+        assert_eq!(by_class[1].successes, 0);
+        assert_eq!(by_class[2].inputs, 0);
+    }
+}

@@ -1,0 +1,93 @@
+//! Adversarial hunt: run campaigns with every Table I strategy, inspect
+//! the most vulnerable inputs (paper §V-B), and dump sample panels.
+//!
+//! ```sh
+//! cargo run --release --example adversarial_hunt
+//! ```
+
+use hdc::prelude::*;
+use hdc_data::pgm;
+use hdc_data::synth::{SynthConfig, SynthGenerator};
+use hdtest::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut generator = SynthGenerator::new(SynthConfig { seed: 21, ..Default::default() });
+    let train = generator.dataset(120);
+    let pool = generator.dataset(8); // 80 unlabeled inputs
+
+    let encoder = PixelEncoder::new(PixelEncoderConfig { seed: 5, ..Default::default() })?;
+    let mut model = HdcClassifier::new(encoder, 10);
+    model.train_batch(train.pairs())?;
+
+    println!("strategy       success  avg iter  avg L2");
+    println!("------------------------------------------");
+    let mut best_corpus = AdversarialCorpus::new();
+    for strategy in Strategy::TABLE2 {
+        let campaign = Campaign::new(
+            &model,
+            CampaignConfig {
+                strategy,
+                l2_budget: strategy.distance_meaningful().then_some(1.0),
+                seed: 77,
+                ..Default::default()
+            },
+        );
+        let report = campaign.run(pool.images())?;
+        let stats = report.strategy_stats();
+        println!(
+            "{:<14} {:>6.1}%  {:>8.2}  {:>6.3}",
+            stats.strategy,
+            100.0 * stats.success_rate(),
+            stats.avg_iterations,
+            stats.avg_l2,
+        );
+        if strategy == Strategy::Gauss {
+            best_corpus = report.corpus;
+        }
+    }
+
+    // The paper's "vulnerable cases": inputs that flip with near-invisible
+    // perturbations deserve defensive priority, and HDTest pinpoints them.
+    println!("\nmost vulnerable inputs under gauss (smallest L2 to flip):");
+    for example in best_corpus.most_vulnerable(3) {
+        println!(
+            "  \"{}\" -> \"{}\": L2 = {:.3}, {} pixels, {} iterations",
+            example.reference_label,
+            example.adversarial_label,
+            example.l2,
+            example.mutated_pixels(),
+            example.iterations,
+        );
+    }
+
+    // Minimize the smallest-L2 example further: greedy pixel reversion
+    // strips the perturbation the budget allowed but the flip never needed.
+    if let Some(example) = best_corpus.most_vulnerable(1).first() {
+        let report = hdtest::minimize(
+            &model,
+            &example.original,
+            &example.adversarial,
+            example.reference_label,
+            hdtest::MinimizeConfig::default(),
+        )?;
+        println!(
+            "\nminimization: {} -> {} changed pixels (L2 {:.3} -> {:.3}, {} queries)",
+            report.pixels_before,
+            report.pixels_after,
+            report.l2.0,
+            report.l2.1,
+            report.queries,
+        );
+    }
+
+    if let Some(example) = best_corpus.most_vulnerable(1).first() {
+        println!("\nmost vulnerable pair (original | changed pixels | adversarial):");
+        let orig = pgm::to_ascii(&example.original);
+        let mask = pgm::diff_mask(&example.original, &example.adversarial);
+        let adv = pgm::to_ascii(&example.adversarial);
+        for ((a, b), c) in orig.lines().zip(mask.lines()).zip(adv.lines()) {
+            println!("{a}   {b}   {c}");
+        }
+    }
+    Ok(())
+}

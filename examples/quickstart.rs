@@ -1,0 +1,58 @@
+//! Quickstart: train an HDC digit classifier and find one adversarial
+//! image with HDTest — the end-to-end pipeline in ~40 lines.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use hdc::prelude::*;
+use hdc_data::synth::{SynthConfig, SynthGenerator};
+use hdtest::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Data: the synthetic handwritten-digit dataset (MNIST substitute).
+    let mut generator = SynthGenerator::new(SynthConfig { seed: 42, ..Default::default() });
+    let train = generator.dataset(60); // 600 images
+    let probe = generator.dataset(2); // 20 unlabeled images to fuzz
+
+    // 2. Model: the paper's pixel encoder (position ⊛ value, bundled) and
+    //    one-shot training into the associative memory.
+    let encoder = PixelEncoder::new(PixelEncoderConfig { seed: 7, ..Default::default() })?;
+    let mut model = HdcClassifier::new(encoder, 10);
+    model.train_batch(train.pairs())?;
+    println!("trained on {} images; train accuracy {:.1}%", train.len(), {
+        100.0 * model.accuracy(train.pairs())?
+    });
+
+    // 3. Fuzz: distance-guided differential testing with Gaussian noise
+    //    under the paper's L2 < 1 invisibility budget. No labels needed.
+    let fuzzer = Fuzzer::new(
+        &model,
+        Box::new(GaussNoise::default()),
+        Box::new(L2Constraint::default()),
+        FuzzConfig::default(),
+    );
+    for (index, image) in probe.images().iter().enumerate() {
+        let result = fuzzer.fuzz_one(image, index as u64)?;
+        match result.outcome {
+            FuzzOutcome::Adversarial { input, predicted } => {
+                println!(
+                    "image {index}: \"{}\" -> \"{}\" after {} iterations \
+                     (L2 = {:.2}, {} pixels changed)",
+                    result.reference_label,
+                    predicted,
+                    result.iterations,
+                    hdc_data::normalized_l2(image, &input),
+                    image.diff_pixels(&input),
+                );
+            }
+            FuzzOutcome::Exhausted => {
+                println!(
+                    "image {index}: robust within budget ({} iterations)",
+                    result.iterations
+                );
+            }
+        }
+    }
+    Ok(())
+}

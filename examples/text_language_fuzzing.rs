@@ -1,0 +1,120 @@
+//! Fuzzing a *different* HDC model structure — the paper's §V-E claim that
+//! HDTest "can be naturally extended" because it only needs the greybox
+//! HV-distance interface.
+//!
+//! Here the model is an n-gram text classifier (the language-identification
+//! architecture of the paper's reference [2]) over three synthetic
+//! "languages" with distinct letter statistics, and the mutations are
+//! byte-level typos. Same fuzzer, same algorithm, different domain.
+//!
+//! ```sh
+//! cargo run --release --example text_language_fuzzing
+//! ```
+
+use hdc::prelude::*;
+use hdtest::mutation::text::{ByteSubstitute, ByteSwap};
+use hdtest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Letter pools defining three synthetic languages.
+const LANGUAGES: [&[u8]; 3] = [
+    b"aeioulmnrst", // vowel-heavy "latinic"
+    b"bcdfgkprtz",  // consonant clusters "slavic"
+    b"hjqwxyzovu",  // rare-letter "nordic"
+];
+
+/// Generates a sentence: words of 3–8 letters from the language's pool.
+fn sentence(language: usize, rng: &mut StdRng) -> Vec<u8> {
+    let pool = LANGUAGES[language];
+    let mut out = Vec::new();
+    for _ in 0..rng.gen_range(6..12) {
+        for _ in 0..rng.gen_range(3..=8) {
+            out.push(pool[rng.gen_range(0..pool.len())]);
+        }
+        out.push(b' ');
+    }
+    out.pop();
+    out
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(2024);
+
+    // Train the trigram classifier on 60 sentences per language.
+    let encoder = NgramEncoder::new(NgramEncoderConfig {
+        dim: 4_000,
+        n: 3,
+        alphabet: 128,
+        seed: 10,
+    })?;
+    let mut model = HdcClassifier::new(encoder, LANGUAGES.len());
+    for language in 0..LANGUAGES.len() {
+        for _ in 0..60 {
+            let text = sentence(language, &mut rng);
+            model.train_one(&text[..], language)?;
+        }
+    }
+    model.finalize();
+
+    // Sanity: held-out accuracy.
+    let mut correct = 0;
+    let held_out = 30;
+    for language in 0..LANGUAGES.len() {
+        for _ in 0..held_out / LANGUAGES.len() {
+            let text = sentence(language, &mut rng);
+            if model.predict(&text[..])?.class == language {
+                correct += 1;
+            }
+        }
+    }
+    println!("held-out language-ID accuracy: {correct}/{held_out}");
+
+    // Fuzz with typo mutations: substitutions and adjacent swaps, jointly.
+    struct Typos(ByteSubstitute, ByteSwap);
+    impl Mutation<Vec<u8>> for Typos {
+        fn name(&self) -> &str {
+            "typos"
+        }
+        fn mutate(&self, input: &Vec<u8>, rng: &mut StdRng) -> Vec<u8> {
+            if rng.gen::<bool>() {
+                self.0.mutate(input, rng)
+            } else {
+                self.1.mutate(input, rng)
+            }
+        }
+    }
+
+    let fuzzer = Fuzzer::new(
+        &model,
+        Box::new(Typos(ByteSubstitute::lowercase(), ByteSwap)),
+        Box::new(NoConstraint),
+        FuzzConfig { max_iterations: 60, ..Default::default() },
+    );
+
+    let mut flips = 0;
+    let trials = 12;
+    for t in 0..trials {
+        let text = sentence(t % LANGUAGES.len(), &mut rng);
+        let result = fuzzer.fuzz_one(&text, t as u64)?;
+        if let FuzzOutcome::Adversarial { input, predicted } = result.outcome {
+            flips += 1;
+            let edits = input
+                .iter()
+                .zip(&text)
+                .filter(|(a, b)| a != b)
+                .count()
+                + input.len().abs_diff(text.len());
+            println!(
+                "lang {} -> {} after {} iterations (~{} byte edits)",
+                result.reference_label, predicted, result.iterations, edits
+            );
+            if t == 0 {
+                println!("  original:    {}", String::from_utf8_lossy(&text));
+                println!("  adversarial: {}", String::from_utf8_lossy(&input));
+            }
+        }
+    }
+    println!("adversarial sentences: {flips}/{trials}");
+    Ok(())
+}

@@ -1,0 +1,162 @@
+//! Cross-crate integration: the full HDTest pipeline at reduced scale —
+//! synthetic data → HDC training → fuzzing campaign → retraining defense.
+
+use hdc::prelude::*;
+use hdc_data::synth::{SynthConfig, SynthGenerator};
+use hdc_data::Dataset;
+use hdtest::prelude::*;
+
+const DIM: usize = 4_000;
+
+fn testbed() -> (HdcClassifier<PixelEncoder>, Dataset, Dataset) {
+    let mut generator = SynthGenerator::new(SynthConfig { seed: 42, ..Default::default() });
+    let train = generator.dataset(60);
+    let pool = generator.dataset(6);
+    let encoder = PixelEncoder::new(PixelEncoderConfig {
+        dim: DIM,
+        width: 28,
+        height: 28,
+        levels: 256,
+        value_encoding: ValueEncoding::Random,
+        seed: 7,
+    })
+    .expect("valid encoder config");
+    let mut model = HdcClassifier::new(encoder, 10);
+    model.train_batch(train.pairs()).expect("training succeeds");
+    (model, train, pool)
+}
+
+#[test]
+fn model_reaches_usable_accuracy() {
+    let (model, train, _) = testbed();
+    let acc = model.accuracy(train.pairs()).expect("non-empty");
+    assert!(acc > 0.8, "train accuracy {acc} too low for a meaningful fuzzing target");
+}
+
+#[test]
+fn campaign_generates_true_adversarials() {
+    let (model, _, pool) = testbed();
+    let campaign = Campaign::new(
+        &model,
+        CampaignConfig {
+            strategy: Strategy::Gauss,
+            l2_budget: Some(1.0),
+            seed: 5,
+            ..Default::default()
+        },
+    );
+    let report = campaign.run(pool.images()).expect("non-empty pool");
+    let stats = report.strategy_stats();
+    assert!(
+        stats.success_rate() > 0.5,
+        "gauss should fool most inputs, got {}",
+        stats.success_rate()
+    );
+
+    for example in report.corpus.iter() {
+        // The differential-testing contract, re-verified from scratch.
+        let on_original =
+            model.predict(example.original.as_slice()).expect("prediction succeeds").class;
+        let on_adversarial =
+            model.predict(example.adversarial.as_slice()).expect("prediction succeeds").class;
+        assert_eq!(on_original, example.reference_label);
+        assert_eq!(on_adversarial, example.adversarial_label);
+        assert_ne!(on_original, on_adversarial);
+        // The invisibility budget.
+        assert!(example.l2 < 1.0, "budget violated: {}", example.l2);
+    }
+}
+
+#[test]
+fn all_table2_strategies_produce_some_adversarials() {
+    let (model, _, pool) = testbed();
+    for strategy in Strategy::TABLE2 {
+        let campaign = Campaign::new(
+            &model,
+            CampaignConfig {
+                strategy,
+                l2_budget: strategy.distance_meaningful().then_some(1.0),
+                seed: 5,
+                ..Default::default()
+            },
+        );
+        let report = campaign.run(pool.images()).expect("non-empty pool");
+        assert!(
+            !report.corpus.is_empty(),
+            "{strategy} generated no adversarial inputs at all"
+        );
+    }
+}
+
+#[test]
+fn defense_pipeline_reduces_attack_success() {
+    let (mut model, _, pool) = testbed();
+    let campaign = Campaign::new(
+        &model,
+        CampaignConfig {
+            strategy: Strategy::Gauss,
+            l2_budget: Some(1.0),
+            seed: 5,
+            ..Default::default()
+        },
+    );
+    let corpus = campaign.run(pool.images()).expect("non-empty pool").corpus;
+    assert!(corpus.len() >= 20, "need a workable corpus, got {}", corpus.len());
+
+    let report = retraining_defense(
+        &mut model,
+        &corpus,
+        DefenseConfig { retrain_fraction: 0.5, seed: 1, retrain_passes: 1 },
+    )
+    .expect("valid defense config");
+    assert!((report.success_before - 1.0).abs() < 1e-9);
+    assert!(
+        report.success_after < report.success_before,
+        "defense must help: {} -> {}",
+        report.success_before,
+        report.success_after
+    );
+}
+
+#[test]
+fn per_class_stats_cover_all_inputs() {
+    let (model, _, pool) = testbed();
+    let campaign = Campaign::new(
+        &model,
+        CampaignConfig {
+            strategy: Strategy::Gauss,
+            l2_budget: Some(1.0),
+            seed: 5,
+            ..Default::default()
+        },
+    );
+    let report = campaign.run(pool.images()).expect("non-empty pool");
+    let by_class = report.class_stats(10);
+    assert_eq!(by_class.iter().map(|c| c.inputs).sum::<usize>(), pool.len());
+    assert_eq!(
+        by_class.iter().map(|c| c.successes).sum::<usize>(),
+        report.corpus.len()
+    );
+}
+
+#[test]
+fn shift_preserves_ink_mass_in_adversarials() {
+    let (model, _, pool) = testbed();
+    let campaign = Campaign::new(
+        &model,
+        CampaignConfig {
+            strategy: Strategy::Shift,
+            l2_budget: None,
+            seed: 5,
+            ..Default::default()
+        },
+    );
+    let report = campaign.run(pool.images()).expect("non-empty pool");
+    for example in report.corpus.iter() {
+        // A shifted image never gains ink (pixels can fall off the edge).
+        assert!(
+            example.adversarial.ink_pixels(1) <= example.original.ink_pixels(1),
+            "shift must not create ink"
+        );
+    }
+}
