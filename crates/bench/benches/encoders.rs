@@ -95,22 +95,17 @@ fn bench_other_encoders(c: &mut Criterion) {
         bench.iter(|| black_box(ngram.encode(&text[..]).expect("long enough")));
     });
 
-    let record = RecordEncoder::new(RecordEncoderConfig {
-        dim: 10_000,
-        fields: 16,
-        ..Default::default()
-    })
-    .expect("valid config");
+    let record =
+        RecordEncoder::new(RecordEncoderConfig { dim: 10_000, fields: 16, ..Default::default() })
+            .expect("valid config");
     let features: Vec<f64> = (0..16).map(|i| i as f64 / 16.0).collect();
     group.bench_function("record_16_fields", |bench| {
         bench.iter(|| black_box(record.encode(&features[..]).expect("valid arity")));
     });
 
-    let series = TimeSeriesEncoder::new(TimeSeriesEncoderConfig {
-        dim: 10_000,
-        ..Default::default()
-    })
-    .expect("valid config");
+    let series =
+        TimeSeriesEncoder::new(TimeSeriesEncoderConfig { dim: 10_000, ..Default::default() })
+            .expect("valid config");
     let signal: Vec<f64> = (0..64).map(|i| (i as f64 * 0.2).sin()).collect();
     group.bench_function("timeseries_64_samples", |bench| {
         bench.iter(|| black_box(series.encode(&signal[..]).expect("long enough")));

@@ -41,8 +41,11 @@ fn bench_ops(c: &mut Criterion) {
     group.finish();
 }
 
-/// Ablation: bipolar `Vec<i8>` vs bit-packed `u64` representation — the
-/// DESIGN.md representation trade-off.
+/// Ablation: the `Hypervector` API (which since the packed-kernel refactor
+/// routes hamming through its lazily cached bit-packed mirror) vs. direct
+/// `PackedHypervector` calls. The two hamming rows should now be nearly
+/// identical once the mirror is warm; `benches/kernels.rs` holds the
+/// packed-vs-scalar comparison against the true scalar baselines.
 fn bench_packed_vs_dense(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(3);
     let mut group = c.benchmark_group("representation");

@@ -80,9 +80,9 @@ impl Args {
     pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, ArgsError> {
         match self.get(name) {
             None => Ok(default),
-            Some(raw) => raw
-                .parse()
-                .map_err(|_| ArgsError(format!("flag --{name}: cannot parse '{raw}'"))),
+            Some(raw) => {
+                raw.parse().map_err(|_| ArgsError(format!("flag --{name}: cannot parse '{raw}'")))
+            }
         }
     }
 

@@ -113,16 +113,10 @@ pub fn eval(args: Args) -> CliResult {
 }
 
 fn parse_strategy(name: &str) -> Result<Strategy, Box<dyn Error>> {
-    Strategy::ALL
-        .into_iter()
-        .find(|s| s.name() == name)
-        .ok_or_else(|| {
-            format!(
-                "unknown strategy '{name}'; valid: {}",
-                Strategy::ALL.map(|s| s.name()).join(", ")
-            )
+    Strategy::ALL.into_iter().find(|s| s.name() == name).ok_or_else(|| {
+        format!("unknown strategy '{name}'; valid: {}", Strategy::ALL.map(|s| s.name()).join(", "))
             .into()
-        })
+    })
 }
 
 /// `fuzz`: an HDTest campaign over unlabeled images.
@@ -166,10 +160,7 @@ pub fn fuzz(args: Args) -> CliResult {
     table.push_row(["avg #iterations".to_owned(), fmt2(stats.avg_iterations)]);
     table.push_row([
         "time / 1k generated (s)".to_owned(),
-        stats
-            .time_per_1k()
-            .map(|d| fmt2(d.as_secs_f64()))
-            .unwrap_or_else(|| "n/a".to_owned()),
+        stats.time_per_1k().map(|d| fmt2(d.as_secs_f64())).unwrap_or_else(|| "n/a".to_owned()),
     ]);
     println!("{}", table.render());
 

@@ -14,10 +14,8 @@ fn main() {
     banner("E1", "HDC model accuracy (paper §V-A, ~90% on MNIST)", scale);
 
     let testbed = build_testbed(scale);
-    let train_acc = testbed
-        .model
-        .accuracy(testbed.train.pairs())
-        .expect("training set is non-empty");
+    let train_acc =
+        testbed.model.accuracy(testbed.train.pairs()).expect("training set is non-empty");
     let test_acc = testbed.model.accuracy(testbed.test.pairs()).expect("test set is non-empty");
 
     println!("train accuracy: {}", fmt_pct(train_acc));

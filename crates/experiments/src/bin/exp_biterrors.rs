@@ -22,8 +22,8 @@ fn main() {
 
     // Hardware side: flip AM bits at increasing rates.
     let rates = [0.0, 0.01, 0.05, 0.10, 0.20, 0.30, 0.40];
-    let points = bit_error_sweep(&testbed.model, &rates, &examples, FUZZ_SEED)
-        .expect("model is finalized");
+    let points =
+        bit_error_sweep(&testbed.model, &rates, &examples, FUZZ_SEED).expect("model is finalized");
 
     let mut table = TextTable::new(["AM bit-error rate", "flipped bits", "test accuracy"]);
     for p in &points {
@@ -52,10 +52,7 @@ fn main() {
     println!(
         "adversarial side: {} of {} inputs flipped at mean L2 = {:.3} \
          (≈{:.1} of one full-scale pixel)",
-        stats.successes,
-        stats.inputs,
-        stats.avg_l2,
-        stats.avg_l2,
+        stats.successes, stats.inputs, stats.avg_l2, stats.avg_l2,
     );
     println!();
     println!(

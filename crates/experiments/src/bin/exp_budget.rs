@@ -16,8 +16,7 @@ fn main() {
     let testbed = build_testbed(scale);
     let images: Vec<_> = testbed.fuzz_pool.images().iter().take(200).cloned().collect();
 
-    let mut table =
-        TextTable::new(["L2 budget", "success rate", "avg #iter", "avg L2 at success"]);
+    let mut table = TextTable::new(["L2 budget", "success rate", "avg #iter", "avg L2 at success"]);
     for budget in [0.25, 0.5, 1.0, 2.0, 4.0] {
         let campaign = Campaign::new(
             &testbed.model,

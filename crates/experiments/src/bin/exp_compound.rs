@@ -50,12 +50,10 @@ fn main() {
         ),
     ];
 
-    let mut table =
-        TextTable::new(["strategy", "success rate", "avg #iter", "avg L1", "avg L2"]);
+    let mut table = TextTable::new(["strategy", "success rate", "avg #iter", "avg L1", "avg L2"]);
     for (name, mutation) in combos {
         let campaign = Campaign::new(&testbed.model, base_config);
-        let report =
-            campaign.run_with_mutation(&images, mutation).expect("non-empty pool");
+        let report = campaign.run_with_mutation(&images, mutation).expect("non-empty pool");
         let stats = report.strategy_stats();
         table.push_row([
             name,

@@ -31,10 +31,7 @@ fn main() {
     let corpus = report.corpus;
     println!("generated {} adversarial images (paper: 1000)", corpus.len());
 
-    let baseline_acc = testbed
-        .model
-        .accuracy(testbed.test.pairs())
-        .expect("test set is non-empty");
+    let baseline_acc = testbed.model.accuracy(testbed.test.pairs()).expect("test set is non-empty");
 
     // Steps (2)+(3): retrain on one half, attack with the other.
     let mut model = testbed.model.clone();
@@ -50,18 +47,10 @@ fn main() {
     let mut table = TextTable::new(["quantity", "value"]);
     table.push_row(["retraining subset".to_owned(), defense.retrain_count.to_string()]);
     table.push_row(["attack subset (unseen)".to_owned(), defense.attack_count.to_string()]);
-    table.push_row([
-        "attack success before retraining".to_owned(),
-        fmt_pct(defense.success_before),
-    ]);
-    table.push_row([
-        "attack success after retraining".to_owned(),
-        fmt_pct(defense.success_after),
-    ]);
-    table.push_row([
-        "drop (paper: > 20%)".to_owned(),
-        fmt_pct(defense.drop()),
-    ]);
+    table
+        .push_row(["attack success before retraining".to_owned(), fmt_pct(defense.success_before)]);
+    table.push_row(["attack success after retraining".to_owned(), fmt_pct(defense.success_after)]);
+    table.push_row(["drop (paper: > 20%)".to_owned(), fmt_pct(defense.drop())]);
     table.push_row(["clean test accuracy before".to_owned(), fmt_pct(baseline_acc)]);
     table.push_row(["clean test accuracy after".to_owned(), fmt_pct(retrained_acc)]);
     println!("{}", table.render());

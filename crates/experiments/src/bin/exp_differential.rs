@@ -57,14 +57,16 @@ fn main() {
     }
 
     let mut table = TextTable::new(["outcome", "count"]);
-    table.push_row(["models already disagree (no mutation needed)".to_owned(), immediate.to_string()]);
+    table.push_row([
+        "models already disagree (no mutation needed)".to_owned(),
+        immediate.to_string(),
+    ]);
     table.push_row(["discrepancy found by fuzzing".to_owned(), found.to_string()]);
     table.push_row(["agree throughout budget".to_owned(), exhausted.to_string()]);
     println!("{}", table.render());
 
     if !iterations_when_found.is_empty() {
-        let mean =
-            iterations_when_found.iter().sum::<f64>() / iterations_when_found.len() as f64;
+        let mean = iterations_when_found.iter().sum::<f64>() / iterations_when_found.len() as f64;
         println!("mean iterations to a fuzzed discrepancy: {}", fmt2(mean));
     }
     println!(

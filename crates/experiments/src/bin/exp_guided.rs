@@ -41,8 +41,7 @@ fn main() {
             );
             let report = campaign.run(images).expect("campaign inputs are valid");
             let stats = report.strategy_stats();
-            let candidates: usize =
-                report.records.iter().map(|r| r.candidates_evaluated).sum();
+            let candidates: usize = report.records.iter().map(|r| r.candidates_evaluated).sum();
             table.push_row([
                 strategy.name().to_owned(),
                 guidance.to_string(),

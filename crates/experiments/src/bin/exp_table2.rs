@@ -35,12 +35,7 @@ fn main() {
         let l2_budget = strategy.distance_meaningful().then_some(1.0);
         let campaign = Campaign::new(
             &testbed.model,
-            CampaignConfig {
-                strategy,
-                l2_budget,
-                seed: FUZZ_SEED,
-                ..Default::default()
-            },
+            CampaignConfig { strategy, l2_budget, seed: FUZZ_SEED, ..Default::default() },
         );
         let report = campaign.run(images).expect("campaign inputs are valid");
         let s = report.strategy_stats();

@@ -76,8 +76,5 @@ fn main() {
     }
     println!("fuzzing-effort distribution:");
     println!("{}", hist.render());
-    println!(
-        "mean iterations: {}",
-        fmt2(report.strategy_stats().avg_iterations)
-    );
+    println!("mean iterations: {}", fmt2(report.strategy_stats().avg_iterations));
 }

@@ -48,9 +48,8 @@ pub fn elastic_warp(image: &GrayImage, config: ElasticConfig, seed: u64) -> Gray
     let g = config.grid;
     let amp = config.amplitude;
     // Random displacement at each lattice node.
-    let field: Vec<(f64, f64)> = (0..g * g)
-        .map(|_| (rng.gen_range(-amp..=amp), rng.gen_range(-amp..=amp)))
-        .collect();
+    let field: Vec<(f64, f64)> =
+        (0..g * g).map(|_| (rng.gen_range(-amp..=amp), rng.gen_range(-amp..=amp))).collect();
 
     let (w, h) = (image.width(), image.height());
     let node = |gx: usize, gy: usize| field[gy * g + gx];
@@ -62,9 +61,8 @@ pub fn elastic_warp(image: &GrayImage, config: ElasticConfig, seed: u64) -> Gray
         let (gx0, gy0) = (fx.floor() as usize, fy.floor() as usize);
         let (gx1, gy1) = ((gx0 + 1).min(g - 1), (gy0 + 1).min(g - 1));
         let (tx, ty) = (fx - gx0 as f64, fy - gy0 as f64);
-        let lerp2 = |a: (f64, f64), b: (f64, f64), t: f64| {
-            (a.0 + (b.0 - a.0) * t, a.1 + (b.1 - a.1) * t)
-        };
+        let lerp2 =
+            |a: (f64, f64), b: (f64, f64), t: f64| (a.0 + (b.0 - a.0) * t, a.1 + (b.1 - a.1) * t);
         let top = lerp2(node(gx0, gy0), node(gx1, gy0), tx);
         let bottom = lerp2(node(gx0, gy1), node(gx1, gy1), tx);
         let (dx, dy) = lerp2(top, bottom, ty);

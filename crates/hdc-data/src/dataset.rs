@@ -248,9 +248,8 @@ impl Dataset {
         let images = crate::idx::read_images(images_in)?;
         let labels: Vec<usize> =
             crate::idx::read_labels(labels_in)?.into_iter().map(usize::from).collect();
-        Dataset::new(images, labels).map_err(|e| {
-            std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())
-        })
+        Dataset::new(images, labels)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
     }
 
     /// Class frequency histogram (index = label).

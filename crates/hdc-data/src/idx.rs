@@ -120,9 +120,7 @@ mod tests {
     use super::*;
 
     fn sample_images() -> Vec<GrayImage> {
-        (0..3)
-            .map(|k| GrayImage::from_fn(4, 5, |x, y| (k * 50 + x * 2 + y) as u8))
-            .collect()
+        (0..3).map(|k| GrayImage::from_fn(4, 5, |x, y| (k * 50 + x * 2 + y) as u8)).collect()
     }
 
     #[test]

@@ -134,8 +134,7 @@ impl GrayImage {
             for x in 0..self.width {
                 let sx = x as isize - dx;
                 let sy = y as isize - dy;
-                if sx >= 0 && sy >= 0 && (sx as usize) < self.width && (sy as usize) < self.height
-                {
+                if sx >= 0 && sy >= 0 && (sx as usize) < self.width && (sy as usize) < self.height {
                     out.set(x, y, self.get(sx as usize, sy as usize));
                 }
             }
@@ -149,11 +148,7 @@ impl GrayImage {
     ///
     /// Panics if the shapes differ.
     pub fn diff_pixels(&self, other: &Self) -> usize {
-        assert_eq!(
-            (self.width, self.height),
-            (other.width, other.height),
-            "image shape mismatch"
-        );
+        assert_eq!((self.width, self.height), (other.width, other.height), "image shape mismatch");
         self.pixels.iter().zip(&other.pixels).filter(|(a, b)| a != b).count()
     }
 }

@@ -144,7 +144,11 @@ impl SynthGenerator {
     }
 
     /// Generates the standard train/test pair used by the experiments.
-    pub fn train_test(&mut self, train_per_class: usize, test_per_class: usize) -> (Dataset, Dataset) {
+    pub fn train_test(
+        &mut self,
+        train_per_class: usize,
+        test_per_class: usize,
+    ) -> (Dataset, Dataset) {
         (self.dataset(train_per_class), self.dataset(test_per_class))
     }
 }
@@ -176,10 +180,7 @@ mod tests {
             for _ in 0..5 {
                 let img = gen.sample_class(class);
                 let ink = img.ink_pixels(100);
-                assert!(
-                    (15..350).contains(&ink),
-                    "class {class} has implausible ink count {ink}"
-                );
+                assert!((15..350).contains(&ink), "class {class} has implausible ink count {ink}");
             }
         }
     }

@@ -189,11 +189,8 @@ mod tests {
     #[test]
     fn ink_level_caps_intensity() {
         let stroke: Vec<Stroke> = vec![vec![(0.2, 0.5), (0.8, 0.5)]];
-        let img = rasterize(
-            &stroke,
-            &AffineJitter::default(),
-            &RenderParams { ink: 180, ..params() },
-        );
+        let img =
+            rasterize(&stroke, &AffineJitter::default(), &RenderParams { ink: 180, ..params() });
         assert!(img.as_slice().iter().all(|&p| p <= 180));
         assert!(img.as_slice().contains(&180));
     }
@@ -223,8 +220,7 @@ mod tests {
     fn antialiased_edges_exist() {
         let stroke: Vec<Stroke> = vec![vec![(0.2, 0.5), (0.8, 0.5)]];
         let img = rasterize(&stroke, &AffineJitter::default(), &params());
-        let partial =
-            img.as_slice().iter().filter(|&&p| p > 0 && p < 255).count();
+        let partial = img.as_slice().iter().filter(|&&p| p > 0 && p < 255).count();
         assert!(partial > 5, "expected anti-aliased edge pixels, got {partial}");
     }
 }

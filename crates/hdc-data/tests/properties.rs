@@ -5,22 +5,16 @@ use hdc_data::{metrics, Dataset, GrayImage};
 use proptest::prelude::*;
 
 fn arb_jitter() -> impl Strategy<Value = AffineJitter> {
-    (
-        -0.3f64..0.3,
-        0.8f64..1.2,
-        0.8f64..1.2,
-        -0.3f64..0.3,
-        -3.0f64..3.0,
-        -3.0f64..3.0,
-    )
-        .prop_map(|(rotation, scale_x, scale_y, shear, translate_x, translate_y)| AffineJitter {
+    (-0.3f64..0.3, 0.8f64..1.2, 0.8f64..1.2, -0.3f64..0.3, -3.0f64..3.0, -3.0f64..3.0).prop_map(
+        |(rotation, scale_x, scale_y, shear, translate_x, translate_y)| AffineJitter {
             rotation,
             scale_x,
             scale_y,
             shear,
             translate_x,
             translate_y,
-        })
+        },
+    )
 }
 
 proptest! {

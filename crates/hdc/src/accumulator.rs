@@ -8,6 +8,7 @@
 
 use crate::error::HdcError;
 use crate::hypervector::Hypervector;
+use crate::packed::PackedHypervector;
 use rand::rngs::StdRng;
 use rand::Rng;
 
@@ -130,10 +131,7 @@ impl Accumulator {
     /// Returns [`HdcError::DimensionMismatch`] if dimensions differ.
     pub fn merge(&mut self, other: &Accumulator) -> Result<(), HdcError> {
         if self.dim() != other.dim() {
-            return Err(HdcError::DimensionMismatch {
-                expected: self.dim(),
-                actual: other.dim(),
-            });
+            return Err(HdcError::DimensionMismatch { expected: self.dim(), actual: other.dim() });
         }
         for (s, &o) in self.sums.iter_mut().zip(&other.sums) {
             *s += o;
@@ -174,6 +172,20 @@ impl Accumulator {
         Hypervector::from_components_unchecked(components)
     }
 
+    /// Bipolarizes straight to the bit-packed form (`s >= 0 → 1`), skipping
+    /// the `i8` intermediate — the cheapest way to feed an accumulator into
+    /// the word-packed similarity kernels.
+    pub fn bipolarize_packed(&self) -> PackedHypervector {
+        let dim = self.dim();
+        let mut words = vec![0u64; crate::kernel::words_for(dim)];
+        for (i, &s) in self.sums.iter().enumerate() {
+            if s >= 0 {
+                words[i / 64] |= 1u64 << (i % 64);
+            }
+        }
+        PackedHypervector::from_words_unchecked(words, dim)
+    }
+
     /// Resets the accumulator to all zeros.
     pub fn clear(&mut self) {
         self.sums.iter_mut().for_each(|s| *s = 0);
@@ -182,10 +194,7 @@ impl Accumulator {
 
     fn check_dim(&self, hv: &Hypervector) -> Result<(), HdcError> {
         if self.dim() != hv.dim() {
-            return Err(HdcError::DimensionMismatch {
-                expected: self.dim(),
-                actual: hv.dim(),
-            });
+            return Err(HdcError::DimensionMismatch { expected: self.dim(), actual: hv.dim() });
         }
         Ok(())
     }
@@ -297,6 +306,20 @@ mod tests {
         let acc = Accumulator::zeros(8);
         let hv = acc.bipolarize_deterministic();
         assert!(hv.as_slice().iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn bipolarize_packed_matches_deterministic() {
+        let mut r = rng();
+        for dim in [63, 64, 65, 500] {
+            let mut acc = Accumulator::zeros(dim);
+            for _ in 0..4 {
+                // Even count so zero sums (ties) occur with high probability.
+                acc.add(&Hypervector::random(dim, &mut r)).unwrap();
+            }
+            let packed = acc.bipolarize_packed();
+            assert_eq!(packed, *acc.bipolarize_deterministic().packed(), "dim = {dim}");
+        }
     }
 
     #[test]

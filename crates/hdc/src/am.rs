@@ -8,10 +8,25 @@
 //! re-bipolarizing).
 
 use crate::accumulator::Accumulator;
+use crate::batch;
 use crate::encoder::bipolarize_sums;
 use crate::error::HdcError;
 use crate::hypervector::Hypervector;
 use crate::similarity::cosine;
+
+/// Index of the maximal similarity; ties resolve to the **last** maximal
+/// class, matching `Iterator::max_by` (and the binary classifier's
+/// min-distance rule) so every classification path agrees.
+pub(crate) fn argmax(sims: &[f64]) -> usize {
+    debug_assert!(!sims.is_empty());
+    let mut best = 0usize;
+    for (i, &s) in sims.iter().enumerate() {
+        if s >= sims[best] {
+            best = i;
+        }
+    }
+    best
+}
 
 /// Per-class bundling accumulators plus their bipolarized snapshot.
 #[derive(Debug, Clone)]
@@ -126,18 +141,41 @@ impl AssociativeMemory {
     /// Cosine similarity of `query` against every class reference, in class
     /// order (§III-C).
     ///
+    /// The query is packed once (via its lazy mirror); each per-class
+    /// similarity is then one XOR + popcount pass over `D/64` words.
+    ///
     /// # Errors
     ///
     /// Returns [`HdcError::EmptyModel`] before finalization or
     /// [`HdcError::DimensionMismatch`] for a query of the wrong dimension.
     pub fn similarities(&self, query: &Hypervector) -> Result<Vec<f64>, HdcError> {
+        let mut sims = Vec::new();
+        self.similarities_into(query, &mut sims)?;
+        Ok(sims)
+    }
+
+    /// [`similarities`](Self::similarities) into a caller-provided buffer
+    /// (cleared first), so batch loops can reuse one allocation.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`similarities`](Self::similarities).
+    pub fn similarities_into(
+        &self,
+        query: &Hypervector,
+        out: &mut Vec<f64>,
+    ) -> Result<(), HdcError> {
+        // Clear before validating so a reused buffer never carries a
+        // previous query's similarities across an error.
+        out.clear();
         if !self.finalized {
             return Err(HdcError::EmptyModel);
         }
         if query.dim() != self.dim {
             return Err(HdcError::DimensionMismatch { expected: self.dim, actual: query.dim() });
         }
-        Ok(self.references.iter().map(|r| cosine(query, r)).collect())
+        out.extend(self.references.iter().map(|r| cosine(query, r)));
+        Ok(())
     }
 
     /// The class whose reference is most similar to `query`, with the full
@@ -148,13 +186,37 @@ impl AssociativeMemory {
     /// Same as [`similarities`](Self::similarities).
     pub fn classify(&self, query: &Hypervector) -> Result<(usize, Vec<f64>), HdcError> {
         let sims = self.similarities(query)?;
-        let best = sims
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("cosine is never NaN"))
-            .map(|(i, _)| i)
-            .expect("at least one class");
-        Ok((best, sims))
+        Ok((argmax(&sims), sims))
+    }
+
+    /// Classifies a batch of queries, fanning out across worker threads for
+    /// large batches; per-query results are identical to
+    /// [`classify`](Self::classify) and returned in input order.
+    ///
+    /// Each worker packs its queries once (through the lazy mirror) and
+    /// scans the pre-packed references. Fails on the first invalid query.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`classify`](Self::classify).
+    pub fn classify_batch(
+        &self,
+        queries: &[Hypervector],
+    ) -> Result<Vec<(usize, Vec<f64>)>, HdcError> {
+        if !self.finalized {
+            return Err(HdcError::EmptyModel);
+        }
+        self.warm_packed();
+        batch::map_indexed(queries, |query| self.classify(query))
+    }
+
+    /// Forces the packed mirror of every reference (normally already present
+    /// from [`finalize`](Self::finalize); needed again after a clone).
+    /// Idempotent and cheap when mirrors exist.
+    pub fn warm_packed(&self) {
+        for r in &self.references {
+            let _ = r.packed();
+        }
     }
 
     /// Reconstructs an AM from raw accumulators (persistence path).
@@ -189,8 +251,7 @@ mod tests {
     fn classify_recovers_trained_class() {
         let mut r = rng();
         let mut am = AssociativeMemory::new(3, 5_000);
-        let protos: Vec<Hypervector> =
-            (0..3).map(|_| Hypervector::random(5_000, &mut r)).collect();
+        let protos: Vec<Hypervector> = (0..3).map(|_| Hypervector::random(5_000, &mut r)).collect();
         for (c, p) in protos.iter().enumerate() {
             // Bundle a few noisy variants of each prototype.
             for _ in 0..5 {
@@ -204,6 +265,30 @@ mod tests {
             assert_eq!(sims.len(), 3);
             assert!(sims[c] > 0.5);
         }
+    }
+
+    #[test]
+    fn classify_batch_matches_classify_loop() {
+        let mut r = rng();
+        let mut am = AssociativeMemory::new(4, 2_000);
+        for c in 0..4 {
+            am.add(c, &Hypervector::random(2_000, &mut r)).unwrap();
+        }
+        am.finalize();
+        // Enough queries to cross the parallel threshold.
+        let queries: Vec<Hypervector> =
+            (0..150).map(|_| Hypervector::random(2_000, &mut r)).collect();
+        let batched = am.classify_batch(&queries).unwrap();
+        assert_eq!(batched.len(), queries.len());
+        for (q, result) in queries.iter().zip(&batched) {
+            assert_eq!(*result, am.classify(q).unwrap());
+        }
+    }
+
+    #[test]
+    fn classify_batch_unfinalized_errors() {
+        let am = AssociativeMemory::new(2, 100);
+        assert!(matches!(am.classify_batch(&[]), Err(HdcError::EmptyModel)));
     }
 
     #[test]
@@ -232,10 +317,7 @@ mod tests {
         let mut r = rng();
         let mut am = AssociativeMemory::new(2, 100);
         let hv = Hypervector::random(100, &mut r);
-        assert!(matches!(
-            am.add(2, &hv),
-            Err(HdcError::UnknownClass { class: 2, num_classes: 2 })
-        ));
+        assert!(matches!(am.add(2, &hv), Err(HdcError::UnknownClass { class: 2, num_classes: 2 })));
         assert!(am.subtract(5, &hv).is_err());
     }
 

@@ -1,0 +1,100 @@
+//! Batch execution: ordered, fallible parallel map over slices.
+//!
+//! The batch classification APIs ([`crate::AssociativeMemory::classify_batch`],
+//! [`crate::HdcClassifier::predict_batch`]) fan work out across OS threads
+//! with `std::thread::scope`. A `rayon`-backed executor would be the natural
+//! drop-in here, but the offline build environment cannot fetch rayon (see
+//! the `rayon` feature stub in `Cargo.toml`); scoped threads over contiguous
+//! chunks give the same parallel speedup for these embarrassingly parallel
+//! workloads without any dependency.
+//!
+//! Guarantees:
+//!
+//! * Results are returned in input order regardless of scheduling.
+//! * On error, the error with the **lowest input index** is returned —
+//!   identical to what a sequential fail-fast loop would report.
+//! * Batches below [`PARALLEL_THRESHOLD`] run inline: spawning threads for
+//!   a handful of items costs more than it saves.
+
+/// Minimum batch size before worker threads are spawned.
+pub(crate) const PARALLEL_THRESHOLD: usize = 64;
+
+/// Applies `f` to every item, in parallel for large slices, preserving
+/// input order and sequential error semantics.
+pub(crate) fn map_indexed<T, O, E, F>(items: &[T], f: F) -> Result<Vec<O>, E>
+where
+    T: Sync,
+    O: Send,
+    E: Send,
+    F: Fn(&T) -> Result<O, E> + Sync,
+{
+    map_chunks(items, |chunk| chunk.iter().map(&f).collect())
+}
+
+/// Applies a chunk-level `f` across contiguous chunks of `items`, one chunk
+/// per worker, preserving input order. `f` sees each worker's whole chunk,
+/// so it can reuse scratch buffers across the items it processes (the
+/// encode-batch path relies on this).
+///
+/// `f` must return one output per chunk item (prefix on error) and fail on
+/// the first bad item, which keeps the lowest-index-error guarantee.
+pub(crate) fn map_chunks<T, O, E, F>(items: &[T], f: F) -> Result<Vec<O>, E>
+where
+    T: Sync,
+    O: Send,
+    E: Send,
+    F: Fn(&[T]) -> Result<Vec<O>, E> + Sync,
+{
+    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    if items.len() < PARALLEL_THRESHOLD || workers <= 1 {
+        return f(items);
+    }
+    let workers = workers.min(items.len());
+    let chunk_size = items.len().div_ceil(workers);
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> =
+            items.chunks(chunk_size).map(|chunk| scope.spawn(move || f(chunk))).collect();
+        let mut out = Vec::with_capacity(items.len());
+        for handle in handles {
+            // Chunks are contiguous and joined in order, so the first error
+            // seen here is the lowest-index error (a chunk stops at its
+            // first failure, and all earlier chunks completed cleanly).
+            out.extend(handle.join().expect("batch worker panicked")?);
+        }
+        Ok(out)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_in_order_small() {
+        let items: Vec<usize> = (0..10).collect();
+        let out: Vec<usize> = map_indexed(&items, |&x| Ok::<_, ()>(x * 2)).unwrap();
+        assert_eq!(out, (0..10).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn maps_in_order_large_parallel() {
+        let items: Vec<usize> = (0..1_000).collect();
+        let out: Vec<usize> = map_indexed(&items, |&x| Ok::<_, ()>(x + 1)).unwrap();
+        assert_eq!(out, (1..=1_000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn returns_lowest_index_error() {
+        let items: Vec<usize> = (0..500).collect();
+        let err = map_indexed(&items, |&x| if x >= 137 { Err(x) } else { Ok(x) }).unwrap_err();
+        assert_eq!(err, 137);
+    }
+
+    #[test]
+    fn empty_input_is_empty_output() {
+        let items: Vec<u8> = Vec::new();
+        let out = map_indexed(&items, |&x| Ok::<_, ()>(x)).unwrap();
+        assert!(out.is_empty());
+    }
+}

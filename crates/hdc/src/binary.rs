@@ -221,6 +221,24 @@ impl<E: Encoder> BinaryClassifier<E> {
         Ok(BinaryPrediction { class, distance: distances[class], distances })
     }
 
+    /// Classifies a batch of inputs, fanning out across worker threads for
+    /// large batches; per-input results are identical to
+    /// [`predict`](Self::predict) and returned in input order.
+    ///
+    /// # Errors
+    ///
+    /// As [`predict`](Self::predict); on invalid inputs the error for the
+    /// lowest input index is returned.
+    pub fn predict_batch(&self, inputs: &[&E::Input]) -> Result<Vec<BinaryPrediction>, HdcError>
+    where
+        E::Input: Sync,
+    {
+        if !self.finalized {
+            return Err(HdcError::EmptyModel);
+        }
+        crate::batch::map_indexed(inputs, |input| self.predict(input))
+    }
+
     /// Fraction of `(input, label)` pairs predicted correctly.
     ///
     /// # Errors
@@ -300,6 +318,18 @@ mod tests {
             assert_eq!(pred.class, label);
             assert_eq!(pred.distance, pred.distances[label]);
             assert_eq!(pred.distances.len(), 3);
+        }
+    }
+
+    #[test]
+    fn predict_batch_matches_predict_loop() {
+        let mut model = BinaryClassifier::new(encoder(), 3);
+        let pats = patterns();
+        model.train_batch(pats.iter().enumerate().map(|(l, p)| (&p[..], l))).unwrap();
+        let inputs: Vec<&[u8]> = pats.iter().cycle().take(100).map(|p| &p[..]).collect();
+        let batched = model.predict_batch(&inputs).unwrap();
+        for (input, prediction) in inputs.iter().zip(&batched) {
+            assert_eq!(*prediction, model.predict(input).unwrap());
         }
     }
 

@@ -4,7 +4,8 @@
 //! into the associative memory, and similarity-check testing. Also provides
 //! the two retraining modes used by the §V-D defense case study.
 
-use crate::am::AssociativeMemory;
+use crate::am::{argmax, AssociativeMemory};
+use crate::batch;
 use crate::encoder::Encoder;
 use crate::error::HdcError;
 use crate::hypervector::Hypervector;
@@ -23,6 +24,19 @@ pub struct Prediction {
     pub margin: f64,
     /// Cosine similarity against every class reference, in class order.
     pub similarities: Vec<f64>,
+}
+
+/// Builds a [`Prediction`] from a similarity vector and its argmax.
+fn prediction_from_similarities(class: usize, similarities: Vec<f64>) -> Prediction {
+    let best = similarities[class];
+    let second = similarities
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| i != class)
+        .map(|(_, &s)| s)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let margin = if second.is_finite() { best - second } else { 0.0 };
+    Prediction { class, similarity: best, margin, similarities }
 }
 
 /// An HDC classifier generic over its [`Encoder`].
@@ -149,15 +163,100 @@ impl<E: Encoder> HdcClassifier<E> {
     /// Same as [`predict`](Self::predict), minus encoder errors.
     pub fn predict_encoded(&self, query: &Hypervector) -> Result<Prediction, HdcError> {
         let (class, similarities) = self.am.classify(query)?;
-        let best = similarities[class];
-        let second = similarities
+        Ok(prediction_from_similarities(class, similarities))
+    }
+
+    /// Classifies a batch of inputs, fanning out across worker threads for
+    /// large batches. Per-input results are identical to
+    /// [`predict`](Self::predict) and returned in input order; packed class
+    /// references are shared across all workers, and each query is encoded
+    /// and packed exactly once.
+    ///
+    /// This is the bulk-serving entry point: on `D = 10,000` models it
+    /// beats a sequential `predict` loop by the core count on top of the
+    /// word-packed similarity win (see `benches/kernels.rs`).
+    ///
+    /// # Errors
+    ///
+    /// As [`predict`](Self::predict); on invalid inputs the error for the
+    /// lowest input index is returned.
+    pub fn predict_batch(&self, inputs: &[&E::Input]) -> Result<Vec<Prediction>, HdcError>
+    where
+        E::Input: Sync,
+    {
+        if !self.am.is_finalized() {
+            return Err(HdcError::EmptyModel);
+        }
+        self.am.warm_packed();
+        self.encoder.warm_up();
+        batch::map_chunks(inputs, |chunk| {
+            // Per-worker: batch encode, then packed classification.
+            // Encoding streams in small blocks so live queries stay
+            // cache-resident instead of accumulating the whole chunk's
+            // hypervectors (~11 KB each at D = 10,000) in memory; encoder
+            // scratch is amortized within each block (re-created per block,
+            // ~1/32 of an encode's cost).
+            const ENCODE_BLOCK: usize = 32;
+            let mut out = Vec::with_capacity(chunk.len());
+            for block in chunk.chunks(ENCODE_BLOCK) {
+                let queries = self.encoder.encode_batch(block)?;
+                for query in &queries {
+                    out.push(self.predict_encoded(query)?);
+                }
+            }
+            Ok(out)
+        })
+    }
+
+    /// Classifies a batch of already-encoded queries; the encoded
+    /// counterpart of [`predict_batch`](Self::predict_batch).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`predict_encoded`](Self::predict_encoded); on invalid
+    /// queries the error for the lowest input index is returned.
+    pub fn predict_encoded_batch(
+        &self,
+        queries: &[Hypervector],
+    ) -> Result<Vec<Prediction>, HdcError> {
+        Ok(self
+            .am
+            .classify_batch(queries)?
+            .into_iter()
+            .map(|(class, sims)| prediction_from_similarities(class, sims))
+            .collect())
+    }
+
+    /// One shared pass per input yielding `(predicted class, 1 − cosine to
+    /// the reference class)` — the exact pair the fuzzing loop consumes for
+    /// every candidate (§IV). Runs inline (fuzzer batches are small), reuses
+    /// one similarity scratch buffer across the whole batch, and touches
+    /// each query's packed form once.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::UnknownClass`] for a bad `reference`,
+    /// [`HdcError::EmptyModel`] before finalization, or encoder errors.
+    pub fn evaluate_batch(
+        &self,
+        inputs: &[&E::Input],
+        reference: usize,
+    ) -> Result<Vec<(usize, f64)>, HdcError> {
+        if reference >= self.num_classes() {
+            return Err(HdcError::UnknownClass {
+                class: reference,
+                num_classes: self.num_classes(),
+            });
+        }
+        let queries = self.encoder.encode_batch(inputs)?;
+        let mut sims: Vec<f64> = Vec::with_capacity(self.num_classes());
+        queries
             .iter()
-            .enumerate()
-            .filter(|&(i, _)| i != class)
-            .map(|(_, &s)| s)
-            .fold(f64::NEG_INFINITY, f64::max);
-        let margin = if second.is_finite() { best - second } else { 0.0 };
-        Ok(Prediction { class, similarity: best, margin, similarities })
+            .map(|query| {
+                self.am.similarities_into(query, &mut sims)?;
+                Ok((argmax(&sims), 1.0 - sims[reference]))
+            })
+            .collect()
     }
 
     /// The fuzzer's greybox fitness signal (§IV):
@@ -385,14 +484,86 @@ mod tests {
     }
 
     #[test]
+    fn predict_batch_matches_predict_loop() {
+        let mut model = tiny_model();
+        let pats = patterns();
+        model.train_batch(pats.iter().enumerate().map(|(l, p)| (&p[..], l))).unwrap();
+        // Enough inputs to cross the parallel threshold.
+        let inputs: Vec<&[u8]> = pats.iter().cycle().take(200).map(|p| &p[..]).collect();
+        let batched = model.predict_batch(&inputs).unwrap();
+        assert_eq!(batched.len(), inputs.len());
+        for (input, prediction) in inputs.iter().zip(&batched) {
+            assert_eq!(*prediction, model.predict(input).unwrap());
+        }
+    }
+
+    #[test]
+    fn predict_encoded_batch_matches_encoded_loop() {
+        let mut model = tiny_model();
+        let pats = patterns();
+        model.train_batch(pats.iter().enumerate().map(|(l, p)| (&p[..], l))).unwrap();
+        let queries: Vec<_> = pats.iter().map(|p| model.encode(&p[..]).unwrap()).collect();
+        let batched = model.predict_encoded_batch(&queries).unwrap();
+        for (q, prediction) in queries.iter().zip(&batched) {
+            assert_eq!(*prediction, model.predict_encoded(q).unwrap());
+        }
+    }
+
+    #[test]
+    fn predict_batch_unfinalized_errors() {
+        let model = tiny_model();
+        let pats = patterns();
+        let inputs: Vec<&[u8]> = vec![&pats[0][..]];
+        assert!(matches!(model.predict_batch(&inputs), Err(HdcError::EmptyModel)));
+    }
+
+    #[test]
+    fn predict_batch_reports_lowest_index_error() {
+        let mut model = tiny_model();
+        let pats = patterns();
+        model.train_batch(pats.iter().enumerate().map(|(l, p)| (&p[..], l))).unwrap();
+        let bad: [u8; 3] = [1, 2, 3]; // wrong shape for the 4×4 encoder
+        let mut inputs: Vec<&[u8]> = pats.iter().cycle().take(100).map(|p| &p[..]).collect();
+        inputs[70] = &bad[..];
+        inputs[90] = &bad[..];
+        assert!(matches!(
+            model.predict_batch(&inputs),
+            Err(HdcError::InputShapeMismatch { expected: 16, actual: 3 })
+        ));
+    }
+
+    #[test]
+    fn evaluate_batch_matches_predict_and_fitness() {
+        let mut model = tiny_model();
+        let pats = patterns();
+        model.train_batch(pats.iter().enumerate().map(|(l, p)| (&p[..], l))).unwrap();
+        let inputs: Vec<&[u8]> = pats.iter().map(|p| &p[..]).collect();
+        let evaluated = model.evaluate_batch(&inputs, 1).unwrap();
+        for (input, &(class, fitness)) in inputs.iter().zip(&evaluated) {
+            assert_eq!(class, model.predict(input).unwrap().class);
+            let expected = model.fitness(input, 1).unwrap();
+            assert!((fitness - expected).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn evaluate_batch_rejects_bad_reference() {
+        let mut model = tiny_model();
+        let pats = patterns();
+        model.train_batch(pats.iter().enumerate().map(|(l, p)| (&p[..], l))).unwrap();
+        let inputs: Vec<&[u8]> = vec![&pats[0][..]];
+        assert!(matches!(
+            model.evaluate_batch(&inputs, 9),
+            Err(HdcError::UnknownClass { class: 9, num_classes: 3 })
+        ));
+    }
+
+    #[test]
     fn predict_encoded_matches_predict() {
         let mut model = tiny_model();
         let pats = patterns();
         model.train_batch(pats.iter().enumerate().map(|(l, p)| (&p[..], l))).unwrap();
         let hv = model.encode(&pats[2][..]).unwrap();
-        assert_eq!(
-            model.predict(&pats[2][..]).unwrap(),
-            model.predict_encoded(&hv).unwrap()
-        );
+        assert_eq!(model.predict(&pats[2][..]).unwrap(), model.predict_encoded(&hv).unwrap());
     }
 }

@@ -108,14 +108,8 @@ impl ConfusionMatrix {
     /// Renders the matrix as an aligned text table (rows = true class).
     pub fn render(&self) -> String {
         let n = self.num_classes();
-        let width = self
-            .counts
-            .iter()
-            .flatten()
-            .map(|c| c.to_string().len())
-            .max()
-            .unwrap_or(1)
-            .max(2);
+        let width =
+            self.counts.iter().flatten().map(|c| c.to_string().len()).max().unwrap_or(1).max(2);
         let mut out = String::new();
         out.push_str("t\\p");
         for p in 0..n {
@@ -162,8 +156,7 @@ mod tests {
         let m = model();
         let examples: Vec<([u8; 16], usize)> =
             vec![([0; 16], 0), ([128; 16], 1), ([255; 16], 2), ([0; 16], 0)];
-        let cm =
-            ConfusionMatrix::evaluate(&m, examples.iter().map(|(i, l)| (&i[..], *l))).unwrap();
+        let cm = ConfusionMatrix::evaluate(&m, examples.iter().map(|(i, l)| (&i[..], *l))).unwrap();
         assert_eq!(cm.total(), 4);
         assert_eq!(cm.accuracy(), 1.0);
         assert_eq!(cm.count(0, 0), 2);
@@ -178,8 +171,7 @@ mod tests {
         let m = model();
         // Feed a bright image labeled 0: predicted 2, so counts[0][2] = 1.
         let examples: Vec<([u8; 16], usize)> = vec![([255; 16], 0), ([0; 16], 0)];
-        let cm =
-            ConfusionMatrix::evaluate(&m, examples.iter().map(|(i, l)| (&i[..], *l))).unwrap();
+        let cm = ConfusionMatrix::evaluate(&m, examples.iter().map(|(i, l)| (&i[..], *l))).unwrap();
         assert_eq!(cm.count(0, 2), 1);
         assert_eq!(cm.accuracy(), 0.5);
         assert_eq!(cm.top_confusion(), Some((0, 2, 1)));
@@ -201,8 +193,7 @@ mod tests {
     #[test]
     fn empty_evaluation_is_safe() {
         let m = model();
-        let cm =
-            ConfusionMatrix::evaluate(&m, std::iter::empty::<(&[u8], usize)>()).unwrap();
+        let cm = ConfusionMatrix::evaluate(&m, std::iter::empty::<(&[u8], usize)>()).unwrap();
         assert_eq!(cm.total(), 0);
         assert_eq!(cm.accuracy(), 0.0);
         assert_eq!(cm.recall(0), 0.0);
@@ -212,8 +203,7 @@ mod tests {
     fn render_is_square_and_labeled() {
         let m = model();
         let examples: Vec<([u8; 16], usize)> = vec![([0; 16], 0)];
-        let cm =
-            ConfusionMatrix::evaluate(&m, examples.iter().map(|(i, l)| (&i[..], *l))).unwrap();
+        let cm = ConfusionMatrix::evaluate(&m, examples.iter().map(|(i, l)| (&i[..], *l))).unwrap();
         let text = cm.render();
         assert_eq!(text.lines().count(), 4, "header + 3 rows");
         assert!(text.starts_with("t\\p"));

@@ -49,6 +49,23 @@ pub trait Encoder: Send + Sync {
     /// [`HdcError::ValueOutOfRange`] when `input` does not match the shape
     /// the encoder was configured for.
     fn encode(&self, input: &Self::Input) -> Result<Hypervector, HdcError>;
+
+    /// Encodes a batch of inputs, in input order. The default loops
+    /// [`encode`](Self::encode); encoders with per-call scratch (like
+    /// [`PixelEncoder`]) override this to reuse it across the batch.
+    /// Results are identical to the sequential loop.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`encode`](Self::encode), failing on the first bad input.
+    fn encode_batch(&self, inputs: &[&Self::Input]) -> Result<Vec<Hypervector>, HdcError> {
+        inputs.iter().map(|input| self.encode(input)).collect()
+    }
+
+    /// One-time preparation before heavy or concurrent encoding (e.g.
+    /// forcing item-memory packed mirrors so parallel workers don't race
+    /// to build them lazily). Idempotent; the default does nothing.
+    fn warm_up(&self) {}
 }
 
 impl<E: Encoder + ?Sized> Encoder for &E {
@@ -61,6 +78,14 @@ impl<E: Encoder + ?Sized> Encoder for &E {
     fn encode(&self, input: &Self::Input) -> Result<Hypervector, HdcError> {
         (**self).encode(input)
     }
+
+    fn encode_batch(&self, inputs: &[&Self::Input]) -> Result<Vec<Hypervector>, HdcError> {
+        (**self).encode_batch(inputs)
+    }
+
+    fn warm_up(&self) {
+        (**self).warm_up();
+    }
 }
 
 /// Bipolarizes raw componentwise sums deterministically.
@@ -70,7 +95,7 @@ impl<E: Encoder + ?Sized> Encoder for &E {
 /// yet reproducible (Eq. 1 of the paper uses a random choice; determinism is
 /// required here so encoding stays a pure function).
 pub(crate) fn bipolarize_sums(sums: &[i32]) -> Hypervector {
-    let components = sums
+    let components: Vec<i8> = sums
         .iter()
         .enumerate()
         .map(|(i, &s)| {
@@ -85,7 +110,14 @@ pub(crate) fn bipolarize_sums(sums: &[i32]) -> Hypervector {
             }
         })
         .collect();
-    Hypervector::from_components(components).expect("bipolarize produces valid components")
+    // Derive the packed mirror straight from the sums so finalized
+    // reference vectors enter the associative memory ready for the
+    // word-packed similarity kernels (no lazy pack on first classify).
+    let packed = crate::packed::PackedHypervector::from_words_unchecked(
+        crate::kernel::pack_sums(sums),
+        sums.len(),
+    );
+    Hypervector::with_mirror(components, packed)
 }
 
 #[cfg(test)]

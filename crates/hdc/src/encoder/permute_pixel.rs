@@ -246,12 +246,8 @@ mod tests {
     #[test]
     fn aliasing_configs_rejected() {
         // 32×32 = 1024 pixels > 512 dimensions: positions would collide.
-        let bad = PermutePixelEncoderConfig {
-            dim: 512,
-            width: 32,
-            height: 32,
-            ..Default::default()
-        };
+        let bad =
+            PermutePixelEncoderConfig { dim: 512, width: 32, height: 32, ..Default::default() };
         assert!(PermutePixelEncoder::new(bad).is_err());
     }
 

@@ -37,6 +37,9 @@ pub enum HdcError {
         /// Number of representable levels.
         levels: usize,
     },
+    /// A cosine similarity was requested against an all-zero vector or
+    /// accumulator, for which the norm (and so the cosine) is undefined.
+    ZeroNorm,
     /// Prediction was requested from a model with no trained classes.
     EmptyModel,
     /// An item memory was configured with no items.
@@ -62,6 +65,9 @@ impl fmt::Display for HdcError {
             }
             HdcError::ValueOutOfRange { value, levels } => {
                 write!(f, "value {value} out of range for {levels} quantization levels")
+            }
+            HdcError::ZeroNorm => {
+                write!(f, "cosine undefined against a zero-norm vector or accumulator")
             }
             HdcError::EmptyModel => write!(f, "model has no trained classes"),
             HdcError::EmptyMemory => write!(f, "item memory must contain at least one item"),

@@ -232,10 +232,7 @@ mod tests {
         })
         .expect("valid config");
         let m: HdcClassifier<PixelEncoder> = HdcClassifier::new(encoder, 2);
-        assert!(matches!(
-            FaultyAssociativeMemory::inject(&m, 0.1, 1),
-            Err(HdcError::EmptyModel)
-        ));
+        assert!(matches!(FaultyAssociativeMemory::inject(&m, 0.1, 1), Err(HdcError::EmptyModel)));
     }
 
     #[test]

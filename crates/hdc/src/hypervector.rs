@@ -7,16 +7,28 @@
 //! holographic superposition (bundling) and binding work.
 
 use crate::error::HdcError;
+use crate::kernel;
+use crate::packed::PackedHypervector;
 use crate::rng::random_bipolar;
 use rand::rngs::StdRng;
 use rand::Rng;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 use std::ops::Index;
+use std::sync::OnceLock;
 
 /// A dense bipolar hypervector with components in `{-1, +1}`.
 ///
-/// The representation is `Vec<i8>` so binding is a single elementwise
-/// multiply and dot products stay in integer arithmetic.
+/// The user-facing representation is `Vec<i8>`, so binding is a single
+/// elementwise multiply and components index naturally. Internally every
+/// hypervector also maintains a **lazily computed bit-packed mirror**
+/// ([`packed`](Self::packed)): 64 components per `u64` word, built on first
+/// use and carried through [`bind`](Self::bind) / [`permute`](Self::permute)
+/// / [`negate`](Self::negate) at word-level cost. The similarity hot path
+/// ([`crate::dot`], [`crate::cosine`], [`crate::hamming`]) runs entirely on
+/// the mirror via XOR + popcount and the identity `dot = D − 2·hamming`
+/// (see [`crate::kernel`]), which is what makes fuzzing-campaign fitness
+/// evaluation fast.
 ///
 /// ```
 /// use hdc::Hypervector;
@@ -28,12 +40,39 @@ use std::ops::Index;
 /// // Random hypervectors are quasi-orthogonal.
 /// assert!(hdc::cosine(&a, &b).abs() < 0.12);
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash)]
 pub struct Hypervector {
     components: Vec<i8>,
+    /// Bit-packed mirror of `components`, built lazily. Invariant: when
+    /// set, it is exactly `PackedHypervector::pack(&self.components)`.
+    /// `components` is never mutated after the mirror exists (constructors
+    /// build fresh vectors), so the mirror can never go stale.
+    packed: OnceLock<PackedHypervector>,
 }
 
 impl Hypervector {
+    /// Internal constructor with an empty mirror.
+    fn new(components: Vec<i8>) -> Self {
+        Self { components, packed: OnceLock::new() }
+    }
+
+    /// Internal constructor with a pre-computed packed mirror (used where
+    /// the packed form falls out of the computation for free).
+    pub(crate) fn with_mirror(components: Vec<i8>, packed: PackedHypervector) -> Self {
+        debug_assert_eq!(packed.dim(), components.len());
+        debug_assert_eq!(packed, PackedHypervector::pack(&components));
+        let cell = OnceLock::new();
+        let _ = cell.set(packed);
+        Self { components, packed: cell }
+    }
+
+    /// Builds a hypervector from its packed form, prefilling the mirror.
+    pub(crate) fn from_packed_mirror(packed: PackedHypervector) -> Self {
+        let components = kernel::unpack_words(packed.words(), packed.dim());
+        let cell = OnceLock::new();
+        let _ = cell.set(packed);
+        Self { components, packed: cell }
+    }
+
     /// Creates a hypervector from raw bipolar components.
     ///
     /// # Errors
@@ -45,11 +84,9 @@ impl Hypervector {
             return Err(HdcError::ZeroDimension);
         }
         if let Some(bad) = components.iter().find(|&&c| c != 1 && c != -1) {
-            return Err(HdcError::Corrupt(format!(
-                "bipolar component must be ±1, found {bad}"
-            )));
+            return Err(HdcError::Corrupt(format!("bipolar component must be ±1, found {bad}")));
         }
-        Ok(Self { components })
+        Ok(Self::new(components))
     }
 
     /// Creates a hypervector without validating that components are bipolar.
@@ -59,7 +96,7 @@ impl Hypervector {
     /// hot paths where the invariant is already established.
     pub(crate) fn from_components_unchecked(components: Vec<i8>) -> Self {
         debug_assert!(components.iter().all(|&c| c == 1 || c == -1));
-        Self { components }
+        Self::new(components)
     }
 
     /// Draws a fresh i.i.d. random bipolar hypervector of dimension `dim`.
@@ -69,7 +106,7 @@ impl Hypervector {
     /// Panics if `dim` is zero.
     pub fn random(dim: usize, rng: &mut StdRng) -> Self {
         assert!(dim > 0, "hypervector dimension must be non-zero");
-        Self { components: random_bipolar(dim, rng) }
+        Self::new(random_bipolar(dim, rng))
     }
 
     /// A hypervector with every component `+1` (the binding identity).
@@ -79,7 +116,7 @@ impl Hypervector {
     /// Panics if `dim` is zero.
     pub fn ones(dim: usize) -> Self {
         assert!(dim > 0, "hypervector dimension must be non-zero");
-        Self { components: vec![1; dim] }
+        Self::new(vec![1; dim])
     }
 
     /// The dimension `D` of the hypervector.
@@ -97,10 +134,23 @@ impl Hypervector {
         self.components
     }
 
+    /// The bit-packed mirror (`+1 → 1`, `-1 → 0`), computed on first use
+    /// and cached. All similarity kernels run on this form.
+    pub fn packed(&self) -> &PackedHypervector {
+        self.packed.get_or_init(|| PackedHypervector::pack(&self.components))
+    }
+
+    /// The packed mirror if it has already been computed (used to carry the
+    /// mirror through word-level operations without forcing a pack).
+    fn packed_if_cached(&self) -> Option<&PackedHypervector> {
+        self.packed.get()
+    }
+
     /// Elementwise multiplication (the HDC binding operation ⊛).
     ///
     /// The result is quasi-orthogonal to both operands, and binding is its
-    /// own inverse: `a ⊛ a = 1`.
+    /// own inverse: `a ⊛ a = 1`. When both operands already carry their
+    /// packed mirrors, the result's mirror is derived by word-level XNOR.
     ///
     /// # Errors
     ///
@@ -108,25 +158,25 @@ impl Hypervector {
     /// dimension.
     pub fn bind(&self, other: &Self) -> Result<Self, HdcError> {
         if self.dim() != other.dim() {
-            return Err(HdcError::DimensionMismatch {
-                expected: self.dim(),
-                actual: other.dim(),
-            });
+            return Err(HdcError::DimensionMismatch { expected: self.dim(), actual: other.dim() });
         }
-        let components = self
-            .components
-            .iter()
-            .zip(&other.components)
-            .map(|(&a, &b)| a * b)
-            .collect();
-        Ok(Self { components })
+        let components: Vec<i8> =
+            self.components.iter().zip(&other.components).map(|(&a, &b)| a * b).collect();
+        match (self.packed_if_cached(), other.packed_if_cached()) {
+            (Some(pa), Some(pb)) => {
+                let packed = pa.bind(pb).expect("dimensions already checked");
+                Ok(Self::with_mirror(components, packed))
+            }
+            _ => Ok(Self::new(components)),
+        }
     }
 
     /// Cyclic right-shift by `amount` positions (the HDC permutation ρ).
     ///
     /// Permutation preserves component statistics but produces a vector
     /// quasi-orthogonal to the input for any non-zero shift. `ρ` distributes
-    /// over binding and bundling, which sequence encoders exploit.
+    /// over binding and bundling, which sequence encoders exploit. A cached
+    /// packed mirror is carried along by word-level rotation.
     pub fn permute(&self, amount: usize) -> Self {
         let dim = self.dim();
         let k = amount % dim;
@@ -136,7 +186,10 @@ impl Hypervector {
         let mut components = Vec::with_capacity(dim);
         components.extend_from_slice(&self.components[dim - k..]);
         components.extend_from_slice(&self.components[..dim - k]);
-        Self { components }
+        match self.packed_if_cached() {
+            Some(p) => Self::with_mirror(components, p.permute(k)),
+            None => Self::new(components),
+        }
     }
 
     /// Inverse of [`permute`](Self::permute): cyclic left-shift.
@@ -148,27 +201,24 @@ impl Hypervector {
 
     /// Flips the sign of every component.
     pub fn negate(&self) -> Self {
-        Self { components: self.components.iter().map(|&c| -c).collect() }
+        let components = self.components.iter().map(|&c| -c).collect();
+        match self.packed_if_cached() {
+            Some(p) => Self::with_mirror(components, p.negate()),
+            None => Self::new(components),
+        }
     }
 
-    /// Number of positions at which `self` and `other` disagree.
+    /// Number of positions at which `self` and `other` disagree, computed
+    /// on the packed mirrors (XOR + popcount).
     ///
     /// # Errors
     ///
     /// Returns [`HdcError::DimensionMismatch`] if dimensions differ.
     pub fn hamming_distance(&self, other: &Self) -> Result<usize, HdcError> {
         if self.dim() != other.dim() {
-            return Err(HdcError::DimensionMismatch {
-                expected: self.dim(),
-                actual: other.dim(),
-            });
+            return Err(HdcError::DimensionMismatch { expected: self.dim(), actual: other.dim() });
         }
-        Ok(self
-            .components
-            .iter()
-            .zip(&other.components)
-            .filter(|(a, b)| a != b)
-            .count())
+        Ok(self.packed().hamming_distance(other.packed()))
     }
 
     /// Returns a copy with `count` uniformly chosen components sign-flipped.
@@ -176,13 +226,34 @@ impl Hypervector {
     /// Useful for modelling bit-error noise (the paper's related work
     /// discusses HDC robustness against memory errors) and in tests.
     pub fn with_noise(&self, count: usize, rng: &mut StdRng) -> Self {
-        let mut out = self.clone();
-        let dim = out.dim();
+        let mut components = self.components.clone();
+        let dim = components.len();
         for _ in 0..count.min(dim) {
             let i = rng.gen_range(0..dim);
-            out.components[i] = -out.components[i];
+            components[i] = -components[i];
         }
-        out
+        Self::new(components)
+    }
+}
+
+impl Clone for Hypervector {
+    /// Clones the components and any already-computed packed mirror.
+    fn clone(&self) -> Self {
+        Self { components: self.components.clone(), packed: self.packed.clone() }
+    }
+}
+
+impl PartialEq for Hypervector {
+    fn eq(&self, other: &Self) -> bool {
+        self.components == other.components
+    }
+}
+
+impl Eq for Hypervector {}
+
+impl Hash for Hypervector {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.components.hash(state);
     }
 }
 
@@ -278,6 +349,18 @@ mod tests {
     }
 
     #[test]
+    fn bind_carries_valid_mirror() {
+        let mut r = rng();
+        let a = Hypervector::random(333, &mut r);
+        let b = Hypervector::random(333, &mut r);
+        // Force both mirrors, then bind: the result's mirror comes from the
+        // XNOR fast path and must match a from-scratch pack.
+        let _ = (a.packed(), b.packed());
+        let bound = a.bind(&b).unwrap();
+        assert_eq!(*bound.packed(), PackedHypervector::pack(bound.as_slice()));
+    }
+
+    #[test]
     fn permute_round_trips() {
         let mut r = rng();
         let a = Hypervector::random(777, &mut r);
@@ -291,6 +374,17 @@ mod tests {
         let hv = Hypervector::from_components(vec![1, 1, -1, 1]).unwrap();
         let shifted = hv.permute(1);
         assert_eq!(shifted.as_slice(), &[1, 1, 1, -1]);
+    }
+
+    #[test]
+    fn permute_carries_valid_mirror() {
+        let mut r = rng();
+        let a = Hypervector::random(130, &mut r);
+        let _ = a.packed();
+        for k in [1, 63, 64, 65, 129] {
+            let p = a.permute(k);
+            assert_eq!(*p.packed(), PackedHypervector::pack(p.as_slice()), "k = {k}");
+        }
     }
 
     #[test]
@@ -316,6 +410,15 @@ mod tests {
     }
 
     #[test]
+    fn negate_carries_valid_mirror() {
+        let mut r = rng();
+        let a = Hypervector::random(99, &mut r);
+        let _ = a.packed();
+        let n = a.negate();
+        assert_eq!(*n.packed(), PackedHypervector::pack(n.as_slice()));
+    }
+
+    #[test]
     fn hamming_distance_to_self_is_zero() {
         let mut r = rng();
         let a = Hypervector::random(300, &mut r);
@@ -337,6 +440,25 @@ mod tests {
         let d = a.hamming_distance(&noisy).unwrap();
         assert!(d <= 50, "at most 50 flips, got {d}");
         assert!(d > 0, "expected some flips");
+    }
+
+    #[test]
+    fn with_noise_does_not_reuse_stale_mirror() {
+        let mut r = rng();
+        let a = Hypervector::random(500, &mut r);
+        let _ = a.packed(); // cache the mirror on the original
+        let noisy = a.with_noise(20, &mut r);
+        assert_eq!(*noisy.packed(), PackedHypervector::pack(noisy.as_slice()));
+    }
+
+    #[test]
+    fn clone_preserves_equality_and_mirror() {
+        let mut r = rng();
+        let a = Hypervector::random(200, &mut r);
+        let _ = a.packed();
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert_eq!(*b.packed(), PackedHypervector::pack(b.as_slice()));
     }
 
     #[test]

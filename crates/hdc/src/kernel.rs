@@ -1,0 +1,681 @@
+//! Word-packed compute kernels for the bipolar hot path.
+//!
+//! Every similarity the fuzzing loop evaluates (§IV: thousands of
+//! `1 − cosine(AM[reference], encode(candidate))` calls per campaign)
+//! reduces to bit arithmetic once bipolar components are packed one bit per
+//! component (`+1 → 1`, `-1 → 0`):
+//!
+//! * `hamming(a, b)` is XOR + popcount over `u64` words — 64 components per
+//!   instruction instead of one.
+//! * `dot(a, b) = D − 2·hamming(a, b)` for bipolar vectors, so the integer
+//!   dot product (and with it cosine, which is `dot / D`) needs no
+//!   multiplies at all.
+//! * `bind` (elementwise product ⊛) is XNOR.
+//! * `permute` (cyclic shift ρ) is a word-level bit rotation with carry.
+//!
+//! This is the representation hardware implementations use (Schmuck et al.,
+//! JETC 2019) and the same identity the binarized classifier exploits; this
+//! module makes it the *internal* compute representation of the dense
+//! bipolar pipeline as well. [`crate::Hypervector`] keeps a lazily computed
+//! packed mirror of its components and routes [`crate::dot`],
+//! [`crate::cosine`] and [`crate::hamming`] through these kernels; the
+//! scalar loops they replace live on in [`reference`] as the oracle
+//! implementations used by property tests and benchmarks.
+//!
+//! All kernels are chunked so LLVM can autovectorize; none allocate except
+//! those returning a fresh word vector.
+
+/// Bits per packed word.
+pub const WORD_BITS: usize = 64;
+
+/// Number of `u64` words needed for `dim` components.
+#[inline]
+pub const fn words_for(dim: usize) -> usize {
+    dim.div_ceil(WORD_BITS)
+}
+
+/// Gathers the most significant bit of each byte of `x` into the low 8 bits
+/// of the result (a scalar `movemask`).
+///
+/// Each byte of `y = (x & 0x80…80) >> 7` holds a single 0/1 bit; the
+/// multiply accumulates byte `k` into bit `56 + k` (8 and 7 are coprime, so
+/// no two partial products collide below the top byte — the gather is
+/// exact, not approximate).
+#[inline]
+fn movemask8(x: u64) -> u64 {
+    ((x & 0x8080_8080_8080_8080) >> 7).wrapping_mul(0x0102_0408_1020_4080) >> 56
+}
+
+/// Packs bipolar components into words, 64 per `u64`: `+1 → 1`, `-1 → 0`.
+/// Bits at positions `>= components.len()` in the last word are zero.
+///
+/// The fast path reads 8 components at a time and extracts their sign bits
+/// with [`movemask8`] (`-1` has the sign bit set, so the mask is inverted).
+pub fn pack_words(components: &[i8]) -> Vec<u64> {
+    let dim = components.len();
+    let mut words = vec![0u64; words_for(dim)];
+    pack_words_into(components, &mut words);
+    words
+}
+
+/// [`pack_words`] into a caller-provided buffer of exactly
+/// [`words_for`]`(components.len())` words (scratch reuse on batch paths).
+///
+/// # Panics
+///
+/// Panics if `words` has the wrong length.
+pub fn pack_words_into(components: &[i8], words: &mut [u64]) {
+    let dim = components.len();
+    assert_eq!(words.len(), words_for(dim), "pack: output buffer length");
+    words.fill(0);
+
+    #[inline]
+    fn group_bits(chunk: &[i8]) -> u64 {
+        let raw = u64::from_le_bytes([
+            chunk[0] as u8,
+            chunk[1] as u8,
+            chunk[2] as u8,
+            chunk[3] as u8,
+            chunk[4] as u8,
+            chunk[5] as u8,
+            chunk[6] as u8,
+            chunk[7] as u8,
+        ]);
+        // Sign bit set ⇔ component is −1; packed bit is the complement.
+        movemask8(!raw)
+    }
+
+    // Build each word from its 8 byte-groups in one expression: no
+    // read-modify-write of the output and no index arithmetic in the loop.
+    let mut full_words = components.chunks_exact(WORD_BITS);
+    for (word, chunk) in words.iter_mut().zip(&mut full_words) {
+        *word = group_bits(&chunk[0..8])
+            | group_bits(&chunk[8..16]) << 8
+            | group_bits(&chunk[16..24]) << 16
+            | group_bits(&chunk[24..32]) << 24
+            | group_bits(&chunk[32..40]) << 32
+            | group_bits(&chunk[40..48]) << 40
+            | group_bits(&chunk[48..56]) << 48
+            | group_bits(&chunk[56..64]) << 56;
+    }
+    let tail_start = dim - full_words.remainder().len();
+    for (offset, &c) in full_words.remainder().iter().enumerate() {
+        let i = tail_start + offset;
+        if c == 1 {
+            words[i / WORD_BITS] |= 1u64 << (i % WORD_BITS);
+        }
+    }
+}
+
+/// Unpacks words into bipolar components: bit `1 → +1`, `0 → -1`.
+pub fn unpack_words(words: &[u64], dim: usize) -> Vec<i8> {
+    debug_assert!(words.len() == words_for(dim));
+    let mut components = Vec::with_capacity(dim);
+    for (w, &word) in words.iter().enumerate() {
+        let bits = (dim - w * WORD_BITS).min(WORD_BITS);
+        for b in 0..bits {
+            // Branchless select: bit 1 → +1, bit 0 → −1.
+            components.push((((word >> b) & 1) as i8) * 2 - 1);
+        }
+    }
+    components
+}
+
+/// Hamming distance between two equally sized packed words: XOR + popcount.
+///
+/// Both operands must keep their tail bits zeroed (every constructor in
+/// this crate does), so no masking is needed here.
+#[inline]
+pub fn hamming_words(a: &[u64], b: &[u64]) -> usize {
+    debug_assert_eq!(a.len(), b.len());
+    // Chunked so LLVM unrolls and vectorizes the popcount loop.
+    let mut total = 0u64;
+    let mut a_chunks = a.chunks_exact(4);
+    let mut b_chunks = b.chunks_exact(4);
+    for (ca, cb) in (&mut a_chunks).zip(&mut b_chunks) {
+        total += u64::from((ca[0] ^ cb[0]).count_ones())
+            + u64::from((ca[1] ^ cb[1]).count_ones())
+            + u64::from((ca[2] ^ cb[2]).count_ones())
+            + u64::from((ca[3] ^ cb[3]).count_ones());
+    }
+    for (&x, &y) in a_chunks.remainder().iter().zip(b_chunks.remainder()) {
+        total += u64::from((x ^ y).count_ones());
+    }
+    total as usize
+}
+
+/// Integer dot product of two bipolar vectors of dimension `dim` from their
+/// packed forms, via the identity `dot = D − 2·hamming`.
+#[inline]
+pub fn dot_words(a: &[u64], b: &[u64], dim: usize) -> i64 {
+    dim as i64 - 2 * hamming_words(a, b) as i64
+}
+
+/// Packed binding (elementwise bipolar product ⊛): XNOR with tail masking.
+pub fn bind_words(a: &[u64], b: &[u64], dim: usize) -> Vec<u64> {
+    debug_assert_eq!(a.len(), b.len());
+    let mut words: Vec<u64> = a.iter().zip(b).map(|(&x, &y)| !(x ^ y)).collect();
+    mask_tail(&mut words, dim);
+    words
+}
+
+/// [`bind_words`] into a caller-provided buffer (scratch reuse on encoding
+/// hot paths).
+pub fn bind_words_into(a: &[u64], b: &[u64], dim: usize, out: &mut [u64]) {
+    debug_assert_eq!(a.len(), b.len());
+    debug_assert_eq!(out.len(), a.len());
+    for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
+        *o = !(x ^ y);
+    }
+    mask_tail(out, dim);
+}
+
+/// Packed negation (sign flip of every component): NOT with tail masking.
+pub fn negate_words(words: &[u64], dim: usize) -> Vec<u64> {
+    let mut out: Vec<u64> = words.iter().map(|&w| !w).collect();
+    mask_tail(&mut out, dim);
+    out
+}
+
+/// Packed cyclic right-shift by `amount` positions (permutation ρ):
+/// `out[(i + amount) % dim] = in[i]`, matching
+/// [`Hypervector::permute`](crate::Hypervector::permute).
+///
+/// Implemented as two word-level bit blits (the shifted head and the
+/// wrapped tail) rather than per-bit moves.
+pub fn rotate_words(words: &[u64], dim: usize, amount: usize) -> Vec<u64> {
+    let k = amount % dim;
+    if k == 0 {
+        return words.to_vec();
+    }
+    let mut out = shl_bits(words, dim, k);
+    let wrapped = shr_bits(words, dim - k);
+    for (o, w) in out.iter_mut().zip(&wrapped) {
+        *o |= w;
+    }
+    out
+}
+
+/// Logical shift of a `dim`-bit little-endian bitset toward higher indices
+/// by `s` (< dim); vacated low bits are zero, bits shifted past `dim` drop.
+fn shl_bits(words: &[u64], dim: usize, s: usize) -> Vec<u64> {
+    let n = words.len();
+    let mut out = vec![0u64; n];
+    let word_shift = s / WORD_BITS;
+    let bit_shift = s % WORD_BITS;
+    for i in (word_shift..n).rev() {
+        let mut w = words[i - word_shift] << bit_shift;
+        if bit_shift > 0 && i > word_shift {
+            w |= words[i - word_shift - 1] >> (WORD_BITS - bit_shift);
+        }
+        out[i] = w;
+    }
+    mask_tail(&mut out, dim);
+    out
+}
+
+/// Logical shift of a little-endian bitset toward lower indices by `s`
+/// (< total bits); bits shifted below index 0 drop.
+fn shr_bits(words: &[u64], s: usize) -> Vec<u64> {
+    let n = words.len();
+    let mut out = vec![0u64; n];
+    let word_shift = s / WORD_BITS;
+    let bit_shift = s % WORD_BITS;
+    for i in 0..n - word_shift {
+        let mut w = words[i + word_shift] >> bit_shift;
+        if bit_shift > 0 && i + word_shift + 1 < n {
+            w |= words[i + word_shift + 1] << (WORD_BITS - bit_shift);
+        }
+        out[i] = w;
+    }
+    out
+}
+
+/// Zeroes bits at positions `>= dim` in the last word.
+#[inline]
+pub fn mask_tail(words: &mut [u64], dim: usize) {
+    let rem = dim % WORD_BITS;
+    if rem != 0 {
+        if let Some(last) = words.last_mut() {
+            *last &= (1u64 << rem) - 1;
+        }
+    }
+}
+
+/// Packs integer bundling sums straight to words using the deterministic
+/// bipolarization rule (`s > 0 → 1`, `s < 0 → 0`, `s == 0 →` component
+/// parity: even index → 1), bit-identical to packing the output of the
+/// scalar bipolarization.
+pub fn pack_sums(sums: &[i32]) -> Vec<u64> {
+    let dim = sums.len();
+    let mut words = vec![0u64; words_for(dim)];
+    for (i, &s) in sums.iter().enumerate() {
+        let bit = s > 0 || (s == 0 && i % 2 == 0);
+        if bit {
+            words[i / WORD_BITS] |= 1u64 << (i % WORD_BITS);
+        }
+    }
+    words
+}
+
+/// A bit-sliced (vertical) counter: per-component counts of set bits over a
+/// stream of packed vectors, stored as bitplanes so one
+/// [`add`](Self::add) costs a couple of word operations per plane instead
+/// of one integer add per component.
+///
+/// This is the packed equivalent of bundling: after adding `n` packed
+/// vectors, component `i` has seen `c` ones, and the corresponding bipolar
+/// bundling sum is exactly `2c − n`. Encoders bundle thousands of bound
+/// pixel vectors per image; running the bundle through bitplanes instead of
+/// a `Vec<i32>` accumulator is where the packed representation pays off on
+/// the *encoding* half of the hot path (the similarity half goes through
+/// [`hamming_words`]).
+#[derive(Debug, Clone)]
+pub struct BitCounter {
+    /// Flat plane storage: plane `k` occupies words
+    /// `[k·words_for(dim), (k+1)·words_for(dim))` and holds bit `k` of
+    /// every component's count.
+    planes: Vec<u64>,
+    /// Carry scratch, reused across [`add`](Self::add) calls.
+    carry: Vec<u64>,
+    n_planes: usize,
+    dim: usize,
+    count: usize,
+}
+
+impl BitCounter {
+    /// An empty counter for `dim` components.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is zero.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "counter dimension must be non-zero");
+        Self { planes: Vec::new(), carry: vec![0; words_for(dim)], n_planes: 0, dim, count: 0 }
+    }
+
+    /// The component dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of vectors added since the last [`clear`](Self::clear).
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Resets to the empty state, keeping plane allocations for reuse.
+    pub fn clear(&mut self) {
+        self.planes.fill(0);
+        self.count = 0;
+    }
+
+    /// Adds one packed vector: per-component ripple-carry increment where
+    /// the vector has a set bit. Allocation-free except when the count
+    /// crosses a power of two (a new plane is appended).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` has the wrong word count.
+    pub fn add(&mut self, bits: &[u64]) {
+        let n_words = words_for(self.dim);
+        assert_eq!(bits.len(), n_words, "counter: word count mismatch");
+        self.carry.copy_from_slice(bits);
+        for k in 0..self.n_planes {
+            let plane = &mut self.planes[k * n_words..(k + 1) * n_words];
+            let mut any = 0u64;
+            for (p, c) in plane.iter_mut().zip(&mut self.carry) {
+                let new_carry = *p & *c;
+                *p ^= *c;
+                *c = new_carry;
+                any |= new_carry;
+            }
+            if any == 0 {
+                self.count += 1;
+                return;
+            }
+        }
+        // Carry out of the top plane: grow by one plane holding it.
+        self.planes.extend_from_slice(&self.carry);
+        self.n_planes += 1;
+        self.count += 1;
+    }
+
+    /// Writes the bipolar bundling sums (`2c − n` per component) into
+    /// `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != dim`.
+    pub fn sums_into(&self, out: &mut [i32]) {
+        assert_eq!(out.len(), self.dim, "counter: output length mismatch");
+        let n_words = words_for(self.dim);
+        let n = self.count as i32;
+        out.fill(-n);
+        for k in 0..self.n_planes {
+            let weight = 1i32 << (k + 1); // 2 · 2^k
+            for (w, &word) in self.planes[k * n_words..(k + 1) * n_words].iter().enumerate() {
+                let mut bits = word;
+                while bits != 0 {
+                    let b = bits.trailing_zeros() as usize;
+                    out[w * WORD_BITS + b] += weight;
+                    bits &= bits - 1;
+                }
+            }
+        }
+    }
+
+    /// The bipolar bundling sums as a fresh vector.
+    pub fn sums(&self) -> Vec<i32> {
+        let mut out = vec![0i32; self.dim];
+        self.sums_into(&mut out);
+        out
+    }
+
+    /// Bipolarizes the bundle straight to packed words without ever
+    /// materializing integer sums, via a word-parallel comparison of every
+    /// component's count `c` against the threshold `n/2`:
+    /// `2c − n > 0 → 1`, `< 0 → 0`, `= 0 →` component parity (even → 1) —
+    /// bit-identical to `bipolarize_sums(self.sums())`.
+    pub fn bipolarize_packed(&self) -> Vec<u64> {
+        let n_words = words_for(self.dim);
+        let threshold = (self.count / 2) as u64;
+        // Every count fits in `n_planes` bits, so if the threshold needs
+        // more bits every component is strictly below it (possible with
+        // sparse adds, e.g. n vectors whose set bits never overlap): all
+        // sums are negative and ties are impossible.
+        if self.n_planes < u64::BITS as usize && threshold >> self.n_planes != 0 {
+            return vec![0u64; n_words];
+        }
+        // `gt`/`eq` track, per position, whether the count is already known
+        // greater than / still equal to the threshold, scanning planes from
+        // the most significant down.
+        let mut gt = vec![0u64; n_words];
+        let mut eq = vec![u64::MAX; n_words];
+        for k in (0..self.n_planes).rev() {
+            let plane = &self.planes[k * n_words..(k + 1) * n_words];
+            if (threshold >> k) & 1 == 0 {
+                for ((g, e), &p) in gt.iter_mut().zip(&mut eq).zip(plane) {
+                    *g |= *e & p;
+                    *e &= !p;
+                }
+            } else {
+                for (e, &p) in eq.iter_mut().zip(plane) {
+                    *e &= p;
+                }
+            }
+        }
+        // Ties (c == n/2, only possible for even n) break by parity:
+        // even-indexed components map to 1. Bits 0, 2, 4 … of every word
+        // are even positions.
+        let tie_mask: u64 = if self.count.is_multiple_of(2) { 0x5555_5555_5555_5555 } else { 0 };
+        let mut out = gt;
+        for (o, &e) in out.iter_mut().zip(&eq) {
+            *o |= e & tie_mask;
+        }
+        mask_tail(&mut out, self.dim);
+        out
+    }
+}
+
+/// Scalar reference implementations — the exact loops the packed kernels
+/// replaced. They are the correctness oracles for the property tests
+/// (`tests/kernel_properties.rs`) and the baselines for
+/// `benches/kernels.rs`; keep them in sync with the documented semantics,
+/// not with the kernels.
+pub mod reference {
+    /// Scalar integer dot product with `i64` widening (the seed's hot-path
+    /// implementation of [`crate::dot`]).
+    pub fn dot_scalar(a: &[i8], b: &[i8]) -> i64 {
+        assert_eq!(a.len(), b.len(), "dot: dimension mismatch");
+        a.iter().zip(b).map(|(&x, &y)| i64::from(x) * i64::from(y)).sum()
+    }
+
+    /// Scalar cosine: `dot / D` for bipolar vectors.
+    pub fn cosine_scalar(a: &[i8], b: &[i8]) -> f64 {
+        dot_scalar(a, b) as f64 / a.len() as f64
+    }
+
+    /// Scalar Hamming distance (count of differing components).
+    pub fn hamming_scalar(a: &[i8], b: &[i8]) -> usize {
+        assert_eq!(a.len(), b.len(), "hamming: dimension mismatch");
+        a.iter().zip(b).filter(|(x, y)| x != y).count()
+    }
+
+    /// Scalar binding: elementwise product.
+    pub fn bind_scalar(a: &[i8], b: &[i8]) -> Vec<i8> {
+        assert_eq!(a.len(), b.len(), "bind: dimension mismatch");
+        a.iter().zip(b).map(|(&x, &y)| x * y).collect()
+    }
+
+    /// Scalar cyclic right-shift by `amount`.
+    pub fn permute_scalar(components: &[i8], amount: usize) -> Vec<i8> {
+        let dim = components.len();
+        let k = amount % dim;
+        let mut out = Vec::with_capacity(dim);
+        out.extend_from_slice(&components[dim - k..]);
+        out.extend_from_slice(&components[..dim - k]);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_bipolar(dim: usize, rng: &mut StdRng) -> Vec<i8> {
+        (0..dim).map(|_| if rng.gen::<bool>() { 1 } else { -1 }).collect()
+    }
+
+    #[test]
+    fn movemask_gathers_sign_bits() {
+        assert_eq!(movemask8(0), 0);
+        assert_eq!(movemask8(u64::MAX), 0xff);
+        assert_eq!(movemask8(0x0000_0000_0000_0080), 0b0000_0001);
+        assert_eq!(movemask8(0x8000_0000_0000_0000), 0b1000_0000);
+        assert_eq!(movemask8(0x0080_0080_0080_0080), 0b0101_0101);
+    }
+
+    #[test]
+    fn pack_matches_bit_by_bit_reference() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for dim in [1, 7, 8, 9, 63, 64, 65, 127, 128, 130, 1000] {
+            let v = random_bipolar(dim, &mut rng);
+            let words = pack_words(&v);
+            for (i, &c) in v.iter().enumerate() {
+                let bit = (words[i / 64] >> (i % 64)) & 1;
+                assert_eq!(bit == 1, c == 1, "dim {dim} bit {i}");
+            }
+            // Tail bits must be zero.
+            if dim % 64 != 0 {
+                assert_eq!(words[dim / 64] >> (dim % 64), 0, "dim {dim} tail");
+            }
+        }
+    }
+
+    #[test]
+    fn pack_unpack_round_trip() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for dim in [1, 63, 64, 65, 127, 1000] {
+            let v = random_bipolar(dim, &mut rng);
+            assert_eq!(unpack_words(&pack_words(&v), dim), v);
+        }
+    }
+
+    #[test]
+    fn hamming_and_dot_match_reference() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for dim in [1, 63, 64, 65, 127, 129, 500] {
+            let a = random_bipolar(dim, &mut rng);
+            let b = random_bipolar(dim, &mut rng);
+            let (pa, pb) = (pack_words(&a), pack_words(&b));
+            assert_eq!(hamming_words(&pa, &pb), reference::hamming_scalar(&a, &b));
+            assert_eq!(dot_words(&pa, &pb, dim), reference::dot_scalar(&a, &b));
+        }
+    }
+
+    #[test]
+    fn bind_matches_reference() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for dim in [1, 64, 65, 127, 300] {
+            let a = random_bipolar(dim, &mut rng);
+            let b = random_bipolar(dim, &mut rng);
+            let packed = bind_words(&pack_words(&a), &pack_words(&b), dim);
+            assert_eq!(unpack_words(&packed, dim), reference::bind_scalar(&a, &b));
+        }
+    }
+
+    #[test]
+    fn rotate_matches_reference() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for dim in [1, 63, 64, 65, 127, 130, 333] {
+            let v = random_bipolar(dim, &mut rng);
+            let words = pack_words(&v);
+            for k in [0, 1, 17, 63, 64, 65, dim - 1, dim, dim + 3] {
+                let rotated = rotate_words(&words, dim, k);
+                assert_eq!(
+                    unpack_words(&rotated, dim),
+                    reference::permute_scalar(&v, k),
+                    "dim {dim} k {k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn negate_matches_reference() {
+        let mut rng = StdRng::seed_from_u64(6);
+        for dim in [1, 64, 65, 200] {
+            let v = random_bipolar(dim, &mut rng);
+            let negated = negate_words(&pack_words(&v), dim);
+            let expected: Vec<i8> = v.iter().map(|&c| -c).collect();
+            assert_eq!(unpack_words(&negated, dim), expected);
+        }
+    }
+
+    #[test]
+    fn pack_sums_matches_scalar_bipolarization() {
+        let sums = [3i32, -2, 0, 0, 7, -1, 0, 5, -9, 0];
+        let words = pack_sums(&sums);
+        // Scalar rule: +,-,tie-even,tie-odd,+,-,tie-even,+,-,tie-odd
+        let expected = [1i8, -1, 1, -1, 1, -1, 1, 1, -1, -1];
+        assert_eq!(unpack_words(&words, sums.len()), expected);
+    }
+
+    #[test]
+    fn bit_counter_matches_integer_bundling() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for dim in [63, 64, 65, 127, 400] {
+            let mut counter = BitCounter::new(dim);
+            let mut expected = vec![0i32; dim];
+            for n in 1..=35usize {
+                let v = random_bipolar(dim, &mut rng);
+                counter.add(&pack_words(&v));
+                for (e, &c) in expected.iter_mut().zip(&v) {
+                    *e += i32::from(c);
+                }
+                assert_eq!(counter.count(), n);
+            }
+            assert_eq!(counter.sums(), expected, "dim {dim}");
+        }
+    }
+
+    #[test]
+    fn bit_counter_bipolarize_packed_matches_scalar_rule() {
+        let mut rng = StdRng::seed_from_u64(10);
+        for dim in [63, 64, 65, 127, 320] {
+            let mut counter = BitCounter::new(dim);
+            let mut sums = vec![0i32; dim];
+            // Both parities of n, including n where ties are plentiful.
+            for n in 1..=24usize {
+                let v = random_bipolar(dim, &mut rng);
+                counter.add(&pack_words(&v));
+                for (s, &c) in sums.iter_mut().zip(&v) {
+                    *s += i32::from(c);
+                }
+                let expected: Vec<i8> = sums
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &s)| {
+                        if s > 0 {
+                            1
+                        } else if s < 0 {
+                            -1
+                        } else if i % 2 == 0 {
+                            1
+                        } else {
+                            -1
+                        }
+                    })
+                    .collect();
+                let packed = counter.bipolarize_packed();
+                assert_eq!(unpack_words(&packed, dim), expected, "dim {dim} n {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn bit_counter_bipolarize_packed_sparse_counts() {
+        // Sparse adds keep every per-component count far below the
+        // threshold n/2 (here max count 1, threshold 2): all sums are
+        // negative, so the result must be all zeros — this is the case
+        // where the threshold needs more bits than any plane holds.
+        let dim = 8;
+        let mut counter = BitCounter::new(dim);
+        for i in 0..4usize {
+            let mut one_hot = vec![0u64; words_for(dim)];
+            one_hot[0] |= 1 << i;
+            counter.add(&one_hot);
+        }
+        assert_eq!(counter.count(), 4);
+        // sums = [-2, -2, -2, -2, -4, -4, -4, -4]
+        assert_eq!(counter.sums(), vec![-2, -2, -2, -2, -4, -4, -4, -4]);
+        let expected = vec![-1i8; dim];
+        assert_eq!(unpack_words(&counter.bipolarize_packed(), dim), expected);
+    }
+
+    #[test]
+    fn bit_counter_bipolarize_packed_empty_is_parity() {
+        let counter = BitCounter::new(130);
+        let packed = counter.bipolarize_packed();
+        let expected: Vec<i8> = (0..130).map(|i| if i % 2 == 0 { 1 } else { -1 }).collect();
+        assert_eq!(unpack_words(&packed, 130), expected);
+    }
+
+    #[test]
+    fn bit_counter_clear_reuses_planes() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut counter = BitCounter::new(128);
+        for _ in 0..9 {
+            counter.add(&pack_words(&random_bipolar(128, &mut rng)));
+        }
+        counter.clear();
+        assert_eq!(counter.count(), 0);
+        let v = random_bipolar(128, &mut rng);
+        counter.add(&pack_words(&v));
+        let expected: Vec<i32> = v.iter().map(|&c| i32::from(c)).collect();
+        assert_eq!(counter.sums(), expected);
+    }
+
+    #[test]
+    fn bind_words_into_matches_bind_words() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for dim in [64, 65, 130] {
+            let a = pack_words(&random_bipolar(dim, &mut rng));
+            let b = pack_words(&random_bipolar(dim, &mut rng));
+            let mut out = vec![u64::MAX; a.len()]; // dirty scratch
+            bind_words_into(&a, &b, dim, &mut out);
+            assert_eq!(out, bind_words(&a, &b, dim), "dim {dim}");
+        }
+    }
+
+    #[test]
+    fn words_for_boundaries() {
+        assert_eq!(words_for(1), 1);
+        assert_eq!(words_for(64), 1);
+        assert_eq!(words_for(65), 2);
+        assert_eq!(words_for(10_000), 157);
+    }
+}

@@ -16,6 +16,33 @@
 //! class. Prediction encodes a query input and returns the class whose
 //! reference vector has maximal cosine similarity.
 //!
+//! ## Word-packed compute backend
+//!
+//! The user-facing representation stays `Vec<i8>`, but every similarity on
+//! the hot path runs on a **bit-packed mirror** (64 components per `u64`,
+//! `+1 → 1`, `-1 → 0`) that each hypervector builds lazily and carries
+//! through `bind`/`permute`/`negate` (see [`kernel`]). For bipolar vectors
+//!
+//! ```text
+//! dot(a, b) = D − 2 · hamming(a, b)
+//! ```
+//!
+//! so [`dot`] (and [`cosine`], which is `dot / D`) reduces to XOR +
+//! popcount over `D/64` words — bit-exact with the scalar loops it
+//! replaced, which survive as [`kernel::reference`] oracles for the
+//! property tests and benchmarks. Encoders bundle through the same backend:
+//! bound pixel vectors accumulate in a bit-sliced counter
+//! ([`kernel::BitCounter`]) and bipolarize by word-parallel threshold
+//! comparison, never materializing integer sums.
+//!
+//! On top of the kernels sits a batch layer —
+//! [`AssociativeMemory::classify_batch`], [`HdcClassifier::predict_batch`]
+//! and [`HdcClassifier::evaluate_batch`] — that packs queries once, reuses
+//! encode scratch across a batch, and fans out across worker threads
+//! (`std::thread::scope`; a `rayon` executor is feature-gated off until the
+//! dependency is available offline). `benches/kernels.rs` in the bench
+//! crate tracks the speedups; see `ROADMAP.md` for current numbers.
+//!
 //! ## Quick example
 //!
 //! ```
@@ -53,6 +80,7 @@
 
 pub mod accumulator;
 pub mod am;
+pub(crate) mod batch;
 pub mod binary;
 pub mod classifier;
 pub mod confusion;
@@ -61,6 +89,7 @@ pub mod error;
 pub mod fault;
 pub mod hypervector;
 pub mod io;
+pub mod kernel;
 pub mod memory;
 pub mod ops;
 pub mod packed;
@@ -92,9 +121,9 @@ pub mod prelude {
     pub use crate::classifier::{HdcClassifier, Prediction};
     pub use crate::confusion::ConfusionMatrix;
     pub use crate::encoder::{
-        Encoder, NgramEncoder, NgramEncoderConfig, PermutePixelEncoder,
-        PermutePixelEncoderConfig, PixelEncoder, PixelEncoderConfig, RecordEncoder,
-        RecordEncoderConfig, TimeSeriesEncoder, TimeSeriesEncoderConfig,
+        Encoder, NgramEncoder, NgramEncoderConfig, PermutePixelEncoder, PermutePixelEncoderConfig,
+        PixelEncoder, PixelEncoderConfig, RecordEncoder, RecordEncoderConfig, TimeSeriesEncoder,
+        TimeSeriesEncoderConfig,
     };
     pub use crate::error::HdcError;
     pub use crate::hypervector::Hypervector;

@@ -210,9 +210,7 @@ impl LevelMemory {
                         for &idx in &order[from..to] {
                             current[idx] = -current[idx];
                         }
-                        items.push(
-                            Hypervector::from_components(current.clone()).expect("bipolar"),
-                        );
+                        items.push(Hypervector::from_components(current.clone()).expect("bipolar"));
                     }
                     items
                 }

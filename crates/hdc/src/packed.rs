@@ -4,8 +4,10 @@
 //! representation than bipolar `Vec<i8>`: one bit per component, with
 //! Hamming distance computed by XOR + popcount. This is the representation
 //! hardware implementations use (the paper cites Schmuck et al., JETC 2019,
-//! on binarized bundling and combinational associative memories) and is
-//! benchmarked against the bipolar representation in `crates/bench`.
+//! on binarized bundling and combinational associative memories) — and, via
+//! [`crate::kernel`], it is also the internal compute representation of the
+//! dense bipolar pipeline: every [`crate::Hypervector`] lazily maintains a
+//! `PackedHypervector` mirror that the similarity hot path runs on.
 //!
 //! Mapping: bipolar `+1` ↔ bit `1`, bipolar `-1` ↔ bit `0`. Binding (⊛)
 //! becomes XNOR (implemented as `!(a ^ b)` with tail masking); bundling is
@@ -13,6 +15,7 @@
 
 use crate::error::HdcError;
 use crate::hypervector::Hypervector;
+use crate::kernel;
 use rand::rngs::StdRng;
 use rand::Rng;
 use std::fmt;
@@ -32,9 +35,9 @@ impl PackedHypervector {
     /// Panics if `dim` is zero.
     pub fn random(dim: usize, rng: &mut StdRng) -> Self {
         assert!(dim > 0, "hypervector dimension must be non-zero");
-        let n_words = dim.div_ceil(64);
+        let n_words = kernel::words_for(dim);
         let mut words: Vec<u64> = (0..n_words).map(|_| rng.gen()).collect();
-        Self::mask_tail(&mut words, dim);
+        kernel::mask_tail(&mut words, dim);
         Self { words, dim }
     }
 
@@ -45,7 +48,26 @@ impl PackedHypervector {
     /// Panics if `dim` is zero.
     pub fn zeros(dim: usize) -> Self {
         assert!(dim > 0, "hypervector dimension must be non-zero");
-        Self { words: vec![0; dim.div_ceil(64)], dim }
+        Self { words: vec![0; kernel::words_for(dim)], dim }
+    }
+
+    /// Packs raw bipolar components (`+1 → 1`, `-1 → 0`) with the word-level
+    /// kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `components` is empty.
+    pub fn pack(components: &[i8]) -> Self {
+        assert!(!components.is_empty(), "hypervector dimension must be non-zero");
+        Self { words: kernel::pack_words(components), dim: components.len() }
+    }
+
+    /// Builds a packed hypervector from raw words; the caller guarantees
+    /// tail bits beyond `dim` are zero.
+    pub(crate) fn from_words_unchecked(words: Vec<u64>, dim: usize) -> Self {
+        debug_assert_eq!(words.len(), kernel::words_for(dim));
+        debug_assert!(dim.is_multiple_of(64) || words.last().is_none_or(|w| w >> (dim % 64) == 0));
+        Self { words, dim }
     }
 
     /// The dimension `D`.
@@ -94,27 +116,19 @@ impl PackedHypervector {
         if self.dim != other.dim {
             return Err(HdcError::DimensionMismatch { expected: self.dim, actual: other.dim });
         }
-        let mut words: Vec<u64> =
-            self.words.iter().zip(&other.words).map(|(&a, &b)| !(a ^ b)).collect();
-        Self::mask_tail(&mut words, self.dim);
-        Ok(Self { words, dim: self.dim })
+        Ok(Self { words: kernel::bind_words(&self.words, &other.words, self.dim), dim: self.dim })
     }
 
-    /// Cyclic right-shift by `amount` bit positions (permutation ρ).
+    /// Cyclic right-shift by `amount` bit positions (permutation ρ),
+    /// computed as a word-level rotate with carry.
     pub fn permute(&self, amount: usize) -> Self {
-        let k = amount % self.dim;
-        if k == 0 {
-            return self.clone();
-        }
-        // Straightforward bit-at-a-time rotation; packed permutation is not
-        // on any hot path (encoders that permute use the bipolar form).
-        let mut out = Self::zeros(self.dim);
-        for i in 0..self.dim {
-            if self.bit(i) {
-                out.set_bit((i + k) % self.dim, true);
-            }
-        }
-        out
+        Self { words: kernel::rotate_words(&self.words, self.dim, amount), dim: self.dim }
+    }
+
+    /// Flips every component (`NOT` with tail masking) — the packed
+    /// equivalent of bipolar negation.
+    pub fn negate(&self) -> Self {
+        Self { words: kernel::negate_words(&self.words, self.dim), dim: self.dim }
     }
 
     /// Hamming distance via XOR + popcount.
@@ -124,11 +138,18 @@ impl PackedHypervector {
     /// Panics if dimensions differ.
     pub fn hamming_distance(&self, other: &Self) -> usize {
         assert_eq!(self.dim, other.dim, "hamming: dimension mismatch");
-        self.words
-            .iter()
-            .zip(&other.words)
-            .map(|(&a, &b)| (a ^ b).count_ones() as usize)
-            .sum()
+        kernel::hamming_words(&self.words, &other.words)
+    }
+
+    /// Integer dot product of the corresponding bipolar vectors, via
+    /// `dot = D − 2·hamming`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn dot(&self, other: &Self) -> i64 {
+        assert_eq!(self.dim, other.dim, "dot: dimension mismatch");
+        kernel::dot_words(&self.words, &other.words, self.dim)
     }
 
     /// Normalized Hamming distance in `[0, 1]`.
@@ -172,36 +193,20 @@ impl PackedHypervector {
     pub fn count_ones(&self) -> usize {
         self.words.iter().map(|w| w.count_ones() as usize).sum()
     }
-
-    fn mask_tail(words: &mut [u64], dim: usize) {
-        let rem = dim % 64;
-        if rem != 0 {
-            if let Some(last) = words.last_mut() {
-                *last &= (1u64 << rem) - 1;
-            }
-        }
-    }
 }
 
 impl From<&Hypervector> for PackedHypervector {
-    /// Packs a bipolar hypervector: `+1 → 1`, `-1 → 0`.
+    /// Packs a bipolar hypervector (`+1 → 1`, `-1 → 0`); reuses the
+    /// hypervector's cached packed mirror when it exists.
     fn from(hv: &Hypervector) -> Self {
-        let dim = hv.dim();
-        let mut out = Self::zeros(dim);
-        for (i, &c) in hv.as_slice().iter().enumerate() {
-            if c == 1 {
-                out.set_bit(i, true);
-            }
-        }
-        out
+        hv.packed().clone()
     }
 }
 
 impl From<&PackedHypervector> for Hypervector {
     /// Unpacks to bipolar form: `1 → +1`, `0 → -1`.
     fn from(p: &PackedHypervector) -> Self {
-        let components: Vec<i8> = (0..p.dim()).map(|i| if p.bit(i) { 1 } else { -1 }).collect();
-        Hypervector::from_components_unchecked(components)
+        Hypervector::from_packed_mirror(p.clone())
     }
 }
 
@@ -240,6 +245,16 @@ mod tests {
     }
 
     #[test]
+    fn dot_matches_bipolar_dot() {
+        let mut r = rng();
+        let a = Hypervector::random(321, &mut r);
+        let b = Hypervector::random(321, &mut r);
+        let pa = PackedHypervector::from(&a);
+        let pb = PackedHypervector::from(&b);
+        assert_eq!(pa.dot(&pb), crate::similarity::dot(&a, &b));
+    }
+
+    #[test]
     fn bind_matches_bipolar_bind() {
         let mut r = rng();
         let a = Hypervector::random(130, &mut r);
@@ -261,6 +276,13 @@ mod tests {
     }
 
     #[test]
+    fn negate_matches_bipolar_negate() {
+        let mut r = rng();
+        let a = Hypervector::random(70, &mut r);
+        assert_eq!(PackedHypervector::from(&a.negate()), PackedHypervector::from(&a).negate());
+    }
+
+    #[test]
     fn tail_bits_stay_zero() {
         let mut r = rng();
         // dim not a multiple of 64 exercises tail masking.
@@ -270,6 +292,8 @@ mod tests {
         let q = PackedHypervector::random(70, &mut r);
         let bound = p.bind(&q).unwrap();
         assert_eq!(*bound.words().last().unwrap() >> 6, 0);
+        let negated = p.negate();
+        assert_eq!(*negated.words().last().unwrap() >> 6, 0);
     }
 
     #[test]

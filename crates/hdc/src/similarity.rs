@@ -3,12 +3,20 @@
 //! The paper's testing phase (§III-C) ranks classes by cosine similarity
 //! between the query hypervector and each reference vector in the associative
 //! memory; the fuzzer's fitness function (§IV) is `1 − cosine`.
+//!
+//! All bipolar similarities run on the word-packed mirror (see
+//! [`crate::kernel`]): `dot` is computed as `D − 2·hamming` with XOR +
+//! popcount, which is bit-exact with the scalar integer loop it replaced
+//! (the scalar loop survives as [`crate::kernel::reference::dot_scalar`],
+//! the property-test oracle).
 
 use crate::accumulator::Accumulator;
+use crate::error::HdcError;
 use crate::hypervector::Hypervector;
 use crate::packed::PackedHypervector;
 
-/// Integer dot product of two bipolar hypervectors.
+/// Integer dot product of two bipolar hypervectors, computed on the packed
+/// mirrors via `dot = D − 2·hamming`.
 ///
 /// # Panics
 ///
@@ -16,11 +24,7 @@ use crate::packed::PackedHypervector;
 /// have validated shapes at construction time).
 pub fn dot(a: &Hypervector, b: &Hypervector) -> i64 {
     assert_eq!(a.dim(), b.dim(), "dot: dimension mismatch");
-    a.as_slice()
-        .iter()
-        .zip(b.as_slice())
-        .map(|(&x, &y)| i64::from(x) * i64::from(y))
-        .sum()
+    a.packed().dot(b.packed())
 }
 
 /// Cosine similarity of two bipolar hypervectors, in `[-1, 1]`.
@@ -42,30 +46,38 @@ pub fn cosine(a: &Hypervector, b: &Hypervector) -> f64 {
 /// Supports similarity checks against "soft" class vectors before
 /// bipolarization, as some HDC variants do.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if dimensions differ or the accumulator is all-zero.
-pub fn cosine_accum(query: &Hypervector, acc: &Accumulator) -> f64 {
-    assert_eq!(query.dim(), acc.dim(), "cosine_accum: dimension mismatch");
+/// Returns [`HdcError::DimensionMismatch`] if dimensions differ and
+/// [`HdcError::ZeroNorm`] for an all-zero accumulator (for which cosine is
+/// undefined) — a zero accumulator can legitimately arise mid-campaign when
+/// adaptive retraining subtracts everything a class ever bundled, and must
+/// not abort the run.
+pub fn cosine_accum(query: &Hypervector, acc: &Accumulator) -> Result<f64, HdcError> {
+    if query.dim() != acc.dim() {
+        return Err(HdcError::DimensionMismatch { expected: query.dim(), actual: acc.dim() });
+    }
     let mut dot = 0f64;
     let mut norm_sq = 0f64;
     for (&q, &s) in query.as_slice().iter().zip(acc.sums()) {
         dot += f64::from(q) * f64::from(s);
         norm_sq += f64::from(s) * f64::from(s);
     }
-    assert!(norm_sq > 0.0, "cosine_accum: zero accumulator");
-    dot / ((query.dim() as f64).sqrt() * norm_sq.sqrt())
+    if norm_sq <= 0.0 {
+        return Err(HdcError::ZeroNorm);
+    }
+    Ok(dot / ((query.dim() as f64).sqrt() * norm_sq.sqrt()))
 }
 
 /// Hamming distance (count of differing components) between two bipolar
-/// hypervectors.
+/// hypervectors, computed on the packed mirrors (XOR + popcount).
 ///
 /// # Panics
 ///
 /// Panics if dimensions differ.
 pub fn hamming(a: &Hypervector, b: &Hypervector) -> usize {
     assert_eq!(a.dim(), b.dim(), "hamming: dimension mismatch");
-    a.as_slice().iter().zip(b.as_slice()).filter(|(x, y)| x != y).count()
+    a.packed().hamming_distance(b.packed())
 }
 
 /// Normalized Hamming distance in `[0, 1]`; `0.5` for unrelated vectors.
@@ -97,6 +109,7 @@ pub fn hamming_to_cosine(h: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::kernel::reference;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -133,6 +146,34 @@ mod tests {
     }
 
     #[test]
+    fn dot_matches_scalar_reference() {
+        let mut r = rng();
+        for dim in [63, 64, 65, 1_000] {
+            let a = Hypervector::random(dim, &mut r);
+            let b = Hypervector::random(dim, &mut r);
+            assert_eq!(
+                dot(&a, &b),
+                reference::dot_scalar(a.as_slice(), b.as_slice()),
+                "dim = {dim}"
+            );
+        }
+    }
+
+    #[test]
+    fn hamming_matches_scalar_reference() {
+        let mut r = rng();
+        for dim in [63, 64, 65, 1_000] {
+            let a = Hypervector::random(dim, &mut r);
+            let b = Hypervector::random(dim, &mut r);
+            assert_eq!(
+                hamming(&a, &b),
+                reference::hamming_scalar(a.as_slice(), b.as_slice()),
+                "dim = {dim}"
+            );
+        }
+    }
+
+    #[test]
     fn dot_matches_hamming_identity() {
         // dot = D - 2 * hamming for bipolar vectors.
         let mut r = rng();
@@ -159,8 +200,27 @@ mod tests {
         let mut acc = Accumulator::zeros(1_000);
         acc.add(&b).unwrap();
         let c1 = cosine(&a, &b);
-        let c2 = cosine_accum(&a, &acc);
+        let c2 = cosine_accum(&a, &acc).unwrap();
         assert!((c1 - c2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cosine_accum_zero_accumulator_is_error_not_panic() {
+        let mut r = rng();
+        let q = Hypervector::random(100, &mut r);
+        let acc = Accumulator::zeros(100);
+        assert!(matches!(cosine_accum(&q, &acc), Err(HdcError::ZeroNorm)));
+    }
+
+    #[test]
+    fn cosine_accum_dimension_mismatch_is_error() {
+        let mut r = rng();
+        let q = Hypervector::random(100, &mut r);
+        let acc = Accumulator::zeros(50);
+        assert!(matches!(
+            cosine_accum(&q, &acc),
+            Err(HdcError::DimensionMismatch { expected: 100, actual: 50 })
+        ));
     }
 
     #[test]

@@ -1,0 +1,148 @@
+//! Property tests pinning the word-packed kernels to the scalar reference
+//! oracles (`hdc::kernel::reference`) at dimensions chosen to stress tail
+//! masking: one under, at, and over the 64-bit word boundary, a two-word
+//! boundary, and the paper's production dimension.
+//!
+//! The packed path must be **bit-exact** with the seed's scalar semantics —
+//! these tests are the contract that lets `dot`, `cosine`, `hamming`,
+//! `bind` and `permute` run on words without anyone downstream noticing.
+
+use hdc::kernel::{self, reference, BitCounter};
+use hdc::Hypervector;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The boundary dimensions under test.
+const DIMS: [usize; 5] = [63, 64, 65, 127, 10_000];
+
+fn hv(dim: usize, seed: u64) -> Hypervector {
+    Hypervector::random(dim, &mut StdRng::seed_from_u64(seed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn packed_dot_matches_scalar(seed in any::<u64>()) {
+        for dim in DIMS {
+            let a = hv(dim, seed);
+            let b = hv(dim, seed ^ 0x5eed);
+            prop_assert_eq!(
+                hdc::dot(&a, &b),
+                reference::dot_scalar(a.as_slice(), b.as_slice()),
+                "dim {}", dim
+            );
+        }
+    }
+
+    #[test]
+    fn packed_cosine_matches_scalar(seed in any::<u64>()) {
+        for dim in DIMS {
+            let a = hv(dim, seed);
+            let b = hv(dim, seed ^ 0xc05);
+            let packed = hdc::cosine(&a, &b);
+            let scalar = reference::cosine_scalar(a.as_slice(), b.as_slice());
+            // dot is integer-exact, so the quotient is bit-identical.
+            prop_assert_eq!(packed, scalar, "dim {}", dim);
+        }
+    }
+
+    #[test]
+    fn packed_hamming_matches_scalar(seed in any::<u64>()) {
+        for dim in DIMS {
+            let a = hv(dim, seed);
+            let b = hv(dim, seed ^ 0x4a);
+            prop_assert_eq!(
+                hdc::hamming(&a, &b),
+                reference::hamming_scalar(a.as_slice(), b.as_slice()),
+                "dim {}", dim
+            );
+        }
+    }
+
+    #[test]
+    fn packed_bind_matches_scalar(seed in any::<u64>()) {
+        for dim in DIMS {
+            let a = hv(dim, seed);
+            let b = hv(dim, seed ^ 0xb1);
+            // Force the mirrors so bind takes the word-level XNOR path.
+            let _ = (a.packed(), b.packed());
+            let bound = a.bind(&b).expect("same dim");
+            prop_assert_eq!(
+                bound.as_slice(),
+                &reference::bind_scalar(a.as_slice(), b.as_slice())[..],
+                "dim {}", dim
+            );
+            // And the carried mirror must agree with a from-scratch pack.
+            prop_assert_eq!(
+                bound.packed().words(),
+                &kernel::pack_words(bound.as_slice())[..],
+                "mirror at dim {}", dim
+            );
+        }
+    }
+
+    #[test]
+    fn packed_permute_matches_scalar(seed in any::<u64>(), amount in 0usize..600) {
+        for dim in DIMS {
+            let a = hv(dim, seed);
+            let _ = a.packed();
+            let rotated = a.permute(amount);
+            prop_assert_eq!(
+                rotated.as_slice(),
+                &reference::permute_scalar(a.as_slice(), amount)[..],
+                "dim {} amount {}", dim, amount
+            );
+            prop_assert_eq!(
+                rotated.packed().words(),
+                &kernel::pack_words(rotated.as_slice())[..],
+                "mirror at dim {} amount {}", dim, amount
+            );
+        }
+    }
+
+    #[test]
+    fn pack_round_trips_and_masks_tail(seed in any::<u64>()) {
+        for dim in DIMS {
+            let a = hv(dim, seed);
+            let words = kernel::pack_words(a.as_slice());
+            prop_assert_eq!(&kernel::unpack_words(&words, dim)[..], a.as_slice(), "dim {}", dim);
+            if dim % 64 != 0 {
+                prop_assert_eq!(words[dim / 64] >> (dim % 64), 0, "tail at dim {}", dim);
+            }
+        }
+    }
+
+    #[test]
+    fn bit_counter_bundling_matches_integer_sums(seed in any::<u64>(), n in 1usize..12) {
+        for dim in DIMS {
+            let vectors: Vec<Hypervector> =
+                (0..n).map(|k| hv(dim, seed ^ (k as u64) << 8)).collect();
+            let mut counter = BitCounter::new(dim);
+            let mut sums = vec![0i32; dim];
+            for v in &vectors {
+                counter.add(v.packed().words());
+                for (s, &c) in sums.iter_mut().zip(v.as_slice()) {
+                    *s += i32::from(c);
+                }
+            }
+            prop_assert_eq!(&counter.sums()[..], &sums[..], "dim {}", dim);
+            // The direct packed bipolarization agrees with the scalar rule.
+            let expected: Vec<i8> = sums
+                .iter()
+                .enumerate()
+                .map(|(i, &s)| match s.cmp(&0) {
+                    std::cmp::Ordering::Greater => 1,
+                    std::cmp::Ordering::Less => -1,
+                    std::cmp::Ordering::Equal => if i % 2 == 0 { 1 } else { -1 },
+                })
+                .collect();
+            prop_assert_eq!(
+                &kernel::unpack_words(&counter.bipolarize_packed(), dim)[..],
+                &expected[..],
+                "bipolarize at dim {}", dim
+            );
+        }
+    }
+}

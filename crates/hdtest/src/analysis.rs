@@ -89,10 +89,8 @@ impl VulnerabilityReport {
         let iterations: Vec<f64> = records.iter().map(|r| r.iterations as f64).collect();
         let margin_iterations_correlation = spearman(&margins, &iterations);
 
-        let success_pairs: (Vec<f64>, Vec<f64>) = records
-            .iter()
-            .filter_map(|r| r.l2.map(|l2| (r.margin, l2)))
-            .unzip();
+        let success_pairs: (Vec<f64>, Vec<f64>) =
+            records.iter().filter_map(|r| r.l2.map(|l2| (r.margin, l2))).unzip();
         let margin_l2_correlation = spearman(&success_pairs.0, &success_pairs.1);
 
         Ok(Self { records, margin_iterations_correlation, margin_l2_correlation })
@@ -270,10 +268,8 @@ mod tests {
         model.train_one(&[250u8; 64][..], 1).unwrap();
         model.finalize();
         let images = vec![GrayImage::new(8, 8); 2];
-        let campaign = Campaign::new(
-            &model,
-            CampaignConfig { l2_budget: None, ..Default::default() },
-        );
+        let campaign =
+            Campaign::new(&model, CampaignConfig { l2_budget: None, ..Default::default() });
         let report = campaign.run(&images).unwrap();
         let too_few = vec![GrayImage::new(8, 8); 1];
         assert!(matches!(

@@ -121,6 +121,10 @@ where
             return Err(HdtestError::EmptyInputSet);
         }
         self.config.fuzz.validate()?;
+        // One-time model preparation (e.g. packing the associative-memory
+        // references) so workers share the ready state instead of racing to
+        // build it on their first fitness query.
+        self.model.warm_up();
         let workers = self.config.effective_workers().min(images.len());
         let start = Instant::now();
 
@@ -312,10 +316,8 @@ mod tests {
     #[test]
     fn campaign_produces_records_in_input_order() {
         let m = model();
-        let campaign = Campaign::new(
-            &m,
-            CampaignConfig { workers: 3, l2_budget: None, ..Default::default() },
-        );
+        let campaign =
+            Campaign::new(&m, CampaignConfig { workers: 3, l2_budget: None, ..Default::default() });
         let report = campaign.run(&images(7)).unwrap();
         assert_eq!(report.records.len(), 7);
         for (i, r) in report.records.iter().enumerate() {
@@ -343,8 +345,7 @@ mod tests {
     #[test]
     fn corpus_matches_successful_records() {
         let m = model();
-        let campaign =
-            Campaign::new(&m, CampaignConfig { l2_budget: None, ..Default::default() });
+        let campaign = Campaign::new(&m, CampaignConfig { l2_budget: None, ..Default::default() });
         let report = campaign.run(&images(5)).unwrap();
         let successes = report.records.iter().filter(|r| r.success).count();
         assert_eq!(successes, report.corpus.len());
@@ -363,8 +364,7 @@ mod tests {
     #[test]
     fn stats_derive_from_report() {
         let m = model();
-        let campaign =
-            Campaign::new(&m, CampaignConfig { l2_budget: None, ..Default::default() });
+        let campaign = Campaign::new(&m, CampaignConfig { l2_budget: None, ..Default::default() });
         let report = campaign.run(&images(4)).unwrap();
         let stats = report.strategy_stats();
         assert_eq!(stats.inputs, 4);
@@ -377,10 +377,8 @@ mod tests {
     #[test]
     fn l2_budget_bounds_corpus_distances() {
         let m = model();
-        let campaign = Campaign::new(
-            &m,
-            CampaignConfig { l2_budget: Some(0.8), ..Default::default() },
-        );
+        let campaign =
+            Campaign::new(&m, CampaignConfig { l2_budget: Some(0.8), ..Default::default() });
         let report = campaign.run(&images(5)).unwrap();
         for e in report.corpus.iter() {
             assert!(e.l2 < 0.8, "corpus example exceeds budget: {}", e.l2);
@@ -394,9 +392,7 @@ mod tests {
         let campaign = Campaign::new(&m, config);
         let imgs = images(3);
         let a = campaign.run(&imgs).unwrap();
-        let b = campaign
-            .run_with_mutation(&imgs, Strategy::Gauss.image_mutation())
-            .unwrap();
+        let b = campaign.run_with_mutation(&imgs, Strategy::Gauss.image_mutation()).unwrap();
         assert_eq!(a.records, b.records);
     }
 

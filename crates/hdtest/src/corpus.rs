@@ -153,9 +153,8 @@ impl AdversarialCorpus {
         use std::io::Write;
         let dir = dir.as_ref();
         std::fs::create_dir_all(dir)?;
-        let mut manifest = std::io::BufWriter::new(std::fs::File::create(
-            dir.join("manifest.csv"),
-        )?);
+        let mut manifest =
+            std::io::BufWriter::new(std::fs::File::create(dir.join("manifest.csv"))?);
         writeln!(manifest, "index,reference_label,adversarial_label,iterations,l1,l2")?;
         for (k, example) in self.examples.iter().enumerate() {
             hdc_data::pgm::save_pgm(&example.original, dir.join(format!("{k:04}_original.pgm")))?;
@@ -185,8 +184,7 @@ impl AdversarialCorpus {
     /// Returns `InvalidData` for a malformed manifest or missing images.
     pub fn load_from_dir<P: AsRef<std::path::Path>>(dir: P) -> std::io::Result<Self> {
         let dir = dir.as_ref();
-        let invalid =
-            |msg: String| std::io::Error::new(std::io::ErrorKind::InvalidData, msg);
+        let invalid = |msg: String| std::io::Error::new(std::io::ErrorKind::InvalidData, msg);
         let manifest = std::fs::read_to_string(dir.join("manifest.csv"))?;
         let mut corpus = Self::new();
         for (line_no, line) in manifest.lines().enumerate().skip(1) {
@@ -297,8 +295,7 @@ mod tests {
 
     #[test]
     fn filter_reference_class_selects() {
-        let corpus: AdversarialCorpus =
-            (0..9).map(|i| example(100, i % 3, i)).collect();
+        let corpus: AdversarialCorpus = (0..9).map(|i| example(100, i % 3, i)).collect();
         let only1 = corpus.filter_reference_class(1);
         assert_eq!(only1.len(), 3);
         assert!(only1.iter().all(|e| e.reference_label == 1));

@@ -85,8 +85,7 @@ where
         return Err(HdtestError::Config("retrain_passes must be at least 1".into()));
     }
 
-    let retrain_count =
-        ((corpus.len() as f64) * config.retrain_fraction).round().max(1.0) as usize;
+    let retrain_count = ((corpus.len() as f64) * config.retrain_fraction).round().max(1.0) as usize;
     let retrain_count = retrain_count.min(corpus.len() - 1);
     let (retrain_set, attack_set) = corpus.shuffled_split(retrain_count, config.seed);
 

@@ -292,16 +292,8 @@ mod tests {
         let m = train_dense(500);
         let strategy = GaussNoise::default();
         let bad = CrossModelConfig { max_iterations: 0, ..Default::default() };
-        assert!(fuzz_cross_model(
-            &m,
-            &m,
-            &strategy,
-            &NoConstraint,
-            bad,
-            &GrayImage::new(8, 8),
-            0
-        )
-        .is_err());
+        assert!(fuzz_cross_model(&m, &m, &strategy, &NoConstraint, bad, &GrayImage::new(8, 8), 0)
+            .is_err());
     }
 
     #[test]

@@ -197,25 +197,67 @@ where
                 continue;
             }
 
-            // Lines 7–11: differential check. One model pass per candidate
-            // yields both the query label and the guidance fitness.
-            let mut scored: Vec<(f64, I)> = Vec::with_capacity(candidates.len());
-            for candidate in candidates {
-                candidates_evaluated += 1;
-                let (label, fitness) = self.model.evaluate(candidate.as_ref(), reference)?;
-                if label != reference {
-                    return Ok(FuzzResult {
-                        reference_label: reference,
-                        iterations: iteration,
-                        candidates_evaluated,
-                        discarded,
-                        outcome: FuzzOutcome::Adversarial { input: candidate, predicted: label },
-                    });
+            // Lines 7–11: differential check. The whole round is evaluated
+            // as one batch so `HdcClassifier` targets run it on the
+            // word-packed kernel with shared packed references and scratch;
+            // each evaluation still yields both the query label and the
+            // guidance fitness from a single model pass.
+            //
+            // If the batch fails (one candidate the model rejects fails the
+            // whole call), fall back to the sequential loop so its
+            // semantics are preserved exactly: an adversarial found
+            // *before* the rejected candidate wins over the error, which a
+            // batch-level `?` would otherwise swallow.
+            let inputs: Vec<&M::Input> = candidates.iter().map(|c| c.as_ref()).collect();
+            let evaluations = match self.model.evaluate_batch(&inputs, reference) {
+                Ok(evaluations) => evaluations,
+                Err(_) => {
+                    // Stop at the first discrepancy (the shared scan below
+                    // picks it up) or propagate the error of the first
+                    // rejected candidate.
+                    drop(inputs);
+                    let mut evaluations = Vec::with_capacity(candidates.len());
+                    for candidate in &candidates {
+                        let (label, fitness) =
+                            self.model.evaluate(candidate.as_ref(), reference)?;
+                        evaluations.push((label, fitness));
+                        if label != reference {
+                            break;
+                        }
+                    }
+                    evaluations
                 }
-                scored.push((fitness, candidate));
+            };
+
+            // `candidates_evaluated` keeps the sequential-loop semantics
+            // (count up to and including the first discrepancy) so records
+            // are comparable with pre-batch campaigns.
+            let mut adversarial_at: Option<usize> = None;
+            for (index, &(label, _)) in evaluations.iter().enumerate() {
+                candidates_evaluated += 1;
+                if label != reference {
+                    adversarial_at = Some(index);
+                    break;
+                }
+            }
+            if let Some(index) = adversarial_at {
+                let predicted = evaluations[index].0;
+                let input = candidates.swap_remove(index);
+                return Ok(FuzzResult {
+                    reference_label: reference,
+                    iterations: iteration,
+                    candidates_evaluated,
+                    discarded,
+                    outcome: FuzzOutcome::Adversarial { input, predicted },
+                });
             }
 
             // Line 14: seed survival.
+            let scored: Vec<(f64, I)> = candidates
+                .into_iter()
+                .zip(evaluations)
+                .map(|(candidate, (_, fitness))| (fitness, candidate))
+                .collect();
             pool = self.select_survivors(scored, &mut rng);
         }
 
@@ -377,15 +419,10 @@ mod tests {
     fn invalid_config_rejected() {
         let m = model();
         let bad = FuzzConfig { top_n: 10, batch_size: 5, ..Default::default() };
-        let fuzzer =
-            Fuzzer::new(&m, Box::new(GaussNoise::default()), Box::new(NoConstraint), bad);
-        assert!(matches!(
-            fuzzer.fuzz_one(&dark_image(), 0),
-            Err(HdtestError::Config(_))
-        ));
+        let fuzzer = Fuzzer::new(&m, Box::new(GaussNoise::default()), Box::new(NoConstraint), bad);
+        assert!(matches!(fuzzer.fuzz_one(&dark_image(), 0), Err(HdtestError::Config(_))));
         let zero = FuzzConfig { max_iterations: 0, ..Default::default() };
-        let fuzzer =
-            Fuzzer::new(&m, Box::new(GaussNoise::default()), Box::new(NoConstraint), zero);
+        let fuzzer = Fuzzer::new(&m, Box::new(GaussNoise::default()), Box::new(NoConstraint), zero);
         assert!(fuzzer.fuzz_one(&dark_image(), 0).is_err());
     }
 
@@ -398,11 +435,7 @@ mod tests {
             &m,
             Box::new(GaussNoise { sigma: 60.0, fraction: 0.5 }),
             Box::new(NoConstraint),
-            FuzzConfig {
-                guidance: Guidance::Unguided,
-                max_iterations: 80,
-                ..Default::default()
-            },
+            FuzzConfig { guidance: Guidance::Unguided, max_iterations: 80, ..Default::default() },
         );
         let result = fuzzer.fuzz_one(&dark_image(), 4).unwrap();
         assert!(result.outcome.is_adversarial());

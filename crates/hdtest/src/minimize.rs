@@ -187,9 +187,7 @@ mod tests {
         );
         let result = fuzzer.fuzz_one(&original, 3).expect("valid input");
         match result.outcome {
-            FuzzOutcome::Adversarial { input, .. } => {
-                (original, input, result.reference_label)
-            }
+            FuzzOutcome::Adversarial { input, .. } => (original, input, result.reference_label),
             FuzzOutcome::Exhausted => panic!("fixture must produce an adversarial"),
         }
     }
@@ -198,9 +196,8 @@ mod tests {
     fn minimization_shrinks_perturbation_and_keeps_the_bug() {
         let m = model();
         let (original, adversarial, reference) = adversarial_pair(&m);
-        let report =
-            minimize(&m, &original, &adversarial, reference, MinimizeConfig::default())
-                .expect("valid adversarial");
+        let report = minimize(&m, &original, &adversarial, reference, MinimizeConfig::default())
+            .expect("valid adversarial");
         assert!(report.pixels_after <= report.pixels_before);
         assert!(report.l1.1 <= report.l1.0 + 1e-12);
         assert!(report.l2.1 <= report.l2.0 + 1e-12);
@@ -217,9 +214,8 @@ mod tests {
         // minimization must strip a decent share of them.
         let m = model();
         let (original, adversarial, reference) = adversarial_pair(&m);
-        let report =
-            minimize(&m, &original, &adversarial, reference, MinimizeConfig::default())
-                .expect("valid adversarial");
+        let report = minimize(&m, &original, &adversarial, reference, MinimizeConfig::default())
+            .expect("valid adversarial");
         assert!(
             report.pixel_reduction() > 0.2,
             "expected >20% pixel reduction, got {:.1}% ({} -> {})",

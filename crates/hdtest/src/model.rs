@@ -43,13 +43,33 @@ pub trait TargetModel: Sync {
     /// # Errors
     ///
     /// Same as [`predict`](Self::predict) and [`fitness`](Self::fitness).
-    fn evaluate(
-        &self,
-        input: &Self::Input,
-        reference: usize,
-    ) -> Result<(usize, f64), HdtestError> {
+    fn evaluate(&self, input: &Self::Input, reference: usize) -> Result<(usize, f64), HdtestError> {
         Ok((self.predict(input)?, self.fitness(input, reference)?))
     }
+
+    /// Evaluates one whole candidate batch (Alg. 1 evaluates `batch_size`
+    /// candidates per fuzzing round). The default loops
+    /// [`evaluate`](Self::evaluate); [`HdcClassifier`] overrides it with
+    /// the word-packed batch kernel, which shares the packed class
+    /// references and one similarity scratch buffer across the batch.
+    ///
+    /// Results are in input order, one `(label, fitness)` pair per input.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`evaluate`](Self::evaluate).
+    fn evaluate_batch(
+        &self,
+        inputs: &[&Self::Input],
+        reference: usize,
+    ) -> Result<Vec<(usize, f64)>, HdtestError> {
+        inputs.iter().map(|input| self.evaluate(input, reference)).collect()
+    }
+
+    /// One-time preparation before a fuzzing campaign fans out to worker
+    /// threads (e.g. forcing packed reference mirrors so workers never
+    /// race to build them). The default does nothing.
+    fn warm_up(&self) {}
 }
 
 impl<E: Encoder> TargetModel for HdcClassifier<E> {
@@ -67,11 +87,7 @@ impl<E: Encoder> TargetModel for HdcClassifier<E> {
         Ok(HdcClassifier::fitness(self, input, reference)?)
     }
 
-    fn evaluate(
-        &self,
-        input: &Self::Input,
-        reference: usize,
-    ) -> Result<(usize, f64), HdtestError> {
+    fn evaluate(&self, input: &Self::Input, reference: usize) -> Result<(usize, f64), HdtestError> {
         // One encoding serves both the prediction and the fitness signal.
         let prediction = HdcClassifier::predict(self, input)?;
         let similarity =
@@ -80,6 +96,21 @@ impl<E: Encoder> TargetModel for HdcClassifier<E> {
                 num_classes: self.num_classes(),
             })?;
         Ok((prediction.class, 1.0 - similarity))
+    }
+
+    fn evaluate_batch(
+        &self,
+        inputs: &[&Self::Input],
+        reference: usize,
+    ) -> Result<Vec<(usize, f64)>, HdtestError> {
+        // The packed batch kernel: one encode + one packed similarity scan
+        // per candidate, sharing scratch across the whole batch.
+        Ok(HdcClassifier::evaluate_batch(self, inputs, reference)?)
+    }
+
+    fn warm_up(&self) {
+        self.associative_memory().warm_packed();
+        self.encoder().warm_up();
     }
 }
 
@@ -100,17 +131,12 @@ impl<E: Encoder> TargetModel for hdc::binary::BinaryClassifier<E> {
         Ok(hdc::binary::BinaryClassifier::fitness(self, input, reference)?)
     }
 
-    fn evaluate(
-        &self,
-        input: &Self::Input,
-        reference: usize,
-    ) -> Result<(usize, f64), HdtestError> {
+    fn evaluate(&self, input: &Self::Input, reference: usize) -> Result<(usize, f64), HdtestError> {
         let prediction = hdc::binary::BinaryClassifier::predict(self, input)?;
-        let distance =
-            *prediction.distances.get(reference).ok_or(hdc::HdcError::UnknownClass {
-                class: reference,
-                num_classes: self.num_classes(),
-            })?;
+        let distance = *prediction.distances.get(reference).ok_or(hdc::HdcError::UnknownClass {
+            class: reference,
+            num_classes: self.num_classes(),
+        })?;
         Ok((prediction.class, distance as f64 / self.dim() as f64))
     }
 }
@@ -130,12 +156,20 @@ impl<M: TargetModel + ?Sized> TargetModel for &M {
         (**self).fitness(input, reference)
     }
 
-    fn evaluate(
-        &self,
-        input: &Self::Input,
-        reference: usize,
-    ) -> Result<(usize, f64), HdtestError> {
+    fn evaluate(&self, input: &Self::Input, reference: usize) -> Result<(usize, f64), HdtestError> {
         (**self).evaluate(input, reference)
+    }
+
+    fn evaluate_batch(
+        &self,
+        inputs: &[&Self::Input],
+        reference: usize,
+    ) -> Result<Vec<(usize, f64)>, HdtestError> {
+        (**self).evaluate_batch(inputs, reference)
+    }
+
+    fn warm_up(&self) {
+        (**self).warm_up();
     }
 }
 

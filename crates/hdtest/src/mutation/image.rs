@@ -389,10 +389,8 @@ mod tests {
     fn compound_uses_all_members_eventually() {
         let img = canvas();
         let mut r = rng();
-        let m = CompoundMutation::new(vec![
-            Box::new(Shift::default()),
-            Box::new(RowRand::default()),
-        ]);
+        let m =
+            CompoundMutation::new(vec![Box::new(Shift::default()), Box::new(RowRand::default())]);
         assert_eq!(m.name(), "shift+row_rand");
         let mut saw_shift = false;
         let mut saw_row = false;

@@ -118,11 +118,7 @@ mod tests {
         let s = signal();
         let out = FieldJitter::default().mutate(&s, &mut rng());
         assert_eq!(out.len(), s.len());
-        let max_change = s
-            .iter()
-            .zip(&out)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0, f64::max);
+        let max_change = s.iter().zip(&out).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
         assert!(max_change > 0.0, "something must change");
         assert!(max_change < 0.5, "jitter must stay gentle: {max_change}");
     }
@@ -132,12 +128,8 @@ mod tests {
         let s = signal();
         let out = AmplitudeScale { max_delta: 0.1 }.mutate(&s, &mut rng());
         // Ratio is constant across samples (where defined).
-        let ratios: Vec<f64> = s
-            .iter()
-            .zip(&out)
-            .filter(|(a, _)| a.abs() > 1e-9)
-            .map(|(a, b)| b / a)
-            .collect();
+        let ratios: Vec<f64> =
+            s.iter().zip(&out).filter(|(a, _)| a.abs() > 1e-9).map(|(a, b)| b / a).collect();
         for w in ratios.windows(2) {
             assert!((w[0] - w[1]).abs() < 1e-9);
         }

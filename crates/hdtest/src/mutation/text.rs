@@ -189,9 +189,6 @@ mod tests {
         assert_eq!(Mutation::<Vec<u8>>::name(&ByteSwap), "byte_swap");
         assert_eq!(Mutation::<Vec<u8>>::name(&ByteDuplicate), "byte_duplicate");
         assert_eq!(Mutation::<Vec<u8>>::name(&ByteDelete::default()), "byte_delete");
-        assert_eq!(
-            Mutation::<Vec<u8>>::name(&ByteSubstitute::lowercase()),
-            "byte_substitute"
-        );
+        assert_eq!(Mutation::<Vec<u8>>::name(&ByteSubstitute::lowercase()), "byte_substitute");
     }
 }

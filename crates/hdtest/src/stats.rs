@@ -139,9 +139,7 @@ impl ClassStats {
                     successes,
                     avg_l1: mean_of(subset.iter().filter_map(|r| r.l1).collect()),
                     avg_l2: mean_of(subset.iter().filter_map(|r| r.l2).collect()),
-                    avg_iterations: mean_of(
-                        subset.iter().map(|r| r.iterations as f64).collect(),
-                    ),
+                    avg_iterations: mean_of(subset.iter().map(|r| r.iterations as f64).collect()),
                 }
             })
             .collect()
@@ -167,11 +165,8 @@ mod tests {
 
     #[test]
     fn strategy_stats_aggregate() {
-        let records = vec![
-            record(0, true, 2, 0.1),
-            record(1, true, 4, 0.3),
-            record(2, false, 30, 0.0),
-        ];
+        let records =
+            vec![record(0, true, 2, 0.1), record(1, true, 4, 0.3), record(2, false, 30, 0.0)];
         let s = StrategyStats::from_records("gauss", &records, Duration::from_secs(6));
         assert_eq!(s.inputs, 3);
         assert_eq!(s.successes, 2);
@@ -208,11 +203,8 @@ mod tests {
 
     #[test]
     fn class_stats_group_by_reference() {
-        let records = vec![
-            record(0, true, 2, 0.1),
-            record(0, true, 6, 0.2),
-            record(1, false, 30, 0.0),
-        ];
+        let records =
+            vec![record(0, true, 2, 0.1), record(0, true, 6, 0.2), record(1, false, 30, 0.0)];
         let by_class = ClassStats::from_records(&records, 3);
         assert_eq!(by_class.len(), 3);
         assert_eq!(by_class[0].inputs, 2);

@@ -1,0 +1,309 @@
+//! Offline stand-in for the `proptest` crate (1.x API subset).
+//!
+//! Implements exactly what this workspace's property tests use: the
+//! [`proptest!`] macro with an optional `#![proptest_config(..)]` header,
+//! [`any`], integer/float range strategies, tuple strategies,
+//! [`Strategy::prop_map`], and [`collection::vec`]. Cases are generated from
+//! a deterministic RNG derived from the test name, so failures reproduce
+//! exactly; there is no shrinking.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::marker::PhantomData;
+use std::ops::Range;
+
+/// A generator of random values for one test parameter.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Transforms generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut StdRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn sample(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Strategy for "any value of `T`"; see [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+/// The canonical strategy for a type: uniform over its whole domain.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// Types [`any`] can generate.
+pub trait Arbitrary {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_std {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                rng.gen()
+            }
+        }
+    )*};
+}
+impl_arbitrary_std!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool, f64, f32);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A: 0);
+impl_tuple_strategy!(A: 0, B: 1);
+impl_tuple_strategy!(A: 0, B: 1, C: 2);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// A length specification for [`vec`]: a fixed size or a range.
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { lo: n, hi_exclusive: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            Self { lo: r.start, hi_exclusive: r.end }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` of a size drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    /// Strategy produced by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = if self.size.lo + 1 == self.size.hi_exclusive {
+                self.size.lo
+            } else {
+                rng.gen_range(self.size.lo..self.size.hi_exclusive)
+            };
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Test-runner configuration, mirroring `proptest::test_runner`.
+pub mod test_runner {
+    /// How many cases each property runs.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Config {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A configuration running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Self { cases: 64 }
+        }
+    }
+}
+
+/// Derives the deterministic per-test RNG (FNV-1a over the test name).
+pub fn rng_for_test(name: &str) -> StdRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in name.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+/// Declares property tests. Supports the subset of the real macro's grammar
+/// this workspace uses:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///     #[test]
+///     fn my_property(x in any::<u64>(), k in 0usize..10) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::Config::default()); $($rest)* }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`].
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr); $( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                let mut __proptest_rng = $crate::rng_for_test(concat!(module_path!(), "::", stringify!($name)));
+                for __proptest_case in 0..config.cases {
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut __proptest_rng);)*
+                    let _ = __proptest_case;
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property, mirroring `proptest::prop_assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// The common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Strategy};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_pair() -> impl Strategy<Value = (u8, u8)> {
+        (0u8..10, 0u8..10).prop_map(|(a, b)| (a.min(b), a.max(b)))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 3usize..9, y in -2i32..2, f in -0.5f64..0.5) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((-2..2).contains(&y));
+            prop_assert!((-0.5..0.5).contains(&f));
+        }
+
+        #[test]
+        fn mapped_tuples_work(p in arb_pair()) {
+            prop_assert!(p.0 <= p.1);
+        }
+
+        #[test]
+        fn vec_strategy_fixed_len(v in crate::collection::vec(any::<u8>(), 7)) {
+            prop_assert_eq!(v.len(), 7);
+        }
+
+        #[test]
+        fn vec_strategy_ranged_len(v in crate::collection::vec(any::<u8>(), 2usize..5)) {
+            prop_assert!((2..5).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn rng_is_per_test_deterministic() {
+        use rand::Rng;
+        let a: u64 = crate::rng_for_test("t").gen();
+        let b: u64 = crate::rng_for_test("t").gen();
+        assert_eq!(a, b);
+    }
+}

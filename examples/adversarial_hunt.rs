@@ -72,11 +72,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         )?;
         println!(
             "\nminimization: {} -> {} changed pixels (L2 {:.3} -> {:.3}, {} queries)",
-            report.pixels_before,
-            report.pixels_after,
-            report.l2.0,
-            report.l2.1,
-            report.queries,
+            report.pixels_before, report.pixels_after, report.l2.0, report.l2.1, report.queries,
         );
     }
 

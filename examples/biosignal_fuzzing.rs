@@ -30,7 +30,7 @@ const TEMPLATES: [[f64; CHANNELS]; GESTURES] = [
 fn sample(gesture: usize, rng: &mut StdRng) -> Vec<f64> {
     TEMPLATES[gesture]
         .iter()
-        .map(|&base| (base + rng.gen_range(-0.08..0.08)).clamp(0.0, 1.0))
+        .map(|&base| (base + rng.gen_range(-0.08f64..0.08)).clamp(0.0, 1.0))
         .collect()
 }
 
@@ -96,11 +96,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let result = fuzzer.fuzz_one(&record, t)?;
         if let FuzzOutcome::Adversarial { input, predicted } = result.outcome {
             flips += 1;
-            let drift: f64 = record
-                .iter()
-                .zip(&input)
-                .map(|(a, b)| (a - b).abs())
-                .sum::<f64>()
+            let drift: f64 = record.iter().zip(&input).map(|(a, b)| (a - b).abs()).sum::<f64>()
                 / CHANNELS as f64;
             if flips <= 3 {
                 println!(

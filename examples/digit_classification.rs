@@ -21,11 +21,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut model = HdcClassifier::new(encoder, 10);
     let t = std::time::Instant::now();
     model.train_batch(train.pairs())?;
-    println!(
-        "one-shot training on {} images took {:.2}s",
-        train.len(),
-        t.elapsed().as_secs_f64()
-    );
+    println!("one-shot training on {} images took {:.2}s", train.len(), t.elapsed().as_secs_f64());
     println!("test accuracy: {:.1}%", 100.0 * model.accuracy(test.pairs())?);
 
     // Inspect one prediction in detail (§III-C similarity check).
@@ -39,7 +35,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!("per-class similarities:");
     for (class, sim) in prediction.similarities.iter().enumerate() {
-        println!("  class {class}: {sim:+.4}{}", if class == prediction.class { "  <- max" } else { "" });
+        println!(
+            "  class {class}: {sim:+.4}{}",
+            if class == prediction.class { "  <- max" } else { "" }
+        );
     }
 
     // Adaptive retraining (§V-E): a few passes of mispredict-driven
@@ -58,12 +57,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let path = std::env::temp_dir().join("hdtest_digit_model.hdc");
     save_pixel_classifier(&model, std::fs::File::create(&path)?)?;
     let reloaded = load_pixel_classifier(std::fs::File::open(&path)?)?;
-    let same = test
-        .pairs()
-        .all(|(pixels, _)| {
-            model.predict(pixels).map(|p| p.class).ok()
-                == reloaded.predict(pixels).map(|p| p.class).ok()
-        });
+    let same = test.pairs().all(|(pixels, _)| {
+        model.predict(pixels).map(|p| p.class).ok()
+            == reloaded.predict(pixels).map(|p| p.class).ok()
+    });
     println!("model round-trips through {} ({same})", path.display());
     std::fs::remove_file(&path).ok();
     Ok(())

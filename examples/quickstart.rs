@@ -47,10 +47,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 );
             }
             FuzzOutcome::Exhausted => {
-                println!(
-                    "image {index}: robust within budget ({} iterations)",
-                    result.iterations
-                );
+                println!("image {index}: robust within budget ({} iterations)", result.iterations);
             }
         }
     }

@@ -45,10 +45,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         100.0 * report.success_after,
         100.0 * report.drop(),
     );
-    println!(
-        "clean test accuracy after retraining: {:.1}%",
-        100.0 * model.accuracy(test.pairs())?
-    );
+    println!("clean test accuracy after retraining: {:.1}%", 100.0 * model.accuracy(test.pairs())?);
 
     // Defense is not free forever: fresh attacks against the retrained
     // model still succeed at some rate — measure it honestly.

@@ -42,12 +42,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = StdRng::seed_from_u64(2024);
 
     // Train the trigram classifier on 60 sentences per language.
-    let encoder = NgramEncoder::new(NgramEncoderConfig {
-        dim: 4_000,
-        n: 3,
-        alphabet: 128,
-        seed: 10,
-    })?;
+    let encoder =
+        NgramEncoder::new(NgramEncoderConfig { dim: 4_000, n: 3, alphabet: 128, seed: 10 })?;
     let mut model = HdcClassifier::new(encoder, LANGUAGES.len());
     for language in 0..LANGUAGES.len() {
         for _ in 0..60 {
@@ -99,11 +95,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let result = fuzzer.fuzz_one(&text, t as u64)?;
         if let FuzzOutcome::Adversarial { input, predicted } = result.outcome {
             flips += 1;
-            let edits = input
-                .iter()
-                .zip(&text)
-                .filter(|(a, b)| a != b)
-                .count()
+            let edits = input.iter().zip(&text).filter(|(a, b)| a != b).count()
                 + input.len().abs_diff(text.len());
             println!(
                 "lang {} -> {} after {} iterations (~{} byte edits)",

@@ -1,0 +1,6 @@
+//! Workspace umbrella crate.
+//!
+//! Exists so the workspace-level integration tests (`tests/`) and examples
+//! (`examples/`) have a package to live in; all functionality is in the
+//! `hdc`, `hdc-data` and `hdtest` crates.
+#![forbid(unsafe_code)]

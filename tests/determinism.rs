@@ -7,8 +7,7 @@ use hdc_data::Dataset;
 use hdtest::prelude::*;
 
 fn build(seed_data: u64, seed_model: u64) -> (HdcClassifier<PixelEncoder>, Dataset) {
-    let mut generator =
-        SynthGenerator::new(SynthConfig { seed: seed_data, ..Default::default() });
+    let mut generator = SynthGenerator::new(SynthConfig { seed: seed_data, ..Default::default() });
     let train = generator.dataset(25);
     let pool = generator.dataset(3);
     let encoder = PixelEncoder::new(PixelEncoderConfig {

@@ -81,10 +81,7 @@ fn all_table2_strategies_produce_some_adversarials() {
             },
         );
         let report = campaign.run(pool.images()).expect("non-empty pool");
-        assert!(
-            !report.corpus.is_empty(),
-            "{strategy} generated no adversarial inputs at all"
-        );
+        assert!(!report.corpus.is_empty(), "{strategy} generated no adversarial inputs at all");
     }
 }
 
@@ -133,10 +130,7 @@ fn per_class_stats_cover_all_inputs() {
     let report = campaign.run(pool.images()).expect("non-empty pool");
     let by_class = report.class_stats(10);
     assert_eq!(by_class.iter().map(|c| c.inputs).sum::<usize>(), pool.len());
-    assert_eq!(
-        by_class.iter().map(|c| c.successes).sum::<usize>(),
-        report.corpus.len()
-    );
+    assert_eq!(by_class.iter().map(|c| c.successes).sum::<usize>(), report.corpus.len());
 }
 
 #[test]

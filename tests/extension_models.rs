@@ -98,8 +98,8 @@ fn binary_classifier_is_fuzzable_through_target_model() {
 fn fault_injection_shows_graceful_degradation() {
     let (model, test) = digit_testbed(10_000);
     let examples: Vec<(&[u8], usize)> = test.pairs().collect();
-    let points = bit_error_sweep(&model, &[0.0, 0.05, 0.45], &examples, 3)
-        .expect("model is finalized");
+    let points =
+        bit_error_sweep(&model, &[0.0, 0.05, 0.45], &examples, 3).expect("model is finalized");
     let clean = points[0].accuracy;
     let light = points[1].accuracy;
     let heavy = points[2].accuracy;
@@ -156,19 +156,14 @@ fn cross_model_differential_finds_dimension_discrepancies() {
 #[test]
 fn text_model_fuzzes_through_the_same_loop() {
     // Two synthetic "languages" with disjoint alphabets.
-    let encoder = NgramEncoder::new(NgramEncoderConfig {
-        dim: 2_000,
-        n: 3,
-        alphabet: 128,
-        seed: 8,
-    })
-    .expect("valid config");
+    let encoder =
+        NgramEncoder::new(NgramEncoderConfig { dim: 2_000, n: 3, alphabet: 128, seed: 8 })
+            .expect("valid config");
     let mut model = HdcClassifier::new(encoder, 2);
     use rand::{Rng, SeedableRng};
     let mut rng = rand::rngs::StdRng::seed_from_u64(5);
-    let mut sentence = |pool: &[u8]| -> Vec<u8> {
-        (0..40).map(|_| pool[rng.gen_range(0..pool.len())]).collect()
-    };
+    let mut sentence =
+        |pool: &[u8]| -> Vec<u8> { (0..40).map(|_| pool[rng.gen_range(0..pool.len())]).collect() };
     for _ in 0..30 {
         let a = sentence(b"aeiou ");
         let b = sentence(b"kprtz ");
