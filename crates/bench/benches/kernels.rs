@@ -1,11 +1,14 @@
 //! Word-packed kernel benchmarks: the packed hot path vs. the scalar
 //! reference oracles it replaced, plus batch vs. sequential prediction.
 //!
-//! Acceptance numbers for the packed-kernel refactor:
+//! Acceptance numbers for the packed pipeline:
 //!
 //! * `dot`/`cosine` at `D = 10,000` must beat the scalar baseline ≥5× —
 //!   both cold (pack included) and warm (mirror cached, the steady state of
 //!   a fuzzing campaign where references and repeated queries stay packed).
+//! * Every encoder's packed `encode` must beat its scalar
+//!   `encode_reference` — ngram, record and timeseries by ≥2× at
+//!   `D = 10,000` (the PR-2 encoder-port acceptance bar).
 //! * `predict_batch` on 1,000 queries must beat a sequential `predict`
 //!   loop. The batch path fans out with worker threads, so this ratio
 //!   tracks the available core count — on a 1-CPU container it degrades to
@@ -14,7 +17,12 @@
 //!   ratio so the number is interpretable.
 //!
 //! The `SPEEDUP` lines printed at the end are computed from the same
-//! measurements and make the ratios explicit.
+//! measurements and make the ratios explicit. The same measurements are
+//! also written as machine-readable JSON (`BENCH_kernels.json`, overridable
+//! via the `BENCH_KERNELS_JSON` env var) so the perf trajectory is tracked
+//! across PRs; CI's bench-smoke step asserts from that file that no packed
+//! path has fallen back to scalar speed. Set `BENCH_QUICK=1` to skip the
+//! criterion groups and take fewer samples (the CI smoke mode).
 
 use criterion::{criterion_group, criterion_main, measure_ns, Criterion};
 use hdc::kernel::reference;
@@ -25,11 +33,28 @@ use std::hint::black_box;
 
 const DIM: usize = 10_000;
 
+/// Quick mode: fewer samples, criterion groups skipped (CI smoke).
+fn quick() -> bool {
+    std::env::var("BENCH_QUICK").is_ok_and(|v| v == "1")
+}
+
+/// Samples per `measure_ns` call for the speedup report.
+fn samples() -> usize {
+    if quick() {
+        3
+    } else {
+        10
+    }
+}
+
 fn fresh_pair(rng: &mut StdRng) -> (Hypervector, Hypervector) {
     (Hypervector::random(DIM, rng), Hypervector::random(DIM, rng))
 }
 
 fn bench_dot_cosine(c: &mut Criterion) {
+    if quick() {
+        return;
+    }
     let mut rng = StdRng::seed_from_u64(11);
     let (a, b) = fresh_pair(&mut rng);
 
@@ -71,6 +96,9 @@ fn bench_dot_cosine(c: &mut Criterion) {
 }
 
 fn bench_batch_predict(c: &mut Criterion) {
+    if quick() {
+        return;
+    }
     let mut rng = StdRng::seed_from_u64(21);
     let encoder = PixelEncoder::new(PixelEncoderConfig {
         dim: DIM,
@@ -134,29 +162,183 @@ fn bench_batch_predict(c: &mut Criterion) {
     );
 }
 
+/// One scalar-vs-packed measurement destined for the SPEEDUP report and
+/// the JSON file.
+struct Row {
+    op: &'static str,
+    scalar_ns: f64,
+    packed_ns: f64,
+    note: &'static str,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.scalar_ns / self.packed_ns
+    }
+}
+
+/// Measures the four ported encoders plus the pixel encoder: packed
+/// `encode` vs the scalar `encode_reference` oracle, one representative
+/// input each at `D = 10,000`.
+fn encoder_rows(rows: &mut Vec<Row>) {
+    let n = samples();
+
+    let ngram = NgramEncoder::new(NgramEncoderConfig { dim: DIM, n: 3, alphabet: 256, seed: 7 })
+        .expect("valid config");
+    ngram.warm_up();
+    let text: Vec<u8> = (0..64u8).map(|i| i.wrapping_mul(37) ^ 0x5a).collect();
+    rows.push(Row {
+        op: "encode_ngram",
+        scalar_ns: measure_ns(|| black_box(ngram.encode_reference(&text).expect("encode")), n),
+        packed_ns: measure_ns(|| black_box(ngram.encode(&text).expect("encode")), n),
+        note: "64-byte text, n=3",
+    });
+
+    let record = RecordEncoder::new(RecordEncoderConfig {
+        dim: DIM,
+        fields: 16,
+        ..RecordEncoderConfig::default()
+    })
+    .expect("valid config");
+    record.warm_up();
+    let rec: Vec<f64> = (0..16).map(|i| f64::from(i) / 16.0).collect();
+    rows.push(Row {
+        op: "encode_record",
+        scalar_ns: measure_ns(|| black_box(record.encode_reference(&rec).expect("encode")), n),
+        packed_ns: measure_ns(|| black_box(record.encode(&rec).expect("encode")), n),
+        note: "16 fields",
+    });
+
+    let ts = TimeSeriesEncoder::new(TimeSeriesEncoderConfig { dim: DIM, ..Default::default() })
+        .expect("valid config");
+    ts.warm_up();
+    let signal: Vec<f64> = (0..64).map(|i| (f64::from(i) * 0.2).sin()).collect();
+    rows.push(Row {
+        op: "encode_timeseries",
+        scalar_ns: measure_ns(|| black_box(ts.encode_reference(&signal).expect("encode")), n),
+        packed_ns: measure_ns(|| black_box(ts.encode(&signal).expect("encode")), n),
+        note: "64 samples, window=4",
+    });
+
+    let pp = PermutePixelEncoder::new(PermutePixelEncoderConfig {
+        dim: DIM,
+        width: 16,
+        height: 16,
+        ..Default::default()
+    })
+    .expect("valid config");
+    pp.warm_up();
+    let img: Vec<u8> = (0..256u32).map(|i| (i * 3 % 256) as u8).collect();
+    rows.push(Row {
+        op: "encode_permute_pixel",
+        scalar_ns: measure_ns(|| black_box(pp.encode_reference(&img).expect("encode")), n),
+        packed_ns: measure_ns(|| black_box(pp.encode(&img).expect("encode")), n),
+        note: "16x16 image",
+    });
+
+    let pixel = PixelEncoder::new(PixelEncoderConfig {
+        dim: DIM,
+        width: 16,
+        height: 16,
+        ..Default::default()
+    })
+    .expect("valid config");
+    pixel.warm_up();
+    rows.push(Row {
+        op: "encode_pixel",
+        scalar_ns: measure_ns(|| black_box(pixel.encode_reference(&img).expect("encode")), n),
+        packed_ns: measure_ns(|| black_box(pixel.encode(&img).expect("encode")), n),
+        note: "16x16 image",
+    });
+}
+
+/// Writes the measurement rows as `BENCH_kernels.json` (path overridable
+/// via `BENCH_KERNELS_JSON`): `{dim, quick, cores, ops: {op -> {scalar_ns,
+/// packed_ns, speedup, note}}}`.
+fn write_json(rows: &[Row]) {
+    let path =
+        std::env::var("BENCH_KERNELS_JSON").unwrap_or_else(|_| "BENCH_kernels.json".to_string());
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut ops = String::new();
+    for (i, row) in rows.iter().enumerate() {
+        if i > 0 {
+            ops.push_str(",\n");
+        }
+        ops.push_str(&format!(
+            "    \"{}\": {{\"scalar_ns\": {:.1}, \"packed_ns\": {:.1}, \"speedup\": {:.2}, \
+             \"note\": \"{}\"}}",
+            row.op,
+            row.scalar_ns,
+            row.packed_ns,
+            row.speedup(),
+            row.note
+        ));
+    }
+    let json = format!(
+        "{{\n  \"dim\": {DIM},\n  \"quick\": {},\n  \"cores\": {cores},\n  \"ops\": {{\n{ops}\n  \
+         }}\n}}\n",
+        quick()
+    );
+    // A write failure must fail the bench run: CI's gate reads this file,
+    // and exiting 0 here would let it validate stale numbers.
+    std::fs::write(&path, json)
+        .unwrap_or_else(|e| panic!("failed to write bench JSON {path}: {e}"));
+    println!(
+        "wrote {} ({} ops)",
+        std::fs::canonicalize(&path).unwrap_or_else(|_| path.clone().into()).display(),
+        rows.len()
+    );
+}
+
 fn report_speedups(_c: &mut Criterion) {
     use hdc::kernel;
 
+    let n = samples();
     let mut rng = StdRng::seed_from_u64(31);
     let (a, b) = fresh_pair(&mut rng);
-    let scalar_dot =
-        measure_ns(|| black_box(reference::dot_scalar(a.as_slice(), b.as_slice())), 10);
-    let scalar_cos =
-        measure_ns(|| black_box(reference::cosine_scalar(a.as_slice(), b.as_slice())), 10);
+    let mut rows: Vec<Row> = Vec::new();
 
+    // The cold-pack delta: the old movemask-emulation pack vs the live
+    // bit-matrix-transpose pack.
+    rows.push(Row {
+        op: "pack_words",
+        scalar_ns: measure_ns(|| black_box(reference::pack_words_movemask(a.as_slice())), n),
+        packed_ns: measure_ns(|| black_box(kernel::pack_words(a.as_slice())), n),
+        note: "movemask emulation vs bit-matrix transpose",
+    });
+
+    let scalar_dot = measure_ns(|| black_box(reference::dot_scalar(a.as_slice(), b.as_slice())), n);
     // Cold: both operands packed from scratch inside the measurement.
-    let cold_dot = measure_ns(
-        || {
-            let pa = kernel::pack_words(a.as_slice());
-            let pb = kernel::pack_words(b.as_slice());
-            black_box(kernel::dot_words(&pa, &pb, DIM))
-        },
-        10,
-    );
+    rows.push(Row {
+        op: "dot_cold",
+        scalar_ns: scalar_dot,
+        packed_ns: measure_ns(
+            || {
+                let pa = kernel::pack_words(a.as_slice());
+                let pb = kernel::pack_words(b.as_slice());
+                black_box(kernel::dot_words(&pa, &pb, DIM))
+            },
+            n,
+        ),
+        note: "pack included",
+    });
 
     let _ = (a.packed(), b.packed());
-    let warm_dot = measure_ns(|| black_box(hdc::dot(&a, &b)), 10);
-    let warm_cos = measure_ns(|| black_box(hdc::cosine(&a, &b)), 10);
+    rows.push(Row {
+        op: "dot_warm",
+        scalar_ns: scalar_dot,
+        packed_ns: measure_ns(|| black_box(hdc::dot(&a, &b)), n),
+        note: "mirrors cached",
+    });
+    rows.push(Row {
+        op: "cosine_warm",
+        scalar_ns: measure_ns(
+            || black_box(reference::cosine_scalar(a.as_slice(), b.as_slice())),
+            n,
+        ),
+        packed_ns: measure_ns(|| black_box(hdc::cosine(&a, &b)), n),
+        note: "mirrors cached",
+    });
 
     // The associative-memory scenario: one query scored against C class
     // references — the shape of every campaign fitness evaluation. The
@@ -167,49 +349,85 @@ fn report_speedups(_c: &mut Criterion) {
         let _ = r.packed();
     }
     let query = Hypervector::random(DIM, &mut rng);
-    let scalar_scan = measure_ns(
-        || {
-            let mut acc = 0i64;
-            for r in &refs {
-                acc += black_box(reference::dot_scalar(query.as_slice(), r.as_slice()));
-            }
-            acc
-        },
-        10,
-    );
-    let packed_scan = measure_ns(
-        || {
-            let packed_query = kernel::pack_words(query.as_slice());
-            let mut acc = 0i64;
-            for r in &refs {
-                acc +=
-                    black_box(kernel::dot_words(packed_query.as_slice(), r.packed().words(), DIM));
-            }
-            acc
-        },
-        10,
-    );
+    rows.push(Row {
+        op: "am_scan",
+        scalar_ns: measure_ns(
+            || {
+                let mut acc = 0i64;
+                for r in &refs {
+                    acc += black_box(reference::dot_scalar(query.as_slice(), r.as_slice()));
+                }
+                acc
+            },
+            n,
+        ),
+        packed_ns: measure_ns(
+            || {
+                let packed_query = kernel::pack_words(query.as_slice());
+                let mut acc = 0i64;
+                for r in &refs {
+                    acc += black_box(kernel::dot_words(
+                        packed_query.as_slice(),
+                        r.packed().words(),
+                        DIM,
+                    ));
+                }
+                acc
+            },
+            n,
+        ),
+        note: "query vs 10 classes, pack included",
+    });
 
-    println!(
-        "\nSPEEDUP dot    (D={DIM}): scalar {scalar_dot:.0} ns → packed cold {cold_dot:.0} ns \
-         ({:.1}x), warm {warm_dot:.0} ns ({:.1}x)",
-        scalar_dot / cold_dot,
-        scalar_dot / warm_dot
-    );
-    println!(
-        "SPEEDUP cosine (D={DIM}): scalar {scalar_cos:.0} ns → packed warm {warm_cos:.0} ns \
-         ({:.1}x)",
-        scalar_cos / warm_cos
-    );
-    println!(
-        "SPEEDUP am_scan (query vs {CLASSES} classes, D={DIM}, pack included): scalar \
-         {scalar_scan:.0} ns → packed {packed_scan:.0} ns ({:.1}x)",
-        scalar_scan / packed_scan
-    );
+    // CSA-tree bundling vs the ripple-carry reference: 256 vectors (one
+    // image's worth) through a BitCounter each way.
+    let bundle: Vec<Hypervector> = (0..256).map(|_| Hypervector::random(DIM, &mut rng)).collect();
+    for v in &bundle {
+        let _ = v.packed();
+    }
+    rows.push(Row {
+        op: "bundle_256",
+        scalar_ns: measure_ns(
+            || {
+                let mut counter = kernel::BitCounter::new(DIM);
+                for v in &bundle {
+                    counter.add_ripple(v.packed().words());
+                }
+                black_box(counter.bipolarize_packed())
+            },
+            n,
+        ),
+        packed_ns: measure_ns(
+            || {
+                let mut counter = kernel::BitCounter::new(DIM);
+                for v in &bundle {
+                    counter.add(v.packed().words());
+                }
+                black_box(counter.bipolarize_packed())
+            },
+            n,
+        ),
+        note: "ripple-carry vs CSA tree, 256 vectors",
+    });
+
+    encoder_rows(&mut rows);
+
+    println!();
+    for row in &rows {
+        println!(
+            "SPEEDUP {:<21} (D={DIM}): scalar {:>9.0} ns → packed {:>8.0} ns ({:.1}x)  [{}]",
+            row.op,
+            row.scalar_ns,
+            row.packed_ns,
+            row.speedup(),
+            row.note
+        );
+    }
     println!(
         "(cores available: {} — predict_batch thread fan-out scales with this)",
         std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
     );
+    write_json(&rows);
 }
 
 criterion_group!(kernels, bench_dot_cosine, bench_batch_predict, report_speedups);

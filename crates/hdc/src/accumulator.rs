@@ -178,10 +178,12 @@ impl Accumulator {
     pub fn bipolarize_packed(&self) -> PackedHypervector {
         let dim = self.dim();
         let mut words = vec![0u64; crate::kernel::words_for(dim)];
-        for (i, &s) in self.sums.iter().enumerate() {
-            if s >= 0 {
-                words[i / 64] |= 1u64 << (i % 64);
+        for (word, chunk) in words.iter_mut().zip(self.sums.chunks(64)) {
+            let mut w = 0u64;
+            for (k, &s) in chunk.iter().enumerate() {
+                w |= u64::from(s >= 0) << k;
             }
+            *word = w;
         }
         PackedHypervector::from_words_unchecked(words, dim)
     }

@@ -12,6 +12,14 @@
 //! A testing tool must be able to re-encode the same input to the same
 //! hypervector, otherwise prediction discrepancies could come from the
 //! encoder instead of the mutation.
+//!
+//! Every encoder runs fully packed: bind (XNOR) and permute (word rotate)
+//! operate on the item memories' bit-packed mirrors, windows/fields fuse
+//! straight into a bit-sliced [`crate::kernel::BitCounter`] bundle, and
+//! bipolarization is a word-parallel threshold comparison. The scalar
+//! loops this replaced survive as per-encoder `encode_reference` methods —
+//! the correctness oracles (bit-exact, including parity tie-breaks) and
+//! bench baselines.
 
 mod ngram;
 mod permute_pixel;
@@ -86,6 +94,46 @@ impl<E: Encoder + ?Sized> Encoder for &E {
     fn warm_up(&self) {
         (**self).warm_up();
     }
+}
+
+/// Finalizes a packed bundle counter into a hypervector: bipolarize by
+/// word-parallel threshold comparison (never materializing integer sums)
+/// and prefill the packed mirror. Bit-identical — including parity
+/// tie-breaks — to [`bipolarize_sums`] over the counter's integer sums,
+/// which is what every encoder's `encode_reference` scalar oracle uses.
+pub(crate) fn finalize_counter(counter: &mut crate::kernel::BitCounter, dim: usize) -> Hypervector {
+    let packed =
+        crate::packed::PackedHypervector::from_words_unchecked(counter.bipolarize_packed(), dim);
+    Hypervector::from_packed_mirror(packed)
+}
+
+/// Bundles one permuted window product into `counter`:
+/// `ρ^{len-1}(item(0)) ⊛ ρ^{len-2}(item(1)) ⊛ … ⊛ ρ⁰(item(len-1))`, folded
+/// with word-level rotate + XNOR in the `win`/`rot` scratch buffers. The
+/// last item needs no rotation, so it fuses straight into the counter via
+/// [`BitCounter::add_bound`](crate::kernel::BitCounter::add_bound). Shared
+/// by the n-gram and time-series encoders (their windowed folds differ
+/// only in the item lookup).
+pub(crate) fn add_window_product<'a>(
+    counter: &mut crate::kernel::BitCounter,
+    win: &mut [u64],
+    rot: &mut [u64],
+    dim: usize,
+    len: usize,
+    item: impl Fn(usize) -> Result<&'a crate::packed::PackedHypervector, HdcError>,
+) -> Result<(), HdcError> {
+    let last = item(len - 1)?;
+    if len == 1 {
+        counter.add(last.words());
+        return Ok(());
+    }
+    crate::kernel::rotate_words_into(item(0)?.words(), dim, len - 1, win);
+    for offset in 1..len - 1 {
+        crate::kernel::rotate_words_into(item(offset)?.words(), dim, len - 1 - offset, rot);
+        crate::kernel::bind_words_assign(win, rot, dim);
+    }
+    counter.add_bound(win, last.words());
+    Ok(())
 }
 
 /// Bipolarizes raw componentwise sums deterministically.

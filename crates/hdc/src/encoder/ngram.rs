@@ -12,9 +12,10 @@
 //! This is the "other HDC model structure" (§V-E) used to demonstrate that
 //! HDTest generalizes beyond images.
 
-use crate::encoder::{bipolarize_sums, Encoder};
+use crate::encoder::{bipolarize_sums, finalize_counter, Encoder};
 use crate::error::HdcError;
 use crate::hypervector::Hypervector;
+use crate::kernel::{self, reference, BitCounter};
 use crate::memory::ItemMemory;
 
 /// Configuration for [`NgramEncoder`].
@@ -73,19 +74,63 @@ impl NgramEncoder {
         &self.config
     }
 
-    /// Encodes a single n-gram window.
-    fn encode_ngram(&self, window: &[u8]) -> Result<Hypervector, HdcError> {
-        let n = window.len();
-        let mut out: Option<Hypervector> = None;
-        for (offset, &sym) in window.iter().enumerate() {
-            let sym_hv = self.symbols.get(usize::from(sym) % self.config.alphabet)?;
-            let rotated = sym_hv.permute(n - 1 - offset);
-            out = Some(match out {
-                None => rotated,
-                Some(acc) => acc.bind(&rotated)?,
-            });
+    /// The symbol hypervector for `sym`.
+    fn symbol(&self, sym: u8) -> Result<&Hypervector, HdcError> {
+        self.symbols.get(usize::from(sym) % self.config.alphabet)
+    }
+
+    /// The word-packed encoding kernel: per window, fold the rotated symbol
+    /// mirrors with word-level XNOR ([`crate::encoder::add_window_product`])
+    /// and feed the product to the bit-sliced bundle counter. No scalar
+    /// `Vec<i8>` is materialized anywhere in the loop.
+    fn encode_with_scratch(
+        &self,
+        text: &[u8],
+        counter: &mut BitCounter,
+        win: &mut [u64],
+        rot: &mut [u64],
+    ) -> Result<Hypervector, HdcError> {
+        let n = self.config.n;
+        if text.len() < n {
+            return Err(HdcError::InputShapeMismatch { expected: n, actual: text.len() });
         }
-        Ok(out.expect("n >= 1 guaranteed by constructor"))
+        let dim = self.config.dim;
+        counter.clear();
+        for window in text.windows(n) {
+            crate::encoder::add_window_product(counter, win, rot, dim, n, |offset| {
+                self.symbol(window[offset]).map(|hv| hv.packed())
+            })?;
+        }
+        Ok(finalize_counter(counter, dim))
+    }
+
+    /// Scalar reference encoding — the loop the packed kernel replaced,
+    /// running entirely on [`crate::kernel::reference`] scalar ops. Kept as
+    /// the correctness oracle for property tests and the baseline for
+    /// `benches/kernels.rs`; bit-identical to [`Encoder::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Encoder::encode`].
+    pub fn encode_reference(&self, text: &[u8]) -> Result<Hypervector, HdcError> {
+        let n = self.config.n;
+        if text.len() < n {
+            return Err(HdcError::InputShapeMismatch { expected: n, actual: text.len() });
+        }
+        let mut sums = vec![0i32; self.config.dim];
+        for window in text.windows(n) {
+            let mut g: Option<Vec<i8>> = None;
+            for (offset, &sym) in window.iter().enumerate() {
+                let rotated =
+                    reference::permute_scalar(self.symbol(sym)?.as_slice(), n - 1 - offset);
+                g = Some(match g {
+                    None => rotated,
+                    Some(acc) => reference::bind_scalar(&acc, &rotated),
+                });
+            }
+            reference::accumulate_scalar(&mut sums, &g.expect("n >= 1"));
+        }
+        Ok(bipolarize_sums(&sums))
     }
 }
 
@@ -97,18 +142,28 @@ impl Encoder for NgramEncoder {
     }
 
     fn encode(&self, text: &[u8]) -> Result<Hypervector, HdcError> {
-        let n = self.config.n;
-        if text.len() < n {
-            return Err(HdcError::InputShapeMismatch { expected: n, actual: text.len() });
+        let n_words = kernel::words_for(self.config.dim);
+        let mut counter = BitCounter::new(self.config.dim);
+        let mut win = vec![0u64; n_words];
+        let mut rot = vec![0u64; n_words];
+        self.encode_with_scratch(text, &mut counter, &mut win, &mut rot)
+    }
+
+    fn encode_batch(&self, inputs: &[&[u8]]) -> Result<Vec<Hypervector>, HdcError> {
+        let n_words = kernel::words_for(self.config.dim);
+        let mut counter = BitCounter::new(self.config.dim);
+        let mut win = vec![0u64; n_words];
+        let mut rot = vec![0u64; n_words];
+        inputs
+            .iter()
+            .map(|text| self.encode_with_scratch(text, &mut counter, &mut win, &mut rot))
+            .collect()
+    }
+
+    fn warm_up(&self) {
+        for hv in self.symbols.iter() {
+            let _ = hv.packed();
         }
-        let mut sums = vec![0i32; self.config.dim];
-        for window in text.windows(n) {
-            let g = self.encode_ngram(window)?;
-            for (s, &c) in sums.iter_mut().zip(g.as_slice()) {
-                *s += i32::from(c);
-            }
-        }
-        Ok(bipolarize_sums(&sums))
     }
 }
 
@@ -128,6 +183,36 @@ mod tests {
         let a = enc.encode(b"hello world").unwrap();
         let b = enc.encode(b"hello world").unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn packed_encode_matches_scalar_reference() {
+        // Bit-exact with the scalar oracle, at a dim that exercises tail
+        // masking, for several n (1 skips binding, 2 skips the middle loop).
+        for n in [1usize, 2, 3, 4] {
+            let enc =
+                NgramEncoder::new(NgramEncoderConfig { dim: 1_000, n, alphabet: 64, seed: 3 })
+                    .unwrap();
+            let text = b"the quick brown fox jumps";
+            let packed = enc.encode(&text[..]).unwrap();
+            assert_eq!(packed, enc.encode_reference(&text[..]).unwrap(), "n {n}");
+            // The prefilled mirror must agree with a from-scratch pack.
+            assert_eq!(
+                packed.packed(),
+                &crate::PackedHypervector::pack(packed.as_slice()),
+                "mirror at n {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn encode_batch_matches_encode_loop() {
+        let enc = encoder();
+        let texts: [&[u8]; 3] = [b"hello world", b"hypervectors", b"abcabc"];
+        let batched = enc.encode_batch(&texts).unwrap();
+        for (text, hv) in texts.iter().zip(&batched) {
+            assert_eq!(*hv, enc.encode(text).unwrap());
+        }
     }
 
     #[test]

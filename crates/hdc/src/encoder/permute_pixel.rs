@@ -13,9 +13,10 @@
 //! ImgHV = bipolarize( Σᵢ  ρⁱ(Base) ⊛ ValHV[pixel[i]] )
 //! ```
 
-use crate::encoder::{bipolarize_sums, Encoder};
+use crate::encoder::{bipolarize_sums, finalize_counter, Encoder};
 use crate::error::HdcError;
 use crate::hypervector::Hypervector;
+use crate::kernel::BitCounter;
 use crate::memory::{LevelMemory, ValueEncoding};
 use crate::rng::derive_rng;
 
@@ -137,6 +138,55 @@ impl PermutePixelEncoder {
             usize::from(value) * levels / 256
         }
     }
+
+    /// The word-packed encoding kernel: per pixel, the rotated base mirror
+    /// and the value mirror fuse straight into the bit-sliced bundle
+    /// counter ([`BitCounter::add_rotated_bound`] — word-level rotate,
+    /// XNOR and accumulate in one pass over the counter's input slot).
+    fn encode_with_scratch(
+        &self,
+        pixels: &[u8],
+        counter: &mut BitCounter,
+    ) -> Result<Hypervector, HdcError> {
+        let expected = self.pixel_count();
+        if pixels.len() != expected {
+            return Err(HdcError::InputShapeMismatch { expected, actual: pixels.len() });
+        }
+        counter.clear();
+        let base = self.base.packed();
+        for (i, &p) in pixels.iter().enumerate() {
+            let val = self.values.get(self.quantize(p))?.packed();
+            counter.add_rotated_bound(base.words(), i, val.words());
+        }
+        Ok(finalize_counter(counter, self.config.dim))
+    }
+
+    /// Scalar reference encoding — the index-arithmetic loop the packed
+    /// kernel replaced (`ρⁱ(base)[d] = base[(d − i) mod D]`, accumulated
+    /// without materializing the rotated vector). Kept as the correctness
+    /// oracle for property tests and the baseline for
+    /// `benches/kernels.rs`; bit-identical to [`Encoder::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Encoder::encode`].
+    pub fn encode_reference(&self, pixels: &[u8]) -> Result<Hypervector, HdcError> {
+        let expected = self.pixel_count();
+        if pixels.len() != expected {
+            return Err(HdcError::InputShapeMismatch { expected, actual: pixels.len() });
+        }
+        let dim = self.config.dim;
+        let base = self.base.as_slice();
+        let mut sums = vec![0i32; dim];
+        for (i, &p) in pixels.iter().enumerate() {
+            let val = self.values.get(self.quantize(p))?.as_slice();
+            for (d, (s, &v)) in sums.iter_mut().zip(val).enumerate() {
+                let src = (d + dim - (i % dim)) % dim;
+                *s += i32::from(base[src] * v);
+            }
+        }
+        Ok(bipolarize_sums(&sums))
+    }
 }
 
 impl Encoder for PermutePixelEncoder {
@@ -147,23 +197,20 @@ impl Encoder for PermutePixelEncoder {
     }
 
     fn encode(&self, pixels: &[u8]) -> Result<Hypervector, HdcError> {
-        let expected = self.pixel_count();
-        if pixels.len() != expected {
-            return Err(HdcError::InputShapeMismatch { expected, actual: pixels.len() });
+        let mut counter = BitCounter::new(self.config.dim);
+        self.encode_with_scratch(pixels, &mut counter)
+    }
+
+    fn encode_batch(&self, inputs: &[&[u8]]) -> Result<Vec<Hypervector>, HdcError> {
+        let mut counter = BitCounter::new(self.config.dim);
+        inputs.iter().map(|pixels| self.encode_with_scratch(pixels, &mut counter)).collect()
+    }
+
+    fn warm_up(&self) {
+        let _ = self.base.packed();
+        for hv in self.values.iter() {
+            let _ = hv.packed();
         }
-        let dim = self.config.dim;
-        let base = self.base.as_slice();
-        let mut sums = vec![0i32; dim];
-        for (i, &p) in pixels.iter().enumerate() {
-            let val = self.values.get(self.quantize(p))?.as_slice();
-            // ρⁱ(base)[d] = base[(d − i) mod D]; accumulate the binding
-            // without materializing the rotated vector.
-            for (d, (s, &v)) in sums.iter_mut().zip(val).enumerate() {
-                let src = (d + dim - (i % dim)) % dim;
-                *s += i32::from(base[src] * v);
-            }
-        }
-        Ok(bipolarize_sums(&sums))
     }
 }
 
@@ -191,6 +238,27 @@ mod tests {
         let img = [100u8; 16];
         assert_eq!(enc.encode(&img[..]).unwrap(), enc.encode(&img[..]).unwrap());
         assert!(enc.encode(&[0u8; 15][..]).is_err());
+    }
+
+    #[test]
+    fn packed_encode_matches_scalar_reference() {
+        // dim 1_000 exercises tail masking in the fused rotate-bind path.
+        let enc = encoder(1_000, 4);
+        let img: Vec<u8> = (0..16).map(|i| (i * 16) as u8).collect();
+        let packed = enc.encode(&img[..]).unwrap();
+        assert_eq!(packed, enc.encode_reference(&img[..]).unwrap());
+        assert_eq!(packed.packed(), &crate::PackedHypervector::pack(packed.as_slice()));
+    }
+
+    #[test]
+    fn encode_batch_matches_encode_loop() {
+        let enc = encoder(512, 3);
+        let images: Vec<Vec<u8>> = (0..4u8).map(|k| vec![k * 60; 9]).collect();
+        let inputs: Vec<&[u8]> = images.iter().map(|i| &i[..]).collect();
+        let batched = enc.encode_batch(&inputs).unwrap();
+        for (input, hv) in inputs.iter().zip(&batched) {
+            assert_eq!(*hv, enc.encode(input).unwrap());
+        }
     }
 
     #[test]

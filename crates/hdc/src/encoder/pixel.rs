@@ -138,18 +138,17 @@ impl PixelEncoder {
         }
     }
 
-    /// The word-packed encoding kernel: per pixel, XNOR the packed position
-    /// and value hypervectors (binding) and ripple the bound bits into the
-    /// bit-sliced bundle counter; the bundle bipolarizes by word-parallel
-    /// threshold comparison, never materializing integer sums. Exactly
-    /// equivalent (bit-for-bit, including parity ties) to the scalar
-    /// `sums[d] += pos[d] * val[d]` + `bipolarize_sums` pipeline it
-    /// replaced.
+    /// The word-packed encoding kernel: per pixel, the position and value
+    /// mirrors fuse straight into the bit-sliced bundle counter
+    /// ([`BitCounter::add_bound`] — the bound vector never exists outside
+    /// it); the bundle bipolarizes by word-parallel threshold comparison,
+    /// never materializing integer sums. Exactly equivalent (bit-for-bit,
+    /// including parity ties) to the scalar `sums[d] += pos[d] * val[d]` +
+    /// `bipolarize_sums` pipeline it replaced.
     fn encode_with_scratch(
         &self,
         pixels: &[u8],
         counter: &mut BitCounter,
-        bound: &mut [u64],
     ) -> Result<Hypervector, HdcError> {
         let expected = self.pixel_count();
         if pixels.len() != expected {
@@ -159,14 +158,34 @@ impl PixelEncoder {
         for (i, &p) in pixels.iter().enumerate() {
             let pos = self.positions.get(i)?.packed();
             let val = self.values.get(self.quantize(p))?.packed();
-            kernel::bind_words_into(pos.words(), val.words(), self.config.dim, bound);
-            counter.add(bound);
+            counter.add_bound(pos.words(), val.words());
         }
-        let packed = crate::packed::PackedHypervector::from_words_unchecked(
-            counter.bipolarize_packed(),
-            self.config.dim,
-        );
-        Ok(Hypervector::from_packed_mirror(packed))
+        Ok(crate::encoder::finalize_counter(counter, self.config.dim))
+    }
+
+    /// Scalar reference encoding — the seed's `sums[d] += pos[d] * val[d]`
+    /// loop, running entirely on [`crate::kernel::reference`] scalar ops.
+    /// Kept as the correctness oracle for property tests and the baseline
+    /// for `benches/kernels.rs`; bit-identical to [`Encoder::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Encoder::encode`].
+    pub fn encode_reference(&self, pixels: &[u8]) -> Result<Hypervector, HdcError> {
+        let expected = self.pixel_count();
+        if pixels.len() != expected {
+            return Err(HdcError::InputShapeMismatch { expected, actual: pixels.len() });
+        }
+        let mut sums = vec![0i32; self.config.dim];
+        for (i, &p) in pixels.iter().enumerate() {
+            let pos = self.positions.get(i)?.as_slice();
+            let val = self.values.get(self.quantize(p))?.as_slice();
+            kernel::reference::accumulate_scalar(
+                &mut sums,
+                &kernel::reference::bind_scalar(pos, val),
+            );
+        }
+        Ok(crate::encoder::bipolarize_sums(&sums))
     }
 }
 
@@ -178,10 +197,8 @@ impl Encoder for PixelEncoder {
     }
 
     fn encode(&self, pixels: &[u8]) -> Result<Hypervector, HdcError> {
-        let dim = self.config.dim;
-        let mut counter = BitCounter::new(dim);
-        let mut bound = vec![0u64; kernel::words_for(dim)];
-        self.encode_with_scratch(pixels, &mut counter, &mut bound)
+        let mut counter = BitCounter::new(self.config.dim);
+        self.encode_with_scratch(pixels, &mut counter)
     }
 
     fn warm_up(&self) {
@@ -189,16 +206,10 @@ impl Encoder for PixelEncoder {
     }
 
     fn encode_batch(&self, inputs: &[&[u8]]) -> Result<Vec<Hypervector>, HdcError> {
-        // One set of scratch buffers (bitplanes, bound-pixel words) serves
-        // the whole batch — the allocation share of per-query encode cost
-        // disappears.
-        let dim = self.config.dim;
-        let mut counter = BitCounter::new(dim);
-        let mut bound = vec![0u64; kernel::words_for(dim)];
-        inputs
-            .iter()
-            .map(|pixels| self.encode_with_scratch(pixels, &mut counter, &mut bound))
-            .collect()
+        // One counter (bitplanes + CSA group buffer) serves the whole
+        // batch — the allocation share of per-query encode cost disappears.
+        let mut counter = BitCounter::new(self.config.dim);
+        inputs.iter().map(|pixels| self.encode_with_scratch(pixels, &mut counter)).collect()
     }
 }
 
@@ -238,6 +249,7 @@ mod tests {
             }
         }
         assert_eq!(hv, bipolarize_sums(&sums));
+        assert_eq!(hv, enc.encode_reference(&img[..]).unwrap());
     }
 
     #[test]

@@ -6,9 +6,10 @@
 //! into a level hypervector; the record is the bipolarized bundle of
 //! `key ⊛ level` over all fields.
 
-use crate::encoder::{bipolarize_sums, Encoder};
+use crate::encoder::{bipolarize_sums, finalize_counter, Encoder};
 use crate::error::HdcError;
 use crate::hypervector::Hypervector;
+use crate::kernel::{reference, BitCounter};
 use crate::memory::{ItemMemory, LevelMemory, ValueEncoding};
 
 /// Configuration for [`RecordEncoder`].
@@ -104,16 +105,40 @@ impl RecordEncoder {
         let t = (clamped - c.min) / (c.max - c.min);
         (((c.levels - 1) as f64) * t).round() as usize
     }
-}
 
-impl Encoder for RecordEncoder {
-    type Input = [f64];
-
-    fn dim(&self) -> usize {
-        self.config.dim
+    /// The word-packed encoding kernel: per field, the key and level
+    /// mirrors fuse straight into the bit-sliced bundle counter
+    /// ([`BitCounter::add_bound`] — the bound vector never exists outside
+    /// it); the bundle bipolarizes by word-parallel threshold comparison.
+    fn encode_with_scratch(
+        &self,
+        record: &[f64],
+        counter: &mut BitCounter,
+    ) -> Result<Hypervector, HdcError> {
+        if record.len() != self.config.fields {
+            return Err(HdcError::InputShapeMismatch {
+                expected: self.config.fields,
+                actual: record.len(),
+            });
+        }
+        counter.clear();
+        for (field, &value) in record.iter().enumerate() {
+            let key = self.keys.get(field)?.packed();
+            let level = self.levels.get(self.quantize(value))?.packed();
+            counter.add_bound(key.words(), level.words());
+        }
+        Ok(finalize_counter(counter, self.config.dim))
     }
 
-    fn encode(&self, record: &[f64]) -> Result<Hypervector, HdcError> {
+    /// Scalar reference encoding — the loop the packed kernel replaced,
+    /// running entirely on [`crate::kernel::reference`] scalar ops. Kept as
+    /// the correctness oracle for property tests and the baseline for
+    /// `benches/kernels.rs`; bit-identical to [`Encoder::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Encoder::encode`].
+    pub fn encode_reference(&self, record: &[f64]) -> Result<Hypervector, HdcError> {
         if record.len() != self.config.fields {
             return Err(HdcError::InputShapeMismatch {
                 expected: self.config.fields,
@@ -124,11 +149,33 @@ impl Encoder for RecordEncoder {
         for (field, &value) in record.iter().enumerate() {
             let key = self.keys.get(field)?.as_slice();
             let level = self.levels.get(self.quantize(value))?.as_slice();
-            for ((s, &a), &b) in sums.iter_mut().zip(key).zip(level) {
-                *s += i32::from(a * b);
-            }
+            reference::accumulate_scalar(&mut sums, &reference::bind_scalar(key, level));
         }
         Ok(bipolarize_sums(&sums))
+    }
+}
+
+impl Encoder for RecordEncoder {
+    type Input = [f64];
+
+    fn dim(&self) -> usize {
+        self.config.dim
+    }
+
+    fn encode(&self, record: &[f64]) -> Result<Hypervector, HdcError> {
+        let mut counter = BitCounter::new(self.config.dim);
+        self.encode_with_scratch(record, &mut counter)
+    }
+
+    fn encode_batch(&self, inputs: &[&[f64]]) -> Result<Vec<Hypervector>, HdcError> {
+        let mut counter = BitCounter::new(self.config.dim);
+        inputs.iter().map(|record| self.encode_with_scratch(record, &mut counter)).collect()
+    }
+
+    fn warm_up(&self) {
+        for hv in self.keys.iter().chain(self.levels.iter()) {
+            let _ = hv.packed();
+        }
     }
 }
 
@@ -155,6 +202,34 @@ mod tests {
         let enc = encoder();
         let r = [0.25, 0.5, 0.75, 1.0];
         assert_eq!(enc.encode(&r[..]).unwrap(), enc.encode(&r[..]).unwrap());
+    }
+
+    #[test]
+    fn packed_encode_matches_scalar_reference() {
+        // Even field count makes ties plentiful, exercising the parity
+        // tie-break; dim 1_000 exercises tail masking.
+        let enc = RecordEncoder::new(RecordEncoderConfig {
+            dim: 1_000,
+            fields: 4,
+            ..RecordEncoderConfig::default()
+        })
+        .unwrap();
+        let r = [0.1, 0.6, 0.3, 0.95];
+        let packed = enc.encode(&r[..]).unwrap();
+        assert_eq!(packed, enc.encode_reference(&r[..]).unwrap());
+        assert_eq!(packed.packed(), &crate::PackedHypervector::pack(packed.as_slice()));
+    }
+
+    #[test]
+    fn encode_batch_matches_encode_loop() {
+        let enc = encoder();
+        let records: Vec<Vec<f64>> =
+            (0..4).map(|k| vec![0.2 * k as f64, 0.5, 0.9, 0.1 * k as f64]).collect();
+        let inputs: Vec<&[f64]> = records.iter().map(|r| &r[..]).collect();
+        let batched = enc.encode_batch(&inputs).unwrap();
+        for (input, hv) in inputs.iter().zip(&batched) {
+            assert_eq!(*hv, enc.encode(input).unwrap());
+        }
     }
 
     #[test]

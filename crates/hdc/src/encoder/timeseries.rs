@@ -10,9 +10,10 @@
 //! SigHV    = bipolarize( Σ_t WinHV(t) )
 //! ```
 
-use crate::encoder::{bipolarize_sums, Encoder};
+use crate::encoder::{bipolarize_sums, finalize_counter, Encoder};
 use crate::error::HdcError;
 use crate::hypervector::Hypervector;
+use crate::kernel::{self, reference, BitCounter};
 use crate::memory::{LevelMemory, ValueEncoding};
 
 /// Configuration for [`TimeSeriesEncoder`].
@@ -106,6 +107,60 @@ impl TimeSeriesEncoder {
         let t = (clamped - c.min) / (c.max - c.min);
         (((c.levels - 1) as f64) * t).round() as usize
     }
+
+    /// The word-packed encoding kernel: per sliding window, fold the
+    /// rotated level mirrors with word-level XNOR
+    /// ([`crate::encoder::add_window_product`]) and feed the product to
+    /// the bit-sliced bundle counter.
+    fn encode_with_scratch(
+        &self,
+        signal: &[f64],
+        counter: &mut BitCounter,
+        win: &mut [u64],
+        rot: &mut [u64],
+    ) -> Result<Hypervector, HdcError> {
+        let w = self.config.window;
+        if signal.len() < w {
+            return Err(HdcError::InputShapeMismatch { expected: w, actual: signal.len() });
+        }
+        let dim = self.config.dim;
+        counter.clear();
+        for window in signal.windows(w) {
+            crate::encoder::add_window_product(counter, win, rot, dim, w, |offset| {
+                self.levels.get(self.quantize(window[offset])).map(|hv| hv.packed())
+            })?;
+        }
+        Ok(finalize_counter(counter, dim))
+    }
+
+    /// Scalar reference encoding — the loop the packed kernel replaced,
+    /// running entirely on [`crate::kernel::reference`] scalar ops. Kept as
+    /// the correctness oracle for property tests and the baseline for
+    /// `benches/kernels.rs`; bit-identical to [`Encoder::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Encoder::encode`].
+    pub fn encode_reference(&self, signal: &[f64]) -> Result<Hypervector, HdcError> {
+        let w = self.config.window;
+        if signal.len() < w {
+            return Err(HdcError::InputShapeMismatch { expected: w, actual: signal.len() });
+        }
+        let mut sums = vec![0i32; self.config.dim];
+        for window in signal.windows(w) {
+            let mut g: Option<Vec<i8>> = None;
+            for (offset, &x) in window.iter().enumerate() {
+                let level = self.levels.get(self.quantize(x))?;
+                let rotated = reference::permute_scalar(level.as_slice(), w - 1 - offset);
+                g = Some(match g {
+                    None => rotated,
+                    Some(acc) => reference::bind_scalar(&acc, &rotated),
+                });
+            }
+            reference::accumulate_scalar(&mut sums, &g.expect("window width >= 1"));
+        }
+        Ok(bipolarize_sums(&sums))
+    }
 }
 
 impl Encoder for TimeSeriesEncoder {
@@ -116,27 +171,28 @@ impl Encoder for TimeSeriesEncoder {
     }
 
     fn encode(&self, signal: &[f64]) -> Result<Hypervector, HdcError> {
-        let w = self.config.window;
-        if signal.len() < w {
-            return Err(HdcError::InputShapeMismatch { expected: w, actual: signal.len() });
+        let n_words = kernel::words_for(self.config.dim);
+        let mut counter = BitCounter::new(self.config.dim);
+        let mut win = vec![0u64; n_words];
+        let mut rot = vec![0u64; n_words];
+        self.encode_with_scratch(signal, &mut counter, &mut win, &mut rot)
+    }
+
+    fn encode_batch(&self, inputs: &[&[f64]]) -> Result<Vec<Hypervector>, HdcError> {
+        let n_words = kernel::words_for(self.config.dim);
+        let mut counter = BitCounter::new(self.config.dim);
+        let mut win = vec![0u64; n_words];
+        let mut rot = vec![0u64; n_words];
+        inputs
+            .iter()
+            .map(|signal| self.encode_with_scratch(signal, &mut counter, &mut win, &mut rot))
+            .collect()
+    }
+
+    fn warm_up(&self) {
+        for hv in self.levels.iter() {
+            let _ = hv.packed();
         }
-        let mut sums = vec![0i32; self.config.dim];
-        for window in signal.windows(w) {
-            let mut win_hv: Option<Hypervector> = None;
-            for (offset, &x) in window.iter().enumerate() {
-                let level = self.levels.get(self.quantize(x))?;
-                let rotated = level.permute(w - 1 - offset);
-                win_hv = Some(match win_hv {
-                    None => rotated,
-                    Some(acc) => acc.bind(&rotated)?,
-                });
-            }
-            let g = win_hv.expect("window width >= 1");
-            for (s, &c) in sums.iter_mut().zip(g.as_slice()) {
-                *s += i32::from(c);
-            }
-        }
-        Ok(bipolarize_sums(&sums))
     }
 }
 
@@ -167,6 +223,43 @@ mod tests {
         let enc = encoder();
         let s = sine(0.3, 64);
         assert_eq!(enc.encode(&s[..]).unwrap(), enc.encode(&s[..]).unwrap());
+    }
+
+    #[test]
+    fn packed_encode_matches_scalar_reference() {
+        // Window widths 1 (no binding) and 2 (no middle loop) are the edge
+        // shapes; dim 1_000 exercises tail masking.
+        for window in [1usize, 2, 4] {
+            let enc = TimeSeriesEncoder::new(TimeSeriesEncoderConfig {
+                dim: 1_000,
+                window,
+                levels: 16,
+                min: -1.0,
+                max: 1.0,
+                value_encoding: ValueEncoding::Level,
+                seed: 5,
+            })
+            .unwrap();
+            let s = sine(0.4, 24);
+            let packed = enc.encode(&s[..]).unwrap();
+            assert_eq!(packed, enc.encode_reference(&s[..]).unwrap(), "window {window}");
+            assert_eq!(
+                packed.packed(),
+                &crate::PackedHypervector::pack(packed.as_slice()),
+                "mirror at window {window}"
+            );
+        }
+    }
+
+    #[test]
+    fn encode_batch_matches_encode_loop() {
+        let enc = encoder();
+        let signals: Vec<Vec<f64>> = (0..3).map(|k| sine(0.2 + 0.3 * k as f64, 32)).collect();
+        let inputs: Vec<&[f64]> = signals.iter().map(|s| &s[..]).collect();
+        let batched = enc.encode_batch(&inputs).unwrap();
+        for (input, hv) in inputs.iter().zip(&batched) {
+            assert_eq!(*hv, enc.encode(input).unwrap());
+        }
     }
 
     #[test]

@@ -160,14 +160,19 @@ impl Hypervector {
         if self.dim() != other.dim() {
             return Err(HdcError::DimensionMismatch { expected: self.dim(), actual: other.dim() });
         }
-        let components: Vec<i8> =
-            self.components.iter().zip(&other.components).map(|(&a, &b)| a * b).collect();
         match (self.packed_if_cached(), other.packed_if_cached()) {
             (Some(pa), Some(pb)) => {
+                // Word-level XNOR, then byte-table unpack for the scalar
+                // side: cheaper than the elementwise multiply loop.
                 let packed = pa.bind(pb).expect("dimensions already checked");
+                let components = kernel::unpack_words(packed.words(), self.dim());
                 Ok(Self::with_mirror(components, packed))
             }
-            _ => Ok(Self::new(components)),
+            _ => {
+                let components =
+                    self.components.iter().zip(&other.components).map(|(&a, &b)| a * b).collect();
+                Ok(Self::new(components))
+            }
         }
     }
 

@@ -34,23 +34,31 @@ pub const fn words_for(dim: usize) -> usize {
     dim.div_ceil(WORD_BITS)
 }
 
-/// Gathers the most significant bit of each byte of `x` into the low 8 bits
-/// of the result (a scalar `movemask`).
-///
-/// Each byte of `y = (x & 0x80…80) >> 7` holds a single 0/1 bit; the
-/// multiply accumulates byte `k` into bit `56 + k` (8 and 7 are coprime, so
-/// no two partial products collide below the top byte — the gather is
-/// exact, not approximate).
+/// Reads 8 bipolar components as one little-endian word.
 #[inline]
-fn movemask8(x: u64) -> u64 {
-    ((x & 0x8080_8080_8080_8080) >> 7).wrapping_mul(0x0102_0408_1020_4080) >> 56
+fn load8(chunk: &[i8]) -> u64 {
+    u64::from_le_bytes([
+        chunk[0] as u8,
+        chunk[1] as u8,
+        chunk[2] as u8,
+        chunk[3] as u8,
+        chunk[4] as u8,
+        chunk[5] as u8,
+        chunk[6] as u8,
+        chunk[7] as u8,
+    ])
 }
 
 /// Packs bipolar components into words, 64 per `u64`: `+1 → 1`, `-1 → 0`.
 /// Bits at positions `>= components.len()` in the last word are zero.
 ///
-/// The fast path reads 8 components at a time and extracts their sign bits
-/// with [`movemask8`] (`-1` has the sign bit set, so the mask is inverted).
+/// Each output word is built from 64 components at once: the sign bit of
+/// every byte is gathered into an 8×8 bit matrix (byte `i`, bit `j` = sign
+/// of component `8j + i`), which a word-level bit-matrix transpose
+/// (Hacker's Delight §7-3) flips into component order; one final NOT turns
+/// sign bits into packed bits (`-1` has the sign bit set). This replaced a
+/// per-8-byte multiply-gather movemask emulation — the old routine survives
+/// as [`reference::pack_words_movemask`] for the cold-pack delta benchmark.
 pub fn pack_words(components: &[i8]) -> Vec<u64> {
     let dim = components.len();
     let mut words = vec![0u64; words_for(dim)];
@@ -67,56 +75,77 @@ pub fn pack_words(components: &[i8]) -> Vec<u64> {
 pub fn pack_words_into(components: &[i8], words: &mut [u64]) {
     let dim = components.len();
     assert_eq!(words.len(), words_for(dim), "pack: output buffer length");
-    words.fill(0);
 
-    #[inline]
-    fn group_bits(chunk: &[i8]) -> u64 {
-        let raw = u64::from_le_bytes([
-            chunk[0] as u8,
-            chunk[1] as u8,
-            chunk[2] as u8,
-            chunk[3] as u8,
-            chunk[4] as u8,
-            chunk[5] as u8,
-            chunk[6] as u8,
-            chunk[7] as u8,
-        ]);
-        // Sign bit set ⇔ component is −1; packed bit is the complement.
-        movemask8(!raw)
-    }
-
-    // Build each word from its 8 byte-groups in one expression: no
-    // read-modify-write of the output and no index arithmetic in the loop.
+    const H: u64 = 0x8080_8080_8080_8080;
     let mut full_words = components.chunks_exact(WORD_BITS);
     for (word, chunk) in words.iter_mut().zip(&mut full_words) {
-        *word = group_bits(&chunk[0..8])
-            | group_bits(&chunk[8..16]) << 8
-            | group_bits(&chunk[16..24]) << 16
-            | group_bits(&chunk[24..32]) << 24
-            | group_bits(&chunk[32..40]) << 32
-            | group_bits(&chunk[40..48]) << 40
-            | group_bits(&chunk[48..56]) << 48
-            | group_bits(&chunk[56..64]) << 56;
+        // Gather the 8 sign bits of each 8-byte group into one byte lane:
+        // after the shifts, byte `i` of `x` holds in bit `j` the sign of
+        // component `8j + i`.
+        let mut x = ((load8(&chunk[0..8]) & H) >> 7)
+            | ((load8(&chunk[8..16]) & H) >> 6)
+            | ((load8(&chunk[16..24]) & H) >> 5)
+            | ((load8(&chunk[24..32]) & H) >> 4)
+            | ((load8(&chunk[32..40]) & H) >> 3)
+            | ((load8(&chunk[40..48]) & H) >> 2)
+            | ((load8(&chunk[48..56]) & H) >> 1)
+            | (load8(&chunk[56..64]) & H);
+        // 8×8 bit-matrix transpose: bit `j` of byte `i` ↔ bit `i` of byte
+        // `j`, putting the signs in component order.
+        let mut t = (x ^ (x >> 7)) & 0x00AA_00AA_00AA_00AA;
+        x = x ^ t ^ (t << 7);
+        t = (x ^ (x >> 14)) & 0x0000_CCCC_0000_CCCC;
+        x = x ^ t ^ (t << 14);
+        t = (x ^ (x >> 28)) & 0x0000_0000_F0F0_F0F0;
+        x = x ^ t ^ (t << 28);
+        *word = !x;
     }
-    let tail_start = dim - full_words.remainder().len();
-    for (offset, &c) in full_words.remainder().iter().enumerate() {
-        let i = tail_start + offset;
-        if c == 1 {
-            words[i / WORD_BITS] |= 1u64 << (i % WORD_BITS);
+    let remainder = full_words.remainder();
+    if !remainder.is_empty() {
+        let tail_start = dim - remainder.len();
+        let last = &mut words[tail_start / WORD_BITS];
+        *last = 0;
+        for (offset, &c) in remainder.iter().enumerate() {
+            *last |= u64::from(c == 1) << ((tail_start + offset) % WORD_BITS);
         }
     }
 }
 
+/// Byte → 8 bipolar components (`bit 1 → +1`, `0 → -1`) lookup table: one
+/// 8-byte copy per input byte instead of 8 shift-mask-select steps.
+static UNPACK_TABLE: [[i8; 8]; 256] = {
+    let mut table = [[0i8; 8]; 256];
+    let mut byte = 0usize;
+    while byte < 256 {
+        let mut bit = 0usize;
+        while bit < 8 {
+            table[byte][bit] = if (byte >> bit) & 1 == 1 { 1 } else { -1 };
+            bit += 1;
+        }
+        byte += 1;
+    }
+    table
+};
+
 /// Unpacks words into bipolar components: bit `1 → +1`, `0 → -1`.
+///
+/// Runs byte-at-a-time through [`struct@UNPACK_TABLE`] (~9× the per-bit
+/// loop at `D = 10,000`); this is the cost of materializing `Vec<i8>`
+/// components from a packed encoding result, so it sits on every encoder's
+/// finalize path.
 pub fn unpack_words(words: &[u64], dim: usize) -> Vec<i8> {
     debug_assert!(words.len() == words_for(dim));
-    let mut components = Vec::with_capacity(dim);
-    for (w, &word) in words.iter().enumerate() {
-        let bits = (dim - w * WORD_BITS).min(WORD_BITS);
-        for b in 0..bits {
-            // Branchless select: bit 1 → +1, bit 0 → −1.
-            components.push((((word >> b) & 1) as i8) * 2 - 1);
-        }
+    let mut components = vec![0i8; dim];
+    let mut chunks = components.chunks_exact_mut(8);
+    let mut bytes = words.iter().flat_map(|w| w.to_le_bytes());
+    for (chunk, byte) in (&mut chunks).zip(&mut bytes) {
+        chunk.copy_from_slice(&UNPACK_TABLE[usize::from(byte)]);
+    }
+    let rem = chunks.into_remainder();
+    if !rem.is_empty() {
+        let byte = bytes.next().expect("words cover dim components");
+        let len = rem.len();
+        rem.copy_from_slice(&UNPACK_TABLE[usize::from(byte)][..len]);
     }
     components
 }
@@ -170,6 +199,17 @@ pub fn bind_words_into(a: &[u64], b: &[u64], dim: usize, out: &mut [u64]) {
     mask_tail(out, dim);
 }
 
+/// In-place binding: `acc ⊛= other` (XNOR accumulate with tail masking).
+/// The word-level way to fold an n-gram or window product left to right
+/// without a second scratch buffer.
+pub fn bind_words_assign(acc: &mut [u64], other: &[u64], dim: usize) {
+    debug_assert_eq!(acc.len(), other.len());
+    for (a, &o) in acc.iter_mut().zip(other) {
+        *a = !(*a ^ o);
+    }
+    mask_tail(acc, dim);
+}
+
 /// Packed negation (sign flip of every component): NOT with tail masking.
 pub fn negate_words(words: &[u64], dim: usize) -> Vec<u64> {
     let mut out: Vec<u64> = words.iter().map(|&w| !w).collect();
@@ -180,45 +220,44 @@ pub fn negate_words(words: &[u64], dim: usize) -> Vec<u64> {
 /// Packed cyclic right-shift by `amount` positions (permutation ρ):
 /// `out[(i + amount) % dim] = in[i]`, matching
 /// [`Hypervector::permute`](crate::Hypervector::permute).
-///
-/// Implemented as two word-level bit blits (the shifted head and the
-/// wrapped tail) rather than per-bit moves.
 pub fn rotate_words(words: &[u64], dim: usize, amount: usize) -> Vec<u64> {
-    let k = amount % dim;
-    if k == 0 {
-        return words.to_vec();
-    }
-    let mut out = shl_bits(words, dim, k);
-    let wrapped = shr_bits(words, dim - k);
-    for (o, w) in out.iter_mut().zip(&wrapped) {
-        *o |= w;
-    }
+    let mut out = vec![0u64; words.len()];
+    rotate_words_into(words, dim, amount, &mut out);
     out
 }
 
-/// Logical shift of a `dim`-bit little-endian bitset toward higher indices
-/// by `s` (< dim); vacated low bits are zero, bits shifted past `dim` drop.
-fn shl_bits(words: &[u64], dim: usize, s: usize) -> Vec<u64> {
+/// [`rotate_words`] into a caller-provided buffer (scratch reuse on
+/// encoding hot paths); `out` must not alias `words`.
+///
+/// Implemented as two word-level bit blits — the head shifted toward
+/// higher indices and the wrapped tail ORed into the low bits — rather
+/// than per-bit moves.
+pub fn rotate_words_into(words: &[u64], dim: usize, amount: usize, out: &mut [u64]) {
     let n = words.len();
-    let mut out = vec![0u64; n];
-    let word_shift = s / WORD_BITS;
-    let bit_shift = s % WORD_BITS;
-    for i in (word_shift..n).rev() {
+    debug_assert_eq!(n, words_for(dim));
+    debug_assert_eq!(out.len(), n);
+    let k = amount % dim;
+    if k == 0 {
+        out.copy_from_slice(words);
+        return;
+    }
+    // Head: every input bit moves up by k; every output word is assigned.
+    let word_shift = k / WORD_BITS;
+    let bit_shift = k % WORD_BITS;
+    for w in out[..word_shift].iter_mut() {
+        *w = 0;
+    }
+    for i in word_shift..n {
         let mut w = words[i - word_shift] << bit_shift;
         if bit_shift > 0 && i > word_shift {
             w |= words[i - word_shift - 1] >> (WORD_BITS - bit_shift);
         }
         out[i] = w;
     }
-    mask_tail(&mut out, dim);
-    out
-}
-
-/// Logical shift of a little-endian bitset toward lower indices by `s`
-/// (< total bits); bits shifted below index 0 drop.
-fn shr_bits(words: &[u64], s: usize) -> Vec<u64> {
-    let n = words.len();
-    let mut out = vec![0u64; n];
+    mask_tail(out, dim);
+    // Tail: the bits shifted past `dim` wrap to the bottom — shift the
+    // input down by `dim - k` and OR the survivors in.
+    let s = dim - k;
     let word_shift = s / WORD_BITS;
     let bit_shift = s % WORD_BITS;
     for i in 0..n - word_shift {
@@ -226,9 +265,8 @@ fn shr_bits(words: &[u64], s: usize) -> Vec<u64> {
         if bit_shift > 0 && i + word_shift + 1 < n {
             w |= words[i + word_shift + 1] << (WORD_BITS - bit_shift);
         }
-        out[i] = w;
+        out[i] |= w;
     }
-    out
 }
 
 /// Zeroes bits at positions `>= dim` in the last word.
@@ -249,36 +287,69 @@ pub fn mask_tail(words: &mut [u64], dim: usize) {
 pub fn pack_sums(sums: &[i32]) -> Vec<u64> {
     let dim = sums.len();
     let mut words = vec![0u64; words_for(dim)];
-    for (i, &s) in sums.iter().enumerate() {
-        let bit = s > 0 || (s == 0 && i % 2 == 0);
-        if bit {
-            words[i / WORD_BITS] |= 1u64 << (i % WORD_BITS);
+    // Words start at even component indices, so within-word parity equals
+    // global parity; branchless per-sum select.
+    for (word, chunk) in words.iter_mut().zip(sums.chunks(WORD_BITS)) {
+        let mut w = 0u64;
+        for (k, &s) in chunk.iter().enumerate() {
+            w |= u64::from(s > 0 || (s == 0 && k % 2 == 0)) << k;
         }
+        *word = w;
     }
     words
 }
 
+/// Vectors per carry-save flush group: an 8:4 compressor (Harley–Seal
+/// style) turns 8 buffered vectors into one plane each of weight 1, 2, 4
+/// and 8 before the counter planes are touched.
+const CSA_GROUP: usize = 8;
+
+/// A full adder over 64 lanes at once: returns `(sum, carry)` with
+/// `a + b + c = sum + 2·carry` per bit position.
+#[inline]
+fn full_add(a: u64, b: u64, c: u64) -> (u64, u64) {
+    let ab = a ^ b;
+    (ab ^ c, (a & b) | (ab & c))
+}
+
 /// A bit-sliced (vertical) counter: per-component counts of set bits over a
-/// stream of packed vectors, stored as bitplanes so one
-/// [`add`](Self::add) costs a couple of word operations per plane instead
-/// of one integer add per component.
+/// stream of packed vectors, stored as bitplanes so additions cost a couple
+/// of word operations per plane instead of one integer add per component.
 ///
 /// This is the packed equivalent of bundling: after adding `n` packed
 /// vectors, component `i` has seen `c` ones, and the corresponding bipolar
 /// bundling sum is exactly `2c − n`. Encoders bundle thousands of bound
-/// pixel vectors per image; running the bundle through bitplanes instead of
-/// a `Vec<i32>` accumulator is where the packed representation pays off on
+/// vectors per input; running the bundle through bitplanes instead of a
+/// `Vec<i32>` accumulator is where the packed representation pays off on
 /// the *encoding* half of the hot path (the similarity half goes through
 /// [`hamming_words`]).
+///
+/// Additions are buffered: [`add`](Self::add) (and the fused variants
+/// [`add_bound`](Self::add_bound), [`add_rotated`](Self::add_rotated),
+/// [`add_rotated_bound`](Self::add_rotated_bound)) write into a pending
+/// slot, and every [`CSA_GROUP`] vectors a carry-save-adder tree compresses
+/// the group into four weight planes (1/2/4/8) that ripple into the counter
+/// planes at staggered depths. Compared with rippling every vector
+/// individually (kept as [`add_ripple`](Self::add_ripple), the reference
+/// path), the CSA tree does the bulk of the work in registers and cuts
+/// plane memory traffic ~4×. Finalizers ([`sums`](Self::sums),
+/// [`bipolarize_packed`](Self::bipolarize_packed), …) flush the partial
+/// group first, so results never depend on the buffering.
 #[derive(Debug, Clone)]
 pub struct BitCounter {
     /// Flat plane storage: plane `k` occupies words
     /// `[k·words_for(dim), (k+1)·words_for(dim))` and holds bit `k` of
     /// every component's count.
     planes: Vec<u64>,
-    /// Carry scratch, reused across [`add`](Self::add) calls.
+    /// Buffered vectors awaiting a CSA flush: [`CSA_GROUP`] slots of
+    /// `words_for(dim)` words each.
+    pending: Vec<u64>,
+    /// CSA output scratch: 4 weight planes (1, 2, 4, 8).
+    csa: Vec<u64>,
+    /// Ripple-carry scratch, reused across flushes.
     carry: Vec<u64>,
     n_planes: usize,
+    n_pending: usize,
     dim: usize,
     count: usize,
 }
@@ -291,7 +362,17 @@ impl BitCounter {
     /// Panics if `dim` is zero.
     pub fn new(dim: usize) -> Self {
         assert!(dim > 0, "counter dimension must be non-zero");
-        Self { planes: Vec::new(), carry: vec![0; words_for(dim)], n_planes: 0, dim, count: 0 }
+        let n_words = words_for(dim);
+        Self {
+            planes: Vec::new(),
+            pending: vec![0; CSA_GROUP * n_words],
+            csa: vec![0; 4 * n_words],
+            carry: vec![0; n_words],
+            n_planes: 0,
+            n_pending: 0,
+            dim,
+            count: 0,
+        }
     }
 
     /// The component dimension.
@@ -304,24 +385,171 @@ impl BitCounter {
         self.count
     }
 
-    /// Resets to the empty state, keeping plane allocations for reuse.
+    /// Resets to the empty state, keeping all allocations for reuse.
     pub fn clear(&mut self) {
         self.planes.fill(0);
+        self.n_pending = 0;
         self.count = 0;
     }
 
-    /// Adds one packed vector: per-component ripple-carry increment where
-    /// the vector has a set bit. Allocation-free except when the count
-    /// crosses a power of two (a new plane is appended).
+    /// The pending slot the next vector lands in.
+    #[inline]
+    fn slot(&mut self) -> &mut [u64] {
+        let n_words = words_for(self.dim);
+        &mut self.pending[self.n_pending * n_words..(self.n_pending + 1) * n_words]
+    }
+
+    /// Marks the current slot filled; flushes when the group is full.
+    #[inline]
+    fn commit_slot(&mut self) {
+        self.n_pending += 1;
+        self.count += 1;
+        if self.n_pending == CSA_GROUP {
+            self.flush_group();
+        }
+    }
+
+    /// Adds one packed vector to the bundle.
     ///
     /// # Panics
     ///
     /// Panics if `bits` has the wrong word count.
     pub fn add(&mut self, bits: &[u64]) {
+        assert_eq!(bits.len(), words_for(self.dim), "counter: word count mismatch");
+        self.slot().copy_from_slice(bits);
+        self.commit_slot();
+    }
+
+    /// Fused bind-then-accumulate: adds `a ⊛ b` (packed XNOR) without the
+    /// bound vector ever existing outside the counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand has the wrong word count.
+    pub fn add_bound(&mut self, a: &[u64], b: &[u64]) {
+        let n_words = words_for(self.dim);
+        assert_eq!(a.len(), n_words, "counter: word count mismatch");
+        assert_eq!(b.len(), n_words, "counter: word count mismatch");
+        let dim = self.dim;
+        let slot = self.slot();
+        for ((s, &x), &y) in slot.iter_mut().zip(a).zip(b) {
+            *s = !(x ^ y);
+        }
+        mask_tail(slot, dim);
+        self.commit_slot();
+    }
+
+    /// Fused permute-then-accumulate: adds `ρ^amount(bits)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` has the wrong word count.
+    pub fn add_rotated(&mut self, bits: &[u64], amount: usize) {
+        assert_eq!(bits.len(), words_for(self.dim), "counter: word count mismatch");
+        let dim = self.dim;
+        let slot = self.slot();
+        rotate_words_into(bits, dim, amount, slot);
+        self.commit_slot();
+    }
+
+    /// Fused permute-bind-accumulate: adds `ρ^amount(bits) ⊛ other` — the
+    /// shape of rematerialized-position encoders, one pass over the slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand has the wrong word count.
+    pub fn add_rotated_bound(&mut self, bits: &[u64], amount: usize, other: &[u64]) {
         let n_words = words_for(self.dim);
         assert_eq!(bits.len(), n_words, "counter: word count mismatch");
+        assert_eq!(other.len(), n_words, "counter: word count mismatch");
+        let dim = self.dim;
+        let slot = self.slot();
+        rotate_words_into(bits, dim, amount, slot);
+        for (s, &o) in slot.iter_mut().zip(other) {
+            *s = !(*s ^ o);
+        }
+        mask_tail(slot, dim);
+        self.commit_slot();
+    }
+
+    /// Reference ripple-carry add — the pre-CSA hot path: immediately
+    /// ripples one vector through the counter planes. Kept as the oracle
+    /// the CSA tree is property-tested and benchmarked against; may be
+    /// freely mixed with the buffered adds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` has the wrong word count.
+    pub fn add_ripple(&mut self, bits: &[u64]) {
+        assert_eq!(bits.len(), words_for(self.dim), "counter: word count mismatch");
+        self.count += 1;
+        self.ripple_from(0, bits);
+    }
+
+    /// Compresses the full pending group through the CSA tree into four
+    /// weight planes, then ripples each into the counter at its depth.
+    fn flush_group(&mut self) {
+        debug_assert_eq!(self.n_pending, CSA_GROUP);
+        let n_words = words_for(self.dim);
+        {
+            let (p, csa) = (&self.pending, &mut self.csa);
+            for i in 0..n_words {
+                // 8:4 compressor: x0+…+x7 = ones + 2·twos + 4·fours +
+                // 8·eights, all in registers.
+                let (s1, c1) = full_add(p[i], p[n_words + i], p[2 * n_words + i]);
+                let (s2, c2) = full_add(p[3 * n_words + i], p[4 * n_words + i], p[5 * n_words + i]);
+                let (s3, c3) = full_add(p[6 * n_words + i], p[7 * n_words + i], s1);
+                let ones = s2 ^ s3;
+                let c4 = s2 & s3;
+                let (t1, d1) = full_add(c1, c2, c3);
+                let twos = t1 ^ c4;
+                let d2 = t1 & c4;
+                csa[i] = ones;
+                csa[n_words + i] = twos;
+                csa[2 * n_words + i] = d1 ^ d2;
+                csa[3 * n_words + i] = d1 & d2;
+            }
+        }
+        self.n_pending = 0;
+        let csa = std::mem::take(&mut self.csa);
+        for (level, plane) in csa.chunks_exact(n_words).enumerate() {
+            self.ripple_from(level, plane);
+        }
+        self.csa = csa;
+    }
+
+    /// Ripples a partial group (fewer than [`CSA_GROUP`] vectors — the
+    /// bundle tail) into the planes one vector at a time.
+    fn flush_pending(&mut self) {
+        if self.n_pending == 0 {
+            return;
+        }
+        let n = self.n_pending;
+        self.n_pending = 0;
+        let n_words = words_for(self.dim);
+        let pending = std::mem::take(&mut self.pending);
+        for slot in pending.chunks_exact(n_words).take(n) {
+            self.ripple_from(0, slot);
+        }
+        self.pending = pending;
+    }
+
+    /// Ripple-carry adds `bits` into the counter planes starting at plane
+    /// `start` (i.e. with weight `2^start`). Allocation-free except when
+    /// the top plane overflows (a new plane is appended).
+    fn ripple_from(&mut self, start: usize, bits: &[u64]) {
+        let n_words = words_for(self.dim);
+        debug_assert_eq!(bits.len(), n_words);
+        if bits.iter().all(|&w| w == 0) {
+            return;
+        }
         self.carry.copy_from_slice(bits);
-        for k in 0..self.n_planes {
+        while self.n_planes < start {
+            // Weight > 2^n_planes: interpose all-zero planes.
+            self.planes.resize((self.n_planes + 1) * n_words, 0);
+            self.n_planes += 1;
+        }
+        for k in start..self.n_planes {
             let plane = &mut self.planes[k * n_words..(k + 1) * n_words];
             let mut any = 0u64;
             for (p, c) in plane.iter_mut().zip(&mut self.carry) {
@@ -331,14 +559,12 @@ impl BitCounter {
                 any |= new_carry;
             }
             if any == 0 {
-                self.count += 1;
                 return;
             }
         }
         // Carry out of the top plane: grow by one plane holding it.
         self.planes.extend_from_slice(&self.carry);
         self.n_planes += 1;
-        self.count += 1;
     }
 
     /// Writes the bipolar bundling sums (`2c − n` per component) into
@@ -347,8 +573,9 @@ impl BitCounter {
     /// # Panics
     ///
     /// Panics if `out.len() != dim`.
-    pub fn sums_into(&self, out: &mut [i32]) {
+    pub fn sums_into(&mut self, out: &mut [i32]) {
         assert_eq!(out.len(), self.dim, "counter: output length mismatch");
+        self.flush_pending();
         let n_words = words_for(self.dim);
         let n = self.count as i32;
         out.fill(-n);
@@ -366,30 +593,25 @@ impl BitCounter {
     }
 
     /// The bipolar bundling sums as a fresh vector.
-    pub fn sums(&self) -> Vec<i32> {
+    pub fn sums(&mut self) -> Vec<i32> {
         let mut out = vec![0i32; self.dim];
         self.sums_into(&mut out);
         out
     }
 
-    /// Bipolarizes the bundle straight to packed words without ever
-    /// materializing integer sums, via a word-parallel comparison of every
-    /// component's count `c` against the threshold `n/2`:
-    /// `2c − n > 0 → 1`, `< 0 → 0`, `= 0 →` component parity (even → 1) —
-    /// bit-identical to `bipolarize_sums(self.sums())`.
-    pub fn bipolarize_packed(&self) -> Vec<u64> {
+    /// Word-parallel comparison of every component's count against
+    /// `threshold`: returns `(gt, eq)` bit masks (tail bits of `eq` are
+    /// garbage; `gt` tails are zero). Scans planes most-significant first.
+    fn compare_counts(&self, threshold: u64) -> (Vec<u64>, Vec<u64>) {
         let n_words = words_for(self.dim);
-        let threshold = (self.count / 2) as u64;
         // Every count fits in `n_planes` bits, so if the threshold needs
-        // more bits every component is strictly below it (possible with
-        // sparse adds, e.g. n vectors whose set bits never overlap): all
-        // sums are negative and ties are impossible.
+        // more bits every component is strictly below (and not equal to)
+        // it.
         if self.n_planes < u64::BITS as usize && threshold >> self.n_planes != 0 {
-            return vec![0u64; n_words];
+            return (vec![0u64; n_words], vec![0u64; n_words]);
         }
         // `gt`/`eq` track, per position, whether the count is already known
-        // greater than / still equal to the threshold, scanning planes from
-        // the most significant down.
+        // greater than / still equal to the threshold.
         let mut gt = vec![0u64; n_words];
         let mut eq = vec![u64::MAX; n_words];
         for k in (0..self.n_planes).rev() {
@@ -405,11 +627,32 @@ impl BitCounter {
                 }
             }
         }
+        (gt, eq)
+    }
+
+    /// Packed strict-majority mask: bit `i` is set iff component `i`'s
+    /// count exceeds `threshold`. Backs binarized (majority) bundling,
+    /// where ties resolve to `0`.
+    pub fn threshold_packed(&mut self, threshold: u64) -> Vec<u64> {
+        self.flush_pending();
+        let (mut gt, _) = self.compare_counts(threshold);
+        mask_tail(&mut gt, self.dim);
+        gt
+    }
+
+    /// Bipolarizes the bundle straight to packed words without ever
+    /// materializing integer sums, via a word-parallel comparison of every
+    /// component's count `c` against the threshold `n/2`:
+    /// `2c − n > 0 → 1`, `< 0 → 0`, `= 0 →` component parity (even → 1) —
+    /// bit-identical to `bipolarize_sums(self.sums())`.
+    pub fn bipolarize_packed(&mut self) -> Vec<u64> {
+        self.flush_pending();
+        let threshold = (self.count / 2) as u64;
+        let (mut out, eq) = self.compare_counts(threshold);
         // Ties (c == n/2, only possible for even n) break by parity:
         // even-indexed components map to 1. Bits 0, 2, 4 … of every word
         // are even positions.
         let tie_mask: u64 = if self.count.is_multiple_of(2) { 0x5555_5555_5555_5555 } else { 0 };
-        let mut out = gt;
         for (o, &e) in out.iter_mut().zip(&eq) {
             *o |= e & tie_mask;
         }
@@ -457,6 +700,50 @@ pub mod reference {
         out.extend_from_slice(&components[..dim - k]);
         out
     }
+
+    /// Scalar bundling accumulate: `sums[d] += v[d]`.
+    pub fn accumulate_scalar(sums: &mut [i32], v: &[i8]) {
+        assert_eq!(sums.len(), v.len(), "accumulate: dimension mismatch");
+        for (s, &c) in sums.iter_mut().zip(v) {
+            *s += i32::from(c);
+        }
+    }
+
+    /// The previous `pack_words` implementation: a scalar `movemask`
+    /// emulation that gathers each 8-byte group's sign bits with a
+    /// multiply. Kept as the baseline for the cold-pack delta benchmark
+    /// (the live path uses a word-level bit-matrix transpose instead).
+    pub fn pack_words_movemask(components: &[i8]) -> Vec<u64> {
+        #[inline]
+        fn movemask8(x: u64) -> u64 {
+            ((x & 0x8080_8080_8080_8080) >> 7).wrapping_mul(0x0102_0408_1020_4080) >> 56
+        }
+        #[inline]
+        fn group_bits(chunk: &[i8]) -> u64 {
+            movemask8(!super::load8(chunk))
+        }
+        let dim = components.len();
+        let mut words = vec![0u64; super::words_for(dim)];
+        let mut full_words = components.chunks_exact(super::WORD_BITS);
+        for (word, chunk) in words.iter_mut().zip(&mut full_words) {
+            *word = group_bits(&chunk[0..8])
+                | group_bits(&chunk[8..16]) << 8
+                | group_bits(&chunk[16..24]) << 16
+                | group_bits(&chunk[24..32]) << 24
+                | group_bits(&chunk[32..40]) << 32
+                | group_bits(&chunk[40..48]) << 40
+                | group_bits(&chunk[48..56]) << 48
+                | group_bits(&chunk[56..64]) << 56;
+        }
+        let tail_start = dim - full_words.remainder().len();
+        for (offset, &c) in full_words.remainder().iter().enumerate() {
+            let i = tail_start + offset;
+            if c == 1 {
+                words[i / super::WORD_BITS] |= 1u64 << (i % super::WORD_BITS);
+            }
+        }
+        words
+    }
 }
 
 #[cfg(test)]
@@ -470,12 +757,12 @@ mod tests {
     }
 
     #[test]
-    fn movemask_gathers_sign_bits() {
-        assert_eq!(movemask8(0), 0);
-        assert_eq!(movemask8(u64::MAX), 0xff);
-        assert_eq!(movemask8(0x0000_0000_0000_0080), 0b0000_0001);
-        assert_eq!(movemask8(0x8000_0000_0000_0000), 0b1000_0000);
-        assert_eq!(movemask8(0x0080_0080_0080_0080), 0b0101_0101);
+    fn pack_matches_movemask_reference() {
+        let mut rng = StdRng::seed_from_u64(14);
+        for dim in [1, 7, 8, 63, 64, 65, 127, 128, 1000] {
+            let v = random_bipolar(dim, &mut rng);
+            assert_eq!(pack_words(&v), reference::pack_words_movemask(&v), "dim {dim}");
+        }
     }
 
     #[test]
@@ -540,7 +827,23 @@ mod tests {
                     reference::permute_scalar(&v, k),
                     "dim {dim} k {k}"
                 );
+                // The into-variant must agree even with dirty scratch.
+                let mut out = vec![u64::MAX; words.len()];
+                rotate_words_into(&words, dim, k, &mut out);
+                assert_eq!(out, rotated, "into at dim {dim} k {k}");
             }
+        }
+    }
+
+    #[test]
+    fn bind_words_assign_matches_bind_words() {
+        let mut rng = StdRng::seed_from_u64(15);
+        for dim in [63, 64, 65, 200] {
+            let a = pack_words(&random_bipolar(dim, &mut rng));
+            let b = pack_words(&random_bipolar(dim, &mut rng));
+            let mut acc = a.clone();
+            bind_words_assign(&mut acc, &b, dim);
+            assert_eq!(acc, bind_words(&a, &b, dim), "dim {dim}");
         }
     }
 
@@ -638,10 +941,71 @@ mod tests {
 
     #[test]
     fn bit_counter_bipolarize_packed_empty_is_parity() {
-        let counter = BitCounter::new(130);
+        let mut counter = BitCounter::new(130);
         let packed = counter.bipolarize_packed();
         let expected: Vec<i8> = (0..130).map(|i| if i % 2 == 0 { 1 } else { -1 }).collect();
         assert_eq!(unpack_words(&packed, 130), expected);
+    }
+
+    #[test]
+    fn csa_add_matches_ripple_reference() {
+        // Cross group boundaries (8, 16, 32) and partial tails.
+        let mut rng = StdRng::seed_from_u64(16);
+        for dim in [63, 64, 65, 127, 400] {
+            for n in [1usize, 7, 8, 9, 15, 16, 17, 33] {
+                let mut csa = BitCounter::new(dim);
+                let mut ripple = BitCounter::new(dim);
+                for _ in 0..n {
+                    let bits = pack_words(&random_bipolar(dim, &mut rng));
+                    csa.add(&bits);
+                    ripple.add_ripple(&bits);
+                }
+                assert_eq!(csa.count(), ripple.count());
+                assert_eq!(csa.sums(), ripple.sums(), "dim {dim} n {n}");
+                assert_eq!(csa.bipolarize_packed(), ripple.bipolarize_packed());
+            }
+        }
+    }
+
+    #[test]
+    fn fused_adds_match_plain_adds() {
+        let mut rng = StdRng::seed_from_u64(17);
+        for dim in [65, 127, 320] {
+            let a = pack_words(&random_bipolar(dim, &mut rng));
+            let b = pack_words(&random_bipolar(dim, &mut rng));
+            let mut fused = BitCounter::new(dim);
+            fused.add_bound(&a, &b);
+            fused.add_rotated(&a, 13);
+            fused.add_rotated_bound(&a, 29, &b);
+            let mut plain = BitCounter::new(dim);
+            plain.add(&bind_words(&a, &b, dim));
+            plain.add(&rotate_words(&a, dim, 13));
+            plain.add(&bind_words(&rotate_words(&a, dim, 29), &b, dim));
+            assert_eq!(fused.sums(), plain.sums(), "dim {dim}");
+        }
+    }
+
+    #[test]
+    fn threshold_packed_is_strict_majority() {
+        let mut rng = StdRng::seed_from_u64(18);
+        for dim in [64, 130] {
+            for n in [2usize, 3, 8, 12] {
+                let mut counter = BitCounter::new(dim);
+                let mut sums = vec![0i32; dim];
+                for _ in 0..n {
+                    let v = random_bipolar(dim, &mut rng);
+                    counter.add(&pack_words(&v));
+                    reference::accumulate_scalar(&mut sums, &v);
+                }
+                let mask = counter.threshold_packed((n / 2) as u64);
+                for (i, &s) in sums.iter().enumerate() {
+                    let ones = (s + n as i32) / 2;
+                    let expected = 2 * ones > n as i32;
+                    let actual = (mask[i / 64] >> (i % 64)) & 1 == 1;
+                    assert_eq!(actual, expected, "dim {dim} n {n} i {i}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -30,10 +30,12 @@
 //! so [`dot`] (and [`cosine`], which is `dot / D`) reduces to XOR +
 //! popcount over `D/64` words — bit-exact with the scalar loops it
 //! replaced, which survive as [`kernel::reference`] oracles for the
-//! property tests and benchmarks. Encoders bundle through the same backend:
-//! bound pixel vectors accumulate in a bit-sliced counter
-//! ([`kernel::BitCounter`]) and bipolarize by word-parallel threshold
-//! comparison, never materializing integer sums.
+//! property tests and benchmarks. The encode path is packed end-to-end:
+//! every encoder binds/permutes packed mirrors and bundles them through a
+//! bit-sliced counter ([`kernel::BitCounter`], a Harley–Seal
+//! carry-save-adder tree), bipolarizing by word-parallel threshold
+//! comparison — no scalar `Vec<i8>` exists inside any encode loop. Each
+//! encoder keeps its scalar loop as a public `encode_reference` oracle.
 //!
 //! On top of the kernels sits a batch layer —
 //! [`AssociativeMemory::classify_batch`], [`HdcClassifier::predict_batch`]

@@ -168,25 +168,17 @@ impl PackedHypervector {
     pub fn majority(vectors: &[Self]) -> Result<Self, HdcError> {
         let first = vectors.first().ok_or(HdcError::EmptyMemory)?;
         let dim = first.dim;
-        let mut counts = vec![0usize; dim];
+        let mut counter = kernel::BitCounter::new(dim);
         for v in vectors {
             if v.dim != dim {
                 return Err(HdcError::DimensionMismatch { expected: dim, actual: v.dim });
             }
-            for (i, c) in counts.iter_mut().enumerate() {
-                if v.bit(i) {
-                    *c += 1;
-                }
-            }
+            counter.add(&v.words);
         }
-        let mut out = Self::zeros(dim);
-        let threshold = vectors.len();
-        for (i, &c) in counts.iter().enumerate() {
-            if 2 * c > threshold {
-                out.set_bit(i, true);
-            }
-        }
-        Ok(out)
+        // Strict majority: `2c > n ⇔ c > ⌊n/2⌋` for either parity of `n`,
+        // so even-count ties resolve toward `0`.
+        let words = counter.threshold_packed((vectors.len() / 2) as u64);
+        Ok(Self { words, dim })
     }
 
     /// Number of set bits.
@@ -306,6 +298,21 @@ mod tests {
         let unrelated = PackedHypervector::random(2_048, &mut r);
         for v in &vs {
             assert!(maj.hamming_distance(v) < maj.hamming_distance(&unrelated));
+        }
+    }
+
+    #[test]
+    fn majority_matches_per_bit_counting() {
+        let mut r = rng();
+        // Both parities of n (even ties resolve to 0) across a tail dim.
+        for n in [2usize, 3, 4, 9, 12] {
+            let vs: Vec<PackedHypervector> =
+                (0..n).map(|_| PackedHypervector::random(130, &mut r)).collect();
+            let maj = PackedHypervector::majority(&vs).unwrap();
+            for i in 0..130 {
+                let c = vs.iter().filter(|v| v.bit(i)).count();
+                assert_eq!(maj.bit(i), 2 * c > n, "n {n} bit {i}");
+            }
         }
     }
 

@@ -145,4 +145,150 @@ proptest! {
             );
         }
     }
+
+    #[test]
+    fn csa_tree_counter_matches_ripple_carry_reference(seed in any::<u64>(), n in 1usize..40) {
+        // The buffered CSA-tree bundling path (`add`) against the
+        // ripple-carry-per-vector reference (`add_ripple`), across group
+        // boundaries (n spans several multiples of the flush group) and
+        // mixed with fused adds.
+        for dim in DIMS {
+            let mut csa = BitCounter::new(dim);
+            let mut ripple = BitCounter::new(dim);
+            for k in 0..n {
+                let v = hv(dim, seed ^ ((k as u64) << 16));
+                let bits = v.packed().words();
+                match k % 3 {
+                    0 => csa.add(bits),
+                    1 => csa.add_rotated(bits, k),
+                    _ => {
+                        let w = hv(dim, seed ^ 0xb0b ^ (k as u64));
+                        csa.add_bound(bits, w.packed().words());
+                        ripple.add_ripple(&kernel::bind_words(bits, w.packed().words(), dim));
+                        continue;
+                    }
+                }
+                if k % 3 == 0 {
+                    ripple.add_ripple(bits);
+                } else {
+                    ripple.add_ripple(&kernel::rotate_words(bits, dim, k));
+                }
+            }
+            prop_assert_eq!(csa.count(), ripple.count(), "count at dim {}", dim);
+            prop_assert_eq!(csa.sums(), ripple.sums(), "sums at dim {}", dim);
+            prop_assert_eq!(
+                csa.bipolarize_packed(),
+                ripple.bipolarize_packed(),
+                "bipolarize at dim {}", dim
+            );
+        }
+    }
+}
+
+/// Per-encoder packed-vs-reference bit-exactness at every boundary
+/// dimension. Each encoder's `encode` runs the fully packed pipeline
+/// (packed bind/permute intermediates + CSA-tree bundling + word-parallel
+/// bipolarization); `encode_reference` runs the surviving scalar oracle.
+/// They must agree bit-for-bit, including parity tie-breaks, and the
+/// prefilled packed mirror must match a from-scratch pack.
+mod encoder_exactness {
+    use super::*;
+    use hdc::{
+        Encoder, NgramEncoder, NgramEncoderConfig, PackedHypervector, PermutePixelEncoder,
+        PermutePixelEncoderConfig, PixelEncoder, PixelEncoderConfig, RecordEncoder,
+        RecordEncoderConfig, TimeSeriesEncoder, TimeSeriesEncoderConfig, ValueEncoding,
+    };
+    use rand::Rng;
+
+    fn assert_exact(packed: &Hypervector, reference: &Hypervector, dim: usize) {
+        assert_eq!(packed, reference, "dim {dim}");
+        assert_eq!(
+            packed.packed(),
+            &PackedHypervector::pack(packed.as_slice()),
+            "mirror at dim {dim}"
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(6))]
+
+        #[test]
+        fn ngram_packed_matches_reference(seed in any::<u64>(), n in 1usize..5, len in 8usize..24) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            for dim in DIMS {
+                let enc = NgramEncoder::new(NgramEncoderConfig {
+                    dim, n, alphabet: 32, seed: seed ^ 1,
+                }).expect("valid config");
+                let text: Vec<u8> = (0..len.max(n)).map(|_| rng.gen()).collect();
+                let packed = enc.encode(&text).expect("encode");
+                let reference = enc.encode_reference(&text).expect("reference");
+                assert_exact(&packed, &reference, dim);
+            }
+        }
+
+        #[test]
+        fn record_packed_matches_reference(seed in any::<u64>(), fields in 1usize..9) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            for dim in DIMS {
+                let enc = RecordEncoder::new(RecordEncoderConfig {
+                    dim, fields, levels: 16, seed: seed ^ 2,
+                    ..RecordEncoderConfig::default()
+                }).expect("valid config");
+                let record: Vec<f64> = (0..fields).map(|_| rng.gen::<f64>()).collect();
+                let packed = enc.encode(&record).expect("encode");
+                let reference = enc.encode_reference(&record).expect("reference");
+                assert_exact(&packed, &reference, dim);
+            }
+        }
+
+        #[test]
+        fn timeseries_packed_matches_reference(
+            seed in any::<u64>(), window in 1usize..5, len in 8usize..20,
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            for dim in DIMS {
+                let enc = TimeSeriesEncoder::new(TimeSeriesEncoderConfig {
+                    dim, window, levels: 16, min: -1.0, max: 1.0,
+                    value_encoding: ValueEncoding::Level, seed: seed ^ 3,
+                }).expect("valid config");
+                let signal: Vec<f64> =
+                    (0..len.max(window)).map(|_| rng.gen::<f64>() * 2.0 - 1.0).collect();
+                let packed = enc.encode(&signal).expect("encode");
+                let reference = enc.encode_reference(&signal).expect("reference");
+                assert_exact(&packed, &reference, dim);
+            }
+        }
+
+        #[test]
+        fn permute_pixel_packed_matches_reference(seed in any::<u64>()) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            for dim in DIMS {
+                // 7×7 = 49 pixels fits every test dim (positions must not
+                // alias: pixels <= dim).
+                let enc = PermutePixelEncoder::new(PermutePixelEncoderConfig {
+                    dim, width: 7, height: 7, levels: 16,
+                    value_encoding: ValueEncoding::Random, seed: seed ^ 4,
+                }).expect("valid config");
+                let img: Vec<u8> = (0..49).map(|_| rng.gen()).collect();
+                let packed = enc.encode(&img).expect("encode");
+                let reference = enc.encode_reference(&img).expect("reference");
+                assert_exact(&packed, &reference, dim);
+            }
+        }
+
+        #[test]
+        fn pixel_packed_matches_reference(seed in any::<u64>()) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            for dim in DIMS {
+                let enc = PixelEncoder::new(PixelEncoderConfig {
+                    dim, width: 6, height: 6, levels: 16,
+                    value_encoding: ValueEncoding::Random, seed: seed ^ 5,
+                }).expect("valid config");
+                let img: Vec<u8> = (0..36).map(|_| rng.gen()).collect();
+                let packed = enc.encode(&img).expect("encode");
+                let reference = enc.encode_reference(&img).expect("reference");
+                assert_exact(&packed, &reference, dim);
+            }
+        }
+    }
 }

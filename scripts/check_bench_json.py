@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""CI bench-smoke gate: assert no packed path has fallen back to scalar.
+
+Reads the machine-readable bench output (BENCH_kernels.json, written by
+`cargo bench -p hdtest-bench --bench kernels`) and fails if any
+packed-vs-scalar op is not faster than its scalar baseline.
+
+Two op classes:
+
+* packed-vs-scalar ops (similarity kernels, encoders, CSA bundling): the
+  packed path replaced a scalar loop outright, so `speedup <= MIN_SPEEDUP`
+  means it has effectively fallen back to scalar cost — fail.
+* delta ops (pack_words: new pack vs the old movemask pack): both sides are
+  word-level, the gain is small by design; only guard against a real
+  regression (MIN_DELTA).
+"""
+
+import json
+import sys
+
+# Margins are deliberately below the measured ratios (5-50x for the
+# packed-vs-scalar ops on the 1-CPU CI container) so VM noise cannot flake
+# the gate, while a genuine fallback to scalar (ratio ~1.0) still fails.
+MIN_SPEEDUP = 1.5
+MIN_DELTA = 0.7
+
+DELTA_OPS = {"pack_words"}
+
+
+def main() -> int:
+    path = sys.argv[1] if len(sys.argv) > 1 else "crates/bench/BENCH_kernels.json"
+    with open(path) as f:
+        report = json.load(f)
+
+    failures = []
+    print(f"bench report: dim={report['dim']} quick={report['quick']} cores={report['cores']}")
+    for op, row in sorted(report["ops"].items()):
+        floor = MIN_DELTA if op in DELTA_OPS else MIN_SPEEDUP
+        ok = row["speedup"] > floor
+        status = "ok  " if ok else "FAIL"
+        print(
+            f"  {status} {op:<22} scalar {row['scalar_ns']:>12.0f} ns  "
+            f"packed {row['packed_ns']:>10.0f} ns  {row['speedup']:>6.2f}x  "
+            f"(floor {floor}x)  [{row['note']}]"
+        )
+        if not ok:
+            failures.append(op)
+
+    required = {"encode_ngram", "encode_record", "encode_timeseries", "encode_permute_pixel"}
+    missing = required - set(report["ops"])
+    if missing:
+        failures.extend(sorted(missing))
+        print(f"  FAIL missing required ops: {sorted(missing)}")
+
+    if failures:
+        print(f"packed paths at scalar speed (or missing): {failures}", file=sys.stderr)
+        return 1
+    print("all packed paths faster than scalar")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
