@@ -253,8 +253,9 @@ fn encoder_rows(rows: &mut Vec<Row>) {
 }
 
 /// Writes the measurement rows as `BENCH_kernels.json` (path overridable
-/// via `BENCH_KERNELS_JSON`): `{dim, quick, cores, ops: {op -> {scalar_ns,
-/// packed_ns, speedup, note}}}`.
+/// via `BENCH_KERNELS_JSON`): `{suite, dim, quick, cores, ops: {op ->
+/// {scalar_ns, packed_ns, speedup, note}}}` — the same schema
+/// `serve-loadgen` uses for `BENCH_serve.json`.
 fn write_json(rows: &[Row]) {
     let path =
         std::env::var("BENCH_KERNELS_JSON").unwrap_or_else(|_| "BENCH_kernels.json".to_string());
@@ -275,8 +276,8 @@ fn write_json(rows: &[Row]) {
         ));
     }
     let json = format!(
-        "{{\n  \"dim\": {DIM},\n  \"quick\": {},\n  \"cores\": {cores},\n  \"ops\": {{\n{ops}\n  \
-         }}\n}}\n",
+        "{{\n  \"suite\": \"kernels\",\n  \"dim\": {DIM},\n  \"quick\": {},\n  \"cores\": \
+         {cores},\n  \"ops\": {{\n{ops}\n  }}\n}}\n",
         quick()
     );
     // A write failure must fail the bench run: CI's gate reads this file,

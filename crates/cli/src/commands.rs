@@ -200,6 +200,63 @@ pub fn fuzz(args: Args) -> CliResult {
     Ok(())
 }
 
+/// `serve`: long-lived HTTP inference server over stored models.
+///
+/// `--model F` registers one model as `default`; `--models a=f1,b=f2`
+/// registers several by name (both may be combined). Requests coalesce
+/// into packed batch predicts; see the `hdc-serve` crate docs for the
+/// endpoint reference and `/metrics` for live batch/latency histograms.
+pub fn serve(args: Args) -> CliResult {
+    use hdc_serve::{BatchConfig, Metrics, Registry, Server, ServerConfig};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    let addr = args.get("addr").unwrap_or("127.0.0.1:8080").to_owned();
+    let workers: usize = args.get_or("workers", 8)?;
+    let max_batch: usize = args.get_or("max-batch", 64)?;
+    let linger_us: u64 = args.get_or("linger-us", 200)?;
+
+    let mut models: Vec<(String, String)> = Vec::new();
+    if let Some(path) = args.get("model") {
+        models.push(("default".to_owned(), path.to_owned()));
+    }
+    if let Some(spec) = args.get("models") {
+        for pair in spec.split(',') {
+            let Some((name, path)) = pair.split_once('=') else {
+                return Err(format!("--models entry '{pair}' is not name=path").into());
+            };
+            models.push((name.trim().to_owned(), path.trim().to_owned()));
+        }
+    }
+    if models.is_empty() {
+        return Err("serve needs --model FILE or --models name=file[,name=file...]".into());
+    }
+
+    let batch = BatchConfig { max_batch, max_linger: Duration::from_micros(linger_us) };
+    let registry = Arc::new(Registry::new(Arc::new(Metrics::new()), batch));
+    for (name, path) in &models {
+        let info = registry.load(name, Path::new(path))?;
+        println!(
+            "loaded model '{name}' from {path}: D = {}, {} classes, {}x{} inputs",
+            info.dim, info.classes, info.width, info.height
+        );
+    }
+
+    let config = ServerConfig { addr, workers, ..ServerConfig::default() };
+    let mut server = Server::start(registry, &config)?;
+    println!(
+        "serving {} model(s) on http://{} ({} workers, max batch {}, linger {}us)",
+        models.len(),
+        server.addr(),
+        workers,
+        max_batch,
+        linger_us
+    );
+    println!("endpoints: GET /healthz | GET /v1/models | GET /metrics | POST /v1/predict | POST /v1/reload");
+    server.join();
+    Ok(())
+}
+
 /// `defend`: fuzz, retrain on half the corpus, re-attack, store the
 /// hardened model.
 pub fn defend(args: Args) -> CliResult {

@@ -8,6 +8,7 @@
 //! hdtest-cli fuzz     --model model.hdc --images data/test-images.idx --strategy gauss \
 //!                 [--budget 1.0] [--count 100] [--seed 1234] [--csv records.csv] [--out-dir adv]
 //! hdtest-cli defend   --model model.hdc --images data/test-images.idx --out hardened.hdc
+//! hdtest-cli serve    --model model.hdc [--addr 127.0.0.1:8080] [--max-batch 64]
 //! ```
 
 mod args;
@@ -35,6 +36,9 @@ COMMANDS:
              [--unguided true] [--minimize true]
   defend     adversarial-retraining defense (fuzz, retrain, re-attack)
              --model F --images F --out F [--strategy S] [--seed N]
+  serve      HTTP inference server with request coalescing and live metrics
+             --model F | --models name=file[,name=file...]
+             [--addr HOST:PORT] [--workers N] [--max-batch N] [--linger-us N]
 
 Every run is deterministic given its seeds.";
 
@@ -68,6 +72,11 @@ fn main() -> ExitCode {
         "defend" => Args::parse(rest, &["model", "images", "out", "strategy", "seed"])
             .map_err(Into::into)
             .and_then(commands::defend),
+        "serve" => {
+            Args::parse(rest, &["model", "models", "addr", "workers", "max-batch", "linger-us"])
+                .map_err(Into::into)
+                .and_then(commands::serve)
+        }
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;

@@ -16,6 +16,7 @@
 use crate::encoder::Encoder;
 use crate::error::HdcError;
 use crate::hypervector::Hypervector;
+use crate::kernel::BitCounter;
 use crate::packed::PackedHypervector;
 
 /// The outcome of classifying one input with the binarized model.
@@ -53,10 +54,11 @@ pub struct BinaryPrediction {
 #[derive(Debug, Clone)]
 pub struct BinaryClassifier<E> {
     encoder: E,
-    /// Per-class, per-component count of set bits seen during training.
-    counters: Vec<Vec<u32>>,
-    /// Per-class count of bundled examples.
-    counts: Vec<u32>,
+    /// Per-class bit-sliced set-bit counters ([`BitCounter`]): training
+    /// adds packed encodings word-parallel, finalize thresholds them
+    /// word-parallel. The scalar per-component counting rule this
+    /// replaced survives as the reference oracle in this module's tests.
+    counters: Vec<BitCounter>,
     references: Vec<PackedHypervector>,
     dim: usize,
     finalized: bool,
@@ -73,8 +75,7 @@ impl<E: Encoder> BinaryClassifier<E> {
         let dim = encoder.dim();
         Self {
             encoder,
-            counters: vec![vec![0; dim]; num_classes],
-            counts: vec![0; num_classes],
+            counters: (0..num_classes).map(|_| BitCounter::new(dim)).collect(),
             references: Vec::new(),
             dim,
             finalized: false,
@@ -113,6 +114,8 @@ impl<E: Encoder> BinaryClassifier<E> {
 
     /// Binarized bundling (one-shot training): per-component set-bit
     /// counters accumulate; the reference is their majority at finalize.
+    /// The add is word-parallel through the class's [`BitCounter`] (the
+    /// same CSA-tree bundler the dense encoders use).
     ///
     /// # Errors
     ///
@@ -124,13 +127,7 @@ impl<E: Encoder> BinaryClassifier<E> {
             return Err(HdcError::UnknownClass { class: label, num_classes });
         }
         let packed = self.encode_packed(input)?;
-        let counter = &mut self.counters[label];
-        for (i, c) in counter.iter_mut().enumerate() {
-            if packed.bit(i) {
-                *c += 1;
-            }
-        }
-        self.counts[label] += 1;
+        self.counters[label].add(packed.words());
         self.finalized = false;
         Ok(())
     }
@@ -152,29 +149,18 @@ impl<E: Encoder> BinaryClassifier<E> {
         Ok(())
     }
 
-    /// Majority-binarizes every class counter into its packed reference.
-    /// Ties (possible with even counts) resolve by component parity, the
-    /// same deterministic rule the dense pipeline uses.
+    /// Majority-binarizes every class counter into its packed reference
+    /// via the word-parallel [`BitCounter`] threshold finalizer
+    /// (`c > ⌊n/2⌋` per component, no integer sums materialized). Ties
+    /// (possible with even counts) resolve by component parity, the same
+    /// deterministic rule the dense pipeline uses.
     pub fn finalize(&mut self) {
+        let dim = self.dim;
         self.references = self
             .counters
-            .iter()
-            .zip(&self.counts)
-            .map(|(counter, &count)| {
-                let mut reference = PackedHypervector::zeros(self.dim);
-                for (i, &ones) in counter.iter().enumerate() {
-                    let double = 2 * u64::from(ones);
-                    let total = u64::from(count);
-                    let bit = match double.cmp(&total) {
-                        std::cmp::Ordering::Greater => true,
-                        std::cmp::Ordering::Less => false,
-                        std::cmp::Ordering::Equal => i % 2 == 0,
-                    };
-                    if bit {
-                        reference.set_bit(i, true);
-                    }
-                }
-                reference
+            .iter_mut()
+            .map(|counter| {
+                PackedHypervector::from_words_unchecked(counter.bipolarize_packed(), dim)
             })
             .collect();
         self.finalized = true;
@@ -419,5 +405,107 @@ mod tests {
     #[should_panic(expected = "at least one class")]
     fn zero_classes_panics() {
         let _ = BinaryClassifier::new(encoder(), 0);
+    }
+
+    /// The pre-`BitCounter` training path: scalar per-component set-bit
+    /// counters and the scalar majority rule (`2c > n → 1`, `2c < n → 0`,
+    /// tie → even component index). Kept as the reference oracle the
+    /// word-parallel finalize is pinned against.
+    fn reference_finalize<E: Encoder<Input = [u8]>>(
+        encoder: &E,
+        examples: &[(&[u8], usize)],
+        num_classes: usize,
+    ) -> Vec<PackedHypervector> {
+        let dim = encoder.dim();
+        let mut counters = vec![vec![0u32; dim]; num_classes];
+        let mut counts = vec![0u32; num_classes];
+        for (input, label) in examples {
+            let packed = PackedHypervector::from(&encoder.encode(input).unwrap());
+            for (i, c) in counters[*label].iter_mut().enumerate() {
+                if packed.bit(i) {
+                    *c += 1;
+                }
+            }
+            counts[*label] += 1;
+        }
+        counters
+            .iter()
+            .zip(&counts)
+            .map(|(counter, &count)| {
+                let mut reference = PackedHypervector::zeros(dim);
+                for (i, &ones) in counter.iter().enumerate() {
+                    let bit = match (2 * u64::from(ones)).cmp(&u64::from(count)) {
+                        std::cmp::Ordering::Greater => true,
+                        std::cmp::Ordering::Less => false,
+                        std::cmp::Ordering::Equal => i % 2 == 0,
+                    };
+                    if bit {
+                        reference.set_bit(i, true);
+                    }
+                }
+                reference
+            })
+            .collect()
+    }
+
+    #[test]
+    fn packed_finalize_matches_scalar_reference_oracle() {
+        // Even and odd per-class example counts (ties only occur for
+        // even counts) across tail dims that exercise word masking.
+        for dim in [63usize, 64, 65, 127, 2_000] {
+            let enc = PixelEncoder::new(PixelEncoderConfig {
+                dim,
+                width: 4,
+                height: 4,
+                levels: 8,
+                value_encoding: ValueEncoding::Random,
+                seed: 91,
+            })
+            .unwrap();
+            let pats = patterns();
+            // Class 0: 4 examples (even, ties possible); class 1: 3 (odd);
+            // class 2: 1 (identity).
+            let examples: Vec<(&[u8], usize)> = vec![
+                (&pats[0][..], 0),
+                (&pats[1][..], 0),
+                (&pats[0][..], 0),
+                (&pats[2][..], 0),
+                (&pats[1][..], 1),
+                (&pats[2][..], 1),
+                (&pats[1][..], 1),
+                (&pats[2][..], 2),
+            ];
+            let expected = reference_finalize(&enc, &examples, 3);
+
+            let mut model = BinaryClassifier::new(enc, 3);
+            for (input, label) in &examples {
+                model.train_one(input, *label).unwrap();
+            }
+            model.finalize();
+            for (class, want) in expected.iter().enumerate() {
+                assert_eq!(
+                    model.reference(class).unwrap(),
+                    want,
+                    "dim {dim} class {class}: packed finalize diverged from scalar oracle"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn train_after_finalize_continues_accumulating() {
+        let mut model = BinaryClassifier::new(encoder(), 2);
+        let pats = patterns();
+        model.train_one(&pats[0][..], 0).unwrap();
+        model.train_one(&pats[1][..], 1).unwrap();
+        model.finalize();
+        let before = model.reference(0).unwrap().clone();
+        // More training invalidates the snapshot, then refreshes it.
+        model.train_one(&pats[2][..], 0).unwrap();
+        model.train_one(&pats[2][..], 0).unwrap();
+        assert!(!model.is_finalized());
+        model.finalize();
+        let after = model.reference(0).unwrap();
+        assert_ne!(&before, after, "majority over 3 examples must differ from 1");
     }
 }

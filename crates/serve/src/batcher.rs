@@ -1,0 +1,319 @@
+//! Request coalescing: many concurrent single predicts → one batch call.
+//!
+//! Queries arrive one per HTTP request, but the compute layer is fastest
+//! when it sees them in batches ([`HdcClassifier::predict_batch`] reuses
+//! encode scratch across a batch and fans out across cores). The batcher
+//! bridges the two: handler threads enqueue `(input, reply-channel)` jobs
+//! and block on their reply; a dedicated worker drains the queue into
+//! batches of up to `max_batch` jobs, waiting at most `max_linger` for
+//! stragglers after the first job arrives. Under load the linger never
+//! binds — while the worker executes one batch the next one queues up
+//! behind it — so throughput rides the batch path while a lone request
+//! still completes within one linger interval.
+
+use crate::error::ServeError;
+use crate::metrics::Metrics;
+use hdc::prelude::*;
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Coalescing parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchConfig {
+    /// Largest batch handed to one `predict_batch` call.
+    pub max_batch: usize,
+    /// How long the worker waits for more jobs after the first one of a
+    /// batch arrives. Zero disables coalescing waits entirely.
+    pub max_linger: Duration,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        Self { max_batch: 64, max_linger: Duration::from_millis(1) }
+    }
+}
+
+impl BatchConfig {
+    /// The degenerate configuration: every request runs alone. The
+    /// load generator uses this as the baseline to measure coalescing
+    /// against.
+    pub fn batch_size_1() -> Self {
+        Self { max_batch: 1, max_linger: Duration::ZERO }
+    }
+}
+
+/// One queued predict awaiting execution.
+struct Job {
+    input: Vec<u8>,
+    reply: mpsc::Sender<Result<Prediction, ServeError>>,
+}
+
+struct Queue {
+    jobs: VecDeque<Job>,
+    stop: bool,
+}
+
+struct Shared {
+    queue: Mutex<Queue>,
+    /// Signals the worker on job arrival and handlers never (replies use
+    /// per-job channels).
+    arrived: Condvar,
+}
+
+/// A per-model coalescing queue plus its worker thread.
+///
+/// Dropping the batcher stops the worker; jobs still queued get an
+/// internal-error reply rather than a hang.
+pub struct Batcher {
+    shared: Arc<Shared>,
+    worker: Option<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Batcher {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Batcher(pending={})", self.shared.queue.lock().unwrap().jobs.len())
+    }
+}
+
+impl Batcher {
+    /// Spawns the worker thread for `model`. The model must be finalized;
+    /// executed batch sizes are recorded into `metrics`.
+    pub fn start(
+        model: Arc<HdcClassifier<PixelEncoder>>,
+        metrics: Arc<Metrics>,
+        config: BatchConfig,
+    ) -> Self {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(Queue { jobs: VecDeque::new(), stop: false }),
+            arrived: Condvar::new(),
+        });
+        let worker_shared = Arc::clone(&shared);
+        let worker = std::thread::Builder::new()
+            .name("hdc-serve-batcher".into())
+            .spawn(move || worker_loop(&worker_shared, &model, &metrics, config))
+            .expect("spawn batcher worker");
+        Self { shared, worker: Some(worker) }
+    }
+
+    /// Enqueues one input and blocks until its prediction (or error) is
+    /// ready. Safe to call from any number of threads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates per-input compute errors (wrong shape → 400); returns
+    /// [`ServeError::Internal`] if the batcher is shutting down.
+    pub fn predict(&self, input: Vec<u8>) -> Result<Prediction, ServeError> {
+        let (reply, receive) = mpsc::channel();
+        {
+            let mut queue = self.shared.queue.lock().expect("batcher lock");
+            if queue.stop {
+                return Err(ServeError::Internal("model is shutting down".into()));
+            }
+            queue.jobs.push_back(Job { input, reply });
+        }
+        self.shared.arrived.notify_one();
+        receive
+            .recv()
+            .unwrap_or_else(|_| Err(ServeError::Internal("batch worker dropped reply".into())))
+    }
+}
+
+impl Drop for Batcher {
+    fn drop(&mut self) {
+        self.shared.queue.lock().expect("batcher lock").stop = true;
+        self.shared.arrived.notify_all();
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn worker_loop(
+    shared: &Shared,
+    model: &HdcClassifier<PixelEncoder>,
+    metrics: &Metrics,
+    config: BatchConfig,
+) {
+    let max_batch = config.max_batch.max(1);
+    loop {
+        let mut queue = shared.queue.lock().expect("batcher lock");
+        while queue.jobs.is_empty() {
+            if queue.stop {
+                return;
+            }
+            queue = shared.arrived.wait(queue).expect("batcher lock");
+        }
+        // First job of the batch is here; linger for stragglers so bursts
+        // coalesce — but adaptively: each wait slice that passes with no
+        // new arrival ends the batch early. Closed-loop clients (everyone
+        // blocked on a reply) therefore never pay the full linger, while a
+        // genuine burst keeps extending the batch up to the deadline.
+        if !config.max_linger.is_zero() && max_batch > 1 {
+            let deadline = Instant::now() + config.max_linger;
+            let grace = config.max_linger / 8;
+            while queue.jobs.len() < max_batch && !queue.stop {
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let before = queue.jobs.len();
+                let (q, _timeout) = shared
+                    .arrived
+                    .wait_timeout(queue, (deadline - now).min(grace))
+                    .expect("batcher lock");
+                queue = q;
+                if queue.jobs.len() == before {
+                    break; // nothing arrived during the slice: batch is done
+                }
+            }
+        }
+        let take = queue.jobs.len().min(max_batch);
+        let batch: Vec<Job> = queue.jobs.drain(..take).collect();
+        let stopping = queue.stop;
+        drop(queue);
+
+        if stopping {
+            for job in batch {
+                let _ = job.reply.send(Err(ServeError::Internal("model is shutting down".into())));
+            }
+            continue; // loop once more to observe `stop` with an empty queue
+        }
+        execute(model, metrics, batch);
+    }
+}
+
+/// Runs one coalesced batch and fans replies back out.
+fn execute(model: &HdcClassifier<PixelEncoder>, metrics: &Metrics, batch: Vec<Job>) {
+    metrics.on_batch(batch.len());
+    if batch.len() == 1 {
+        let job = &batch[0];
+        let result = model.predict(&job.input[..]).map_err(ServeError::from);
+        let _ = job.reply.send(result);
+        return;
+    }
+    let inputs: Vec<&[u8]> = batch.iter().map(|j| &j.input[..]).collect();
+    match model.predict_batch(&inputs) {
+        Ok(predictions) => {
+            for (job, prediction) in batch.iter().zip(predictions) {
+                let _ = job.reply.send(Ok(prediction));
+            }
+        }
+        // A batch fails fast on its lowest-index bad input, which would
+        // punish every rider in the batch; fall back to per-job predicts
+        // so each request gets exactly its own error.
+        Err(_) => {
+            for job in &batch {
+                let result = model.predict(&job.input[..]).map_err(ServeError::from);
+                let _ = job.reply.send(result);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdc::memory::ValueEncoding;
+
+    fn model() -> Arc<HdcClassifier<PixelEncoder>> {
+        let encoder = PixelEncoder::new(PixelEncoderConfig {
+            dim: 1_024,
+            width: 4,
+            height: 4,
+            levels: 8,
+            value_encoding: ValueEncoding::Random,
+            seed: 9,
+        })
+        .unwrap();
+        let mut model = HdcClassifier::new(encoder, 2);
+        model.train_one(&[0u8; 16][..], 0).unwrap();
+        model.train_one(&[224u8; 16][..], 1).unwrap();
+        model.finalize();
+        Arc::new(model)
+    }
+
+    #[test]
+    fn single_predict_round_trips() {
+        let model = model();
+        let metrics = Arc::new(Metrics::new());
+        let batcher =
+            Batcher::start(Arc::clone(&model), Arc::clone(&metrics), BatchConfig::default());
+        let got = batcher.predict(vec![224u8; 16]).unwrap();
+        assert_eq!(got.class, model.predict(&[224u8; 16][..]).unwrap().class);
+    }
+
+    #[test]
+    fn concurrent_predicts_coalesce() {
+        let model = model();
+        let metrics = Arc::new(Metrics::new());
+        let config = BatchConfig { max_batch: 64, max_linger: Duration::from_millis(20) };
+        let batcher = Arc::new(Batcher::start(model, Arc::clone(&metrics), config));
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let batcher = Arc::clone(&batcher);
+                scope.spawn(move || {
+                    for _ in 0..5 {
+                        batcher.predict(vec![224u8; 16]).unwrap();
+                    }
+                });
+            }
+        });
+        // 8 threads × 5 requests with a 20 ms linger must coalesce: if
+        // every one of the 40 predicts ran alone, the mean stays 1.0.
+        assert!(
+            metrics.mean_batch_size() > 1.0,
+            "expected coalescing, mean batch size {}",
+            metrics.mean_batch_size()
+        );
+    }
+
+    #[test]
+    fn batch_size_1_config_never_coalesces() {
+        let model = model();
+        let metrics = Arc::new(Metrics::new());
+        let batcher =
+            Arc::new(Batcher::start(model, Arc::clone(&metrics), BatchConfig::batch_size_1()));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let batcher = Arc::clone(&batcher);
+                scope.spawn(move || {
+                    for _ in 0..10 {
+                        batcher.predict(vec![0u8; 16]).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(metrics.mean_batch_size(), 1.0);
+    }
+
+    #[test]
+    fn bad_input_in_batch_fails_only_that_request() {
+        let model = model();
+        let metrics = Arc::new(Metrics::new());
+        let config = BatchConfig { max_batch: 16, max_linger: Duration::from_millis(20) };
+        let batcher = Arc::new(Batcher::start(model, metrics, config));
+        std::thread::scope(|scope| {
+            let good = scope.spawn({
+                let batcher = Arc::clone(&batcher);
+                move || batcher.predict(vec![224u8; 16])
+            });
+            let bad = scope.spawn({
+                let batcher = Arc::clone(&batcher);
+                move || batcher.predict(vec![224u8; 3]) // wrong shape
+            });
+            assert!(good.join().unwrap().is_ok());
+            let err = bad.join().unwrap().unwrap_err();
+            assert_eq!(err.status(), 400, "wrong-shape input must 400, got {err}");
+        });
+    }
+
+    #[test]
+    fn drop_stops_worker_and_rejects_new_work() {
+        let model = model();
+        let metrics = Arc::new(Metrics::new());
+        let batcher = Batcher::start(model, metrics, BatchConfig::default());
+        drop(batcher); // must not hang
+    }
+}

@@ -1,0 +1,152 @@
+//! A minimal blocking HTTP/1.1 client for the load generator, the smoke
+//! tests, and anything else that needs to poke the server in-process.
+//! Persistent connections only — one `Client` per thread.
+
+use crate::http;
+use crate::json::{self, Json};
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// One parsed HTTP response.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Raw body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// Parses the body as JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the parse failure.
+    pub fn json(&self) -> Result<Json, json::JsonError> {
+        json::parse(&self.body)
+    }
+
+    /// Whether the status is 2xx.
+    pub fn is_success(&self) -> bool {
+        (200..300).contains(&self.status)
+    }
+}
+
+/// A persistent keep-alive connection to one server.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect/configure failures.
+    pub fn connect(addr: SocketAddr) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        let writer = stream.try_clone()?;
+        Ok(Client { reader: BufReader::new(stream), writer })
+    }
+
+    /// Sends one request and reads the response off the shared connection.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors and malformed responses.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> io::Result<Response> {
+        let body = body.unwrap_or("");
+        write!(
+            self.writer,
+            "{method} {path} HTTP/1.1\r\nhost: localhost\r\ncontent-length: {}\r\n\r\n{body}",
+            body.len(),
+        )?;
+        self.writer.flush()?;
+        self.read_response()
+    }
+
+    /// `GET path`.
+    ///
+    /// # Errors
+    ///
+    /// As [`request`](Self::request).
+    pub fn get(&mut self, path: &str) -> io::Result<Response> {
+        self.request("GET", path, None)
+    }
+
+    /// `POST path` with a JSON body.
+    ///
+    /// # Errors
+    ///
+    /// As [`request`](Self::request).
+    pub fn post(&mut self, path: &str, body: &str) -> io::Result<Response> {
+        self.request("POST", path, Some(body))
+    }
+
+    fn read_response(&mut self) -> io::Result<Response> {
+        let mut line = String::new();
+        self.reader.read_line(&mut line)?;
+        let mut parts = line.split_ascii_whitespace();
+        let (Some(_version), Some(status)) = (parts.next(), parts.next()) else {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("malformed status line {line:?}"),
+            ));
+        };
+        let status: u16 = status
+            .parse()
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-numeric status"))?;
+        let mut content_length = 0usize;
+        loop {
+            line.clear();
+            self.reader.read_line(&mut line)?;
+            let header = line.trim_end();
+            if header.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = header.split_once(':') {
+                if name.trim().eq_ignore_ascii_case("content-length") {
+                    content_length = value.trim().parse().map_err(|_| {
+                        io::Error::new(io::ErrorKind::InvalidData, "bad content-length")
+                    })?;
+                }
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body)?;
+        Ok(Response { status, body })
+    }
+
+    /// Reconstructs the remote predict body for one pixel input — shared by
+    /// the load generator and smoke tests.
+    pub fn predict_body(model: &str, pixels: &[u8]) -> String {
+        let mut body = String::with_capacity(pixels.len() * 4 + 32);
+        body.push_str("{\"model\":\"");
+        body.push_str(model);
+        body.push_str("\",\"input\":[");
+        for (i, p) in pixels.iter().enumerate() {
+            if i > 0 {
+                body.push(',');
+            }
+            body.push_str(&p.to_string());
+        }
+        body.push_str("]}");
+        body
+    }
+
+    /// The http module's framing helpers, re-exported for tests that need
+    /// raw access.
+    pub fn http_reason(status: u16) -> &'static str {
+        http::reason(status)
+    }
+}

@@ -1,0 +1,107 @@
+//! Service-boundary error mapping.
+//!
+//! Every failure a request can provoke maps to an HTTP status plus a JSON
+//! error body — malformed JSON, wrong input shapes and unknown models must
+//! never panic a worker or silently drop a connection.
+
+use crate::json::Json;
+use hdc::HdcError;
+use std::fmt;
+
+/// A request-scoped failure with a definite HTTP status.
+#[derive(Debug)]
+pub enum ServeError {
+    /// 400: the request was syntactically or semantically invalid.
+    BadRequest(String),
+    /// 404: unknown route or model name.
+    NotFound(String),
+    /// 405: known route, wrong method. Carries the `Allow` header value.
+    MethodNotAllowed(&'static str),
+    /// 413: body larger than the configured limit.
+    PayloadTooLarge(String),
+    /// 500: a server-side invariant failed.
+    Internal(String),
+}
+
+impl ServeError {
+    /// The HTTP status code.
+    pub fn status(&self) -> u16 {
+        match self {
+            ServeError::BadRequest(_) => 400,
+            ServeError::NotFound(_) => 404,
+            ServeError::MethodNotAllowed(_) => 405,
+            ServeError::PayloadTooLarge(_) => 413,
+            ServeError::Internal(_) => 500,
+        }
+    }
+
+    /// The human-readable detail string.
+    pub fn message(&self) -> String {
+        match self {
+            ServeError::BadRequest(m)
+            | ServeError::NotFound(m)
+            | ServeError::PayloadTooLarge(m)
+            | ServeError::Internal(m) => m.clone(),
+            ServeError::MethodNotAllowed(allow) => format!("method not allowed; allow: {allow}"),
+        }
+    }
+
+    /// The JSON error body every non-2xx response carries.
+    pub fn body(&self) -> Json {
+        Json::obj([
+            ("error", Json::from(self.message())),
+            ("status", Json::from(u64::from(self.status()))),
+        ])
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.status(), self.message())
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<HdcError> for ServeError {
+    /// Maps compute-layer errors at the service boundary: shape and value
+    /// errors are the caller's fault (400), everything else is ours (500).
+    fn from(e: HdcError) -> Self {
+        match e {
+            HdcError::InputShapeMismatch { .. }
+            | HdcError::ValueOutOfRange { .. }
+            | HdcError::DimensionMismatch { .. }
+            | HdcError::UnknownClass { .. } => ServeError::BadRequest(e.to_string()),
+            other => ServeError::Internal(other.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn statuses() {
+        assert_eq!(ServeError::BadRequest("x".into()).status(), 400);
+        assert_eq!(ServeError::NotFound("x".into()).status(), 404);
+        assert_eq!(ServeError::MethodNotAllowed("GET").status(), 405);
+        assert_eq!(ServeError::PayloadTooLarge("x".into()).status(), 413);
+        assert_eq!(ServeError::Internal("x".into()).status(), 500);
+    }
+
+    #[test]
+    fn hdc_shape_errors_are_client_errors() {
+        let e: ServeError = HdcError::InputShapeMismatch { expected: 784, actual: 3 }.into();
+        assert_eq!(e.status(), 400);
+        let e: ServeError = HdcError::EmptyModel.into();
+        assert_eq!(e.status(), 500);
+    }
+
+    #[test]
+    fn body_is_json_object() {
+        let body = ServeError::NotFound("no model 'x'".into()).body().render();
+        assert!(body.contains("\"error\""), "{body}");
+        assert!(body.contains("404"), "{body}");
+    }
+}

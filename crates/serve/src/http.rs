@@ -1,0 +1,296 @@
+//! Minimal HTTP/1.1 framing over `std::net` streams.
+//!
+//! Supports exactly what the inference protocol needs: request-line +
+//! headers + `Content-Length` bodies, persistent connections (HTTP/1.1
+//! keep-alive semantics), and fixed size limits so a hostile peer cannot
+//! buffer unbounded data. Chunked transfer encoding is intentionally not
+//! implemented — requests carrying it get a clean 400.
+
+use std::io::{self, BufRead, Write};
+
+/// Maximum accepted size of the request line plus all headers.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Maximum accepted body size (a 4096-wide predict batch of 28×28 images
+/// in JSON is ~15 MB; cap above that but below memory-exhaustion range).
+pub const MAX_BODY_BYTES: usize = 32 * 1024 * 1024;
+
+/// One parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Request method, uppercased by the client (`GET`, `POST`, …).
+    pub method: String,
+    /// Request target path (query strings are not used by this protocol
+    /// and are kept attached).
+    pub path: String,
+    /// Header `(name, value)` pairs; names are lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The first value of header `name` (lowercase), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the peer asked to keep the connection open after this
+    /// exchange (the HTTP/1.1 default, unless `Connection: close`).
+    pub fn keep_alive(&self) -> bool {
+        !self.header("connection").is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// A framing failure: either the socket died or the peer sent bytes that
+/// are not an acceptable HTTP request.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Transport failure (read/write error, timeout).
+    Io(io::Error),
+    /// Malformed or oversized request; the string is the reason and the
+    /// `u16` the status the server should answer with before closing.
+    Bad(u16, String),
+}
+
+impl From<io::Error> for HttpError {
+    fn from(e: io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Io(e) => write!(f, "i/o: {e}"),
+            HttpError::Bad(status, reason) => write!(f, "{status}: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+/// Reads one request off a buffered stream. Returns `Ok(None)` on a clean
+/// EOF before any request byte (the peer closed a keep-alive connection).
+///
+/// # Errors
+///
+/// [`HttpError::Io`] on transport failure; [`HttpError::Bad`] when the
+/// peer's bytes are not an acceptable request (the caller should answer
+/// with the carried status and close).
+pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Option<Request>, HttpError> {
+    let mut line = Vec::new();
+    let mut head_bytes = 0usize;
+    read_line(reader, &mut line, &mut head_bytes)?;
+    if line.is_empty() {
+        return Ok(None);
+    }
+    let request_line = std::str::from_utf8(&line)
+        .map_err(|_| HttpError::Bad(400, "request line is not UTF-8".into()))?;
+    let mut parts = request_line.split_ascii_whitespace();
+    let (Some(method), Some(path), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Err(HttpError::Bad(400, format!("malformed request line '{request_line}'")));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Bad(505, format!("unsupported version '{version}'")));
+    }
+    let method = method.to_owned();
+    let path = path.to_owned();
+
+    let mut headers = Vec::new();
+    loop {
+        read_line(reader, &mut line, &mut head_bytes)?;
+        if line.is_empty() {
+            break;
+        }
+        let header = std::str::from_utf8(&line)
+            .map_err(|_| HttpError::Bad(400, "header is not UTF-8".into()))?;
+        let Some((name, value)) = header.split_once(':') else {
+            return Err(HttpError::Bad(400, format!("malformed header '{header}'")));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
+    }
+
+    let request = Request { method, path, headers, body: Vec::new() };
+    if request.header("transfer-encoding").is_some_and(|v| !v.eq_ignore_ascii_case("identity")) {
+        return Err(HttpError::Bad(400, "chunked transfer encoding not supported".into()));
+    }
+    let content_length = match request.header("content-length") {
+        None => 0,
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| HttpError::Bad(400, format!("bad content-length '{v}'")))?,
+    };
+    if content_length > MAX_BODY_BYTES {
+        return Err(HttpError::Bad(413, format!("body of {content_length} bytes exceeds limit")));
+    }
+    let mut request = request;
+    if content_length > 0 {
+        request.body = vec![0u8; content_length];
+        reader.read_exact(&mut request.body).map_err(HttpError::Io)?;
+    }
+    Ok(Some(request))
+}
+
+/// Reads one CRLF (or bare-LF) terminated line, without the terminator,
+/// enforcing the head-size limit across calls.
+fn read_line<R: BufRead>(
+    reader: &mut R,
+    line: &mut Vec<u8>,
+    head_bytes: &mut usize,
+) -> Result<(), HttpError> {
+    line.clear();
+    let take = (MAX_HEAD_BYTES - *head_bytes + 1) as u64;
+    // UFCS pins `Self = &mut R` so `take` borrows instead of consuming.
+    let read = io::Read::take(&mut *reader, take).read_until(b'\n', line)?;
+    *head_bytes += read;
+    if *head_bytes > MAX_HEAD_BYTES {
+        return Err(HttpError::Bad(431, "request head too large".into()));
+    }
+    if line.last() == Some(&b'\n') {
+        line.pop();
+        if line.last() == Some(&b'\r') {
+            line.pop();
+        }
+    } else if !line.is_empty() {
+        return Err(HttpError::Bad(400, "truncated request head".into()));
+    }
+    Ok(())
+}
+
+/// The reason phrase for the statuses this server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        505 => "HTTP Version Not Supported",
+        _ => "Unknown",
+    }
+}
+
+/// Writes one response with a JSON body and flushes.
+///
+/// # Errors
+///
+/// Propagates transport errors.
+pub fn write_response<W: Write>(
+    writer: &mut W,
+    status: u16,
+    extra_headers: &[(&str, &str)],
+    body: &str,
+    keep_alive: bool,
+) -> io::Result<()> {
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    write!(
+        writer,
+        "HTTP/1.1 {status} {}\r\ncontent-type: application/json\r\ncontent-length: \
+         {}\r\nconnection: {connection}\r\n",
+        reason(status),
+        body.len(),
+    )?;
+    for (name, value) in extra_headers {
+        write!(writer, "{name}: {value}\r\n")?;
+    }
+    write!(writer, "\r\n{body}")?;
+    writer.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &[u8]) -> Result<Option<Request>, HttpError> {
+        read_request(&mut BufReader::new(raw))
+    }
+
+    #[test]
+    fn parses_get() {
+        let r = parse(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n").unwrap().unwrap();
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path, "/healthz");
+        assert_eq!(r.header("host"), Some("x"));
+        assert!(r.body.is_empty());
+        assert!(r.keep_alive());
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let r =
+            parse(b"POST /v1/predict HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcd").unwrap().unwrap();
+        assert_eq!(r.body, b"abcd");
+    }
+
+    #[test]
+    fn connection_close_honored() {
+        let r = parse(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap().unwrap();
+        assert!(!r.keep_alive());
+    }
+
+    #[test]
+    fn clean_eof_is_none() {
+        assert!(parse(b"").unwrap().is_none());
+    }
+
+    #[test]
+    fn rejects_malformed_request_line() {
+        assert!(matches!(parse(b"NONSENSE\r\n\r\n"), Err(HttpError::Bad(400, _))));
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        assert!(matches!(parse(b"GET / HTTP/2.0\r\n\r\n"), Err(HttpError::Bad(505, _))));
+    }
+
+    #[test]
+    fn rejects_bad_content_length() {
+        assert!(matches!(
+            parse(b"POST / HTTP/1.1\r\nContent-Length: many\r\n\r\n"),
+            Err(HttpError::Bad(400, _))
+        ));
+    }
+
+    #[test]
+    fn rejects_oversized_body_declaration() {
+        let raw = format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY_BYTES + 1);
+        assert!(matches!(parse(raw.as_bytes()), Err(HttpError::Bad(413, _))));
+    }
+
+    #[test]
+    fn rejects_oversized_head() {
+        let raw = format!("GET / HTTP/1.1\r\nx-pad: {}\r\n\r\n", "a".repeat(MAX_HEAD_BYTES));
+        assert!(matches!(parse(raw.as_bytes()), Err(HttpError::Bad(431, _))));
+    }
+
+    #[test]
+    fn rejects_chunked() {
+        assert!(matches!(
+            parse(b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
+            Err(HttpError::Bad(400, _))
+        ));
+    }
+
+    #[test]
+    fn truncated_body_is_io_error() {
+        assert!(matches!(
+            parse(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc"),
+            Err(HttpError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn writes_response() {
+        let mut out = Vec::new();
+        write_response(&mut out, 200, &[], "{\"ok\":true}", true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("content-length: 11\r\n"), "{text}");
+        assert!(text.contains("connection: keep-alive\r\n"), "{text}");
+        assert!(text.ends_with("{\"ok\":true}"), "{text}");
+    }
+}

@@ -1,0 +1,88 @@
+//! # `hdc-serve` — std-only HTTP inference server for HDC classifiers
+//!
+//! The compute layer (`hdc`) is built for packed batches, but queries from
+//! real clients arrive one at a time. This crate is the serving layer that
+//! bridges the two, with **zero dependencies beyond `std`** (matching the
+//! workspace's offline policy — no tokio, no hyper, no serde):
+//!
+//! * [`http`] — hand-rolled HTTP/1.1 framing on `std::net::TcpListener`:
+//!   an accept pool of OS threads, keep-alive connections, fixed head/body
+//!   size limits.
+//! * [`json`] — a strict, small JSON parser/renderer for the request and
+//!   response bodies.
+//! * [`batcher`] — **request coalescing**: concurrent in-flight predicts
+//!   queue into one [`hdc::HdcClassifier::predict_batch`] call
+//!   (configurable max batch size and linger, default 64 / 1 ms), so
+//!   throughput under load rides the packed batch path instead of N
+//!   scalar scans.
+//! * [`registry`] — named models loaded via `hdc::io`, hot-reloadable
+//!   while serving, packed mirrors pre-warmed on load.
+//! * [`metrics`] — lock-free request counters, a batch-size histogram
+//!   (the observable proof that coalescing happens) and p50/p99 latency
+//!   from fixed power-of-two buckets.
+//! * [`loadgen`] — a self-driving load generator that measures coalesced
+//!   vs batch-size-1 throughput and emits `BENCH_serve.json` for CI.
+//!
+//! ## Quickstart
+//!
+//! Train a model and serve it (the `serve` subcommand lives in
+//! `hdtest-cli`):
+//!
+//! ```text
+//! hdtest-cli gen-data --out data --train 50 --test 10
+//! hdtest-cli train --images data/train-images.idx --labels data/train-labels.idx \
+//!     --out model.hdc --dim 10000
+//! hdtest-cli serve --model model.hdc --addr 127.0.0.1:8080
+//! ```
+//!
+//! Then, from another shell:
+//!
+//! ```text
+//! curl http://127.0.0.1:8080/healthz
+//! curl http://127.0.0.1:8080/v1/models
+//! curl -X POST http://127.0.0.1:8080/v1/predict \
+//!     -d "{\"model\":\"default\",\"input\":[0,0,0, ... 784 pixel values ...]}"
+//! curl http://127.0.0.1:8080/metrics        # batch-size histogram, p50/p99
+//! curl -X POST http://127.0.0.1:8080/v1/reload \
+//!     -d '{"model":"default","path":"model.hdc"}'   # hot reload
+//! ```
+//!
+//! ## Embedding
+//!
+//! ```
+//! use hdc_serve::batcher::BatchConfig;
+//! use hdc_serve::metrics::Metrics;
+//! use hdc_serve::registry::Registry;
+//! use hdc_serve::server::{Server, ServerConfig};
+//! use hdc_serve::loadgen::synthetic_model;
+//! use std::sync::Arc;
+//!
+//! let metrics = Arc::new(Metrics::new());
+//! let registry = Arc::new(Registry::new(Arc::clone(&metrics), BatchConfig::default()));
+//! registry.insert_model("default", synthetic_model(1_024, 4))?;
+//! let mut server = Server::start(registry, &ServerConfig::default())?;
+//! let addr = server.addr(); // ephemeral port; POST /v1/predict here
+//! server.shutdown();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod batcher;
+pub mod client;
+pub mod error;
+pub mod http;
+pub mod json;
+pub mod loadgen;
+pub mod metrics;
+pub mod registry;
+pub mod server;
+
+pub use batcher::{BatchConfig, Batcher};
+pub use client::{Client, Response};
+pub use error::ServeError;
+pub use json::Json;
+pub use metrics::Metrics;
+pub use registry::{ModelEntry, ModelInfo, Registry};
+pub use server::{Server, ServerConfig};

@@ -1,0 +1,237 @@
+//! Self-driving load generator: hammers an in-process server over real
+//! sockets and reports req/s for a coalescing configuration vs the
+//! batch-size-1 baseline.
+//!
+//! Two identically trained servers are started (one per [`BatchConfig`]);
+//! each is loaded by `clients` threads holding persistent keep-alive
+//! connections and firing single-input predicts back to back. The report
+//! feeds `BENCH_serve.json` (same schema as `BENCH_kernels.json`, gated by
+//! `scripts/check_bench_json.py`): coalesced throughput must stay at least
+//! at parity with batch-size-1, and the mean executed batch size must
+//! prove that coalescing actually happened.
+
+use crate::batcher::BatchConfig;
+use crate::client::Client;
+use crate::metrics::Metrics;
+use crate::registry::Registry;
+use crate::server::{Server, ServerConfig};
+use hdc::memory::ValueEncoding;
+use hdc::prelude::*;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Load-run parameters.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Concurrent client threads (each with its own connection).
+    pub clients: usize,
+    /// Requests each client sends per measured configuration.
+    pub requests_per_client: usize,
+    /// Hypervector dimension of the generated model.
+    pub dim: usize,
+    /// Square image edge length (input size is `edge²`).
+    pub edge: usize,
+    /// Coalescing configuration under test.
+    pub coalesce: BatchConfig,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        Self {
+            clients: 8,
+            requests_per_client: 500,
+            dim: 4_096,
+            edge: 8,
+            // Greedy drain (no linger): with closed-loop clients batching
+            // emerges from queue build-up alone, so the coalesced side
+            // pays zero waiting tax. Lingers only help open-loop traffic.
+            coalesce: BatchConfig { max_batch: 64, max_linger: Duration::ZERO },
+        }
+    }
+}
+
+impl LoadgenConfig {
+    /// The CI smoke variant: small enough to finish in seconds anywhere.
+    pub fn quick() -> Self {
+        Self { requests_per_client: 100, dim: 2_048, ..Self::default() }
+    }
+}
+
+/// Results of one two-sided load run.
+#[derive(Debug, Clone)]
+pub struct LoadgenReport {
+    /// Requests/second with coalescing enabled.
+    pub coalesced_rps: f64,
+    /// Requests/second with the batch-size-1 baseline.
+    pub single_rps: f64,
+    /// Mean executed batch size in the coalescing run.
+    pub coalesced_mean_batch: f64,
+    /// p99 latency (µs) in the coalescing run.
+    pub coalesced_p99_us: u64,
+    /// p99 latency (µs) in the batch-size-1 run.
+    pub single_p99_us: u64,
+    /// Total requests sent per side.
+    pub requests: usize,
+    /// The configuration measured.
+    pub config: LoadgenConfig,
+}
+
+impl LoadgenReport {
+    /// Coalesced over single throughput (>1 means coalescing won).
+    pub fn speedup(&self) -> f64 {
+        self.coalesced_rps / self.single_rps
+    }
+
+    /// Renders the `BENCH_serve.json` document. `scalar_ns` is ns/request
+    /// for batch-size-1, `packed_ns` ns/request coalesced, matching the
+    /// schema of `BENCH_kernels.json` so `scripts/check_bench_json.py`
+    /// gates both. The synthetic `serve_coalescing` row encodes the mean
+    /// executed batch size as its "speedup" so the gate can assert
+    /// coalescing occurred (floor > 1).
+    pub fn to_bench_json(&self, quick: bool) -> String {
+        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let single_ns = 1e9 / self.single_rps;
+        let coalesced_ns = 1e9 / self.coalesced_rps;
+        format!(
+            "{{\n  \"suite\": \"serve\",\n  \"dim\": {},\n  \"quick\": {},\n  \"cores\": \
+             {cores},\n  \"ops\": {{\n    \"serve_predict\": {{\"scalar_ns\": {:.1}, \
+             \"packed_ns\": {:.1}, \"speedup\": {:.2}, \"note\": \"req latency budget, {} \
+             clients, single={:.0} rps vs coalesced={:.0} rps, p99 {}us vs {}us\"}},\n    \
+             \"serve_coalescing\": {{\"scalar_ns\": 1.0, \"packed_ns\": {:.4}, \"speedup\": \
+             {:.2}, \"note\": \"mean executed batch size under concurrent load (1.0 = no \
+             coalescing)\"}}\n  }}\n}}\n",
+            self.config.dim,
+            quick,
+            single_ns,
+            coalesced_ns,
+            self.speedup(),
+            self.config.clients,
+            self.single_rps,
+            self.coalesced_rps,
+            self.single_p99_us,
+            self.coalesced_p99_us,
+            1.0 / self.coalesced_mean_batch.max(1e-9),
+            self.coalesced_mean_batch,
+        )
+    }
+}
+
+/// Trains the synthetic model every load run serves: `classes` bar
+/// patterns on an `edge × edge` canvas, one-shot bundled at `dim`.
+pub fn synthetic_model(dim: usize, edge: usize) -> HdcClassifier<PixelEncoder> {
+    let encoder = PixelEncoder::new(PixelEncoderConfig {
+        dim,
+        width: edge,
+        height: edge,
+        levels: 16,
+        value_encoding: ValueEncoding::Random,
+        seed: 41,
+    })
+    .expect("valid loadgen encoder config");
+    let classes = edge.min(4);
+    let mut model = HdcClassifier::new(encoder, classes);
+    for class in 0..classes {
+        // A horizontal bar per class, plus a shifted variant for bulk.
+        for shift in 0..2usize {
+            let mut img = vec![0u8; edge * edge];
+            let row = (class * edge / classes + shift) % edge;
+            for x in 0..edge {
+                img[row * edge + x] = 224;
+            }
+            model.train_one(&img[..], class).expect("train synthetic example");
+        }
+    }
+    model.finalize();
+    model
+}
+
+/// Runs one measured side: starts a server with `batch`, saturates it, and
+/// returns `(requests/second, mean batch size, p99 µs)`.
+fn run_side(config: &LoadgenConfig, batch: BatchConfig) -> (f64, f64, u64) {
+    let metrics = Arc::new(Metrics::new());
+    let registry = Arc::new(Registry::new(Arc::clone(&metrics), batch));
+    registry
+        .insert_model("default", synthetic_model(config.dim, config.edge))
+        .expect("register loadgen model");
+    let server_config = ServerConfig { workers: config.clients + 2, ..ServerConfig::default() };
+    let mut server = Server::start(registry, &server_config).expect("start loadgen server");
+    let addr = server.addr();
+
+    let edge = config.edge;
+    let per_client = config.requests_per_client;
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for client_id in 0..config.clients {
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect loadgen client");
+                let mut img = vec![0u8; edge * edge];
+                for i in 0..per_client {
+                    // Vary the image so encode work is realistic, not
+                    // memoizable.
+                    let row = (client_id + i) % edge;
+                    img.fill(0);
+                    for x in 0..edge {
+                        img[row * edge + x] = 224;
+                    }
+                    let body = Client::predict_body("default", &img);
+                    let response =
+                        client.post("/v1/predict", &body).expect("loadgen predict request");
+                    assert!(
+                        response.is_success(),
+                        "predict failed: {} {}",
+                        response.status,
+                        String::from_utf8_lossy(&response.body)
+                    );
+                }
+            });
+        }
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+    let total = (config.clients * per_client) as f64;
+    server.shutdown();
+    (total / elapsed, metrics.mean_batch_size(), metrics.latency_quantile_us(0.99))
+}
+
+/// Runs both sides and assembles the report.
+pub fn run(config: &LoadgenConfig) -> LoadgenReport {
+    let (single_rps, single_mean, single_p99) = run_side(config, BatchConfig::batch_size_1());
+    assert!(single_mean <= 1.0 + 1e-9, "baseline must not coalesce");
+    let (coalesced_rps, coalesced_mean, coalesced_p99) = run_side(config, config.coalesce);
+    LoadgenReport {
+        coalesced_rps,
+        single_rps,
+        coalesced_mean_batch: coalesced_mean,
+        coalesced_p99_us: coalesced_p99,
+        single_p99_us: single_p99,
+        requests: config.clients * config.requests_per_client,
+        config: config.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_coalesces_and_keeps_parity() {
+        let config = LoadgenConfig {
+            clients: 4,
+            requests_per_client: 40,
+            dim: 1_024,
+            edge: 4,
+            coalesce: BatchConfig { max_batch: 32, max_linger: Duration::from_millis(1) },
+        };
+        let report = run(&config);
+        assert_eq!(report.requests, 160);
+        assert!(report.single_rps > 0.0 && report.coalesced_rps > 0.0);
+        assert!(
+            report.coalesced_mean_batch > 1.0,
+            "coalescing run must batch, mean {}",
+            report.coalesced_mean_batch
+        );
+        let json = report.to_bench_json(true);
+        assert!(json.contains("\"suite\": \"serve\""), "{json}");
+        assert!(json.contains("serve_predict"), "{json}");
+        assert!(json.contains("serve_coalescing"), "{json}");
+    }
+}

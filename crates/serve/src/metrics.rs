@@ -1,0 +1,285 @@
+//! Live server metrics: lock-free counters and fixed-bucket histograms.
+//!
+//! Everything is `AtomicU64` with relaxed ordering — the counters are
+//! statistical, not synchronization points — so the hot path pays a few
+//! uncontended atomic adds per request. Quantiles (p50/p99) come from
+//! fixed power-of-two latency buckets: no allocation, no locks, bounded
+//! error of at most one bucket width, which is plenty for a load report.
+
+use crate::json::Json;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::time::Duration;
+
+/// Number of power-of-two latency buckets: bucket `i` holds samples with
+/// `us < 2^(i+1)`, the last bucket is open-ended (≥ ~8.4 s).
+const LATENCY_BUCKETS: usize = 24;
+
+/// Number of batch-size buckets: sizes `1..=MAX-1` exactly, the last
+/// bucket collects everything larger.
+const BATCH_BUCKETS: usize = 65;
+
+/// Shared, append-only server statistics.
+#[derive(Debug)]
+pub struct Metrics {
+    /// Requests accepted off the wire (any route, any outcome).
+    requests_total: AtomicU64,
+    /// Responses by status class.
+    responses_2xx: AtomicU64,
+    responses_4xx: AtomicU64,
+    responses_5xx: AtomicU64,
+    /// Predict requests and the individual inputs they carried.
+    predict_requests: AtomicU64,
+    predict_inputs: AtomicU64,
+    /// Coalesced batch sizes actually executed by the batchers.
+    batch_count: AtomicU64,
+    batch_inputs: AtomicU64,
+    batch_max: AtomicU64,
+    batch_hist: [AtomicU64; BATCH_BUCKETS],
+    /// End-to-end predict latency (request handler enter → reply ready).
+    latency_count: AtomicU64,
+    latency_sum_us: AtomicU64,
+    latency_hist: [AtomicU64; LATENCY_BUCKETS],
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Metrics {
+    /// Fresh all-zero metrics.
+    pub fn new() -> Self {
+        Self {
+            requests_total: AtomicU64::new(0),
+            responses_2xx: AtomicU64::new(0),
+            responses_4xx: AtomicU64::new(0),
+            responses_5xx: AtomicU64::new(0),
+            predict_requests: AtomicU64::new(0),
+            predict_inputs: AtomicU64::new(0),
+            batch_count: AtomicU64::new(0),
+            batch_inputs: AtomicU64::new(0),
+            batch_max: AtomicU64::new(0),
+            batch_hist: std::array::from_fn(|_| AtomicU64::new(0)),
+            latency_count: AtomicU64::new(0),
+            latency_sum_us: AtomicU64::new(0),
+            latency_hist: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Counts one accepted request.
+    pub fn on_request(&self) {
+        self.requests_total.fetch_add(1, Relaxed);
+    }
+
+    /// Counts one response by status class.
+    pub fn on_response(&self, status: u16) {
+        let counter = match status {
+            200..=299 => &self.responses_2xx,
+            400..=499 => &self.responses_4xx,
+            _ => &self.responses_5xx,
+        };
+        counter.fetch_add(1, Relaxed);
+    }
+
+    /// Counts one predict request carrying `inputs` individual inputs.
+    pub fn on_predict(&self, inputs: usize) {
+        self.predict_requests.fetch_add(1, Relaxed);
+        self.predict_inputs.fetch_add(inputs as u64, Relaxed);
+    }
+
+    /// Records one coalesced batch execution of `size` queries.
+    pub fn on_batch(&self, size: usize) {
+        self.batch_count.fetch_add(1, Relaxed);
+        self.batch_inputs.fetch_add(size as u64, Relaxed);
+        self.batch_max.fetch_max(size as u64, Relaxed);
+        let bucket = (size.max(1) - 1).min(BATCH_BUCKETS - 1);
+        self.batch_hist[bucket].fetch_add(1, Relaxed);
+    }
+
+    /// Records one end-to-end predict latency sample.
+    pub fn on_latency(&self, elapsed: Duration) {
+        let us = elapsed.as_micros().min(u128::from(u64::MAX)) as u64;
+        self.latency_count.fetch_add(1, Relaxed);
+        self.latency_sum_us.fetch_add(us, Relaxed);
+        // Bucket i covers us < 2^(i+1): 64 - leading_zeros(us|1) - 1 bits.
+        let bucket = (64 - (us | 1).leading_zeros() as usize - 1).min(LATENCY_BUCKETS - 1);
+        self.latency_hist[bucket].fetch_add(1, Relaxed);
+    }
+
+    /// Mean executed batch size (0 when nothing ran yet).
+    pub fn mean_batch_size(&self) -> f64 {
+        let count = self.batch_count.load(Relaxed);
+        if count == 0 {
+            return 0.0;
+        }
+        self.batch_inputs.load(Relaxed) as f64 / count as f64
+    }
+
+    /// The `q`-quantile latency in microseconds, as the upper bound of the
+    /// bucket the quantile falls in (0 with no samples).
+    pub fn latency_quantile_us(&self, q: f64) -> u64 {
+        let total = self.latency_count.load(Relaxed);
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((total as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, bucket) in self.latency_hist.iter().enumerate() {
+            seen += bucket.load(Relaxed);
+            if seen >= rank {
+                return 1u64 << (i + 1);
+            }
+        }
+        1u64 << LATENCY_BUCKETS
+    }
+
+    /// Total requests seen so far.
+    pub fn requests_total(&self) -> u64 {
+        self.requests_total.load(Relaxed)
+    }
+
+    /// Renders the full snapshot as the `/metrics` JSON document.
+    pub fn render(&self) -> Json {
+        let batch_hist: Vec<Json> = self
+            .batch_hist
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.load(Relaxed) > 0)
+            .map(|(i, c)| {
+                let label = if i == BATCH_BUCKETS - 1 {
+                    format!("{}+", i + 1)
+                } else {
+                    (i + 1).to_string()
+                };
+                Json::obj([("size", Json::from(label)), ("count", Json::from(c.load(Relaxed)))])
+            })
+            .collect();
+        let latency_hist: Vec<Json> = self
+            .latency_hist
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.load(Relaxed) > 0)
+            .map(|(i, c)| {
+                Json::obj([
+                    ("le_us", Json::from(1u64 << (i + 1))),
+                    ("count", Json::from(c.load(Relaxed))),
+                ])
+            })
+            .collect();
+        let latency_count = self.latency_count.load(Relaxed);
+        let mean_latency = if latency_count == 0 {
+            0.0
+        } else {
+            self.latency_sum_us.load(Relaxed) as f64 / latency_count as f64
+        };
+        Json::obj([
+            ("requests_total", Json::from(self.requests_total.load(Relaxed))),
+            (
+                "responses",
+                Json::obj([
+                    ("2xx", Json::from(self.responses_2xx.load(Relaxed))),
+                    ("4xx", Json::from(self.responses_4xx.load(Relaxed))),
+                    ("5xx", Json::from(self.responses_5xx.load(Relaxed))),
+                ]),
+            ),
+            (
+                "predict",
+                Json::obj([
+                    ("requests", Json::from(self.predict_requests.load(Relaxed))),
+                    ("inputs", Json::from(self.predict_inputs.load(Relaxed))),
+                ]),
+            ),
+            (
+                "batches",
+                Json::obj([
+                    ("count", Json::from(self.batch_count.load(Relaxed))),
+                    ("inputs", Json::from(self.batch_inputs.load(Relaxed))),
+                    ("mean_size", Json::from(self.mean_batch_size())),
+                    ("max_size", Json::from(self.batch_max.load(Relaxed))),
+                    ("hist", Json::Arr(batch_hist)),
+                ]),
+            ),
+            (
+                "latency_us",
+                Json::obj([
+                    ("count", Json::from(latency_count)),
+                    ("mean", Json::from(mean_latency)),
+                    ("p50", Json::from(self.latency_quantile_us(0.50))),
+                    ("p99", Json::from(self.latency_quantile_us(0.99))),
+                    ("hist", Json::Arr(latency_hist)),
+                ]),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_classes() {
+        let m = Metrics::new();
+        m.on_request();
+        m.on_request();
+        m.on_response(200);
+        m.on_response(404);
+        m.on_response(500);
+        assert_eq!(m.requests_total(), 2);
+        let snap = m.render();
+        assert_eq!(snap.get("responses").unwrap().get("2xx").unwrap().as_f64(), Some(1.0));
+        assert_eq!(snap.get("responses").unwrap().get("4xx").unwrap().as_f64(), Some(1.0));
+        assert_eq!(snap.get("responses").unwrap().get("5xx").unwrap().as_f64(), Some(1.0));
+    }
+
+    #[test]
+    fn batch_histogram_and_mean() {
+        let m = Metrics::new();
+        m.on_batch(1);
+        m.on_batch(4);
+        m.on_batch(4);
+        m.on_batch(7);
+        assert!((m.mean_batch_size() - 4.0).abs() < 1e-12);
+        let snap = m.render();
+        let batches = snap.get("batches").unwrap();
+        assert_eq!(batches.get("max_size").unwrap().as_f64(), Some(7.0));
+        let hist = batches.get("hist").unwrap().as_array().unwrap();
+        let four = hist
+            .iter()
+            .find(|b| b.get("size").unwrap().as_str() == Some("4"))
+            .expect("bucket for size 4");
+        assert_eq!(four.get("count").unwrap().as_f64(), Some(2.0));
+    }
+
+    #[test]
+    fn oversized_batches_fold_into_last_bucket() {
+        let m = Metrics::new();
+        m.on_batch(500);
+        let snap = m.render();
+        let hist = snap.get("batches").unwrap().get("hist").unwrap().as_array().unwrap();
+        assert_eq!(hist.len(), 1);
+        assert_eq!(hist[0].get("size").unwrap().as_str(), Some("65+"));
+    }
+
+    #[test]
+    fn latency_quantiles_from_buckets() {
+        let m = Metrics::new();
+        for _ in 0..99 {
+            m.on_latency(Duration::from_micros(100)); // bucket < 128
+        }
+        m.on_latency(Duration::from_micros(5_000)); // bucket < 8192
+        assert_eq!(m.latency_quantile_us(0.50), 128);
+        assert_eq!(m.latency_quantile_us(0.99), 128);
+        assert_eq!(m.latency_quantile_us(1.0), 8192);
+    }
+
+    #[test]
+    fn empty_metrics_render() {
+        let m = Metrics::new();
+        assert_eq!(m.latency_quantile_us(0.99), 0);
+        assert_eq!(m.mean_batch_size(), 0.0);
+        let rendered = m.render().render();
+        assert!(rendered.contains("\"requests_total\":0"), "{rendered}");
+    }
+}

@@ -1,0 +1,324 @@
+//! The model registry: named models behind one process.
+//!
+//! Models load through [`hdc::io::load_pixel_classifier`], get their packed
+//! mirrors pre-warmed so the first request doesn't pay lazy-pack cost, and
+//! each gets its own coalescing [`Batcher`]. Reload is atomic per name:
+//! requests in flight keep the entry (and worker) they resolved, new
+//! requests see the new model, and a failed reload leaves the old model
+//! serving untouched.
+
+use crate::batcher::{BatchConfig, Batcher};
+use crate::error::ServeError;
+use crate::json::Json;
+use crate::metrics::Metrics;
+use hdc::io::load_pixel_classifier;
+use hdc::prelude::*;
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::BufReader;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, RwLock};
+
+/// Static facts about one registered model, for `/v1/models`.
+#[derive(Debug, Clone)]
+pub struct ModelInfo {
+    /// Registry name.
+    pub name: String,
+    /// Hypervector dimension.
+    pub dim: usize,
+    /// Number of classes.
+    pub classes: usize,
+    /// Expected input width in pixels.
+    pub width: usize,
+    /// Expected input height in pixels.
+    pub height: usize,
+    /// Monotonic per-name reload generation (1 on the first load of this
+    /// name, +1 on every successful reload of it).
+    pub generation: u64,
+    /// Source path, when file-loaded.
+    pub path: Option<PathBuf>,
+}
+
+impl ModelInfo {
+    /// Renders for the `/v1/models` listing.
+    pub fn render(&self) -> Json {
+        Json::obj([
+            ("name", Json::from(self.name.as_str())),
+            ("dim", Json::from(self.dim)),
+            ("classes", Json::from(self.classes)),
+            ("width", Json::from(self.width)),
+            ("height", Json::from(self.height)),
+            ("generation", Json::from(self.generation)),
+            (
+                "path",
+                self.path
+                    .as_ref()
+                    .map(|p| Json::from(p.display().to_string()))
+                    .unwrap_or(Json::Null),
+            ),
+        ])
+    }
+}
+
+/// One live model: the classifier, its coalescer, and its metadata.
+#[derive(Debug)]
+pub struct ModelEntry {
+    model: Arc<HdcClassifier<PixelEncoder>>,
+    batcher: Batcher,
+    info: ModelInfo,
+}
+
+impl ModelEntry {
+    /// The classifier itself (for direct batch calls).
+    pub fn model(&self) -> &HdcClassifier<PixelEncoder> {
+        &self.model
+    }
+
+    /// The coalescing queue for single-input predicts.
+    pub fn batcher(&self) -> &Batcher {
+        &self.batcher
+    }
+
+    /// Model metadata.
+    pub fn info(&self) -> &ModelInfo {
+        &self.info
+    }
+}
+
+/// Named models behind one process.
+#[derive(Debug)]
+pub struct Registry {
+    models: RwLock<BTreeMap<String, Arc<ModelEntry>>>,
+    metrics: Arc<Metrics>,
+    batch_config: BatchConfig,
+}
+
+impl Registry {
+    /// An empty registry whose batchers will use `batch_config` and record
+    /// into `metrics`.
+    pub fn new(metrics: Arc<Metrics>, batch_config: BatchConfig) -> Self {
+        Self { models: RwLock::new(BTreeMap::new()), metrics, batch_config }
+    }
+
+    /// The shared metrics sink.
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.metrics
+    }
+
+    fn install(
+        &self,
+        name: &str,
+        model: HdcClassifier<PixelEncoder>,
+        path: Option<PathBuf>,
+    ) -> Result<ModelInfo, ServeError> {
+        if !model.is_finalized() {
+            return Err(ServeError::Internal(format!("model '{name}' is not finalized")));
+        }
+        // Pre-warm packed mirrors (class references and item memories) so
+        // concurrent first requests don't race to build them lazily.
+        model.associative_memory().warm_packed();
+        model.encoder().warm_up();
+        let config = model.encoder().config();
+        let mut info = ModelInfo {
+            name: name.to_owned(),
+            dim: config.dim,
+            classes: model.num_classes(),
+            width: config.width,
+            height: config.height,
+            generation: 0, // assigned under the write lock below
+            path,
+        };
+        let model = Arc::new(model);
+        let batcher =
+            Batcher::start(Arc::clone(&model), Arc::clone(&self.metrics), self.batch_config);
+        // Generation is read and bumped under the same write lock as the
+        // insert, so concurrent reloads of one name serialize and the
+        // visible generation is strictly increasing per name.
+        let mut models = self.models.write().expect("registry lock");
+        info.generation = models.get(name).map_or(1, |old| old.info.generation + 1);
+        let entry = Arc::new(ModelEntry { model, batcher, info: info.clone() });
+        models.insert(name.to_owned(), entry);
+        Ok(info)
+    }
+
+    /// Registers an in-memory model (tests, load generator).
+    ///
+    /// # Errors
+    ///
+    /// Rejects unfinalized models.
+    pub fn insert_model(
+        &self,
+        name: &str,
+        model: HdcClassifier<PixelEncoder>,
+    ) -> Result<ModelInfo, ServeError> {
+        self.install(name, model, None)
+    }
+
+    /// Loads (or hot-reloads) `name` from a model file. On any failure the
+    /// previously registered model, if one exists, keeps serving.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadRequest`] for unreadable, truncated or corrupt
+    /// model files.
+    pub fn load(&self, name: &str, path: &Path) -> Result<ModelInfo, ServeError> {
+        let file = File::open(path).map_err(|e| {
+            ServeError::BadRequest(format!("cannot open model file {}: {e}", path.display()))
+        })?;
+        let model = load_pixel_classifier(BufReader::new(file)).map_err(|e| {
+            ServeError::BadRequest(format!("cannot load model from {}: {e}", path.display()))
+        })?;
+        self.install(name, model, Some(path.to_owned()))
+    }
+
+    /// Drops `name`; in-flight requests holding the entry finish normally.
+    pub fn remove(&self, name: &str) -> bool {
+        self.models.write().expect("registry lock").remove(name).is_some()
+    }
+
+    /// Resolves a model by name.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::NotFound`] listing the registered names.
+    pub fn get(&self, name: &str) -> Result<Arc<ModelEntry>, ServeError> {
+        let models = self.models.read().expect("registry lock");
+        models.get(name).cloned().ok_or_else(|| {
+            let known: Vec<&str> = models.keys().map(String::as_str).collect();
+            ServeError::NotFound(format!(
+                "unknown model '{name}'; registered: [{}]",
+                known.join(", ")
+            ))
+        })
+    }
+
+    /// Metadata for every registered model, in name order.
+    pub fn list(&self) -> Vec<ModelInfo> {
+        self.models.read().expect("registry lock").values().map(|e| e.info.clone()).collect()
+    }
+
+    /// Number of registered models.
+    pub fn len(&self) -> usize {
+        self.models.read().expect("registry lock").len()
+    }
+
+    /// Whether no models are registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdc::io::save_pixel_classifier;
+    use hdc::memory::ValueEncoding;
+
+    fn trained(seed: u64) -> HdcClassifier<PixelEncoder> {
+        let encoder = PixelEncoder::new(PixelEncoderConfig {
+            dim: 512,
+            width: 4,
+            height: 4,
+            levels: 8,
+            value_encoding: ValueEncoding::Random,
+            seed,
+        })
+        .unwrap();
+        let mut model = HdcClassifier::new(encoder, 2);
+        model.train_one(&[0u8; 16][..], 0).unwrap();
+        model.train_one(&[224u8; 16][..], 1).unwrap();
+        model.finalize();
+        model
+    }
+
+    fn registry() -> Registry {
+        Registry::new(Arc::new(Metrics::new()), BatchConfig::default())
+    }
+
+    #[test]
+    fn insert_get_list() {
+        let r = registry();
+        assert!(r.is_empty());
+        let info = r.insert_model("default", trained(5)).unwrap();
+        assert_eq!(info.generation, 1);
+        assert_eq!(info.dim, 512);
+        assert_eq!((info.width, info.height, info.classes), (4, 4, 2));
+        let entry = r.get("default").unwrap();
+        assert_eq!(entry.info().name, "default");
+        assert_eq!(r.list().len(), 1);
+        assert!(matches!(r.get("nope"), Err(ServeError::NotFound(_))));
+    }
+
+    #[test]
+    fn unfinalized_model_rejected() {
+        let r = registry();
+        let encoder = PixelEncoder::new(PixelEncoderConfig {
+            dim: 256,
+            width: 4,
+            height: 4,
+            levels: 8,
+            value_encoding: ValueEncoding::Random,
+            seed: 1,
+        })
+        .unwrap();
+        let model = HdcClassifier::new(encoder, 2);
+        assert!(r.insert_model("raw", model).is_err());
+    }
+
+    #[test]
+    fn file_load_and_hot_reload() {
+        let dir = std::env::temp_dir().join(format!("hdc-serve-reg-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.hdc");
+
+        let model = trained(5);
+        save_pixel_classifier(&model, std::io::BufWriter::new(File::create(&path).unwrap()))
+            .unwrap();
+
+        let r = registry();
+        let info = r.load("default", &path).unwrap();
+        assert_eq!(info.generation, 1);
+        let first = r.get("default").unwrap();
+
+        // Hot reload bumps the generation; the old Arc keeps working.
+        let info2 = r.load("default", &path).unwrap();
+        assert_eq!(info2.generation, 2);
+        assert_eq!(r.get("default").unwrap().info().generation, 2);
+        assert!(first.model().predict(&[0u8; 16][..]).is_ok());
+
+        // A failed reload leaves the current model serving.
+        std::fs::write(&path, b"HDC1 garbage").unwrap();
+        assert!(matches!(r.load("default", &path), Err(ServeError::BadRequest(_))));
+        assert_eq!(r.get("default").unwrap().info().generation, 2);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_file_is_bad_request() {
+        let r = registry();
+        let err = r.load("x", Path::new("/nonexistent/model.hdc")).unwrap_err();
+        assert_eq!(err.status(), 400);
+    }
+
+    #[test]
+    fn generations_are_per_name() {
+        let r = registry();
+        assert_eq!(r.insert_model("a", trained(5)).unwrap().generation, 1);
+        assert_eq!(r.insert_model("b", trained(6)).unwrap().generation, 1);
+        assert_eq!(r.insert_model("a", trained(7)).unwrap().generation, 2);
+        assert_eq!(r.get("b").unwrap().info().generation, 1);
+        // Removing and re-adding restarts the lineage.
+        r.remove("a");
+        assert_eq!(r.insert_model("a", trained(8)).unwrap().generation, 1);
+    }
+
+    #[test]
+    fn remove_unregisters() {
+        let r = registry();
+        r.insert_model("a", trained(5)).unwrap();
+        assert!(r.remove("a"));
+        assert!(!r.remove("a"));
+        assert!(r.get("a").is_err());
+    }
+}

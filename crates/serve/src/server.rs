@@ -1,0 +1,495 @@
+//! The HTTP server: accept pool, routing, request handlers.
+//!
+//! A fixed pool of accept threads shares one `TcpListener`; each thread
+//! owns the connections it accepts and serves them with keep-alive until
+//! the peer closes (so the pool size bounds concurrent connections, not
+//! requests). Handlers never panic outward: every failure becomes a JSON
+//! error response with the right status, and only transport errors drop a
+//! connection.
+
+use crate::error::ServeError;
+use crate::http::{self, HttpError, Request};
+use crate::json::{self, Json};
+use crate::registry::Registry;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How long a connection thread blocks in one socket read before
+/// re-checking the stop flag; bounds shutdown latency per idle
+/// connection. Also the ceiling on mid-request network stalls (a peer
+/// that pauses longer mid-request is treated as dead).
+const READ_POLL: Duration = Duration::from_millis(500);
+
+/// Server construction parameters. Coalescing parameters live on the
+/// [`Registry`] (each model's batcher is created at load time), not here.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address, e.g. `127.0.0.1:8080` (`:0` for an ephemeral port).
+    pub addr: String,
+    /// Accept-pool size = maximum concurrently served connections.
+    pub workers: usize,
+    /// How long an idle keep-alive connection is held open before the
+    /// server closes it.
+    pub keep_alive_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 8,
+            keep_alive_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// A running server; dropping it (or calling [`shutdown`](Self::shutdown))
+/// stops the accept pool.
+pub struct Server {
+    addr: SocketAddr,
+    registry: Arc<Registry>,
+    stop: Arc<AtomicBool>,
+    accepters: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds and starts serving `registry` in background threads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn start(registry: Arc<Registry>, config: &ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let workers = config.workers.max(1);
+        let mut accepters = Vec::with_capacity(workers);
+        let listener = Arc::new(listener);
+        for i in 0..workers {
+            let listener = Arc::clone(&listener);
+            let registry = Arc::clone(&registry);
+            let stop = Arc::clone(&stop);
+            let keep_alive_timeout = config.keep_alive_timeout;
+            accepters.push(
+                std::thread::Builder::new()
+                    .name(format!("hdc-serve-accept-{i}"))
+                    .spawn(move || {
+                        while !stop.load(Ordering::Acquire) {
+                            match listener.accept() {
+                                Ok((stream, _peer)) => {
+                                    if stop.load(Ordering::Acquire) {
+                                        return;
+                                    }
+                                    let _ = stream.set_read_timeout(Some(READ_POLL));
+                                    let _ = stream.set_nodelay(true);
+                                    serve_connection(stream, &registry, &stop, keep_alive_timeout);
+                                }
+                                Err(_) if stop.load(Ordering::Acquire) => return,
+                                Err(_) => continue,
+                            }
+                        }
+                    })
+                    .expect("spawn accept thread"),
+            );
+        }
+        Ok(Server { addr, registry, stop, accepters })
+    }
+
+    /// The bound address (useful with an ephemeral `:0` bind).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The registry this server fronts.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// Stops accepting and joins the pool. Idempotent.
+    pub fn shutdown(&mut self) {
+        if self.stop.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        // Unblock every accepter with throwaway connections.
+        for _ in 0..self.accepters.len() {
+            let _ = TcpStream::connect(self.addr);
+        }
+        for handle in self.accepters.drain(..) {
+            let _ = handle.join();
+        }
+    }
+
+    /// Blocks the calling thread while the server runs (the CLI's serve
+    /// loop). Returns when the accept pool exits.
+    pub fn join(&mut self) {
+        for handle in self.accepters.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Serves one keep-alive connection until the peer closes, the idle
+/// timeout expires, or the server shuts down. Between requests the thread
+/// polls `fill_buf` in [`READ_POLL`] slices so it observes `stop` promptly
+/// without losing buffered request bytes.
+fn serve_connection(
+    stream: TcpStream,
+    registry: &Registry,
+    stop: &AtomicBool,
+    keep_alive_timeout: Duration,
+) {
+    let Ok(write_half) = stream.try_clone() else { return };
+    let mut reader = BufReader::new(stream);
+    let mut writer = BufWriter::new(write_half);
+    let mut idle_since = Instant::now();
+    loop {
+        // Idle wait: block at most one poll slice for the next request's
+        // first byte, then re-check the stop flag and the idle budget.
+        match reader.fill_buf() {
+            Ok([]) => return, // clean EOF
+            Ok(_) => {}       // request bytes buffered, fall through
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if stop.load(Ordering::Acquire) || idle_since.elapsed() >= keep_alive_timeout {
+                    return;
+                }
+                continue;
+            }
+            Err(_) => return,
+        }
+        match http::read_request(&mut reader) {
+            Ok(None) => return, // clean close
+            Ok(Some(request)) => {
+                let keep_alive = request.keep_alive();
+                registry.metrics().on_request();
+                let (status, headers, body) = route(&request, registry);
+                registry.metrics().on_response(status);
+                if http::write_response(&mut writer, status, &headers, &body, keep_alive).is_err() {
+                    return;
+                }
+                if !keep_alive {
+                    let _ = writer.flush();
+                    return;
+                }
+                idle_since = Instant::now();
+            }
+            Err(HttpError::Bad(status, reason)) => {
+                // The request never parsed; answer and close (framing is
+                // unreliable past a malformed head).
+                registry.metrics().on_request();
+                registry.metrics().on_response(status);
+                let body = Json::obj([
+                    ("error", Json::from(reason)),
+                    ("status", Json::from(u64::from(status))),
+                ])
+                .render();
+                let _ = http::write_response(&mut writer, status, &[], &body, false);
+                return;
+            }
+            Err(HttpError::Io(_)) => return,
+        }
+    }
+}
+
+/// Dispatches one parsed request to its handler; the error arm turns any
+/// [`ServeError`] into its status, extra headers (`Allow` on 405) and
+/// JSON body.
+fn route(
+    request: &Request,
+    registry: &Registry,
+) -> (u16, Vec<(&'static str, &'static str)>, String) {
+    let result = match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => handle_healthz(registry),
+        ("GET", "/metrics") => Ok(registry.metrics().render()),
+        ("GET", "/v1/models") => handle_models(registry),
+        ("POST", "/v1/predict") => handle_predict(request, registry),
+        ("POST", "/v1/reload") => handle_reload(request, registry),
+        (_, "/healthz" | "/metrics" | "/v1/models") => Err(ServeError::MethodNotAllowed("GET")),
+        (_, "/v1/predict" | "/v1/reload") => Err(ServeError::MethodNotAllowed("POST")),
+        (_, path) => Err(ServeError::NotFound(format!("no route for '{path}'"))),
+    };
+    match result {
+        Ok(body) => (200, Vec::new(), body.render()),
+        Err(e) => {
+            let headers = match &e {
+                ServeError::MethodNotAllowed(allow) => vec![("allow", *allow)],
+                _ => Vec::new(),
+            };
+            (e.status(), headers, e.body().render())
+        }
+    }
+}
+
+fn handle_healthz(registry: &Registry) -> Result<Json, ServeError> {
+    Ok(Json::obj([("status", Json::from("ok")), ("models", Json::from(registry.len()))]))
+}
+
+fn handle_models(registry: &Registry) -> Result<Json, ServeError> {
+    let models: Vec<Json> = registry.list().iter().map(|info| info.render()).collect();
+    Ok(Json::obj([("models", Json::Arr(models))]))
+}
+
+/// Parses the request body as a JSON object.
+fn parse_body(request: &Request) -> Result<Json, ServeError> {
+    let doc = json::parse(&request.body).map_err(|e| ServeError::BadRequest(e.to_string()))?;
+    match doc {
+        Json::Obj(_) => Ok(doc),
+        other => {
+            Err(ServeError::BadRequest(format!("request body must be a JSON object, got {other}")))
+        }
+    }
+}
+
+/// Decodes one JSON array of pixel values into bytes, rejecting anything
+/// that is not an integer in `0..=255`.
+fn decode_input(value: &Json, what: &str) -> Result<Vec<u8>, ServeError> {
+    let items = value.as_array().ok_or_else(|| {
+        ServeError::BadRequest(format!("{what} must be an array of pixel values"))
+    })?;
+    items
+        .iter()
+        .enumerate()
+        .map(|(i, item)| {
+            let n = item
+                .as_f64()
+                .ok_or_else(|| ServeError::BadRequest(format!("{what}[{i}] is not a number")))?;
+            if n.trunc() != n || !(0.0..=255.0).contains(&n) {
+                return Err(ServeError::BadRequest(format!(
+                    "{what}[{i}] = {n} is not an integer in 0..=255"
+                )));
+            }
+            Ok(n as u8)
+        })
+        .collect()
+}
+
+fn render_prediction(p: &hdc::Prediction) -> Json {
+    Json::obj([
+        ("class", Json::from(p.class)),
+        ("similarity", Json::from(p.similarity)),
+        ("margin", Json::from(p.margin)),
+    ])
+}
+
+/// `POST /v1/predict` — body `{"model": name?, "input": [...]}` for one
+/// input (runs through the coalescer) or `{"inputs": [[...], ...]}` for an
+/// explicit batch (runs `predict_batch` directly).
+fn handle_predict(request: &Request, registry: &Registry) -> Result<Json, ServeError> {
+    let started = Instant::now();
+    let body = parse_body(request)?;
+    let model_name = match body.get("model") {
+        None => "default",
+        Some(v) => v
+            .as_str()
+            .ok_or_else(|| ServeError::BadRequest("field 'model' must be a string".into()))?,
+    };
+    let entry = registry.get(model_name)?;
+    let response = match (body.get("input"), body.get("inputs")) {
+        (Some(_), Some(_)) => {
+            return Err(ServeError::BadRequest(
+                "provide either 'input' or 'inputs', not both".into(),
+            ))
+        }
+        (Some(input), None) => {
+            registry.metrics().on_predict(1);
+            let pixels = decode_input(input, "input")?;
+            let prediction = entry.batcher().predict(pixels)?;
+            let mut obj = render_prediction(&prediction);
+            if let Json::Obj(map) = &mut obj {
+                map.insert("model".into(), Json::from(model_name));
+            }
+            obj
+        }
+        (None, Some(inputs)) => {
+            let arrays = inputs.as_array().ok_or_else(|| {
+                ServeError::BadRequest("field 'inputs' must be an array of arrays".into())
+            })?;
+            if arrays.is_empty() {
+                return Err(ServeError::BadRequest("'inputs' must not be empty".into()));
+            }
+            registry.metrics().on_predict(arrays.len());
+            let decoded: Vec<Vec<u8>> = arrays
+                .iter()
+                .enumerate()
+                .map(|(i, a)| decode_input(a, &format!("inputs[{i}]")))
+                .collect::<Result<_, _>>()?;
+            let refs: Vec<&[u8]> = decoded.iter().map(Vec::as_slice).collect();
+            // An explicit batch is already coalesced: skip the queue and
+            // do NOT record it in the batch histogram, which must reflect
+            // only what the coalescer actually executed.
+            let predictions = entry.model().predict_batch(&refs).map_err(ServeError::from)?;
+            Json::obj([
+                ("model", Json::from(model_name)),
+                ("results", Json::Arr(predictions.iter().map(render_prediction).collect())),
+            ])
+        }
+        (None, None) => {
+            return Err(ServeError::BadRequest(
+                "body must contain 'input' (one pixel array) or 'inputs' (array of them)".into(),
+            ))
+        }
+    };
+    registry.metrics().on_latency(started.elapsed());
+    Ok(response)
+}
+
+/// `POST /v1/reload` — body `{"model": name?, "path": "file.hdc"}`: load or
+/// hot-swap a model from disk. A failed load keeps the old model serving.
+fn handle_reload(request: &Request, registry: &Registry) -> Result<Json, ServeError> {
+    let body = parse_body(request)?;
+    let model_name = match body.get("model") {
+        None => "default",
+        Some(v) => v
+            .as_str()
+            .ok_or_else(|| ServeError::BadRequest("field 'model' must be a string".into()))?,
+    };
+    let path = body
+        .get("path")
+        .and_then(Json::as_str)
+        .ok_or_else(|| ServeError::BadRequest("field 'path' (string) is required".into()))?;
+    let info = registry.load(model_name, std::path::Path::new(path))?;
+    Ok(Json::obj([("reloaded", info.render())]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batcher::BatchConfig;
+    use crate::metrics::Metrics;
+    use hdc::memory::ValueEncoding;
+    use hdc::prelude::*;
+
+    fn registry_with_model() -> Arc<Registry> {
+        let registry = Registry::new(Arc::new(Metrics::new()), BatchConfig::default());
+        let encoder = PixelEncoder::new(PixelEncoderConfig {
+            dim: 512,
+            width: 4,
+            height: 4,
+            levels: 8,
+            value_encoding: ValueEncoding::Random,
+            seed: 5,
+        })
+        .unwrap();
+        let mut model = HdcClassifier::new(encoder, 2);
+        model.train_one(&[0u8; 16][..], 0).unwrap();
+        model.train_one(&[224u8; 16][..], 1).unwrap();
+        model.finalize();
+        registry.insert_model("default", model).unwrap();
+        Arc::new(registry)
+    }
+
+    fn post(path: &str, body: &str) -> Request {
+        Request {
+            method: "POST".into(),
+            path: path.into(),
+            headers: vec![],
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    fn get(path: &str) -> Request {
+        Request { method: "GET".into(), path: path.into(), headers: vec![], body: vec![] }
+    }
+
+    #[test]
+    fn healthz_and_models_and_metrics() {
+        let registry = registry_with_model();
+        let (status, _headers, body) = route(&get("/healthz"), &registry);
+        assert_eq!(status, 200);
+        assert!(body.contains("\"ok\""), "{body}");
+        let (status, _headers, body) = route(&get("/v1/models"), &registry);
+        assert_eq!(status, 200);
+        assert!(body.contains("\"default\""), "{body}");
+        let (status, _headers, _) = route(&get("/metrics"), &registry);
+        assert_eq!(status, 200);
+    }
+
+    #[test]
+    fn predict_single_and_batch() {
+        let registry = registry_with_model();
+        let input: Vec<String> = std::iter::repeat_n("224".to_owned(), 16).collect();
+        let body = format!("{{\"input\":[{}]}}", input.join(","));
+        let (status, _headers, response) = route(&post("/v1/predict", &body), &registry);
+        assert_eq!(status, 200, "{response}");
+        assert!(response.contains("\"class\":1"), "{response}");
+
+        let body = format!("{{\"inputs\":[[{}],[{}]]}}", input.join(","), vec!["0"; 16].join(","));
+        let (status, _headers, response) = route(&post("/v1/predict", &body), &registry);
+        assert_eq!(status, 200, "{response}");
+        assert!(response.contains("\"results\""), "{response}");
+    }
+
+    #[test]
+    fn malformed_json_is_400() {
+        let registry = registry_with_model();
+        for bad in ["{not json", "", "[1,2,3]", "{\"input\": \"x\"}", "{\"input\": [999]}"] {
+            let (status, _headers, body) = route(&post("/v1/predict", bad), &registry);
+            assert_eq!(status, 400, "body {bad:?} gave {body}");
+            assert!(body.contains("\"error\""), "{body}");
+        }
+    }
+
+    #[test]
+    fn wrong_input_length_is_400() {
+        let registry = registry_with_model();
+        let (status, _headers, body) =
+            route(&post("/v1/predict", "{\"input\":[1,2,3]}"), &registry);
+        assert_eq!(status, 400, "{body}");
+        assert!(body.contains("shape"), "{body}");
+    }
+
+    #[test]
+    fn unknown_model_is_404() {
+        let registry = registry_with_model();
+        let (status, _headers, body) =
+            route(&post("/v1/predict", "{\"model\":\"nope\",\"input\":[0]}"), &registry);
+        assert_eq!(status, 404, "{body}");
+        assert!(body.contains("nope"), "{body}");
+    }
+
+    #[test]
+    fn unknown_route_is_404_and_wrong_method_is_405() {
+        let registry = registry_with_model();
+        let (status, _headers, _) = route(&get("/nope"), &registry);
+        assert_eq!(status, 404);
+        let (status, headers, _) = route(&post("/healthz", ""), &registry);
+        assert_eq!(status, 405);
+        assert_eq!(headers, vec![("allow", "GET")]);
+        let (status, headers, _) = route(&get("/v1/predict"), &registry);
+        assert_eq!(status, 405);
+        assert_eq!(headers, vec![("allow", "POST")]);
+    }
+
+    #[test]
+    fn reload_requires_path() {
+        let registry = registry_with_model();
+        let (status, _headers, body) = route(&post("/v1/reload", "{}"), &registry);
+        assert_eq!(status, 400, "{body}");
+        let (status, _headers, _) =
+            route(&post("/v1/reload", "{\"path\":\"/nonexistent.hdc\"}"), &registry);
+        assert_eq!(status, 400);
+    }
+
+    #[test]
+    fn server_starts_and_shuts_down() {
+        let registry = registry_with_model();
+        let mut server = Server::start(registry, &ServerConfig::default()).unwrap();
+        let addr = server.addr();
+        assert_ne!(addr.port(), 0);
+        server.shutdown();
+        server.shutdown(); // idempotent
+    }
+}

@@ -1,0 +1,204 @@
+//! End-to-end acceptance: a real server on a real socket, concurrent
+//! clients, and the `/metrics` batch-size histogram as the observable
+//! proof that request coalescing happened.
+
+use hdc::memory::ValueEncoding;
+use hdc::prelude::*;
+use hdc_serve::batcher::BatchConfig;
+use hdc_serve::client::Client;
+use hdc_serve::json::Json;
+use hdc_serve::metrics::Metrics;
+use hdc_serve::registry::Registry;
+use hdc_serve::server::{Server, ServerConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+const EDGE: usize = 4;
+const PIXELS: usize = EDGE * EDGE;
+
+fn trained_model(seed: u64) -> HdcClassifier<PixelEncoder> {
+    let encoder = PixelEncoder::new(PixelEncoderConfig {
+        dim: 2_048,
+        width: EDGE,
+        height: EDGE,
+        levels: 8,
+        value_encoding: ValueEncoding::Random,
+        seed,
+    })
+    .unwrap();
+    let mut model = HdcClassifier::new(encoder, 2);
+    model.train_one(&[0u8; PIXELS][..], 0).unwrap();
+    model.train_one(&[224u8; PIXELS][..], 1).unwrap();
+    model.finalize();
+    model
+}
+
+fn start_server(batch: BatchConfig) -> Server {
+    let registry = Arc::new(Registry::new(Arc::new(Metrics::new()), batch));
+    registry.insert_model("default", trained_model(7)).unwrap();
+    let config = ServerConfig { workers: 8, ..ServerConfig::default() };
+    Server::start(registry, &config).unwrap()
+}
+
+#[test]
+fn concurrent_clients_coalesce_and_metrics_prove_it() {
+    // Generous linger so even a 1-CPU CI container overlaps requests.
+    let batch = BatchConfig { max_batch: 64, max_linger: Duration::from_millis(5) };
+    let server = start_server(batch);
+    let addr = server.addr();
+
+    const CLIENTS: usize = 6; // acceptance floor is >= 4
+    const REQUESTS: usize = 40;
+    std::thread::scope(|scope| {
+        for c in 0..CLIENTS {
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                for i in 0..REQUESTS {
+                    let fill = if (c + i) % 2 == 0 { 0u8 } else { 224u8 };
+                    let body = Client::predict_body("default", &[fill; PIXELS]);
+                    let response = client.post("/v1/predict", &body).unwrap();
+                    assert_eq!(response.status, 200, "{}", String::from_utf8_lossy(&response.body));
+                    let doc = response.json().unwrap();
+                    let class = doc.get("class").and_then(Json::as_f64).unwrap() as usize;
+                    assert_eq!(class, usize::from(fill == 224));
+                }
+            });
+        }
+    });
+
+    let mut client = Client::connect(addr).unwrap();
+    let metrics = client.get("/metrics").unwrap();
+    assert_eq!(metrics.status, 200);
+    let doc = metrics.json().unwrap();
+
+    let total =
+        doc.get("requests_total").and_then(Json::as_f64).expect("requests_total in metrics");
+    assert!(total >= (CLIENTS * REQUESTS) as f64, "metrics lost requests: {total}");
+
+    let batches = doc.get("batches").expect("batches section");
+    let mean = batches.get("mean_size").and_then(Json::as_f64).expect("mean batch size");
+    assert!(mean > 1.0, "coalescing must have happened, mean batch size {mean}");
+    let max = batches.get("max_size").and_then(Json::as_f64).unwrap();
+    assert!(max >= 2.0, "no batch ever exceeded one request, max {max}");
+    let hist = batches.get("hist").and_then(Json::as_array).expect("batch histogram");
+    let multi: f64 = hist
+        .iter()
+        .filter(|b| b.get("size").and_then(Json::as_str) != Some("1"))
+        .filter_map(|b| b.get("count").and_then(Json::as_f64))
+        .sum();
+    assert!(multi > 0.0, "histogram shows no multi-request batches: {hist:?}");
+
+    let latency = doc.get("latency_us").expect("latency section");
+    assert!(latency.get("p50").and_then(Json::as_f64).unwrap() > 0.0);
+    assert!(
+        latency.get("p99").and_then(Json::as_f64).unwrap()
+            >= latency.get("p50").and_then(Json::as_f64).unwrap()
+    );
+}
+
+#[test]
+fn error_responses_keep_the_connection_usable() {
+    let server = start_server(BatchConfig::default());
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    // Wrong input length -> 400 with a JSON error body.
+    let response = client.post("/v1/predict", "{\"input\":[1,2,3]}").unwrap();
+    assert_eq!(response.status, 400);
+    let doc = response.json().expect("error body must be JSON");
+    assert!(doc.get("error").is_some(), "{doc:?}");
+
+    // Unknown model -> 404, same connection.
+    let body = Client::predict_body("missing", &[0u8; PIXELS]);
+    let response = client.post("/v1/predict", &body).unwrap();
+    assert_eq!(response.status, 404);
+
+    // Unknown route -> 404; wrong method -> 405.
+    assert_eq!(client.get("/v2/everything").unwrap().status, 404);
+    assert_eq!(client.post("/metrics", "").unwrap().status, 405);
+
+    // Malformed JSON -> 400, and the connection still serves a good
+    // request afterwards (no panic, no drop).
+    let response = client.post("/v1/predict", "{definitely not json").unwrap();
+    assert_eq!(response.status, 400);
+    let body = Client::predict_body("default", &[224u8; PIXELS]);
+    let response = client.post("/v1/predict", &body).unwrap();
+    assert_eq!(response.status, 200);
+    let class = response.json().unwrap().get("class").and_then(Json::as_f64).unwrap();
+    assert_eq!(class, 1.0);
+}
+
+#[test]
+fn explicit_batch_predict_matches_singles() {
+    let server = start_server(BatchConfig::default());
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    let dark = Client::predict_body("default", &[0u8; PIXELS]);
+    let single = client.post("/v1/predict", &dark).unwrap().json().unwrap();
+
+    let zeros = vec!["0"; PIXELS].join(",");
+    let lights = vec!["224"; PIXELS].join(",");
+    let body = format!("{{\"inputs\":[[{zeros}],[{lights}]]}}");
+    let response = client.post("/v1/predict", &body).unwrap();
+    assert_eq!(response.status, 200);
+    let doc = response.json().unwrap();
+    let results = doc.get("results").and_then(Json::as_array).unwrap();
+    assert_eq!(results.len(), 2);
+    assert_eq!(
+        results[0].get("class").and_then(Json::as_f64),
+        single.get("class").and_then(Json::as_f64)
+    );
+    assert_eq!(results[1].get("class").and_then(Json::as_f64), Some(1.0));
+}
+
+#[test]
+fn healthz_and_models_report_registry_state() {
+    let server = start_server(BatchConfig::default());
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    let health = client.get("/healthz").unwrap();
+    assert_eq!(health.status, 200);
+    let doc = health.json().unwrap();
+    assert_eq!(doc.get("status").and_then(Json::as_str), Some("ok"));
+    assert_eq!(doc.get("models").and_then(Json::as_f64), Some(1.0));
+
+    let models = client.get("/v1/models").unwrap().json().unwrap();
+    let list = models.get("models").and_then(Json::as_array).unwrap();
+    assert_eq!(list.len(), 1);
+    let m = &list[0];
+    assert_eq!(m.get("name").and_then(Json::as_str), Some("default"));
+    assert_eq!(m.get("dim").and_then(Json::as_f64), Some(2_048.0));
+    assert_eq!(m.get("width").and_then(Json::as_f64), Some(EDGE as f64));
+    assert_eq!(m.get("classes").and_then(Json::as_f64), Some(2.0));
+}
+
+#[test]
+fn hot_reload_over_http_swaps_the_model() {
+    let dir = std::env::temp_dir().join(format!("hdc-serve-e2e-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("reload.hdc");
+    let replacement = trained_model(99);
+    hdc::io::save_pixel_classifier(
+        &replacement,
+        std::io::BufWriter::new(std::fs::File::create(&path).unwrap()),
+    )
+    .unwrap();
+
+    let server = start_server(BatchConfig::default());
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    let body = format!("{{\"model\":\"default\",\"path\":\"{}\"}}", path.display());
+    let response = client.post("/v1/reload", &body).unwrap();
+    assert_eq!(response.status, 200, "{}", String::from_utf8_lossy(&response.body));
+    let doc = response.json().unwrap();
+    let generation =
+        doc.get("reloaded").and_then(|r| r.get("generation")).and_then(Json::as_f64).unwrap();
+    assert_eq!(generation, 2.0);
+
+    // The swapped-in model serves correctly.
+    let predict = Client::predict_body("default", &[224u8; PIXELS]);
+    let response = client.post("/v1/predict", &predict).unwrap();
+    assert_eq!(response.status, 200);
+    assert_eq!(response.json().unwrap().get("class").and_then(Json::as_f64), Some(1.0));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
