@@ -252,6 +252,70 @@ fn encoder_rows(rows: &mut Vec<Row>) {
     });
 }
 
+/// Measures online learning: one `partial_fit` (encode + counter add +
+/// re-finalize of a single dirty class) against the full retrain from
+/// scratch it replaces, at the paper's scale — `D = 10,000`, 10 classes,
+/// 10 examples per class. The PR-4 acceptance bar is ≥50×, gated by
+/// `scripts/check_bench_json.py`.
+fn train_rows(rows: &mut Vec<Row>) {
+    const CLASSES: usize = 10;
+    const PER_CLASS: usize = 10;
+    let n = samples();
+
+    let encoder = || {
+        PixelEncoder::new(PixelEncoderConfig {
+            dim: DIM,
+            width: 16,
+            height: 16,
+            ..Default::default()
+        })
+        .expect("valid config")
+    };
+    // Deterministic pseudo-random dataset: CLASSES × PER_CLASS base
+    // examples plus the one example the online path absorbs.
+    let images: Vec<Vec<u8>> = (0..CLASSES * PER_CLASS + 1)
+        .map(|k| (0..256).map(|i| ((k * 7 + i * 13) % 256) as u8).collect())
+        .collect();
+    let label_of = |k: usize| k % CLASSES;
+    let (extra, base) = images.split_last().expect("non-empty");
+    let extra_label = label_of(images.len() - 1);
+
+    let mut online = HdcClassifier::new(encoder(), CLASSES);
+    online
+        .train_batch(base.iter().enumerate().map(|(k, img)| (&img[..], label_of(k))))
+        .expect("base training");
+    online.encoder().warm_up();
+
+    // Pre-built, pre-warmed encoder for the scalar side: a real retrain
+    // reuses its item memories, so their seed-derived regeneration must
+    // not inflate the baseline (the per-iteration clone is a memcpy).
+    let scratch_encoder = encoder();
+    scratch_encoder.warm_up();
+
+    rows.push(Row {
+        op: "train_partial_fit",
+        scalar_ns: measure_ns(
+            || {
+                // The full retrain this replaces: every example re-encoded
+                // and re-bundled, every class re-bipolarized.
+                let mut scratch = HdcClassifier::new(scratch_encoder.clone(), CLASSES);
+                scratch
+                    .train_batch(images.iter().enumerate().map(|(k, img)| (&img[..], label_of(k))))
+                    .expect("scratch training");
+                black_box(scratch.is_finalized())
+            },
+            n,
+        ),
+        packed_ns: measure_ns(
+            // The same end state, incrementally: one encode, one counter
+            // add, one dirty-class re-finalize.
+            || black_box(online.partial_fit(&extra[..], extra_label).is_ok()),
+            n,
+        ),
+        note: "1 example vs full retrain, 10 classes x 10 examples",
+    });
+}
+
 /// Writes the measurement rows as `BENCH_kernels.json` (path overridable
 /// via `BENCH_KERNELS_JSON`): `{suite, dim, quick, cores, ops: {op ->
 /// {scalar_ns, packed_ns, speedup, note}}}` — the same schema
@@ -412,6 +476,7 @@ fn report_speedups(_c: &mut Criterion) {
     });
 
     encoder_rows(&mut rows);
+    train_rows(&mut rows);
 
     println!();
     for row in &rows {

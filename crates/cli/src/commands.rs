@@ -50,10 +50,21 @@ fn load_dataset(images: &str, labels: Option<&str>) -> Result<Dataset, Box<dyn E
     }
 }
 
-/// `train`: one-shot training from IDX files into a model file.
+/// `train`: one-shot training from IDX files into a model file — or, with
+/// `--serve-url HOST:PORT`, **online training of a live server**: the
+/// labeled examples stream to `POST /v1/train` in chunks (riding the
+/// server's request coalescer into `partial_fit_batch`), and the command
+/// reports the model version before and after.
 pub fn train(args: Args) -> CliResult {
     let images = args.required("images")?.to_owned();
     let labels = args.required("labels")?.to_owned();
+    if let Some(url) = args.get("serve-url") {
+        let url = url.to_owned();
+        let model = args.get("serve-model").unwrap_or("default").to_owned();
+        let chunk: usize = args.get_or("chunk", 32)?;
+        let dataset = load_dataset(&images, Some(&labels))?;
+        return train_remote(&url, &model, chunk, &dataset);
+    }
     let out = args.required("out")?.to_owned();
     let dim: usize = args.get_or("dim", hdc::DEFAULT_DIM)?;
     let levels: usize = args.get_or("levels", 256)?;
@@ -81,6 +92,59 @@ pub fn train(args: Args) -> CliResult {
     );
     save_pixel_classifier(&model, BufWriter::new(File::create(&out)?))?;
     println!("model written to {out}");
+    Ok(())
+}
+
+/// Streams a labeled dataset to a running server's `/v1/train` endpoint.
+fn train_remote(url: &str, model: &str, chunk: usize, dataset: &Dataset) -> CliResult {
+    use hdc_serve::{Client, Json};
+
+    use std::net::ToSocketAddrs;
+    let host_port = url.strip_prefix("http://").unwrap_or(url).trim_end_matches('/');
+    // ToSocketAddrs resolves hostnames too (`localhost:8080`), not just
+    // literal IP:PORT.
+    let addr = host_port
+        .to_socket_addrs()
+        .map_err(|e| format!("--serve-url '{url}' is not HOST:PORT: {e}"))?
+        .next()
+        .ok_or_else(|| format!("--serve-url '{url}' resolved to no address"))?;
+    let mut client = Client::connect(addr)?;
+
+    let version_of = |client: &mut Client, model: &str| -> Result<f64, Box<dyn Error>> {
+        let response = client.get("/v1/models")?;
+        let doc = response.json()?;
+        let entry = doc
+            .get("models")
+            .and_then(Json::as_array)
+            .and_then(|models| {
+                models.iter().find(|m| m.get("name").and_then(Json::as_str) == Some(model))
+            })
+            .ok_or_else(|| format!("server has no model '{model}'"))?;
+        Ok(entry.get("version").and_then(Json::as_f64).unwrap_or(0.0))
+    };
+
+    let before = version_of(&mut client, model)?;
+    let start = std::time::Instant::now();
+    let mut sent = 0usize;
+    let pairs: Vec<(&[u8], usize)> = dataset.pairs().collect();
+    for batch in pairs.chunks(chunk.max(1)) {
+        let body = Client::train_batch_body(model, batch);
+        let response = client.post("/v1/train", &body)?;
+        if !response.is_success() {
+            return Err(format!(
+                "/v1/train failed after {sent} examples: {} {}",
+                response.status,
+                String::from_utf8_lossy(&response.body)
+            )
+            .into());
+        }
+        sent += batch.len();
+    }
+    let after = version_of(&mut client, model)?;
+    println!(
+        "streamed {sent} examples to {addr} model '{model}' in {}s: version {before} -> {after}",
+        fmt2(start.elapsed().as_secs_f64())
+    );
     Ok(())
 }
 
@@ -252,7 +316,10 @@ pub fn serve(args: Args) -> CliResult {
         max_batch,
         linger_us
     );
-    println!("endpoints: GET /healthz | GET /v1/models | GET /metrics | POST /v1/predict | POST /v1/reload");
+    println!(
+        "endpoints: GET /healthz | GET /v1/models | GET /metrics | POST /v1/predict | \
+         POST /v1/train | POST /v1/feedback | POST /v1/snapshot | POST /v1/reload"
+    );
     server.join();
     Ok(())
 }

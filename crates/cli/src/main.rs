@@ -26,8 +26,10 @@ USAGE:
 COMMANDS:
   gen-data   generate a synthetic digit dataset as IDX files
              --out DIR [--train N] [--test N] [--seed N]
-  train      one-shot train an HDC model from IDX files
+  train      one-shot train an HDC model from IDX files, or stream labeled
+             examples to a live server's /v1/train (online learning)
              --images F --labels F --out F [--dim N] [--levels N] [--seed N]
+             --images F --labels F --serve-url HOST:PORT [--serve-model NAME] [--chunk N]
   eval       evaluate a model on labeled IDX data
              --model F --images F --labels F
   fuzz       run an HDTest campaign over unlabeled IDX images
@@ -36,7 +38,8 @@ COMMANDS:
              [--unguided true] [--minimize true]
   defend     adversarial-retraining defense (fuzz, retrain, re-attack)
              --model F --images F --out F [--strategy S] [--seed N]
-  serve      HTTP inference server with request coalescing and live metrics
+  serve      HTTP inference server with request coalescing, online learning
+             (/v1/train, /v1/feedback, /v1/snapshot) and live metrics
              --model F | --models name=file[,name=file...]
              [--addr HOST:PORT] [--workers N] [--max-batch N] [--linger-us N]
 
@@ -54,9 +57,22 @@ fn main() -> ExitCode {
         "gen-data" => Args::parse(rest, &["out", "train", "test", "seed"])
             .map_err(Into::into)
             .and_then(commands::gen_data),
-        "train" => Args::parse(rest, &["images", "labels", "out", "dim", "levels", "seed"])
-            .map_err(Into::into)
-            .and_then(commands::train),
+        "train" => Args::parse(
+            rest,
+            &[
+                "images",
+                "labels",
+                "out",
+                "dim",
+                "levels",
+                "seed",
+                "serve-url",
+                "serve-model",
+                "chunk",
+            ],
+        )
+        .map_err(Into::into)
+        .and_then(commands::train),
         "eval" => Args::parse(rest, &["model", "images", "labels"])
             .map_err(Into::into)
             .and_then(commands::eval),

@@ -29,10 +29,20 @@ pub(crate) fn argmax(sims: &[f64]) -> usize {
 }
 
 /// Per-class bundling accumulators plus their bipolarized snapshot.
+///
+/// The accumulators are *retained* after [`finalize`](Self::finalize) —
+/// they are what makes the memory trainable online: every
+/// [`add`](Self::add)/[`subtract`](Self::subtract) marks only its class
+/// dirty, and the next finalize re-bipolarizes exactly those classes
+/// (word-parallel threshold, bit-identical to re-deriving every class),
+/// so a single-example update costs one class, not the whole model.
 #[derive(Debug, Clone)]
 pub struct AssociativeMemory {
     accumulators: Vec<Accumulator>,
     references: Vec<Hypervector>,
+    /// Classes mutated since the last finalize. Only these are
+    /// re-bipolarized when a full snapshot already exists.
+    dirty: Vec<bool>,
     dim: usize,
     finalized: bool,
 }
@@ -49,6 +59,7 @@ impl AssociativeMemory {
         Self {
             accumulators: (0..num_classes).map(|_| Accumulator::zeros(dim)).collect(),
             references: Vec::new(),
+            dirty: vec![true; num_classes],
             dim,
             finalized: false,
         }
@@ -84,6 +95,7 @@ impl AssociativeMemory {
             .get_mut(class)
             .ok_or(HdcError::UnknownClass { class, num_classes })?;
         acc.add(hv)?;
+        self.dirty[class] = true;
         self.finalized = false;
         Ok(())
     }
@@ -101,15 +113,38 @@ impl AssociativeMemory {
             .get_mut(class)
             .ok_or(HdcError::UnknownClass { class, num_classes })?;
         acc.subtract(hv)?;
+        self.dirty[class] = true;
         self.finalized = false;
         Ok(())
     }
 
-    /// Bipolarizes every accumulator into the reference snapshot (Eq. 1,
+    /// Bipolarizes the accumulators into the reference snapshot (Eq. 1,
     /// deterministic parity tie-break).
+    ///
+    /// Incremental: once a full snapshot exists, only classes mutated
+    /// since the last finalize are re-bipolarized. Per-class
+    /// bipolarization is a pure function of that class's accumulator, so
+    /// the result is bit-identical to re-deriving every class — this is
+    /// what makes [`HdcClassifier::partial_fit`](crate::HdcClassifier::partial_fit)
+    /// orders of magnitude cheaper than a full retrain.
     pub fn finalize(&mut self) {
-        self.references = self.accumulators.iter().map(|a| bipolarize_sums(a.sums())).collect();
+        if self.references.len() == self.num_classes() {
+            for (class, acc) in self.accumulators.iter().enumerate() {
+                if self.dirty[class] {
+                    self.references[class] = bipolarize_sums(acc.sums());
+                }
+            }
+        } else {
+            self.references = self.accumulators.iter().map(|a| bipolarize_sums(a.sums())).collect();
+        }
+        self.dirty.fill(false);
         self.finalized = true;
+    }
+
+    /// Classes mutated since the last [`finalize`](Self::finalize), in
+    /// class order — the set the next finalize will re-bipolarize.
+    pub fn dirty_classes(&self) -> Vec<usize> {
+        self.dirty.iter().enumerate().filter(|&(_, &d)| d).map(|(c, _)| c).collect()
     }
 
     /// The bipolarized reference hypervector for `class`.
@@ -231,7 +266,8 @@ impl AssociativeMemory {
         if let Some(bad) = accumulators.iter().find(|a| a.dim() != dim) {
             return Err(HdcError::DimensionMismatch { expected: dim, actual: bad.dim() });
         }
-        let mut am = Self { accumulators, references: Vec::new(), dim, finalized: false };
+        let dirty = vec![true; accumulators.len()];
+        let mut am = Self { accumulators, references: Vec::new(), dirty, dim, finalized: false };
         am.finalize();
         Ok(am)
     }
@@ -373,5 +409,52 @@ mod tests {
     #[should_panic(expected = "at least one class")]
     fn zero_classes_panics() {
         let _ = AssociativeMemory::new(0, 10);
+    }
+
+    #[test]
+    fn dirty_classes_track_mutations() {
+        let mut r = rng();
+        let mut am = AssociativeMemory::new(3, 100);
+        assert_eq!(am.dirty_classes(), vec![0, 1, 2], "fresh memory is all-dirty");
+        for c in 0..3 {
+            am.add(c, &Hypervector::random(100, &mut r)).unwrap();
+        }
+        am.finalize();
+        assert!(am.dirty_classes().is_empty());
+        am.add(1, &Hypervector::random(100, &mut r)).unwrap();
+        am.subtract(2, &Hypervector::random(100, &mut r)).unwrap();
+        assert_eq!(am.dirty_classes(), vec![1, 2]);
+        am.finalize();
+        assert!(am.dirty_classes().is_empty());
+    }
+
+    #[test]
+    fn incremental_finalize_matches_full_rederive() {
+        // Updating one class and re-finalizing must be bit-identical to
+        // re-bipolarizing every class from the same accumulators.
+        let mut r = rng();
+        for dim in [63usize, 64, 65, 127, 1_000] {
+            let mut am = AssociativeMemory::new(4, dim);
+            for c in 0..4 {
+                // Even counts so zero sums (parity ties) occur.
+                for _ in 0..2 {
+                    am.add(c, &Hypervector::random(dim, &mut r)).unwrap();
+                }
+            }
+            am.finalize();
+            am.add(2, &Hypervector::random(dim, &mut r)).unwrap();
+            am.finalize(); // incremental: only class 2 re-bipolarized
+
+            let accs: Vec<Accumulator> =
+                (0..4).map(|c| am.accumulator(c).unwrap().clone()).collect();
+            let full = AssociativeMemory::from_accumulators(accs).unwrap();
+            for c in 0..4 {
+                assert_eq!(
+                    am.reference(c).unwrap(),
+                    full.reference(c).unwrap(),
+                    "dim {dim} class {c}: incremental finalize diverged"
+                );
+            }
+        }
     }
 }

@@ -60,6 +60,9 @@ pub struct BinaryClassifier<E> {
     /// replaced survives as the reference oracle in this module's tests.
     counters: Vec<BitCounter>,
     references: Vec<PackedHypervector>,
+    /// Classes whose counters changed since the last finalize; only these
+    /// are re-thresholded when a full reference snapshot already exists.
+    dirty: Vec<bool>,
     dim: usize,
     finalized: bool,
 }
@@ -77,9 +80,34 @@ impl<E: Encoder> BinaryClassifier<E> {
             encoder,
             counters: (0..num_classes).map(|_| BitCounter::new(dim)).collect(),
             references: Vec::new(),
+            dirty: vec![true; num_classes],
             dim,
             finalized: false,
         }
+    }
+
+    /// Reconstructs a classifier from per-class counters (persistence
+    /// path); the reference snapshot is re-derived immediately, so the
+    /// returned model both serves and keeps learning.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::EmptyModel`] for an empty counter vector and
+    /// [`HdcError::DimensionMismatch`] when a counter does not match the
+    /// encoder's dimension.
+    pub fn from_counters(encoder: E, counters: Vec<BitCounter>) -> Result<Self, HdcError> {
+        if counters.is_empty() {
+            return Err(HdcError::EmptyModel);
+        }
+        let dim = encoder.dim();
+        if let Some(bad) = counters.iter().find(|c| c.dim() != dim) {
+            return Err(HdcError::DimensionMismatch { expected: dim, actual: bad.dim() });
+        }
+        let dirty = vec![true; counters.len()];
+        let mut model =
+            Self { encoder, counters, references: Vec::new(), dirty, dim, finalized: false };
+        model.finalize();
+        Ok(model)
     }
 
     /// Number of classes.
@@ -128,8 +156,54 @@ impl<E: Encoder> BinaryClassifier<E> {
         }
         let packed = self.encode_packed(input)?;
         self.counters[label].add(packed.words());
+        self.dirty[label] = true;
         self.finalized = false;
         Ok(())
+    }
+
+    /// Online learning: bundles one labeled example and re-finalizes
+    /// **only that class's** reference (counters are retained after
+    /// finalize and [`finalize`](Self::finalize) re-thresholds dirty
+    /// classes only) — bit-identical to retraining from scratch on the
+    /// concatenated dataset. The model stays serving between updates.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`train_one`](Self::train_one).
+    pub fn partial_fit(&mut self, input: &E::Input, label: usize) -> Result<(), HdcError> {
+        self.train_one(input, label)?;
+        self.finalize();
+        Ok(())
+    }
+
+    /// Online learning over a batch, re-finalizing dirty classes once.
+    /// Returns the number of examples applied. Atomic: every example is
+    /// encoded and validated before any counter is touched.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error for the lowest bad example; the model is
+    /// unchanged on error.
+    pub fn partial_fit_batch<'a, It>(&mut self, examples: It) -> Result<usize, HdcError>
+    where
+        It: IntoIterator<Item = (&'a E::Input, usize)>,
+        E::Input: 'a,
+    {
+        let num_classes = self.num_classes();
+        let mut encoded: Vec<(PackedHypervector, usize)> = Vec::new();
+        for (input, label) in examples {
+            if label >= num_classes {
+                return Err(HdcError::UnknownClass { class: label, num_classes });
+            }
+            encoded.push((self.encode_packed(input)?, label));
+        }
+        for (packed, label) in &encoded {
+            self.counters[*label].add(packed.words());
+            self.dirty[*label] = true;
+        }
+        self.finalized = false;
+        self.finalize();
+        Ok(encoded.len())
     }
 
     /// Trains on a batch and finalizes.
@@ -154,16 +228,44 @@ impl<E: Encoder> BinaryClassifier<E> {
     /// (`c > ⌊n/2⌋` per component, no integer sums materialized). Ties
     /// (possible with even counts) resolve by component parity, the same
     /// deterministic rule the dense pipeline uses.
+    ///
+    /// Incremental: once a full snapshot exists, only classes trained
+    /// since the last finalize are re-thresholded (per-class majority is a
+    /// pure function of that class's counter, so this is bit-identical to
+    /// re-deriving every class).
     pub fn finalize(&mut self) {
         let dim = self.dim;
-        self.references = self
-            .counters
-            .iter_mut()
-            .map(|counter| {
-                PackedHypervector::from_words_unchecked(counter.bipolarize_packed(), dim)
-            })
-            .collect();
+        if self.references.len() == self.counters.len() {
+            for (class, counter) in self.counters.iter_mut().enumerate() {
+                if self.dirty[class] {
+                    self.references[class] =
+                        PackedHypervector::from_words_unchecked(counter.bipolarize_packed(), dim);
+                }
+            }
+        } else {
+            self.references = self
+                .counters
+                .iter_mut()
+                .map(|counter| {
+                    PackedHypervector::from_words_unchecked(counter.bipolarize_packed(), dim)
+                })
+                .collect();
+        }
+        self.dirty.fill(false);
         self.finalized = true;
+    }
+
+    /// The raw set-bit counter for `class` — mutated by training, retained
+    /// after finalize (this is the state [`crate::io`] persists so a
+    /// reloaded model keeps learning).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::UnknownClass`] for an out-of-range class.
+    pub fn counter(&self, class: usize) -> Result<&BitCounter, HdcError> {
+        self.counters
+            .get(class)
+            .ok_or(HdcError::UnknownClass { class, num_classes: self.num_classes() })
     }
 
     /// The packed reference for `class`.

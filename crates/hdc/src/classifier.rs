@@ -26,6 +26,15 @@ pub struct Prediction {
     pub similarities: Vec<f64>,
 }
 
+/// The outcome of one online [`HdcClassifier::feedback`] round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Feedback {
+    /// Whether an adaptive update was applied (the model mispredicted).
+    pub updated: bool,
+    /// What the model predicted *before* any update.
+    pub prediction: Prediction,
+}
+
 /// Builds a [`Prediction`] from a similarity vector and its argmax.
 fn prediction_from_similarities(class: usize, similarities: Vec<f64>) -> Prediction {
     let best = similarities[class];
@@ -273,6 +282,88 @@ impl<E: Encoder> HdcClassifier<E> {
         let query = self.encoder.encode(input)?;
         let reference = self.am.reference(reference_class)?;
         Ok(1.0 - cosine(reference, &query))
+    }
+
+    /// Online learning: bundles one labeled example into its class and
+    /// re-finalizes **only that class** (the accumulators are retained
+    /// after finalize, and [`AssociativeMemory::finalize`] re-bipolarizes
+    /// dirty classes only). The resulting model is bit-identical to one
+    /// retrained from scratch on the concatenated dataset, at the cost of
+    /// one encode plus one class bipolarization — orders of magnitude
+    /// cheaper than a full retrain (see the `train_partial_fit` bench row).
+    ///
+    /// The model stays finalized, so it can keep serving predictions
+    /// between updates.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`train_one`](Self::train_one); on error the model is
+    /// unchanged.
+    pub fn partial_fit(&mut self, input: &E::Input, label: usize) -> Result<(), HdcError> {
+        self.train_one(input, label)?;
+        self.finalize();
+        Ok(())
+    }
+
+    /// Online learning over a batch: bundles every `(input, label)` pair,
+    /// then re-finalizes the dirty classes once. Returns the number of
+    /// examples applied.
+    ///
+    /// Atomic: every example is encoded and validated **before** any
+    /// accumulator is touched, so a bad example leaves the model exactly
+    /// as it was (important for the serving layer, where one request's
+    /// malformed input must not corrupt the shared model).
+    ///
+    /// # Errors
+    ///
+    /// Returns the error for the lowest bad example; the model is
+    /// unchanged on error.
+    pub fn partial_fit_batch<'a, It>(&mut self, examples: It) -> Result<usize, HdcError>
+    where
+        It: IntoIterator<Item = (&'a E::Input, usize)>,
+        E::Input: 'a,
+    {
+        let num_classes = self.num_classes();
+        let mut encoded: Vec<(Hypervector, usize)> = Vec::new();
+        for (input, label) in examples {
+            if label >= num_classes {
+                return Err(HdcError::UnknownClass { class: label, num_classes });
+            }
+            encoded.push((self.encoder.encode(input)?, label));
+        }
+        for (hv, label) in &encoded {
+            self.am.add(*label, hv)?;
+        }
+        self.finalize();
+        Ok(encoded.len())
+    }
+
+    /// Online feedback on a prior prediction: predicts `input`, and if the
+    /// prediction disagrees with the caller-supplied true `label`, applies
+    /// the adaptive (perceptron-style) update — add the query to `label`,
+    /// subtract it from the wrong class — and re-finalizes the two dirty
+    /// classes. A correct prediction applies no update.
+    ///
+    /// This is [`retrain_adaptive`](Self::retrain_adaptive) packaged for
+    /// online serving: the model stays finalized, and the caller learns
+    /// both what the model predicted and whether an update was applied.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`retrain_adaptive`](Self::retrain_adaptive).
+    pub fn feedback(&mut self, input: &E::Input, label: usize) -> Result<Feedback, HdcError> {
+        if label >= self.num_classes() {
+            return Err(HdcError::UnknownClass { class: label, num_classes: self.num_classes() });
+        }
+        let query = self.encoder.encode(input)?;
+        let prediction = self.predict_encoded(&query)?;
+        if prediction.class == label {
+            return Ok(Feedback { updated: false, prediction });
+        }
+        self.am.add(label, &query)?;
+        self.am.subtract(prediction.class, &query)?;
+        self.finalize();
+        Ok(Feedback { updated: true, prediction })
     }
 
     /// Additive retraining (§V-D defense): bundles a correctly labeled
@@ -555,6 +646,88 @@ mod tests {
         assert!(matches!(
             model.evaluate_batch(&inputs, 9),
             Err(HdcError::UnknownClass { class: 9, num_classes: 3 })
+        ));
+    }
+
+    #[test]
+    fn partial_fit_matches_full_retrain() {
+        let pats = patterns();
+        // Online model: train two classes, then partial_fit more examples.
+        let mut online = tiny_model();
+        online.train_batch(pats.iter().enumerate().map(|(l, p)| (&p[..], l))).unwrap();
+        online.partial_fit(&pats[0][..], 0).unwrap();
+        assert!(online.is_finalized(), "partial_fit must leave the model serving");
+        online.partial_fit_batch([(&pats[1][..], 1), (&pats[2][..], 2)]).unwrap();
+        assert!(online.is_finalized());
+
+        // Oracle: retrain from scratch on the concatenated dataset.
+        let mut scratch = tiny_model();
+        let all: Vec<(&[u8], usize)> = pats
+            .iter()
+            .enumerate()
+            .map(|(l, p)| (&p[..], l))
+            .chain([(&pats[0][..], 0), (&pats[1][..], 1), (&pats[2][..], 2)])
+            .collect();
+        scratch.train_batch(all.iter().map(|&(p, l)| (p, l))).unwrap();
+
+        for c in 0..3 {
+            assert_eq!(
+                online.associative_memory().reference(c).unwrap(),
+                scratch.associative_memory().reference(c).unwrap(),
+                "class {c}: partial_fit diverged from full retrain"
+            );
+        }
+    }
+
+    #[test]
+    fn partial_fit_batch_is_atomic_on_error() {
+        let mut model = tiny_model();
+        let pats = patterns();
+        model.train_batch(pats.iter().enumerate().map(|(l, p)| (&p[..], l))).unwrap();
+        let before = model.associative_memory().accumulator(0).unwrap().clone();
+        let bad: [u8; 3] = [1, 2, 3];
+        // Good example first, bad second: neither may be applied.
+        let err = model.partial_fit_batch([(&pats[0][..], 0), (&bad[..], 1)]).unwrap_err();
+        assert!(matches!(err, HdcError::InputShapeMismatch { .. }));
+        assert_eq!(*model.associative_memory().accumulator(0).unwrap(), before);
+        assert!(model.is_finalized(), "failed batch must not definalize the model");
+        // Bad label is rejected before any encode.
+        assert!(matches!(
+            model.partial_fit_batch([(&pats[0][..], 9)]),
+            Err(HdcError::UnknownClass { class: 9, num_classes: 3 })
+        ));
+    }
+
+    #[test]
+    fn feedback_updates_only_on_mistake() {
+        let mut model = tiny_model();
+        let pats = patterns();
+        // Mislabel on purpose so pattern 0 predicts class 1.
+        model.train_one(&pats[0][..], 1).unwrap();
+        model.train_one(&pats[1][..], 0).unwrap();
+        model.train_one(&pats[2][..], 2).unwrap();
+        model.finalize();
+
+        // Correct prediction: no update, model stays finalized.
+        let fb = model.feedback(&pats[2][..], 2).unwrap();
+        assert!(!fb.updated);
+        assert_eq!(fb.prediction.class, 2);
+        assert!(model.is_finalized());
+
+        // Wrong prediction: adaptive update applied, model repaired after
+        // a few rounds, still finalized throughout.
+        let mut rounds = 0;
+        while model.predict(&pats[0][..]).unwrap().class != 0 {
+            let fb = model.feedback(&pats[0][..], 0).unwrap();
+            assert!(model.is_finalized());
+            assert!(fb.updated, "a mispredicting feedback round must update");
+            rounds += 1;
+            assert!(rounds < 20, "feedback failed to repair the model");
+        }
+
+        assert!(matches!(
+            model.feedback(&pats[0][..], 7),
+            Err(HdcError::UnknownClass { class: 7, num_classes: 3 })
         ));
     }
 

@@ -19,11 +19,35 @@
 //! bipolar pipeline as well. [`crate::Hypervector`] keeps a lazily computed
 //! packed mirror of its components and routes [`crate::dot`],
 //! [`crate::cosine`] and [`crate::hamming`] through these kernels; the
-//! scalar loops they replace live on in [`reference`] as the oracle
+//! scalar loops they replace live on in [`mod@reference`] as the oracle
 //! implementations used by property tests and benchmarks.
 //!
 //! All kernels are chunked so LLVM can autovectorize; none allocate except
 //! those returning a fresh word vector.
+//!
+//! ## Worked example
+//!
+//! Pack two bipolar vectors and check the packed kernels against the
+//! scalar [`mod@reference`] oracles — the same bit-exactness contract the
+//! property tests pin at dims 63/64/65/127/10k:
+//!
+//! ```
+//! use hdc::kernel::{self, reference, BitCounter};
+//!
+//! let a: Vec<i8> = (0..130).map(|i| if i % 3 == 0 { 1 } else { -1 }).collect();
+//! let b: Vec<i8> = (0..130).map(|i| if i % 7 < 3 { 1 } else { -1 }).collect();
+//! let (pa, pb) = (kernel::pack_words(&a), kernel::pack_words(&b));
+//!
+//! // dot = D − 2·hamming, bit-exact with the scalar loop.
+//! assert_eq!(kernel::dot_words(&pa, &pb, 130), reference::dot_scalar(&a, &b));
+//! assert_eq!(kernel::hamming_words(&pa, &pb), reference::hamming_scalar(&a, &b));
+//!
+//! // Bundle both through the CSA-tree counter and majority-bipolarize.
+//! let mut counter = BitCounter::new(130);
+//! counter.add(&pa);
+//! counter.add(&pb);
+//! assert_eq!(counter.sums()[0], 2); // both vectors have +1 at component 0
+//! ```
 
 /// Bits per packed word.
 pub const WORD_BITS: usize = 64;
@@ -129,7 +153,7 @@ static UNPACK_TABLE: [[i8; 8]; 256] = {
 
 /// Unpacks words into bipolar components: bit `1 → +1`, `0 → -1`.
 ///
-/// Runs byte-at-a-time through [`struct@UNPACK_TABLE`] (~9× the per-bit
+/// Runs byte-at-a-time through `UNPACK_TABLE` (~9× the per-bit
 /// loop at `D = 10,000`); this is the cost of materializing `Vec<i8>`
 /// components from a packed encoding result, so it sits on every encoder's
 /// finalize path.
@@ -327,7 +351,7 @@ fn full_add(a: u64, b: u64, c: u64) -> (u64, u64) {
 /// Additions are buffered: [`add`](Self::add) (and the fused variants
 /// [`add_bound`](Self::add_bound), [`add_rotated`](Self::add_rotated),
 /// [`add_rotated_bound`](Self::add_rotated_bound)) write into a pending
-/// slot, and every [`CSA_GROUP`] vectors a carry-save-adder tree compresses
+/// slot, and every `CSA_GROUP` (8) vectors a carry-save-adder tree compresses
 /// the group into four weight planes (1/2/4/8) that ripple into the counter
 /// planes at staggered depths. Compared with rippling every vector
 /// individually (kept as [`add_ripple`](Self::add_ripple), the reference
@@ -597,6 +621,61 @@ impl BitCounter {
         let mut out = vec![0i32; self.dim];
         self.sums_into(&mut out);
         out
+    }
+
+    /// The raw per-component set-bit counts (`c` in the majority rule
+    /// `2c > n`), flushing any pending group first. This is the counter's
+    /// canonical persisted form: together with [`count`](Self::count) it
+    /// fully determines the bundle state, and
+    /// [`from_set_counts`](Self::from_set_counts) reconstructs an
+    /// equivalent counter from it.
+    pub fn set_counts(&mut self) -> Vec<u64> {
+        self.flush_pending();
+        let n_words = words_for(self.dim);
+        let mut out = vec![0u64; self.dim];
+        for k in 0..self.n_planes {
+            let weight = 1u64 << k;
+            for (w, &word) in self.planes[k * n_words..(k + 1) * n_words].iter().enumerate() {
+                let mut bits = word;
+                while bits != 0 {
+                    let b = bits.trailing_zeros() as usize;
+                    out[w * WORD_BITS + b] += weight;
+                    bits &= bits - 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// Rebuilds a counter from per-component set-bit counts and the total
+    /// bundle size `count` (the model-persistence path). The result is
+    /// indistinguishable from the counter that produced the counts: all
+    /// finalizers and further adds behave identically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counts.len() != dim`, if `dim` is zero, or if any
+    /// component count exceeds `count` (a corrupt payload; callers
+    /// deserializing untrusted data must validate first).
+    pub fn from_set_counts(dim: usize, counts: &[u64], count: usize) -> Self {
+        assert_eq!(counts.len(), dim, "counter: counts length mismatch");
+        let max = counts.iter().copied().max().unwrap_or(0);
+        assert!(max <= count as u64, "counter: component count {max} exceeds bundle size {count}");
+        let mut counter = Self::new(dim);
+        counter.count = count;
+        let n_planes = (u64::BITS - max.leading_zeros()) as usize;
+        let n_words = words_for(dim);
+        counter.planes = vec![0u64; n_planes * n_words];
+        counter.n_planes = n_planes;
+        for (i, &c) in counts.iter().enumerate() {
+            let (word, bit) = (i / WORD_BITS, i % WORD_BITS);
+            for (k, plane) in counter.planes.chunks_exact_mut(n_words).enumerate() {
+                if (c >> k) & 1 == 1 {
+                    plane[word] |= 1u64 << bit;
+                }
+            }
+        }
+        counter
     }
 
     /// Word-parallel comparison of every component's count against
@@ -1033,6 +1112,42 @@ mod tests {
             bind_words_into(&a, &b, dim, &mut out);
             assert_eq!(out, bind_words(&a, &b, dim), "dim {dim}");
         }
+    }
+
+    #[test]
+    fn set_counts_round_trip_preserves_counter_state() {
+        let mut rng = StdRng::seed_from_u64(27);
+        for dim in [63usize, 64, 65, 130] {
+            // Partial CSA groups (n % 8 != 0) exercise flush-on-read.
+            for n in [1usize, 5, 8, 19] {
+                let mut counter = BitCounter::new(dim);
+                for _ in 0..n {
+                    counter.add(&pack_words(&random_bipolar(dim, &mut rng)));
+                }
+                let counts = counter.clone().set_counts();
+                assert!(counts.iter().all(|&c| c <= n as u64), "dim {dim} n {n}");
+                let mut rebuilt = BitCounter::from_set_counts(dim, &counts, n);
+                assert_eq!(rebuilt.count(), n);
+                assert_eq!(rebuilt.sums(), counter.clone().sums(), "dim {dim} n {n}");
+                assert_eq!(
+                    rebuilt.bipolarize_packed(),
+                    counter.clone().bipolarize_packed(),
+                    "dim {dim} n {n}"
+                );
+                // The rebuilt counter keeps learning identically.
+                let extra = pack_words(&random_bipolar(dim, &mut rng));
+                let mut original = counter.clone();
+                original.add(&extra);
+                rebuilt.add(&extra);
+                assert_eq!(rebuilt.sums(), original.sums(), "dim {dim} n {n} after add");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds bundle size")]
+    fn from_set_counts_rejects_implausible_counts() {
+        let _ = BitCounter::from_set_counts(4, &[3, 0, 1, 2], 2);
     }
 
     #[test]

@@ -45,6 +45,28 @@
 //! dependency is available offline). `benches/kernels.rs` in the bench
 //! crate tracks the speedups; see `ROADMAP.md` for current numbers.
 //!
+//! ## Online learning
+//!
+//! Classifiers retain their per-class trainable counters after
+//! [`HdcClassifier::finalize`] and track which classes each update
+//! dirtied, so [`HdcClassifier::partial_fit`] /
+//! [`HdcClassifier::partial_fit_batch`] (and their
+//! [`BinaryClassifier`] counterparts) absorb new labeled examples by
+//! re-finalizing **only the dirty classes** — bit-identical to a full
+//! retrain on the concatenated dataset, pinned by
+//! `tests/online_learning.rs` and roughly 120× cheaper at `D = 10,000`
+//! with 10 classes (the `train_partial_fit` bench row).
+//! [`HdcClassifier::feedback`] adds the perceptron-style adaptive update
+//! (§V-E). [`io`] persists the counter state itself (`HDC1`/`HDB1`), so
+//! a saved-then-reloaded model keeps learning exactly where it left off —
+//! which is what the serving layer's `/v1/train`, `/v1/feedback` and
+//! `/v1/snapshot` endpoints build on.
+//!
+//! See `ARCHITECTURE.md` at the workspace root for the full layer map
+//! (kernel → packed mirror → BitCounter/CSA → encoders → batch →
+//! classifiers → io → serve), the bit-exactness oracle convention, and a
+//! request's life through the serving stack.
+//!
 //! ## Quick example
 //!
 //! ```
@@ -101,7 +123,7 @@ pub mod similarity;
 pub use accumulator::Accumulator;
 pub use am::AssociativeMemory;
 pub use binary::{BinaryClassifier, BinaryPrediction};
-pub use classifier::{HdcClassifier, Prediction};
+pub use classifier::{Feedback, HdcClassifier, Prediction};
 pub use confusion::ConfusionMatrix;
 pub use encoder::{
     Encoder, NgramEncoder, NgramEncoderConfig, PermutePixelEncoder, PermutePixelEncoderConfig,
@@ -120,7 +142,7 @@ pub mod prelude {
     pub use crate::accumulator::Accumulator;
     pub use crate::am::AssociativeMemory;
     pub use crate::binary::{BinaryClassifier, BinaryPrediction};
-    pub use crate::classifier::{HdcClassifier, Prediction};
+    pub use crate::classifier::{Feedback, HdcClassifier, Prediction};
     pub use crate::confusion::ConfusionMatrix;
     pub use crate::encoder::{
         Encoder, NgramEncoder, NgramEncoderConfig, PermutePixelEncoder, PermutePixelEncoderConfig,

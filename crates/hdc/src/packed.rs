@@ -12,6 +12,26 @@
 //! Mapping: bipolar `+1` ↔ bit `1`, bipolar `-1` ↔ bit `0`. Binding (⊛)
 //! becomes XNOR (implemented as `!(a ^ b)` with tail masking); bundling is
 //! bitwise majority.
+//!
+//! ## Worked example
+//!
+//! ```
+//! use hdc::{Hypervector, PackedHypervector};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+//! let a = Hypervector::random(1_000, &mut rng);
+//! let b = Hypervector::random(1_000, &mut rng);
+//!
+//! let (pa, pb) = (PackedHypervector::from(&a), PackedHypervector::from(&b));
+//! // Hamming via XOR + popcount agrees with the component-wise count.
+//! let scalar = a.as_slice().iter().zip(b.as_slice()).filter(|(x, y)| x != y).count();
+//! assert_eq!(pa.hamming_distance(&pb), scalar);
+//! // dot = D − 2·hamming for bipolar vectors.
+//! assert_eq!(pa.dot(&pb), 1_000 - 2 * scalar as i64);
+//! // Packing round-trips exactly.
+//! assert_eq!(PackedHypervector::pack(a.as_slice()), pa);
+//! ```
 
 use crate::error::HdcError;
 use crate::hypervector::Hypervector;

@@ -1,18 +1,54 @@
-//! Request coalescing: many concurrent single predicts → one batch call.
+//! Request coalescing: many concurrent single requests → one batch call.
 //!
 //! Queries arrive one per HTTP request, but the compute layer is fastest
 //! when it sees them in batches ([`HdcClassifier::predict_batch`] reuses
-//! encode scratch across a batch and fans out across cores). The batcher
-//! bridges the two: handler threads enqueue `(input, reply-channel)` jobs
-//! and block on their reply; a dedicated worker drains the queue into
+//! encode scratch across a batch and fans out across cores; one
+//! `partial_fit_batch` re-finalizes each dirty class once however many
+//! examples it carries). The batcher bridges the two: handler threads
+//! enqueue jobs — predicts, training batches, feedback rounds — and block
+//! on their reply; a dedicated worker per model drains the queue into
 //! batches of up to `max_batch` jobs, waiting at most `max_linger` for
 //! stragglers after the first job arrives. Under load the linger never
 //! binds — while the worker executes one batch the next one queues up
 //! behind it — so throughput rides the batch path while a lone request
 //! still completes within one linger interval.
+//!
+//! ## Online training through the coalescer
+//!
+//! The worker is the **single writer** for its model: training jobs in a
+//! drained batch have their examples concatenated into one
+//! [`HdcClassifier::partial_fit_batch`] call on a private clone of the
+//! current snapshot, feedback jobs run their adaptive updates on the same
+//! clone, and the result is published atomically (swap + one version
+//! bump) via `SharedModel::publish`. Predict jobs in the same drain run
+//! against the pre-update snapshot; requests that were concurrent have no
+//! ordering guarantee anyway. A failed coalesced train falls back to
+//! per-job `partial_fit_batch` calls (each atomic), so one request's bad
+//! example 400s only itself.
+//!
+//! ## Worked example
+//!
+//! ```
+//! use hdc_serve::batcher::{BatchConfig, Batcher};
+//! use hdc_serve::metrics::Metrics;
+//! use hdc_serve::registry::SharedModel;
+//! use hdc_serve::loadgen::synthetic_model;
+//! use std::sync::Arc;
+//!
+//! let shared = Arc::new(SharedModel::standalone(synthetic_model(1_024, 4)));
+//! let batcher = Batcher::start(Arc::clone(&shared), Arc::new(Metrics::new()),
+//!                              BatchConfig::default());
+//! let before = batcher.predict(vec![0u8; 16])?.class;
+//! let outcome = batcher.train(vec![(vec![0u8; 16], 1)])?;   // one online example
+//! assert_eq!((outcome.applied, outcome.version), (1, 1));
+//! let _after = batcher.predict(vec![0u8; 16])?; // served by the updated snapshot
+//! # let _ = before;
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
 
 use crate::error::ServeError;
 use crate::metrics::Metrics;
+use crate::registry::SharedModel;
 use hdc::prelude::*;
 use std::collections::VecDeque;
 use std::sync::mpsc;
@@ -44,10 +80,47 @@ impl BatchConfig {
     }
 }
 
-/// One queued predict awaiting execution.
-struct Job {
-    input: Vec<u8>,
-    reply: mpsc::Sender<Result<Prediction, ServeError>>,
+/// The reply to one coalesced training request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrainOutcome {
+    /// Examples from this request absorbed into the model.
+    pub applied: usize,
+    /// Model training version after the batch this request rode in.
+    pub version: u64,
+}
+
+/// The reply to one online feedback request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeedbackOutcome {
+    /// Whether an adaptive update was applied (the model mispredicted).
+    pub updated: bool,
+    /// What the model predicted before any update.
+    pub prediction: Prediction,
+    /// Model training version after this feedback round.
+    pub version: u64,
+}
+
+/// The per-job reply channel: each enqueued request blocks on its own
+/// receiver, so one worker can fan replies back out to many handlers.
+type Reply<T> = mpsc::Sender<Result<T, ServeError>>;
+
+/// One queued request awaiting execution.
+enum Job {
+    Predict { input: Vec<u8>, reply: Reply<Prediction> },
+    Train { examples: Vec<(Vec<u8>, usize)>, reply: Reply<TrainOutcome> },
+    Feedback { input: Vec<u8>, label: usize, reply: Reply<FeedbackOutcome> },
+}
+
+impl Job {
+    /// Replies with a shutdown error, whatever the job type.
+    fn reject_shutdown(self) {
+        let message = || ServeError::Internal("model is shutting down".into());
+        match self {
+            Job::Predict { reply, .. } => drop(reply.send(Err(message()))),
+            Job::Train { reply, .. } => drop(reply.send(Err(message()))),
+            Job::Feedback { reply, .. } => drop(reply.send(Err(message()))),
+        }
+    }
 }
 
 struct Queue {
@@ -80,11 +153,7 @@ impl std::fmt::Debug for Batcher {
 impl Batcher {
     /// Spawns the worker thread for `model`. The model must be finalized;
     /// executed batch sizes are recorded into `metrics`.
-    pub fn start(
-        model: Arc<HdcClassifier<PixelEncoder>>,
-        metrics: Arc<Metrics>,
-        config: BatchConfig,
-    ) -> Self {
+    pub fn start(model: Arc<SharedModel>, metrics: Arc<Metrics>, config: BatchConfig) -> Self {
         let shared = Arc::new(Shared {
             queue: Mutex::new(Queue { jobs: VecDeque::new(), stop: false }),
             arrived: Condvar::new(),
@@ -97,6 +166,24 @@ impl Batcher {
         Self { shared, worker: Some(worker) }
     }
 
+    fn enqueue<T>(
+        &self,
+        job: Job,
+        receive: &mpsc::Receiver<Result<T, ServeError>>,
+    ) -> Result<T, ServeError> {
+        {
+            let mut queue = self.shared.queue.lock().expect("batcher lock");
+            if queue.stop {
+                return Err(ServeError::Internal("model is shutting down".into()));
+            }
+            queue.jobs.push_back(job);
+        }
+        self.shared.arrived.notify_one();
+        receive
+            .recv()
+            .unwrap_or_else(|_| Err(ServeError::Internal("batch worker dropped reply".into())))
+    }
+
     /// Enqueues one input and blocks until its prediction (or error) is
     /// ready. Safe to call from any number of threads.
     ///
@@ -106,17 +193,37 @@ impl Batcher {
     /// [`ServeError::Internal`] if the batcher is shutting down.
     pub fn predict(&self, input: Vec<u8>) -> Result<Prediction, ServeError> {
         let (reply, receive) = mpsc::channel();
-        {
-            let mut queue = self.shared.queue.lock().expect("batcher lock");
-            if queue.stop {
-                return Err(ServeError::Internal("model is shutting down".into()));
-            }
-            queue.jobs.push_back(Job { input, reply });
+        self.enqueue(Job::Predict { input, reply }, &receive)
+    }
+
+    /// Enqueues labeled examples and blocks until they are absorbed into
+    /// the model (or rejected). Concurrent train requests coalesce into a
+    /// single `partial_fit_batch` and share one version bump.
+    ///
+    /// # Errors
+    ///
+    /// Propagates per-example shape/label errors (the request's own
+    /// examples are then not applied); returns [`ServeError::Internal`]
+    /// if the batcher is shutting down.
+    pub fn train(&self, examples: Vec<(Vec<u8>, usize)>) -> Result<TrainOutcome, ServeError> {
+        if examples.is_empty() {
+            return Err(ServeError::BadRequest("training request carries no examples".into()));
         }
-        self.shared.arrived.notify_one();
-        receive
-            .recv()
-            .unwrap_or_else(|_| Err(ServeError::Internal("batch worker dropped reply".into())))
+        let (reply, receive) = mpsc::channel();
+        self.enqueue(Job::Train { examples, reply }, &receive)
+    }
+
+    /// Enqueues one feedback round (true label for an input) and blocks
+    /// until the adaptive update — applied only if the model mispredicts —
+    /// is published.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape/label errors; returns [`ServeError::Internal`] if
+    /// the batcher is shutting down.
+    pub fn feedback(&self, input: Vec<u8>, label: usize) -> Result<FeedbackOutcome, ServeError> {
+        let (reply, receive) = mpsc::channel();
+        self.enqueue(Job::Feedback { input, label, reply }, &receive)
     }
 }
 
@@ -130,12 +237,7 @@ impl Drop for Batcher {
     }
 }
 
-fn worker_loop(
-    shared: &Shared,
-    model: &HdcClassifier<PixelEncoder>,
-    metrics: &Metrics,
-    config: BatchConfig,
-) {
+fn worker_loop(shared: &Shared, model: &SharedModel, metrics: &Metrics, config: BatchConfig) {
     let max_batch = config.max_batch.max(1);
     loop {
         let mut queue = shared.queue.lock().expect("batcher lock");
@@ -176,7 +278,7 @@ fn worker_loop(
 
         if stopping {
             for job in batch {
-                let _ = job.reply.send(Err(ServeError::Internal("model is shutting down".into())));
+                job.reject_shutdown();
             }
             continue; // loop once more to observe `stop` with an empty queue
         }
@@ -184,31 +286,140 @@ fn worker_loop(
     }
 }
 
-/// Runs one coalesced batch and fans replies back out.
-fn execute(model: &HdcClassifier<PixelEncoder>, metrics: &Metrics, batch: Vec<Job>) {
+/// Runs one coalesced batch: predicts against the current snapshot, then
+/// training/feedback on a private clone published once at the end.
+fn execute(model: &SharedModel, metrics: &Metrics, batch: Vec<Job>) {
+    let mut predicts = Vec::new();
+    let mut updates = Vec::new();
+    for job in batch {
+        match job {
+            Job::Predict { input, reply } => predicts.push((input, reply)),
+            other => updates.push(other),
+        }
+    }
+    if !predicts.is_empty() {
+        execute_predicts(&model.snapshot(), metrics, &predicts);
+    }
+    if !updates.is_empty() {
+        execute_updates(model, metrics, updates);
+    }
+}
+
+type PredictJob = (Vec<u8>, Reply<Prediction>);
+
+fn execute_predicts(model: &HdcClassifier<PixelEncoder>, metrics: &Metrics, batch: &[PredictJob]) {
     metrics.on_batch(batch.len());
     if batch.len() == 1 {
-        let job = &batch[0];
-        let result = model.predict(&job.input[..]).map_err(ServeError::from);
-        let _ = job.reply.send(result);
+        let (input, reply) = &batch[0];
+        let result = model.predict(&input[..]).map_err(ServeError::from);
+        let _ = reply.send(result);
         return;
     }
-    let inputs: Vec<&[u8]> = batch.iter().map(|j| &j.input[..]).collect();
+    let inputs: Vec<&[u8]> = batch.iter().map(|(input, _)| &input[..]).collect();
     match model.predict_batch(&inputs) {
         Ok(predictions) => {
-            for (job, prediction) in batch.iter().zip(predictions) {
-                let _ = job.reply.send(Ok(prediction));
+            for ((_, reply), prediction) in batch.iter().zip(predictions) {
+                let _ = reply.send(Ok(prediction));
             }
         }
         // A batch fails fast on its lowest-index bad input, which would
         // punish every rider in the batch; fall back to per-job predicts
         // so each request gets exactly its own error.
         Err(_) => {
-            for job in &batch {
-                let result = model.predict(&job.input[..]).map_err(ServeError::from);
-                let _ = job.reply.send(result);
+            for (input, reply) in batch {
+                let result = model.predict(&input[..]).map_err(ServeError::from);
+                let _ = reply.send(result);
             }
         }
+    }
+}
+
+/// Applies the drained training/feedback jobs to one private clone of the
+/// current snapshot and publishes the result with a single version bump.
+///
+/// Train jobs coalesce: their examples concatenate into one
+/// `partial_fit_batch`. That call is atomic, so if it rejects a bad
+/// example the worker falls back to per-job batches — each job then
+/// succeeds or 400s on its own. Feedback jobs run after training, in
+/// queue order.
+fn execute_updates(shared: &SharedModel, metrics: &Metrics, jobs: Vec<Job>) {
+    let snapshot = shared.snapshot();
+    let mut model = (*snapshot).clone();
+    let mut applied_total = 0usize;
+    let mut feedback_updates = 0usize;
+
+    // Partition, preserving queue order within each kind.
+    let mut trains = Vec::new();
+    let mut feedbacks = Vec::new();
+    for job in jobs {
+        match job {
+            Job::Train { examples, reply } => trains.push((examples, reply)),
+            Job::Feedback { input, label, reply } => feedbacks.push((input, label, reply)),
+            Job::Predict { .. } => unreachable!("predicts split off before updates"),
+        }
+    }
+
+    // Defer train replies until the version is known (post-publish).
+    let mut train_results: Vec<(Reply<TrainOutcome>, Result<usize, ServeError>)> =
+        Vec::with_capacity(trains.len());
+    if !trains.is_empty() {
+        let coalesced: Vec<(&[u8], usize)> = trains
+            .iter()
+            .flat_map(|(examples, _)| examples.iter().map(|(i, l)| (&i[..], *l)))
+            .collect();
+        match model.partial_fit_batch(coalesced.iter().map(|&(i, l)| (i, l))) {
+            Ok(applied) => {
+                debug_assert_eq!(applied, coalesced.len());
+                applied_total += applied;
+                for (examples, reply) in trains {
+                    train_results.push((reply, Ok(examples.len())));
+                }
+            }
+            Err(_) => {
+                // One bad example failed the coalesced batch (atomically);
+                // re-apply per job so only the guilty request errors.
+                for (examples, reply) in trains {
+                    let result = model
+                        .partial_fit_batch(examples.iter().map(|(i, l)| (&i[..], *l)))
+                        .map_err(ServeError::from);
+                    if let Ok(applied) = result {
+                        applied_total += applied;
+                    }
+                    train_results.push((reply, result));
+                }
+            }
+        }
+    }
+
+    let mut feedback_results: Vec<(Reply<FeedbackOutcome>, Result<hdc::Feedback, ServeError>)> =
+        Vec::with_capacity(feedbacks.len());
+    for (input, label, reply) in feedbacks {
+        let result = model.feedback(&input[..], label).map_err(ServeError::from);
+        if matches!(&result, Ok(fb) if fb.updated) {
+            feedback_updates += 1;
+        }
+        feedback_results.push((reply, result));
+    }
+
+    // Publish once: any absorbed example or applied feedback bumps the
+    // version by exactly 1 for the whole coalesced update batch.
+    let changed = applied_total > 0 || feedback_updates > 0;
+    let version = if changed {
+        metrics.on_train_batch(applied_total + feedback_updates);
+        shared.publish(Arc::new(model), (applied_total + feedback_updates) as u64)
+    } else {
+        shared.version()
+    };
+
+    for (reply, result) in train_results {
+        let _ = reply.send(result.map(|applied| TrainOutcome { applied, version }));
+    }
+    for (reply, result) in feedback_results {
+        let _ = reply.send(result.map(|fb| FeedbackOutcome {
+            updated: fb.updated,
+            prediction: fb.prediction,
+            version,
+        }));
     }
 }
 
@@ -217,7 +428,7 @@ mod tests {
     use super::*;
     use hdc::memory::ValueEncoding;
 
-    fn model() -> Arc<HdcClassifier<PixelEncoder>> {
+    fn model() -> Arc<SharedModel> {
         let encoder = PixelEncoder::new(PixelEncoderConfig {
             dim: 1_024,
             width: 4,
@@ -231,25 +442,25 @@ mod tests {
         model.train_one(&[0u8; 16][..], 0).unwrap();
         model.train_one(&[224u8; 16][..], 1).unwrap();
         model.finalize();
-        Arc::new(model)
+        Arc::new(SharedModel::standalone(model))
     }
 
     #[test]
     fn single_predict_round_trips() {
-        let model = model();
+        let shared = model();
         let metrics = Arc::new(Metrics::new());
         let batcher =
-            Batcher::start(Arc::clone(&model), Arc::clone(&metrics), BatchConfig::default());
+            Batcher::start(Arc::clone(&shared), Arc::clone(&metrics), BatchConfig::default());
         let got = batcher.predict(vec![224u8; 16]).unwrap();
-        assert_eq!(got.class, model.predict(&[224u8; 16][..]).unwrap().class);
+        assert_eq!(got.class, shared.snapshot().predict(&[224u8; 16][..]).unwrap().class);
     }
 
     #[test]
     fn concurrent_predicts_coalesce() {
-        let model = model();
+        let shared = model();
         let metrics = Arc::new(Metrics::new());
         let config = BatchConfig { max_batch: 64, max_linger: Duration::from_millis(20) };
-        let batcher = Arc::new(Batcher::start(model, Arc::clone(&metrics), config));
+        let batcher = Arc::new(Batcher::start(shared, Arc::clone(&metrics), config));
         std::thread::scope(|scope| {
             for _ in 0..8 {
                 let batcher = Arc::clone(&batcher);
@@ -271,10 +482,10 @@ mod tests {
 
     #[test]
     fn batch_size_1_config_never_coalesces() {
-        let model = model();
+        let shared = model();
         let metrics = Arc::new(Metrics::new());
         let batcher =
-            Arc::new(Batcher::start(model, Arc::clone(&metrics), BatchConfig::batch_size_1()));
+            Arc::new(Batcher::start(shared, Arc::clone(&metrics), BatchConfig::batch_size_1()));
         std::thread::scope(|scope| {
             for _ in 0..4 {
                 let batcher = Arc::clone(&batcher);
@@ -290,10 +501,10 @@ mod tests {
 
     #[test]
     fn bad_input_in_batch_fails_only_that_request() {
-        let model = model();
+        let shared = model();
         let metrics = Arc::new(Metrics::new());
         let config = BatchConfig { max_batch: 16, max_linger: Duration::from_millis(20) };
-        let batcher = Arc::new(Batcher::start(model, metrics, config));
+        let batcher = Arc::new(Batcher::start(shared, metrics, config));
         std::thread::scope(|scope| {
             let good = scope.spawn({
                 let batcher = Arc::clone(&batcher);
@@ -310,10 +521,93 @@ mod tests {
     }
 
     #[test]
-    fn drop_stops_worker_and_rejects_new_work() {
-        let model = model();
+    fn train_updates_predictions_and_version() {
+        let shared = model();
         let metrics = Arc::new(Metrics::new());
-        let batcher = Batcher::start(model, metrics, BatchConfig::default());
+        let batcher =
+            Batcher::start(Arc::clone(&shared), Arc::clone(&metrics), BatchConfig::default());
+        assert_eq!(shared.version(), 0);
+
+        // Hammer the model with mid-grey images labeled class 0 until the
+        // prediction flips (the grey probe starts closer to class 1 or is
+        // borderline; a couple of updates settle it firmly into class 0).
+        let probe = vec![128u8; 16];
+        let mut version = 0;
+        for _ in 0..8 {
+            let outcome = batcher.train(vec![(probe.clone(), 0)]).unwrap();
+            assert_eq!(outcome.applied, 1);
+            assert!(outcome.version > version, "version must be monotonic");
+            version = outcome.version;
+        }
+        assert_eq!(shared.version(), version);
+        assert_eq!(shared.trained_examples(), 8);
+        let prediction = batcher.predict(probe).unwrap();
+        assert_eq!(prediction.class, 0, "training must move the decision boundary");
+
+        // The oracle: the swapped-in model matches offline partial_fit.
+        assert!(shared.snapshot().is_finalized());
+    }
+
+    #[test]
+    fn train_bad_example_fails_only_its_request() {
+        let shared = model();
+        let metrics = Arc::new(Metrics::new());
+        let config = BatchConfig { max_batch: 16, max_linger: Duration::from_millis(20) };
+        let batcher = Arc::new(Batcher::start(Arc::clone(&shared), metrics, config));
+        std::thread::scope(|scope| {
+            let good = scope.spawn({
+                let batcher = Arc::clone(&batcher);
+                move || batcher.train(vec![(vec![224u8; 16], 1)])
+            });
+            let bad_shape = scope.spawn({
+                let batcher = Arc::clone(&batcher);
+                move || batcher.train(vec![(vec![1u8; 3], 0)])
+            });
+            let bad_label = scope.spawn({
+                let batcher = Arc::clone(&batcher);
+                move || batcher.train(vec![(vec![224u8; 16], 9)])
+            });
+            assert_eq!(good.join().unwrap().unwrap().applied, 1);
+            assert_eq!(bad_shape.join().unwrap().unwrap_err().status(), 400);
+            assert_eq!(bad_label.join().unwrap().unwrap_err().status(), 400);
+        });
+        assert_eq!(shared.trained_examples(), 1, "only the good example is absorbed");
+        assert!(batcher.train(vec![]).is_err(), "empty train request rejected");
+    }
+
+    #[test]
+    fn feedback_updates_only_on_mistake() {
+        let shared = model();
+        let metrics = Arc::new(Metrics::new());
+        let batcher =
+            Batcher::start(Arc::clone(&shared), Arc::clone(&metrics), BatchConfig::default());
+
+        // Correct label: no update, version unchanged.
+        let outcome = batcher.feedback(vec![224u8; 16], 1).unwrap();
+        assert!(!outcome.updated);
+        assert_eq!(outcome.prediction.class, 1);
+        assert_eq!(outcome.version, 0);
+
+        // Deliberately wrong-side label: the model mispredicts relative to
+        // it, so an adaptive update applies and the version bumps.
+        let mut updated = false;
+        for _ in 0..8 {
+            let outcome = batcher.feedback(vec![224u8; 16], 0).unwrap();
+            if outcome.updated {
+                updated = true;
+                assert!(outcome.version > 0);
+                break;
+            }
+        }
+        assert!(updated, "mispredicting feedback must eventually update");
+        assert!(batcher.feedback(vec![0u8; 16], 9).unwrap_err().status() == 400);
+    }
+
+    #[test]
+    fn drop_stops_worker_and_rejects_new_work() {
+        let shared = model();
+        let metrics = Arc::new(Metrics::new());
+        let batcher = Batcher::start(shared, metrics, BatchConfig::default());
         drop(batcher); // must not hang
     }
 }

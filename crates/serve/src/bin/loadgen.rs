@@ -51,6 +51,14 @@ fn main() -> ExitCode {
         report.coalesced_rps, report.coalesced_p99_us, report.coalesced_mean_batch
     );
     println!("SPEEDUP serve_predict {:.2}x", report.speedup());
+    println!(
+        "train batch-size-1: {:>8.0} req/s   coalesced: {:>8.0} req/s ({} examples, {} versions)",
+        report.single_train_rps,
+        report.coalesced_train_rps,
+        report.train_requests,
+        report.coalesced_final_version
+    );
+    println!("SPEEDUP serve_train {:.2}x", report.coalesced_train_rps / report.single_train_rps);
 
     let path = std::env::var("BENCH_SERVE_JSON").unwrap_or_else(|_| "BENCH_serve.json".to_string());
     let json = report.to_bench_json(quick);

@@ -127,18 +127,60 @@ impl Client {
         Ok(Response { status, body })
     }
 
+    /// Appends `"input":[p0,p1,…]` — the pixel-array fragment every
+    /// request-body builder shares.
+    fn push_input(body: &mut String, pixels: &[u8]) {
+        body.push_str("\"input\":[");
+        for (i, p) in pixels.iter().enumerate() {
+            if i > 0 {
+                body.push(',');
+            }
+            body.push_str(&p.to_string());
+        }
+        body.push(']');
+    }
+
     /// Reconstructs the remote predict body for one pixel input — shared by
     /// the load generator and smoke tests.
     pub fn predict_body(model: &str, pixels: &[u8]) -> String {
         let mut body = String::with_capacity(pixels.len() * 4 + 32);
         body.push_str("{\"model\":\"");
         body.push_str(model);
-        body.push_str("\",\"input\":[");
-        for (i, p) in pixels.iter().enumerate() {
-            if i > 0 {
+        body.push_str("\",");
+        Self::push_input(&mut body, pixels);
+        body.push('}');
+        body
+    }
+
+    /// The remote train body for one labeled example — shared by the load
+    /// generator, the CLI's `train --serve-url` mode, and smoke tests.
+    pub fn train_body(model: &str, pixels: &[u8], label: usize) -> String {
+        let mut body = String::with_capacity(pixels.len() * 4 + 48);
+        body.push_str("{\"model\":\"");
+        body.push_str(model);
+        body.push_str("\",");
+        Self::push_input(&mut body, pixels);
+        body.push_str(",\"label\":");
+        body.push_str(&label.to_string());
+        body.push('}');
+        body
+    }
+
+    /// The remote train body for a batch of labeled examples
+    /// (`{"examples": [{"input": ..., "label": ...}, ...]}`).
+    pub fn train_batch_body(model: &str, examples: &[(&[u8], usize)]) -> String {
+        let mut body = String::from("{\"model\":\"");
+        body.push_str(model);
+        body.push_str("\",\"examples\":[");
+        for (k, (pixels, label)) in examples.iter().enumerate() {
+            if k > 0 {
                 body.push(',');
             }
-            body.push_str(&p.to_string());
+            body.push('{');
+            Self::push_input(&mut body, pixels);
+            body.push_str(",\"label\":");
+            body.push_str(&label.to_string());
+            body.push('}');
         }
         body.push_str("]}");
         body

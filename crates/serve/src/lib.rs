@@ -14,14 +14,24 @@
 //!   queue into one [`hdc::HdcClassifier::predict_batch`] call
 //!   (configurable max batch size and linger, default 64 / 1 ms), so
 //!   throughput under load rides the packed batch path instead of N
-//!   scalar scans.
+//!   scalar scans; concurrent training requests coalesce the same way
+//!   into one [`hdc::HdcClassifier::partial_fit_batch`].
 //! * [`registry`] — named models loaded via `hdc::io`, hot-reloadable
-//!   while serving, packed mirrors pre-warmed on load.
+//!   while serving, packed mirrors pre-warmed on load. Each model lives
+//!   behind a [`registry::SharedModel`] swap cell with a monotonic
+//!   training `version`, so **online learning** (`/v1/train`,
+//!   `/v1/feedback`) publishes updates atomically while in-flight
+//!   predictions keep their snapshot; `/v1/snapshot` persists the
+//!   trainable counters atomically (temp file + rename).
 //! * [`metrics`] — lock-free request counters, a batch-size histogram
-//!   (the observable proof that coalescing happens) and p50/p99 latency
-//!   from fixed power-of-two buckets.
+//!   (the observable proof that coalescing happens), online-training
+//!   counters, and p50/p99 latency from fixed power-of-two buckets.
 //! * [`loadgen`] — a self-driving load generator that measures coalesced
-//!   vs batch-size-1 throughput and emits `BENCH_serve.json` for CI.
+//!   vs batch-size-1 throughput (predicts *and* trains) and emits
+//!   `BENCH_serve.json` for CI.
+//!
+//! See `ARCHITECTURE.md` at the workspace root for how these layers fit
+//! the compute stack underneath.
 //!
 //! ## Quickstart
 //!
@@ -35,17 +45,28 @@
 //! hdtest-cli serve --model model.hdc --addr 127.0.0.1:8080
 //! ```
 //!
-//! Then, from another shell:
+//! Then, from another shell (CI's serve-smoke job runs this exact
+//! sequence, so it cannot rot):
 //!
 //! ```text
 //! curl http://127.0.0.1:8080/healthz
-//! curl http://127.0.0.1:8080/v1/models
+//! curl http://127.0.0.1:8080/v1/models      # includes the training "version"
 //! curl -X POST http://127.0.0.1:8080/v1/predict \
 //!     -d "{\"model\":\"default\",\"input\":[0,0,0, ... 784 pixel values ...]}"
-//! curl http://127.0.0.1:8080/metrics        # batch-size histogram, p50/p99
+//! curl -X POST http://127.0.0.1:8080/v1/train \
+//!     -d "{\"input\":[ ... pixels ... ],\"label\":3}"   # online learning
+//! curl -X POST http://127.0.0.1:8080/v1/feedback \
+//!     -d "{\"input\":[ ... pixels ... ],\"label\":3}"   # adaptive update on mistakes
+//! curl -X POST http://127.0.0.1:8080/v1/snapshot \
+//!     -d '{"model":"default","path":"snap.hdc"}'  # persist counters atomically
+//! curl http://127.0.0.1:8080/metrics        # batch/training stats, p50/p99
 //! curl -X POST http://127.0.0.1:8080/v1/reload \
-//!     -d '{"model":"default","path":"model.hdc"}'   # hot reload
+//!     -d '{"model":"default","path":"snap.hdc"}'   # hot reload, resumes training
 //! ```
+//!
+//! A reloaded snapshot **keeps learning**: the file stores the per-class
+//! trainable counters (not just the bipolarized references), and the
+//! version lineage continues across the reload.
 //!
 //! ## Embedding
 //!
@@ -79,10 +100,10 @@ pub mod metrics;
 pub mod registry;
 pub mod server;
 
-pub use batcher::{BatchConfig, Batcher};
+pub use batcher::{BatchConfig, Batcher, FeedbackOutcome, TrainOutcome};
 pub use client::{Client, Response};
 pub use error::ServeError;
 pub use json::Json;
 pub use metrics::Metrics;
-pub use registry::{ModelEntry, ModelInfo, Registry};
+pub use registry::{ModelEntry, ModelInfo, Registry, SharedModel};
 pub use server::{Server, ServerConfig};

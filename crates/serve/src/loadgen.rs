@@ -4,11 +4,14 @@
 //!
 //! Two identically trained servers are started (one per [`BatchConfig`]);
 //! each is loaded by `clients` threads holding persistent keep-alive
-//! connections and firing single-input predicts back to back. The report
-//! feeds `BENCH_serve.json` (same schema as `BENCH_kernels.json`, gated by
-//! `scripts/check_bench_json.py`): coalesced throughput must stay at least
-//! at parity with batch-size-1, and the mean executed batch size must
-//! prove that coalescing actually happened.
+//! connections and firing single-input predicts back to back, then — on
+//! the same live server — single-example `/v1/train` requests (the
+//! online-learning hot path: coalesced `partial_fit_batch`, one clone +
+//! publish per executed batch). The report feeds `BENCH_serve.json` (same
+//! schema as `BENCH_kernels.json`, gated by `scripts/check_bench_json.py`):
+//! coalesced predict *and* train throughput must stay at least at parity
+//! with batch-size-1, and the mean executed batch size must prove that
+//! coalescing actually happened.
 
 use crate::batcher::BatchConfig;
 use crate::client::Client;
@@ -60,18 +63,27 @@ impl LoadgenConfig {
 /// Results of one two-sided load run.
 #[derive(Debug, Clone)]
 pub struct LoadgenReport {
-    /// Requests/second with coalescing enabled.
+    /// Predict requests/second with coalescing enabled.
     pub coalesced_rps: f64,
-    /// Requests/second with the batch-size-1 baseline.
+    /// Predict requests/second with the batch-size-1 baseline.
     pub single_rps: f64,
+    /// `/v1/train` requests/second with coalescing enabled.
+    pub coalesced_train_rps: f64,
+    /// `/v1/train` requests/second with the batch-size-1 baseline.
+    pub single_train_rps: f64,
     /// Mean executed batch size in the coalescing run.
     pub coalesced_mean_batch: f64,
+    /// Final model version on the coalesced side — the number of
+    /// published training batches (proof the train traffic coalesced).
+    pub coalesced_final_version: u64,
     /// p99 latency (µs) in the coalescing run.
     pub coalesced_p99_us: u64,
     /// p99 latency (µs) in the batch-size-1 run.
     pub single_p99_us: u64,
-    /// Total requests sent per side.
+    /// Total predict requests sent per side.
     pub requests: usize,
+    /// Total train requests sent per side.
+    pub train_requests: usize,
     /// The configuration measured.
     pub config: LoadgenConfig,
 }
@@ -92,11 +104,16 @@ impl LoadgenReport {
         let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
         let single_ns = 1e9 / self.single_rps;
         let coalesced_ns = 1e9 / self.coalesced_rps;
+        let single_train_ns = 1e9 / self.single_train_rps;
+        let coalesced_train_ns = 1e9 / self.coalesced_train_rps;
         format!(
             "{{\n  \"suite\": \"serve\",\n  \"dim\": {},\n  \"quick\": {},\n  \"cores\": \
              {cores},\n  \"ops\": {{\n    \"serve_predict\": {{\"scalar_ns\": {:.1}, \
              \"packed_ns\": {:.1}, \"speedup\": {:.2}, \"note\": \"req latency budget, {} \
              clients, single={:.0} rps vs coalesced={:.0} rps, p99 {}us vs {}us\"}},\n    \
+             \"serve_train\": {{\"scalar_ns\": {:.1}, \"packed_ns\": {:.1}, \"speedup\": {:.2}, \
+             \"note\": \"online /v1/train, {} clients, single={:.0} rps vs coalesced={:.0} rps, \
+             {} examples absorbed in {} published batches\"}},\n    \
              \"serve_coalescing\": {{\"scalar_ns\": 1.0, \"packed_ns\": {:.4}, \"speedup\": \
              {:.2}, \"note\": \"mean executed batch size under concurrent load (1.0 = no \
              coalescing)\"}}\n  }}\n}}\n",
@@ -110,6 +127,14 @@ impl LoadgenReport {
             self.coalesced_rps,
             self.single_p99_us,
             self.coalesced_p99_us,
+            single_train_ns,
+            coalesced_train_ns,
+            self.coalesced_train_rps / self.single_train_rps,
+            self.config.clients,
+            self.single_train_rps,
+            self.coalesced_train_rps,
+            self.train_requests,
+            self.coalesced_final_version,
             1.0 / self.coalesced_mean_batch.max(1e-9),
             self.coalesced_mean_batch,
         )
@@ -145,16 +170,38 @@ pub fn synthetic_model(dim: usize, edge: usize) -> HdcClassifier<PixelEncoder> {
     model
 }
 
-/// Runs one measured side: starts a server with `batch`, saturates it, and
-/// returns `(requests/second, mean batch size, p99 µs)`.
-fn run_side(config: &LoadgenConfig, batch: BatchConfig) -> (f64, f64, u64) {
+/// One measured side's numbers.
+struct SideReport {
+    rps: f64,
+    train_rps: f64,
+    mean_batch: f64,
+    p99_us: u64,
+    final_version: u64,
+}
+
+/// Writes one bar-pattern image (the synthetic model's class geometry)
+/// into `img` and returns its class label.
+fn bar_image(img: &mut [u8], edge: usize, row: usize) -> usize {
+    let classes = edge.min(4);
+    img.fill(0);
+    for x in 0..edge {
+        img[(row % edge) * edge + x] = 224;
+    }
+    // Rows map to classes the way `synthetic_model` trained them.
+    ((row % edge) * classes / edge).min(classes - 1)
+}
+
+/// Runs one measured side: starts a server with `batch`, saturates it
+/// with predicts, then with single-example online trains.
+fn run_side(config: &LoadgenConfig, batch: BatchConfig) -> SideReport {
     let metrics = Arc::new(Metrics::new());
     let registry = Arc::new(Registry::new(Arc::clone(&metrics), batch));
     registry
         .insert_model("default", synthetic_model(config.dim, config.edge))
         .expect("register loadgen model");
     let server_config = ServerConfig { workers: config.clients + 2, ..ServerConfig::default() };
-    let mut server = Server::start(registry, &server_config).expect("start loadgen server");
+    let mut server =
+        Server::start(Arc::clone(&registry), &server_config).expect("start loadgen server");
     let addr = server.addr();
 
     let edge = config.edge;
@@ -168,11 +215,7 @@ fn run_side(config: &LoadgenConfig, batch: BatchConfig) -> (f64, f64, u64) {
                 for i in 0..per_client {
                     // Vary the image so encode work is realistic, not
                     // memoizable.
-                    let row = (client_id + i) % edge;
-                    img.fill(0);
-                    for x in 0..edge {
-                        img[row * edge + x] = 224;
-                    }
+                    bar_image(&mut img, edge, client_id + i);
                     let body = Client::predict_body("default", &img);
                     let response =
                         client.post("/v1/predict", &body).expect("loadgen predict request");
@@ -188,22 +231,67 @@ fn run_side(config: &LoadgenConfig, batch: BatchConfig) -> (f64, f64, u64) {
     });
     let elapsed = started.elapsed().as_secs_f64();
     let total = (config.clients * per_client) as f64;
+    let rps = total / elapsed;
+    let mean_batch = metrics.mean_batch_size();
+    let p99_us = metrics.latency_quantile_us(0.99);
+
+    // Train phase on the same live server: every client streams correctly
+    // labeled bar images through `/v1/train` (the closed-loop online
+    // learning shape — each request is one example riding the coalescer).
+    let train_per_client = config.train_requests_per_client();
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for client_id in 0..config.clients {
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect loadgen train client");
+                let mut img = vec![0u8; edge * edge];
+                for i in 0..train_per_client {
+                    let label = bar_image(&mut img, edge, client_id + i);
+                    let body = Client::train_body("default", &img, label);
+                    let response = client.post("/v1/train", &body).expect("loadgen train request");
+                    assert!(
+                        response.is_success(),
+                        "train failed: {} {}",
+                        response.status,
+                        String::from_utf8_lossy(&response.body)
+                    );
+                }
+            });
+        }
+    });
+    let train_elapsed = started.elapsed().as_secs_f64();
+    let train_rps = (config.clients * train_per_client) as f64 / train_elapsed;
+    let final_version = registry.get("default").expect("loadgen model").version();
+    assert!(final_version > 0, "train traffic must have published at least one batch");
+
     server.shutdown();
-    (total / elapsed, metrics.mean_batch_size(), metrics.latency_quantile_us(0.99))
+    SideReport { rps, train_rps, mean_batch, p99_us, final_version }
+}
+
+impl LoadgenConfig {
+    /// Train requests per client: a fraction of the predict load (training
+    /// is the rarer operation, and each request clones counters server-side).
+    fn train_requests_per_client(&self) -> usize {
+        (self.requests_per_client / 4).max(8)
+    }
 }
 
 /// Runs both sides and assembles the report.
 pub fn run(config: &LoadgenConfig) -> LoadgenReport {
-    let (single_rps, single_mean, single_p99) = run_side(config, BatchConfig::batch_size_1());
-    assert!(single_mean <= 1.0 + 1e-9, "baseline must not coalesce");
-    let (coalesced_rps, coalesced_mean, coalesced_p99) = run_side(config, config.coalesce);
+    let single = run_side(config, BatchConfig::batch_size_1());
+    assert!(single.mean_batch <= 1.0 + 1e-9, "baseline must not coalesce");
+    let coalesced = run_side(config, config.coalesce);
     LoadgenReport {
-        coalesced_rps,
-        single_rps,
-        coalesced_mean_batch: coalesced_mean,
-        coalesced_p99_us: coalesced_p99,
-        single_p99_us: single_p99,
+        coalesced_rps: coalesced.rps,
+        single_rps: single.rps,
+        coalesced_train_rps: coalesced.train_rps,
+        single_train_rps: single.train_rps,
+        coalesced_mean_batch: coalesced.mean_batch,
+        coalesced_final_version: coalesced.final_version,
+        coalesced_p99_us: coalesced.p99_us,
+        single_p99_us: single.p99_us,
         requests: config.clients * config.requests_per_client,
+        train_requests: config.clients * config.train_requests_per_client(),
         config: config.clone(),
     }
 }
@@ -224,6 +312,8 @@ mod tests {
         let report = run(&config);
         assert_eq!(report.requests, 160);
         assert!(report.single_rps > 0.0 && report.coalesced_rps > 0.0);
+        assert!(report.single_train_rps > 0.0 && report.coalesced_train_rps > 0.0);
+        assert!(report.coalesced_final_version > 0, "training must bump the version");
         assert!(
             report.coalesced_mean_batch > 1.0,
             "coalescing run must batch, mean {}",
@@ -232,6 +322,7 @@ mod tests {
         let json = report.to_bench_json(true);
         assert!(json.contains("\"suite\": \"serve\""), "{json}");
         assert!(json.contains("serve_predict"), "{json}");
+        assert!(json.contains("serve_train"), "{json}");
         assert!(json.contains("serve_coalescing"), "{json}");
     }
 }

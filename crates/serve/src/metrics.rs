@@ -39,6 +39,17 @@ pub struct Metrics {
     latency_count: AtomicU64,
     latency_sum_us: AtomicU64,
     latency_hist: [AtomicU64; LATENCY_BUCKETS],
+    /// Online learning: `/v1/train` requests and the examples they
+    /// carried that were absorbed.
+    train_requests: AtomicU64,
+    train_examples: AtomicU64,
+    /// Coalesced update batches actually published by the batchers (one
+    /// model-version bump each) and the examples they absorbed.
+    train_batches: AtomicU64,
+    train_batch_examples: AtomicU64,
+    /// `/v1/feedback` requests and how many applied an adaptive update.
+    feedback_requests: AtomicU64,
+    feedback_applied: AtomicU64,
 }
 
 impl Default for Metrics {
@@ -64,6 +75,12 @@ impl Metrics {
             latency_count: AtomicU64::new(0),
             latency_sum_us: AtomicU64::new(0),
             latency_hist: std::array::from_fn(|_| AtomicU64::new(0)),
+            train_requests: AtomicU64::new(0),
+            train_examples: AtomicU64::new(0),
+            train_batches: AtomicU64::new(0),
+            train_batch_examples: AtomicU64::new(0),
+            feedback_requests: AtomicU64::new(0),
+            feedback_applied: AtomicU64::new(0),
         }
     }
 
@@ -105,6 +122,43 @@ impl Metrics {
         // Bucket i covers us < 2^(i+1): 64 - leading_zeros(us|1) - 1 bits.
         let bucket = (64 - (us | 1).leading_zeros() as usize - 1).min(LATENCY_BUCKETS - 1);
         self.latency_hist[bucket].fetch_add(1, Relaxed);
+    }
+
+    /// Counts one `/v1/train` request whose `examples` were absorbed.
+    pub fn on_train(&self, examples: usize) {
+        self.train_requests.fetch_add(1, Relaxed);
+        self.train_examples.fetch_add(examples as u64, Relaxed);
+    }
+
+    /// Records one coalesced update batch published by a batcher worker
+    /// (one model-version bump absorbing `examples` examples/updates).
+    pub fn on_train_batch(&self, examples: usize) {
+        self.train_batches.fetch_add(1, Relaxed);
+        self.train_batch_examples.fetch_add(examples as u64, Relaxed);
+    }
+
+    /// Counts one `/v1/feedback` request and whether it applied an update.
+    pub fn on_feedback(&self, applied: bool) {
+        self.feedback_requests.fetch_add(1, Relaxed);
+        if applied {
+            self.feedback_applied.fetch_add(1, Relaxed);
+        }
+    }
+
+    /// Total examples absorbed through `/v1/train`.
+    pub fn train_examples(&self) -> u64 {
+        self.train_examples.load(Relaxed)
+    }
+
+    /// Mean examples per published update batch (0 when none ran) — the
+    /// training-side coalescing proof, analogous to
+    /// [`mean_batch_size`](Self::mean_batch_size).
+    pub fn mean_train_batch_size(&self) -> f64 {
+        let count = self.train_batches.load(Relaxed);
+        if count == 0 {
+            return 0.0;
+        }
+        self.train_batch_examples.load(Relaxed) as f64 / count as f64
     }
 
     /// Mean executed batch size (0 when nothing ran yet).
@@ -201,6 +255,23 @@ impl Metrics {
                 ]),
             ),
             (
+                "training",
+                Json::obj([
+                    ("requests", Json::from(self.train_requests.load(Relaxed))),
+                    ("examples", Json::from(self.train_examples.load(Relaxed))),
+                    ("batches", Json::from(self.train_batches.load(Relaxed))),
+                    ("batch_examples", Json::from(self.train_batch_examples.load(Relaxed))),
+                    ("mean_batch_size", Json::from(self.mean_train_batch_size())),
+                    (
+                        "feedback",
+                        Json::obj([
+                            ("requests", Json::from(self.feedback_requests.load(Relaxed))),
+                            ("applied", Json::from(self.feedback_applied.load(Relaxed))),
+                        ]),
+                    ),
+                ]),
+            ),
+            (
                 "latency_us",
                 Json::obj([
                     ("count", Json::from(latency_count)),
@@ -272,6 +343,26 @@ mod tests {
         assert_eq!(m.latency_quantile_us(0.50), 128);
         assert_eq!(m.latency_quantile_us(0.99), 128);
         assert_eq!(m.latency_quantile_us(1.0), 8192);
+    }
+
+    #[test]
+    fn training_counters_and_render() {
+        let m = Metrics::new();
+        m.on_train(3);
+        m.on_train(1);
+        m.on_train_batch(4);
+        m.on_feedback(true);
+        m.on_feedback(false);
+        assert_eq!(m.train_examples(), 4);
+        assert!((m.mean_train_batch_size() - 4.0).abs() < 1e-12);
+        let snap = m.render();
+        let training = snap.get("training").unwrap();
+        assert_eq!(training.get("requests").unwrap().as_f64(), Some(2.0));
+        assert_eq!(training.get("examples").unwrap().as_f64(), Some(4.0));
+        assert_eq!(training.get("batches").unwrap().as_f64(), Some(1.0));
+        let feedback = training.get("feedback").unwrap();
+        assert_eq!(feedback.get("requests").unwrap().as_f64(), Some(2.0));
+        assert_eq!(feedback.get("applied").unwrap().as_f64(), Some(1.0));
     }
 
     #[test]

@@ -6,17 +6,55 @@
 //! requests in flight keep the entry (and worker) they resolved, new
 //! requests see the new model, and a failed reload leaves the old model
 //! serving untouched.
+//!
+//! ## Online training
+//!
+//! Each entry's model lives behind a [`SharedModel`]: an `Arc` snapshot
+//! swapped atomically by the entry's batcher worker when a coalesced
+//! training batch lands (`partial_fit_batch` on a private clone, then
+//! publish). Readers — predict handlers, explicit batch predicts — take
+//! the current snapshot and never block on training compute. Every
+//! published training batch bumps the model's monotonic `version`
+//! (reported in `/v1/models` and `/metrics`); the version lineage survives
+//! hot reloads of the same name. [`Registry::snapshot`] persists the
+//! current counter state atomically (write to a temp file, then rename),
+//! so a `POST /v1/snapshot` + `POST /v1/reload` round trip resumes
+//! training exactly where the live model left off.
+//!
+//! ## Worked example
+//!
+//! ```
+//! use hdc_serve::batcher::BatchConfig;
+//! use hdc_serve::metrics::Metrics;
+//! use hdc_serve::registry::Registry;
+//! use hdc_serve::loadgen::synthetic_model;
+//! use std::sync::Arc;
+//!
+//! let registry = Registry::new(Arc::new(Metrics::new()), BatchConfig::default());
+//! registry.insert_model("default", synthetic_model(1_024, 4))?;
+//!
+//! let entry = registry.get("default")?;
+//! assert_eq!(entry.version(), 0); // no training batches yet
+//!
+//! // Online update: one labeled example through the coalescer.
+//! let outcome = entry.batcher().train(vec![(vec![224u8; 16], 1)])?;
+//! assert_eq!(outcome.applied, 1);
+//! assert_eq!(outcome.version, 1);
+//! assert_eq!(entry.version(), 1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
 
 use crate::batcher::{BatchConfig, Batcher};
 use crate::error::ServeError;
 use crate::json::Json;
 use crate::metrics::Metrics;
-use hdc::io::load_pixel_classifier;
+use hdc::io::{load_pixel_classifier, save_pixel_classifier};
 use hdc::prelude::*;
 use std::collections::BTreeMap;
 use std::fs::File;
 use std::io::BufReader;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
 /// Static facts about one registered model, for `/v1/models`.
@@ -60,28 +98,122 @@ impl ModelInfo {
     }
 }
 
-/// One live model: the classifier, its coalescer, and its metadata.
+/// The mutable heart of one served model: an atomically swapped snapshot
+/// plus its training lineage counters.
+///
+/// Readers call [`snapshot`](Self::snapshot) and work on a consistent
+/// `Arc` that training can never mutate under them; the entry's batcher
+/// worker is the single writer and swaps in a freshly trained clone via
+/// `publish`.
+#[derive(Debug)]
+pub struct SharedModel {
+    current: RwLock<Arc<HdcClassifier<PixelEncoder>>>,
+    /// Monotonic per-name training version: +1 per published training
+    /// batch, carried across hot reloads of the same name.
+    version: AtomicU64,
+    /// Total examples absorbed online (train + applied feedback).
+    trained_examples: AtomicU64,
+}
+
+impl SharedModel {
+    fn new(model: Arc<HdcClassifier<PixelEncoder>>) -> Self {
+        Self {
+            current: RwLock::new(model),
+            version: AtomicU64::new(0),
+            trained_examples: AtomicU64::new(0),
+        }
+    }
+
+    /// Wraps a finalized model for direct [`Batcher`] use without a
+    /// [`Registry`] (embedding, tests). Version starts at 0.
+    pub fn standalone(model: HdcClassifier<PixelEncoder>) -> Self {
+        Self::new(Arc::new(model))
+    }
+
+    /// The current model snapshot. Cheap (one `Arc` clone under a read
+    /// lock); the returned model is immutable and stays valid however
+    /// much training happens after.
+    pub fn snapshot(&self) -> Arc<HdcClassifier<PixelEncoder>> {
+        Arc::clone(&self.current.read().expect("model lock"))
+    }
+
+    /// The model's training version: 0 at (re)load, +1 per published
+    /// training batch.
+    pub fn version(&self) -> u64 {
+        self.version.load(Ordering::Acquire)
+    }
+
+    /// Total examples absorbed online across this name's lineage
+    /// (inherited, like the version, across hot reloads).
+    pub fn trained_examples(&self) -> u64 {
+        self.trained_examples.load(Ordering::Relaxed)
+    }
+
+    /// Swaps in a newly trained model and bumps the version. Called only
+    /// by the entry's batcher worker (the single writer); returns the new
+    /// version.
+    pub(crate) fn publish(&self, model: Arc<HdcClassifier<PixelEncoder>>, examples: u64) -> u64 {
+        *self.current.write().expect("model lock") = model;
+        self.trained_examples.fetch_add(examples, Ordering::Relaxed);
+        self.version.fetch_add(1, Ordering::AcqRel) + 1
+    }
+
+    /// Restores a training lineage after a hot reload (registry-internal):
+    /// both the version and the absorbed-example count carry over, so the
+    /// two counters never disagree across a snapshot → reload round trip.
+    fn inherit_lineage(&self, version: u64, trained_examples: u64) {
+        self.version.store(version, Ordering::Release);
+        self.trained_examples.store(trained_examples, Ordering::Relaxed);
+    }
+}
+
+/// One live model: the shared trainable classifier, its coalescer, and
+/// its metadata.
 #[derive(Debug)]
 pub struct ModelEntry {
-    model: Arc<HdcClassifier<PixelEncoder>>,
+    shared: Arc<SharedModel>,
     batcher: Batcher,
     info: ModelInfo,
 }
 
 impl ModelEntry {
-    /// The classifier itself (for direct batch calls).
-    pub fn model(&self) -> &HdcClassifier<PixelEncoder> {
-        &self.model
+    /// The current model snapshot (for direct batch calls). The snapshot
+    /// is taken per call; hold it across related operations for a
+    /// consistent view.
+    pub fn model(&self) -> Arc<HdcClassifier<PixelEncoder>> {
+        self.shared.snapshot()
     }
 
-    /// The coalescing queue for single-input predicts.
+    /// The swap cell this entry serves from.
+    pub fn shared(&self) -> &Arc<SharedModel> {
+        &self.shared
+    }
+
+    /// The coalescing queue for single-input predicts and online training.
     pub fn batcher(&self) -> &Batcher {
         &self.batcher
     }
 
-    /// Model metadata.
+    /// Model metadata (static facts; the live training version is
+    /// [`version`](Self::version)).
     pub fn info(&self) -> &ModelInfo {
         &self.info
+    }
+
+    /// The model's current training version.
+    pub fn version(&self) -> u64 {
+        self.shared.version()
+    }
+
+    /// Renders the `/v1/models` entry: static metadata plus the live
+    /// training version and absorbed-example count.
+    pub fn render_info(&self) -> Json {
+        let mut doc = self.info.render();
+        if let Json::Obj(map) = &mut doc {
+            map.insert("version".into(), Json::from(self.shared.version()));
+            map.insert("trained_examples".into(), Json::from(self.shared.trained_examples()));
+        }
+        doc
     }
 }
 
@@ -128,15 +260,29 @@ impl Registry {
             generation: 0, // assigned under the write lock below
             path,
         };
-        let model = Arc::new(model);
+        let shared = Arc::new(SharedModel::new(Arc::new(model)));
         let batcher =
-            Batcher::start(Arc::clone(&model), Arc::clone(&self.metrics), self.batch_config);
+            Batcher::start(Arc::clone(&shared), Arc::clone(&self.metrics), self.batch_config);
         // Generation is read and bumped under the same write lock as the
         // insert, so concurrent reloads of one name serialize and the
-        // visible generation is strictly increasing per name.
+        // visible generation (and inherited training version) is strictly
+        // increasing per name.
         let mut models = self.models.write().expect("registry lock");
-        info.generation = models.get(name).map_or(1, |old| old.info.generation + 1);
-        let entry = Arc::new(ModelEntry { model, batcher, info: info.clone() });
+        if let Some(old) = models.get(name) {
+            info.generation = old.info.generation + 1;
+            // The training lineage survives reloads: a snapshot → reload
+            // round trip keeps counting from where training left off.
+            // Caveat: a train that resolved the *old* entry before this
+            // swap applies to the orphaned model (the same keep-your-entry
+            // semantics in-flight predicts get) and may report a version
+            // the new lineage reuses; reload while training is a
+            // deliberate operator action, so we document rather than
+            // serialize it.
+            shared.inherit_lineage(old.shared.version(), old.shared.trained_examples());
+        } else {
+            info.generation = 1;
+        }
+        let entry = Arc::new(ModelEntry { shared, batcher, info: info.clone() });
         models.insert(name.to_owned(), entry);
         Ok(info)
     }
@@ -192,9 +338,61 @@ impl Registry {
         })
     }
 
-    /// Metadata for every registered model, in name order.
-    pub fn list(&self) -> Vec<ModelInfo> {
-        self.models.read().expect("registry lock").values().map(|e| e.info.clone()).collect()
+    /// Every registered entry, in name order (live handles: version and
+    /// model snapshot read current state; render with
+    /// [`ModelEntry::render_info`] for the `/v1/models` view).
+    pub fn entries(&self) -> Vec<Arc<ModelEntry>> {
+        self.models.read().expect("registry lock").values().cloned().collect()
+    }
+
+    /// Persists the current counter state of `name` to `path`
+    /// **atomically**: the model is serialized to a temporary file in the
+    /// target directory and renamed over `path`, so a concurrent
+    /// `/v1/reload` (or a crash mid-write) can never observe a torn model
+    /// file. Returns the persisted training version.
+    ///
+    /// The saved file contains the trainable accumulators, so loading it
+    /// back — here or on another instance — resumes training bit-exactly.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::NotFound`] for an unknown model,
+    /// [`ServeError::Internal`] for filesystem failures.
+    pub fn snapshot(&self, name: &str, path: &Path) -> Result<u64, ServeError> {
+        let entry = self.get(name)?;
+        // Consistent pair: the version is read before the snapshot, so the
+        // reported version is never newer than the persisted counters.
+        let version = entry.shared.version();
+        let model = entry.shared.snapshot();
+        // Unique per call (pid + counter), so concurrent snapshots to the
+        // same destination never interleave writes in one temp file — each
+        // writes its own and the renames land whole-file atomically.
+        static SNAPSHOT_SEQ: AtomicU64 = AtomicU64::new(0);
+        let seq = SNAPSHOT_SEQ.fetch_add(1, Ordering::Relaxed);
+        let tmp = path.with_extension(format!("tmp-{}-{seq}", std::process::id()));
+        // Serialize, flush AND fsync before the rename: a buffered tail
+        // lost in drop (ENOSPC on the implicit flush) must surface as an
+        // error here, never as a silently truncated file renamed into
+        // place. Any failure removes the temp file.
+        let write_whole = || -> std::io::Result<()> {
+            let file = File::create(&tmp)?;
+            let mut writer = std::io::BufWriter::new(file);
+            save_pixel_classifier(&model, &mut writer).map_err(std::io::Error::other)?;
+            let file = writer.into_inner().map_err(std::io::IntoInnerError::into_error)?;
+            file.sync_all()
+        };
+        write_whole().map_err(|e| {
+            let _ = std::fs::remove_file(&tmp);
+            ServeError::Internal(format!(
+                "cannot write snapshot of '{name}' to {}: {e}",
+                tmp.display()
+            ))
+        })?;
+        std::fs::rename(&tmp, path).map_err(|e| {
+            let _ = std::fs::remove_file(&tmp);
+            ServeError::Internal(format!("cannot move snapshot into {}: {e}", path.display()))
+        })?;
+        Ok(version)
     }
 
     /// Number of registered models.
@@ -245,7 +443,7 @@ mod tests {
         assert_eq!((info.width, info.height, info.classes), (4, 4, 2));
         let entry = r.get("default").unwrap();
         assert_eq!(entry.info().name, "default");
-        assert_eq!(r.list().len(), 1);
+        assert_eq!(r.entries().len(), 1);
         assert!(matches!(r.get("nope"), Err(ServeError::NotFound(_))));
     }
 

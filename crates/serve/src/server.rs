@@ -213,12 +213,17 @@ fn route(
 ) -> (u16, Vec<(&'static str, &'static str)>, String) {
     let result = match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => handle_healthz(registry),
-        ("GET", "/metrics") => Ok(registry.metrics().render()),
+        ("GET", "/metrics") => handle_metrics(registry),
         ("GET", "/v1/models") => handle_models(registry),
         ("POST", "/v1/predict") => handle_predict(request, registry),
+        ("POST", "/v1/train") => handle_train(request, registry),
+        ("POST", "/v1/feedback") => handle_feedback(request, registry),
+        ("POST", "/v1/snapshot") => handle_snapshot(request, registry),
         ("POST", "/v1/reload") => handle_reload(request, registry),
         (_, "/healthz" | "/metrics" | "/v1/models") => Err(ServeError::MethodNotAllowed("GET")),
-        (_, "/v1/predict" | "/v1/reload") => Err(ServeError::MethodNotAllowed("POST")),
+        (_, "/v1/predict" | "/v1/train" | "/v1/feedback" | "/v1/snapshot" | "/v1/reload") => {
+            Err(ServeError::MethodNotAllowed("POST"))
+        }
         (_, path) => Err(ServeError::NotFound(format!("no route for '{path}'"))),
     };
     match result {
@@ -238,8 +243,29 @@ fn handle_healthz(registry: &Registry) -> Result<Json, ServeError> {
 }
 
 fn handle_models(registry: &Registry) -> Result<Json, ServeError> {
-    let models: Vec<Json> = registry.list().iter().map(|info| info.render()).collect();
+    let models: Vec<Json> = registry.entries().iter().map(|entry| entry.render_info()).collect();
     Ok(Json::obj([("models", Json::Arr(models))]))
+}
+
+/// `GET /metrics` — the shared counters plus each model's live training
+/// version, so a scraper sees version bumps without hitting `/v1/models`.
+fn handle_metrics(registry: &Registry) -> Result<Json, ServeError> {
+    let mut doc = registry.metrics().render();
+    if let Json::Obj(map) = &mut doc {
+        let models: Vec<Json> = registry
+            .entries()
+            .iter()
+            .map(|entry| {
+                Json::obj([
+                    ("name", Json::from(entry.info().name.as_str())),
+                    ("version", Json::from(entry.version())),
+                    ("generation", Json::from(entry.info().generation)),
+                ])
+            })
+            .collect();
+        map.insert("models".into(), Json::Arr(models));
+    }
+    Ok(doc)
 }
 
 /// Parses the request body as a JSON object.
@@ -276,6 +302,42 @@ fn decode_input(value: &Json, what: &str) -> Result<Vec<u8>, ServeError> {
         .collect()
 }
 
+/// Reads the optional `model` field (default `"default"`).
+fn model_name(body: &Json) -> Result<&str, ServeError> {
+    match body.get("model") {
+        None => Ok("default"),
+        Some(v) => v
+            .as_str()
+            .ok_or_else(|| ServeError::BadRequest("field 'model' must be a string".into())),
+    }
+}
+
+/// Decodes a non-negative integer class label.
+fn decode_label(value: &Json, what: &str) -> Result<usize, ServeError> {
+    let n =
+        value.as_f64().ok_or_else(|| ServeError::BadRequest(format!("{what} must be a number")))?;
+    if n.trunc() != n || n < 0.0 || n > u32::MAX.into() {
+        return Err(ServeError::BadRequest(format!(
+            "{what} = {n} is not a non-negative integer class label"
+        )));
+    }
+    Ok(n as usize)
+}
+
+/// Decodes one labeled example object `{"input": [...], "label": n}`.
+fn decode_example(value: &Json, what: &str) -> Result<(Vec<u8>, usize), ServeError> {
+    let input = value
+        .get("input")
+        .ok_or_else(|| ServeError::BadRequest(format!("{what} is missing field 'input'")))?;
+    let label = value
+        .get("label")
+        .ok_or_else(|| ServeError::BadRequest(format!("{what} is missing field 'label'")))?;
+    Ok((
+        decode_input(input, &format!("{what}.input"))?,
+        decode_label(label, &format!("{what}.label"))?,
+    ))
+}
+
 fn render_prediction(p: &hdc::Prediction) -> Json {
     Json::obj([
         ("class", Json::from(p.class)),
@@ -290,12 +352,7 @@ fn render_prediction(p: &hdc::Prediction) -> Json {
 fn handle_predict(request: &Request, registry: &Registry) -> Result<Json, ServeError> {
     let started = Instant::now();
     let body = parse_body(request)?;
-    let model_name = match body.get("model") {
-        None => "default",
-        Some(v) => v
-            .as_str()
-            .ok_or_else(|| ServeError::BadRequest("field 'model' must be a string".into()))?,
-    };
+    let model_name = model_name(&body)?;
     let entry = registry.get(model_name)?;
     let response = match (body.get("input"), body.get("inputs")) {
         (Some(_), Some(_)) => {
@@ -346,16 +403,105 @@ fn handle_predict(request: &Request, registry: &Registry) -> Result<Json, ServeE
     Ok(response)
 }
 
+/// `POST /v1/train` — online learning. Body is either one labeled example
+/// `{"model": name?, "input": [...], "label": n}` or an explicit batch
+/// `{"examples": [{"input": [...], "label": n}, ...]}`. Examples ride the
+/// model's coalescing batcher into one `partial_fit_batch`; the response
+/// reports how many were absorbed and the model version after the batch.
+fn handle_train(request: &Request, registry: &Registry) -> Result<Json, ServeError> {
+    let started = Instant::now();
+    let body = parse_body(request)?;
+    let model_name = model_name(&body)?;
+    let entry = registry.get(model_name)?;
+    let examples: Vec<(Vec<u8>, usize)> = match (body.get("input"), body.get("examples")) {
+        (Some(_), Some(_)) => {
+            return Err(ServeError::BadRequest(
+                "provide either 'input'+'label' or 'examples', not both".into(),
+            ))
+        }
+        (Some(_), None) => vec![decode_example(&body, "body")?],
+        (None, Some(examples)) => {
+            let items = examples.as_array().ok_or_else(|| {
+                ServeError::BadRequest("field 'examples' must be an array of objects".into())
+            })?;
+            if items.is_empty() {
+                return Err(ServeError::BadRequest("'examples' must not be empty".into()));
+            }
+            items
+                .iter()
+                .enumerate()
+                .map(|(i, item)| decode_example(item, &format!("examples[{i}]")))
+                .collect::<Result<_, _>>()?
+        }
+        (None, None) => {
+            return Err(ServeError::BadRequest(
+                "body must contain 'input'+'label' (one example) or 'examples' (array)".into(),
+            ))
+        }
+    };
+    let outcome = entry.batcher().train(examples)?;
+    registry.metrics().on_train(outcome.applied);
+    registry.metrics().on_latency(started.elapsed());
+    Ok(Json::obj([
+        ("model", Json::from(model_name)),
+        ("trained", Json::from(outcome.applied)),
+        ("version", Json::from(outcome.version)),
+    ]))
+}
+
+/// `POST /v1/feedback` — body `{"model": name?, "input": [...], "label": n}`:
+/// report the true label for an input (typically one the client previously
+/// predicted). The model applies an adaptive update only if it mispredicts
+/// the input; the response says what it predicted and whether it learned.
+fn handle_feedback(request: &Request, registry: &Registry) -> Result<Json, ServeError> {
+    let started = Instant::now();
+    let body = parse_body(request)?;
+    let model_name = model_name(&body)?;
+    let entry = registry.get(model_name)?;
+    let (input, label) = decode_example(&body, "body")?;
+    let outcome = entry.batcher().feedback(input, label)?;
+    registry.metrics().on_feedback(outcome.updated);
+    registry.metrics().on_latency(started.elapsed());
+    Ok(Json::obj([
+        ("model", Json::from(model_name)),
+        ("predicted", Json::from(outcome.prediction.class)),
+        ("correct", Json::from(outcome.prediction.class == label)),
+        ("updated", Json::from(outcome.updated)),
+        ("version", Json::from(outcome.version)),
+    ]))
+}
+
+/// `POST /v1/snapshot` — body `{"model": name?, "path": "file.hdc"}`:
+/// atomically persist the model's current trainable counter state (temp
+/// file + rename, reusing the `hdc::io` format the reload path consumes),
+/// so online progress survives restarts.
+///
+/// Like `/v1/reload` (arbitrary-path read), this writes wherever the
+/// server user can — the server's trust model is a private network; put
+/// it behind a proxy before exposing it further (see ROADMAP).
+fn handle_snapshot(request: &Request, registry: &Registry) -> Result<Json, ServeError> {
+    let body = parse_body(request)?;
+    let model_name = model_name(&body)?;
+    let path = body
+        .get("path")
+        .and_then(Json::as_str)
+        .ok_or_else(|| ServeError::BadRequest("field 'path' (string) is required".into()))?;
+    let version = registry.snapshot(model_name, std::path::Path::new(path))?;
+    Ok(Json::obj([(
+        "snapshot",
+        Json::obj([
+            ("model", Json::from(model_name)),
+            ("path", Json::from(path)),
+            ("version", Json::from(version)),
+        ]),
+    )]))
+}
+
 /// `POST /v1/reload` — body `{"model": name?, "path": "file.hdc"}`: load or
 /// hot-swap a model from disk. A failed load keeps the old model serving.
 fn handle_reload(request: &Request, registry: &Registry) -> Result<Json, ServeError> {
     let body = parse_body(request)?;
-    let model_name = match body.get("model") {
-        None => "default",
-        Some(v) => v
-            .as_str()
-            .ok_or_else(|| ServeError::BadRequest("field 'model' must be a string".into()))?,
-    };
+    let model_name = model_name(&body)?;
     let path = body
         .get("path")
         .and_then(Json::as_str)
@@ -481,6 +627,140 @@ mod tests {
         let (status, _headers, _) =
             route(&post("/v1/reload", "{\"path\":\"/nonexistent.hdc\"}"), &registry);
         assert_eq!(status, 400);
+    }
+
+    #[test]
+    fn train_changes_predictions_and_bumps_version() {
+        let registry = registry_with_model();
+        let grey: Vec<String> = std::iter::repeat_n("128".to_owned(), 16).collect();
+        let grey = grey.join(",");
+
+        // Absorb several mid-grey examples labeled class 0; the decision
+        // boundary must move and the version must count the batches.
+        let mut version = 0.0;
+        for _ in 0..6 {
+            let body = format!("{{\"input\":[{grey}],\"label\":0}}");
+            let (status, _h, response) = route(&post("/v1/train", &body), &registry);
+            assert_eq!(status, 200, "{response}");
+            let doc = crate::json::parse(response.as_bytes()).unwrap();
+            assert_eq!(doc.get("trained").unwrap().as_f64(), Some(1.0));
+            let v = doc.get("version").unwrap().as_f64().unwrap();
+            assert!(v > version, "version must be monotonic: {v} after {version}");
+            version = v;
+        }
+
+        let (status, _h, response) =
+            route(&post("/v1/predict", &format!("{{\"input\":[{grey}]}}")), &registry);
+        assert_eq!(status, 200);
+        assert!(response.contains("\"class\":0"), "training must win the probe: {response}");
+
+        // The version shows up in /v1/models and /metrics.
+        let (_s, _h, models) = route(&get("/v1/models"), &registry);
+        assert!(models.contains(&format!("\"version\":{version}")), "{models}");
+        let (_s, _h, metrics) = route(&get("/metrics"), &registry);
+        assert!(metrics.contains("\"training\""), "{metrics}");
+        assert!(metrics.contains(&format!("\"version\":{version}")), "{metrics}");
+
+        // Batch form.
+        let body = format!(
+            "{{\"examples\":[{{\"input\":[{grey}],\"label\":0}},{{\"input\":[{grey}],\"label\":0}}]}}"
+        );
+        let (status, _h, response) = route(&post("/v1/train", &body), &registry);
+        assert_eq!(status, 200, "{response}");
+        assert!(response.contains("\"trained\":2"), "{response}");
+    }
+
+    #[test]
+    fn train_rejects_malformed_bodies() {
+        let registry = registry_with_model();
+        for bad in [
+            "{}",
+            "{\"input\":[1,2,3]}",                         // no label
+            "{\"input\":[0],\"label\":-1}",                // negative label
+            "{\"input\":[0],\"label\":0.5}",               // fractional label
+            "{\"examples\":[]}",                           // empty batch
+            "{\"examples\":[{\"label\":0}]}",              // example missing input
+            "{\"input\":[0],\"label\":0,\"examples\":[]}", // both forms
+        ] {
+            let (status, _h, body) = route(&post("/v1/train", bad), &registry);
+            assert_eq!(status, 400, "body {bad:?} gave {body}");
+        }
+        // Wrong shape and unknown class flow back as 400 from the compute
+        // layer; neither changes the model version.
+        let (status, _h, _b) =
+            route(&post("/v1/train", "{\"input\":[1,2,3],\"label\":0}"), &registry);
+        assert_eq!(status, 400);
+        let input: Vec<String> = std::iter::repeat_n("0".to_owned(), 16).collect();
+        let body = format!("{{\"input\":[{}],\"label\":9}}", input.join(","));
+        let (status, _h, _b) = route(&post("/v1/train", &body), &registry);
+        assert_eq!(status, 400);
+        assert_eq!(registry.get("default").unwrap().version(), 0);
+    }
+
+    #[test]
+    fn feedback_applies_only_on_mistake() {
+        let registry = registry_with_model();
+        let light: Vec<String> = std::iter::repeat_n("224".to_owned(), 16).collect();
+        let light = light.join(",");
+
+        // Correct label: no update.
+        let body = format!("{{\"input\":[{light}],\"label\":1}}");
+        let (status, _h, response) = route(&post("/v1/feedback", &body), &registry);
+        assert_eq!(status, 200, "{response}");
+        assert!(response.contains("\"updated\":false"), "{response}");
+        assert!(response.contains("\"correct\":true"), "{response}");
+        assert!(response.contains("\"version\":0"), "{response}");
+
+        // Claim the light image is class 0: the model mispredicts relative
+        // to the label, updates, and the version bumps.
+        let body = format!("{{\"input\":[{light}],\"label\":0}}");
+        let (status, _h, response) = route(&post("/v1/feedback", &body), &registry);
+        assert_eq!(status, 200, "{response}");
+        assert!(response.contains("\"updated\":true"), "{response}");
+        assert!(response.contains("\"version\":1"), "{response}");
+    }
+
+    #[test]
+    fn snapshot_persists_a_loadable_model() {
+        let dir = std::env::temp_dir().join(format!("hdc-serve-snap-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.hdc");
+
+        let registry = registry_with_model();
+        // Train one example so the snapshot carries online state.
+        let input: Vec<String> = std::iter::repeat_n("128".to_owned(), 16).collect();
+        let body = format!("{{\"input\":[{}],\"label\":0}}", input.join(","));
+        let (status, _h, _b) = route(&post("/v1/train", &body), &registry);
+        assert_eq!(status, 200);
+
+        let body = format!("{{\"path\":\"{}\"}}", path.display());
+        let (status, _h, response) = route(&post("/v1/snapshot", &body), &registry);
+        assert_eq!(status, 200, "{response}");
+        assert!(response.contains("\"version\":1"), "{response}");
+
+        // The snapshot is a complete, loadable model whose counters match
+        // the live one (trainable state round-trips).
+        let loaded = hdc::io::load_pixel_classifier(std::io::BufReader::new(
+            std::fs::File::open(&path).unwrap(),
+        ))
+        .unwrap();
+        let live = registry.get("default").unwrap().model();
+        for c in 0..2 {
+            assert_eq!(
+                loaded.associative_memory().accumulator(c).unwrap(),
+                live.associative_memory().accumulator(c).unwrap(),
+                "class {c}"
+            );
+        }
+
+        // Missing path is a 400; unknown model a 404.
+        let (status, _h, _b) = route(&post("/v1/snapshot", "{}"), &registry);
+        assert_eq!(status, 400);
+        let (status, _h, _b) =
+            route(&post("/v1/snapshot", "{\"model\":\"nope\",\"path\":\"/tmp/x\"}"), &registry);
+        assert_eq!(status, 404);
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

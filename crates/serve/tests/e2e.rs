@@ -171,6 +171,169 @@ fn healthz_and_models_report_registry_state() {
     assert_eq!(m.get("classes").and_then(Json::as_f64), Some(2.0));
 }
 
+/// The PR-4 acceptance path: `POST /v1/train` on a running server
+/// measurably changes subsequent `/v1/predict` outputs, and the model
+/// `version` in `/v1/models` increments.
+#[test]
+fn train_over_http_changes_predictions_and_increments_version() {
+    let server = start_server(BatchConfig::default());
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    // Version starts at 0.
+    let models = client.get("/v1/models").unwrap().json().unwrap();
+    let m = &models.get("models").and_then(Json::as_array).unwrap()[0];
+    assert_eq!(m.get("version").and_then(Json::as_f64), Some(0.0));
+
+    // The mid-grey probe: record its pre-training prediction.
+    let grey = [128u8; PIXELS];
+    let body = Client::predict_body("default", &grey);
+    let before = client.post("/v1/predict", &body).unwrap().json().unwrap();
+    let before_sim = before.get("similarity").and_then(Json::as_f64).unwrap();
+
+    // Absorb grey-labeled-0 examples online until the boundary moves.
+    let pixels: Vec<String> = grey.iter().map(|p| p.to_string()).collect();
+    let train_body = format!("{{\"input\":[{}],\"label\":0}}", pixels.join(","));
+    let mut last_version = 0.0;
+    for _ in 0..6 {
+        let response = client.post("/v1/train", &train_body).unwrap();
+        assert_eq!(response.status, 200, "{}", String::from_utf8_lossy(&response.body));
+        let doc = response.json().unwrap();
+        assert_eq!(doc.get("trained").and_then(Json::as_f64), Some(1.0));
+        let version = doc.get("version").and_then(Json::as_f64).unwrap();
+        assert!(version > last_version, "version must increment per batch");
+        last_version = version;
+    }
+
+    // Predictions changed measurably: the probe now lands in class 0.
+    let after = client.post("/v1/predict", &body).unwrap().json().unwrap();
+    assert_eq!(after.get("class").and_then(Json::as_f64), Some(0.0));
+    let after_sim = after.get("similarity").and_then(Json::as_f64).unwrap();
+    assert_ne!(before_sim, after_sim, "similarities must move with training");
+
+    // /v1/models and /metrics report the bumped version.
+    let models = client.get("/v1/models").unwrap().json().unwrap();
+    let m = &models.get("models").and_then(Json::as_array).unwrap()[0];
+    assert_eq!(m.get("version").and_then(Json::as_f64), Some(last_version));
+    assert_eq!(m.get("trained_examples").and_then(Json::as_f64), Some(6.0));
+    let metrics = client.get("/metrics").unwrap().json().unwrap();
+    let training = metrics.get("training").expect("training section");
+    assert_eq!(training.get("examples").and_then(Json::as_f64), Some(6.0));
+    let entry = &metrics.get("models").and_then(Json::as_array).unwrap()[0];
+    assert_eq!(entry.get("version").and_then(Json::as_f64), Some(last_version));
+}
+
+#[test]
+fn concurrent_train_requests_coalesce_into_shared_versions() {
+    // A generous linger so concurrent single-example trains land in one
+    // coalesced partial_fit_batch — proved by the version advancing by
+    // fewer steps than there were requests.
+    let batch = BatchConfig { max_batch: 64, max_linger: Duration::from_millis(5) };
+    let server = start_server(batch);
+    let addr = server.addr();
+
+    const CLIENTS: usize = 6;
+    const REQUESTS: usize = 20;
+    std::thread::scope(|scope| {
+        for c in 0..CLIENTS {
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                let fill = if c % 2 == 0 { 16u8 } else { 208u8 };
+                let label = usize::from(fill == 208);
+                let pixels: Vec<String> = [fill; PIXELS].iter().map(|p| p.to_string()).collect();
+                let body = format!("{{\"input\":[{}],\"label\":{label}}}", pixels.join(","));
+                for _ in 0..REQUESTS {
+                    let response = client.post("/v1/train", &body).unwrap();
+                    assert_eq!(response.status, 200, "{}", String::from_utf8_lossy(&response.body));
+                }
+            });
+        }
+    });
+
+    let mut client = Client::connect(addr).unwrap();
+    let metrics = client.get("/metrics").unwrap().json().unwrap();
+    let training = metrics.get("training").unwrap();
+    let examples = training.get("examples").and_then(Json::as_f64).unwrap();
+    assert_eq!(examples, (CLIENTS * REQUESTS) as f64, "no example may be lost");
+    let batches = training.get("batches").and_then(Json::as_f64).unwrap();
+    assert!(
+        batches < examples,
+        "concurrent trains must coalesce: {batches} batches for {examples} examples"
+    );
+    let version = metrics.get("models").and_then(Json::as_array).unwrap()[0]
+        .get("version")
+        .and_then(Json::as_f64)
+        .unwrap();
+    assert_eq!(version, batches, "one version bump per published training batch");
+}
+
+#[test]
+fn feedback_over_http_repairs_a_wrong_model() {
+    let server = start_server(BatchConfig::default());
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    let pixels: Vec<String> = [224u8; PIXELS].iter().map(|p| p.to_string()).collect();
+    let pixels = pixels.join(",");
+
+    // Correct feedback: acknowledged, not applied.
+    let body = format!("{{\"input\":[{pixels}],\"label\":1}}");
+    let doc = client.post("/v1/feedback", &body).unwrap().json().unwrap();
+    assert_eq!(doc.get("updated").and_then(Json::as_f64), None); // bool, not number
+    assert_eq!(doc.get("updated").and_then(|v| v.as_bool()), Some(false));
+    assert_eq!(doc.get("correct").and_then(|v| v.as_bool()), Some(true));
+
+    // Adversarial feedback: insist the light image is class 0 until the
+    // model relabels it (each mispredicting round applies one update).
+    let body = format!("{{\"input\":[{pixels}],\"label\":0}}");
+    let mut updated_rounds = 0;
+    for _ in 0..12 {
+        let doc = client.post("/v1/feedback", &body).unwrap().json().unwrap();
+        if doc.get("correct").and_then(|v| v.as_bool()) == Some(true) {
+            break;
+        }
+        assert_eq!(doc.get("updated").and_then(|v| v.as_bool()), Some(true));
+        updated_rounds += 1;
+    }
+    assert!(updated_rounds > 0, "at least one update must have applied");
+    let predict = Client::predict_body("default", &[224u8; PIXELS]);
+    let doc = client.post("/v1/predict", &predict).unwrap().json().unwrap();
+    assert_eq!(doc.get("class").and_then(Json::as_f64), Some(0.0));
+}
+
+#[test]
+fn snapshot_then_reload_resumes_the_version_lineage() {
+    let dir = std::env::temp_dir().join(format!("hdc-serve-e2e-snap-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("online.hdc");
+
+    let server = start_server(BatchConfig::default());
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    // Train twice, snapshot, reload from the snapshot.
+    let pixels: Vec<String> = [128u8; PIXELS].iter().map(|p| p.to_string()).collect();
+    let train = format!("{{\"input\":[{}],\"label\":0}}", pixels.join(","));
+    for _ in 0..2 {
+        assert_eq!(client.post("/v1/train", &train).unwrap().status, 200);
+    }
+    let body = format!("{{\"model\":\"default\",\"path\":\"{}\"}}", path.display());
+    let doc = client.post("/v1/snapshot", &body).unwrap().json().unwrap();
+    let snap = doc.get("snapshot").expect("snapshot section");
+    assert_eq!(snap.get("version").and_then(Json::as_f64), Some(2.0));
+
+    let response = client.post("/v1/reload", &body).unwrap();
+    assert_eq!(response.status, 200, "{}", String::from_utf8_lossy(&response.body));
+
+    // The reload keeps the version lineage and the trained state: the
+    // next training batch continues from version 2.
+    let doc = client.post("/v1/train", &train).unwrap().json().unwrap();
+    assert_eq!(doc.get("version").and_then(Json::as_f64), Some(3.0));
+    let models = client.get("/v1/models").unwrap().json().unwrap();
+    let m = &models.get("models").and_then(Json::as_array).unwrap()[0];
+    assert_eq!(m.get("generation").and_then(Json::as_f64), Some(2.0));
+    assert_eq!(m.get("version").and_then(Json::as_f64), Some(3.0));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn hot_reload_over_http_swaps_the_model() {
     let dir = std::env::temp_dir().join(format!("hdc-serve-e2e-{}", std::process::id()));

@@ -64,5 +64,33 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         100.0 * fresh.strategy_stats().success_rate(),
         fresh.strategy_stats().avg_iterations,
     );
+
+    // (4) Online hardening: absorb the fresh adversarial corpus through
+    // `partial_fit` — the incremental path the serving layer's /v1/train
+    // endpoint uses. Each call re-finalizes only the dirty class, so the
+    // model keeps serving between updates, and the result is bit-identical
+    // to a full retrain on the concatenated dataset.
+    let fresh_corpus = fresh.corpus;
+    let mut absorbed = 0usize;
+    for example in fresh_corpus.iter() {
+        model.partial_fit(example.adversarial.as_slice(), example.reference_label)?;
+        absorbed += 1;
+        assert!(model.is_finalized(), "partial_fit must leave the model serving");
+    }
+    let mut still_fooled = 0usize;
+    for example in fresh_corpus.iter() {
+        if model.predict(example.adversarial.as_slice())?.class != example.reference_label {
+            still_fooled += 1;
+        }
+    }
+    println!(
+        "online partial_fit absorbed {absorbed} fresh adversarial images; \
+         {still_fooled} still fool the model ({:.1}% of the absorbed set)",
+        100.0 * still_fooled as f64 / absorbed.max(1) as f64,
+    );
+    println!(
+        "clean test accuracy after online updates: {:.1}%",
+        100.0 * model.accuracy(test.pairs())?
+    );
     Ok(())
 }

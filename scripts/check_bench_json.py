@@ -18,10 +18,13 @@ Three op classes:
 * packed-vs-scalar ops (similarity kernels, encoders, CSA bundling, the
   coalescing proof): the fast path replaced a slow one outright, so
   `speedup <= MIN_SPEEDUP` means it has effectively fallen back — fail.
-* delta ops (pack_words: both sides word-level; serve_predict: coalescing
-  on a 1-CPU runner can only reach parity with batch-size-1 because the
-  compute is serialized either way): only guard against a real regression
-  (MIN_DELTA).
+* delta ops (pack_words: both sides word-level; serve_predict /
+  serve_train: coalescing on a 1-CPU runner can only reach parity with
+  batch-size-1 because the compute is serialized either way): only guard
+  against a real regression (MIN_DELTA).
+* floor-override ops (train_partial_fit: one online partial_fit must be
+  >=50x cheaper than the full retrain it replaces at 10k x 10 classes —
+  the PR-4 online-learning acceptance bar; measured ~200x).
 """
 
 import json
@@ -29,16 +32,25 @@ import sys
 
 # Margins are deliberately below the measured ratios (5-50x for the
 # packed-vs-scalar ops, ~5x mean batch for serve_coalescing on the 1-CPU
-# CI container) so VM noise cannot flake the gate, while a genuine
-# fallback (ratio ~1.0) still fails.
+# CI container, ~200x for partial_fit-vs-retrain) so VM noise cannot flake
+# the gate, while a genuine fallback (ratio ~1.0) still fails.
 MIN_SPEEDUP = 1.5
 MIN_DELTA = 0.7
 
-DELTA_OPS = {"pack_words", "serve_predict"}
+DELTA_OPS = {"pack_words", "serve_predict", "serve_train"}
+
+# Ops whose acceptance bar is stricter than the generic MIN_SPEEDUP.
+FLOOR_OVERRIDES = {"train_partial_fit": 50.0}
 
 REQUIRED_OPS = {
-    "kernels": {"encode_ngram", "encode_record", "encode_timeseries", "encode_permute_pixel"},
-    "serve": {"serve_predict", "serve_coalescing"},
+    "kernels": {
+        "encode_ngram",
+        "encode_record",
+        "encode_timeseries",
+        "encode_permute_pixel",
+        "train_partial_fit",
+    },
+    "serve": {"serve_predict", "serve_train", "serve_coalescing"},
 }
 
 
@@ -54,7 +66,7 @@ def main() -> int:
         f"quick={report['quick']} cores={report['cores']}"
     )
     for op, row in sorted(report["ops"].items()):
-        floor = MIN_DELTA if op in DELTA_OPS else MIN_SPEEDUP
+        floor = FLOOR_OVERRIDES.get(op, MIN_DELTA if op in DELTA_OPS else MIN_SPEEDUP)
         ok = row["speedup"] > floor
         status = "ok  " if ok else "FAIL"
         print(
