@@ -1,7 +1,8 @@
 //! Subcommand implementations.
 
 use crate::args::Args;
-use hdc::io::{load_pixel_classifier, save_pixel_classifier};
+use hdc::binary::BinaryClassifier;
+use hdc::io::{load_any, save_pixel_classifier};
 use hdc::prelude::*;
 use hdc_data::synth::{SynthConfig, SynthGenerator};
 use hdc_data::{pgm, Dataset, GrayImage};
@@ -50,7 +51,9 @@ fn load_dataset(images: &str, labels: Option<&str>) -> Result<Dataset, Box<dyn E
     }
 }
 
-/// `train`: one-shot training from IDX files into a model file — or, with
+/// `train`: one-shot training from IDX files into a model file of either
+/// kind (`--kind dense|binary` selects the `HDC1` or `HDB1` format; every
+/// other subcommand auto-detects the kind on load) — or, with
 /// `--serve-url HOST:PORT`, **online training of a live server**: the
 /// labeled examples stream to `POST /v1/train` in chunks (riding the
 /// server's request coalescer into `partial_fit_batch`), and the command
@@ -69,6 +72,7 @@ pub fn train(args: Args) -> CliResult {
     let dim: usize = args.get_or("dim", hdc::DEFAULT_DIM)?;
     let levels: usize = args.get_or("levels", 256)?;
     let seed: u64 = args.get_or("seed", 7)?;
+    let kind: ModelKind = args.get("kind").unwrap_or("dense").parse()?;
 
     let dataset = load_dataset(&images, Some(&labels))?;
     let first = dataset.image(0);
@@ -81,16 +85,26 @@ pub fn train(args: Args) -> CliResult {
         seed,
     })?;
     let num_classes = dataset.labels().iter().copied().max().unwrap_or(0) + 1;
-    let mut model = HdcClassifier::new(encoder, num_classes);
 
     let start = std::time::Instant::now();
-    model.train_batch(dataset.pairs())?;
+    let model: AnyModel = match kind {
+        ModelKind::Dense => {
+            let mut model = HdcClassifier::new(encoder, num_classes);
+            model.train_batch(dataset.pairs())?;
+            model.into()
+        }
+        ModelKind::Binary => {
+            let mut model = BinaryClassifier::new(encoder, num_classes);
+            model.train_batch(dataset.pairs())?;
+            model.into()
+        }
+    };
     println!(
-        "trained {num_classes}-class model (D = {dim}) on {} images in {}s",
+        "trained {num_classes}-class {kind} model (D = {dim}) on {} images in {}s",
         dataset.len(),
         fmt2(start.elapsed().as_secs_f64())
     );
-    save_pixel_classifier(&model, BufWriter::new(File::create(&out)?))?;
+    model.save(BufWriter::new(File::create(&out)?))?;
     println!("model written to {out}");
     Ok(())
 }
@@ -148,16 +162,22 @@ fn train_remote(url: &str, model: &str, chunk: usize, dataset: &Dataset) -> CliR
     Ok(())
 }
 
-/// `eval`: accuracy of a stored model over labeled IDX data.
+/// `eval`: accuracy of a stored model (either kind, auto-detected) over
+/// labeled IDX data.
 pub fn eval(args: Args) -> CliResult {
     let model_path = args.required("model")?.to_owned();
     let images = args.required("images")?.to_owned();
     let labels = args.required("labels")?.to_owned();
 
-    let model = load_pixel_classifier(BufReader::new(File::open(&model_path)?))?;
+    let model = load_any(BufReader::new(File::open(&model_path)?))?;
     let dataset = load_dataset(&images, Some(&labels))?;
     let accuracy = model.accuracy(dataset.pairs())?;
-    println!("accuracy over {} images: {}", dataset.len(), fmt_pct(accuracy));
+    println!(
+        "accuracy of {} model over {} images: {}",
+        model.kind(),
+        dataset.len(),
+        fmt_pct(accuracy)
+    );
 
     let mut table = TextTable::new(["class", "count", "accuracy"]);
     for class in 0..model.num_classes() {
@@ -183,7 +203,9 @@ fn parse_strategy(name: &str) -> Result<Strategy, Box<dyn Error>> {
     })
 }
 
-/// `fuzz`: an HDTest campaign over unlabeled images.
+/// `fuzz`: an HDTest campaign over unlabeled images. The model kind is
+/// auto-detected: dense and binarized classifiers fuzz through the same
+/// unified `Model`/`TargetModel` surface.
 pub fn fuzz(args: Args) -> CliResult {
     let model_path = args.required("model")?.to_owned();
     let images_path = args.required("images")?.to_owned();
@@ -194,7 +216,7 @@ pub fn fuzz(args: Args) -> CliResult {
     let unguided: bool = args.get_or("unguided", false)?;
     let minimize_output: bool = args.get_or("minimize", false)?;
 
-    let model = load_pixel_classifier(BufReader::new(File::open(&model_path)?))?;
+    let model = load_any(BufReader::new(File::open(&model_path)?))?;
     let dataset = load_dataset(&images_path, None)?;
     let images: Vec<GrayImage> = dataset.images().iter().take(count).cloned().collect();
 
@@ -267,9 +289,13 @@ pub fn fuzz(args: Args) -> CliResult {
 /// `serve`: long-lived HTTP inference server over stored models.
 ///
 /// `--model F` registers one model as `default`; `--models a=f1,b=f2`
-/// registers several by name (both may be combined). Requests coalesce
-/// into packed batch predicts; see the `hdc-serve` crate docs for the
-/// endpoint reference and `/metrics` for live batch/latency histograms.
+/// registers several by name (both may be combined). Model kinds are
+/// auto-detected from the file magic, so dense and binarized models serve
+/// side by side. `--model-dir DIR` jails every `/v1/reload` read and
+/// `/v1/snapshot` write (and the startup loads) inside `DIR` — escaping
+/// paths get a 403. Requests coalesce into packed batch predicts; see the
+/// `hdc-serve` crate docs for the endpoint reference and `/metrics` for
+/// live batch/latency histograms.
 pub fn serve(args: Args) -> CliResult {
     use hdc_serve::{BatchConfig, Metrics, Registry, Server, ServerConfig};
     use std::sync::Arc;
@@ -297,12 +323,22 @@ pub fn serve(args: Args) -> CliResult {
     }
 
     let batch = BatchConfig { max_batch, max_linger: Duration::from_micros(linger_us) };
-    let registry = Arc::new(Registry::new(Arc::new(Metrics::new()), batch));
+    let mut registry = Registry::new(Arc::new(Metrics::new()), batch);
+    if let Some(dir) = args.get("model-dir") {
+        registry = registry.with_model_dir(Path::new(dir))?;
+        println!("model paths jailed to {dir} (escapes get 403)");
+    }
+    let registry = Arc::new(registry);
     for (name, path) in &models {
-        let info = registry.load(name, Path::new(path))?;
+        // Startup paths are relative to the operator's cwd; absolutize
+        // them so the jail (whose *request* paths resolve relative to
+        // --model-dir instead) judges the real location.
+        let resolved = std::fs::canonicalize(path)
+            .map_err(|e| format!("cannot open model file {path}: {e}"))?;
+        let info = registry.load(name, &resolved)?;
         println!(
-            "loaded model '{name}' from {path}: D = {}, {} classes, {}x{} inputs",
-            info.dim, info.classes, info.width, info.height
+            "loaded {} model '{name}' from {path}: D = {}, {} classes, {}x{} inputs",
+            info.kind, info.dim, info.classes, info.width, info.height
         );
     }
 
@@ -325,7 +361,8 @@ pub fn serve(args: Args) -> CliResult {
 }
 
 /// `defend`: fuzz, retrain on half the corpus, re-attack, store the
-/// hardened model.
+/// hardened model. Dense models only — the §V-D retraining defense is
+/// defined on the dense accumulators.
 pub fn defend(args: Args) -> CliResult {
     let model_path = args.required("model")?.to_owned();
     let images_path = args.required("images")?.to_owned();
@@ -333,7 +370,11 @@ pub fn defend(args: Args) -> CliResult {
     let strategy = parse_strategy(args.get("strategy").unwrap_or("gauss"))?;
     let seed: u64 = args.get_or("seed", 1234)?;
 
-    let mut model = load_pixel_classifier(BufReader::new(File::open(&model_path)?))?;
+    let AnyModel::Dense(mut model) = load_any(BufReader::new(File::open(&model_path)?))? else {
+        return Err("defend requires a dense (HDC1) model; \
+                    fuzz and eval accept either kind"
+            .into());
+    };
     let dataset = load_dataset(&images_path, None)?;
 
     let campaign = Campaign::new(

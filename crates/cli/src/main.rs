@@ -26,22 +26,26 @@ USAGE:
 COMMANDS:
   gen-data   generate a synthetic digit dataset as IDX files
              --out DIR [--train N] [--test N] [--seed N]
-  train      one-shot train an HDC model from IDX files, or stream labeled
+  train      one-shot train an HDC model from IDX files (dense or binarized;
+             every other command auto-detects the kind), or stream labeled
              examples to a live server's /v1/train (online learning)
-             --images F --labels F --out F [--dim N] [--levels N] [--seed N]
+             --images F --labels F --out F [--kind dense|binary] [--dim N]
+             [--levels N] [--seed N]
              --images F --labels F --serve-url HOST:PORT [--serve-model NAME] [--chunk N]
-  eval       evaluate a model on labeled IDX data
+  eval       evaluate a model (either kind) on labeled IDX data
              --model F --images F --labels F
-  fuzz       run an HDTest campaign over unlabeled IDX images
+  fuzz       run an HDTest campaign over unlabeled IDX images (either kind)
              --model F --images F [--strategy gauss|rand|row_rand|col_rand|row&col_rand|shift]
              [--budget L2] [--count N] [--seed N] [--csv F] [--out-dir DIR]
              [--unguided true] [--minimize true]
   defend     adversarial-retraining defense (fuzz, retrain, re-attack)
              --model F --images F --out F [--strategy S] [--seed N]
   serve      HTTP inference server with request coalescing, online learning
-             (/v1/train, /v1/feedback, /v1/snapshot) and live metrics
+             (/v1/train, /v1/feedback, /v1/snapshot) and live metrics;
+             dense and binarized models serve side by side (auto-detected)
              --model F | --models name=file[,name=file...]
              [--addr HOST:PORT] [--workers N] [--max-batch N] [--linger-us N]
+             [--model-dir DIR: jail reload/snapshot paths, escapes get 403]
 
 Every run is deterministic given its seeds.";
 
@@ -63,6 +67,7 @@ fn main() -> ExitCode {
                 "images",
                 "labels",
                 "out",
+                "kind",
                 "dim",
                 "levels",
                 "seed",
@@ -88,11 +93,12 @@ fn main() -> ExitCode {
         "defend" => Args::parse(rest, &["model", "images", "out", "strategy", "seed"])
             .map_err(Into::into)
             .and_then(commands::defend),
-        "serve" => {
-            Args::parse(rest, &["model", "models", "addr", "workers", "max-batch", "linger-us"])
-                .map_err(Into::into)
-                .and_then(commands::serve)
-        }
+        "serve" => Args::parse(
+            rest,
+            &["model", "models", "addr", "workers", "max-batch", "linger-us", "model-dir"],
+        )
+        .map_err(Into::into)
+        .and_then(commands::serve),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;

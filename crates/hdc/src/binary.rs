@@ -13,11 +13,13 @@
 //! quantization-sensitivity, the same class of bug the paper's
 //! self-differential oracle exposes for a single model.
 
+use crate::classifier::{Feedback, Prediction};
 use crate::encoder::Encoder;
 use crate::error::HdcError;
 use crate::hypervector::Hypervector;
-use crate::kernel::BitCounter;
+use crate::kernel::{negate_words, BitCounter};
 use crate::packed::PackedHypervector;
+use std::sync::Arc;
 
 /// The outcome of classifying one input with the binarized model.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -28,6 +30,21 @@ pub struct BinaryPrediction {
     pub distance: usize,
     /// Hamming distance to every class reference, in class order.
     pub distances: Vec<usize>,
+}
+
+impl BinaryPrediction {
+    /// Converts to the dense classifier's [`Prediction`] via the bipolar
+    /// identity `cos = 1 − 2·h/D`. Because the binarized classifier breaks
+    /// Hamming ties exactly like the dense argmax-cosine rule, the
+    /// converted prediction is what an equivalent dense model would report
+    /// — this is the unified surface the [`crate::model::Model`] trait and
+    /// the serving layer present for both kinds.
+    pub fn to_prediction(&self, dim: usize) -> Prediction {
+        let d = dim as f64;
+        let similarities: Vec<f64> =
+            self.distances.iter().map(|&h| 1.0 - 2.0 * (h as f64) / d).collect();
+        crate::classifier::prediction_from_similarities(self.class, similarities)
+    }
 }
 
 /// A binarized HDC classifier: packed class references, Hamming search.
@@ -51,9 +68,13 @@ pub struct BinaryPrediction {
 /// assert_eq!(model.predict(&[255u8; 9][..])?.class, 1);
 /// # Ok::<(), hdc::HdcError>(())
 /// ```
-#[derive(Debug, Clone)]
+/// Like the dense classifier, the encoder lives behind an [`Arc`]: clones
+/// share the item memories and copy only the per-class counters and packed
+/// references, which keeps the serving layer's clone-train-publish cycle
+/// cheap.
+#[derive(Debug)]
 pub struct BinaryClassifier<E> {
-    encoder: E,
+    encoder: Arc<E>,
     /// Per-class bit-sliced set-bit counters ([`BitCounter`]): training
     /// adds packed encodings word-parallel, finalize thresholds them
     /// word-parallel. The scalar per-component counting rule this
@@ -67,6 +88,21 @@ pub struct BinaryClassifier<E> {
     finalized: bool,
 }
 
+/// Manual impl: cloning must not require `E: Clone` — the encoder is
+/// shared, not copied.
+impl<E> Clone for BinaryClassifier<E> {
+    fn clone(&self) -> Self {
+        Self {
+            encoder: Arc::clone(&self.encoder),
+            counters: self.counters.clone(),
+            references: self.references.clone(),
+            dirty: self.dirty.clone(),
+            dim: self.dim,
+            finalized: self.finalized,
+        }
+    }
+}
+
 impl<E: Encoder> BinaryClassifier<E> {
     /// Creates an untrained binarized classifier.
     ///
@@ -74,6 +110,17 @@ impl<E: Encoder> BinaryClassifier<E> {
     ///
     /// Panics if `num_classes` is zero.
     pub fn new(encoder: E, num_classes: usize) -> Self {
+        Self::with_shared_encoder(Arc::new(encoder), num_classes)
+    }
+
+    /// Creates an untrained classifier on an already-shared encoder, so a
+    /// dense and a binarized model under differential test can share one
+    /// set of item memories.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_classes` is zero.
+    pub fn with_shared_encoder(encoder: Arc<E>, num_classes: usize) -> Self {
         assert!(num_classes > 0, "binary classifier needs at least one class");
         let dim = encoder.dim();
         Self {
@@ -104,8 +151,14 @@ impl<E: Encoder> BinaryClassifier<E> {
             return Err(HdcError::DimensionMismatch { expected: dim, actual: bad.dim() });
         }
         let dirty = vec![true; counters.len()];
-        let mut model =
-            Self { encoder, counters, references: Vec::new(), dirty, dim, finalized: false };
+        let mut model = Self {
+            encoder: Arc::new(encoder),
+            counters,
+            references: Vec::new(),
+            dirty,
+            dim,
+            finalized: false,
+        };
         model.finalize();
         Ok(model)
     }
@@ -122,6 +175,12 @@ impl<E: Encoder> BinaryClassifier<E> {
 
     /// The encoder.
     pub fn encoder(&self) -> &E {
+        &self.encoder
+    }
+
+    /// The shared encoder handle (`Arc::ptr_eq` holds across clones; see
+    /// [`HdcClassifier::encoder_arc`](crate::HdcClassifier::encoder_arc)).
+    pub fn encoder_arc(&self) -> &Arc<E> {
         &self.encoder
     }
 
@@ -204,6 +263,44 @@ impl<E: Encoder> BinaryClassifier<E> {
         self.finalized = false;
         self.finalize();
         Ok(encoded.len())
+    }
+
+    /// Online feedback on a prior prediction: predicts `input`, and if the
+    /// prediction disagrees with the caller-supplied true `label`, applies
+    /// the adaptive (perceptron-style) update and re-finalizes the two
+    /// dirty classes — the binarized counterpart of
+    /// [`HdcClassifier::feedback`](crate::HdcClassifier::feedback).
+    ///
+    /// On the set-bit-counter representation (`n` bundled vectors, `cᵢ`
+    /// set bits, implied dense sum `sᵢ = 2cᵢ − n`) *subtracting* the query
+    /// from the wrong class is implemented by **adding its complement**:
+    /// `cᵢ += 1 − bitᵢ, n += 1` gives `sᵢ' = sᵢ − qᵢ`, exactly the dense
+    /// rule, and the counters only ever grow so no underflow is possible.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::EmptyModel`] before finalization,
+    /// [`HdcError::UnknownClass`] for a bad label, or encoder errors.
+    pub fn feedback(&mut self, input: &E::Input, label: usize) -> Result<Feedback, HdcError> {
+        if label >= self.num_classes() {
+            return Err(HdcError::UnknownClass { class: label, num_classes: self.num_classes() });
+        }
+        if !self.finalized {
+            return Err(HdcError::EmptyModel);
+        }
+        let packed = self.encode_packed(input)?;
+        let prediction = self.classify_packed(&packed).to_prediction(self.dim);
+        if prediction.class == label {
+            return Ok(Feedback { updated: false, prediction });
+        }
+        self.counters[label].add(packed.words());
+        let complement = negate_words(packed.words(), self.dim);
+        self.counters[prediction.class].add(&complement);
+        self.dirty[label] = true;
+        self.dirty[prediction.class] = true;
+        self.finalized = false;
+        self.finalize();
+        Ok(Feedback { updated: true, prediction })
     }
 
     /// Trains on a batch and finalizes.
@@ -295,8 +392,14 @@ impl<E: Encoder> BinaryClassifier<E> {
             return Err(HdcError::EmptyModel);
         }
         let query = self.encode_packed(input)?;
+        Ok(self.classify_packed(&query))
+    }
+
+    /// The Hamming scan over the reference snapshot. Callers must have
+    /// checked `finalized`.
+    fn classify_packed(&self, query: &PackedHypervector) -> BinaryPrediction {
         let distances: Vec<usize> =
-            self.references.iter().map(|r| r.hamming_distance(&query)).collect();
+            self.references.iter().map(|r| r.hamming_distance(query)).collect();
         // On exact ties the *last* minimal class wins, matching the dense
         // classifier's argmax-cosine tie-breaking so the two
         // implementations are interchangeable (cos = 1 − 2·h/D).
@@ -306,7 +409,7 @@ impl<E: Encoder> BinaryClassifier<E> {
                 class = i;
             }
         }
-        Ok(BinaryPrediction { class, distance: distances[class], distances })
+        BinaryPrediction { class, distance: distances[class], distances }
     }
 
     /// Classifies a batch of inputs, fanning out across worker threads for

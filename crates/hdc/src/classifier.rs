@@ -10,6 +10,7 @@ use crate::encoder::Encoder;
 use crate::error::HdcError;
 use crate::hypervector::Hypervector;
 use crate::similarity::cosine;
+use std::sync::Arc;
 
 /// The outcome of classifying one input.
 #[derive(Debug, Clone, PartialEq)]
@@ -35,8 +36,11 @@ pub struct Feedback {
     pub prediction: Prediction,
 }
 
-/// Builds a [`Prediction`] from a similarity vector and its argmax.
-fn prediction_from_similarities(class: usize, similarities: Vec<f64>) -> Prediction {
+/// Builds a [`Prediction`] from a similarity vector and its argmax —
+/// shared by the dense classifier and the binarized side's
+/// [`crate::BinaryPrediction::to_prediction`] conversion, so the
+/// margin/second-best semantics can never diverge between kinds.
+pub(crate) fn prediction_from_similarities(class: usize, similarities: Vec<f64>) -> Prediction {
     let best = similarities[class];
     let second = similarities
         .iter()
@@ -67,10 +71,28 @@ fn prediction_from_similarities(class: usize, similarities: Vec<f64>) -> Predict
 /// assert_eq!(model.predict(&[255u8; 9][..])?.class, 1);
 /// # Ok::<(), hdc::HdcError>(())
 /// ```
-#[derive(Debug, Clone)]
+///
+/// ## Encoder sharing
+///
+/// The encoder lives behind an [`Arc`]: item memories are immutable after
+/// construction, so every clone of a classifier shares them. `clone()`
+/// therefore copies only the per-class accumulators and reference vectors —
+/// which is what makes the serving layer's clone-train-publish cycle cheap
+/// (the online-training publish path never duplicates the encoder; see the
+/// `serve_train` bench row).
+#[derive(Debug)]
 pub struct HdcClassifier<E> {
-    encoder: E,
+    encoder: Arc<E>,
     am: AssociativeMemory,
+}
+
+/// Manual impl: cloning must not require `E: Clone` — the encoder is
+/// shared, not copied (the Arc-encoder publish-path invariant, asserted by
+/// `Arc::ptr_eq` in the serve-layer tests).
+impl<E> Clone for HdcClassifier<E> {
+    fn clone(&self) -> Self {
+        Self { encoder: Arc::clone(&self.encoder), am: self.am.clone() }
+    }
 }
 
 impl<E> HdcClassifier<E> {
@@ -86,6 +108,13 @@ impl<E> HdcClassifier<E> {
 
     /// The encoder.
     pub fn encoder(&self) -> &E {
+        &self.encoder
+    }
+
+    /// The shared encoder handle. Clones of this classifier point at the
+    /// same allocation (`Arc::ptr_eq` holds across clones), which is the
+    /// invariant the serving layer's publish path relies on.
+    pub fn encoder_arc(&self) -> &Arc<E> {
         &self.encoder
     }
 
@@ -113,6 +142,17 @@ impl<E: Encoder> HdcClassifier<E> {
     ///
     /// Panics if `num_classes` is zero.
     pub fn new(encoder: E, num_classes: usize) -> Self {
+        Self::with_shared_encoder(Arc::new(encoder), num_classes)
+    }
+
+    /// Creates an untrained classifier on an already-shared encoder, so
+    /// several models (e.g. a dense and a binarized classifier under
+    /// differential test) can share one set of item memories.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_classes` is zero.
+    pub fn with_shared_encoder(encoder: Arc<E>, num_classes: usize) -> Self {
         let dim = encoder.dim();
         Self { encoder, am: AssociativeMemory::new(num_classes, dim) }
     }

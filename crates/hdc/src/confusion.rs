@@ -5,9 +5,8 @@
 //! confusion matrix makes that argument measurable for any classifier in
 //! this workspace.
 
-use crate::classifier::HdcClassifier;
-use crate::encoder::Encoder;
 use crate::error::HdcError;
+use crate::model::Model;
 
 /// A square count matrix: `counts[true][predicted]`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -16,17 +15,18 @@ pub struct ConfusionMatrix {
 }
 
 impl ConfusionMatrix {
-    /// Evaluates `model` over labeled examples.
+    /// Evaluates any [`Model`] — dense, binarized, or [`crate::AnyModel`]
+    /// — over labeled examples.
     ///
     /// # Errors
     ///
     /// Returns [`HdcError::UnknownClass`] for labels outside the model's
     /// range, or propagates prediction errors.
-    pub fn evaluate<'a, E, It>(model: &HdcClassifier<E>, examples: It) -> Result<Self, HdcError>
+    pub fn evaluate<'a, M, It>(model: &M, examples: It) -> Result<Self, HdcError>
     where
-        E: Encoder,
-        It: IntoIterator<Item = (&'a E::Input, usize)>,
-        E::Input: 'a,
+        M: Model + ?Sized,
+        It: IntoIterator<Item = (&'a M::Input, usize)>,
+        M::Input: 'a,
     {
         let n = model.num_classes();
         let mut counts = vec![vec![0usize; n]; n];
@@ -130,6 +130,7 @@ impl ConfusionMatrix {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::classifier::HdcClassifier;
     use crate::encoder::{PixelEncoder, PixelEncoderConfig};
     use crate::memory::ValueEncoding;
 

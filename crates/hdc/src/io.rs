@@ -20,10 +20,33 @@ use crate::encoder::{PixelEncoder, PixelEncoderConfig};
 use crate::error::HdcError;
 use crate::kernel::BitCounter;
 use crate::memory::ValueEncoding;
+use crate::model::AnyModel;
 use std::io::{Read, Write};
 
 const MAGIC: &[u8; 4] = b"HDC1";
 const BINARY_MAGIC: &[u8; 4] = b"HDB1";
+
+/// Deserializes a model of **either kind** by sniffing the 4-byte magic
+/// (`HDC1` → dense, `HDB1` → binary) — the single loading surface the
+/// serving registry and the CLI use, so one `--model name=path` flag
+/// serves both kinds. The returned model is finalized and keeps accepting
+/// online updates; [`AnyModel::save`] is the inverse.
+///
+/// # Errors
+///
+/// Returns [`HdcError::Corrupt`] for an unknown magic or any inconsistent
+/// payload, [`HdcError::Io`] on read failure.
+pub fn load_any<R: Read>(mut reader: R) -> Result<AnyModel, HdcError> {
+    let mut magic = [0u8; 4];
+    reader.read_exact(&mut magic)?;
+    match &magic {
+        m if m == MAGIC => Ok(AnyModel::Dense(load_dense_body(reader)?)),
+        m if m == BINARY_MAGIC => Ok(AnyModel::Binary(load_binary_body(reader)?)),
+        other => {
+            Err(HdcError::Corrupt(format!("unknown model magic {other:?} (expected HDC1 or HDB1)")))
+        }
+    }
+}
 
 /// Serializes a trained pixel classifier to `writer`.
 ///
@@ -63,6 +86,11 @@ pub fn load_pixel_classifier<R: Read>(
     mut reader: R,
 ) -> Result<HdcClassifier<PixelEncoder>, HdcError> {
     expect_magic(&mut reader, MAGIC)?;
+    load_dense_body(reader)
+}
+
+/// The `HDC1` payload after the magic: encoder config + accumulators.
+fn load_dense_body<R: Read>(mut reader: R) -> Result<HdcClassifier<PixelEncoder>, HdcError> {
     let config = read_encoder_config(&mut reader)?;
     let dim = config.dim;
     let num_classes = read_class_count(&mut reader)?;
@@ -129,6 +157,11 @@ pub fn load_binary_classifier<R: Read>(
     mut reader: R,
 ) -> Result<BinaryClassifier<PixelEncoder>, HdcError> {
     expect_magic(&mut reader, BINARY_MAGIC)?;
+    load_binary_body(reader)
+}
+
+/// The `HDB1` payload after the magic: encoder config + set-bit counters.
+fn load_binary_body<R: Read>(mut reader: R) -> Result<BinaryClassifier<PixelEncoder>, HdcError> {
     let config = read_encoder_config(&mut reader)?;
     let dim = config.dim;
     let num_classes = read_class_count(&mut reader)?;
@@ -275,10 +308,37 @@ mod tests {
         let buf = b"NOPE_________________".to_vec();
         assert!(matches!(load_pixel_classifier(&buf[..]), Err(HdcError::Corrupt(_))));
         assert!(matches!(load_binary_classifier(&buf[..]), Err(HdcError::Corrupt(_))));
+        assert!(matches!(load_any(&buf[..]), Err(HdcError::Corrupt(_))));
         // The two formats are not interchangeable.
         let mut dense = Vec::new();
         save_pixel_classifier(&trained_model(), &mut dense).unwrap();
         assert!(matches!(load_binary_classifier(&dense[..]), Err(HdcError::Corrupt(_))));
+    }
+
+    #[test]
+    fn load_any_sniffs_both_formats() {
+        use crate::model::{Model, ModelKind};
+
+        let mut dense_buf = Vec::new();
+        save_pixel_classifier(&trained_model(), &mut dense_buf).unwrap();
+        let dense = load_any(&dense_buf[..]).unwrap();
+        assert_eq!(dense.kind(), ModelKind::Dense);
+        assert_eq!(
+            dense.predict(&[224u8; 16][..]).unwrap().class,
+            trained_model().predict(&[224u8; 16][..]).unwrap().class
+        );
+
+        let mut binary_buf = Vec::new();
+        save_binary_classifier(&trained_binary(), &mut binary_buf).unwrap();
+        let binary = load_any(&binary_buf[..]).unwrap();
+        assert_eq!(binary.kind(), ModelKind::Binary);
+        assert_eq!(
+            binary.as_binary().unwrap().predict(&[224u8; 16][..]).unwrap(),
+            trained_binary().predict(&[224u8; 16][..]).unwrap()
+        );
+
+        // Truncation mid-magic is an IO error, not a panic.
+        assert!(load_any(&dense_buf[..2]).is_err());
     }
 
     #[test]

@@ -56,11 +56,28 @@
 //! retrain on the concatenated dataset, pinned by
 //! `tests/online_learning.rs` and roughly 120× cheaper at `D = 10,000`
 //! with 10 classes (the `train_partial_fit` bench row).
-//! [`HdcClassifier::feedback`] adds the perceptron-style adaptive update
-//! (§V-E). [`io`] persists the counter state itself (`HDC1`/`HDB1`), so
-//! a saved-then-reloaded model keeps learning exactly where it left off —
-//! which is what the serving layer's `/v1/train`, `/v1/feedback` and
-//! `/v1/snapshot` endpoints build on.
+//! [`HdcClassifier::feedback`] and [`BinaryClassifier::feedback`] add the
+//! perceptron-style adaptive update (§V-E). [`io`] persists the counter
+//! state itself (`HDC1`/`HDB1`), so a saved-then-reloaded model keeps
+//! learning exactly where it left off — which is what the serving layer's
+//! `/v1/train`, `/v1/feedback` and `/v1/snapshot` endpoints build on.
+//!
+//! ## One model surface, two kinds
+//!
+//! The [`model`] module unifies the dense and binarized classifiers
+//! behind one polymorphic surface: the [`Model`] trait (prediction,
+//! greybox fitness signals, online learning, warm-up — implemented by
+//! both classifiers over any encoder), [`ModelKind`], and the deployment
+//! enum [`AnyModel`] with static per-call dispatch and its own
+//! [`AnyModel::save`] / [`io::load_any`] (magic-sniffing) persistence
+//! pair. Both kinds report the same [`Prediction`] shape (the binarized
+//! side converts via `cos = 1 − 2·h/D` with identical tie-breaking), so
+//! consumers — `hdtest` campaigns via its blanket `TargetModel` impl,
+//! the serving registry, the CLI — are written once and run over either
+//! kind. Both classifiers hold their encoder behind an [`std::sync::Arc`],
+//! so cloning a model copies only counters and class vectors — the
+//! invariant that makes the serving layer's clone-train-publish cycle
+//! cheap (see `ARCHITECTURE.md`).
 //!
 //! See `ARCHITECTURE.md` at the workspace root for the full layer map
 //! (kernel → packed mirror → BitCounter/CSA → encoders → batch →
@@ -115,6 +132,7 @@ pub mod hypervector;
 pub mod io;
 pub mod kernel;
 pub mod memory;
+pub mod model;
 pub mod ops;
 pub mod packed;
 pub mod rng;
@@ -134,6 +152,7 @@ pub use error::HdcError;
 pub use fault::{bit_error_sweep, BitErrorPoint, FaultyAssociativeMemory};
 pub use hypervector::Hypervector;
 pub use memory::{ItemMemory, LevelMemory, ValueEncoding};
+pub use model::{AnyModel, Model, ModelKind};
 pub use packed::PackedHypervector;
 pub use similarity::{cosine, cosine_accum, dot, hamming, normalized_hamming};
 
@@ -152,6 +171,7 @@ pub mod prelude {
     pub use crate::error::HdcError;
     pub use crate::hypervector::Hypervector;
     pub use crate::memory::{ItemMemory, LevelMemory, ValueEncoding};
+    pub use crate::model::{AnyModel, Model, ModelKind};
     pub use crate::packed::PackedHypervector;
     pub use crate::similarity::{cosine, dot, hamming, normalized_hamming};
 }

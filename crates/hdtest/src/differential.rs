@@ -271,6 +271,35 @@ mod tests {
     }
 
     #[test]
+    fn any_model_pair_fuzzes_through_the_unified_trait() {
+        // The serving-layer type itself is a differential target: wrap a
+        // dense and a binarized classifier in `AnyModel` and drive them
+        // through the same `fuzz_cross_model` loop the concrete types use
+        // (the blanket `TargetModel for M: Model` impl). Different
+        // dimensions must still surface quantization discrepancies.
+        let dense = hdc::AnyModel::from(train_dense(4_000));
+        let binary = hdc::AnyModel::from(train_binary(500));
+        let strategy = GaussNoise::default();
+        let mut found = 0;
+        for seed in 0..6 {
+            let outcome = fuzz_cross_model(
+                &dense,
+                &binary,
+                &strategy,
+                &NoConstraint,
+                CrossModelConfig { max_iterations: 40, ..Default::default() },
+                &GrayImage::from_pixels(8, 8, vec![(30 + seed * 10) as u8; 64]),
+                seed,
+            )
+            .unwrap();
+            if outcome.disagreed() {
+                found += 1;
+            }
+        }
+        assert!(found > 0, "AnyModel dense-vs-binary never disagreed through the unified trait");
+    }
+
+    #[test]
     fn identical_models_never_disagree() {
         let m = train_dense(1_000);
         let strategy = GaussNoise::default();

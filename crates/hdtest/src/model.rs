@@ -5,13 +5,24 @@
 //! distance between a query and the reference class vector. Anything
 //! exposing this interface can be fuzzed; the paper's §V-E argues this is
 //! what lets HDTest extend to other HDC model structures.
+//!
+//! The library side of that claim is `hdc`'s [`Model`] trait: every
+//! classifier kind (dense [`hdc::HdcClassifier`], binarized
+//! [`hdc::BinaryClassifier`], the serving layer's [`hdc::AnyModel`])
+//! implements it, and the **blanket impl** below lifts all of them into
+//! [`TargetModel`] at once. Campaigns, the per-input fuzzer, minimization
+//! and the cross-model differential oracle therefore run over any model
+//! kind — current or future — without per-type glue.
 
 use crate::error::HdtestError;
-use hdc::encoder::Encoder;
-use hdc::HdcClassifier;
+use hdc::Model;
 
 /// A classifier under test, exposing exactly the greybox signals HDTest
 /// needs: predictions and the distance-based fitness.
+///
+/// Every `hdc` [`Model`] is a `TargetModel` via the blanket impl; implement
+/// this trait directly only for targets outside the `hdc` stack (e.g. a
+/// remote model behind an RPC boundary, or test doubles).
 pub trait TargetModel: Sync {
     /// Raw input type consumed by the model (e.g. `[u8]` pixels).
     type Input: ?Sized;
@@ -27,7 +38,9 @@ pub trait TargetModel: Sync {
     fn predict(&self, input: &Self::Input) -> Result<usize, HdtestError>;
 
     /// The fuzzer's guidance signal:
-    /// `1 − cosine(AM[reference], encode(input))` (§IV).
+    /// `1 − cosine(AM[reference], encode(input))` (§IV) for dense models,
+    /// normalized Hamming distance for binarized ones (affinely related
+    /// for bipolar vectors — both are monotone in drift).
     ///
     /// # Errors
     ///
@@ -37,7 +50,7 @@ pub trait TargetModel: Sync {
 
     /// Prediction and fitness from one pass. The default delegates to
     /// [`predict`](Self::predict) + [`fitness`](Self::fitness); models that
-    /// can share the encoding (like [`HdcClassifier`]) override this to
+    /// can share the encoding (every `hdc` [`Model`]) override this to
     /// halve the fuzzer's per-candidate cost.
     ///
     /// # Errors
@@ -49,7 +62,7 @@ pub trait TargetModel: Sync {
 
     /// Evaluates one whole candidate batch (Alg. 1 evaluates `batch_size`
     /// candidates per fuzzing round). The default loops
-    /// [`evaluate`](Self::evaluate); [`HdcClassifier`] overrides it with
+    /// [`evaluate`](Self::evaluate); dense `hdc` models override it with
     /// the word-packed batch kernel, which shares the packed class
     /// references and one similarity scratch buffer across the batch.
     ///
@@ -72,92 +85,28 @@ pub trait TargetModel: Sync {
     fn warm_up(&self) {}
 }
 
-impl<E: Encoder> TargetModel for HdcClassifier<E> {
-    type Input = E::Input;
-
-    fn num_classes(&self) -> usize {
-        HdcClassifier::num_classes(self)
-    }
-
-    fn predict(&self, input: &Self::Input) -> Result<usize, HdtestError> {
-        Ok(HdcClassifier::predict(self, input)?.class)
-    }
-
-    fn fitness(&self, input: &Self::Input, reference: usize) -> Result<f64, HdtestError> {
-        Ok(HdcClassifier::fitness(self, input, reference)?)
-    }
-
-    fn evaluate(&self, input: &Self::Input, reference: usize) -> Result<(usize, f64), HdtestError> {
-        // One encoding serves both the prediction and the fitness signal.
-        let prediction = HdcClassifier::predict(self, input)?;
-        let similarity =
-            *prediction.similarities.get(reference).ok_or(hdc::HdcError::UnknownClass {
-                class: reference,
-                num_classes: self.num_classes(),
-            })?;
-        Ok((prediction.class, 1.0 - similarity))
-    }
-
-    fn evaluate_batch(
-        &self,
-        inputs: &[&Self::Input],
-        reference: usize,
-    ) -> Result<Vec<(usize, f64)>, HdtestError> {
-        // The packed batch kernel: one encode + one packed similarity scan
-        // per candidate, sharing scratch across the whole batch.
-        Ok(HdcClassifier::evaluate_batch(self, inputs, reference)?)
-    }
-
-    fn warm_up(&self) {
-        self.associative_memory().warm_packed();
-        self.encoder().warm_up();
-    }
-}
-
-impl<E: Encoder> TargetModel for hdc::binary::BinaryClassifier<E> {
-    type Input = E::Input;
-
-    fn num_classes(&self) -> usize {
-        hdc::binary::BinaryClassifier::num_classes(self)
-    }
-
-    fn predict(&self, input: &Self::Input) -> Result<usize, HdtestError> {
-        Ok(hdc::binary::BinaryClassifier::predict(self, input)?.class)
-    }
-
-    fn fitness(&self, input: &Self::Input, reference: usize) -> Result<f64, HdtestError> {
-        // Normalized Hamming distance plays the same role as 1 − cosine
-        // (they are affinely related for bipolar vectors).
-        Ok(hdc::binary::BinaryClassifier::fitness(self, input, reference)?)
-    }
-
-    fn evaluate(&self, input: &Self::Input, reference: usize) -> Result<(usize, f64), HdtestError> {
-        let prediction = hdc::binary::BinaryClassifier::predict(self, input)?;
-        let distance = *prediction.distances.get(reference).ok_or(hdc::HdcError::UnknownClass {
-            class: reference,
-            num_classes: self.num_classes(),
-        })?;
-        Ok((prediction.class, distance as f64 / self.dim() as f64))
-    }
-}
-
-impl<M: TargetModel + ?Sized> TargetModel for &M {
+/// The blanket lift: any classifier behind `hdc`'s polymorphic [`Model`]
+/// surface is a fuzzing target. Each method forwards to the model's own
+/// (kind-specific, packed) implementation, so a dense target keeps its
+/// one-pass `evaluate` and batch similarity scan and a binarized target
+/// keeps its Hamming-native signals.
+impl<M: Model> TargetModel for M {
     type Input = M::Input;
 
     fn num_classes(&self) -> usize {
-        (**self).num_classes()
+        Model::num_classes(self)
     }
 
     fn predict(&self, input: &Self::Input) -> Result<usize, HdtestError> {
-        (**self).predict(input)
+        Ok(Model::predict(self, input)?.class)
     }
 
     fn fitness(&self, input: &Self::Input, reference: usize) -> Result<f64, HdtestError> {
-        (**self).fitness(input, reference)
+        Ok(Model::fitness(self, input, reference)?)
     }
 
     fn evaluate(&self, input: &Self::Input, reference: usize) -> Result<(usize, f64), HdtestError> {
-        (**self).evaluate(input, reference)
+        Ok(Model::evaluate(self, input, reference)?)
     }
 
     fn evaluate_batch(
@@ -165,21 +114,22 @@ impl<M: TargetModel + ?Sized> TargetModel for &M {
         inputs: &[&Self::Input],
         reference: usize,
     ) -> Result<Vec<(usize, f64)>, HdtestError> {
-        (**self).evaluate_batch(inputs, reference)
+        Ok(Model::evaluate_batch(self, inputs, reference)?)
     }
 
     fn warm_up(&self) {
-        (**self).warm_up();
+        Model::warm_up(self);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hdc::binary::BinaryClassifier;
     use hdc::prelude::*;
 
-    fn model() -> HdcClassifier<PixelEncoder> {
-        let encoder = PixelEncoder::new(PixelEncoderConfig {
+    fn encoder() -> PixelEncoder {
+        PixelEncoder::new(PixelEncoderConfig {
             dim: 1_000,
             width: 3,
             height: 3,
@@ -187,8 +137,11 @@ mod tests {
             value_encoding: ValueEncoding::Random,
             seed: 4,
         })
-        .unwrap();
-        let mut m = HdcClassifier::new(encoder, 2);
+        .unwrap()
+    }
+
+    fn model() -> HdcClassifier<PixelEncoder> {
+        let mut m = HdcClassifier::new(encoder(), 2);
         m.train_one(&[0u8; 9][..], 0).unwrap();
         m.train_one(&[250u8; 9][..], 1).unwrap();
         m.finalize();
@@ -207,31 +160,38 @@ mod tests {
     #[test]
     fn fitness_increases_away_from_reference() {
         let m = model();
-        let own = m.fitness(&[0u8; 9][..], 0).unwrap();
+        let own = TargetModel::fitness(&m, &[0u8; 9][..], 0).unwrap();
         let far = TargetModel::fitness(&m, &[250u8; 9][..], 0).unwrap();
         assert!(far > own);
     }
 
     #[test]
-    fn reference_impl_delegates() {
-        let m = model();
-        let by_ref = &m;
-        assert_eq!(TargetModel::num_classes(&by_ref), 2);
-        assert_eq!(TargetModel::predict(&by_ref, &[0u8; 9]).unwrap(), 0);
+    fn every_model_kind_is_a_target() {
+        // The blanket impl: dense, binary and AnyModel all fuzz through
+        // one bound without per-type glue.
+        fn probe<M: TargetModel<Input = [u8]>>(target: &M) {
+            assert_eq!(target.num_classes(), 2);
+            assert_eq!(target.predict(&[0u8; 9]).unwrap(), 0);
+            let (class, fitness) = target.evaluate(&[0u8; 9], 0).unwrap();
+            assert_eq!(class, 0);
+            let direct = target.fitness(&[0u8; 9], 0).unwrap();
+            assert!((fitness - direct).abs() < 1e-12);
+        }
+
+        probe(&model());
+
+        let mut binary = BinaryClassifier::new(encoder(), 2);
+        binary.train_one(&[0u8; 9][..], 0).unwrap();
+        binary.train_one(&[250u8; 9][..], 1).unwrap();
+        binary.finalize();
+        probe(&binary);
+
+        probe(&AnyModel::from(model()));
     }
 
     #[test]
     fn untrained_model_propagates_error() {
-        let encoder = PixelEncoder::new(PixelEncoderConfig {
-            dim: 500,
-            width: 3,
-            height: 3,
-            levels: 256,
-            value_encoding: ValueEncoding::Random,
-            seed: 4,
-        })
-        .unwrap();
-        let m = HdcClassifier::new(encoder, 2);
+        let m = HdcClassifier::new(encoder(), 2);
         assert!(TargetModel::predict(&m, &[0u8; 9]).is_err());
     }
 }

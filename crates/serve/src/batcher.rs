@@ -1,30 +1,45 @@
 //! Request coalescing: many concurrent single requests → one batch call.
 //!
 //! Queries arrive one per HTTP request, but the compute layer is fastest
-//! when it sees them in batches ([`HdcClassifier::predict_batch`] reuses
-//! encode scratch across a batch and fans out across cores; one
-//! `partial_fit_batch` re-finalizes each dirty class once however many
-//! examples it carries). The batcher bridges the two: handler threads
-//! enqueue jobs — predicts, training batches, feedback rounds — and block
-//! on their reply; a dedicated worker per model drains the queue into
-//! batches of up to `max_batch` jobs, waiting at most `max_linger` for
-//! stragglers after the first job arrives. Under load the linger never
-//! binds — while the worker executes one batch the next one queues up
-//! behind it — so throughput rides the batch path while a lone request
-//! still completes within one linger interval.
+//! when it sees them in batches (`predict_batch` reuses encode scratch
+//! across a batch and fans out across cores; one `partial_fit_batch`
+//! re-finalizes each dirty class once however many examples it carries).
+//! The batcher bridges the two: handler threads enqueue jobs — predicts,
+//! training batches, feedback rounds — and block on their reply; a
+//! dedicated worker per model drains the queue into batches of up to
+//! `max_batch` jobs, waiting at most `max_linger` for stragglers after
+//! the first job arrives. Under load the linger never binds — while the
+//! worker executes one batch the next one queues up behind it — so
+//! throughput rides the batch path while a lone request still completes
+//! within one linger interval.
+//!
+//! The model is an [`hdc::AnyModel`]: every job executes through the
+//! polymorphic [`Model`] surface, so a binarized classifier coalesces,
+//! trains and publishes through the byte-for-byte same code path as the
+//! dense one.
 //!
 //! ## Online training through the coalescer
 //!
 //! The worker is the **single writer** for its model: training jobs in a
 //! drained batch have their examples concatenated into one
-//! [`HdcClassifier::partial_fit_batch`] call on a private clone of the
-//! current snapshot, feedback jobs run their adaptive updates on the same
-//! clone, and the result is published atomically (swap + one version
-//! bump) via `SharedModel::publish`. Predict jobs in the same drain run
-//! against the pre-update snapshot; requests that were concurrent have no
-//! ordering guarantee anyway. A failed coalesced train falls back to
-//! per-job `partial_fit_batch` calls (each atomic), so one request's bad
-//! example 400s only itself.
+//! [`Model::partial_fit_batch`] call on a private clone of the current
+//! snapshot, feedback jobs run their adaptive updates on the same clone,
+//! and the result is published atomically (swap + one version bump) via
+//! `SharedModel::publish`. Cloning is cheap by construction: both
+//! classifier kinds hold their encoder behind an `Arc`, so the clone
+//! copies counters and class vectors only. Predict jobs in the same drain
+//! run against the pre-update snapshot; requests that were concurrent
+//! have no ordering guarantee anyway. A failed coalesced train falls back
+//! to per-job `partial_fit_batch` calls (each atomic), so one request's
+//! bad example 400s only itself.
+//!
+//! ## Reload swaps ride the queue
+//!
+//! A hot reload enqueues the replacement model as a [`swap`](Batcher::swap)
+//! job. The worker executes jobs in queue order — flushing the jobs
+//! drained before the swap, then replacing the model — so reloads
+//! serialize against in-flight coalesced trains instead of racing them
+//! (see the registry module docs for the lineage guarantees this buys).
 //!
 //! ## Worked example
 //!
@@ -49,7 +64,7 @@
 use crate::error::ServeError;
 use crate::metrics::Metrics;
 use crate::registry::SharedModel;
-use hdc::prelude::*;
+use hdc::{AnyModel, Model, Prediction};
 use std::collections::VecDeque;
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
@@ -106,9 +121,26 @@ type Reply<T> = mpsc::Sender<Result<T, ServeError>>;
 
 /// One queued request awaiting execution.
 enum Job {
-    Predict { input: Vec<u8>, reply: Reply<Prediction> },
-    Train { examples: Vec<(Vec<u8>, usize)>, reply: Reply<TrainOutcome> },
-    Feedback { input: Vec<u8>, label: usize, reply: Reply<FeedbackOutcome> },
+    Predict {
+        input: Vec<u8>,
+        reply: Reply<Prediction>,
+    },
+    Train {
+        examples: Vec<(Vec<u8>, usize)>,
+        reply: Reply<TrainOutcome>,
+    },
+    Feedback {
+        input: Vec<u8>,
+        label: usize,
+        reply: Reply<FeedbackOutcome>,
+    },
+    /// A hot-reload replacement model (boxed: it dwarfs the other
+    /// variants). Executed in queue order by the single writer, which is
+    /// what serializes reloads against in-flight training.
+    Swap {
+        model: Box<AnyModel>,
+        reply: Reply<u64>,
+    },
 }
 
 impl Job {
@@ -119,6 +151,7 @@ impl Job {
             Job::Predict { reply, .. } => drop(reply.send(Err(message()))),
             Job::Train { reply, .. } => drop(reply.send(Err(message()))),
             Job::Feedback { reply, .. } => drop(reply.send(Err(message()))),
+            Job::Swap { reply, .. } => drop(reply.send(Err(message()))),
         }
     }
 }
@@ -225,6 +258,20 @@ impl Batcher {
         let (reply, receive) = mpsc::channel();
         self.enqueue(Job::Feedback { input, label, reply }, &receive)
     }
+
+    /// Enqueues a hot-reload replacement and blocks until the worker has
+    /// swapped it in; returns the (unchanged) training version the lineage
+    /// continues from. Jobs queued before the swap execute against the old
+    /// model, jobs after it against the new one — the single writer makes
+    /// that ordering exact.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Internal`] if the batcher is shutting down.
+    pub fn swap(&self, model: impl Into<AnyModel>) -> Result<u64, ServeError> {
+        let (reply, receive) = mpsc::channel();
+        self.enqueue(Job::Swap { model: Box::new(model.into()), reply }, &receive)
+    }
 }
 
 impl Drop for Batcher {
@@ -287,27 +334,47 @@ fn worker_loop(shared: &Shared, model: &SharedModel, metrics: &Metrics, config: 
 }
 
 /// Runs one coalesced batch: predicts against the current snapshot, then
-/// training/feedback on a private clone published once at the end.
+/// training/feedback on a private clone published once at the end. Swap
+/// jobs are barriers: everything drained before a swap executes first,
+/// then the replacement model is installed, then execution continues —
+/// so a reload observed at queue position *k* affects exactly the jobs
+/// after position *k*.
 fn execute(model: &SharedModel, metrics: &Metrics, batch: Vec<Job>) {
     let mut predicts = Vec::new();
     let mut updates = Vec::new();
     for job in batch {
         match job {
             Job::Predict { input, reply } => predicts.push((input, reply)),
+            Job::Swap { model: replacement, reply } => {
+                flush(model, metrics, &mut predicts, &mut updates);
+                let version = model.replace(Arc::new(*replacement));
+                let _ = reply.send(Ok(version));
+            }
             other => updates.push(other),
         }
     }
+    flush(model, metrics, &mut predicts, &mut updates);
+}
+
+/// Executes and clears the buffered predict and update jobs.
+fn flush(
+    model: &SharedModel,
+    metrics: &Metrics,
+    predicts: &mut Vec<PredictJob>,
+    updates: &mut Vec<Job>,
+) {
     if !predicts.is_empty() {
-        execute_predicts(&model.snapshot(), metrics, &predicts);
+        execute_predicts(&model.snapshot(), metrics, predicts);
+        predicts.clear();
     }
     if !updates.is_empty() {
-        execute_updates(model, metrics, updates);
+        execute_updates(model, metrics, std::mem::take(updates));
     }
 }
 
 type PredictJob = (Vec<u8>, Reply<Prediction>);
 
-fn execute_predicts(model: &HdcClassifier<PixelEncoder>, metrics: &Metrics, batch: &[PredictJob]) {
+fn execute_predicts(model: &AnyModel, metrics: &Metrics, batch: &[PredictJob]) {
     metrics.on_batch(batch.len());
     if batch.len() == 1 {
         let (input, reply) = &batch[0];
@@ -344,6 +411,8 @@ fn execute_predicts(model: &HdcClassifier<PixelEncoder>, metrics: &Metrics, batc
 /// queue order.
 fn execute_updates(shared: &SharedModel, metrics: &Metrics, jobs: Vec<Job>) {
     let snapshot = shared.snapshot();
+    // Cheap by construction: the encoder is Arc-shared, so this copies
+    // only the per-class counters and references.
     let mut model = (*snapshot).clone();
     let mut applied_total = 0usize;
     let mut feedback_updates = 0usize;
@@ -355,7 +424,9 @@ fn execute_updates(shared: &SharedModel, metrics: &Metrics, jobs: Vec<Job>) {
         match job {
             Job::Train { examples, reply } => trains.push((examples, reply)),
             Job::Feedback { input, label, reply } => feedbacks.push((input, label, reply)),
-            Job::Predict { .. } => unreachable!("predicts split off before updates"),
+            Job::Predict { .. } | Job::Swap { .. } => {
+                unreachable!("predicts and swaps split off before updates")
+            }
         }
     }
 
@@ -367,7 +438,7 @@ fn execute_updates(shared: &SharedModel, metrics: &Metrics, jobs: Vec<Job>) {
             .iter()
             .flat_map(|(examples, _)| examples.iter().map(|(i, l)| (&i[..], *l)))
             .collect();
-        match model.partial_fit_batch(coalesced.iter().map(|&(i, l)| (i, l))) {
+        match model.partial_fit_batch(&coalesced) {
             Ok(applied) => {
                 debug_assert_eq!(applied, coalesced.len());
                 applied_total += applied;
@@ -379,9 +450,9 @@ fn execute_updates(shared: &SharedModel, metrics: &Metrics, jobs: Vec<Job>) {
                 // One bad example failed the coalesced batch (atomically);
                 // re-apply per job so only the guilty request errors.
                 for (examples, reply) in trains {
-                    let result = model
-                        .partial_fit_batch(examples.iter().map(|(i, l)| (&i[..], *l)))
-                        .map_err(ServeError::from);
+                    let per_job: Vec<(&[u8], usize)> =
+                        examples.iter().map(|(i, l)| (&i[..], *l)).collect();
+                    let result = model.partial_fit_batch(&per_job).map_err(ServeError::from);
                     if let Ok(applied) = result {
                         applied_total += applied;
                     }
@@ -427,6 +498,7 @@ fn execute_updates(shared: &SharedModel, metrics: &Metrics, jobs: Vec<Job>) {
 mod tests {
     use super::*;
     use hdc::memory::ValueEncoding;
+    use hdc::prelude::*;
 
     fn model() -> Arc<SharedModel> {
         let encoder = PixelEncoder::new(PixelEncoderConfig {

@@ -13,6 +13,8 @@ use std::fmt;
 pub enum ServeError {
     /// 400: the request was syntactically or semantically invalid.
     BadRequest(String),
+    /// 403: the path escapes the configured `--model-dir` jail.
+    Forbidden(String),
     /// 404: unknown route or model name.
     NotFound(String),
     /// 405: known route, wrong method. Carries the `Allow` header value.
@@ -28,6 +30,7 @@ impl ServeError {
     pub fn status(&self) -> u16 {
         match self {
             ServeError::BadRequest(_) => 400,
+            ServeError::Forbidden(_) => 403,
             ServeError::NotFound(_) => 404,
             ServeError::MethodNotAllowed(_) => 405,
             ServeError::PayloadTooLarge(_) => 413,
@@ -39,6 +42,7 @@ impl ServeError {
     pub fn message(&self) -> String {
         match self {
             ServeError::BadRequest(m)
+            | ServeError::Forbidden(m)
             | ServeError::NotFound(m)
             | ServeError::PayloadTooLarge(m)
             | ServeError::Internal(m) => m.clone(),
@@ -84,6 +88,7 @@ mod tests {
     #[test]
     fn statuses() {
         assert_eq!(ServeError::BadRequest("x".into()).status(), 400);
+        assert_eq!(ServeError::Forbidden("x".into()).status(), 403);
         assert_eq!(ServeError::NotFound("x".into()).status(), 404);
         assert_eq!(ServeError::MethodNotAllowed("GET").status(), 405);
         assert_eq!(ServeError::PayloadTooLarge("x".into()).status(), 413);

@@ -11,18 +11,24 @@
 //! * [`json`] — a strict, small JSON parser/renderer for the request and
 //!   response bodies.
 //! * [`batcher`] — **request coalescing**: concurrent in-flight predicts
-//!   queue into one [`hdc::HdcClassifier::predict_batch`] call
-//!   (configurable max batch size and linger, default 64 / 1 ms), so
-//!   throughput under load rides the packed batch path instead of N
-//!   scalar scans; concurrent training requests coalesce the same way
-//!   into one [`hdc::HdcClassifier::partial_fit_batch`].
-//! * [`registry`] — named models loaded via `hdc::io`, hot-reloadable
+//!   queue into one [`hdc::Model::predict_batch`] call (configurable max
+//!   batch size and linger, default 64 / 1 ms), so throughput under load
+//!   rides the packed batch path instead of N scalar scans; concurrent
+//!   training requests coalesce the same way into one
+//!   [`hdc::Model::partial_fit_batch`], and hot-reload swaps ride the
+//!   same queue so they serialize against in-flight training.
+//! * [`registry`] — named [`hdc::AnyModel`] entries (**dense and
+//!   binarized classifiers serve through identical machinery**; the
+//!   kind is sniffed from the `HDC1`/`HDB1` file magic by
+//!   [`hdc::io::load_any`] and reported in `/v1/models`), hot-reloadable
 //!   while serving, packed mirrors pre-warmed on load. Each model lives
 //!   behind a [`registry::SharedModel`] swap cell with a monotonic
-//!   training `version`, so **online learning** (`/v1/train`,
-//!   `/v1/feedback`) publishes updates atomically while in-flight
-//!   predictions keep their snapshot; `/v1/snapshot` persists the
-//!   trainable counters atomically (temp file + rename).
+//!   training `version` that survives reloads, so **online learning**
+//!   (`/v1/train`, `/v1/feedback`) publishes updates atomically while
+//!   in-flight predictions keep their snapshot; `/v1/snapshot` persists
+//!   the trainable counters atomically (temp file + rename); an
+//!   optional **model-dir jail** 403s any reload/snapshot path that
+//!   escapes it.
 //! * [`metrics`] — lock-free request counters, a batch-size histogram
 //!   (the observable proof that coalescing happens), online-training
 //!   counters, and p50/p99 latency from fixed power-of-two buckets.
@@ -67,6 +73,14 @@
 //! A reloaded snapshot **keeps learning**: the file stores the per-class
 //! trainable counters (not just the bipolarized references), and the
 //! version lineage continues across the reload.
+//!
+//! Everything above works identically for a **binarized** model: train
+//! one with `hdtest-cli train --kind binary`, serve it with
+//! `--models name=file.hdb` (the kind is auto-detected), and the same
+//! predict/train/feedback/snapshot/reload round trip applies —
+//! bit-exactly vs direct library calls, as pinned by
+//! `tests/binary_e2e.rs`. Add `--model-dir DIR` to jail reload/snapshot
+//! paths (escapes get 403).
 //!
 //! ## Embedding
 //!

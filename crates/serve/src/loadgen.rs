@@ -2,22 +2,26 @@
 //! sockets and reports req/s for a coalescing configuration vs the
 //! batch-size-1 baseline.
 //!
-//! Two identically trained servers are started (one per [`BatchConfig`]);
-//! each is loaded by `clients` threads holding persistent keep-alive
-//! connections and firing single-input predicts back to back, then — on
-//! the same live server — single-example `/v1/train` requests (the
+//! Identically trained servers are started (one per [`BatchConfig`] per
+//! model kind); each is loaded by `clients` threads holding persistent
+//! keep-alive connections and firing single-input predicts back to back,
+//! then — on the dense servers — single-example `/v1/train` requests (the
 //! online-learning hot path: coalesced `partial_fit_batch`, one clone +
-//! publish per executed batch). The report feeds `BENCH_serve.json` (same
-//! schema as `BENCH_kernels.json`, gated by `scripts/check_bench_json.py`):
-//! coalesced predict *and* train throughput must stay at least at parity
-//! with batch-size-1, and the mean executed batch size must prove that
-//! coalescing actually happened.
+//! publish per executed batch). A **binarized** model runs the same
+//! predict phases through the identical serving machinery, proving the
+//! kind-generic path holds throughput. The report feeds
+//! `BENCH_serve.json` (same schema as `BENCH_kernels.json`, gated by
+//! `scripts/check_bench_json.py`): coalesced predict *and* train
+//! throughput must stay at least at parity with batch-size-1 — for both
+//! kinds — and the mean executed batch size must prove that coalescing
+//! actually happened.
 
 use crate::batcher::BatchConfig;
 use crate::client::Client;
 use crate::metrics::Metrics;
 use crate::registry::Registry;
 use crate::server::{Server, ServerConfig};
+use hdc::binary::BinaryClassifier;
 use hdc::memory::ValueEncoding;
 use hdc::prelude::*;
 use std::sync::Arc;
@@ -60,13 +64,17 @@ impl LoadgenConfig {
     }
 }
 
-/// Results of one two-sided load run.
+/// Results of one load run (both coalescing configurations, both kinds).
 #[derive(Debug, Clone)]
 pub struct LoadgenReport {
     /// Predict requests/second with coalescing enabled.
     pub coalesced_rps: f64,
     /// Predict requests/second with the batch-size-1 baseline.
     pub single_rps: f64,
+    /// Binary-model predict requests/second with coalescing enabled.
+    pub coalesced_binary_rps: f64,
+    /// Binary-model predict requests/second, batch-size-1 baseline.
+    pub single_binary_rps: f64,
     /// `/v1/train` requests/second with coalescing enabled.
     pub coalesced_train_rps: f64,
     /// `/v1/train` requests/second with the batch-size-1 baseline.
@@ -94,6 +102,11 @@ impl LoadgenReport {
         self.coalesced_rps / self.single_rps
     }
 
+    /// Coalesced over single throughput for the binary-model side.
+    pub fn binary_speedup(&self) -> f64 {
+        self.coalesced_binary_rps / self.single_binary_rps
+    }
+
     /// Renders the `BENCH_serve.json` document. `scalar_ns` is ns/request
     /// for batch-size-1, `packed_ns` ns/request coalesced, matching the
     /// schema of `BENCH_kernels.json` so `scripts/check_bench_json.py`
@@ -104,6 +117,8 @@ impl LoadgenReport {
         let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
         let single_ns = 1e9 / self.single_rps;
         let coalesced_ns = 1e9 / self.coalesced_rps;
+        let single_binary_ns = 1e9 / self.single_binary_rps;
+        let coalesced_binary_ns = 1e9 / self.coalesced_binary_rps;
         let single_train_ns = 1e9 / self.single_train_rps;
         let coalesced_train_ns = 1e9 / self.coalesced_train_rps;
         format!(
@@ -111,6 +126,9 @@ impl LoadgenReport {
              {cores},\n  \"ops\": {{\n    \"serve_predict\": {{\"scalar_ns\": {:.1}, \
              \"packed_ns\": {:.1}, \"speedup\": {:.2}, \"note\": \"req latency budget, {} \
              clients, single={:.0} rps vs coalesced={:.0} rps, p99 {}us vs {}us\"}},\n    \
+             \"serve_predict_binary\": {{\"scalar_ns\": {:.1}, \"packed_ns\": {:.1}, \
+             \"speedup\": {:.2}, \"note\": \"binarized model through the identical \
+             kind-generic path, {} clients, single={:.0} rps vs coalesced={:.0} rps\"}},\n    \
              \"serve_train\": {{\"scalar_ns\": {:.1}, \"packed_ns\": {:.1}, \"speedup\": {:.2}, \
              \"note\": \"online /v1/train, {} clients, single={:.0} rps vs coalesced={:.0} rps, \
              {} examples absorbed in {} published batches\"}},\n    \
@@ -127,6 +145,12 @@ impl LoadgenReport {
             self.coalesced_rps,
             self.single_p99_us,
             self.coalesced_p99_us,
+            single_binary_ns,
+            coalesced_binary_ns,
+            self.binary_speedup(),
+            self.config.clients,
+            self.single_binary_rps,
+            self.coalesced_binary_rps,
             single_train_ns,
             coalesced_train_ns,
             self.coalesced_train_rps / self.single_train_rps,
@@ -141,10 +165,9 @@ impl LoadgenReport {
     }
 }
 
-/// Trains the synthetic model every load run serves: `classes` bar
-/// patterns on an `edge × edge` canvas, one-shot bundled at `dim`.
-pub fn synthetic_model(dim: usize, edge: usize) -> HdcClassifier<PixelEncoder> {
-    let encoder = PixelEncoder::new(PixelEncoderConfig {
+/// The synthetic encoder every load-run model shares the config of.
+fn synthetic_encoder(dim: usize, edge: usize) -> PixelEncoder {
+    PixelEncoder::new(PixelEncoderConfig {
         dim,
         width: edge,
         height: edge,
@@ -152,28 +175,53 @@ pub fn synthetic_model(dim: usize, edge: usize) -> HdcClassifier<PixelEncoder> {
         value_encoding: ValueEncoding::Random,
         seed: 41,
     })
-    .expect("valid loadgen encoder config");
+    .expect("valid loadgen encoder config")
+}
+
+/// The class geometry of the synthetic dataset: `classes` bar patterns on
+/// an `edge × edge` canvas, two shifted variants each.
+fn synthetic_examples(edge: usize) -> Vec<(Vec<u8>, usize)> {
     let classes = edge.min(4);
-    let mut model = HdcClassifier::new(encoder, classes);
+    let mut examples = Vec::new();
     for class in 0..classes {
-        // A horizontal bar per class, plus a shifted variant for bulk.
         for shift in 0..2usize {
             let mut img = vec![0u8; edge * edge];
             let row = (class * edge / classes + shift) % edge;
             for x in 0..edge {
                 img[row * edge + x] = 224;
             }
-            model.train_one(&img[..], class).expect("train synthetic example");
+            examples.push((img, class));
         }
+    }
+    examples
+}
+
+/// Trains the dense synthetic model every load run serves.
+pub fn synthetic_model(dim: usize, edge: usize) -> HdcClassifier<PixelEncoder> {
+    let mut model = HdcClassifier::new(synthetic_encoder(dim, edge), edge.min(4));
+    for (img, class) in synthetic_examples(edge) {
+        model.train_one(&img[..], class).expect("train synthetic example");
     }
     model.finalize();
     model
 }
 
-/// One measured side's numbers.
+/// Trains the binarized twin of [`synthetic_model`] (same encoder config,
+/// same data) for the kind-generic serving measurement.
+pub fn synthetic_binary_model(dim: usize, edge: usize) -> BinaryClassifier<PixelEncoder> {
+    let mut model = BinaryClassifier::new(synthetic_encoder(dim, edge), edge.min(4));
+    for (img, class) in synthetic_examples(edge) {
+        model.train_one(&img[..], class).expect("train synthetic example");
+    }
+    model.finalize();
+    model
+}
+
+/// One measured side's numbers (`train_rps` only when the train phase
+/// ran).
 struct SideReport {
     rps: f64,
-    train_rps: f64,
+    train_rps: Option<f64>,
     mean_batch: f64,
     p99_us: u64,
     final_version: u64,
@@ -191,21 +239,26 @@ fn bar_image(img: &mut [u8], edge: usize, row: usize) -> usize {
     ((row % edge) * classes / edge).min(classes - 1)
 }
 
-/// Runs one measured side: starts a server with `batch`, saturates it
-/// with predicts, then with single-example online trains.
-fn run_side(config: &LoadgenConfig, batch: BatchConfig) -> SideReport {
+/// Runs one measured side: starts a server with `batch` over `model`
+/// (either kind — the serving machinery is identical), saturates it with
+/// `per_client` predicts per client, then — when `train_phase` — with
+/// single-example online trains.
+fn run_side(
+    config: &LoadgenConfig,
+    batch: BatchConfig,
+    model: impl Into<hdc::AnyModel>,
+    per_client: usize,
+    train_phase: bool,
+) -> SideReport {
     let metrics = Arc::new(Metrics::new());
     let registry = Arc::new(Registry::new(Arc::clone(&metrics), batch));
-    registry
-        .insert_model("default", synthetic_model(config.dim, config.edge))
-        .expect("register loadgen model");
+    registry.insert_model("default", model).expect("register loadgen model");
     let server_config = ServerConfig { workers: config.clients + 2, ..ServerConfig::default() };
     let mut server =
         Server::start(Arc::clone(&registry), &server_config).expect("start loadgen server");
     let addr = server.addr();
 
     let edge = config.edge;
-    let per_client = config.requests_per_client;
     let started = Instant::now();
     std::thread::scope(|scope| {
         for client_id in 0..config.clients {
@@ -238,31 +291,36 @@ fn run_side(config: &LoadgenConfig, batch: BatchConfig) -> SideReport {
     // Train phase on the same live server: every client streams correctly
     // labeled bar images through `/v1/train` (the closed-loop online
     // learning shape — each request is one example riding the coalescer).
-    let train_per_client = config.train_requests_per_client();
-    let started = Instant::now();
-    std::thread::scope(|scope| {
-        for client_id in 0..config.clients {
-            scope.spawn(move || {
-                let mut client = Client::connect(addr).expect("connect loadgen train client");
-                let mut img = vec![0u8; edge * edge];
-                for i in 0..train_per_client {
-                    let label = bar_image(&mut img, edge, client_id + i);
-                    let body = Client::train_body("default", &img, label);
-                    let response = client.post("/v1/train", &body).expect("loadgen train request");
-                    assert!(
-                        response.is_success(),
-                        "train failed: {} {}",
-                        response.status,
-                        String::from_utf8_lossy(&response.body)
-                    );
-                }
-            });
-        }
-    });
-    let train_elapsed = started.elapsed().as_secs_f64();
-    let train_rps = (config.clients * train_per_client) as f64 / train_elapsed;
-    let final_version = registry.get("default").expect("loadgen model").version();
-    assert!(final_version > 0, "train traffic must have published at least one batch");
+    let mut train_rps = None;
+    let mut final_version = 0;
+    if train_phase {
+        let train_per_client = config.train_requests_per_client();
+        let started = Instant::now();
+        std::thread::scope(|scope| {
+            for client_id in 0..config.clients {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect loadgen train client");
+                    let mut img = vec![0u8; edge * edge];
+                    for i in 0..train_per_client {
+                        let label = bar_image(&mut img, edge, client_id + i);
+                        let body = Client::train_body("default", &img, label);
+                        let response =
+                            client.post("/v1/train", &body).expect("loadgen train request");
+                        assert!(
+                            response.is_success(),
+                            "train failed: {} {}",
+                            response.status,
+                            String::from_utf8_lossy(&response.body)
+                        );
+                    }
+                });
+            }
+        });
+        let train_elapsed = started.elapsed().as_secs_f64();
+        train_rps = Some((config.clients * train_per_client) as f64 / train_elapsed);
+        final_version = registry.get("default").expect("loadgen model").version();
+        assert!(final_version > 0, "train traffic must have published at least one batch");
+    }
 
     server.shutdown();
     SideReport { rps, train_rps, mean_batch, p99_us, final_version }
@@ -274,18 +332,59 @@ impl LoadgenConfig {
     fn train_requests_per_client(&self) -> usize {
         (self.requests_per_client / 4).max(8)
     }
+
+    /// Binary-side predict requests per client: half the dense load — the
+    /// two binary sides are only compared with each other, so halving
+    /// both keeps the wall clock bounded without skewing the ratio.
+    fn binary_requests_per_client(&self) -> usize {
+        (self.requests_per_client / 2).max(20)
+    }
 }
 
-/// Runs both sides and assembles the report.
+/// Runs all sides (dense + binary, coalesced + batch-size-1) and
+/// assembles the report.
 pub fn run(config: &LoadgenConfig) -> LoadgenReport {
-    let single = run_side(config, BatchConfig::batch_size_1());
+    let per_client = config.requests_per_client;
+    let single = run_side(
+        config,
+        BatchConfig::batch_size_1(),
+        synthetic_model(config.dim, config.edge),
+        per_client,
+        true,
+    );
     assert!(single.mean_batch <= 1.0 + 1e-9, "baseline must not coalesce");
-    let coalesced = run_side(config, config.coalesce);
+    let coalesced = run_side(
+        config,
+        config.coalesce,
+        synthetic_model(config.dim, config.edge),
+        per_client,
+        true,
+    );
+
+    // The binarized twin through the identical kind-generic serving path.
+    let binary_per_client = config.binary_requests_per_client();
+    let single_binary = run_side(
+        config,
+        BatchConfig::batch_size_1(),
+        synthetic_binary_model(config.dim, config.edge),
+        binary_per_client,
+        false,
+    );
+    let coalesced_binary = run_side(
+        config,
+        config.coalesce,
+        synthetic_binary_model(config.dim, config.edge),
+        binary_per_client,
+        false,
+    );
+
     LoadgenReport {
         coalesced_rps: coalesced.rps,
         single_rps: single.rps,
-        coalesced_train_rps: coalesced.train_rps,
-        single_train_rps: single.train_rps,
+        coalesced_binary_rps: coalesced_binary.rps,
+        single_binary_rps: single_binary.rps,
+        coalesced_train_rps: coalesced.train_rps.expect("dense side ran the train phase"),
+        single_train_rps: single.train_rps.expect("dense side ran the train phase"),
         coalesced_mean_batch: coalesced.mean_batch,
         coalesced_final_version: coalesced.final_version,
         coalesced_p99_us: coalesced.p99_us,
@@ -312,6 +411,7 @@ mod tests {
         let report = run(&config);
         assert_eq!(report.requests, 160);
         assert!(report.single_rps > 0.0 && report.coalesced_rps > 0.0);
+        assert!(report.single_binary_rps > 0.0 && report.coalesced_binary_rps > 0.0);
         assert!(report.single_train_rps > 0.0 && report.coalesced_train_rps > 0.0);
         assert!(report.coalesced_final_version > 0, "training must bump the version");
         assert!(
@@ -322,7 +422,23 @@ mod tests {
         let json = report.to_bench_json(true);
         assert!(json.contains("\"suite\": \"serve\""), "{json}");
         assert!(json.contains("serve_predict"), "{json}");
+        assert!(json.contains("serve_predict_binary"), "{json}");
         assert!(json.contains("serve_train"), "{json}");
         assert!(json.contains("serve_coalescing"), "{json}");
+    }
+
+    #[test]
+    fn synthetic_twins_share_geometry_and_serve_predictions() {
+        // The twins exist to load the serving path, not to be accurate —
+        // the bar dataset deliberately shares rows between adjacent
+        // classes. Both kinds must build from the same config/data and
+        // answer every training input with an in-range prediction.
+        let dense = synthetic_model(1_024, 4);
+        let binary = synthetic_binary_model(1_024, 4);
+        assert_eq!(dense.encoder().config(), binary.encoder().config());
+        for (img, _class) in synthetic_examples(4) {
+            assert!(dense.predict(&img[..]).unwrap().class < 4);
+            assert!(binary.predict(&img[..]).unwrap().class < 4);
+        }
     }
 }

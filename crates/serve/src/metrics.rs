@@ -150,6 +150,12 @@ impl Metrics {
         self.train_examples.load(Relaxed)
     }
 
+    /// Published update batches (= total model-version bumps across all
+    /// models recording into this sink).
+    pub fn train_batches(&self) -> u64 {
+        self.train_batches.load(Relaxed)
+    }
+
     /// Mean examples per published update batch (0 when none ran) — the
     /// training-side coalescing proof, analogous to
     /// [`mean_batch_size`](Self::mean_batch_size).

@@ -1,11 +1,11 @@
 //! The model registry: named models behind one process.
 //!
-//! Models load through [`hdc::io::load_pixel_classifier`], get their packed
-//! mirrors pre-warmed so the first request doesn't pay lazy-pack cost, and
-//! each gets its own coalescing [`Batcher`]. Reload is atomic per name:
-//! requests in flight keep the entry (and worker) they resolved, new
-//! requests see the new model, and a failed reload leaves the old model
-//! serving untouched.
+//! Entries hold [`hdc::AnyModel`], so a **dense and a binarized classifier
+//! serve through identical machinery** — models load through
+//! [`hdc::io::load_any`] (one call that sniffs the `HDC1`/`HDB1` magic),
+//! get their packed mirrors pre-warmed so the first request doesn't pay
+//! lazy-pack cost, and each name gets its own coalescing [`Batcher`].
+//! `/v1/models` reports each entry's `kind`.
 //!
 //! ## Online training
 //!
@@ -13,13 +13,37 @@
 //! swapped atomically by the entry's batcher worker when a coalesced
 //! training batch lands (`partial_fit_batch` on a private clone, then
 //! publish). Readers — predict handlers, explicit batch predicts — take
-//! the current snapshot and never block on training compute. Every
-//! published training batch bumps the model's monotonic `version`
-//! (reported in `/v1/models` and `/metrics`); the version lineage survives
-//! hot reloads of the same name. [`Registry::snapshot`] persists the
-//! current counter state atomically (write to a temp file, then rename),
-//! so a `POST /v1/snapshot` + `POST /v1/reload` round trip resumes
-//! training exactly where the live model left off.
+//! the current snapshot and never block on training compute. Because both
+//! classifier kinds share their encoder behind an `Arc`, the private clone
+//! copies **only counters and class vectors** — item memories are never
+//! duplicated on the publish path (`Arc::ptr_eq` across versions, pinned
+//! by this module's tests). Every published training batch bumps the
+//! model's monotonic `version` (reported in `/v1/models` and `/metrics`).
+//!
+//! ## Reloads are serialized through the worker
+//!
+//! A hot reload does **not** tear an entry down: the replacement model is
+//! enqueued as a swap job on the entry's batcher, so the single writer
+//! processes it in queue order with the training traffic. An in-flight
+//! coalesced train therefore either publishes *before* the swap (into the
+//! same, still-live lineage) or trains the swapped-in model — a train can
+//! never publish into an orphaned lineage, and because one [`SharedModel`]
+//! carries a name's version counter for its whole life, a version number
+//! can never be reused. (This closes the documented PR-4 race where
+//! reload replaced the entry wholesale and an in-flight train could
+//! publish into the abandoned one.) In-flight requests that already
+//! resolved the entry keep it — same `Arc`, same worker — and simply
+//! observe the swap at their queue position. A failed load never reaches
+//! the swap, leaving the old model serving untouched.
+//!
+//! ## Path trust
+//!
+//! `/v1/reload` reads and `/v1/snapshot` writes server-side paths. With a
+//! configured **model directory jail** ([`Registry::with_model_dir`], the
+//! serve subcommand's `--model-dir`), relative paths resolve inside the
+//! jail and anything escaping it is refused with a 403 before any
+//! filesystem access. Without a jail the documented private-network trust
+//! model applies.
 //!
 //! ## Worked example
 //!
@@ -35,6 +59,7 @@
 //!
 //! let entry = registry.get("default")?;
 //! assert_eq!(entry.version(), 0); // no training batches yet
+//! assert_eq!(entry.info().kind, hdc::ModelKind::Dense);
 //!
 //! // Online update: one labeled example through the coalescer.
 //! let outcome = entry.batcher().train(vec![(vec![224u8; 16], 1)])?;
@@ -48,8 +73,8 @@ use crate::batcher::{BatchConfig, Batcher};
 use crate::error::ServeError;
 use crate::json::Json;
 use crate::metrics::Metrics;
-use hdc::io::{load_pixel_classifier, save_pixel_classifier};
-use hdc::prelude::*;
+use hdc::io::load_any;
+use hdc::{AnyModel, Model, ModelKind};
 use std::collections::BTreeMap;
 use std::fs::File;
 use std::io::BufReader;
@@ -62,6 +87,8 @@ use std::sync::{Arc, RwLock};
 pub struct ModelInfo {
     /// Registry name.
     pub name: String,
+    /// Implementation family (`dense` / `binary`).
+    pub kind: ModelKind,
     /// Hypervector dimension.
     pub dim: usize,
     /// Number of classes.
@@ -82,6 +109,7 @@ impl ModelInfo {
     pub fn render(&self) -> Json {
         Json::obj([
             ("name", Json::from(self.name.as_str())),
+            ("kind", Json::from(self.kind.as_str())),
             ("dim", Json::from(self.dim)),
             ("classes", Json::from(self.classes)),
             ("width", Json::from(self.width)),
@@ -104,10 +132,13 @@ impl ModelInfo {
 /// Readers call [`snapshot`](Self::snapshot) and work on a consistent
 /// `Arc` that training can never mutate under them; the entry's batcher
 /// worker is the single writer and swaps in a freshly trained clone via
-/// `publish`.
+/// `publish` (or an operator's replacement model via `replace`). One
+/// `SharedModel` carries a registry name's lineage for its whole life —
+/// reloads swap the model *inside* it, never the cell — so `version` is
+/// strictly monotonic per name.
 #[derive(Debug)]
 pub struct SharedModel {
-    current: RwLock<Arc<HdcClassifier<PixelEncoder>>>,
+    current: RwLock<Arc<AnyModel>>,
     /// Monotonic per-name training version: +1 per published training
     /// batch, carried across hot reloads of the same name.
     version: AtomicU64,
@@ -116,7 +147,7 @@ pub struct SharedModel {
 }
 
 impl SharedModel {
-    fn new(model: Arc<HdcClassifier<PixelEncoder>>) -> Self {
+    fn new(model: Arc<AnyModel>) -> Self {
         Self {
             current: RwLock::new(model),
             version: AtomicU64::new(0),
@@ -124,27 +155,27 @@ impl SharedModel {
         }
     }
 
-    /// Wraps a finalized model for direct [`Batcher`] use without a
-    /// [`Registry`] (embedding, tests). Version starts at 0.
-    pub fn standalone(model: HdcClassifier<PixelEncoder>) -> Self {
-        Self::new(Arc::new(model))
+    /// Wraps a finalized model of either kind for direct [`Batcher`] use
+    /// without a [`Registry`] (embedding, tests). Version starts at 0.
+    pub fn standalone(model: impl Into<AnyModel>) -> Self {
+        Self::new(Arc::new(model.into()))
     }
 
     /// The current model snapshot. Cheap (one `Arc` clone under a read
     /// lock); the returned model is immutable and stays valid however
     /// much training happens after.
-    pub fn snapshot(&self) -> Arc<HdcClassifier<PixelEncoder>> {
+    pub fn snapshot(&self) -> Arc<AnyModel> {
         Arc::clone(&self.current.read().expect("model lock"))
     }
 
-    /// The model's training version: 0 at (re)load, +1 per published
-    /// training batch.
+    /// The model's training version: 0 at first load, +1 per published
+    /// training batch, never reset (reloads keep the lineage).
     pub fn version(&self) -> u64 {
         self.version.load(Ordering::Acquire)
     }
 
     /// Total examples absorbed online across this name's lineage
-    /// (inherited, like the version, across hot reloads).
+    /// (like the version, preserved across hot reloads).
     pub fn trained_examples(&self) -> u64 {
         self.trained_examples.load(Ordering::Relaxed)
     }
@@ -152,18 +183,18 @@ impl SharedModel {
     /// Swaps in a newly trained model and bumps the version. Called only
     /// by the entry's batcher worker (the single writer); returns the new
     /// version.
-    pub(crate) fn publish(&self, model: Arc<HdcClassifier<PixelEncoder>>, examples: u64) -> u64 {
+    pub(crate) fn publish(&self, model: Arc<AnyModel>, examples: u64) -> u64 {
         *self.current.write().expect("model lock") = model;
         self.trained_examples.fetch_add(examples, Ordering::Relaxed);
         self.version.fetch_add(1, Ordering::AcqRel) + 1
     }
 
-    /// Restores a training lineage after a hot reload (registry-internal):
-    /// both the version and the absorbed-example count carry over, so the
-    /// two counters never disagree across a snapshot → reload round trip.
-    fn inherit_lineage(&self, version: u64, trained_examples: u64) {
-        self.version.store(version, Ordering::Release);
-        self.trained_examples.store(trained_examples, Ordering::Relaxed);
+    /// Swaps in an operator-supplied replacement (hot reload) without
+    /// bumping the training version — the lineage continues. Called only
+    /// by the batcher worker, which serializes it against training jobs.
+    pub(crate) fn replace(&self, model: Arc<AnyModel>) -> u64 {
+        *self.current.write().expect("model lock") = model;
+        self.version()
     }
 }
 
@@ -173,14 +204,22 @@ impl SharedModel {
 pub struct ModelEntry {
     shared: Arc<SharedModel>,
     batcher: Batcher,
-    info: ModelInfo,
+    /// Behind a lock because hot reloads update the metadata in place
+    /// (the entry itself survives reloads; see the module docs).
+    info: RwLock<ModelInfo>,
+    /// Serializes reloads of this entry against each other, so the
+    /// generation bump, the queued swap, and the metadata update of
+    /// concurrent `/v1/reload`s cannot interleave. Held *instead of* the
+    /// registry-wide lock while waiting on the batcher, so a reload never
+    /// stalls name resolution (or traffic) for other models.
+    reload_serial: std::sync::Mutex<()>,
 }
 
 impl ModelEntry {
     /// The current model snapshot (for direct batch calls). The snapshot
     /// is taken per call; hold it across related operations for a
     /// consistent view.
-    pub fn model(&self) -> Arc<HdcClassifier<PixelEncoder>> {
+    pub fn model(&self) -> Arc<AnyModel> {
         self.shared.snapshot()
     }
 
@@ -195,9 +234,14 @@ impl ModelEntry {
     }
 
     /// Model metadata (static facts; the live training version is
-    /// [`version`](Self::version)).
-    pub fn info(&self) -> &ModelInfo {
-        &self.info
+    /// [`version`](Self::version)). A clone — reloads may update the
+    /// entry's metadata concurrently.
+    pub fn info(&self) -> ModelInfo {
+        self.info.read().expect("info lock").clone()
+    }
+
+    pub(crate) fn set_info(&self, info: ModelInfo) {
+        *self.info.write().expect("info lock") = info;
     }
 
     /// The model's current training version.
@@ -208,7 +252,7 @@ impl ModelEntry {
     /// Renders the `/v1/models` entry: static metadata plus the live
     /// training version and absorbed-example count.
     pub fn render_info(&self) -> Json {
-        let mut doc = self.info.render();
+        let mut doc = self.info().render();
         if let Json::Obj(map) = &mut doc {
             map.insert("version".into(), Json::from(self.shared.version()));
             map.insert("trained_examples".into(), Json::from(self.shared.trained_examples()));
@@ -223,13 +267,38 @@ pub struct Registry {
     models: RwLock<BTreeMap<String, Arc<ModelEntry>>>,
     metrics: Arc<Metrics>,
     batch_config: BatchConfig,
+    /// The canonicalized path jail for reload reads and snapshot writes;
+    /// `None` means the documented private-network trust model applies.
+    model_dir: Option<PathBuf>,
 }
 
 impl Registry {
     /// An empty registry whose batchers will use `batch_config` and record
     /// into `metrics`.
     pub fn new(metrics: Arc<Metrics>, batch_config: BatchConfig) -> Self {
-        Self { models: RwLock::new(BTreeMap::new()), metrics, batch_config }
+        Self { models: RwLock::new(BTreeMap::new()), metrics, batch_config, model_dir: None }
+    }
+
+    /// Confines every `load` read and `snapshot` write to `dir` (the serve
+    /// subcommand's `--model-dir`): relative paths resolve inside it, and
+    /// any path escaping it — symlinks and `..` included, since checks run
+    /// on canonicalized paths — is refused with a 403.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadRequest`] when `dir` does not exist or cannot be
+    /// canonicalized.
+    pub fn with_model_dir(mut self, dir: &Path) -> Result<Self, ServeError> {
+        let canon = dir.canonicalize().map_err(|e| {
+            ServeError::BadRequest(format!("model dir {} is unusable: {e}", dir.display()))
+        })?;
+        self.model_dir = Some(canon);
+        Ok(self)
+    }
+
+    /// The configured jail, if any (canonicalized).
+    pub fn model_dir(&self) -> Option<&Path> {
+        self.model_dir.as_deref()
     }
 
     /// The shared metrics sink.
@@ -237,10 +306,90 @@ impl Registry {
         &self.metrics
     }
 
+    /// Resolves a request path against the jail: relative paths live
+    /// inside the model dir (so clients can say `"path": "snap.hdc"`),
+    /// absolute paths are taken as given and checked later.
+    fn resolve(&self, path: &Path) -> PathBuf {
+        match &self.model_dir {
+            Some(jail) if path.is_relative() => jail.join(path),
+            _ => path.to_owned(),
+        }
+    }
+
+    /// 403 unless `canonical` is inside the jail (no-op without one).
+    fn jail_check(&self, canonical: &Path, requested: &Path) -> Result<(), ServeError> {
+        match &self.model_dir {
+            Some(jail) if !canonical.starts_with(jail) => Err(ServeError::Forbidden(format!(
+                "path {} escapes the model directory {}",
+                requested.display(),
+                jail.display()
+            ))),
+            _ => Ok(()),
+        }
+    }
+
+    /// The lexical half of jail admission, run **before any filesystem
+    /// access**: `..` components are refused outright — a prefix check
+    /// cannot see through them, and refusing them up front means a
+    /// traversal attempt cannot even probe which paths exist.
+    fn refuse_traversal(&self, requested: &Path) -> Result<(), ServeError> {
+        let Some(jail) = &self.model_dir else { return Ok(()) };
+        if requested.components().any(|c| matches!(c, std::path::Component::ParentDir)) {
+            return Err(ServeError::Forbidden(format!(
+                "path {} escapes the model directory {} ('..' components are refused)",
+                requested.display(),
+                jail.display()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Jail admission for a file to be **read**: traversal refusal first,
+    /// then the file itself must canonicalize into the jail (catching
+    /// symlink escapes).
+    fn admit_read(&self, path: &Path) -> Result<PathBuf, ServeError> {
+        let resolved = self.resolve(path);
+        if self.model_dir.is_none() {
+            return Ok(resolved);
+        }
+        self.refuse_traversal(path)?;
+        let canon = resolved.canonicalize().map_err(|e| {
+            ServeError::BadRequest(format!("cannot open model file {}: {e}", resolved.display()))
+        })?;
+        self.jail_check(&canon, path)?;
+        Ok(canon)
+    }
+
+    /// Jail admission for a file to be **written**: traversal refusal
+    /// first, then the (existing) parent directory must canonicalize into
+    /// the jail; the file itself need not exist yet.
+    fn admit_write(&self, path: &Path) -> Result<PathBuf, ServeError> {
+        let resolved = self.resolve(path);
+        if self.model_dir.is_none() {
+            return Ok(resolved);
+        }
+        self.refuse_traversal(path)?;
+        let file_name = resolved.file_name().ok_or_else(|| {
+            ServeError::BadRequest(format!("path {} has no file name", resolved.display()))
+        })?;
+        let parent = match resolved.parent() {
+            Some(p) if !p.as_os_str().is_empty() => p.to_owned(),
+            _ => PathBuf::from("."),
+        };
+        let canon_parent = parent.canonicalize().map_err(|e| {
+            ServeError::BadRequest(format!(
+                "snapshot directory {} is unusable: {e}",
+                parent.display()
+            ))
+        })?;
+        self.jail_check(&canon_parent, path)?;
+        Ok(canon_parent.join(file_name))
+    }
+
     fn install(
         &self,
         name: &str,
-        model: HdcClassifier<PixelEncoder>,
+        model: AnyModel,
         path: Option<PathBuf>,
     ) -> Result<ModelInfo, ServeError> {
         if !model.is_finalized() {
@@ -248,46 +397,66 @@ impl Registry {
         }
         // Pre-warm packed mirrors (class references and item memories) so
         // concurrent first requests don't race to build them lazily.
-        model.associative_memory().warm_packed();
-        model.encoder().warm_up();
-        let config = model.encoder().config();
+        model.warm_up();
+        let config = model.config();
         let mut info = ModelInfo {
             name: name.to_owned(),
+            kind: model.kind(),
             dim: config.dim,
-            classes: model.num_classes(),
+            classes: Model::num_classes(&model),
             width: config.width,
             height: config.height,
-            generation: 0, // assigned under the write lock below
+            generation: 0, // assigned below (first insert or reload bump)
             path,
         };
-        let shared = Arc::new(SharedModel::new(Arc::new(model)));
-        let batcher =
-            Batcher::start(Arc::clone(&shared), Arc::clone(&self.metrics), self.batch_config);
-        // Generation is read and bumped under the same write lock as the
-        // insert, so concurrent reloads of one name serialize and the
-        // visible generation (and inherited training version) is strictly
-        // increasing per name.
-        let mut models = self.models.write().expect("registry lock");
-        if let Some(old) = models.get(name) {
-            info.generation = old.info.generation + 1;
-            // The training lineage survives reloads: a snapshot → reload
-            // round trip keeps counting from where training left off.
-            // Caveat: a train that resolved the *old* entry before this
-            // swap applies to the orphaned model (the same keep-your-entry
-            // semantics in-flight predicts get) and may report a version
-            // the new lineage reuses; reload while training is a
-            // deliberate operator action, so we document rather than
-            // serialize it.
-            shared.inherit_lineage(old.shared.version(), old.shared.trained_examples());
-        } else {
+        // Waiting on a batcher swap must never happen under the
+        // registry-wide lock — that would stall name resolution for every
+        // model while one reload drains. Instead: resolve the entry under
+        // a read lock, then serialize concurrent reloads of *this name*
+        // on the entry's own mutex. The write lock is taken only for the
+        // brief first-insert of a new name (re-checked in a loop in case
+        // two first-loads race).
+        let mut model = Some(model);
+        loop {
+            let existing = self.models.read().expect("registry lock").get(name).cloned();
+            if let Some(existing) = existing {
+                // Hot reload: the entry — its SharedModel, its batcher, its
+                // version lineage — survives; only the model inside the swap
+                // cell and the metadata change. The swap rides the batcher
+                // queue, so the single writer serializes it against in-flight
+                // coalesced trains: they publish either before the swap (into
+                // this same live lineage) or after (training the new model),
+                // never into an orphan, and no version number is ever reused.
+                let _serial = existing.reload_serial.lock().expect("reload serial lock");
+                info.generation = existing.info().generation + 1;
+                existing.batcher().swap(model.take().expect("model consumed once"))?;
+                existing.set_info(info.clone());
+                return Ok(info);
+            }
+            let mut models = self.models.write().expect("registry lock");
+            if models.contains_key(name) {
+                // A concurrent first load won the insert between our read
+                // and write; treat ours as a reload of that entry.
+                continue;
+            }
             info.generation = 1;
+            let shared =
+                Arc::new(SharedModel::new(Arc::new(model.take().expect("model consumed once"))));
+            let batcher =
+                Batcher::start(Arc::clone(&shared), Arc::clone(&self.metrics), self.batch_config);
+            let entry = Arc::new(ModelEntry {
+                shared,
+                batcher,
+                info: RwLock::new(info.clone()),
+                reload_serial: std::sync::Mutex::new(()),
+            });
+            models.insert(name.to_owned(), entry);
+            return Ok(info);
         }
-        let entry = Arc::new(ModelEntry { shared, batcher, info: info.clone() });
-        models.insert(name.to_owned(), entry);
-        Ok(info)
     }
 
-    /// Registers an in-memory model (tests, load generator).
+    /// Registers an in-memory model of either kind (tests, load
+    /// generator).
     ///
     /// # Errors
     ///
@@ -295,26 +464,29 @@ impl Registry {
     pub fn insert_model(
         &self,
         name: &str,
-        model: HdcClassifier<PixelEncoder>,
+        model: impl Into<AnyModel>,
     ) -> Result<ModelInfo, ServeError> {
-        self.install(name, model, None)
+        self.install(name, model.into(), None)
     }
 
-    /// Loads (or hot-reloads) `name` from a model file. On any failure the
+    /// Loads (or hot-reloads) `name` from a model file of either kind
+    /// (the `HDC1`/`HDB1` magic is sniffed). On any failure the
     /// previously registered model, if one exists, keeps serving.
     ///
     /// # Errors
     ///
+    /// [`ServeError::Forbidden`] for paths escaping the model-dir jail;
     /// [`ServeError::BadRequest`] for unreadable, truncated or corrupt
     /// model files.
     pub fn load(&self, name: &str, path: &Path) -> Result<ModelInfo, ServeError> {
-        let file = File::open(path).map_err(|e| {
-            ServeError::BadRequest(format!("cannot open model file {}: {e}", path.display()))
+        let admitted = self.admit_read(path)?;
+        let file = File::open(&admitted).map_err(|e| {
+            ServeError::BadRequest(format!("cannot open model file {}: {e}", admitted.display()))
         })?;
-        let model = load_pixel_classifier(BufReader::new(file)).map_err(|e| {
-            ServeError::BadRequest(format!("cannot load model from {}: {e}", path.display()))
+        let model = load_any(BufReader::new(file)).map_err(|e| {
+            ServeError::BadRequest(format!("cannot load model from {}: {e}", admitted.display()))
         })?;
-        self.install(name, model, Some(path.to_owned()))
+        self.install(name, model, Some(admitted))
     }
 
     /// Drops `name`; in-flight requests holding the entry finish normally.
@@ -346,20 +518,22 @@ impl Registry {
     }
 
     /// Persists the current counter state of `name` to `path`
-    /// **atomically**: the model is serialized to a temporary file in the
-    /// target directory and renamed over `path`, so a concurrent
-    /// `/v1/reload` (or a crash mid-write) can never observe a torn model
-    /// file. Returns the persisted training version.
+    /// **atomically**: the model is serialized in its kind's format to a
+    /// temporary file in the target directory and renamed over `path`, so
+    /// a concurrent `/v1/reload` (or a crash mid-write) can never observe
+    /// a torn model file. Returns the persisted training version.
     ///
-    /// The saved file contains the trainable accumulators, so loading it
+    /// The saved file contains the trainable counters, so loading it
     /// back — here or on another instance — resumes training bit-exactly.
     ///
     /// # Errors
     ///
+    /// [`ServeError::Forbidden`] for paths escaping the model-dir jail,
     /// [`ServeError::NotFound`] for an unknown model,
     /// [`ServeError::Internal`] for filesystem failures.
     pub fn snapshot(&self, name: &str, path: &Path) -> Result<u64, ServeError> {
         let entry = self.get(name)?;
+        let admitted = self.admit_write(path)?;
         // Consistent pair: the version is read before the snapshot, so the
         // reported version is never newer than the persisted counters.
         let version = entry.shared.version();
@@ -369,7 +543,7 @@ impl Registry {
         // writes its own and the renames land whole-file atomically.
         static SNAPSHOT_SEQ: AtomicU64 = AtomicU64::new(0);
         let seq = SNAPSHOT_SEQ.fetch_add(1, Ordering::Relaxed);
-        let tmp = path.with_extension(format!("tmp-{}-{seq}", std::process::id()));
+        let tmp = admitted.with_extension(format!("tmp-{}-{seq}", std::process::id()));
         // Serialize, flush AND fsync before the rename: a buffered tail
         // lost in drop (ENOSPC on the implicit flush) must surface as an
         // error here, never as a silently truncated file renamed into
@@ -377,7 +551,7 @@ impl Registry {
         let write_whole = || -> std::io::Result<()> {
             let file = File::create(&tmp)?;
             let mut writer = std::io::BufWriter::new(file);
-            save_pixel_classifier(&model, &mut writer).map_err(std::io::Error::other)?;
+            model.save(&mut writer).map_err(std::io::Error::other)?;
             let file = writer.into_inner().map_err(std::io::IntoInnerError::into_error)?;
             file.sync_all()
         };
@@ -388,9 +562,9 @@ impl Registry {
                 tmp.display()
             ))
         })?;
-        std::fs::rename(&tmp, path).map_err(|e| {
+        std::fs::rename(&tmp, &admitted).map_err(|e| {
             let _ = std::fs::remove_file(&tmp);
-            ServeError::Internal(format!("cannot move snapshot into {}: {e}", path.display()))
+            ServeError::Internal(format!("cannot move snapshot into {}: {e}", admitted.display()))
         })?;
         Ok(version)
     }
@@ -411,6 +585,7 @@ mod tests {
     use super::*;
     use hdc::io::save_pixel_classifier;
     use hdc::memory::ValueEncoding;
+    use hdc::prelude::*;
 
     fn trained(seed: u64) -> HdcClassifier<PixelEncoder> {
         let encoder = PixelEncoder::new(PixelEncoderConfig {
@@ -429,8 +604,31 @@ mod tests {
         model
     }
 
+    fn trained_binary(seed: u64) -> BinaryClassifier<PixelEncoder> {
+        let encoder = PixelEncoder::new(PixelEncoderConfig {
+            dim: 512,
+            width: 4,
+            height: 4,
+            levels: 8,
+            value_encoding: ValueEncoding::Random,
+            seed,
+        })
+        .unwrap();
+        let mut model = BinaryClassifier::new(encoder, 2);
+        model.train_one(&[0u8; 16][..], 0).unwrap();
+        model.train_one(&[224u8; 16][..], 1).unwrap();
+        model.finalize();
+        model
+    }
+
     fn registry() -> Registry {
         Registry::new(Arc::new(Metrics::new()), BatchConfig::default())
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("hdc-serve-reg-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
     }
 
     #[test]
@@ -440,11 +638,27 @@ mod tests {
         let info = r.insert_model("default", trained(5)).unwrap();
         assert_eq!(info.generation, 1);
         assert_eq!(info.dim, 512);
+        assert_eq!(info.kind, ModelKind::Dense);
         assert_eq!((info.width, info.height, info.classes), (4, 4, 2));
         let entry = r.get("default").unwrap();
         assert_eq!(entry.info().name, "default");
         assert_eq!(r.entries().len(), 1);
         assert!(matches!(r.get("nope"), Err(ServeError::NotFound(_))));
+    }
+
+    #[test]
+    fn binary_models_register_and_serve() {
+        let r = registry();
+        let info = r.insert_model("bin", trained_binary(5)).unwrap();
+        assert_eq!(info.kind, ModelKind::Binary);
+        let entry = r.get("bin").unwrap();
+        let rendered = entry.render_info().render();
+        assert!(rendered.contains("\"kind\":\"binary\""), "{rendered}");
+        // Predict + train flow through the identical machinery.
+        let prediction = entry.batcher().predict(vec![224u8; 16]).unwrap();
+        assert_eq!(prediction.class, 1);
+        let outcome = entry.batcher().train(vec![(vec![224u8; 16], 1)]).unwrap();
+        assert_eq!((outcome.applied, outcome.version), (1, 1));
     }
 
     #[test]
@@ -465,8 +679,7 @@ mod tests {
 
     #[test]
     fn file_load_and_hot_reload() {
-        let dir = std::env::temp_dir().join(format!("hdc-serve-reg-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
+        let dir = temp_dir("reload");
         let path = dir.join("m.hdc");
 
         let model = trained(5);
@@ -478,11 +691,13 @@ mod tests {
         assert_eq!(info.generation, 1);
         let first = r.get("default").unwrap();
 
-        // Hot reload bumps the generation; the old Arc keeps working.
+        // Hot reload bumps the generation; handles resolved before keep
+        // working (same entry — reloads swap the model inside it).
         let info2 = r.load("default", &path).unwrap();
         assert_eq!(info2.generation, 2);
         assert_eq!(r.get("default").unwrap().info().generation, 2);
         assert!(first.model().predict(&[0u8; 16][..]).is_ok());
+        assert!(first.batcher().predict(vec![0u8; 16]).is_ok());
 
         // A failed reload leaves the current model serving.
         std::fs::write(&path, b"HDC1 garbage").unwrap();
@@ -490,6 +705,197 @@ mod tests {
         assert_eq!(r.get("default").unwrap().info().generation, 2);
 
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn reload_can_change_the_model_kind() {
+        let dir = temp_dir("kindswap");
+        let dense_path = dir.join("dense.hdc");
+        let binary_path = dir.join("binary.hdc");
+        save_pixel_classifier(
+            &trained(5),
+            std::io::BufWriter::new(File::create(&dense_path).unwrap()),
+        )
+        .unwrap();
+        hdc::io::save_binary_classifier(
+            &trained_binary(5),
+            std::io::BufWriter::new(File::create(&binary_path).unwrap()),
+        )
+        .unwrap();
+
+        let r = registry();
+        assert_eq!(r.load("m", &dense_path).unwrap().kind, ModelKind::Dense);
+        let entry = r.get("m").unwrap();
+        assert_eq!(r.load("m", &binary_path).unwrap().kind, ModelKind::Binary);
+        // Same entry, new kind, still serving.
+        assert_eq!(entry.info().kind, ModelKind::Binary);
+        assert_eq!(entry.batcher().predict(vec![224u8; 16]).unwrap().class, 1);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn reload_preserves_version_lineage_and_never_reuses_versions() {
+        let dir = temp_dir("lineage");
+        let path = dir.join("m.hdc");
+        save_pixel_classifier(&trained(5), std::io::BufWriter::new(File::create(&path).unwrap()))
+            .unwrap();
+
+        let r = registry();
+        r.load("default", &path).unwrap();
+        let entry = r.get("default").unwrap();
+        assert_eq!(entry.batcher().train(vec![(vec![128u8; 16], 0)]).unwrap().version, 1);
+        r.load("default", &path).unwrap();
+        // The lineage continues across the reload: next publish is 2.
+        assert_eq!(entry.version(), 1);
+        assert_eq!(entry.batcher().train(vec![(vec![128u8; 16], 0)]).unwrap().version, 2);
+        assert_eq!(entry.shared().trained_examples(), 2);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn concurrent_trains_and_reloads_never_lose_or_duplicate_versions() {
+        // The PR-4 race this module closed: a train resolving the entry
+        // just before a reload must not publish into an orphaned lineage
+        // (losing its examples from the visible counters) or report a
+        // version the new lineage hands out again. With swaps serialized
+        // through the single-writer batcher, every published batch lands
+        // in the one live lineage: examples are never lost and the final
+        // version equals the number of published batches.
+        let dir = temp_dir("race");
+        let path = dir.join("m.hdc");
+        save_pixel_classifier(&trained(5), std::io::BufWriter::new(File::create(&path).unwrap()))
+            .unwrap();
+
+        let r = registry();
+        r.load("default", &path).unwrap();
+
+        const THREADS: usize = 4;
+        const TRAINS: usize = 25;
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let r = &r;
+                scope.spawn(move || {
+                    let mut last = 0u64;
+                    for i in 0..TRAINS {
+                        let entry = r.get("default").unwrap();
+                        let fill = ((t * 31 + i * 7) % 200) as u8;
+                        let outcome = entry.batcher().train(vec![(vec![fill; 16], 0)]).unwrap();
+                        assert!(
+                            outcome.version > last,
+                            "train versions must be strictly increasing per client: \
+                             {} after {last}",
+                            outcome.version
+                        );
+                        last = outcome.version;
+                    }
+                });
+            }
+            scope.spawn(|| {
+                for _ in 0..10 {
+                    r.load("default", &path).unwrap();
+                    std::thread::yield_now();
+                }
+            });
+        });
+
+        let entry = r.get("default").unwrap();
+        assert_eq!(
+            entry.shared().trained_examples(),
+            (THREADS * TRAINS) as u64,
+            "a train published into an orphaned lineage"
+        );
+        let batches = r.metrics().train_batches();
+        assert_eq!(
+            entry.version(),
+            batches,
+            "version must equal the number of published batches (no reuse, no loss)"
+        );
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn model_dir_jails_reload_and_snapshot() {
+        let jail = temp_dir("jail");
+        let outside = temp_dir("outside");
+        let inside_path = jail.join("m.hdc");
+        let outside_path = outside.join("m.hdc");
+        for p in [&inside_path, &outside_path] {
+            save_pixel_classifier(&trained(5), std::io::BufWriter::new(File::create(p).unwrap()))
+                .unwrap();
+        }
+
+        let r = Registry::new(Arc::new(Metrics::new()), BatchConfig::default())
+            .with_model_dir(&jail)
+            .unwrap();
+        assert!(r.model_dir().is_some());
+
+        // Inside the jail: absolute and relative forms both admitted.
+        r.load("default", &inside_path).unwrap();
+        r.load("default", Path::new("m.hdc")).unwrap();
+        assert_eq!(r.snapshot("default", Path::new("snap.hdc")).unwrap(), 0);
+        assert!(jail.join("snap.hdc").exists());
+
+        // Escapes: absolute outside, dot-dot traversal, symlink.
+        let err = r.load("default", &outside_path).unwrap_err();
+        assert!(matches!(err, ServeError::Forbidden(_)), "{err}");
+        assert_eq!(err.status(), 403);
+        let err = r.load("evil", Path::new("../m.hdc")).unwrap_err();
+        assert_eq!(err.status(), 403);
+        let err = r.snapshot("default", &outside_path).unwrap_err();
+        assert_eq!(err.status(), 403);
+        let err = r.snapshot("default", Path::new("../snap.hdc")).unwrap_err();
+        assert_eq!(err.status(), 403);
+        #[cfg(unix)]
+        {
+            let link = jail.join("link.hdc");
+            std::os::unix::fs::symlink(&outside_path, &link).unwrap();
+            let err = r.load("evil", Path::new("link.hdc")).unwrap_err();
+            assert_eq!(err.status(), 403, "symlink escape must be refused");
+        }
+        // The escape attempts must not have disturbed the serving model.
+        assert_eq!(r.get("default").unwrap().info().generation, 2);
+        assert!(r.get("evil").is_err());
+
+        // A missing jail directory is rejected up front.
+        assert!(Registry::new(Arc::new(Metrics::new()), BatchConfig::default())
+            .with_model_dir(Path::new("/nonexistent-jail"))
+            .is_err());
+
+        std::fs::remove_dir_all(&jail).ok();
+        std::fs::remove_dir_all(&outside).ok();
+    }
+
+    #[test]
+    fn publishes_share_the_encoder_across_versions() {
+        // The Arc-encoder publish-path invariant: however many training
+        // batches publish, every version's model points at the same
+        // encoder allocation — clones copy counters, never item memories.
+        let r = registry();
+        r.insert_model("default", trained(5)).unwrap();
+        let entry = r.get("default").unwrap();
+        let v0 = entry.model();
+        for _ in 0..3 {
+            entry.batcher().train(vec![(vec![128u8; 16], 0)]).unwrap();
+        }
+        let v3 = entry.model();
+        assert_eq!(entry.version(), 3);
+        assert!(!Arc::ptr_eq(&v0, &v3), "training must have published a new model");
+        assert!(
+            Arc::ptr_eq(v0.encoder_arc(), v3.encoder_arc()),
+            "published clones must share the encoder allocation"
+        );
+
+        // Same invariant for the binary kind.
+        r.insert_model("bin", trained_binary(6)).unwrap();
+        let entry = r.get("bin").unwrap();
+        let b0 = entry.model();
+        entry.batcher().train(vec![(vec![128u8; 16], 0)]).unwrap();
+        let b1 = entry.model();
+        assert!(!Arc::ptr_eq(&b0, &b1));
+        assert!(Arc::ptr_eq(b0.encoder_arc(), b1.encoder_arc()));
     }
 
     #[test]

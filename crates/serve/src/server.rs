@@ -11,6 +11,7 @@ use crate::error::ServeError;
 use crate::http::{self, HttpError, Request};
 use crate::json::{self, Json};
 use crate::registry::Registry;
+use hdc::Model;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -473,12 +474,14 @@ fn handle_feedback(request: &Request, registry: &Registry) -> Result<Json, Serve
 
 /// `POST /v1/snapshot` — body `{"model": name?, "path": "file.hdc"}`:
 /// atomically persist the model's current trainable counter state (temp
-/// file + rename, reusing the `hdc::io` format the reload path consumes),
-/// so online progress survives restarts.
+/// file + rename, in the model's own `hdc::io` format — the reload path
+/// sniffs it back), so online progress survives restarts.
 ///
-/// Like `/v1/reload` (arbitrary-path read), this writes wherever the
-/// server user can — the server's trust model is a private network; put
-/// it behind a proxy before exposing it further (see ROADMAP).
+/// Path trust: with a configured model-dir jail (`serve --model-dir`),
+/// relative paths resolve inside the jail and escaping paths — here and
+/// on `/v1/reload` — are refused with a 403. Without a jail this writes
+/// wherever the server user can; that mode is only for the documented
+/// private-network trust model (see ROADMAP for the remaining auth item).
 fn handle_snapshot(request: &Request, registry: &Registry) -> Result<Json, ServeError> {
     let body = parse_body(request)?;
     let model_name = model_name(&body)?;
@@ -745,6 +748,7 @@ mod tests {
         ))
         .unwrap();
         let live = registry.get("default").unwrap().model();
+        let live = live.as_dense().expect("default model is dense");
         for c in 0..2 {
             assert_eq!(
                 loaded.associative_memory().accumulator(c).unwrap(),

@@ -1,0 +1,301 @@
+//! End-to-end acceptance for the **binarized model kind**: a real server
+//! on a real socket serving a `BinaryClassifier` through the identical
+//! predict/train/feedback/snapshot/reload machinery the dense kind uses,
+//! with every response checked **bit-exactly** against a local mirror
+//! driven through direct `hdc` library calls.
+//!
+//! The mirror discipline: the server applies each update through its
+//! single-writer batcher in request order (one client, so one job per
+//! drain), and the mirror applies the same call directly. Predictions,
+//! similarities (the JSON renderer emits shortest-roundtrip f64, so
+//! parse-back is exact), counters and references must never diverge.
+
+use hdc::binary::BinaryClassifier;
+use hdc::memory::ValueEncoding;
+use hdc::prelude::*;
+use hdc_serve::batcher::BatchConfig;
+use hdc_serve::client::Client;
+use hdc_serve::json::Json;
+use hdc_serve::metrics::Metrics;
+use hdc_serve::registry::Registry;
+use hdc_serve::server::{Server, ServerConfig};
+use std::sync::Arc;
+
+const EDGE: usize = 4;
+const PIXELS: usize = EDGE * EDGE;
+const DIM: usize = 2_048;
+
+fn trained_binary(seed: u64) -> BinaryClassifier<PixelEncoder> {
+    let encoder = PixelEncoder::new(PixelEncoderConfig {
+        dim: DIM,
+        width: EDGE,
+        height: EDGE,
+        levels: 8,
+        value_encoding: ValueEncoding::Random,
+        seed,
+    })
+    .unwrap();
+    let mut model = BinaryClassifier::new(encoder, 2);
+    // Uneven class sizes: one even (tie-prone majority), one odd.
+    for img in [[0u8; PIXELS], [32u8; PIXELS], [64u8; PIXELS], [16u8; PIXELS]] {
+        model.train_one(&img[..], 0).unwrap();
+    }
+    for img in [[224u8; PIXELS], [192u8; PIXELS], [255u8; PIXELS]] {
+        model.train_one(&img[..], 1).unwrap();
+    }
+    model.finalize();
+    model
+}
+
+fn trained_dense(seed: u64) -> HdcClassifier<PixelEncoder> {
+    let encoder = PixelEncoder::new(PixelEncoderConfig {
+        dim: DIM,
+        width: EDGE,
+        height: EDGE,
+        levels: 8,
+        value_encoding: ValueEncoding::Random,
+        seed,
+    })
+    .unwrap();
+    let mut model = HdcClassifier::new(encoder, 2);
+    model.train_one(&[0u8; PIXELS][..], 0).unwrap();
+    model.train_one(&[224u8; PIXELS][..], 1).unwrap();
+    model.finalize();
+    model
+}
+
+/// Starts a server with a binary model as `"default"` plus a dense model
+/// as `"dense"`, so the kind-mixed registry is exercised throughout.
+fn start_server() -> Server {
+    let registry = Arc::new(Registry::new(Arc::new(Metrics::new()), BatchConfig::default()));
+    registry.insert_model("default", trained_binary(7)).unwrap();
+    registry.insert_model("dense", trained_dense(7)).unwrap();
+    let config = ServerConfig { workers: 4, ..ServerConfig::default() };
+    Server::start(registry, &config).unwrap()
+}
+
+/// Asserts one HTTP predict response is bit-exact against the mirror's
+/// unified prediction for the same input.
+fn assert_predict_matches(
+    client: &mut Client,
+    mirror: &BinaryClassifier<PixelEncoder>,
+    img: &[u8],
+) {
+    let body = Client::predict_body("default", img);
+    let response = client.post("/v1/predict", &body).unwrap();
+    assert_eq!(response.status, 200, "{}", String::from_utf8_lossy(&response.body));
+    let doc = response.json().unwrap();
+    let expected = hdc::Model::predict(mirror, img).unwrap();
+    assert_eq!(doc.get("class").and_then(Json::as_f64), Some(expected.class as f64));
+    assert_eq!(
+        doc.get("similarity").and_then(Json::as_f64),
+        Some(expected.similarity),
+        "similarity must round-trip bit-exactly"
+    );
+    assert_eq!(doc.get("margin").and_then(Json::as_f64), Some(expected.margin));
+}
+
+#[test]
+fn binary_model_round_trip_is_bit_exact_vs_direct_library_calls() {
+    let dir = std::env::temp_dir().join(format!("hdc-serve-bin-e2e-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let snap_path = dir.join("binary-online.hdb");
+
+    let server = start_server();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let mut mirror = trained_binary(7);
+
+    // /v1/models reports a kind for every entry.
+    let models = client.get("/v1/models").unwrap().json().unwrap();
+    let list = models.get("models").and_then(Json::as_array).unwrap();
+    assert_eq!(list.len(), 2);
+    let kind_of = |name: &str| {
+        list.iter()
+            .find(|m| m.get("name").and_then(Json::as_str) == Some(name))
+            .and_then(|m| m.get("kind"))
+            .and_then(Json::as_str)
+            .map(str::to_owned)
+    };
+    assert_eq!(kind_of("default").as_deref(), Some("binary"));
+    assert_eq!(kind_of("dense").as_deref(), Some("dense"));
+
+    // Predict: single inputs, bit-exact against the mirror.
+    for fill in [0u8, 64, 128, 200, 255] {
+        assert_predict_matches(&mut client, &mirror, &[fill; PIXELS]);
+    }
+
+    // Explicit batch predict matches too.
+    let zeros = vec!["0"; PIXELS].join(",");
+    let lights = vec!["224"; PIXELS].join(",");
+    let body = format!("{{\"inputs\":[[{zeros}],[{lights}]]}}");
+    let doc = client.post("/v1/predict", &body).unwrap().json().unwrap();
+    let results = doc.get("results").and_then(Json::as_array).unwrap();
+    for (img, result) in [[0u8; PIXELS], [224u8; PIXELS]].iter().zip(results) {
+        let expected = hdc::Model::predict(&mirror, &img[..]).unwrap();
+        assert_eq!(result.get("class").and_then(Json::as_f64), Some(expected.class as f64));
+        assert_eq!(result.get("similarity").and_then(Json::as_f64), Some(expected.similarity));
+    }
+
+    // Train online: each request through the coalescer, same example into
+    // the mirror via direct partial_fit. Versions count the batches.
+    let train_set: [(u8, usize); 4] = [(96, 0), (160, 1), (48, 0), (208, 1)];
+    for (round, (fill, label)) in train_set.iter().enumerate() {
+        let img = [*fill; PIXELS];
+        let pixels: Vec<String> = img.iter().map(|p| p.to_string()).collect();
+        let body = format!("{{\"input\":[{}],\"label\":{label}}}", pixels.join(","));
+        let doc = client.post("/v1/train", &body).unwrap().json().unwrap();
+        assert_eq!(doc.get("trained").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(doc.get("version").and_then(Json::as_f64), Some((round + 1) as f64));
+        mirror.partial_fit(&img[..], *label).unwrap();
+    }
+
+    // Post-train predictions still bit-exact.
+    for fill in [0u8, 100, 180, 255] {
+        assert_predict_matches(&mut client, &mirror, &[fill; PIXELS]);
+    }
+
+    // Feedback with a lying label: the server's adaptive update must be
+    // the mirror's adaptive update.
+    let probe = [224u8; PIXELS];
+    let pixels: Vec<String> = probe.iter().map(|p| p.to_string()).collect();
+    let body = format!("{{\"input\":[{}],\"label\":0}}", pixels.join(","));
+    let doc = client.post("/v1/feedback", &body).unwrap().json().unwrap();
+    let fb = mirror.feedback(&probe[..], 0).unwrap();
+    assert_eq!(doc.get("updated").and_then(|v| v.as_bool()), Some(fb.updated));
+    assert_eq!(doc.get("predicted").and_then(Json::as_f64), Some(fb.prediction.class as f64));
+    if fb.updated {
+        assert_eq!(doc.get("version").and_then(Json::as_f64), Some(5.0));
+    }
+    for fill in [0u8, 128, 224] {
+        assert_predict_matches(&mut client, &mirror, &[fill; PIXELS]);
+    }
+
+    // Snapshot: the persisted counters are exactly the mirror's.
+    let body = format!("{{\"model\":\"default\",\"path\":\"{}\"}}", snap_path.display());
+    let doc = client.post("/v1/snapshot", &body).unwrap().json().unwrap();
+    let snap = doc.get("snapshot").expect("snapshot section");
+    let snap_version = snap.get("version").and_then(Json::as_f64).unwrap();
+    assert!(snap_version >= 4.0, "snapshot must carry the trained version, got {snap_version}");
+    let loaded = hdc::io::load_binary_classifier(std::io::BufReader::new(
+        std::fs::File::open(&snap_path).unwrap(),
+    ))
+    .unwrap();
+    for class in 0..2 {
+        assert_eq!(
+            loaded.counter(class).unwrap().clone().set_counts(),
+            mirror.counter(class).unwrap().clone().set_counts(),
+            "class {class}: persisted counters diverged from direct library calls"
+        );
+        assert_eq!(
+            loaded.counter(class).unwrap().clone().count(),
+            mirror.counter(class).unwrap().clone().count(),
+            "class {class}: bundle size diverged"
+        );
+        assert_eq!(
+            loaded.reference(class).unwrap(),
+            mirror.reference(class).unwrap(),
+            "class {class}: references diverged"
+        );
+    }
+
+    // Reload from the snapshot: the version lineage continues, the model
+    // keeps learning bit-exactly.
+    let body = format!("{{\"model\":\"default\",\"path\":\"{}\"}}", snap_path.display());
+    let response = client.post("/v1/reload", &body).unwrap();
+    assert_eq!(response.status, 200, "{}", String::from_utf8_lossy(&response.body));
+    let doc = response.json().unwrap();
+    let reloaded = doc.get("reloaded").expect("reloaded section");
+    assert_eq!(reloaded.get("kind").and_then(Json::as_str), Some("binary"));
+    assert_eq!(reloaded.get("generation").and_then(Json::as_f64), Some(2.0));
+
+    let img = [72u8; PIXELS];
+    let pixels: Vec<String> = img.iter().map(|p| p.to_string()).collect();
+    let body = format!("{{\"input\":[{}],\"label\":0}}", pixels.join(","));
+    let doc = client.post("/v1/train", &body).unwrap().json().unwrap();
+    let version_after = doc.get("version").and_then(Json::as_f64).unwrap();
+    assert!(
+        version_after > snap_version,
+        "lineage must continue past the snapshot version: {version_after} vs {snap_version}"
+    );
+    mirror.partial_fit(&img[..], 0).unwrap();
+    for fill in [0u8, 72, 224] {
+        assert_predict_matches(&mut client, &mirror, &[fill; PIXELS]);
+    }
+
+    // The dense neighbor was untouched by all of this.
+    let body = Client::predict_body("dense", &[224u8; PIXELS]);
+    let doc = client.post("/v1/predict", &body).unwrap().json().unwrap();
+    assert_eq!(doc.get("class").and_then(Json::as_f64), Some(1.0));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn binary_model_error_plumbing_matches_dense() {
+    let server = start_server();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    // Wrong shape → 400 with a JSON error body; connection stays usable.
+    let response = client.post("/v1/predict", "{\"input\":[1,2,3]}").unwrap();
+    assert_eq!(response.status, 400);
+    assert!(response.json().unwrap().get("error").is_some());
+
+    // Bad label → 400, version untouched.
+    let pixels: Vec<String> = [0u8; PIXELS].iter().map(|p| p.to_string()).collect();
+    let body = format!("{{\"input\":[{}],\"label\":9}}", pixels.join(","));
+    assert_eq!(client.post("/v1/train", &body).unwrap().status, 400);
+    let models = client.get("/v1/models").unwrap().json().unwrap();
+    let list = models.get("models").and_then(Json::as_array).unwrap();
+    let default =
+        list.iter().find(|m| m.get("name").and_then(Json::as_str) == Some("default")).unwrap();
+    assert_eq!(default.get("version").and_then(Json::as_f64), Some(0.0));
+
+    // A good predict still works on the same connection.
+    let body = Client::predict_body("default", &[224u8; PIXELS]);
+    assert_eq!(client.post("/v1/predict", &body).unwrap().status, 200);
+}
+
+#[test]
+fn concurrent_binary_predicts_coalesce() {
+    use std::time::Duration;
+
+    let registry = Arc::new(Registry::new(
+        Arc::new(Metrics::new()),
+        BatchConfig { max_batch: 64, max_linger: Duration::from_millis(5) },
+    ));
+    registry.insert_model("default", trained_binary(7)).unwrap();
+    let server =
+        Server::start(registry, &ServerConfig { workers: 8, ..ServerConfig::default() }).unwrap();
+    let addr = server.addr();
+
+    const CLIENTS: usize = 6;
+    const REQUESTS: usize = 30;
+    std::thread::scope(|scope| {
+        for c in 0..CLIENTS {
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                let mirror = trained_binary(7);
+                for i in 0..REQUESTS {
+                    let fill = ((c * 37 + i * 11) % 256) as u8;
+                    let img = [fill; PIXELS];
+                    let body = Client::predict_body("default", &img);
+                    let response = client.post("/v1/predict", &body).unwrap();
+                    assert_eq!(response.status, 200);
+                    let doc = response.json().unwrap();
+                    let expected = hdc::Model::predict(&mirror, &img[..]).unwrap();
+                    assert_eq!(
+                        doc.get("class").and_then(Json::as_f64),
+                        Some(expected.class as f64),
+                        "coalesced binary predict diverged for fill {fill}"
+                    );
+                }
+            });
+        }
+    });
+
+    let mut client = Client::connect(addr).unwrap();
+    let metrics = client.get("/metrics").unwrap().json().unwrap();
+    let mean =
+        metrics.get("batches").and_then(|b| b.get("mean_size")).and_then(Json::as_f64).unwrap();
+    assert!(mean > 1.0, "binary predicts must coalesce, mean batch size {mean}");
+}

@@ -19,12 +19,13 @@ Three op classes:
   coalescing proof): the fast path replaced a slow one outright, so
   `speedup <= MIN_SPEEDUP` means it has effectively fallen back — fail.
 * delta ops (pack_words: both sides word-level; serve_predict /
-  serve_train: coalescing on a 1-CPU runner can only reach parity with
-  batch-size-1 because the compute is serialized either way): only guard
-  against a real regression (MIN_DELTA).
-* floor-override ops (train_partial_fit: one online partial_fit must be
-  >=50x cheaper than the full retrain it replaces at 10k x 10 classes —
-  the PR-4 online-learning acceptance bar; measured ~200x).
+  serve_predict_binary / serve_train: coalescing on a 1-CPU runner can
+  only reach parity with batch-size-1 because the compute is serialized
+  either way): only guard against a real regression (MIN_DELTA).
+* floor-override ops (train_partial_fit and train_partial_fit_binary:
+  one online partial_fit must be >=50x cheaper than the full retrain it
+  replaces at 10k x 10 classes, for BOTH classifier kinds — the
+  online-learning acceptance bar; measured ~200x dense).
 """
 
 import json
@@ -37,10 +38,10 @@ import sys
 MIN_SPEEDUP = 1.5
 MIN_DELTA = 0.7
 
-DELTA_OPS = {"pack_words", "serve_predict", "serve_train"}
+DELTA_OPS = {"pack_words", "serve_predict", "serve_predict_binary", "serve_train"}
 
 # Ops whose acceptance bar is stricter than the generic MIN_SPEEDUP.
-FLOOR_OVERRIDES = {"train_partial_fit": 50.0}
+FLOOR_OVERRIDES = {"train_partial_fit": 50.0, "train_partial_fit_binary": 50.0}
 
 REQUIRED_OPS = {
     "kernels": {
@@ -49,8 +50,9 @@ REQUIRED_OPS = {
         "encode_timeseries",
         "encode_permute_pixel",
         "train_partial_fit",
+        "train_partial_fit_binary",
     },
-    "serve": {"serve_predict", "serve_train", "serve_coalescing"},
+    "serve": {"serve_predict", "serve_predict_binary", "serve_train", "serve_coalescing"},
 }
 
 
