@@ -109,6 +109,59 @@ pub fn train(args: Args) -> CliResult {
     Ok(())
 }
 
+/// A small jitter (0..=250ms) derived from the wall clock's nanoseconds —
+/// enough to de-synchronize concurrent CLI retries without a PRNG dep.
+fn retry_jitter() -> std::time::Duration {
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.subsec_nanos())
+        .unwrap_or(0);
+    std::time::Duration::from_millis(u64::from(nanos % 251))
+}
+
+/// POSTs one training chunk, retrying transient failures: connect/transport
+/// errors get a fresh connection, and shed (503) responses back off for the
+/// server's `Retry-After` hint (plus jitter) before trying again. Anything
+/// else — success or a hard error — returns to the caller.
+fn post_with_retry(
+    client: &mut hdc_serve::Client,
+    addr: std::net::SocketAddr,
+    path: &str,
+    body: &str,
+) -> Result<hdc_serve::Response, Box<dyn Error>> {
+    use std::time::Duration;
+    const MAX_ATTEMPTS: u32 = 6;
+    let mut backoff = Duration::from_millis(100);
+    for attempt in 1..=MAX_ATTEMPTS {
+        let outcome = client.post(path, body);
+        match outcome {
+            Ok(response) if response.status == 503 && attempt < MAX_ATTEMPTS => {
+                let wait = response
+                    .retry_after_secs()
+                    .map_or(backoff, Duration::from_secs)
+                    .min(Duration::from_secs(5))
+                    + retry_jitter();
+                eprintln!("server shedding load (503); retrying in {}ms", wait.as_millis());
+                std::thread::sleep(wait);
+            }
+            Ok(response) => return Ok(response),
+            Err(e) if attempt < MAX_ATTEMPTS => {
+                // Transport error mid-request: the connection state is
+                // unknown, so reconnect before the next attempt.
+                let wait = backoff + retry_jitter();
+                eprintln!("transient error ({e}); reconnecting in {}ms", wait.as_millis());
+                std::thread::sleep(wait);
+                *client = hdc_serve::Client::connect(addr)?;
+            }
+            Err(e) => {
+                return Err(format!("{path} failed after {MAX_ATTEMPTS} attempts: {e}").into())
+            }
+        }
+        backoff = (backoff * 2).min(Duration::from_secs(2));
+    }
+    unreachable!("loop returns on the final attempt")
+}
+
 /// Streams a labeled dataset to a running server's `/v1/train` endpoint.
 fn train_remote(url: &str, model: &str, chunk: usize, dataset: &Dataset) -> CliResult {
     use hdc_serve::{Client, Json};
@@ -143,7 +196,7 @@ fn train_remote(url: &str, model: &str, chunk: usize, dataset: &Dataset) -> CliR
     let pairs: Vec<(&[u8], usize)> = dataset.pairs().collect();
     for batch in pairs.chunks(chunk.max(1)) {
         let body = Client::train_batch_body(model, batch);
-        let response = client.post("/v1/train", &body)?;
+        let response = post_with_retry(&mut client, addr, "/v1/train", &body)?;
         if !response.is_success() {
             return Err(format!(
                 "/v1/train failed after {sent} examples: {} {}",
@@ -305,6 +358,11 @@ pub fn serve(args: Args) -> CliResult {
     let workers: usize = args.get_or("workers", 8)?;
     let max_batch: usize = args.get_or("max-batch", 64)?;
     let linger_us: u64 = args.get_or("linger-us", 200)?;
+    let max_queue: usize = args.get_or("max-queue", BatchConfig::default().max_queue)?;
+    let queue_deadline_ms: u64 =
+        args.get_or("queue-deadline-ms", BatchConfig::default().queue_deadline.as_millis() as u64)?;
+    let request_deadline_secs: u64 =
+        args.get_or("request-deadline-secs", ServerConfig::default().request_deadline.as_secs())?;
 
     let mut models: Vec<(String, String)> = Vec::new();
     if let Some(path) = args.get("model") {
@@ -322,7 +380,12 @@ pub fn serve(args: Args) -> CliResult {
         return Err("serve needs --model FILE or --models name=file[,name=file...]".into());
     }
 
-    let batch = BatchConfig { max_batch, max_linger: Duration::from_micros(linger_us) };
+    let batch = BatchConfig {
+        max_batch,
+        max_linger: Duration::from_micros(linger_us),
+        max_queue,
+        queue_deadline: Duration::from_millis(queue_deadline_ms),
+    };
     let mut registry = Registry::new(Arc::new(Metrics::new()), batch);
     if let Some(dir) = args.get("model-dir") {
         registry = registry.with_model_dir(Path::new(dir))?;
@@ -342,15 +405,23 @@ pub fn serve(args: Args) -> CliResult {
         );
     }
 
-    let config = ServerConfig { addr, workers, ..ServerConfig::default() };
+    let config = ServerConfig {
+        addr,
+        workers,
+        request_deadline: Duration::from_secs(request_deadline_secs),
+        ..ServerConfig::default()
+    };
     let mut server = Server::start(registry, &config)?;
     println!(
-        "serving {} model(s) on http://{} ({} workers, max batch {}, linger {}us)",
+        "serving {} model(s) on http://{} ({} workers, max batch {}, linger {}us, \
+         queue {} jobs / {}ms deadline)",
         models.len(),
         server.addr(),
         workers,
         max_batch,
-        linger_us
+        linger_us,
+        max_queue,
+        queue_deadline_ms
     );
     println!(
         "endpoints: GET /healthz | GET /v1/models | GET /metrics | POST /v1/predict | \

@@ -46,6 +46,9 @@ COMMANDS:
              --model F | --models name=file[,name=file...]
              [--addr HOST:PORT] [--workers N] [--max-batch N] [--linger-us N]
              [--model-dir DIR: jail reload/snapshot paths, escapes get 403]
+             [--max-queue N: bound the job queue, full sheds with 503]
+             [--queue-deadline-ms N: queued too long gets 504, 0 disables]
+             [--request-deadline-secs N: slow request reads get 408, 0 disables]
 
 Every run is deterministic given its seeds.";
 
@@ -95,7 +98,18 @@ fn main() -> ExitCode {
             .and_then(commands::defend),
         "serve" => Args::parse(
             rest,
-            &["model", "models", "addr", "workers", "max-batch", "linger-us", "model-dir"],
+            &[
+                "model",
+                "models",
+                "addr",
+                "workers",
+                "max-batch",
+                "linger-us",
+                "model-dir",
+                "max-queue",
+                "queue-deadline-ms",
+                "request-deadline-secs",
+            ],
         )
         .map_err(Into::into)
         .and_then(commands::serve),

@@ -41,6 +41,21 @@
 //! serialize against in-flight coalesced trains instead of racing them
 //! (see the registry module docs for the lineage guarantees this buys).
 //!
+//! ## Overload hardening
+//!
+//! The queue is **bounded** ([`BatchConfig::max_queue`]): an enqueue that
+//! finds it full is shed with a fast 503 + `Retry-After` instead of
+//! growing memory and latency without limit. Every queued job carries its
+//! enqueue instant; a job drained after waiting past
+//! [`BatchConfig::queue_deadline`] is answered 504 rather than executed
+//! late. Batch execution runs under `catch_unwind`: a panicking model —
+//! exercisable deliberately via the test-only [`inject_panic_fill`] hook —
+//! quarantines only the offending job (500, counted in
+//! `worker_panics_total`) while updates stay transactional on private
+//! clones, the published lineage stays monotonic, and the worker itself
+//! respawns if a panic ever escapes the per-batch isolation. Sheds,
+//! expiries, panics and observed queue depths all land in [`Metrics`].
+//!
 //! ## Worked example
 //!
 //! ```
@@ -66,11 +81,13 @@ use crate::metrics::Metrics;
 use crate::registry::SharedModel;
 use hdc::{AnyModel, Model, Prediction};
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
-/// Coalescing parameters.
+/// Coalescing and overload parameters.
 #[derive(Debug, Clone, Copy)]
 pub struct BatchConfig {
     /// Largest batch handed to one `predict_batch` call.
@@ -78,11 +95,27 @@ pub struct BatchConfig {
     /// How long the worker waits for more jobs after the first one of a
     /// batch arrives. Zero disables coalescing waits entirely.
     pub max_linger: Duration,
+    /// Most jobs allowed to wait in the queue; an enqueue that finds the
+    /// queue full is **shed** with a fast 503 + `Retry-After` instead of
+    /// growing the queue unboundedly. Zero sheds every client job
+    /// (maintenance mode). Swap jobs (hot reloads) are exempt — they are
+    /// operator actions whose loss would break the reload contract.
+    pub max_queue: usize,
+    /// How long a job may wait in the queue before the worker answers it
+    /// 504 instead of executing it late (a request that already waited
+    /// past its caller's patience must not consume model time). Zero
+    /// disables the deadline. Swap jobs are exempt.
+    pub queue_deadline: Duration,
 }
 
 impl Default for BatchConfig {
     fn default() -> Self {
-        Self { max_batch: 64, max_linger: Duration::from_millis(1) }
+        Self {
+            max_batch: 64,
+            max_linger: Duration::from_millis(1),
+            max_queue: 1_024,
+            queue_deadline: Duration::from_secs(5),
+        }
     }
 }
 
@@ -91,8 +124,51 @@ impl BatchConfig {
     /// load generator uses this as the baseline to measure coalescing
     /// against.
     pub fn batch_size_1() -> Self {
-        Self { max_batch: 1, max_linger: Duration::ZERO }
+        Self { max_batch: 1, max_linger: Duration::ZERO, ..Self::default() }
     }
+}
+
+/// The test-only fault-injection hook: when set to `Some(fill)`, any
+/// predict/train/feedback input consisting entirely of `fill` bytes makes
+/// the model execution **panic deliberately**, exercising the panic
+/// isolation machinery (quarantine + `worker_panics_total` + respawn)
+/// end-to-end. Encoded as a process-global so the soak harness and tests
+/// can arm it without plumbing through every constructor; `u32::MAX`
+/// means disarmed.
+static PANIC_FILL: AtomicU32 = AtomicU32::new(u32::MAX);
+
+/// Arms (or with `None` disarms) the injected-panic input marker.
+/// **Test/soak use only** — never arm this in a production process.
+pub fn inject_panic_fill(fill: Option<u8>) {
+    PANIC_FILL.store(fill.map_or(u32::MAX, u32::from), Ordering::Release);
+}
+
+/// Serializes users of the process-global [`inject_panic_fill`] hook
+/// (the soak harness and the batcher's own tests): whoever holds the
+/// guard owns the hook end to end, so one arm/disarm window can never
+/// race another in the same process.
+pub(crate) fn panic_injection_gate() -> std::sync::MutexGuard<'static, ()> {
+    static GATE: Mutex<()> = Mutex::new(());
+    GATE.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Panics iff the hook is armed and `input` is entirely the marker fill.
+fn maybe_inject_panic(input: &[u8]) {
+    let armed = PANIC_FILL.load(Ordering::Acquire);
+    if let Ok(fill) = u8::try_from(armed) {
+        if !input.is_empty() && input.iter().all(|&b| b == fill) {
+            panic!("injected model panic (input filled with {fill})");
+        }
+    }
+}
+
+/// Locks a queue mutex tolerating poison: the queue state (a `VecDeque`
+/// plus a stop flag) is valid after any panic — jobs are popped/pushed
+/// whole — so the accept path must keep working even if a worker panicked
+/// while holding the lock. This is what keeps one model's panic from
+/// cascading into every connection thread.
+fn lock_queue(queue: &Mutex<Queue>) -> MutexGuard<'_, Queue> {
+    queue.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// The reply to one coalesced training request.
@@ -144,20 +220,31 @@ enum Job {
 }
 
 impl Job {
+    /// Replies with `err`, whatever the job type.
+    fn reject(self, err: ServeError) {
+        match self {
+            Job::Predict { reply, .. } => drop(reply.send(Err(err))),
+            Job::Train { reply, .. } => drop(reply.send(Err(err))),
+            Job::Feedback { reply, .. } => drop(reply.send(Err(err))),
+            Job::Swap { reply, .. } => drop(reply.send(Err(err))),
+        }
+    }
+
     /// Replies with a shutdown error, whatever the job type.
     fn reject_shutdown(self) {
-        let message = || ServeError::Internal("model is shutting down".into());
-        match self {
-            Job::Predict { reply, .. } => drop(reply.send(Err(message()))),
-            Job::Train { reply, .. } => drop(reply.send(Err(message()))),
-            Job::Feedback { reply, .. } => drop(reply.send(Err(message()))),
-            Job::Swap { reply, .. } => drop(reply.send(Err(message()))),
-        }
+        self.reject(ServeError::Internal("model is shutting down".into()));
     }
 }
 
+/// A job plus the instant it entered the queue, so the worker can refuse
+/// to execute work that already waited past its deadline.
+struct Queued {
+    job: Job,
+    enqueued_at: Instant,
+}
+
 struct Queue {
-    jobs: VecDeque<Job>,
+    jobs: VecDeque<Queued>,
     stop: bool,
 }
 
@@ -174,29 +261,47 @@ struct Shared {
 /// internal-error reply rather than a hang.
 pub struct Batcher {
     shared: Arc<Shared>,
+    metrics: Arc<Metrics>,
+    config: BatchConfig,
     worker: Option<std::thread::JoinHandle<()>>,
 }
 
 impl std::fmt::Debug for Batcher {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "Batcher(pending={})", self.shared.queue.lock().unwrap().jobs.len())
+        // Poison-tolerant: a panicked worker must not take the accept path
+        // (which Debug-logs batchers) down with it.
+        write!(f, "Batcher(pending={})", lock_queue(&self.shared.queue).jobs.len())
     }
 }
 
 impl Batcher {
     /// Spawns the worker thread for `model`. The model must be finalized;
     /// executed batch sizes are recorded into `metrics`.
+    ///
+    /// The worker runs inside a respawn loop: a panic that escapes batch
+    /// execution (each batch is already `catch_unwind`-isolated) restarts
+    /// the drain loop instead of leaving the model permanently dead, and
+    /// bumps `worker_respawns_total`.
     pub fn start(model: Arc<SharedModel>, metrics: Arc<Metrics>, config: BatchConfig) -> Self {
         let shared = Arc::new(Shared {
             queue: Mutex::new(Queue { jobs: VecDeque::new(), stop: false }),
             arrived: Condvar::new(),
         });
         let worker_shared = Arc::clone(&shared);
+        let worker_metrics = Arc::clone(&metrics);
         let worker = std::thread::Builder::new()
             .name("hdc-serve-batcher".into())
-            .spawn(move || worker_loop(&worker_shared, &model, &metrics, config))
+            .spawn(move || loop {
+                let run = catch_unwind(AssertUnwindSafe(|| {
+                    worker_loop(&worker_shared, &model, &worker_metrics, config);
+                }));
+                match run {
+                    Ok(()) => break, // clean stop
+                    Err(_) => worker_metrics.on_worker_respawn(),
+                }
+            })
             .expect("spawn batcher worker");
-        Self { shared, worker: Some(worker) }
+        Self { shared, metrics, config, worker: Some(worker) }
     }
 
     fn enqueue<T>(
@@ -204,12 +309,24 @@ impl Batcher {
         job: Job,
         receive: &mpsc::Receiver<Result<T, ServeError>>,
     ) -> Result<T, ServeError> {
+        // Swap jobs (hot reloads) are operator actions, not client load:
+        // they bypass the queue bound so a reload always lands even when
+        // traffic is being shed.
+        let sheddable = !matches!(job, Job::Swap { .. });
         {
-            let mut queue = self.shared.queue.lock().expect("batcher lock");
+            let mut queue = lock_queue(&self.shared.queue);
             if queue.stop {
                 return Err(ServeError::Internal("model is shutting down".into()));
             }
-            queue.jobs.push_back(job);
+            if sheddable && queue.jobs.len() >= self.config.max_queue {
+                self.metrics.on_shed();
+                return Err(ServeError::Overloaded(format!(
+                    "queue full ({} jobs waiting); retry later",
+                    queue.jobs.len()
+                )));
+            }
+            self.metrics.on_enqueue_depth(queue.jobs.len());
+            queue.jobs.push_back(Queued { job, enqueued_at: Instant::now() });
         }
         self.shared.arrived.notify_one();
         receive
@@ -276,7 +393,7 @@ impl Batcher {
 
 impl Drop for Batcher {
     fn drop(&mut self) {
-        self.shared.queue.lock().expect("batcher lock").stop = true;
+        lock_queue(&self.shared.queue).stop = true;
         self.shared.arrived.notify_all();
         if let Some(worker) = self.worker.take() {
             let _ = worker.join();
@@ -287,12 +404,12 @@ impl Drop for Batcher {
 fn worker_loop(shared: &Shared, model: &SharedModel, metrics: &Metrics, config: BatchConfig) {
     let max_batch = config.max_batch.max(1);
     loop {
-        let mut queue = shared.queue.lock().expect("batcher lock");
+        let mut queue = lock_queue(&shared.queue);
         while queue.jobs.is_empty() {
             if queue.stop {
                 return;
             }
-            queue = shared.arrived.wait(queue).expect("batcher lock");
+            queue = shared.arrived.wait(queue).unwrap_or_else(PoisonError::into_inner);
         }
         // First job of the batch is here; linger for stragglers so bursts
         // coalesce — but adaptively: each wait slice that passes with no
@@ -311,7 +428,7 @@ fn worker_loop(shared: &Shared, model: &SharedModel, metrics: &Metrics, config: 
                 let (q, _timeout) = shared
                     .arrived
                     .wait_timeout(queue, (deadline - now).min(grace))
-                    .expect("batcher lock");
+                    .unwrap_or_else(PoisonError::into_inner);
                 queue = q;
                 if queue.jobs.len() == before {
                     break; // nothing arrived during the slice: batch is done
@@ -319,15 +436,37 @@ fn worker_loop(shared: &Shared, model: &SharedModel, metrics: &Metrics, config: 
             }
         }
         let take = queue.jobs.len().min(max_batch);
-        let batch: Vec<Job> = queue.jobs.drain(..take).collect();
+        let drained: Vec<Queued> = queue.jobs.drain(..take).collect();
         let stopping = queue.stop;
         drop(queue);
 
         if stopping {
-            for job in batch {
-                job.reject_shutdown();
+            for queued in drained {
+                queued.job.reject_shutdown();
             }
             continue; // loop once more to observe `stop` with an empty queue
+        }
+
+        // Expire jobs that waited past their deadline: answering 504 now
+        // is cheaper and more honest than executing work whose caller has
+        // given up. Swaps are exempt — a reload must always land so the
+        // lineage stays coherent.
+        let now = Instant::now();
+        let mut batch = Vec::with_capacity(drained.len());
+        for queued in drained {
+            let expired = !config.queue_deadline.is_zero()
+                && !matches!(queued.job, Job::Swap { .. })
+                && now.duration_since(queued.enqueued_at) > config.queue_deadline;
+            if expired {
+                metrics.on_deadline_expired();
+                queued.job.reject(ServeError::DeadlineExpired(format!(
+                    "request waited {:?} in queue (deadline {:?})",
+                    now.duration_since(queued.enqueued_at),
+                    config.queue_deadline
+                )));
+            } else {
+                batch.push(queued.job);
+            }
         }
         execute(model, metrics, batch);
     }
@@ -374,28 +513,52 @@ fn flush(
 
 type PredictJob = (Vec<u8>, Reply<Prediction>);
 
+/// Runs one predict inside its own `catch_unwind`: a panicking model
+/// poisons exactly this job (500 `Panicked`, counted in
+/// `worker_panics_total`) and nothing else.
+fn predict_quarantined(
+    model: &AnyModel,
+    metrics: &Metrics,
+    input: &[u8],
+) -> Result<Prediction, ServeError> {
+    catch_unwind(AssertUnwindSafe(|| {
+        maybe_inject_panic(input);
+        model.predict(input).map_err(ServeError::from)
+    }))
+    .unwrap_or_else(|_| {
+        metrics.on_worker_panic();
+        Err(ServeError::Panicked("model panicked executing this request".into()))
+    })
+}
+
 fn execute_predicts(model: &AnyModel, metrics: &Metrics, batch: &[PredictJob]) {
     metrics.on_batch(batch.len());
     if batch.len() == 1 {
         let (input, reply) = &batch[0];
-        let result = model.predict(&input[..]).map_err(ServeError::from);
-        let _ = reply.send(result);
+        let _ = reply.send(predict_quarantined(model, metrics, input));
         return;
     }
     let inputs: Vec<&[u8]> = batch.iter().map(|(input, _)| &input[..]).collect();
-    match model.predict_batch(&inputs) {
-        Ok(predictions) => {
+    let coalesced = catch_unwind(AssertUnwindSafe(|| {
+        for input in &inputs {
+            maybe_inject_panic(input);
+        }
+        model.predict_batch(&inputs)
+    }));
+    match coalesced {
+        Ok(Ok(predictions)) => {
             for ((_, reply), prediction) in batch.iter().zip(predictions) {
                 let _ = reply.send(Ok(prediction));
             }
         }
-        // A batch fails fast on its lowest-index bad input, which would
-        // punish every rider in the batch; fall back to per-job predicts
-        // so each request gets exactly its own error.
-        Err(_) => {
+        // A batch fails fast on its lowest-index bad input — or panics on
+        // its first poisoned one — which would punish every rider in the
+        // batch; fall back to per-job predicts so each request gets
+        // exactly its own error, and only the truly poisoned jobs count
+        // as panics.
+        Ok(Err(_)) | Err(_) => {
             for (input, reply) in batch {
-                let result = model.predict(&input[..]).map_err(ServeError::from);
-                let _ = reply.send(result);
+                let _ = reply.send(predict_quarantined(model, metrics, input));
             }
         }
     }
@@ -406,9 +569,13 @@ fn execute_predicts(model: &AnyModel, metrics: &Metrics, batch: &[PredictJob]) {
 ///
 /// Train jobs coalesce: their examples concatenate into one
 /// `partial_fit_batch`. That call is atomic, so if it rejects a bad
-/// example the worker falls back to per-job batches — each job then
-/// succeeds or 400s on its own. Feedback jobs run after training, in
-/// queue order.
+/// example — or panics on a poisoned one — the worker falls back to
+/// per-job batches, each applied **transactionally** to a trial clone
+/// inside its own `catch_unwind`: the clone is committed only on success,
+/// so a panicking job can never publish a half-updated model. Feedback
+/// jobs run after training, in queue order, with the same quarantine.
+/// Panics happen on private clones before publish, so the published
+/// lineage stays monotonic no matter which jobs were poisoned.
 fn execute_updates(shared: &SharedModel, metrics: &Metrics, jobs: Vec<Job>) {
     let snapshot = shared.snapshot();
     // Cheap by construction: the encoder is Arc-shared, so this copies
@@ -438,24 +605,50 @@ fn execute_updates(shared: &SharedModel, metrics: &Metrics, jobs: Vec<Job>) {
             .iter()
             .flat_map(|(examples, _)| examples.iter().map(|(i, l)| (&i[..], *l)))
             .collect();
-        match model.partial_fit_batch(&coalesced) {
-            Ok(applied) => {
+        let fast_path = catch_unwind(AssertUnwindSafe(|| {
+            let mut trial = model.clone();
+            for (input, _) in &coalesced {
+                maybe_inject_panic(input);
+            }
+            trial.partial_fit_batch(&coalesced).map(|applied| (trial, applied))
+        }));
+        match fast_path {
+            Ok(Ok((trial, applied))) => {
                 debug_assert_eq!(applied, coalesced.len());
+                model = trial;
                 applied_total += applied;
                 for (examples, reply) in trains {
                     train_results.push((reply, Ok(examples.len())));
                 }
             }
-            Err(_) => {
-                // One bad example failed the coalesced batch (atomically);
-                // re-apply per job so only the guilty request errors.
+            // One bad example failed the coalesced batch (atomically) or
+            // one poisoned example panicked it; re-apply per job so only
+            // the guilty request errors.
+            Ok(Err(_)) | Err(_) => {
                 for (examples, reply) in trains {
-                    let per_job: Vec<(&[u8], usize)> =
-                        examples.iter().map(|(i, l)| (&i[..], *l)).collect();
-                    let result = model.partial_fit_batch(&per_job).map_err(ServeError::from);
-                    if let Ok(applied) = result {
-                        applied_total += applied;
-                    }
+                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                        let mut trial = model.clone();
+                        for (input, _) in &examples {
+                            maybe_inject_panic(input);
+                        }
+                        let per_job: Vec<(&[u8], usize)> =
+                            examples.iter().map(|(i, l)| (&i[..], *l)).collect();
+                        trial.partial_fit_batch(&per_job).map(|applied| (trial, applied))
+                    }));
+                    let result = match outcome {
+                        Ok(Ok((trial, applied))) => {
+                            model = trial;
+                            applied_total += applied;
+                            Ok(applied)
+                        }
+                        Ok(Err(e)) => Err(ServeError::from(e)),
+                        Err(_) => {
+                            metrics.on_worker_panic();
+                            Err(ServeError::Panicked(
+                                "model panicked absorbing this request's examples".into(),
+                            ))
+                        }
+                    };
                     train_results.push((reply, result));
                 }
             }
@@ -465,10 +658,25 @@ fn execute_updates(shared: &SharedModel, metrics: &Metrics, jobs: Vec<Job>) {
     let mut feedback_results: Vec<(Reply<FeedbackOutcome>, Result<hdc::Feedback, ServeError>)> =
         Vec::with_capacity(feedbacks.len());
     for (input, label, reply) in feedbacks {
-        let result = model.feedback(&input[..], label).map_err(ServeError::from);
-        if matches!(&result, Ok(fb) if fb.updated) {
-            feedback_updates += 1;
-        }
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let mut trial = model.clone();
+            maybe_inject_panic(&input);
+            trial.feedback(&input[..], label).map(|fb| (trial, fb))
+        }));
+        let result = match outcome {
+            Ok(Ok((trial, fb))) => {
+                model = trial;
+                if fb.updated {
+                    feedback_updates += 1;
+                }
+                Ok(fb)
+            }
+            Ok(Err(e)) => Err(ServeError::from(e)),
+            Err(_) => {
+                metrics.on_worker_panic();
+                Err(ServeError::Panicked("model panicked applying this feedback".into()))
+            }
+        };
         feedback_results.push((reply, result));
     }
 
@@ -531,7 +739,11 @@ mod tests {
     fn concurrent_predicts_coalesce() {
         let shared = model();
         let metrics = Arc::new(Metrics::new());
-        let config = BatchConfig { max_batch: 64, max_linger: Duration::from_millis(20) };
+        let config = BatchConfig {
+            max_batch: 64,
+            max_linger: Duration::from_millis(20),
+            ..BatchConfig::default()
+        };
         let batcher = Arc::new(Batcher::start(shared, Arc::clone(&metrics), config));
         std::thread::scope(|scope| {
             for _ in 0..8 {
@@ -575,7 +787,11 @@ mod tests {
     fn bad_input_in_batch_fails_only_that_request() {
         let shared = model();
         let metrics = Arc::new(Metrics::new());
-        let config = BatchConfig { max_batch: 16, max_linger: Duration::from_millis(20) };
+        let config = BatchConfig {
+            max_batch: 16,
+            max_linger: Duration::from_millis(20),
+            ..BatchConfig::default()
+        };
         let batcher = Arc::new(Batcher::start(shared, metrics, config));
         std::thread::scope(|scope| {
             let good = scope.spawn({
@@ -624,7 +840,11 @@ mod tests {
     fn train_bad_example_fails_only_its_request() {
         let shared = model();
         let metrics = Arc::new(Metrics::new());
-        let config = BatchConfig { max_batch: 16, max_linger: Duration::from_millis(20) };
+        let config = BatchConfig {
+            max_batch: 16,
+            max_linger: Duration::from_millis(20),
+            ..BatchConfig::default()
+        };
         let batcher = Arc::new(Batcher::start(Arc::clone(&shared), metrics, config));
         std::thread::scope(|scope| {
             let good = scope.spawn({
@@ -681,5 +901,141 @@ mod tests {
         let metrics = Arc::new(Metrics::new());
         let batcher = Batcher::start(shared, metrics, BatchConfig::default());
         drop(batcher); // must not hang
+    }
+
+    #[test]
+    fn full_queue_sheds_with_503_but_swaps_ride_through() {
+        let shared = model();
+        let metrics = Arc::new(Metrics::new());
+        // max_queue = 0 is deterministic maintenance mode: every client
+        // job sheds without racing the worker's drain speed.
+        let config = BatchConfig { max_queue: 0, ..BatchConfig::default() };
+        let batcher = Batcher::start(Arc::clone(&shared), Arc::clone(&metrics), config);
+
+        let err = batcher.predict(vec![0u8; 16]).unwrap_err();
+        assert_eq!(err.status(), 503, "full queue must shed, got {err}");
+        let err = batcher.train(vec![(vec![0u8; 16], 0)]).unwrap_err();
+        assert_eq!(err.status(), 503);
+        assert_eq!(metrics.shed_total(), 2);
+
+        // A hot reload is exempt: shedding it would break the reload
+        // contract. Lineage continues from the current version.
+        let replacement = (*shared.snapshot()).clone();
+        assert!(batcher.swap(replacement).is_ok(), "swap must bypass the queue bound");
+    }
+
+    #[test]
+    fn stale_queued_jobs_expire_with_504() {
+        let shared = model();
+        let metrics = Arc::new(Metrics::new());
+        // A 1 ns deadline expires every job deterministically: the hop
+        // from enqueue through condvar wakeup to drain always costs more.
+        let config = BatchConfig {
+            queue_deadline: Duration::from_nanos(1),
+            max_linger: Duration::ZERO,
+            ..BatchConfig::default()
+        };
+        let batcher = Batcher::start(shared, Arc::clone(&metrics), config);
+        let err = batcher.predict(vec![0u8; 16]).unwrap_err();
+        assert_eq!(err.status(), 504, "stale job must expire, got {err}");
+        assert_eq!(metrics.deadline_expired_total(), 1);
+    }
+
+    #[test]
+    fn injected_panic_quarantines_only_the_poisoned_job() {
+        // The gate gives this test the process-global hook end-to-end
+        // (arm → predict → train → feedback → disarm) so concurrent tests
+        // never observe it half-armed. Fill 231 collides with no other
+        // test input.
+        let _hook = panic_injection_gate();
+        const FILL: u8 = 231;
+        let shared = model();
+        let metrics = Arc::new(Metrics::new());
+        let batcher =
+            Batcher::start(Arc::clone(&shared), Arc::clone(&metrics), BatchConfig::default());
+
+        inject_panic_fill(Some(FILL));
+        let err = batcher.predict(vec![FILL; 16]).unwrap_err();
+        assert_eq!(err.status(), 500, "poisoned predict must 500, got {err}");
+        assert!(matches!(err, ServeError::Panicked(_)));
+        let err = batcher.train(vec![(vec![FILL; 16], 0)]).unwrap_err();
+        assert!(matches!(err, ServeError::Panicked(_)), "poisoned train must quarantine");
+        let err = batcher.feedback(vec![FILL; 16], 0).unwrap_err();
+        assert!(matches!(err, ServeError::Panicked(_)), "poisoned feedback must quarantine");
+        assert_eq!(metrics.worker_panics_total(), 3, "each poisoned job counts exactly once");
+
+        // The worker survives, the model still serves, and training —
+        // hence the published lineage — continues monotonically.
+        inject_panic_fill(None);
+        let version_before = shared.version();
+        assert!(batcher.predict(vec![224u8; 16]).is_ok(), "worker must survive the panics");
+        let outcome = batcher.train(vec![(vec![224u8; 16], 1)]).unwrap();
+        assert!(outcome.version > version_before, "lineage stays monotonic after panics");
+        assert_eq!(shared.version(), outcome.version);
+    }
+
+    #[test]
+    fn concurrent_poisoned_and_healthy_jobs_coexist_in_one_batch() {
+        let _hook = panic_injection_gate();
+        const FILL: u8 = 231;
+        let shared = model();
+        let metrics = Arc::new(Metrics::new());
+        let config = BatchConfig {
+            max_batch: 16,
+            max_linger: Duration::from_millis(20),
+            ..Default::default()
+        };
+        let batcher = Arc::new(Batcher::start(shared, Arc::clone(&metrics), config));
+        inject_panic_fill(Some(FILL));
+        std::thread::scope(|scope| {
+            let good = scope.spawn({
+                let batcher = Arc::clone(&batcher);
+                move || batcher.predict(vec![224u8; 16])
+            });
+            let poisoned = scope.spawn({
+                let batcher = Arc::clone(&batcher);
+                move || batcher.predict(vec![FILL; 16])
+            });
+            assert!(good.join().unwrap().is_ok(), "healthy rider must not share the quarantine");
+            let err = poisoned.join().unwrap().unwrap_err();
+            assert_eq!(err.status(), 500);
+        });
+        inject_panic_fill(None);
+    }
+
+    #[test]
+    fn debug_impl_tolerates_poisoned_queue_mutex() {
+        let shared = model();
+        let metrics = Arc::new(Metrics::new());
+        let batcher = Batcher::start(shared, metrics, BatchConfig::default());
+
+        // Poison the queue mutex the hard way: panic while holding it.
+        let poisoner = Arc::clone(&batcher.shared);
+        let _ = std::thread::Builder::new()
+            .name("poisoner".into())
+            .spawn(move || {
+                let _guard = poisoner.queue.lock().unwrap();
+                panic!("deliberate poison");
+            })
+            .unwrap()
+            .join();
+        assert!(batcher.shared.queue.is_poisoned(), "test precondition");
+
+        // The one place a worker panic used to cascade into the accept
+        // path: Debug formatting. It — and enqueue — must keep working.
+        let rendered = format!("{batcher:?}");
+        assert!(rendered.contains("pending="), "{rendered}");
+        assert!(batcher.predict(vec![0u8; 16]).is_ok(), "accept path survives poison");
+    }
+
+    #[test]
+    fn queue_depth_histogram_records_enqueues() {
+        let shared = model();
+        let metrics = Arc::new(Metrics::new());
+        let batcher = Batcher::start(shared, Arc::clone(&metrics), BatchConfig::default());
+        batcher.predict(vec![0u8; 16]).unwrap();
+        batcher.predict(vec![0u8; 16]).unwrap();
+        let total: u64 = metrics.queue_depth_hist().iter().sum();
+        assert_eq!(total, 2, "every accepted enqueue lands in the depth histogram");
     }
 }

@@ -1,0 +1,116 @@
+//! `serve-soak` — sustained load plus fault injection against the
+//! in-process inference server: slow-loris and truncated/oversized
+//! bodies, corrupt-then-valid reload flapping, injected model panics,
+//! and deterministic shed/expiry probes.
+//!
+//! ```text
+//! serve-soak [--quick true] [--duration-secs N] [--clients N]
+//!            [--train-clients N] [--dim N] [--p99-ceiling-ms N]
+//!            [--rss-ceiling-mb N] [--probes N]
+//! ```
+//!
+//! Merges a `serve_soak` row into `BENCH_serve.json` (path overridable
+//! via the `BENCH_SERVE_JSON` env var; an existing loadgen report keeps
+//! its other ops). Exits non-zero when any overload-hardening gate fails:
+//! unaccounted errors, a missing injector cycle, a lost model, a
+//! non-monotonic lineage, or a breached p99/RSS ceiling.
+
+use hdc_serve::soak::{run, SoakConfig};
+use std::process::ExitCode;
+use std::time::Duration;
+
+fn flag<T: std::str::FromStr>(args: &[String], name: &str) -> Option<T> {
+    let pos = args.iter().position(|a| a == name)?;
+    let raw = args.get(pos + 1)?;
+    match raw.parse() {
+        Ok(v) => Some(v),
+        Err(_) => {
+            eprintln!("cannot parse {name} value '{raw}'");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = flag::<bool>(&args, "--quick")
+        .unwrap_or_else(|| std::env::var("BENCH_QUICK").is_ok_and(|v| v == "1"));
+    let mut config = if quick { SoakConfig::quick() } else { SoakConfig::default() };
+    if let Some(secs) = flag::<u64>(&args, "--duration-secs") {
+        config.duration = Duration::from_secs(secs);
+    }
+    if let Some(clients) = flag::<usize>(&args, "--clients") {
+        config.clients = clients;
+    }
+    if let Some(train_clients) = flag::<usize>(&args, "--train-clients") {
+        config.train_clients = train_clients;
+    }
+    if let Some(dim) = flag::<usize>(&args, "--dim") {
+        config.dim = dim;
+    }
+    if let Some(ms) = flag::<u64>(&args, "--p99-ceiling-ms") {
+        config.p99_ceiling = Duration::from_millis(ms);
+    }
+    if let Some(mb) = flag::<u64>(&args, "--rss-ceiling-mb") {
+        config.rss_ceiling_mb = mb;
+    }
+    if let Some(probes) = flag::<usize>(&args, "--probes") {
+        config.probes = probes;
+    }
+
+    println!(
+        "soak: {}s, {} predict + {} train clients, D = {}, {}x{} inputs, quick = {quick}",
+        config.duration.as_secs_f64(),
+        config.clients,
+        config.train_clients,
+        config.dim,
+        config.edge,
+        config.edge
+    );
+    let report = run(&config);
+
+    println!(
+        "traffic:   {} ok, {} shed (503), {} expired (504), {} panics quarantined (500)",
+        report.ok, report.shed, report.expired, report.panicked
+    );
+    println!(
+        "injectors: {} slow-loris 408s, {} truncated-body 400s, {} oversized-body 413s",
+        report.loris_cycles, report.truncated_cycles, report.oversized_cycles
+    );
+    println!(
+        "reloads:   {} corrupt rejected, {} valid accepted; final version {}",
+        report.reload_rejects, report.reload_accepts, report.final_version
+    );
+    println!(
+        "metrics:   shed={} expired={} panics={} respawns={} ({} requests total)",
+        report.metric_shed,
+        report.metric_expired,
+        report.metric_panics,
+        report.metric_respawns,
+        report.requests_total
+    );
+    let rss =
+        report.rss_peak_kb.map_or("n/a".to_owned(), |kb| format!("{:.1} MiB", kb as f64 / 1024.0));
+    println!(
+        "ceilings:  p99 {}us (ceiling {}us), peak RSS {rss} (ceiling {} MiB)",
+        report.p99_us, report.p99_ceiling_us, report.config.rss_ceiling_mb
+    );
+    println!("drain:     flushed {} model snapshot(s)", report.flushed);
+
+    let path = std::env::var("BENCH_SERVE_JSON").unwrap_or_else(|_| "BENCH_serve.json".to_string());
+    if let Err(e) = report.write_bench_json(std::path::Path::new(&path), quick) {
+        eprintln!("failed to write {path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote serve_soak row to {path}");
+
+    if !report.passed() {
+        eprintln!("FAIL: {} gate violation(s):", report.failures.len());
+        for failure in &report.failures {
+            eprintln!("  - {failure}");
+        }
+        return ExitCode::FAILURE;
+    }
+    println!("PASS: every failed request accounted for, ceilings held");
+    ExitCode::SUCCESS
+}

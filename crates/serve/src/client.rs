@@ -13,6 +13,8 @@ use std::time::Duration;
 pub struct Response {
     /// HTTP status code.
     pub status: u16,
+    /// Header `(name, value)` pairs; names are lowercased.
+    pub headers: Vec<(String, String)>,
     /// Raw body bytes.
     pub body: Vec<u8>,
 }
@@ -31,6 +33,17 @@ impl Response {
     pub fn is_success(&self) -> bool {
         (200..300).contains(&self.status)
     }
+
+    /// The first value of header `name` (lowercase), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+
+    /// The `Retry-After` delay a shed (503) response asked for, when
+    /// present and parseable as whole seconds.
+    pub fn retry_after_secs(&self) -> Option<u64> {
+        self.header("retry-after").and_then(|v| v.trim().parse().ok())
+    }
 }
 
 /// A persistent keep-alive connection to one server.
@@ -41,15 +54,33 @@ pub struct Client {
 }
 
 impl Client {
-    /// Connects to `addr`.
+    /// The read timeout [`connect`](Self::connect) applies when the caller
+    /// doesn't pick one.
+    pub const DEFAULT_READ_TIMEOUT: Duration = Duration::from_secs(30);
+
+    /// Connects to `addr` with [`DEFAULT_READ_TIMEOUT`](Self::DEFAULT_READ_TIMEOUT).
     ///
     /// # Errors
     ///
     /// Propagates connect/configure failures.
     pub fn connect(addr: SocketAddr) -> io::Result<Client> {
+        Self::connect_with_timeout(addr, Some(Self::DEFAULT_READ_TIMEOUT))
+    }
+
+    /// Connects to `addr` with an explicit read timeout (`None` blocks
+    /// forever — soak clients that must outwait an overloaded server use
+    /// a budget tied to their scenario instead of the default).
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect/configure failures.
+    pub fn connect_with_timeout(
+        addr: SocketAddr,
+        read_timeout: Option<Duration>,
+    ) -> io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        stream.set_read_timeout(read_timeout)?;
         let writer = stream.try_clone()?;
         Ok(Client { reader: BufReader::new(stream), writer })
     }
@@ -107,6 +138,7 @@ impl Client {
             .parse()
             .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-numeric status"))?;
         let mut content_length = 0usize;
+        let mut headers = Vec::new();
         loop {
             line.clear();
             self.reader.read_line(&mut line)?;
@@ -115,16 +147,19 @@ impl Client {
                 break;
             }
             if let Some((name, value)) = header.split_once(':') {
-                if name.trim().eq_ignore_ascii_case("content-length") {
-                    content_length = value.trim().parse().map_err(|_| {
+                let name = name.trim().to_ascii_lowercase();
+                let value = value.trim().to_owned();
+                if name == "content-length" {
+                    content_length = value.parse().map_err(|_| {
                         io::Error::new(io::ErrorKind::InvalidData, "bad content-length")
                     })?;
                 }
+                headers.push((name, value));
             }
         }
         let mut body = vec![0u8; content_length];
         self.reader.read_exact(&mut body)?;
-        Ok(Response { status, body })
+        Ok(Response { status, headers, body })
     }
 
     /// Appends `"input":[p0,p1,…]` — the pixel-array fragment every

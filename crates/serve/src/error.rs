@@ -23,6 +23,16 @@ pub enum ServeError {
     PayloadTooLarge(String),
     /// 500: a server-side invariant failed.
     Internal(String),
+    /// 500: the model panicked executing this request. The job is
+    /// quarantined (counted in `worker_panics_total`) and the worker
+    /// survives; other requests are unaffected.
+    Panicked(String),
+    /// 503: the model's job queue is full and this request was shed
+    /// instead of queued. The response carries `Retry-After`.
+    Overloaded(String),
+    /// 504: the request waited in the queue past its deadline and was
+    /// answered late-is-an-error instead of executed late.
+    DeadlineExpired(String),
 }
 
 impl ServeError {
@@ -34,7 +44,9 @@ impl ServeError {
             ServeError::NotFound(_) => 404,
             ServeError::MethodNotAllowed(_) => 405,
             ServeError::PayloadTooLarge(_) => 413,
-            ServeError::Internal(_) => 500,
+            ServeError::Internal(_) | ServeError::Panicked(_) => 500,
+            ServeError::Overloaded(_) => 503,
+            ServeError::DeadlineExpired(_) => 504,
         }
     }
 
@@ -45,7 +57,10 @@ impl ServeError {
             | ServeError::Forbidden(m)
             | ServeError::NotFound(m)
             | ServeError::PayloadTooLarge(m)
-            | ServeError::Internal(m) => m.clone(),
+            | ServeError::Internal(m)
+            | ServeError::Panicked(m)
+            | ServeError::Overloaded(m)
+            | ServeError::DeadlineExpired(m) => m.clone(),
             ServeError::MethodNotAllowed(allow) => format!("method not allowed; allow: {allow}"),
         }
     }
@@ -93,6 +108,9 @@ mod tests {
         assert_eq!(ServeError::MethodNotAllowed("GET").status(), 405);
         assert_eq!(ServeError::PayloadTooLarge("x".into()).status(), 413);
         assert_eq!(ServeError::Internal("x".into()).status(), 500);
+        assert_eq!(ServeError::Panicked("x".into()).status(), 500);
+        assert_eq!(ServeError::Overloaded("x".into()).status(), 503);
+        assert_eq!(ServeError::DeadlineExpired("x".into()).status(), 504);
     }
 
     #[test]

@@ -5,8 +5,18 @@
 //! keep-alive semantics), and fixed size limits so a hostile peer cannot
 //! buffer unbounded data. Chunked transfer encoding is intentionally not
 //! implemented — requests carrying it get a clean 400.
+//!
+//! ## Slow-loris defense
+//!
+//! [`read_request`] takes an optional wall-clock deadline covering the
+//! head *and* body reads. The server sets a short socket read timeout, so
+//! a peer that trickles bytes surfaces as `WouldBlock`/`TimedOut` slices;
+//! with a deadline those slices retry until the clock runs out and the
+//! request is answered `408 Request Timeout`, instead of one connection
+//! being holdable forever at one byte per timeout.
 
 use std::io::{self, BufRead, Write};
+use std::time::Instant;
 
 /// Maximum accepted size of the request line plus all headers.
 pub const MAX_HEAD_BYTES: usize = 16 * 1024;
@@ -72,15 +82,23 @@ impl std::error::Error for HttpError {}
 /// Reads one request off a buffered stream. Returns `Ok(None)` on a clean
 /// EOF before any request byte (the peer closed a keep-alive connection).
 ///
+/// `deadline`, if set, bounds the wall-clock time the whole read — head
+/// and body — may take: socket read timeouts retry until the deadline,
+/// then fail with a 408. Without a deadline a mid-request timeout is a
+/// transport error, as before.
+///
 /// # Errors
 ///
 /// [`HttpError::Io`] on transport failure; [`HttpError::Bad`] when the
-/// peer's bytes are not an acceptable request (the caller should answer
-/// with the carried status and close).
-pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Option<Request>, HttpError> {
+/// peer's bytes are not an acceptable request or the deadline expired
+/// (the caller should answer with the carried status and close).
+pub fn read_request<R: BufRead>(
+    reader: &mut R,
+    deadline: Option<Instant>,
+) -> Result<Option<Request>, HttpError> {
     let mut line = Vec::new();
     let mut head_bytes = 0usize;
-    read_line(reader, &mut line, &mut head_bytes)?;
+    read_line(reader, &mut line, &mut head_bytes, deadline)?;
     if line.is_empty() {
         return Ok(None);
     }
@@ -99,7 +117,7 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Option<Request>, HttpE
 
     let mut headers = Vec::new();
     loop {
-        read_line(reader, &mut line, &mut head_bytes)?;
+        read_line(reader, &mut line, &mut head_bytes, deadline)?;
         if line.is_empty() {
             break;
         }
@@ -126,26 +144,102 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Option<Request>, HttpE
     }
     let mut request = request;
     if content_length > 0 {
+        // Manual fill loop instead of `read_exact`: partial progress must
+        // survive a socket timeout slice so a deadline can retry it, and a
+        // peer that disconnects mid-body gets a definite 400 rather than
+        // an ambiguous transport error.
         request.body = vec![0u8; content_length];
-        reader.read_exact(&mut request.body).map_err(HttpError::Io)?;
+        let mut filled = 0usize;
+        while filled < content_length {
+            // Checked on every arrival, not just on timeout slices: a
+            // peer trickling bytes steadily never times out, but its
+            // clock still runs out.
+            if deadline_expired(deadline) {
+                return Err(HttpError::Bad(408, "request read deadline expired".into()));
+            }
+            match reader.read(&mut request.body[filled..]) {
+                Ok(0) => {
+                    return Err(HttpError::Bad(
+                        400,
+                        format!("truncated body: got {filled} of {content_length} bytes"),
+                    ))
+                }
+                Ok(n) => filled += n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) if is_timeout(&e) => check_deadline(deadline)?,
+                Err(e) => return Err(HttpError::Io(e)),
+            }
+        }
     }
     Ok(Some(request))
 }
 
+/// Whether an I/O error is a socket read-timeout slice (retryable under a
+/// deadline).
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
+}
+
+/// With a deadline: `Ok` while there is time left, 408 once it expired.
+/// Without one, a timeout slice is not retryable — report it as the
+/// transport error it used to be.
+fn check_deadline(deadline: Option<Instant>) -> Result<(), HttpError> {
+    match deadline {
+        Some(_) if deadline_expired(deadline) => {
+            Err(HttpError::Bad(408, "request read deadline expired".into()))
+        }
+        Some(_) => Ok(()),
+        None => Err(HttpError::Io(io::Error::new(io::ErrorKind::TimedOut, "read timed out"))),
+    }
+}
+
+/// Whether the wall-clock read deadline (if any) has passed.
+fn deadline_expired(deadline: Option<Instant>) -> bool {
+    deadline.is_some_and(|d| Instant::now() >= d)
+}
+
 /// Reads one CRLF (or bare-LF) terminated line, without the terminator,
-/// enforcing the head-size limit across calls.
+/// enforcing the head-size limit across calls and the wall-clock deadline
+/// on **every** arrival — `read_until` would block internally for as long
+/// as a slow-loris peer keeps trickling bytes, so the loop works on
+/// `fill_buf` chunks and re-checks the clock between them.
 fn read_line<R: BufRead>(
     reader: &mut R,
     line: &mut Vec<u8>,
     head_bytes: &mut usize,
+    deadline: Option<Instant>,
 ) -> Result<(), HttpError> {
     line.clear();
-    let take = (MAX_HEAD_BYTES - *head_bytes + 1) as u64;
-    // UFCS pins `Self = &mut R` so `take` borrows instead of consuming.
-    let read = io::Read::take(&mut *reader, take).read_until(b'\n', line)?;
-    *head_bytes += read;
-    if *head_bytes > MAX_HEAD_BYTES {
-        return Err(HttpError::Bad(431, "request head too large".into()));
+    loop {
+        if deadline_expired(deadline) {
+            return Err(HttpError::Bad(408, "request read deadline expired".into()));
+        }
+        let complete = match reader.fill_buf() {
+            Ok([]) => break, // EOF; the terminator check below decides
+            Ok(buf) => {
+                // Consume at most one byte past the head limit so the
+                // overflow is detectable without unbounded buffering.
+                let limit = buf.len().min(MAX_HEAD_BYTES + 1 - *head_bytes);
+                let newline = buf[..limit].iter().position(|&b| b == b'\n');
+                let consumed = newline.map_or(limit, |pos| pos + 1);
+                line.extend_from_slice(&buf[..consumed]);
+                reader.consume(consumed);
+                *head_bytes += consumed;
+                newline.is_some()
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) if is_timeout(&e) => {
+                check_deadline(deadline)?;
+                continue;
+            }
+            Err(e) => return Err(HttpError::Io(e)),
+        };
+        if *head_bytes > MAX_HEAD_BYTES {
+            return Err(HttpError::Bad(431, "request head too large".into()));
+        }
+        if complete {
+            break;
+        }
     }
     if line.last() == Some(&b'\n') {
         line.pop();
@@ -166,9 +260,12 @@ pub fn reason(status: u16) -> &'static str {
         403 => "Forbidden",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         413 => "Payload Too Large",
         431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
         505 => "HTTP Version Not Supported",
         _ => "Unknown",
     }
@@ -207,7 +304,7 @@ mod tests {
     use std::io::BufReader;
 
     fn parse(raw: &[u8]) -> Result<Option<Request>, HttpError> {
-        read_request(&mut BufReader::new(raw))
+        read_request(&mut BufReader::new(raw), None)
     }
 
     #[test]
@@ -277,11 +374,47 @@ mod tests {
     }
 
     #[test]
-    fn truncated_body_is_io_error() {
+    fn truncated_body_is_400() {
+        // A peer that promises 10 bytes and closes after 3 gets a definite
+        // client error, not an ambiguous transport failure.
         assert!(matches!(
             parse(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc"),
-            Err(HttpError::Io(_))
+            Err(HttpError::Bad(400, _))
         ));
+    }
+
+    #[test]
+    fn expired_deadline_is_408() {
+        // A reader that always times out models a slow-loris peer; with an
+        // already-expired deadline the very first retry check trips 408.
+        struct Stall;
+        impl io::Read for Stall {
+            fn read(&mut self, _buf: &mut [u8]) -> io::Result<usize> {
+                Err(io::Error::new(io::ErrorKind::WouldBlock, "stalled"))
+            }
+        }
+        let deadline = Some(Instant::now());
+        let result = read_request(&mut BufReader::new(Stall), deadline);
+        assert!(matches!(result, Err(HttpError::Bad(408, _))), "{result:?}");
+
+        // Same stall mid-body: head is buffered, body never arrives.
+        struct HeadThenStall(io::Cursor<Vec<u8>>);
+        impl io::Read for HeadThenStall {
+            fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+                match self.0.read(buf) {
+                    Ok(0) => Err(io::Error::new(io::ErrorKind::WouldBlock, "stalled")),
+                    other => other,
+                }
+            }
+        }
+        let head = b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc".to_vec();
+        let mut reader = BufReader::new(HeadThenStall(io::Cursor::new(head)));
+        let result = read_request(&mut reader, Some(Instant::now()));
+        assert!(matches!(result, Err(HttpError::Bad(408, _))), "{result:?}");
+
+        // Without a deadline the stall stays a transport error.
+        let result = read_request(&mut BufReader::new(Stall), None);
+        assert!(matches!(result, Err(HttpError::Io(_))), "{result:?}");
     }
 
     #[test]

@@ -31,10 +31,29 @@
 //!   escapes it.
 //! * [`metrics`] — lock-free request counters, a batch-size histogram
 //!   (the observable proof that coalescing happens), online-training
-//!   counters, and p50/p99 latency from fixed power-of-two buckets.
+//!   counters, p50/p99 latency from fixed power-of-two buckets, and the
+//!   overload accounting (`shed_total`, `deadline_expired_total`,
+//!   `worker_panics_total`, a queue-depth histogram).
 //! * [`loadgen`] — a self-driving load generator that measures coalesced
 //!   vs batch-size-1 throughput (predicts *and* trains) and emits
 //!   `BENCH_serve.json` for CI.
+//! * [`soak`] — the soak/fault-injection harness (`serve-soak` binary):
+//!   sustained closed-loop load with injected slow-loris, truncated-body,
+//!   oversized-body, corrupt-reload and panic faults, gated on p99 /
+//!   error-accounting / RSS ceilings.
+//!
+//! ## Overload behavior
+//!
+//! The stack **degrades instead of collapsing**: each model's job queue is
+//! bounded (full → fast 503 + `Retry-After`), queued jobs carry deadlines
+//! (waited too long → 504 instead of late execution), model panics are
+//! quarantined per job behind `catch_unwind` while the worker respawns and
+//! the version lineage stays monotonic, slow-loris reads are cut off by a
+//! per-request wall-clock deadline (408), and a graceful drain
+//! ([`Server::drain`]) flushes one final crash-safe snapshot per model
+//! with unsaved training progress. Every one of those paths increments a
+//! dedicated `/metrics` counter, so failed requests are always accounted
+//! for. See "Failure modes & degradation" in `ARCHITECTURE.md`.
 //!
 //! See `ARCHITECTURE.md` at the workspace root for how these layers fit
 //! the compute stack underneath.
@@ -113,6 +132,7 @@ pub mod loadgen;
 pub mod metrics;
 pub mod registry;
 pub mod server;
+pub mod soak;
 
 pub use batcher::{BatchConfig, Batcher, FeedbackOutcome, TrainOutcome};
 pub use client::{Client, Response};

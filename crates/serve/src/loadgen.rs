@@ -52,7 +52,11 @@ impl Default for LoadgenConfig {
             // Greedy drain (no linger): with closed-loop clients batching
             // emerges from queue build-up alone, so the coalesced side
             // pays zero waiting tax. Lingers only help open-loop traffic.
-            coalesce: BatchConfig { max_batch: 64, max_linger: Duration::ZERO },
+            coalesce: BatchConfig {
+                max_batch: 64,
+                max_linger: Duration::ZERO,
+                ..BatchConfig::default()
+            },
         }
     }
 }
@@ -228,8 +232,10 @@ struct SideReport {
 }
 
 /// Writes one bar-pattern image (the synthetic model's class geometry)
-/// into `img` and returns its class label.
-fn bar_image(img: &mut [u8], edge: usize, row: usize) -> usize {
+/// into `img` and returns its class label. Shared with the soak harness,
+/// whose healthy traffic must match what [`synthetic_model`] was trained
+/// on.
+pub(crate) fn bar_image(img: &mut [u8], edge: usize, row: usize) -> usize {
     let classes = edge.min(4);
     img.fill(0);
     for x in 0..edge {
@@ -406,7 +412,11 @@ mod tests {
             requests_per_client: 40,
             dim: 1_024,
             edge: 4,
-            coalesce: BatchConfig { max_batch: 32, max_linger: Duration::from_millis(1) },
+            coalesce: BatchConfig {
+                max_batch: 32,
+                max_linger: Duration::from_millis(1),
+                ..BatchConfig::default()
+            },
         };
         let report = run(&config);
         assert_eq!(report.requests, 160);

@@ -18,6 +18,11 @@ const LATENCY_BUCKETS: usize = 24;
 /// bucket collects everything larger.
 const BATCH_BUCKETS: usize = 65;
 
+/// Number of power-of-two queue-depth buckets: bucket `i` holds enqueue
+/// samples that observed a depth `< 2^i` jobs already waiting (bucket 0 is
+/// an empty queue), the last bucket is open-ended.
+const QUEUE_DEPTH_BUCKETS: usize = 12;
+
 /// Shared, append-only server statistics.
 #[derive(Debug)]
 pub struct Metrics {
@@ -50,6 +55,17 @@ pub struct Metrics {
     /// `/v1/feedback` requests and how many applied an adaptive update.
     feedback_requests: AtomicU64,
     feedback_applied: AtomicU64,
+    /// Overload/robustness accounting: requests shed because a job queue
+    /// was full (503), requests whose queue wait expired (504), jobs
+    /// quarantined because the model panicked executing them (500), and
+    /// worker threads restarted after an escaped panic.
+    shed_total: AtomicU64,
+    deadline_expired_total: AtomicU64,
+    worker_panics_total: AtomicU64,
+    worker_respawns_total: AtomicU64,
+    /// Queue depth observed by each successful enqueue (jobs already
+    /// waiting), in power-of-two buckets.
+    queue_depth_hist: [AtomicU64; QUEUE_DEPTH_BUCKETS],
 }
 
 impl Default for Metrics {
@@ -81,6 +97,11 @@ impl Metrics {
             train_batch_examples: AtomicU64::new(0),
             feedback_requests: AtomicU64::new(0),
             feedback_applied: AtomicU64::new(0),
+            shed_total: AtomicU64::new(0),
+            deadline_expired_total: AtomicU64::new(0),
+            worker_panics_total: AtomicU64::new(0),
+            worker_respawns_total: AtomicU64::new(0),
+            queue_depth_hist: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
 
@@ -143,6 +164,61 @@ impl Metrics {
         if applied {
             self.feedback_applied.fetch_add(1, Relaxed);
         }
+    }
+
+    /// Counts one request shed because its model's job queue was full.
+    pub fn on_shed(&self) {
+        self.shed_total.fetch_add(1, Relaxed);
+    }
+
+    /// Counts one queued job whose wait deadline expired before execution.
+    pub fn on_deadline_expired(&self) {
+        self.deadline_expired_total.fetch_add(1, Relaxed);
+    }
+
+    /// Counts one job quarantined because the model panicked executing it.
+    pub fn on_worker_panic(&self) {
+        self.worker_panics_total.fetch_add(1, Relaxed);
+    }
+
+    /// Counts one batcher worker restart after a panic escaped the
+    /// per-batch isolation.
+    pub fn on_worker_respawn(&self) {
+        self.worker_respawns_total.fetch_add(1, Relaxed);
+    }
+
+    /// Records the queue depth (jobs already waiting) one successful
+    /// enqueue observed.
+    pub fn on_enqueue_depth(&self, depth: usize) {
+        // Bucket 0 holds depth 0; bucket i holds depth < 2^i.
+        let bucket = (usize::BITS - depth.leading_zeros()) as usize;
+        self.queue_depth_hist[bucket.min(QUEUE_DEPTH_BUCKETS - 1)].fetch_add(1, Relaxed);
+    }
+
+    /// Requests shed so far (503).
+    pub fn shed_total(&self) -> u64 {
+        self.shed_total.load(Relaxed)
+    }
+
+    /// Queue-wait deadline expiries so far (504).
+    pub fn deadline_expired_total(&self) -> u64 {
+        self.deadline_expired_total.load(Relaxed)
+    }
+
+    /// Jobs quarantined by a model panic so far (500).
+    pub fn worker_panics_total(&self) -> u64 {
+        self.worker_panics_total.load(Relaxed)
+    }
+
+    /// Batcher workers respawned after an escaped panic.
+    pub fn worker_respawns_total(&self) -> u64 {
+        self.worker_respawns_total.load(Relaxed)
+    }
+
+    /// Snapshot of the queue-depth histogram counts, one per
+    /// power-of-two bucket (bucket 0 = empty queue, last = open-ended).
+    pub fn queue_depth_hist(&self) -> Vec<u64> {
+        self.queue_depth_hist.iter().map(|c| c.load(Relaxed)).collect()
     }
 
     /// Total examples absorbed through `/v1/train`.
@@ -233,6 +309,18 @@ impl Metrics {
         } else {
             self.latency_sum_us.load(Relaxed) as f64 / latency_count as f64
         };
+        let queue_depth_hist: Vec<Json> = self
+            .queue_depth_hist
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.load(Relaxed) > 0)
+            .map(|(i, c)| {
+                Json::obj([
+                    ("lt_depth", Json::from(1u64 << i)),
+                    ("count", Json::from(c.load(Relaxed))),
+                ])
+            })
+            .collect();
         Json::obj([
             ("requests_total", Json::from(self.requests_total.load(Relaxed))),
             (
@@ -275,6 +363,19 @@ impl Metrics {
                             ("applied", Json::from(self.feedback_applied.load(Relaxed))),
                         ]),
                     ),
+                ]),
+            ),
+            (
+                "overload",
+                Json::obj([
+                    ("shed_total", Json::from(self.shed_total.load(Relaxed))),
+                    (
+                        "deadline_expired_total",
+                        Json::from(self.deadline_expired_total.load(Relaxed)),
+                    ),
+                    ("worker_panics_total", Json::from(self.worker_panics_total.load(Relaxed))),
+                    ("worker_respawns_total", Json::from(self.worker_respawns_total.load(Relaxed))),
+                    ("queue_depth_hist", Json::Arr(queue_depth_hist)),
                 ]),
             ),
             (
@@ -369,6 +470,36 @@ mod tests {
         let feedback = training.get("feedback").unwrap();
         assert_eq!(feedback.get("requests").unwrap().as_f64(), Some(2.0));
         assert_eq!(feedback.get("applied").unwrap().as_f64(), Some(1.0));
+    }
+
+    #[test]
+    fn overload_counters_and_queue_depth_histogram() {
+        let m = Metrics::new();
+        m.on_shed();
+        m.on_shed();
+        m.on_deadline_expired();
+        m.on_worker_panic();
+        m.on_worker_respawn();
+        m.on_enqueue_depth(0);
+        m.on_enqueue_depth(1);
+        m.on_enqueue_depth(3);
+        m.on_enqueue_depth(100_000); // folds into the open-ended bucket
+        assert_eq!(m.shed_total(), 2);
+        assert_eq!(m.deadline_expired_total(), 1);
+        assert_eq!(m.worker_panics_total(), 1);
+        assert_eq!(m.worker_respawns_total(), 1);
+        let snap = m.render();
+        let overload = snap.get("overload").expect("overload section");
+        assert_eq!(overload.get("shed_total").unwrap().as_f64(), Some(2.0));
+        assert_eq!(overload.get("deadline_expired_total").unwrap().as_f64(), Some(1.0));
+        assert_eq!(overload.get("worker_panics_total").unwrap().as_f64(), Some(1.0));
+        let hist = overload.get("queue_depth_hist").unwrap().as_array().unwrap();
+        // depth 0 -> bucket "<1", depth 1 -> "<2", depth 3 -> "<4",
+        // depth 100k -> the open-ended last bucket.
+        assert_eq!(hist.len(), 4, "{hist:?}");
+        assert_eq!(hist[0].get("lt_depth").unwrap().as_f64(), Some(1.0));
+        assert_eq!(hist[1].get("lt_depth").unwrap().as_f64(), Some(2.0));
+        assert_eq!(hist[2].get("lt_depth").unwrap().as_f64(), Some(4.0));
     }
 
     #[test]

@@ -144,6 +144,11 @@ pub struct SharedModel {
     version: AtomicU64,
     /// Total examples absorbed online (train + applied feedback).
     trained_examples: AtomicU64,
+    /// Whether the in-memory model has training state no snapshot has
+    /// persisted yet: set on publish, cleared by a successful snapshot and
+    /// by a reload (which makes memory equal the file again). Drives the
+    /// drain-time flush.
+    dirty: std::sync::atomic::AtomicBool,
 }
 
 impl SharedModel {
@@ -152,6 +157,7 @@ impl SharedModel {
             current: RwLock::new(model),
             version: AtomicU64::new(0),
             trained_examples: AtomicU64::new(0),
+            dirty: std::sync::atomic::AtomicBool::new(false),
         }
     }
 
@@ -180,12 +186,23 @@ impl SharedModel {
         self.trained_examples.load(Ordering::Relaxed)
     }
 
+    /// Whether the in-memory model carries training state newer than any
+    /// snapshot of it.
+    pub fn is_dirty(&self) -> bool {
+        self.dirty.load(Ordering::Acquire)
+    }
+
+    fn mark_clean(&self) {
+        self.dirty.store(false, Ordering::Release);
+    }
+
     /// Swaps in a newly trained model and bumps the version. Called only
     /// by the entry's batcher worker (the single writer); returns the new
     /// version.
     pub(crate) fn publish(&self, model: Arc<AnyModel>, examples: u64) -> u64 {
         *self.current.write().expect("model lock") = model;
         self.trained_examples.fetch_add(examples, Ordering::Relaxed);
+        self.dirty.store(true, Ordering::Release);
         self.version.fetch_add(1, Ordering::AcqRel) + 1
     }
 
@@ -194,6 +211,9 @@ impl SharedModel {
     /// by the batcher worker, which serializes it against training jobs.
     pub(crate) fn replace(&self, model: Arc<AnyModel>) -> u64 {
         *self.current.write().expect("model lock") = model;
+        // Memory now equals the loaded file: unsaved progress, if any, was
+        // deliberately discarded by the operator's reload.
+        self.mark_clean();
         self.version()
     }
 }
@@ -566,7 +586,53 @@ impl Registry {
             let _ = std::fs::remove_file(&tmp);
             ServeError::Internal(format!("cannot move snapshot into {}: {e}", admitted.display()))
         })?;
+        // Crash safety needs the *directory entry* durable too: the file's
+        // bytes are fsynced above, but the rename lives in the parent
+        // directory's metadata — without this fsync a crash can roll the
+        // rename back and leave the old (or no) snapshot at `path`.
+        if let Some(parent) = admitted.parent().filter(|p| !p.as_os_str().is_empty()) {
+            File::open(parent).and_then(|d| d.sync_all()).map_err(|e| {
+                ServeError::Internal(format!(
+                    "cannot sync snapshot directory {}: {e}",
+                    parent.display()
+                ))
+            })?;
+        }
+        // Mark clean only if nothing published while we were writing; a
+        // racing publish keeps the flag set, costing at most one extra
+        // autosave (never a lost one).
+        if entry.shared.version() == version {
+            entry.shared.mark_clean();
+        }
         Ok(version)
+    }
+
+    /// Snapshots every model whose in-memory training state is newer than
+    /// any snapshot of it (the drain-time flush). Each dirty model is
+    /// written crash-safely to `<name>.autosave.hdc` — inside the model
+    /// dir when one is configured, else next to the model's source file,
+    /// else (purely in-memory model without a jail) it is skipped.
+    /// Returns how many models were flushed; failures skip that model and
+    /// keep draining the rest.
+    pub fn flush_dirty(&self) -> usize {
+        let mut flushed = 0;
+        for entry in self.entries() {
+            if !entry.shared.is_dirty() {
+                continue;
+            }
+            let info = entry.info();
+            let autosave = format!("{}.autosave.hdc", info.name);
+            let target = if self.model_dir.is_some() {
+                Some(PathBuf::from(autosave))
+            } else {
+                info.path.as_ref().map(|p| p.with_file_name(autosave))
+            };
+            let Some(target) = target else { continue };
+            if self.snapshot(&info.name, &target).is_ok() {
+                flushed += 1;
+            }
+        }
+        flushed
     }
 
     /// Number of registered models.
@@ -924,5 +990,107 @@ mod tests {
         assert!(r.remove("a"));
         assert!(!r.remove("a"));
         assert!(r.get("a").is_err());
+    }
+
+    #[test]
+    fn flush_dirty_snapshots_only_trained_models() {
+        let dir = temp_dir("flush");
+        let path = dir.join("m.hdc");
+        save_pixel_classifier(&trained(5), std::io::BufWriter::new(File::create(&path).unwrap()))
+            .unwrap();
+
+        let r = Registry::new(Arc::new(Metrics::new()), BatchConfig::default())
+            .with_model_dir(&dir)
+            .unwrap();
+        r.load("default", Path::new("m.hdc")).unwrap();
+        r.insert_model("untouched", trained(6)).unwrap();
+
+        // Nothing trained yet: nothing to flush.
+        assert_eq!(r.flush_dirty(), 0);
+
+        // Train one model; only it flushes, to <name>.autosave.hdc in the
+        // jail, and the autosave is a loadable model.
+        r.get("default").unwrap().batcher().train(vec![(vec![128u8; 16], 0)]).unwrap();
+        assert!(r.get("default").unwrap().shared().is_dirty());
+        assert_eq!(r.flush_dirty(), 1);
+        let autosave = dir.join("default.autosave.hdc");
+        assert!(autosave.exists());
+        assert!(hdc::io::load_any(BufReader::new(File::open(&autosave).unwrap())).is_ok());
+
+        // The flush marked it clean: flushing again is a no-op until the
+        // next publish.
+        assert!(!r.get("default").unwrap().shared().is_dirty());
+        assert_eq!(r.flush_dirty(), 0);
+        r.get("default").unwrap().batcher().train(vec![(vec![128u8; 16], 0)]).unwrap();
+        assert_eq!(r.flush_dirty(), 1);
+
+        // A reload discards unsaved progress deliberately: clean again.
+        r.get("default").unwrap().batcher().train(vec![(vec![128u8; 16], 0)]).unwrap();
+        r.load("default", Path::new("m.hdc")).unwrap();
+        assert_eq!(r.flush_dirty(), 0);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_reload_flapping_under_traffic_never_drops_the_serving_model() {
+        // The mid-flight corruption drill, concurrent with live traffic:
+        // while predict and train threads hammer the entry, the model file
+        // flaps between truncated garbage and a valid model, with a reload
+        // attempted after every flip. Corrupt loads must fail cleanly
+        // (400), valid ones must land, and at no instant may a request
+        // observe a missing or torn model.
+        let dir = temp_dir("corrupt-flap");
+        let path = dir.join("m.hdc");
+        let good = {
+            save_pixel_classifier(
+                &trained(5),
+                std::io::BufWriter::new(File::create(&path).unwrap()),
+            )
+            .unwrap();
+            std::fs::read(&path).unwrap()
+        };
+
+        let r = registry();
+        r.load("default", &path).unwrap();
+        let stop = std::sync::atomic::AtomicBool::new(false);
+
+        std::thread::scope(|scope| {
+            for _ in 0..2 {
+                scope.spawn(|| {
+                    while !stop.load(Ordering::Relaxed) {
+                        let entry = r.get("default").expect("entry must never vanish");
+                        entry.batcher().predict(vec![224u8; 16]).expect("model must keep serving");
+                    }
+                });
+            }
+            scope.spawn(|| {
+                let mut last = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let entry = r.get("default").unwrap();
+                    let v = entry.batcher().train(vec![(vec![128u8; 16], 0)]).unwrap().version;
+                    assert!(v > last, "lineage must stay monotonic across reload flaps");
+                    last = v;
+                }
+            });
+
+            let mut successful_reloads = 0u64;
+            for round in 0..20 {
+                // Corrupt: truncate to a prefix (magic intact, body torn).
+                std::fs::write(&path, &good[..good.len().min(64 + round)]).unwrap();
+                let err = r.load("default", &path).unwrap_err();
+                assert_eq!(err.status(), 400, "corrupt reload must 400, got {err}");
+                // Restore and reload for real.
+                std::fs::write(&path, &good).unwrap();
+                r.load("default", &path).unwrap();
+                successful_reloads += 1;
+            }
+            stop.store(true, Ordering::Relaxed);
+            assert_eq!(r.get("default").unwrap().info().generation, 1 + successful_reloads);
+        });
+
+        // Still serving after the drill.
+        assert!(r.get("default").unwrap().batcher().predict(vec![0u8; 16]).is_ok());
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -35,6 +35,12 @@ pub struct ServerConfig {
     /// How long an idle keep-alive connection is held open before the
     /// server closes it.
     pub keep_alive_timeout: Duration,
+    /// Wall-clock budget for reading one request (head + body) once its
+    /// first byte arrived: the slow-loris defense. A peer that trickles
+    /// bytes past this budget is answered 408 and disconnected. Zero
+    /// disables the deadline. Granularity is the internal read-poll slice
+    /// (500 ms), so budgets below that round up to roughly one slice.
+    pub request_deadline: Duration,
 }
 
 impl Default for ServerConfig {
@@ -43,6 +49,7 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:0".to_owned(),
             workers: 8,
             keep_alive_timeout: Duration::from_secs(30),
+            request_deadline: Duration::from_secs(10),
         }
     }
 }
@@ -74,6 +81,7 @@ impl Server {
             let registry = Arc::clone(&registry);
             let stop = Arc::clone(&stop);
             let keep_alive_timeout = config.keep_alive_timeout;
+            let request_deadline = config.request_deadline;
             accepters.push(
                 std::thread::Builder::new()
                     .name(format!("hdc-serve-accept-{i}"))
@@ -86,7 +94,13 @@ impl Server {
                                     }
                                     let _ = stream.set_read_timeout(Some(READ_POLL));
                                     let _ = stream.set_nodelay(true);
-                                    serve_connection(stream, &registry, &stop, keep_alive_timeout);
+                                    serve_connection(
+                                        stream,
+                                        &registry,
+                                        &stop,
+                                        keep_alive_timeout,
+                                        request_deadline,
+                                    );
                                 }
                                 Err(_) if stop.load(Ordering::Acquire) => return,
                                 Err(_) => continue,
@@ -123,6 +137,17 @@ impl Server {
         }
     }
 
+    /// Graceful drain: stops accepting, lets in-flight requests and their
+    /// coalesced batches finish (joining the accept pool blocks on them),
+    /// then writes one final crash-safe snapshot per model trained since
+    /// its last snapshot. Returns how many models were flushed. Idempotent
+    /// like [`shutdown`](Self::shutdown); call it instead of `shutdown`
+    /// when online training progress must survive the restart.
+    pub fn drain(&mut self) -> usize {
+        self.shutdown();
+        self.registry.flush_dirty()
+    }
+
     /// Blocks the calling thread while the server runs (the CLI's serve
     /// loop). Returns when the accept pool exits.
     pub fn join(&mut self) {
@@ -147,6 +172,7 @@ fn serve_connection(
     registry: &Registry,
     stop: &AtomicBool,
     keep_alive_timeout: Duration,
+    request_deadline: Duration,
 ) {
     let Ok(write_half) = stream.try_clone() else { return };
     let mut reader = BufReader::new(stream);
@@ -171,7 +197,10 @@ fn serve_connection(
             }
             Err(_) => return,
         }
-        match http::read_request(&mut reader) {
+        // The request's first byte is buffered: its wall-clock deadline
+        // starts now and covers the rest of the head plus the whole body.
+        let deadline = (!request_deadline.is_zero()).then(|| Instant::now() + request_deadline);
+        match http::read_request(&mut reader, deadline) {
             Ok(None) => return, // clean close
             Ok(Some(request)) => {
                 let keep_alive = request.keep_alive();
@@ -232,6 +261,10 @@ fn route(
         Err(e) => {
             let headers = match &e {
                 ServeError::MethodNotAllowed(allow) => vec![("allow", *allow)],
+                // Shed responses tell well-behaved clients when to come
+                // back; one second clears a full queue at any realistic
+                // drain rate.
+                ServeError::Overloaded(_) => vec![("retry-after", "1")],
                 _ => Vec::new(),
             };
             (e.status(), headers, e.body().render())

@@ -261,7 +261,11 @@ fn concurrent_binary_predicts_coalesce() {
 
     let registry = Arc::new(Registry::new(
         Arc::new(Metrics::new()),
-        BatchConfig { max_batch: 64, max_linger: Duration::from_millis(5) },
+        BatchConfig {
+            max_batch: 64,
+            max_linger: Duration::from_millis(5),
+            ..BatchConfig::default()
+        },
     ));
     registry.insert_model("default", trained_binary(7)).unwrap();
     let server =

@@ -10,8 +10,10 @@ use hdc_serve::json::Json;
 use hdc_serve::metrics::Metrics;
 use hdc_serve::registry::Registry;
 use hdc_serve::server::{Server, ServerConfig};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 const EDGE: usize = 4;
 const PIXELS: usize = EDGE * EDGE;
@@ -40,10 +42,165 @@ fn start_server(batch: BatchConfig) -> Server {
     Server::start(registry, &config).unwrap()
 }
 
+/// A server with a short wall-clock request deadline, for the
+/// adversarial-socket tests below.
+fn start_hardened_server(request_deadline: Duration) -> Server {
+    let registry = Arc::new(Registry::new(Arc::new(Metrics::new()), BatchConfig::default()));
+    registry.insert_model("default", trained_model(7)).unwrap();
+    let config = ServerConfig { workers: 4, request_deadline, ..ServerConfig::default() };
+    Server::start(registry, &config).unwrap()
+}
+
+/// Parses the numeric status out of an HTTP status line.
+fn parse_status(line: &[u8]) -> Option<u16> {
+    String::from_utf8_lossy(line).split_whitespace().nth(1)?.parse().ok()
+}
+
+/// Reads one status line off a raw socket, tolerating short-timeout
+/// slices, and gives up after `patience`.
+fn read_raw_status(stream: &mut TcpStream, patience: Duration) -> Option<u16> {
+    let start = Instant::now();
+    let mut line = Vec::new();
+    let mut byte = [0u8; 1];
+    while start.elapsed() < patience {
+        match stream.read(&mut byte) {
+            Ok(0) => return parse_status(&line),
+            Ok(_) if byte[0] == b'\n' => return parse_status(&line),
+            Ok(_) => line.push(byte[0]),
+            Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {}
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return parse_status(&line),
+        }
+    }
+    None
+}
+
+/// Writes `head` then trickles one byte at a time, polling for the
+/// server's verdict between bytes. Returns the first status seen.
+fn trickle_until_response(addr: SocketAddr, head: &[u8]) -> Option<u16> {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.set_read_timeout(Some(Duration::from_millis(20))).unwrap();
+    stream.write_all(head).unwrap();
+    let start = Instant::now();
+    let mut line = Vec::new();
+    let mut byte = [0u8; 1];
+    while start.elapsed() < Duration::from_secs(10) {
+        // The write may fail once the server has responded and hung up;
+        // that is the signal to drain whatever status it sent.
+        let _ = stream.write_all(b"x");
+        loop {
+            match stream.read(&mut byte) {
+                Ok(0) => return parse_status(&line),
+                Ok(_) if byte[0] == b'\n' => return parse_status(&line),
+                Ok(_) => line.push(byte[0]),
+                Err(e)
+                    if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) =>
+                {
+                    break;
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => return parse_status(&line),
+            }
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    None
+}
+
+/// The server must stay fully usable on a *fresh* connection after every
+/// adversarial encounter.
+fn assert_still_serving(addr: SocketAddr) {
+    let mut client = Client::connect(addr).unwrap();
+    let body = Client::predict_body("default", &[224u8; PIXELS]);
+    let response = client.post("/v1/predict", &body).unwrap();
+    assert_eq!(response.status, 200, "{}", String::from_utf8_lossy(&response.body));
+    assert_eq!(response.json().unwrap().get("class").and_then(Json::as_f64), Some(1.0));
+}
+
+#[test]
+fn slow_loris_header_trickle_gets_408_not_a_hung_worker() {
+    let server = start_hardened_server(Duration::from_millis(400));
+    let addr = server.addr();
+
+    // Never finish the header line; bytes keep arriving faster than any
+    // dead-peer stall detector, so only the wall-clock deadline can end it.
+    let status = trickle_until_response(addr, b"POST /v1/predict HTTP/1.1\r\nx-slow: ");
+    assert_eq!(status, Some(408), "header trickle must hit the request deadline");
+    assert_still_serving(addr);
+}
+
+#[test]
+fn slow_loris_body_trickle_gets_408_not_a_hung_worker() {
+    let server = start_hardened_server(Duration::from_millis(400));
+    let addr = server.addr();
+
+    // Complete head, then drip the promised body one byte at a time.
+    let head = b"POST /v1/predict HTTP/1.1\r\ncontent-length: 1000\r\n\r\n";
+    let status = trickle_until_response(addr, head);
+    assert_eq!(status, Some(408), "body trickle must hit the request deadline");
+    assert_still_serving(addr);
+}
+
+#[test]
+fn truncated_content_length_gets_400_and_the_pool_survives() {
+    let server = start_hardened_server(Duration::from_secs(5));
+    let addr = server.addr();
+
+    // Promise 100 bytes, deliver 10, then half-close: the server sees
+    // EOF mid-body and must answer 400 rather than wait or crash.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.set_read_timeout(Some(Duration::from_millis(50))).unwrap();
+    stream
+        .write_all(b"POST /v1/predict HTTP/1.1\r\ncontent-length: 100\r\n\r\n0123456789")
+        .unwrap();
+    stream.shutdown(std::net::Shutdown::Write).unwrap();
+    let status = read_raw_status(&mut stream, Duration::from_secs(5));
+    assert_eq!(status, Some(400), "truncated body must be rejected as malformed");
+    assert_still_serving(addr);
+}
+
+#[test]
+fn mid_request_disconnect_leaves_the_listener_healthy() {
+    let server = start_hardened_server(Duration::from_secs(5));
+    let addr = server.addr();
+
+    // Abandon connections at every interesting stage: mid-head, between
+    // head and body, and mid-body. None may take down a worker.
+    for partial in [
+        &b"POST /v1/pre"[..],
+        &b"POST /v1/predict HTTP/1.1\r\ncontent-length: 50\r\n\r\n"[..],
+        &b"POST /v1/predict HTTP/1.1\r\ncontent-length: 50\r\n\r\n{\"inp"[..],
+    ] {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(partial).unwrap();
+        drop(stream);
+    }
+    assert_still_serving(addr);
+}
+
+#[test]
+fn oversized_body_gets_413_without_reading_it() {
+    let server = start_hardened_server(Duration::from_secs(5));
+    let addr = server.addr();
+
+    // 64 MiB claimed: the server must refuse up front instead of
+    // buffering; no body bytes are ever sent.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.set_read_timeout(Some(Duration::from_millis(50))).unwrap();
+    stream.write_all(b"POST /v1/predict HTTP/1.1\r\ncontent-length: 67108864\r\n\r\n").unwrap();
+    let status = read_raw_status(&mut stream, Duration::from_secs(5));
+    assert_eq!(status, Some(413), "oversized body must be shed before allocation");
+    assert_still_serving(addr);
+}
+
 #[test]
 fn concurrent_clients_coalesce_and_metrics_prove_it() {
     // Generous linger so even a 1-CPU CI container overlaps requests.
-    let batch = BatchConfig { max_batch: 64, max_linger: Duration::from_millis(5) };
+    let batch = BatchConfig {
+        max_batch: 64,
+        max_linger: Duration::from_millis(5),
+        ..BatchConfig::default()
+    };
     let server = start_server(batch);
     let addr = server.addr();
 
@@ -227,7 +384,11 @@ fn concurrent_train_requests_coalesce_into_shared_versions() {
     // A generous linger so concurrent single-example trains land in one
     // coalesced partial_fit_batch — proved by the version advancing by
     // fewer steps than there were requests.
-    let batch = BatchConfig { max_batch: 64, max_linger: Duration::from_millis(5) };
+    let batch = BatchConfig {
+        max_batch: 64,
+        max_linger: Duration::from_millis(5),
+        ..BatchConfig::default()
+    };
     let server = start_server(batch);
     let addr = server.addr();
 

@@ -10,6 +10,11 @@ floor. Two suites share the schema `{suite?, dim, quick, cores, ops: {op ->
 * `serve` (BENCH_serve.json, written by `serve-loadgen`): coalesced serving
   throughput vs the batch-size-1 baseline, plus the mean executed batch
   size (reported as the `serve_coalescing` "speedup").
+* `serve_soak` (also BENCH_serve.json, written by `serve-soak`): the
+  overload soak's p99 headroom — "speedup" is p99-ceiling / measured-p99,
+  so > 1.0 means the latency ceiling held under fault injection. When the
+  soak merges its row into an existing loadgen report the suite stays
+  `serve` and `serve_soak` rides along as an extra op.
 
 Reports without a `suite` field are treated as `kernels` for back-compat.
 
@@ -40,8 +45,14 @@ MIN_DELTA = 0.7
 
 DELTA_OPS = {"pack_words", "serve_predict", "serve_predict_binary", "serve_train"}
 
-# Ops whose acceptance bar is stricter than the generic MIN_SPEEDUP.
-FLOOR_OVERRIDES = {"train_partial_fit": 50.0, "train_partial_fit_binary": 50.0}
+# Ops whose acceptance bar differs from the generic MIN_SPEEDUP.
+# serve_soak's "speedup" is p99-ceiling headroom: > 1.0 means the soak's
+# latency ceiling held, so the floor is exactly break-even.
+FLOOR_OVERRIDES = {
+    "train_partial_fit": 50.0,
+    "train_partial_fit_binary": 50.0,
+    "serve_soak": 1.0,
+}
 
 REQUIRED_OPS = {
     "kernels": {
@@ -53,6 +64,7 @@ REQUIRED_OPS = {
         "train_partial_fit_binary",
     },
     "serve": {"serve_predict", "serve_predict_binary", "serve_train", "serve_coalescing"},
+    "serve_soak": {"serve_soak"},
 }
 
 
