@@ -57,7 +57,9 @@ fn load_dataset(images: &str, labels: Option<&str>) -> Result<Dataset, Box<dyn E
 /// `--serve-url HOST:PORT`, **online training of a live server**: the
 /// labeled examples stream to `POST /v1/train` in chunks (riding the
 /// server's request coalescer into `partial_fit_batch`), and the command
-/// reports the model version before and after.
+/// reports the model version before and after. If the target turns out
+/// to be a replication follower (writes answered 409), the stream
+/// follows the leader address in the response body — one hop, no loops.
 pub fn train(args: Args) -> CliResult {
     let images = args.required("images")?.to_owned();
     let labels = args.required("labels")?.to_owned();
@@ -162,20 +164,32 @@ fn post_with_retry(
     unreachable!("loop returns on the final attempt")
 }
 
+/// Resolves an `http://HOST:PORT` / `HOST:PORT` string to a socket
+/// address. `ToSocketAddrs` resolves hostnames too (`localhost:8080`),
+/// not just literal IP:PORT.
+fn resolve_host_port(url: &str) -> Result<std::net::SocketAddr, Box<dyn Error>> {
+    use std::net::ToSocketAddrs;
+    let host_port = url.strip_prefix("http://").unwrap_or(url).trim_end_matches('/');
+    host_port
+        .to_socket_addrs()
+        .map_err(|e| format!("'{url}' is not HOST:PORT: {e}"))?
+        .next()
+        .ok_or_else(|| format!("'{url}' resolved to no address").into())
+}
+
 /// Streams a labeled dataset to a running server's `/v1/train` endpoint.
+///
+/// A 409 response means the target is a replication follower; the body
+/// carries the leader's address and the stream re-aims there. Exactly
+/// one hop is followed — a second 409 (misconfigured topology, or two
+/// followers pointing at each other) is a hard error, so redirect loops
+/// cannot happen.
 fn train_remote(url: &str, model: &str, chunk: usize, dataset: &Dataset) -> CliResult {
     use hdc_serve::{Client, Json};
 
-    use std::net::ToSocketAddrs;
-    let host_port = url.strip_prefix("http://").unwrap_or(url).trim_end_matches('/');
-    // ToSocketAddrs resolves hostnames too (`localhost:8080`), not just
-    // literal IP:PORT.
-    let addr = host_port
-        .to_socket_addrs()
-        .map_err(|e| format!("--serve-url '{url}' is not HOST:PORT: {e}"))?
-        .next()
-        .ok_or_else(|| format!("--serve-url '{url}' resolved to no address"))?;
+    let mut addr = resolve_host_port(url).map_err(|e| format!("--serve-url is invalid: {e}"))?;
     let mut client = Client::connect(addr)?;
+    let mut followed_leader = false;
 
     let version_of = |client: &mut Client, model: &str| -> Result<f64, Box<dyn Error>> {
         let response = client.get("/v1/models")?;
@@ -190,13 +204,29 @@ fn train_remote(url: &str, model: &str, chunk: usize, dataset: &Dataset) -> CliR
         Ok(entry.get("version").and_then(Json::as_f64).unwrap_or(0.0))
     };
 
-    let before = version_of(&mut client, model)?;
+    // Best-effort: a follower that has not bootstrapped this model yet
+    // does not list it, but can still redirect the writes; the train
+    // posts themselves are the authority on whether the name exists.
+    let before = version_of(&mut client, model).unwrap_or(0.0);
     let start = std::time::Instant::now();
     let mut sent = 0usize;
     let pairs: Vec<(&[u8], usize)> = dataset.pairs().collect();
     for batch in pairs.chunks(chunk.max(1)) {
         let body = Client::train_batch_body(model, batch);
-        let response = post_with_retry(&mut client, addr, "/v1/train", &body)?;
+        let mut response = post_with_retry(&mut client, addr, "/v1/train", &body)?;
+        if response.status == 409 && !followed_leader {
+            let leader = response
+                .json()
+                .ok()
+                .and_then(|doc| doc.get("leader").and_then(Json::as_str).map(str::to_owned))
+                .ok_or("server rejected writes (409) without naming a leader")?;
+            eprintln!("{addr} is a follower; re-aiming writes at its leader {leader}");
+            addr = resolve_host_port(&leader)
+                .map_err(|e| format!("follower named an unusable leader: {e}"))?;
+            client = Client::connect(addr)?;
+            followed_leader = true;
+            response = post_with_retry(&mut client, addr, "/v1/train", &body)?;
+        }
         if !response.is_success() {
             return Err(format!(
                 "/v1/train failed after {sent} examples: {} {}",
@@ -349,6 +379,13 @@ pub fn fuzz(args: Args) -> CliResult {
 /// paths get a 403. Requests coalesce into packed batch predicts; see the
 /// `hdc-serve` crate docs for the endpoint reference and `/metrics` for
 /// live batch/latency histograms.
+///
+/// `--follower-of HOST:PORT` turns the process into a **replication
+/// follower**: it bootstraps every model from the leader's `/v1/export`,
+/// tails `/v1/deltas` to stay current, answers writes with 409 (body
+/// names the leader), and reports `ready` in `/healthz` only once caught
+/// up. A follower needs no `--model`/`--models` — the model set is
+/// discovered from the leader.
 pub fn serve(args: Args) -> CliResult {
     use hdc_serve::{BatchConfig, Metrics, Registry, Server, ServerConfig};
     use std::sync::Arc;
@@ -376,8 +413,11 @@ pub fn serve(args: Args) -> CliResult {
             models.push((name.trim().to_owned(), path.trim().to_owned()));
         }
     }
-    if models.is_empty() {
-        return Err("serve needs --model FILE or --models name=file[,name=file...]".into());
+    let follower_of = args.get("follower-of").map(str::to_owned);
+    if models.is_empty() && follower_of.is_none() {
+        return Err("serve needs --model FILE or --models name=file[,name=file...] \
+                    (or --follower-of HOST:PORT to replicate a leader's models)"
+            .into());
     }
 
     let batch = BatchConfig {
@@ -405,6 +445,21 @@ pub fn serve(args: Args) -> CliResult {
         );
     }
 
+    // Start the replication tail *before* accepting connections, so the
+    // very first request already sees follower semantics (writes 409,
+    // /healthz not ready until caught up).
+    let _replica = match &follower_of {
+        Some(leader) => {
+            let replica = hdc_serve::Replica::start(Arc::clone(&registry), leader)?;
+            println!(
+                "following leader at {leader}: models bootstrap from its /v1/export, \
+                 writes here get 409, /healthz reports ready once caught up"
+            );
+            Some(replica)
+        }
+        None => None,
+    };
+
     let config = ServerConfig {
         addr,
         workers,
@@ -424,8 +479,9 @@ pub fn serve(args: Args) -> CliResult {
         queue_deadline_ms
     );
     println!(
-        "endpoints: GET /healthz | GET /v1/models | GET /metrics | POST /v1/predict | \
-         POST /v1/train | POST /v1/feedback | POST /v1/snapshot | POST /v1/reload"
+        "endpoints: GET /healthz | GET /healthz/live | GET /v1/models | GET /metrics | \
+         GET /v1/export | GET /v1/deltas | POST /v1/predict | POST /v1/train | \
+         POST /v1/feedback | POST /v1/snapshot | POST /v1/reload"
     );
     server.join();
     Ok(())

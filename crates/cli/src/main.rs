@@ -41,14 +41,18 @@ COMMANDS:
   defend     adversarial-retraining defense (fuzz, retrain, re-attack)
              --model F --images F --out F [--strategy S] [--seed N]
   serve      HTTP inference server with request coalescing, online learning
-             (/v1/train, /v1/feedback, /v1/snapshot) and live metrics;
-             dense and binarized models serve side by side (auto-detected)
+             (/v1/train, /v1/feedback, /v1/snapshot), a write-ahead delta
+             log for crash recovery, and live metrics; dense and binarized
+             models serve side by side (auto-detected)
              --model F | --models name=file[,name=file...]
              [--addr HOST:PORT] [--workers N] [--max-batch N] [--linger-us N]
              [--model-dir DIR: jail reload/snapshot paths, escapes get 403]
              [--max-queue N: bound the job queue, full sheds with 503]
              [--queue-deadline-ms N: queued too long gets 504, 0 disables]
              [--request-deadline-secs N: slow request reads get 408, 0 disables]
+             [--follower-of HOST:PORT: replicate that leader instead of
+              serving writes; models bootstrap from the leader, writes
+              get 409 naming it, /healthz turns ready once caught up]
 
 Every run is deterministic given its seeds.";
 
@@ -109,6 +113,7 @@ fn main() -> ExitCode {
                 "max-queue",
                 "queue-deadline-ms",
                 "request-deadline-secs",
+                "follower-of",
             ],
         )
         .map_err(Into::into)

@@ -352,6 +352,67 @@ impl<E: Encoder> BinaryClassifier<E> {
         self.finalized = true;
     }
 
+    /// Sign-preserving counter halving: every class whose bundle size has
+    /// reached `limit` is rewritten so the persisted `u32` per-component
+    /// set-bit counts can never saturate (`crate::io` rejects counts above
+    /// `u32::MAX` as corrupt), while the binarized references — and hence
+    /// every prediction and every feedback gate — stay **bit-identical**.
+    /// Returns whether any class was rescaled (the model is re-finalized
+    /// if so, to identical references).
+    ///
+    /// For a class with bundle size `n` and per-component set-bit counts
+    /// `cᵢ` (implied dense sum `sᵢ = 2cᵢ − n`), the rewrite is
+    ///
+    /// ```text
+    /// q    = ⌈n/4⌉            tᵢ = sign(sᵢ)·⌈|sᵢ|/4⌉
+    /// n'   = 2q               cᵢ' = q + tᵢ
+    /// ```
+    ///
+    /// so `sᵢ' = 2cᵢ' − n' = 2tᵢ`: the sign of every implied sum — and
+    /// whether it is exactly zero — is preserved, and `0 ≤ cᵢ' ≤ n'`
+    /// always holds. The majority threshold (`c > ⌊n/2⌋`) is a pure
+    /// function of `sign(s)` plus the parity tie rule for `s = 0`; `n'`
+    /// is always even so the tie path stays reachable exactly for the
+    /// components that were tied before. Therefore
+    /// [`finalize`](Self::finalize) produces the same packed reference
+    /// from the rescaled counters, which is pinned by a test below.
+    ///
+    /// The serving layer runs this check deterministically at every
+    /// publish *and* on WAL replay, so a recovered process makes the
+    /// same rescale decisions at the same versions as one that never
+    /// crashed.
+    pub fn rescale_counters(&mut self, limit: u64) -> bool {
+        let mut rescaled = false;
+        for (class, counter) in self.counters.iter_mut().enumerate() {
+            let n = counter.count() as u64;
+            if n == 0 || n < limit {
+                continue;
+            }
+            let quarter = n.div_ceil(4);
+            let counts = counter.set_counts();
+            let halved: Vec<u64> = counts
+                .iter()
+                .map(|&c| {
+                    let s = 2 * c as i64 - n as i64;
+                    let t = if s >= 0 {
+                        (s as u64).div_ceil(4) as i64
+                    } else {
+                        -((s.unsigned_abs()).div_ceil(4) as i64)
+                    };
+                    (quarter as i64 + t) as u64
+                })
+                .collect();
+            *counter = BitCounter::from_set_counts(self.dim, &halved, 2 * quarter as usize);
+            self.dirty[class] = true;
+            self.finalized = false;
+            rescaled = true;
+        }
+        if rescaled {
+            self.finalize();
+        }
+        rescaled
+    }
+
     /// The raw set-bit counter for `class` — mutated by training, retained
     /// after finalize (this is the state [`crate::io`] persists so a
     /// reloaded model keeps learning).
@@ -693,6 +754,81 @@ mod tests {
                     want,
                     "dim {dim} class {class}: packed finalize diverged from scalar oracle"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn rescale_halves_counters_but_predictions_are_bit_identical() {
+        // The overflow guard: rescaling must preserve every packed
+        // reference bit-for-bit (sign and tie structure of the implied
+        // sums survive the halving), across even and odd bundle sizes
+        // and tail dims that exercise word masking.
+        for dim in [63usize, 64, 65, 127, 2_000] {
+            let enc = PixelEncoder::new(PixelEncoderConfig {
+                dim,
+                width: 4,
+                height: 4,
+                levels: 8,
+                value_encoding: ValueEncoding::Random,
+                seed: 91,
+            })
+            .unwrap();
+            let pats = patterns();
+            let mut model = BinaryClassifier::new(enc, 3);
+            // Class 0: 4 examples (even count — ties possible); class 1:
+            // 3 (odd); class 2: 1 (also below any sane limit, untouched).
+            for (input, label) in [
+                (&pats[0], 0),
+                (&pats[1], 0),
+                (&pats[0], 0),
+                (&pats[2], 0),
+                (&pats[1], 1),
+                (&pats[2], 1),
+                (&pats[1], 1),
+                (&pats[2], 2),
+            ] {
+                model.train_one(&input[..], label).unwrap();
+            }
+            model.finalize();
+            let control = model.clone();
+            let before: Vec<_> = (0..3).map(|c| model.reference(c).unwrap().clone()).collect();
+            let counts_before: Vec<_> = (0..3).map(|c| model.counter(c).unwrap().count()).collect();
+
+            assert!(model.rescale_counters(2), "classes 0 and 1 are at/over the limit");
+            assert!(model.is_finalized(), "rescale must leave the model serving");
+            for (class, reference) in before.iter().enumerate() {
+                assert_eq!(
+                    model.reference(class).unwrap(),
+                    reference,
+                    "dim {dim} class {class}: rescale changed the reference"
+                );
+            }
+            // Bundle sizes actually shrank (n → 2⌈n/4⌉) where triggered.
+            assert_eq!(model.counter(0).unwrap().count(), 2 * counts_before[0].div_ceil(4));
+            assert_eq!(model.counter(1).unwrap().count(), 2 * counts_before[1].div_ceil(4));
+            assert_eq!(model.counter(2).unwrap().count(), counts_before[2], "below limit");
+            // No class at/over the (new, smaller) counts: idempotent now.
+            assert!(!model.rescale_counters(1 << 31));
+
+            // Predictions and the feedback mispredict-gate are
+            // bit-identical to the unrescaled control, mislabeled probes
+            // included. (Feedback runs on clones: once an update fires,
+            // future training legitimately weighs new examples more
+            // against the halved bundle — the guarantee is that the
+            // *decision surface at rescale time* is unchanged.)
+            for p in &pats {
+                assert_eq!(
+                    model.predict(&p[..]).unwrap(),
+                    control.predict(&p[..]).unwrap(),
+                    "dim {dim}: rescale changed a prediction"
+                );
+                let mut probe = model.clone();
+                let mut probe_control = control.clone();
+                let fb = probe.feedback(&p[..], 0).unwrap();
+                let fb_control = probe_control.feedback(&p[..], 0).unwrap();
+                assert_eq!(fb.updated, fb_control.updated, "dim {dim}: feedback gate diverged");
+                assert_eq!(fb.prediction.class, fb_control.prediction.class, "dim {dim}");
             }
         }
     }

@@ -428,6 +428,17 @@ impl AnyModel {
         }
     }
 
+    /// Mutable access to the binary variant — the hook the serving
+    /// layer's deterministic counter-rescale pass
+    /// ([`BinaryClassifier::rescale_counters`]) uses at publish and
+    /// replay time.
+    pub fn as_binary_mut(&mut self) -> Option<&mut BinaryClassifier<PixelEncoder>> {
+        match self {
+            AnyModel::Dense(_) => None,
+            AnyModel::Binary(m) => Some(m),
+        }
+    }
+
     /// Serializes the model in its kind's format (`HDC1` / `HDB1`); the
     /// counterpart of [`crate::io::load_any`]. The payload is the
     /// trainable counter state, so the reloaded model keeps learning.

@@ -79,9 +79,11 @@
 use crate::error::ServeError;
 use crate::metrics::Metrics;
 use crate::registry::SharedModel;
+use crate::wal::{self, DeltaOp, DeltaRecord, Wal};
 use hdc::{AnyModel, Model, Prediction};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
@@ -212,11 +214,32 @@ enum Job {
     },
     /// A hot-reload replacement model (boxed: it dwarfs the other
     /// variants). Executed in queue order by the single writer, which is
-    /// what serializes reloads against in-flight training.
+    /// what serializes reloads against in-flight training. Carries the
+    /// write-ahead-log disposition to the same barrier point, so the log
+    /// can never be reset or detached while an append is mid-flight.
     Swap {
         model: Box<AnyModel>,
+        wal: WalSwap,
         reply: Reply<u64>,
     },
+}
+
+/// What happens to a model's write-ahead log at a swap barrier. The
+/// worker — the only appender — applies this atomically with the model
+/// replacement, so appends and re-bases can never interleave.
+#[derive(Debug)]
+pub(crate) enum WalSwap {
+    /// Drop any attached log: an in-memory install made memory
+    /// authoritative, and recovery from disk is no longer meaningful.
+    Detach,
+    /// Operator reload: attach (or re-base) the log at `home`, reset on
+    /// a model file whose version trailer reads `file_version` — the
+    /// file is authoritative and any unsaved tail is discarded.
+    Reset { home: PathBuf, file_version: u64 },
+    /// A recovered first load that lost an install race: attach the
+    /// already-replayed log as-is, re-based by the worker if the live
+    /// lineage diverged from it.
+    Resume(Box<Wal>),
 }
 
 impl Job {
@@ -386,8 +409,16 @@ impl Batcher {
     ///
     /// Returns [`ServeError::Internal`] if the batcher is shutting down.
     pub fn swap(&self, model: impl Into<AnyModel>) -> Result<u64, ServeError> {
+        self.swap_with_wal(model.into(), WalSwap::Detach)
+    }
+
+    /// [`swap`](Self::swap) with an explicit write-ahead-log disposition,
+    /// applied by the worker at the same barrier as the model
+    /// replacement. The registry uses this to reset the log on reloads
+    /// and to attach a recovered log race-free.
+    pub(crate) fn swap_with_wal(&self, model: AnyModel, wal: WalSwap) -> Result<u64, ServeError> {
         let (reply, receive) = mpsc::channel();
-        self.enqueue(Job::Swap { model: Box::new(model.into()), reply }, &receive)
+        self.enqueue(Job::Swap { model: Box::new(model), wal, reply }, &receive)
     }
 }
 
@@ -484,10 +515,15 @@ fn execute(model: &SharedModel, metrics: &Metrics, batch: Vec<Job>) {
     for job in batch {
         match job {
             Job::Predict { input, reply } => predicts.push((input, reply)),
-            Job::Swap { model: replacement, reply } => {
+            Job::Swap { model: replacement, wal, reply } => {
                 flush(model, metrics, &mut predicts, &mut updates);
                 let version = model.replace(Arc::new(*replacement));
-                let _ = reply.send(Ok(version));
+                let result = model.apply_wal_swap(wal, version).map(|()| version).map_err(|e| {
+                    ServeError::Internal(format!(
+                        "model swapped but its write-ahead log did not follow: {e}"
+                    ))
+                });
+                let _ = reply.send(result);
             }
             other => updates.push(other),
         }
@@ -583,6 +619,10 @@ fn execute_updates(shared: &SharedModel, metrics: &Metrics, jobs: Vec<Job>) {
     let mut model = (*snapshot).clone();
     let mut applied_total = 0usize;
     let mut feedback_updates = 0usize;
+    // Exactly what gets applied, in application order: the delta record
+    // appended to the write-ahead log (and streamed to followers) before
+    // this batch's publish, so replaying it is bit-exact.
+    let mut ops: Vec<DeltaOp> = Vec::new();
 
     // Partition, preserving queue order within each kind.
     let mut trains = Vec::new();
@@ -619,6 +659,9 @@ fn execute_updates(shared: &SharedModel, metrics: &Metrics, jobs: Vec<Job>) {
                 applied_total += applied;
                 for (examples, reply) in trains {
                     train_results.push((reply, Ok(examples.len())));
+                    ops.extend(
+                        examples.into_iter().map(|(input, label)| DeltaOp::Train { input, label }),
+                    );
                 }
             }
             // One bad example failed the coalesced batch (atomically) or
@@ -639,6 +682,11 @@ fn execute_updates(shared: &SharedModel, metrics: &Metrics, jobs: Vec<Job>) {
                         Ok(Ok((trial, applied))) => {
                             model = trial;
                             applied_total += applied;
+                            ops.extend(
+                                examples
+                                    .into_iter()
+                                    .map(|(input, label)| DeltaOp::Train { input, label }),
+                            );
                             Ok(applied)
                         }
                         Ok(Err(e)) => Err(ServeError::from(e)),
@@ -668,6 +716,11 @@ fn execute_updates(shared: &SharedModel, metrics: &Metrics, jobs: Vec<Job>) {
                 model = trial;
                 if fb.updated {
                     feedback_updates += 1;
+                    // Only *applied* feedback is logged: replaying it
+                    // re-evaluates the mispredict gate against the same
+                    // intermediate state, which by induction decides the
+                    // same way.
+                    ops.push(DeltaOp::Feedback { input, label });
                 }
                 Ok(fb)
             }
@@ -681,11 +734,57 @@ fn execute_updates(shared: &SharedModel, metrics: &Metrics, jobs: Vec<Job>) {
     }
 
     // Publish once: any absorbed example or applied feedback bumps the
-    // version by exactly 1 for the whole coalesced update batch.
+    // version by exactly 1 for the whole coalesced update batch. Before
+    // the publish — and therefore before any acknowledgement — the batch
+    // is appended to the write-ahead log as one fsynced record, so a 200
+    // means the update is on stable storage. The deterministic counter
+    // rescale runs first: it is part of the published state, and replay
+    // reproduces it by running the same check after the record's ops.
     let changed = applied_total > 0 || feedback_updates > 0;
     let version = if changed {
+        wal::maybe_rescale(&mut model);
+        let record = DeltaRecord { version: shared.version() + 1, ops };
+        let mut slot = shared.wal_lock();
+        if let Some(log) = slot.as_mut() {
+            if let Err(e) = log.append(&record) {
+                drop(slot);
+                metrics.on_wal_append_error();
+                // Nothing publishes: acked ⟹ durable, so an update that
+                // could not be logged must fail instead of being served
+                // from memory only. Jobs that already failed keep their
+                // own (accurate) errors; feedback that applied no update
+                // contributed nothing to the record and reports normally.
+                let version = shared.version();
+                for (reply, result) in train_results {
+                    let _ = reply.send(result.and(Err(ServeError::Internal(format!(
+                        "update not applied: write-ahead log append failed: {e}"
+                    )))));
+                }
+                for (reply, result) in feedback_results {
+                    let _ = reply.send(match result {
+                        Ok(fb) if fb.updated => Err(ServeError::Internal(format!(
+                            "update not applied: write-ahead log append failed: {e}"
+                        ))),
+                        other => other.map(|fb| FeedbackOutcome {
+                            updated: fb.updated,
+                            prediction: fb.prediction,
+                            version,
+                        }),
+                    });
+                }
+                return;
+            }
+            metrics.on_wal_append();
+        }
+        drop(slot);
         metrics.on_train_batch(applied_total + feedback_updates);
-        shared.publish(Arc::new(model), (applied_total + feedback_updates) as u64)
+        let version = shared.publish(Arc::new(model), (applied_total + feedback_updates) as u64);
+        debug_assert_eq!(version, record.version, "single writer: no publish can interleave");
+        // The ring serves followers; records enter it only after their
+        // version is live, so a follower can never apply a version its
+        // leader has not published.
+        shared.deltas().push(Arc::new(record));
+        version
     } else {
         shared.version()
     };

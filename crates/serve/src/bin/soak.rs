@@ -1,22 +1,36 @@
 //! `serve-soak` — sustained load plus fault injection against the
 //! in-process inference server: slow-loris and truncated/oversized
 //! bodies, corrupt-then-valid reload flapping, injected model panics,
-//! and deterministic shed/expiry probes.
+//! deterministic shed/expiry/readiness probes, and — via `--child-serve`
+//! children of this same binary — kill -9/restart durability cycles and
+//! a leader-SIGKILL follower-promotion probe.
 //!
 //! ```text
 //! serve-soak [--quick true] [--duration-secs N] [--clients N]
 //!            [--train-clients N] [--dim N] [--p99-ceiling-ms N]
-//!            [--rss-ceiling-mb N] [--probes N]
+//!            [--rss-ceiling-mb N] [--probes N] [--topology BOOL]
 //! ```
+//!
+//! `--topology false` skips the process-level injectors (they are on by
+//! default: the harness passes its own executable as the child).
+//!
+//! The hidden `--child-serve` mode (used only by the harness) starts a
+//! plain server on an ephemeral port — `--model PATH` for a WAL-attached
+//! leader, `--follower-of HOST:PORT` for a replication follower — and
+//! prints `LISTENING <addr>` once bound.
 //!
 //! Merges a `serve_soak` row into `BENCH_serve.json` (path overridable
 //! via the `BENCH_SERVE_JSON` env var; an existing loadgen report keeps
 //! its other ops). Exits non-zero when any overload-hardening gate fails:
 //! unaccounted errors, a missing injector cycle, a lost model, a
-//! non-monotonic lineage, or a breached p99/RSS ceiling.
+//! non-monotonic lineage, a non-bit-exact crash recovery, or a breached
+//! p99/RSS ceiling.
 
 use hdc_serve::soak::{run, SoakConfig};
+use hdc_serve::{BatchConfig, Metrics, Registry, Replica, Server, ServerConfig};
+use std::io::Write as _;
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 
 fn flag<T: std::str::FromStr>(args: &[String], name: &str) -> Option<T> {
@@ -31,8 +45,48 @@ fn flag<T: std::str::FromStr>(args: &[String], name: &str) -> Option<T> {
     }
 }
 
+/// The hidden child mode the topology injectors spawn: a real server on
+/// an ephemeral port, announced with one `LISTENING <addr>` line. With
+/// `--model PATH` the model is file-backed (WAL attached — acked updates
+/// survive SIGKILL); with `--follower-of HOST:PORT` the process is a
+/// replication follower and needs no model of its own.
+fn child_serve(args: &[String]) -> ExitCode {
+    let registry = Arc::new(Registry::new(Arc::new(Metrics::new()), BatchConfig::default()));
+    if let Some(path) = flag::<String>(args, "--model") {
+        if let Err(e) = registry.load("default", std::path::Path::new(&path)) {
+            eprintln!("child-serve: cannot load {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let _replica = match flag::<String>(args, "--follower-of") {
+        Some(leader) => match Replica::start(Arc::clone(&registry), &leader) {
+            Ok(replica) => Some(replica),
+            Err(e) => {
+                eprintln!("child-serve: cannot follow {leader}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+    let config = ServerConfig { workers: 4, ..ServerConfig::default() };
+    let mut server = match Server::start(registry, &config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("child-serve: cannot start server: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("LISTENING {}", server.addr());
+    let _ = std::io::stdout().flush();
+    server.join();
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--child-serve") {
+        return child_serve(&args);
+    }
     let quick = flag::<bool>(&args, "--quick")
         .unwrap_or_else(|| std::env::var("BENCH_QUICK").is_ok_and(|v| v == "1"));
     let mut config = if quick { SoakConfig::quick() } else { SoakConfig::default() };
@@ -57,6 +111,15 @@ fn main() -> ExitCode {
     if let Some(probes) = flag::<usize>(&args, "--probes") {
         config.probes = probes;
     }
+    if flag::<bool>(&args, "--topology").unwrap_or(true) {
+        match std::env::current_exe() {
+            Ok(exe) => config.exe = Some(exe),
+            Err(e) => {
+                eprintln!("cannot locate own executable for the topology injectors: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
 
     println!(
         "soak: {}s, {} predict + {} train clients, D = {}, {}x{} inputs, quick = {quick}",
@@ -80,6 +143,10 @@ fn main() -> ExitCode {
     println!(
         "reloads:   {} corrupt rejected, {} valid accepted; final version {}",
         report.reload_rejects, report.reload_accepts, report.final_version
+    );
+    println!(
+        "topology:  {} kill -9 recovery cycle(s), {} follower promotion(s)",
+        report.crash_cycles, report.promotions
     );
     println!(
         "metrics:   shed={} expired={} panics={} respawns={} ({} requests total)",

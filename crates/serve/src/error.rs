@@ -19,6 +19,13 @@ pub enum ServeError {
     NotFound(String),
     /// 405: known route, wrong method. Carries the `Allow` header value.
     MethodNotAllowed(&'static str),
+    /// 409: this server is a read-only follower; writes must go to the
+    /// leader whose address is carried in the body's `leader` field (the
+    /// CLI follows it for one hop).
+    NotLeader {
+        /// The leader's `host:port`, as configured via `--follower-of`.
+        leader: String,
+    },
     /// 413: body larger than the configured limit.
     PayloadTooLarge(String),
     /// 500: a server-side invariant failed.
@@ -43,6 +50,7 @@ impl ServeError {
             ServeError::Forbidden(_) => 403,
             ServeError::NotFound(_) => 404,
             ServeError::MethodNotAllowed(_) => 405,
+            ServeError::NotLeader { .. } => 409,
             ServeError::PayloadTooLarge(_) => 413,
             ServeError::Internal(_) | ServeError::Panicked(_) => 500,
             ServeError::Overloaded(_) => 503,
@@ -62,15 +70,24 @@ impl ServeError {
             | ServeError::Overloaded(m)
             | ServeError::DeadlineExpired(m) => m.clone(),
             ServeError::MethodNotAllowed(allow) => format!("method not allowed; allow: {allow}"),
+            ServeError::NotLeader { leader } => {
+                format!("this server is a follower; send writes to the leader at {leader}")
+            }
         }
     }
 
-    /// The JSON error body every non-2xx response carries.
+    /// The JSON error body every non-2xx response carries. A 409
+    /// follower-rejection additionally carries the leader's address in a
+    /// machine-readable `leader` field so clients can re-aim the write.
     pub fn body(&self) -> Json {
-        Json::obj([
+        let mut fields = vec![
             ("error", Json::from(self.message())),
             ("status", Json::from(u64::from(self.status()))),
-        ])
+        ];
+        if let ServeError::NotLeader { leader } = self {
+            fields.push(("leader", Json::from(leader.clone())));
+        }
+        Json::obj(fields)
     }
 }
 
@@ -106,6 +123,7 @@ mod tests {
         assert_eq!(ServeError::Forbidden("x".into()).status(), 403);
         assert_eq!(ServeError::NotFound("x".into()).status(), 404);
         assert_eq!(ServeError::MethodNotAllowed("GET").status(), 405);
+        assert_eq!(ServeError::NotLeader { leader: "h:1".into() }.status(), 409);
         assert_eq!(ServeError::PayloadTooLarge("x".into()).status(), 413);
         assert_eq!(ServeError::Internal("x".into()).status(), 500);
         assert_eq!(ServeError::Panicked("x".into()).status(), 500);
@@ -126,5 +144,14 @@ mod tests {
         let body = ServeError::NotFound("no model 'x'".into()).body().render();
         assert!(body.contains("\"error\""), "{body}");
         assert!(body.contains("404"), "{body}");
+    }
+
+    #[test]
+    fn not_leader_body_carries_the_leader_address() {
+        let body = ServeError::NotLeader { leader: "10.0.0.7:8080".into() }.body();
+        assert_eq!(body.get("leader").and_then(|l| l.as_str()), Some("10.0.0.7:8080"));
+        assert!(body.render().contains("409"), "{}", body.render());
+        // Other errors do not grow the field.
+        assert!(ServeError::NotFound("x".into()).body().get("leader").is_none());
     }
 }

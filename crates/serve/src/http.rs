@@ -261,6 +261,7 @@ pub fn reason(status: u16) -> &'static str {
         404 => "Not Found",
         405 => "Method Not Allowed",
         408 => "Request Timeout",
+        409 => "Conflict",
         413 => "Payload Too Large",
         431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
@@ -269,6 +270,38 @@ pub fn reason(status: u16) -> &'static str {
         505 => "HTTP Version Not Supported",
         _ => "Unknown",
     }
+}
+
+/// Writes one response with an arbitrary body and content type and
+/// flushes — the general form behind [`write_response`], used directly
+/// by routes whose bodies are not JSON text (`GET /v1/export` streams
+/// raw model bytes) or whose headers are computed per request.
+///
+/// # Errors
+///
+/// Propagates transport errors.
+pub fn write_response_bytes<W: Write>(
+    writer: &mut W,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(String, String)],
+    body: &[u8],
+    keep_alive: bool,
+) -> io::Result<()> {
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    write!(
+        writer,
+        "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\ncontent-length: \
+         {}\r\nconnection: {connection}\r\n",
+        reason(status),
+        body.len(),
+    )?;
+    for (name, value) in extra_headers {
+        write!(writer, "{name}: {value}\r\n")?;
+    }
+    writer.write_all(b"\r\n")?;
+    writer.write_all(body)?;
+    writer.flush()
 }
 
 /// Writes one response with a JSON body and flushes.

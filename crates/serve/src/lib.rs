@@ -29,6 +29,18 @@
 //!   the trainable counters atomically (temp file + rename); an
 //!   optional **model-dir jail** 403s any reload/snapshot path that
 //!   escapes it.
+//! * [`wal`] — the **write-ahead delta log**: every coalesced update
+//!   batch is appended as one checksummed, version-stamped, fsynced
+//!   record to the model's sidecar `<file>.wal` *before* the new model
+//!   publishes (acked ⇒ durable). Startup recovery = load the snapshot,
+//!   replay the log tail — bit-exact against a process that never
+//!   crashed; `/v1/snapshot` compacts the log at the persisted version.
+//! * [`replica`] — **leader→follower replication**: a follower
+//!   (`serve --follower-of HOST:PORT`) bootstraps from `GET /v1/export`
+//!   and tails `GET /v1/deltas`, applying records with the same
+//!   deterministic replay as crash recovery; it serves reads, answers
+//!   writes 409 with the leader's address, and reports readiness only
+//!   once caught up.
 //! * [`metrics`] — lock-free request counters, a batch-size histogram
 //!   (the observable proof that coalescing happens), online-training
 //!   counters, p50/p99 latency from fixed power-of-two buckets, and the
@@ -39,7 +51,9 @@
 //!   `BENCH_serve.json` for CI.
 //! * [`soak`] — the soak/fault-injection harness (`serve-soak` binary):
 //!   sustained closed-loop load with injected slow-loris, truncated-body,
-//!   oversized-body, corrupt-reload and panic faults, gated on p99 /
+//!   oversized-body, corrupt-reload and panic faults, plus process-level
+//!   topology injectors (kill -9 crash/recovery cycles vs an uncrashed
+//!   control, follower promotion after the leader dies), gated on p99 /
 //!   error-accounting / RSS ceilings.
 //!
 //! ## Overload behavior
@@ -131,8 +145,10 @@ pub mod json;
 pub mod loadgen;
 pub mod metrics;
 pub mod registry;
+pub mod replica;
 pub mod server;
 pub mod soak;
+pub mod wal;
 
 pub use batcher::{BatchConfig, Batcher, FeedbackOutcome, TrainOutcome};
 pub use client::{Client, Response};
@@ -140,4 +156,6 @@ pub use error::ServeError;
 pub use json::Json;
 pub use metrics::Metrics;
 pub use registry::{ModelEntry, ModelInfo, Registry, SharedModel};
+pub use replica::{Replica, ReplicaState};
 pub use server::{Server, ServerConfig};
+pub use wal::{DeltaOp, DeltaRecord, Wal};

@@ -83,6 +83,15 @@ pub struct LoadgenReport {
     pub coalesced_train_rps: f64,
     /// `/v1/train` requests/second with the batch-size-1 baseline.
     pub single_train_rps: f64,
+    /// `/v1/train` requests/second on a **file-backed** model (every
+    /// published batch fsyncs a WAL append before acking), coalesced.
+    pub coalesced_wal_train_rps: f64,
+    /// File-backed train requests/second, batch-size-1 baseline (one
+    /// fsynced append per example — the cost coalescing amortizes).
+    pub single_wal_train_rps: f64,
+    /// Fsynced WAL appends on the coalesced WAL side (proof the durable
+    /// path ran and that appends were amortized across examples).
+    pub wal_appends: u64,
     /// Mean executed batch size in the coalescing run.
     pub coalesced_mean_batch: f64,
     /// Final model version on the coalesced side — the number of
@@ -111,6 +120,11 @@ impl LoadgenReport {
         self.coalesced_binary_rps / self.single_binary_rps
     }
 
+    /// Coalesced over single throughput for the WAL-attached train side.
+    pub fn wal_speedup(&self) -> f64 {
+        self.coalesced_wal_train_rps / self.single_wal_train_rps
+    }
+
     /// Renders the `BENCH_serve.json` document. `scalar_ns` is ns/request
     /// for batch-size-1, `packed_ns` ns/request coalesced, matching the
     /// schema of `BENCH_kernels.json` so `scripts/check_bench_json.py`
@@ -136,6 +150,10 @@ impl LoadgenReport {
              \"serve_train\": {{\"scalar_ns\": {:.1}, \"packed_ns\": {:.1}, \"speedup\": {:.2}, \
              \"note\": \"online /v1/train, {} clients, single={:.0} rps vs coalesced={:.0} rps, \
              {} examples absorbed in {} published batches\"}},\n    \
+             \"serve_wal_append\": {{\"scalar_ns\": {:.1}, \"packed_ns\": {:.1}, \"speedup\": \
+             {:.2}, \"note\": \"file-backed /v1/train with an fsynced WAL append per published \
+             batch, {} clients, single={:.0} rps vs coalesced={:.0} rps, {} examples absorbed \
+             in {} fsynced appends\"}},\n    \
              \"serve_coalescing\": {{\"scalar_ns\": 1.0, \"packed_ns\": {:.4}, \"speedup\": \
              {:.2}, \"note\": \"mean executed batch size under concurrent load (1.0 = no \
              coalescing)\"}}\n  }}\n}}\n",
@@ -163,6 +181,14 @@ impl LoadgenReport {
             self.coalesced_train_rps,
             self.train_requests,
             self.coalesced_final_version,
+            1e9 / self.single_wal_train_rps,
+            1e9 / self.coalesced_wal_train_rps,
+            self.wal_speedup(),
+            self.config.clients,
+            self.single_wal_train_rps,
+            self.coalesced_wal_train_rps,
+            self.train_requests,
+            self.wal_appends,
             1.0 / self.coalesced_mean_batch.max(1e-9),
             self.coalesced_mean_batch,
         )
@@ -332,6 +358,64 @@ fn run_side(
     SideReport { rps, train_rps, mean_batch, p99_us, final_version }
 }
 
+/// Runs one **WAL-attached** train side: the model is served *from a
+/// file* via [`Registry::load`], so every published batch pays an fsynced
+/// append to the sidecar `.wal` before it is acked (the durable
+/// online-learning path). With batch-size-1 that is one fsync per
+/// example; coalescing amortizes the same durability over the whole
+/// batch — the ratio is the `serve_wal_append` bench row. Returns train
+/// requests/second and the number of fsynced appends.
+fn run_wal_side(
+    config: &LoadgenConfig,
+    batch: BatchConfig,
+    model_path: &std::path::Path,
+    per_client: usize,
+) -> (f64, u64) {
+    let metrics = Arc::new(Metrics::new());
+    let registry = Arc::new(Registry::new(Arc::clone(&metrics), batch));
+    registry.load("default", model_path).expect("load WAL-side loadgen model");
+    let server_config = ServerConfig { workers: config.clients + 2, ..ServerConfig::default() };
+    let mut server =
+        Server::start(Arc::clone(&registry), &server_config).expect("start WAL loadgen server");
+    let addr = server.addr();
+
+    let edge = config.edge;
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for client_id in 0..config.clients {
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect WAL train client");
+                let mut img = vec![0u8; edge * edge];
+                for i in 0..per_client {
+                    let label = bar_image(&mut img, edge, client_id + i);
+                    let body = Client::train_body("default", &img, label);
+                    let response = client.post("/v1/train", &body).expect("WAL train request");
+                    assert!(
+                        response.is_success(),
+                        "WAL train failed: {} {}",
+                        response.status,
+                        String::from_utf8_lossy(&response.body)
+                    );
+                }
+            });
+        }
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+    server.shutdown();
+    let appends = metrics.wal_appends_total();
+    assert!(appends > 0, "the WAL side must have fsynced at least one append");
+    ((config.clients * per_client) as f64 / elapsed, appends)
+}
+
+/// A scratch directory for the WAL sides' model files (and their `.wal`
+/// sidecars); unique per process so concurrent CI jobs cannot collide.
+fn wal_scratch_dir() -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("hdc-loadgen-wal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create loadgen scratch dir");
+    dir
+}
+
 impl LoadgenConfig {
     /// Train requests per client: a fraction of the predict load (training
     /// is the rarer operation, and each request clones counters server-side).
@@ -384,6 +468,27 @@ pub fn run(config: &LoadgenConfig) -> LoadgenReport {
         false,
     );
 
+    // WAL sides: the same closed-loop train traffic, but file-backed so
+    // every acked batch is durable (fsynced append) before it publishes.
+    // Each side gets its own model file — the `.wal` sidecar is keyed to
+    // the file path.
+    let wal_dir = wal_scratch_dir();
+    let wal_per_client = config.train_requests_per_client();
+    let wal_model: hdc::AnyModel = synthetic_model(config.dim, config.edge).into();
+    for name in ["single.hdc", "coalesced.hdc"] {
+        let file = std::fs::File::create(wal_dir.join(name)).expect("create WAL-side model file");
+        wal_model.save(std::io::BufWriter::new(file)).expect("save WAL-side model");
+    }
+    let (single_wal_train_rps, _) = run_wal_side(
+        config,
+        BatchConfig::batch_size_1(),
+        &wal_dir.join("single.hdc"),
+        wal_per_client,
+    );
+    let (coalesced_wal_train_rps, wal_appends) =
+        run_wal_side(config, config.coalesce, &wal_dir.join("coalesced.hdc"), wal_per_client);
+    let _ = std::fs::remove_dir_all(&wal_dir);
+
     LoadgenReport {
         coalesced_rps: coalesced.rps,
         single_rps: single.rps,
@@ -391,6 +496,9 @@ pub fn run(config: &LoadgenConfig) -> LoadgenReport {
         single_binary_rps: single_binary.rps,
         coalesced_train_rps: coalesced.train_rps.expect("dense side ran the train phase"),
         single_train_rps: single.train_rps.expect("dense side ran the train phase"),
+        coalesced_wal_train_rps,
+        single_wal_train_rps,
+        wal_appends,
         coalesced_mean_batch: coalesced.mean_batch,
         coalesced_final_version: coalesced.final_version,
         coalesced_p99_us: coalesced.p99_us,
@@ -423,6 +531,8 @@ mod tests {
         assert!(report.single_rps > 0.0 && report.coalesced_rps > 0.0);
         assert!(report.single_binary_rps > 0.0 && report.coalesced_binary_rps > 0.0);
         assert!(report.single_train_rps > 0.0 && report.coalesced_train_rps > 0.0);
+        assert!(report.single_wal_train_rps > 0.0 && report.coalesced_wal_train_rps > 0.0);
+        assert!(report.wal_appends > 0, "the WAL side must have appended");
         assert!(report.coalesced_final_version > 0, "training must bump the version");
         assert!(
             report.coalesced_mean_batch > 1.0,
@@ -434,6 +544,7 @@ mod tests {
         assert!(json.contains("serve_predict"), "{json}");
         assert!(json.contains("serve_predict_binary"), "{json}");
         assert!(json.contains("serve_train"), "{json}");
+        assert!(json.contains("serve_wal_append"), "{json}");
         assert!(json.contains("serve_coalescing"), "{json}");
     }
 

@@ -66,6 +66,18 @@ pub struct Metrics {
     /// Queue depth observed by each successful enqueue (jobs already
     /// waiting), in power-of-two buckets.
     queue_depth_hist: [AtomicU64; QUEUE_DEPTH_BUCKETS],
+    /// Durability: delta records fsynced to a write-ahead log before
+    /// publish, appends that failed (the batch was refused), and records
+    /// replayed from log tails during crash recovery.
+    wal_appends_total: AtomicU64,
+    wal_append_errors_total: AtomicU64,
+    wal_records_replayed: AtomicU64,
+    /// Replication (follower side): delta records applied from the
+    /// leader, full re-bootstraps (snapshot transfer), and poll errors
+    /// against the leader's `/v1/deltas`.
+    replica_records_applied_total: AtomicU64,
+    replica_resets_total: AtomicU64,
+    replica_poll_errors_total: AtomicU64,
 }
 
 impl Default for Metrics {
@@ -102,6 +114,12 @@ impl Metrics {
             worker_panics_total: AtomicU64::new(0),
             worker_respawns_total: AtomicU64::new(0),
             queue_depth_hist: std::array::from_fn(|_| AtomicU64::new(0)),
+            wal_appends_total: AtomicU64::new(0),
+            wal_append_errors_total: AtomicU64::new(0),
+            wal_records_replayed: AtomicU64::new(0),
+            replica_records_applied_total: AtomicU64::new(0),
+            replica_resets_total: AtomicU64::new(0),
+            replica_poll_errors_total: AtomicU64::new(0),
         }
     }
 
@@ -193,6 +211,58 @@ impl Metrics {
         // Bucket 0 holds depth 0; bucket i holds depth < 2^i.
         let bucket = (usize::BITS - depth.leading_zeros()) as usize;
         self.queue_depth_hist[bucket.min(QUEUE_DEPTH_BUCKETS - 1)].fetch_add(1, Relaxed);
+    }
+
+    /// Counts one delta record fsynced to a write-ahead log.
+    pub fn on_wal_append(&self) {
+        self.wal_appends_total.fetch_add(1, Relaxed);
+    }
+
+    /// Counts one refused update batch: the write-ahead log append
+    /// failed, so the new model version was never published.
+    pub fn on_wal_append_error(&self) {
+        self.wal_append_errors_total.fetch_add(1, Relaxed);
+    }
+
+    /// Counts `records` replayed from a write-ahead log tail while
+    /// recovering a model at load time.
+    pub fn on_wal_replay(&self, records: u64) {
+        self.wal_records_replayed.fetch_add(records, Relaxed);
+    }
+
+    /// Counts `records` delta records applied from the leader's feed.
+    pub fn on_replica_applied(&self, records: u64) {
+        self.replica_records_applied_total.fetch_add(records, Relaxed);
+    }
+
+    /// Counts one full follower re-bootstrap (snapshot transfer).
+    pub fn on_replica_reset(&self) {
+        self.replica_resets_total.fetch_add(1, Relaxed);
+    }
+
+    /// Counts one failed poll against the leader.
+    pub fn on_replica_poll_error(&self) {
+        self.replica_poll_errors_total.fetch_add(1, Relaxed);
+    }
+
+    /// Delta records fsynced to write-ahead logs so far.
+    pub fn wal_appends_total(&self) -> u64 {
+        self.wal_appends_total.load(Relaxed)
+    }
+
+    /// Update batches refused because the log append failed.
+    pub fn wal_append_errors_total(&self) -> u64 {
+        self.wal_append_errors_total.load(Relaxed)
+    }
+
+    /// Records replayed from log tails during crash recovery.
+    pub fn wal_records_replayed(&self) -> u64 {
+        self.wal_records_replayed.load(Relaxed)
+    }
+
+    /// Delta records this follower applied from its leader.
+    pub fn replica_records_applied_total(&self) -> u64 {
+        self.replica_records_applied_total.load(Relaxed)
     }
 
     /// Requests shed so far (503).
@@ -379,6 +449,28 @@ impl Metrics {
                 ]),
             ),
             (
+                "durability",
+                Json::obj([
+                    ("wal_appends_total", Json::from(self.wal_appends_total.load(Relaxed))),
+                    (
+                        "wal_append_errors_total",
+                        Json::from(self.wal_append_errors_total.load(Relaxed)),
+                    ),
+                    ("wal_records_replayed", Json::from(self.wal_records_replayed.load(Relaxed))),
+                ]),
+            ),
+            (
+                "replication",
+                Json::obj([
+                    (
+                        "records_applied_total",
+                        Json::from(self.replica_records_applied_total.load(Relaxed)),
+                    ),
+                    ("resets_total", Json::from(self.replica_resets_total.load(Relaxed))),
+                    ("poll_errors_total", Json::from(self.replica_poll_errors_total.load(Relaxed))),
+                ]),
+            ),
+            (
                 "latency_us",
                 Json::obj([
                     ("count", Json::from(latency_count)),
@@ -500,6 +592,30 @@ mod tests {
         assert_eq!(hist[0].get("lt_depth").unwrap().as_f64(), Some(1.0));
         assert_eq!(hist[1].get("lt_depth").unwrap().as_f64(), Some(2.0));
         assert_eq!(hist[2].get("lt_depth").unwrap().as_f64(), Some(4.0));
+    }
+
+    #[test]
+    fn durability_and_replication_counters_render() {
+        let m = Metrics::new();
+        m.on_wal_append();
+        m.on_wal_append();
+        m.on_wal_append_error();
+        m.on_wal_replay(7);
+        m.on_replica_applied(3);
+        m.on_replica_reset();
+        m.on_replica_poll_error();
+        assert_eq!(m.wal_appends_total(), 2);
+        assert_eq!(m.wal_append_errors_total(), 1);
+        assert_eq!(m.wal_records_replayed(), 7);
+        assert_eq!(m.replica_records_applied_total(), 3);
+        let snap = m.render();
+        let durability = snap.get("durability").expect("durability section");
+        assert_eq!(durability.get("wal_appends_total").unwrap().as_f64(), Some(2.0));
+        assert_eq!(durability.get("wal_records_replayed").unwrap().as_f64(), Some(7.0));
+        let replication = snap.get("replication").expect("replication section");
+        assert_eq!(replication.get("records_applied_total").unwrap().as_f64(), Some(3.0));
+        assert_eq!(replication.get("resets_total").unwrap().as_f64(), Some(1.0));
+        assert_eq!(replication.get("poll_errors_total").unwrap().as_f64(), Some(1.0));
     }
 
     #[test]

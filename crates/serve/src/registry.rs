@@ -69,10 +69,12 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
-use crate::batcher::{BatchConfig, Batcher};
+use crate::batcher::{BatchConfig, Batcher, WalSwap};
 use crate::error::ServeError;
 use crate::json::Json;
 use crate::metrics::Metrics;
+use crate::replica::ReplicaState;
+use crate::wal::{self, DeltaRing, Wal};
 use hdc::io::load_any;
 use hdc::{AnyModel, Model, ModelKind};
 use std::collections::BTreeMap;
@@ -80,7 +82,7 @@ use std::fs::File;
 use std::io::BufReader;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 
 /// Static facts about one registered model, for `/v1/models`.
 #[derive(Debug, Clone)]
@@ -149,6 +151,14 @@ pub struct SharedModel {
     /// by a reload (which makes memory equal the file again). Drives the
     /// drain-time flush.
     dirty: std::sync::atomic::AtomicBool,
+    /// The write-ahead delta log, when this model has a disk home. The
+    /// batcher worker appends under this mutex before every publish;
+    /// snapshot-driven compaction takes the same mutex, so a compaction
+    /// can never race an append into dropping a record.
+    wal: Mutex<Option<Wal>>,
+    /// The in-memory tail of published delta records, serving follower
+    /// replicas via `GET /v1/deltas`.
+    deltas: DeltaRing,
 }
 
 impl SharedModel {
@@ -158,6 +168,8 @@ impl SharedModel {
             version: AtomicU64::new(0),
             trained_examples: AtomicU64::new(0),
             dirty: std::sync::atomic::AtomicBool::new(false),
+            wal: Mutex::new(None),
+            deltas: DeltaRing::new(0),
         }
     }
 
@@ -172,6 +184,19 @@ impl SharedModel {
     /// much training happens after.
     pub fn snapshot(&self) -> Arc<AnyModel> {
         Arc::clone(&self.current.read().expect("model lock"))
+    }
+
+    /// The current model together with its version and absorbed-example
+    /// count, read under one lock — the consistent triple a durable
+    /// snapshot's version trailer needs (a publish can never interleave
+    /// between the model read and the version read).
+    pub fn model_and_version(&self) -> (Arc<AnyModel>, u64, u64) {
+        let current = self.current.read().expect("model lock");
+        let model = Arc::clone(&current);
+        let version = self.version.load(Ordering::Acquire);
+        let examples = self.trained_examples.load(Ordering::Relaxed);
+        drop(current);
+        (model, version, examples)
     }
 
     /// The model's training version: 0 at first load, +1 per published
@@ -198,12 +223,83 @@ impl SharedModel {
 
     /// Swaps in a newly trained model and bumps the version. Called only
     /// by the entry's batcher worker (the single writer); returns the new
-    /// version.
+    /// version. The bump happens *inside* the write lock, so any reader
+    /// of [`model_and_version`](Self::model_and_version) sees the model
+    /// and its version move together.
     pub(crate) fn publish(&self, model: Arc<AnyModel>, examples: u64) -> u64 {
-        *self.current.write().expect("model lock") = model;
+        let mut current = self.current.write().expect("model lock");
+        *current = model;
         self.trained_examples.fetch_add(examples, Ordering::Relaxed);
         self.dirty.store(true, Ordering::Release);
-        self.version.fetch_add(1, Ordering::AcqRel) + 1
+        let version = self.version.fetch_add(1, Ordering::AcqRel) + 1;
+        drop(current);
+        version
+    }
+
+    /// Publishes a replicated model state at the leader's exact version
+    /// (a follower applies delta records, it never numbers its own).
+    /// Called only by the replica applier thread, the single writer of a
+    /// follower's models. The follower is not marked dirty: its state is
+    /// a copy of durable leader state, not unsaved local progress.
+    pub(crate) fn publish_with_version(&self, model: Arc<AnyModel>, examples: u64, version: u64) {
+        let mut current = self.current.write().expect("model lock");
+        *current = model;
+        self.trained_examples.fetch_add(examples, Ordering::Relaxed);
+        self.version.store(version, Ordering::Release);
+        drop(current);
+    }
+
+    /// Seeds the lineage counters after recovery or a replica bootstrap
+    /// (before traffic, or from the single writer) and re-bases the
+    /// delta ring to match.
+    pub(crate) fn set_lineage(&self, version: u64, trained_examples: u64) {
+        self.version.store(version, Ordering::Release);
+        self.trained_examples.store(trained_examples, Ordering::Relaxed);
+        self.deltas.rebase(version);
+    }
+
+    /// The write-ahead log slot (the batcher worker appends under it;
+    /// snapshot compaction serializes against appends through it).
+    pub(crate) fn wal_lock(&self) -> std::sync::MutexGuard<'_, Option<Wal>> {
+        self.wal.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// The published-record tail serving `GET /v1/deltas`.
+    pub fn deltas(&self) -> &DeltaRing {
+        &self.deltas
+    }
+
+    /// Applies a swap's WAL disposition at the barrier point, with
+    /// `version` the (unchanged) lineage version the swap kept. See
+    /// [`WalSwap`].
+    pub(crate) fn apply_wal_swap(&self, swap: WalSwap, version: u64) -> std::io::Result<()> {
+        let mut slot = self.wal_lock();
+        match swap {
+            WalSwap::Detach => {
+                *slot = None;
+                Ok(())
+            }
+            WalSwap::Reset { home, file_version } => {
+                let mut log = match slot.take() {
+                    Some(existing) if existing.path() == home => existing,
+                    _ => Wal::open(&home, file_version)?.0,
+                };
+                log.reset(version, file_version)?;
+                *slot = Some(log);
+                Ok(())
+            }
+            WalSwap::Resume(log) => {
+                let mut log = *log;
+                if log.last_version() != version {
+                    // The recovered tail lost a race against another
+                    // lineage of this name; re-base on the live version
+                    // so appends stay contiguous.
+                    log.reset(version, log.snapshot_version())?;
+                }
+                *slot = Some(log);
+                Ok(())
+            }
+        }
     }
 
     /// Swaps in an operator-supplied replacement (hot reload) without
@@ -281,6 +377,26 @@ impl ModelEntry {
     }
 }
 
+/// How a freshly installed model connects to the durability layer.
+#[derive(Debug)]
+enum WalAttach {
+    /// In-memory install (tests, load generator): no log; a reload-swap
+    /// of an existing entry detaches whatever log it had, since memory
+    /// is now authoritative and recovery from disk is impossible.
+    Detach,
+    /// Operator reload from a file whose trailer reads `file_version`:
+    /// the file is authoritative, the log (at the file's sidecar path)
+    /// resets, discarding any tail.
+    Reset { file_version: u64 },
+    /// First load of a durable model: recovery already replayed `wal`'s
+    /// tail into the model, whose lineage resumes at `version` with
+    /// `examples` absorbed.
+    Resume { wal: Box<Wal>, version: u64, examples: u64 },
+    /// Follower bootstrap from a leader snapshot: lineage seeded at the
+    /// leader's version, no local log.
+    Seed { version: u64, examples: u64 },
+}
+
 /// Named models behind one process.
 #[derive(Debug)]
 pub struct Registry {
@@ -290,13 +406,46 @@ pub struct Registry {
     /// The canonicalized path jail for reload reads and snapshot writes;
     /// `None` means the documented private-network trust model applies.
     model_dir: Option<PathBuf>,
+    /// Serializes `load` calls registry-wide, so the first-load-or-reload
+    /// decision (which picks between WAL recovery and WAL reset) is made
+    /// against a stable view. Loads are rare operator actions; holding
+    /// this across the file read costs nothing and never blocks traffic.
+    load_serial: Mutex<()>,
+    /// Present when this process serves as a follower replica
+    /// (`serve --follower-of`): carries the leader address write
+    /// rejections advertise and the per-model sync state `/metrics` and
+    /// readiness report.
+    replica: RwLock<Option<Arc<ReplicaState>>>,
 }
 
 impl Registry {
     /// An empty registry whose batchers will use `batch_config` and record
     /// into `metrics`.
     pub fn new(metrics: Arc<Metrics>, batch_config: BatchConfig) -> Self {
-        Self { models: RwLock::new(BTreeMap::new()), metrics, batch_config, model_dir: None }
+        Self {
+            models: RwLock::new(BTreeMap::new()),
+            metrics,
+            batch_config,
+            model_dir: None,
+            load_serial: Mutex::new(()),
+            replica: RwLock::new(None),
+        }
+    }
+
+    /// Marks this registry as a follower replica of `state`'s leader.
+    pub fn set_replica(&self, state: Arc<ReplicaState>) {
+        *self.replica.write().expect("replica lock") = Some(state);
+    }
+
+    /// The replica state, when this process is a follower.
+    pub fn replica(&self) -> Option<Arc<ReplicaState>> {
+        self.replica.read().expect("replica lock").clone()
+    }
+
+    /// Whether this process is a follower (rejects direct writes with
+    /// 409 and the leader's address).
+    pub fn is_follower(&self) -> bool {
+        self.replica.read().expect("replica lock").is_some()
     }
 
     /// Confines every `load` read and `snapshot` write to `dir` (the serve
@@ -324,6 +473,13 @@ impl Registry {
     /// The shared metrics sink.
     pub fn metrics(&self) -> &Arc<Metrics> {
         &self.metrics
+    }
+
+    /// The coalescing/overload parameters every batcher was started
+    /// with. `max_queue == 0` is deterministic maintenance mode (every
+    /// update sheds), which readiness reports as not-ready.
+    pub fn batch_config(&self) -> BatchConfig {
+        self.batch_config
     }
 
     /// Resolves a request path against the jail: relative paths live
@@ -411,6 +567,7 @@ impl Registry {
         name: &str,
         model: AnyModel,
         path: Option<PathBuf>,
+        attach: WalAttach,
     ) -> Result<ModelInfo, ServeError> {
         if !model.is_finalized() {
             return Err(ServeError::Internal(format!("model '{name}' is not finalized")));
@@ -437,6 +594,7 @@ impl Registry {
         // brief first-insert of a new name (re-checked in a loop in case
         // two first-loads race).
         let mut model = Some(model);
+        let mut attach = Some(attach);
         loop {
             let existing = self.models.read().expect("registry lock").get(name).cloned();
             if let Some(existing) = existing {
@@ -449,7 +607,35 @@ impl Registry {
                 // never into an orphan, and no version number is ever reused.
                 let _serial = existing.reload_serial.lock().expect("reload serial lock");
                 info.generation = existing.info().generation + 1;
-                existing.batcher().swap(model.take().expect("model consumed once"))?;
+                // The swap carries the WAL disposition to the barrier point,
+                // where the worker applies it race-free against appends.
+                let (swap, seed) = match attach.take().expect("attach consumed once") {
+                    WalAttach::Detach => (WalSwap::Detach, None),
+                    WalAttach::Reset { file_version } => {
+                        let home = info.path.as_deref().map(wal::wal_path).ok_or_else(|| {
+                            ServeError::Internal(format!(
+                                "reload of '{name}' has no source path for its log"
+                            ))
+                        })?;
+                        (WalSwap::Reset { home, file_version }, None)
+                    }
+                    // A recovered first load that lost an install race:
+                    // adopt the live lineage, resuming the recovered log
+                    // (the worker re-bases it if the versions diverged).
+                    WalAttach::Resume { wal, .. } => (WalSwap::Resume(wal), None),
+                    // A follower re-bootstrap of an existing entry: swap
+                    // the leader snapshot in, then seed its lineage (the
+                    // replica applier is the only writer on a follower).
+                    WalAttach::Seed { version, examples } => {
+                        (WalSwap::Detach, Some((version, examples)))
+                    }
+                };
+                existing
+                    .batcher()
+                    .swap_with_wal(model.take().expect("model consumed once"), swap)?;
+                if let Some((version, examples)) = seed {
+                    existing.shared.set_lineage(version, examples);
+                }
                 existing.set_info(info.clone());
                 return Ok(info);
             }
@@ -462,6 +648,39 @@ impl Registry {
             info.generation = 1;
             let shared =
                 Arc::new(SharedModel::new(Arc::new(model.take().expect("model consumed once"))));
+            match attach.take().expect("attach consumed once") {
+                WalAttach::Detach => {}
+                WalAttach::Reset { file_version } => {
+                    // The entry this reload targeted vanished between the
+                    // read and the write lock: a fresh lineage starts at
+                    // version 0 with the reloaded file authoritative.
+                    let home = info.path.as_deref().map(wal::wal_path).ok_or_else(|| {
+                        ServeError::Internal(format!(
+                            "reload of '{name}' has no source path for its log"
+                        ))
+                    })?;
+                    let log = Wal::open(&home, file_version)
+                        .and_then(|(mut log, _replay)| {
+                            log.reset(0, file_version)?;
+                            Ok(log)
+                        })
+                        .map_err(|e| {
+                            ServeError::Internal(format!(
+                                "cannot attach write-ahead log {}: {e}",
+                                home.display()
+                            ))
+                        })?;
+                    *shared.wal_lock() = Some(log);
+                    shared.set_lineage(0, 0);
+                }
+                WalAttach::Resume { wal, version, examples } => {
+                    *shared.wal_lock() = Some(*wal);
+                    shared.set_lineage(version, examples);
+                }
+                WalAttach::Seed { version, examples } => {
+                    shared.set_lineage(version, examples);
+                }
+            }
             let batcher =
                 Batcher::start(Arc::clone(&shared), Arc::clone(&self.metrics), self.batch_config);
             let entry = Arc::new(ModelEntry {
@@ -486,27 +705,88 @@ impl Registry {
         name: &str,
         model: impl Into<AnyModel>,
     ) -> Result<ModelInfo, ServeError> {
-        self.install(name, model.into(), None)
+        self.install(name, model.into(), None, WalAttach::Detach)
+    }
+
+    /// Installs a model bootstrapped from a leader snapshot, seeding the
+    /// lineage at the leader's exact version and example count. No local
+    /// write-ahead log attaches — a follower's durability is the leader's.
+    ///
+    /// # Errors
+    ///
+    /// Rejects unfinalized models.
+    pub fn install_synced(
+        &self,
+        name: &str,
+        model: AnyModel,
+        version: u64,
+        trained_examples: u64,
+    ) -> Result<ModelInfo, ServeError> {
+        self.install(name, model, None, WalAttach::Seed { version, examples: trained_examples })
     }
 
     /// Loads (or hot-reloads) `name` from a model file of either kind
     /// (the `HDC1`/`HDB1` magic is sniffed). On any failure the
     /// previously registered model, if one exists, keeps serving.
     ///
+    /// A **first** load is crash recovery: the file's version trailer is
+    /// read, the sidecar `<file>.wal` is opened, its record tail is
+    /// replayed on top of the loaded model (bit-exact against a process
+    /// that never crashed), and the lineage resumes at the last durable
+    /// version. A **reload** of a live name is an operator override: the
+    /// file is authoritative, the log resets, and any unsaved tail is
+    /// deliberately discarded.
+    ///
     /// # Errors
     ///
     /// [`ServeError::Forbidden`] for paths escaping the model-dir jail;
     /// [`ServeError::BadRequest`] for unreadable, truncated or corrupt
-    /// model files.
+    /// model files; [`ServeError::Internal`] when the write-ahead log
+    /// cannot be opened or its records no longer apply to the snapshot.
     pub fn load(&self, name: &str, path: &Path) -> Result<ModelInfo, ServeError> {
+        // Serialized registry-wide so the first-load-or-reload decision
+        // below cannot race another load of the same name.
+        let _serial = self.load_serial.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         let admitted = self.admit_read(path)?;
+        let is_reload = self.models.read().expect("registry lock").contains_key(name);
         let file = File::open(&admitted).map_err(|e| {
             ServeError::BadRequest(format!("cannot open model file {}: {e}", admitted.display()))
         })?;
-        let model = load_any(BufReader::new(file)).map_err(|e| {
+        let mut reader = BufReader::new(file);
+        let mut model = load_any(&mut reader).map_err(|e| {
             ServeError::BadRequest(format!("cannot load model from {}: {e}", admitted.display()))
         })?;
-        self.install(name, model, Some(admitted))
+        let (file_version, file_examples) =
+            wal::read_version_trailer(&mut reader).unwrap_or((0, 0));
+        if is_reload {
+            return self.install(name, model, Some(admitted), WalAttach::Reset { file_version });
+        }
+        // First load: recover. Open the sidecar log and replay its tail.
+        let home = wal::wal_path(&admitted);
+        let (log, replay) = Wal::open(&home, file_version).map_err(|e| {
+            ServeError::Internal(format!("cannot open write-ahead log {}: {e}", home.display()))
+        })?;
+        let mut examples = file_examples;
+        for record in &replay {
+            examples += wal::apply(record, &mut model).map_err(|e| {
+                ServeError::Internal(format!(
+                    "write-ahead log {} does not apply to snapshot {} at record {}: {e}",
+                    home.display(),
+                    admitted.display(),
+                    record.version
+                ))
+            })?;
+        }
+        let version = file_version.max(log.last_version());
+        if !replay.is_empty() {
+            self.metrics.on_wal_replay(replay.len() as u64);
+        }
+        self.install(
+            name,
+            model,
+            Some(admitted),
+            WalAttach::Resume { wal: Box::new(log), version, examples },
+        )
     }
 
     /// Drops `name`; in-flight requests holding the entry finish normally.
@@ -554,10 +834,10 @@ impl Registry {
     pub fn snapshot(&self, name: &str, path: &Path) -> Result<u64, ServeError> {
         let entry = self.get(name)?;
         let admitted = self.admit_write(path)?;
-        // Consistent pair: the version is read before the snapshot, so the
-        // reported version is never newer than the persisted counters.
-        let version = entry.shared.version();
-        let model = entry.shared.snapshot();
+        // Consistent triple under one lock: the persisted counters, the
+        // version trailer stamped after them, and the reported version
+        // can never disagree.
+        let (model, version, examples) = entry.shared.model_and_version();
         // Unique per call (pid + counter), so concurrent snapshots to the
         // same destination never interleave writes in one temp file — each
         // writes its own and the renames land whole-file atomically.
@@ -572,6 +852,10 @@ impl Registry {
             let file = File::create(&tmp)?;
             let mut writer = std::io::BufWriter::new(file);
             model.save(&mut writer).map_err(std::io::Error::other)?;
+            // The version trailer rides after the payload (loaders never
+            // read past their payload, so it is invisible to them) and
+            // lets recovery resume the lineage at this exact version.
+            wal::write_version_trailer(&mut writer, version, examples)?;
             let file = writer.into_inner().map_err(std::io::IntoInnerError::into_error)?;
             file.sync_all()
         };
@@ -597,6 +881,20 @@ impl Registry {
                     parent.display()
                 ))
             })?;
+        }
+        // Snapshotting over the model's durable home makes every record at
+        // or below `version` redundant: compact the log. The WAL mutex
+        // serializes this against worker appends, so a record published
+        // after our consistent read survives the rewrite. Compaction
+        // failure is not a snapshot failure — the oversized log stays
+        // valid and simply replays more than necessary.
+        {
+            let mut slot = entry.shared.wal_lock();
+            if let Some(log) = slot.as_mut() {
+                if log.path() == wal::wal_path(&admitted) {
+                    let _ = log.compact(version);
+                }
+            }
         }
         // Mark clean only if nothing published while we were writing; a
         // racing publish keeps the flag set, costing at most one extra
@@ -1028,6 +1326,127 @@ mod tests {
         r.get("default").unwrap().batcher().train(vec![(vec![128u8; 16], 0)]).unwrap();
         r.load("default", Path::new("m.hdc")).unwrap();
         assert_eq!(r.flush_dirty(), 0);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Asserts two registries' models carry bit-identical per-class
+    /// counters (the dense kind used by these tests).
+    fn assert_counters_equal(a: &ModelEntry, b: &ModelEntry) {
+        let (a, b) = (a.model(), b.model());
+        let (a, b) = (a.as_dense().unwrap(), b.as_dense().unwrap());
+        for c in 0..2 {
+            assert_eq!(
+                a.associative_memory().accumulator(c).unwrap(),
+                b.associative_memory().accumulator(c).unwrap(),
+                "class {c} counters diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn acked_updates_survive_a_crash_bit_exactly() {
+        let dir = temp_dir("wal-recover");
+        let path = dir.join("m.hdc");
+        save_pixel_classifier(&trained(5), std::io::BufWriter::new(File::create(&path).unwrap()))
+            .unwrap();
+
+        // The "uncrashed control": loads, trains, never snapshots.
+        let live = registry();
+        live.load("default", &path).unwrap();
+        let entry = live.get("default").unwrap();
+        for i in 0..5u8 {
+            entry.batcher().train(vec![(vec![i * 40; 16], usize::from(i % 2))]).unwrap();
+        }
+        // An applied feedback (mispredicted light image) rides the log too.
+        let fb = entry.batcher().feedback(vec![224u8; 16], 0).unwrap();
+        assert!(fb.updated);
+        assert_eq!(entry.version(), 6);
+        assert!(wal::wal_path(&path).exists(), "appends must create the sidecar log");
+
+        // "Crash": nothing was snapshotted since load. A fresh process —
+        // a fresh registry — loading the same path replays the log tail
+        // and must land bit-exactly on the control's state.
+        let recovered = registry();
+        recovered.load("default", &path).unwrap();
+        let r = recovered.get("default").unwrap();
+        assert_eq!(r.version(), 6, "lineage must resume at the last durable version");
+        assert_eq!(r.shared().trained_examples(), entry.shared().trained_examples());
+        assert_counters_equal(&entry, &r);
+        assert_eq!(recovered.metrics().wal_records_replayed(), 6);
+
+        // Recovery is repeatable (the log is not consumed by replay).
+        let again = registry();
+        again.load("default", &path).unwrap();
+        assert_eq!(again.get("default").unwrap().version(), 6);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn snapshot_compacts_the_log_so_recovery_replays_only_the_tail() {
+        let dir = temp_dir("wal-compact");
+        let path = dir.join("m.hdc");
+        save_pixel_classifier(&trained(5), std::io::BufWriter::new(File::create(&path).unwrap()))
+            .unwrap();
+
+        let live = registry();
+        live.load("default", &path).unwrap();
+        let entry = live.get("default").unwrap();
+        for _ in 0..3 {
+            entry.batcher().train(vec![(vec![128u8; 16], 0)]).unwrap();
+        }
+        // Snapshot over the durable home: the log compacts at version 3.
+        assert_eq!(live.snapshot("default", &path).unwrap(), 3);
+        // Two more updates land in the compacted log.
+        for _ in 0..2 {
+            entry.batcher().train(vec![(vec![40u8; 16], 1)]).unwrap();
+        }
+
+        let recovered = registry();
+        recovered.load("default", &path).unwrap();
+        let r = recovered.get("default").unwrap();
+        assert_eq!(r.version(), 5);
+        assert_eq!(
+            recovered.metrics().wal_records_replayed(),
+            2,
+            "records at or below the snapshot version must not replay"
+        );
+        assert_counters_equal(&entry, &r);
+
+        // Continue training after recovery: the lineages stay in lockstep.
+        entry.batcher().train(vec![(vec![77u8; 16], 0)]).unwrap();
+        r.batcher().train(vec![(vec![77u8; 16], 0)]).unwrap();
+        assert_eq!(r.version(), entry.version());
+        assert_counters_equal(&entry, &r);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn reload_resets_the_log_and_discards_the_unsaved_tail() {
+        let dir = temp_dir("wal-reload");
+        let path = dir.join("m.hdc");
+        save_pixel_classifier(&trained(5), std::io::BufWriter::new(File::create(&path).unwrap()))
+            .unwrap();
+
+        let live = registry();
+        live.load("default", &path).unwrap();
+        let entry = live.get("default").unwrap();
+        entry.batcher().train(vec![(vec![128u8; 16], 0)]).unwrap();
+        // Operator reload: the file is authoritative, the logged tail is
+        // deliberately discarded (the lineage itself continues at 1).
+        live.load("default", &path).unwrap();
+        assert_eq!(entry.version(), 1);
+        entry.batcher().train(vec![(vec![60u8; 16], 1)]).unwrap();
+
+        // Recovery sees only the post-reload record: the discarded tail
+        // must not resurrect.
+        let recovered = registry();
+        recovered.load("default", &path).unwrap();
+        let r = recovered.get("default").unwrap();
+        assert_eq!(recovered.metrics().wal_records_replayed(), 1);
+        assert_eq!(r.version(), 2);
 
         std::fs::remove_dir_all(&dir).ok();
     }

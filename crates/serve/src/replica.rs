@@ -1,0 +1,466 @@
+//! Leader→follower replication: bootstrap from a snapshot, tail deltas.
+//!
+//! A process started with `serve --follower-of HOST:PORT` runs a
+//! [`Replica`] against the leader. Per model it (1) **bootstraps**: `GET
+//! /v1/export?model=M` streams the leader's current model bytes plus its
+//! version lineage in headers, installed locally at the leader's exact
+//! version via [`Registry::install_synced`]; then (2) **tails**: `GET
+//! /v1/deltas?model=M&from=V` long-polls the leader's in-memory
+//! [`DeltaRing`](crate::wal::DeltaRing) and applies each returned record
+//! with the same deterministic [`wal::apply`] that crash recovery uses —
+//! so a caught-up follower is **bit-exact** with the leader at the same
+//! version, by construction rather than by convention.
+//!
+//! The follower stays read-only: the registry's replica state makes every
+//! direct write (`/v1/train`, `/v1/feedback`, `/v1/reload`) answer 409
+//! with the leader's address in the body, and `/healthz` reports
+//! `ready: false` until every model has caught up once (sticky — a
+//! transient lag after that does not flap readiness; scrape the lag
+//! numbers in `/metrics` instead).
+//!
+//! Recovery rules, in order of escalation: a transport or HTTP error
+//! backs off and retries on a fresh connection (`replica_poll_errors` in
+//! `/metrics`); a `reset: true` answer (the follower fell below the
+//! ring's floor), a leader **generation** change (an operator reloaded
+//! the model — its lineage may have rebased), or a version gap in the
+//! returned records all discard local state and re-bootstrap from a full
+//! snapshot (`replica_resets`). Followers keep no write-ahead log of
+//! their own: their durability *is* the leader's, and re-bootstrap is
+//! always correct because the leader's state is always durable
+//! (acked ⇒ fsynced).
+
+use crate::client::Client;
+use crate::json::Json;
+use crate::registry::Registry;
+use crate::wal::{self, DeltaRecord};
+use hdc::io::load_any;
+use std::collections::BTreeMap;
+use std::io;
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How long a failed poll waits before reconnecting.
+const POLL_BACKOFF: Duration = Duration::from_millis(200);
+
+/// How long discovery waits between attempts to reach a leader that is
+/// not up yet.
+const DISCOVERY_BACKOFF: Duration = Duration::from_millis(500);
+
+/// Read timeout on follower→leader connections. Must comfortably exceed
+/// the leader's `/v1/deltas` long-poll window (~2 s) so an idle tail is
+/// never mistaken for a dead leader.
+const LEADER_READ_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// One model's replication position, as reported in `/metrics`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SyncStatus {
+    /// The newest version the leader has reported for this model.
+    pub leader_version: u64,
+    /// The newest version applied (and published) locally.
+    pub applied_version: u64,
+    /// The leader generation this follower last bootstrapped against.
+    pub generation: u64,
+}
+
+impl SyncStatus {
+    /// How many versions behind the leader this model is.
+    pub fn lag(&self) -> u64 {
+        self.leader_version.saturating_sub(self.applied_version)
+    }
+}
+
+/// Shared follower state: the leader's address (advertised in 409
+/// write-rejections), the sticky readiness flag, and each model's sync
+/// position.
+#[derive(Debug)]
+pub struct ReplicaState {
+    leader: String,
+    /// Sticky: set once every tracked model has caught up, never
+    /// cleared. Readiness means "this follower has served from fresh
+    /// state at least once"; live lag is a metric, not a health flap.
+    ready: AtomicBool,
+    models: Mutex<BTreeMap<String, SyncStatus>>,
+}
+
+impl ReplicaState {
+    /// Fresh, not-yet-ready state for a follower of `leader`.
+    pub fn new(leader: impl Into<String>) -> Self {
+        Self {
+            leader: leader.into(),
+            ready: AtomicBool::new(false),
+            models: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// The leader's `host:port`, exactly as configured.
+    pub fn leader(&self) -> &str {
+        &self.leader
+    }
+
+    /// Whether every tracked model has caught up at least once.
+    pub fn is_ready(&self) -> bool {
+        self.ready.load(Ordering::Acquire)
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, SyncStatus>> {
+        self.models.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Registers the models discovery found, all starting behind (lag 1)
+    /// so readiness cannot trip before every one has bootstrapped. An
+    /// empty set is vacuously caught up.
+    pub fn expect_models(&self, names: &[String]) {
+        let mut models = self.lock();
+        for name in names {
+            models.entry(name.clone()).or_insert(SyncStatus {
+                leader_version: 1,
+                applied_version: 0,
+                generation: 0,
+            });
+        }
+        drop(models);
+        if names.is_empty() {
+            self.ready.store(true, Ordering::Release);
+        }
+    }
+
+    /// Records one model's position after a bootstrap or an applied poll
+    /// and trips the sticky readiness flag once everything is caught up.
+    pub fn note_sync(
+        &self,
+        name: &str,
+        leader_version: u64,
+        applied_version: u64,
+        generation: u64,
+    ) {
+        let mut models = self.lock();
+        models.insert(name.to_owned(), SyncStatus { leader_version, applied_version, generation });
+        let caught_up = models.values().all(|s| s.lag() == 0);
+        drop(models);
+        if caught_up {
+            self.ready.store(true, Ordering::Release);
+        }
+    }
+
+    /// Every tracked model's position, in name order.
+    pub fn sync_status(&self) -> Vec<(String, SyncStatus)> {
+        self.lock().iter().map(|(n, s)| (n.clone(), *s)).collect()
+    }
+
+    /// The worst per-model lag (0 when caught up or nothing tracked).
+    pub fn max_lag(&self) -> u64 {
+        self.lock().values().map(SyncStatus::lag).max().unwrap_or(0)
+    }
+}
+
+/// A running follower: background threads bootstrapping and tailing the
+/// leader. Dropping it (or calling [`shutdown`](Self::shutdown)) stops
+/// them.
+#[derive(Debug)]
+pub struct Replica {
+    stop: Arc<AtomicBool>,
+    supervisor: Option<JoinHandle<()>>,
+    state: Arc<ReplicaState>,
+}
+
+impl Replica {
+    /// Starts replicating `registry` from the leader at `leader`
+    /// (`host:port`). Marks the registry as a follower immediately — its
+    /// write routes 409 from this moment — then discovers and syncs the
+    /// leader's models in the background; `/healthz` reports readiness.
+    ///
+    /// # Errors
+    ///
+    /// Fails only when `leader` cannot be parsed/resolved to a socket
+    /// address. The leader being *down* is not an error: the replica
+    /// retries until it appears.
+    pub fn start(registry: Arc<Registry>, leader: &str) -> io::Result<Replica> {
+        let addr = leader
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| io::Error::other(format!("leader '{leader}' resolves to nothing")))?;
+        let state = Arc::new(ReplicaState::new(leader));
+        registry.set_replica(Arc::clone(&state));
+        let stop = Arc::new(AtomicBool::new(false));
+        let supervisor = {
+            let registry = Arc::clone(&registry);
+            let state = Arc::clone(&state);
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("hdc-replica-supervisor".into())
+                .spawn(move || supervise(&registry, &state, addr, &stop))
+                .expect("spawn replica supervisor")
+        };
+        Ok(Replica { stop, supervisor: Some(supervisor), state })
+    }
+
+    /// The shared sync state (also reachable via
+    /// [`Registry::replica`]).
+    pub fn state(&self) -> &Arc<ReplicaState> {
+        &self.state
+    }
+
+    /// Stops the tail threads and joins them. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(handle) = self.supervisor.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Replica {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Discovers the leader's model set (retrying until the leader answers),
+/// then runs one tail loop per model until stopped.
+fn supervise(
+    registry: &Arc<Registry>,
+    state: &Arc<ReplicaState>,
+    addr: SocketAddr,
+    stop: &AtomicBool,
+) {
+    let names = loop {
+        if stop.load(Ordering::Acquire) {
+            return;
+        }
+        match discover_models(addr) {
+            Ok(names) => break names,
+            Err(_) => {
+                registry.metrics().on_replica_poll_error();
+                std::thread::sleep(DISCOVERY_BACKOFF);
+            }
+        }
+    };
+    state.expect_models(&names);
+    std::thread::scope(|scope| {
+        for name in names {
+            let registry = Arc::clone(registry);
+            let state = Arc::clone(state);
+            scope.spawn(move || tail_model(&registry, &state, addr, &name, stop));
+        }
+    });
+}
+
+/// `GET /v1/models` on the leader → the model names to replicate.
+fn discover_models(addr: SocketAddr) -> io::Result<Vec<String>> {
+    let mut client = Client::connect_with_timeout(addr, Some(LEADER_READ_TIMEOUT))?;
+    let response = client.get("/v1/models")?;
+    if !response.is_success() {
+        return Err(io::Error::other(format!("leader /v1/models answered {}", response.status)));
+    }
+    let doc = response.json().map_err(io::Error::other)?;
+    let models = doc
+        .get("models")
+        .and_then(Json::as_array)
+        .ok_or_else(|| io::Error::other("leader /v1/models carried no model list"))?;
+    models
+        .iter()
+        .map(|m| {
+            m.get("name")
+                .and_then(Json::as_str)
+                .map(str::to_owned)
+                .ok_or_else(|| io::Error::other("model entry without a name"))
+        })
+        .collect()
+}
+
+/// One model's replication loop: bootstrap, then long-poll deltas,
+/// re-bootstrapping whenever continuity is lost.
+fn tail_model(
+    registry: &Arc<Registry>,
+    state: &ReplicaState,
+    addr: SocketAddr,
+    name: &str,
+    stop: &AtomicBool,
+) {
+    let metrics = Arc::clone(registry.metrics());
+    let mut client: Option<Client> = None;
+    // The leader generation we last bootstrapped against; 0 forces a
+    // bootstrap (real generations start at 1).
+    let mut generation = 0u64;
+    while !stop.load(Ordering::Acquire) {
+        let Some(conn) = client.as_mut() else {
+            match Client::connect_with_timeout(addr, Some(LEADER_READ_TIMEOUT)) {
+                Ok(conn) => client = Some(conn),
+                Err(_) => {
+                    metrics.on_replica_poll_error();
+                    std::thread::sleep(POLL_BACKOFF);
+                }
+            }
+            continue;
+        };
+        if generation == 0 {
+            match bootstrap_model(conn, registry, name) {
+                Ok((g, version)) => {
+                    generation = g;
+                    metrics.on_replica_reset();
+                    state.note_sync(name, version, version, generation);
+                }
+                Err(_) => {
+                    metrics.on_replica_poll_error();
+                    client = None;
+                    std::thread::sleep(POLL_BACKOFF);
+                }
+            }
+            continue;
+        }
+        let Ok(entry) = registry.get(name) else {
+            // The local entry vanished (operator removal): start over.
+            generation = 0;
+            continue;
+        };
+        let from = entry.version();
+        let response = match conn.get(&format!("/v1/deltas?model={name}&from={from}")) {
+            Ok(response) => response,
+            Err(_) => {
+                metrics.on_replica_poll_error();
+                client = None;
+                std::thread::sleep(POLL_BACKOFF);
+                continue;
+            }
+        };
+        if response.status != 200 {
+            metrics.on_replica_poll_error();
+            std::thread::sleep(POLL_BACKOFF);
+            continue;
+        }
+        let Some(poll) = parse_deltas(&response) else {
+            metrics.on_replica_poll_error();
+            client = None;
+            continue;
+        };
+        if poll.reset || poll.generation != generation {
+            generation = 0;
+            continue;
+        }
+        let mut applied = from;
+        if !poll.records.is_empty() {
+            let shared = entry.shared();
+            let mut model = (*shared.snapshot()).clone();
+            let mut examples = 0u64;
+            let mut count = 0u64;
+            let mut intact = true;
+            for record in &poll.records {
+                if record.version <= applied {
+                    continue; // duplicate delivery is harmless, skip
+                }
+                if record.version != applied + 1 {
+                    intact = false; // gap: the unbroken sequence is gone
+                    break;
+                }
+                match wal::apply(record, &mut model) {
+                    Ok(n) => {
+                        examples += n;
+                        applied = record.version;
+                        count += 1;
+                    }
+                    Err(_) => {
+                        intact = false;
+                        break;
+                    }
+                }
+            }
+            if !intact {
+                generation = 0;
+                continue;
+            }
+            if count > 0 {
+                shared.publish_with_version(Arc::new(model), examples, applied);
+                metrics.on_replica_applied(count);
+            }
+        }
+        state.note_sync(name, poll.version.max(applied), applied, generation);
+    }
+}
+
+/// One parsed `/v1/deltas` answer.
+struct DeltaPoll {
+    version: u64,
+    generation: u64,
+    reset: bool,
+    records: Vec<DeltaRecord>,
+}
+
+fn parse_deltas(response: &crate::client::Response) -> Option<DeltaPoll> {
+    let doc = response.json().ok()?;
+    let as_u64 = |v: &Json| v.as_f64().filter(|n| *n >= 0.0 && n.fract() == 0.0).map(|n| n as u64);
+    let version = doc.get("version").and_then(as_u64)?;
+    let generation = doc.get("generation").and_then(as_u64)?;
+    let reset = doc.get("reset").and_then(Json::as_bool).unwrap_or(false);
+    let records = doc
+        .get("records")?
+        .as_array()?
+        .iter()
+        .map(DeltaRecord::from_json)
+        .collect::<Option<Vec<_>>>()?;
+    Some(DeltaPoll { version, generation, reset, records })
+}
+
+/// `GET /v1/export?model=..` → install the leader's model at its exact
+/// version. Returns the leader's `(generation, version)`.
+fn bootstrap_model(client: &mut Client, registry: &Registry, name: &str) -> io::Result<(u64, u64)> {
+    let response = client.get(&format!("/v1/export?model={name}"))?;
+    if !response.is_success() {
+        return Err(io::Error::other(format!("leader export answered {}", response.status)));
+    }
+    let header_u64 = |h: &str| -> io::Result<u64> {
+        response
+            .header(h)
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| io::Error::other(format!("export response missing header {h}")))
+    };
+    let version = header_u64("x-model-version")?;
+    let examples = header_u64("x-trained-examples")?;
+    let generation = header_u64("x-model-generation")?;
+    if generation == 0 {
+        return Err(io::Error::other("leader reported generation 0"));
+    }
+    let model = load_any(&mut response.body.as_slice()).map_err(io::Error::other)?;
+    registry.install_synced(name, model, version, examples).map_err(io::Error::other)?;
+    Ok((generation, version))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn readiness_is_sticky_and_waits_for_all_models() {
+        let state = ReplicaState::new("10.0.0.7:8080");
+        assert_eq!(state.leader(), "10.0.0.7:8080");
+        assert!(!state.is_ready());
+        state.expect_models(&["a".into(), "b".into()]);
+        assert!(!state.is_ready());
+        // One model caught up, the other still behind: not ready.
+        state.note_sync("a", 5, 5, 1);
+        assert!(!state.is_ready());
+        assert_eq!(state.max_lag(), 1);
+        // Both caught up: ready.
+        state.note_sync("b", 3, 3, 1);
+        assert!(state.is_ready());
+        assert_eq!(state.max_lag(), 0);
+        // Lag reappearing does not clear readiness (sticky), but shows
+        // in the lag numbers.
+        state.note_sync("a", 9, 5, 1);
+        assert!(state.is_ready());
+        assert_eq!(state.max_lag(), 4);
+        let status = state.sync_status();
+        assert_eq!(status.len(), 2);
+        assert_eq!(status[0].0, "a");
+        assert_eq!(status[0].1.lag(), 4);
+    }
+
+    #[test]
+    fn empty_leader_is_vacuously_ready() {
+        let state = ReplicaState::new("h:1");
+        state.expect_models(&[]);
+        assert!(state.is_ready());
+    }
+}

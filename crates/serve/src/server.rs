@@ -205,9 +205,18 @@ fn serve_connection(
             Ok(Some(request)) => {
                 let keep_alive = request.keep_alive();
                 registry.metrics().on_request();
-                let (status, headers, body) = route(&request, registry);
-                registry.metrics().on_response(status);
-                if http::write_response(&mut writer, status, &headers, &body, keep_alive).is_err() {
+                let reply = route(&request, registry);
+                registry.metrics().on_response(reply.status);
+                if http::write_response_bytes(
+                    &mut writer,
+                    reply.status,
+                    reply.content_type,
+                    &reply.headers,
+                    &reply.body,
+                    keep_alive,
+                )
+                .is_err()
+                {
                     return;
                 }
                 if !keep_alive {
@@ -234,46 +243,205 @@ fn serve_connection(
     }
 }
 
+/// How long `GET /v1/deltas` long-polls for fresh records when the
+/// caller is caught up. Must sit well under the follower's read timeout
+/// so an idle tail is never mistaken for a dead leader.
+const DELTAS_LONG_POLL: Duration = Duration::from_secs(2);
+
+/// One routed response: status, computed headers, content type and raw
+/// body bytes (JSON text for every route but `/v1/export`, which
+/// streams model bytes).
+struct Reply {
+    status: u16,
+    headers: Vec<(String, String)>,
+    content_type: &'static str,
+    body: Vec<u8>,
+}
+
+fn json_reply(status: u16, doc: &Json) -> Reply {
+    Reply {
+        status,
+        headers: Vec::new(),
+        content_type: "application/json",
+        body: doc.render().into_bytes(),
+    }
+}
+
+/// Looks up `key` in a raw query string (`a=1&b=2`). No percent
+/// decoding — model names and versions are plain tokens.
+fn query_param<'q>(query: &'q str, key: &str) -> Option<&'q str> {
+    query.split('&').find_map(|pair| {
+        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+        (k == key).then_some(v)
+    })
+}
+
+/// Rejects writes on a follower with 409 and the leader's address —
+/// replication is single-direction, and accepting a direct write here
+/// would fork the version lineage.
+fn require_leader(registry: &Registry) -> Result<(), ServeError> {
+    match registry.replica() {
+        Some(state) => Err(ServeError::NotLeader { leader: state.leader().to_owned() }),
+        None => Ok(()),
+    }
+}
+
 /// Dispatches one parsed request to its handler; the error arm turns any
 /// [`ServeError`] into its status, extra headers (`Allow` on 405) and
 /// JSON body.
-fn route(
-    request: &Request,
-    registry: &Registry,
-) -> (u16, Vec<(&'static str, &'static str)>, String) {
-    let result = match (request.method.as_str(), request.path.as_str()) {
-        ("GET", "/healthz") => handle_healthz(registry),
-        ("GET", "/metrics") => handle_metrics(registry),
-        ("GET", "/v1/models") => handle_models(registry),
-        ("POST", "/v1/predict") => handle_predict(request, registry),
-        ("POST", "/v1/train") => handle_train(request, registry),
-        ("POST", "/v1/feedback") => handle_feedback(request, registry),
-        ("POST", "/v1/snapshot") => handle_snapshot(request, registry),
-        ("POST", "/v1/reload") => handle_reload(request, registry),
-        (_, "/healthz" | "/metrics" | "/v1/models") => Err(ServeError::MethodNotAllowed("GET")),
+fn route(request: &Request, registry: &Registry) -> Reply {
+    // The path may carry a query string (`/v1/deltas?model=..&from=..`):
+    // split it off so routing matches the bare path.
+    let (path, query) = match request.path.split_once('?') {
+        Some((path, query)) => (path, query),
+        None => (request.path.as_str(), ""),
+    };
+    let result = match (request.method.as_str(), path) {
+        ("GET", "/healthz") => Ok(handle_healthz(registry)),
+        ("GET", "/healthz/live") => Ok(json_reply(
+            200,
+            &Json::obj([("status", Json::from("ok")), ("live", Json::from(true))]),
+        )),
+        ("GET", "/metrics") => handle_metrics(registry).map(|doc| json_reply(200, &doc)),
+        ("GET", "/v1/models") => handle_models(registry).map(|doc| json_reply(200, &doc)),
+        ("GET", "/v1/deltas") => handle_deltas(query, registry).map(|doc| json_reply(200, &doc)),
+        ("GET", "/v1/export") => handle_export(query, registry),
+        ("POST", "/v1/predict") => {
+            handle_predict(request, registry).map(|doc| json_reply(200, &doc))
+        }
+        ("POST", "/v1/train") => require_leader(registry)
+            .and_then(|()| handle_train(request, registry))
+            .map(|doc| json_reply(200, &doc)),
+        ("POST", "/v1/feedback") => require_leader(registry)
+            .and_then(|()| handle_feedback(request, registry))
+            .map(|doc| json_reply(200, &doc)),
+        // A follower may snapshot (it persists replicated — hence
+        // durable-on-the-leader — state locally) but not reload: a local
+        // file load would fork the lineage the tail threads continue.
+        ("POST", "/v1/snapshot") => {
+            handle_snapshot(request, registry).map(|doc| json_reply(200, &doc))
+        }
+        ("POST", "/v1/reload") => require_leader(registry)
+            .and_then(|()| handle_reload(request, registry))
+            .map(|doc| json_reply(200, &doc)),
+        (
+            _,
+            "/healthz" | "/healthz/live" | "/metrics" | "/v1/models" | "/v1/deltas" | "/v1/export",
+        ) => Err(ServeError::MethodNotAllowed("GET")),
         (_, "/v1/predict" | "/v1/train" | "/v1/feedback" | "/v1/snapshot" | "/v1/reload") => {
             Err(ServeError::MethodNotAllowed("POST"))
         }
         (_, path) => Err(ServeError::NotFound(format!("no route for '{path}'"))),
     };
     match result {
-        Ok(body) => (200, Vec::new(), body.render()),
+        Ok(reply) => reply,
         Err(e) => {
             let headers = match &e {
-                ServeError::MethodNotAllowed(allow) => vec![("allow", *allow)],
+                ServeError::MethodNotAllowed(allow) => {
+                    vec![("allow".to_owned(), (*allow).to_owned())]
+                }
                 // Shed responses tell well-behaved clients when to come
                 // back; one second clears a full queue at any realistic
                 // drain rate.
-                ServeError::Overloaded(_) => vec![("retry-after", "1")],
+                ServeError::Overloaded(_) => vec![("retry-after".to_owned(), "1".to_owned())],
                 _ => Vec::new(),
             };
-            (e.status(), headers, e.body().render())
+            let mut reply = json_reply(e.status(), &e.body());
+            reply.headers = headers;
+            reply
         }
     }
 }
 
-fn handle_healthz(registry: &Registry) -> Result<Json, ServeError> {
-    Ok(Json::obj([("status", Json::from("ok")), ("models", Json::from(registry.len()))]))
+/// `GET /healthz` — **readiness**: 200 while this process should receive
+/// traffic, 503 with `ready: false` while it is alive but should not —
+/// maintenance mode (`max_queue` 0 sheds every job) or a follower that
+/// has not yet caught up with its leader. Liveness (is the process
+/// responsive at all) is the separate `GET /healthz/live`, which always
+/// answers 200: orchestrators restart on failed liveness but merely
+/// unroute on failed readiness, and conflating the two would turn a
+/// still-syncing follower into a crash loop.
+fn handle_healthz(registry: &Registry) -> Reply {
+    let mut reasons: Vec<Json> = Vec::new();
+    if registry.batch_config().max_queue == 0 {
+        reasons.push(Json::from("maintenance: max_queue is 0, every queued job sheds"));
+    }
+    if let Some(replica) = registry.replica() {
+        if !replica.is_ready() {
+            reasons.push(Json::from(format!(
+                "follower syncing from {} (lag {})",
+                replica.leader(),
+                replica.max_lag()
+            )));
+        }
+    }
+    let ready = reasons.is_empty();
+    let doc = Json::obj([
+        ("status", Json::from(if ready { "ok" } else { "degraded" })),
+        ("live", Json::from(true)),
+        ("ready", Json::from(ready)),
+        ("models", Json::from(registry.len())),
+        ("reasons", Json::Arr(reasons)),
+    ]);
+    json_reply(if ready { 200 } else { 503 }, &doc)
+}
+
+/// `GET /v1/deltas?model=NAME&from=V` — the replication feed: every
+/// published delta record with version above `from`, in version order,
+/// long-polling up to [`DELTAS_LONG_POLL`] when the caller is caught
+/// up. `reset: true` means `from` has fallen below the retained ring's
+/// floor and the caller must re-bootstrap from `/v1/export`; the
+/// response's `generation` lets the caller detect operator reloads
+/// (which may rebase the lineage) the same way.
+fn handle_deltas(query: &str, registry: &Registry) -> Result<Json, ServeError> {
+    let model = query_param(query, "model").unwrap_or("default");
+    let from = match query_param(query, "from") {
+        None => 0,
+        Some(raw) => raw.parse::<u64>().map_err(|_| {
+            ServeError::BadRequest(format!(
+                "query parameter 'from' must be a non-negative integer, got '{raw}'"
+            ))
+        })?,
+    };
+    let entry = registry.get(model)?;
+    let (records, reset) = match entry.shared().deltas().collect_after(from, DELTAS_LONG_POLL) {
+        None => (Vec::new(), true),
+        Some(records) => (records.iter().map(|r| r.to_json()).collect(), false),
+    };
+    Ok(Json::obj([
+        ("model", Json::from(model)),
+        ("from", Json::from(from)),
+        ("version", Json::from(entry.version())),
+        ("generation", Json::from(entry.info().generation)),
+        ("reset", Json::from(reset)),
+        ("records", Json::Arr(records)),
+    ]))
+}
+
+/// `GET /v1/export?model=NAME` — the bootstrap transfer: the model's
+/// current bytes in its own save format (`application/octet-stream`),
+/// with the consistent version lineage in `x-model-version`,
+/// `x-trained-examples` and `x-model-generation` headers. A follower
+/// installs the body via [`Registry::install_synced`] at exactly that
+/// version and tails `/v1/deltas` from there.
+fn handle_export(query: &str, registry: &Registry) -> Result<Reply, ServeError> {
+    let model = query_param(query, "model").unwrap_or("default");
+    let entry = registry.get(model)?;
+    let (snapshot, version, examples) = entry.shared().model_and_version();
+    let mut body = Vec::new();
+    snapshot
+        .save(&mut body)
+        .map_err(|e| ServeError::Internal(format!("cannot serialize model '{model}': {e}")))?;
+    Ok(Reply {
+        status: 200,
+        headers: vec![
+            ("x-model-version".to_owned(), version.to_string()),
+            ("x-trained-examples".to_owned(), examples.to_string()),
+            ("x-model-generation".to_owned(), entry.info().generation.to_string()),
+        ],
+        content_type: "application/octet-stream",
+        body,
+    })
 }
 
 fn handle_models(registry: &Registry) -> Result<Json, ServeError> {
@@ -298,6 +466,28 @@ fn handle_metrics(registry: &Registry) -> Result<Json, ServeError> {
             })
             .collect();
         map.insert("models".into(), Json::Arr(models));
+        // On a follower, flesh out the replication section with the live
+        // per-model lag so a scraper can alert on drift.
+        if let Some(replica) = registry.replica() {
+            let sync: Vec<Json> = replica
+                .sync_status()
+                .into_iter()
+                .map(|(name, s)| {
+                    Json::obj([
+                        ("name", Json::from(name)),
+                        ("leader_version", Json::from(s.leader_version)),
+                        ("applied_version", Json::from(s.applied_version)),
+                        ("lag", Json::from(s.lag())),
+                    ])
+                })
+                .collect();
+            if let Some(Json::Obj(section)) = map.get_mut("replication") {
+                section.insert("leader".into(), Json::from(replica.leader()));
+                section.insert("ready".into(), Json::from(replica.is_ready()));
+                section.insert("max_lag".into(), Json::from(replica.max_lag()));
+                section.insert("models".into(), Json::Arr(sync));
+            }
+        }
     }
     Ok(doc)
 }
@@ -586,16 +776,23 @@ mod tests {
         Request { method: "GET".into(), path: path.into(), headers: vec![], body: vec![] }
     }
 
+    /// Routes a request and hands back the JSON-route shape the tests
+    /// assert on (status, headers, body text).
+    fn call(request: &Request, registry: &Registry) -> (u16, Vec<(String, String)>, String) {
+        let reply = route(request, registry);
+        (reply.status, reply.headers, String::from_utf8(reply.body).expect("text body"))
+    }
+
     #[test]
     fn healthz_and_models_and_metrics() {
         let registry = registry_with_model();
-        let (status, _headers, body) = route(&get("/healthz"), &registry);
+        let (status, _headers, body) = call(&get("/healthz"), &registry);
         assert_eq!(status, 200);
         assert!(body.contains("\"ok\""), "{body}");
-        let (status, _headers, body) = route(&get("/v1/models"), &registry);
+        let (status, _headers, body) = call(&get("/v1/models"), &registry);
         assert_eq!(status, 200);
         assert!(body.contains("\"default\""), "{body}");
-        let (status, _headers, _) = route(&get("/metrics"), &registry);
+        let (status, _headers, _) = call(&get("/metrics"), &registry);
         assert_eq!(status, 200);
     }
 
@@ -604,12 +801,12 @@ mod tests {
         let registry = registry_with_model();
         let input: Vec<String> = std::iter::repeat_n("224".to_owned(), 16).collect();
         let body = format!("{{\"input\":[{}]}}", input.join(","));
-        let (status, _headers, response) = route(&post("/v1/predict", &body), &registry);
+        let (status, _headers, response) = call(&post("/v1/predict", &body), &registry);
         assert_eq!(status, 200, "{response}");
         assert!(response.contains("\"class\":1"), "{response}");
 
         let body = format!("{{\"inputs\":[[{}],[{}]]}}", input.join(","), vec!["0"; 16].join(","));
-        let (status, _headers, response) = route(&post("/v1/predict", &body), &registry);
+        let (status, _headers, response) = call(&post("/v1/predict", &body), &registry);
         assert_eq!(status, 200, "{response}");
         assert!(response.contains("\"results\""), "{response}");
     }
@@ -618,7 +815,7 @@ mod tests {
     fn malformed_json_is_400() {
         let registry = registry_with_model();
         for bad in ["{not json", "", "[1,2,3]", "{\"input\": \"x\"}", "{\"input\": [999]}"] {
-            let (status, _headers, body) = route(&post("/v1/predict", bad), &registry);
+            let (status, _headers, body) = call(&post("/v1/predict", bad), &registry);
             assert_eq!(status, 400, "body {bad:?} gave {body}");
             assert!(body.contains("\"error\""), "{body}");
         }
@@ -627,8 +824,7 @@ mod tests {
     #[test]
     fn wrong_input_length_is_400() {
         let registry = registry_with_model();
-        let (status, _headers, body) =
-            route(&post("/v1/predict", "{\"input\":[1,2,3]}"), &registry);
+        let (status, _headers, body) = call(&post("/v1/predict", "{\"input\":[1,2,3]}"), &registry);
         assert_eq!(status, 400, "{body}");
         assert!(body.contains("shape"), "{body}");
     }
@@ -637,7 +833,7 @@ mod tests {
     fn unknown_model_is_404() {
         let registry = registry_with_model();
         let (status, _headers, body) =
-            route(&post("/v1/predict", "{\"model\":\"nope\",\"input\":[0]}"), &registry);
+            call(&post("/v1/predict", "{\"model\":\"nope\",\"input\":[0]}"), &registry);
         assert_eq!(status, 404, "{body}");
         assert!(body.contains("nope"), "{body}");
     }
@@ -645,23 +841,23 @@ mod tests {
     #[test]
     fn unknown_route_is_404_and_wrong_method_is_405() {
         let registry = registry_with_model();
-        let (status, _headers, _) = route(&get("/nope"), &registry);
+        let (status, _headers, _) = call(&get("/nope"), &registry);
         assert_eq!(status, 404);
-        let (status, headers, _) = route(&post("/healthz", ""), &registry);
+        let (status, headers, _) = call(&post("/healthz", ""), &registry);
         assert_eq!(status, 405);
-        assert_eq!(headers, vec![("allow", "GET")]);
-        let (status, headers, _) = route(&get("/v1/predict"), &registry);
+        assert_eq!(headers, vec![("allow".to_owned(), "GET".to_owned())]);
+        let (status, headers, _) = call(&get("/v1/predict"), &registry);
         assert_eq!(status, 405);
-        assert_eq!(headers, vec![("allow", "POST")]);
+        assert_eq!(headers, vec![("allow".to_owned(), "POST".to_owned())]);
     }
 
     #[test]
     fn reload_requires_path() {
         let registry = registry_with_model();
-        let (status, _headers, body) = route(&post("/v1/reload", "{}"), &registry);
+        let (status, _headers, body) = call(&post("/v1/reload", "{}"), &registry);
         assert_eq!(status, 400, "{body}");
         let (status, _headers, _) =
-            route(&post("/v1/reload", "{\"path\":\"/nonexistent.hdc\"}"), &registry);
+            call(&post("/v1/reload", "{\"path\":\"/nonexistent.hdc\"}"), &registry);
         assert_eq!(status, 400);
     }
 
@@ -676,7 +872,7 @@ mod tests {
         let mut version = 0.0;
         for _ in 0..6 {
             let body = format!("{{\"input\":[{grey}],\"label\":0}}");
-            let (status, _h, response) = route(&post("/v1/train", &body), &registry);
+            let (status, _h, response) = call(&post("/v1/train", &body), &registry);
             assert_eq!(status, 200, "{response}");
             let doc = crate::json::parse(response.as_bytes()).unwrap();
             assert_eq!(doc.get("trained").unwrap().as_f64(), Some(1.0));
@@ -686,14 +882,14 @@ mod tests {
         }
 
         let (status, _h, response) =
-            route(&post("/v1/predict", &format!("{{\"input\":[{grey}]}}")), &registry);
+            call(&post("/v1/predict", &format!("{{\"input\":[{grey}]}}")), &registry);
         assert_eq!(status, 200);
         assert!(response.contains("\"class\":0"), "training must win the probe: {response}");
 
         // The version shows up in /v1/models and /metrics.
-        let (_s, _h, models) = route(&get("/v1/models"), &registry);
+        let (_s, _h, models) = call(&get("/v1/models"), &registry);
         assert!(models.contains(&format!("\"version\":{version}")), "{models}");
-        let (_s, _h, metrics) = route(&get("/metrics"), &registry);
+        let (_s, _h, metrics) = call(&get("/metrics"), &registry);
         assert!(metrics.contains("\"training\""), "{metrics}");
         assert!(metrics.contains(&format!("\"version\":{version}")), "{metrics}");
 
@@ -701,7 +897,7 @@ mod tests {
         let body = format!(
             "{{\"examples\":[{{\"input\":[{grey}],\"label\":0}},{{\"input\":[{grey}],\"label\":0}}]}}"
         );
-        let (status, _h, response) = route(&post("/v1/train", &body), &registry);
+        let (status, _h, response) = call(&post("/v1/train", &body), &registry);
         assert_eq!(status, 200, "{response}");
         assert!(response.contains("\"trained\":2"), "{response}");
     }
@@ -718,17 +914,17 @@ mod tests {
             "{\"examples\":[{\"label\":0}]}",              // example missing input
             "{\"input\":[0],\"label\":0,\"examples\":[]}", // both forms
         ] {
-            let (status, _h, body) = route(&post("/v1/train", bad), &registry);
+            let (status, _h, body) = call(&post("/v1/train", bad), &registry);
             assert_eq!(status, 400, "body {bad:?} gave {body}");
         }
         // Wrong shape and unknown class flow back as 400 from the compute
         // layer; neither changes the model version.
         let (status, _h, _b) =
-            route(&post("/v1/train", "{\"input\":[1,2,3],\"label\":0}"), &registry);
+            call(&post("/v1/train", "{\"input\":[1,2,3],\"label\":0}"), &registry);
         assert_eq!(status, 400);
         let input: Vec<String> = std::iter::repeat_n("0".to_owned(), 16).collect();
         let body = format!("{{\"input\":[{}],\"label\":9}}", input.join(","));
-        let (status, _h, _b) = route(&post("/v1/train", &body), &registry);
+        let (status, _h, _b) = call(&post("/v1/train", &body), &registry);
         assert_eq!(status, 400);
         assert_eq!(registry.get("default").unwrap().version(), 0);
     }
@@ -741,7 +937,7 @@ mod tests {
 
         // Correct label: no update.
         let body = format!("{{\"input\":[{light}],\"label\":1}}");
-        let (status, _h, response) = route(&post("/v1/feedback", &body), &registry);
+        let (status, _h, response) = call(&post("/v1/feedback", &body), &registry);
         assert_eq!(status, 200, "{response}");
         assert!(response.contains("\"updated\":false"), "{response}");
         assert!(response.contains("\"correct\":true"), "{response}");
@@ -750,7 +946,7 @@ mod tests {
         // Claim the light image is class 0: the model mispredicts relative
         // to the label, updates, and the version bumps.
         let body = format!("{{\"input\":[{light}],\"label\":0}}");
-        let (status, _h, response) = route(&post("/v1/feedback", &body), &registry);
+        let (status, _h, response) = call(&post("/v1/feedback", &body), &registry);
         assert_eq!(status, 200, "{response}");
         assert!(response.contains("\"updated\":true"), "{response}");
         assert!(response.contains("\"version\":1"), "{response}");
@@ -766,11 +962,11 @@ mod tests {
         // Train one example so the snapshot carries online state.
         let input: Vec<String> = std::iter::repeat_n("128".to_owned(), 16).collect();
         let body = format!("{{\"input\":[{}],\"label\":0}}", input.join(","));
-        let (status, _h, _b) = route(&post("/v1/train", &body), &registry);
+        let (status, _h, _b) = call(&post("/v1/train", &body), &registry);
         assert_eq!(status, 200);
 
         let body = format!("{{\"path\":\"{}\"}}", path.display());
-        let (status, _h, response) = route(&post("/v1/snapshot", &body), &registry);
+        let (status, _h, response) = call(&post("/v1/snapshot", &body), &registry);
         assert_eq!(status, 200, "{response}");
         assert!(response.contains("\"version\":1"), "{response}");
 
@@ -791,13 +987,133 @@ mod tests {
         }
 
         // Missing path is a 400; unknown model a 404.
-        let (status, _h, _b) = route(&post("/v1/snapshot", "{}"), &registry);
+        let (status, _h, _b) = call(&post("/v1/snapshot", "{}"), &registry);
         assert_eq!(status, 400);
         let (status, _h, _b) =
-            route(&post("/v1/snapshot", "{\"model\":\"nope\",\"path\":\"/tmp/x\"}"), &registry);
+            call(&post("/v1/snapshot", "{\"model\":\"nope\",\"path\":\"/tmp/x\"}"), &registry);
         assert_eq!(status, 404);
 
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn healthz_splits_readiness_from_liveness() {
+        let registry = registry_with_model();
+        let (status, _h, body) = call(&get("/healthz"), &registry);
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"ready\":true"), "{body}");
+        assert!(body.contains("\"live\":true"), "{body}");
+        let (status, _h, body) = call(&get("/healthz/live"), &registry);
+        assert_eq!(status, 200);
+        assert!(body.contains("\"live\":true"), "{body}");
+
+        // Maintenance mode (max_queue 0): alive, not ready.
+        let maintenance = Arc::new(Registry::new(
+            Arc::new(Metrics::new()),
+            BatchConfig { max_queue: 0, ..BatchConfig::default() },
+        ));
+        let (status, _h, body) = call(&get("/healthz"), &maintenance);
+        assert_eq!(status, 503, "{body}");
+        assert!(body.contains("\"ready\":false"), "{body}");
+        assert!(body.contains("\"live\":true"), "{body}");
+        assert!(body.contains("maintenance"), "{body}");
+        let (status, _h, _b) = call(&get("/healthz/live"), &maintenance);
+        assert_eq!(status, 200, "liveness must not flap with readiness");
+    }
+
+    #[test]
+    fn follower_rejects_writes_with_409_and_leader_address() {
+        let registry = registry_with_model();
+        registry.set_replica(Arc::new(crate::replica::ReplicaState::new("10.1.2.3:9999")));
+        let input: Vec<String> = std::iter::repeat_n("0".to_owned(), 16).collect();
+        let example = format!("{{\"input\":[{}],\"label\":0}}", input.join(","));
+        for (path, body) in [
+            ("/v1/train", example.as_str()),
+            ("/v1/feedback", example.as_str()),
+            ("/v1/reload", "{\"path\":\"/tmp/x.hdc\"}"),
+        ] {
+            let (status, _h, response) = call(&post(path, body), &registry);
+            assert_eq!(status, 409, "{path} gave {response}");
+            assert!(response.contains("10.1.2.3:9999"), "{response}");
+            assert!(response.contains("\"leader\""), "{response}");
+        }
+        // Reads keep serving on a follower.
+        let predict = format!("{{\"input\":[{}]}}", input.join(","));
+        let (status, _h, response) = call(&post("/v1/predict", &predict), &registry);
+        assert_eq!(status, 200, "{response}");
+        // A not-yet-caught-up follower is alive but not ready.
+        let (status, _h, body) = call(&get("/healthz"), &registry);
+        assert_eq!(status, 503, "{body}");
+        assert!(body.contains("follower syncing"), "{body}");
+        let (status, _h, _b) = call(&get("/healthz/live"), &registry);
+        assert_eq!(status, 200);
+    }
+
+    #[test]
+    fn deltas_feed_serves_published_records_and_flags_resets() {
+        let registry = registry_with_model();
+        let entry = registry.get("default").unwrap();
+        entry.batcher().train(vec![(vec![128u8; 16], 0)]).unwrap();
+        entry.batcher().train(vec![(vec![64u8; 16], 1)]).unwrap();
+
+        let (status, _h, body) = call(&get("/v1/deltas?model=default&from=0"), &registry);
+        assert_eq!(status, 200, "{body}");
+        let doc = crate::json::parse(body.as_bytes()).unwrap();
+        assert_eq!(doc.get("reset").unwrap().as_bool(), Some(false));
+        assert_eq!(doc.get("version").unwrap().as_f64(), Some(2.0));
+        assert_eq!(doc.get("generation").unwrap().as_f64(), Some(1.0));
+        let records = doc.get("records").unwrap().as_array().unwrap();
+        assert_eq!(records.len(), 2, "{body}");
+        assert_eq!(records[0].get("version").unwrap().as_f64(), Some(1.0));
+        assert_eq!(records[1].get("version").unwrap().as_f64(), Some(2.0));
+
+        // from=1 returns only the newer record ('model' defaults too).
+        let (_s, _h, body) = call(&get("/v1/deltas?from=1"), &registry);
+        let doc = crate::json::parse(body.as_bytes()).unwrap();
+        assert_eq!(doc.get("records").unwrap().as_array().unwrap().len(), 1);
+
+        // Malformed 'from' is a 400, unknown model a 404.
+        let (status, _h, _b) = call(&get("/v1/deltas?from=abc"), &registry);
+        assert_eq!(status, 400);
+        let (status, _h, _b) = call(&get("/v1/deltas?model=nope&from=0"), &registry);
+        assert_eq!(status, 404);
+
+        // A 'from' below the ring floor tells the caller to re-bootstrap.
+        entry.shared().deltas().rebase(10);
+        let (status, _h, body) = call(&get("/v1/deltas?from=2"), &registry);
+        assert_eq!(status, 200);
+        assert!(body.contains("\"reset\":true"), "{body}");
+    }
+
+    #[test]
+    fn export_streams_model_bytes_with_version_headers() {
+        let registry = registry_with_model();
+        let entry = registry.get("default").unwrap();
+        entry.batcher().train(vec![(vec![128u8; 16], 0)]).unwrap();
+
+        let reply = route(&get("/v1/export?model=default"), &registry);
+        assert_eq!(reply.status, 200);
+        assert_eq!(reply.content_type, "application/octet-stream");
+        let header =
+            |name: &str| reply.headers.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str());
+        assert_eq!(header("x-model-version"), Some("1"));
+        assert_eq!(header("x-trained-examples"), Some("1"));
+        assert_eq!(header("x-model-generation"), Some("1"));
+
+        // The body is a loadable model whose counters equal the live one.
+        let exported = hdc::io::load_any(&mut reply.body.as_slice()).unwrap();
+        let live = entry.model();
+        let (live, exported) = (live.as_dense().unwrap(), exported.as_dense().unwrap());
+        for c in 0..2 {
+            assert_eq!(
+                exported.associative_memory().accumulator(c).unwrap(),
+                live.associative_memory().accumulator(c).unwrap(),
+                "class {c}"
+            );
+        }
+
+        let reply = route(&get("/v1/export?model=nope"), &registry);
+        assert_eq!(reply.status, 404);
     }
 
     #[test]

@@ -25,7 +25,23 @@
 //! **deterministically** through two degraded replicas sharing the same
 //! metrics sink: a maintenance-mode server (`max_queue = 0`) that must
 //! shed every probe with `503` + `Retry-After`, and a zero-grace server
-//! (1 ns queue deadline) that must expire every probe with `504`.
+//! (1 ns queue deadline) that must expire every probe with `504`. Both
+//! must report **live but correctly ready/not-ready** through the split
+//! `/healthz` (readiness) and `/healthz/live` endpoints, as must a
+//! follower syncing from an unreachable leader.
+//!
+//! With [`SoakConfig::exe`] set (the default for the `serve-soak`
+//! binary), two **process-level topology injectors** run real
+//! `--child-serve` children:
+//!
+//! * the **kill -9/restart cycle** SIGKILLs a child serving a
+//!   WAL-attached model and restarts it, requiring recovery at exactly
+//!   the acked version with predictions byte-identical to an uncrashed
+//!   control process and a monotonic version lineage across cycles;
+//! * the **follower-promotion probe** SIGKILLs a leader once its
+//!   follower is caught up, requiring the follower to keep serving
+//!   byte-identical predictions at a non-decreasing version while still
+//!   bouncing writes with a 409 naming the (dead) leader.
 //!
 //! The `serve-soak` binary drives [`run`] and merges a `serve_soak` row
 //! into `BENCH_serve.json` so CI gates on the p99 ceiling like any other
@@ -37,10 +53,13 @@ use crate::json::{self, Json};
 use crate::loadgen::{bar_image, synthetic_model};
 use crate::metrics::Metrics;
 use crate::registry::Registry;
+use crate::replica::ReplicaState;
 use crate::server::{Server, ServerConfig};
+use std::ffi::OsString;
 use std::io::{self, BufRead, BufReader, Write as _};
 use std::net::{SocketAddr, TcpStream};
 use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
@@ -76,6 +95,12 @@ pub struct SoakConfig {
     /// Requests fired at each deterministic degraded replica (the
     /// maintenance-mode shedder and the zero-grace expirer).
     pub probes: usize,
+    /// Path to the `serve-soak` binary itself, enabling the
+    /// process-level topology injectors (`--child-serve` children that
+    /// can be SIGKILLed): the kill -9/restart durability cycle and the
+    /// follower-promotion probe. `None` skips both — the in-process
+    /// injectors and readiness probes still run.
+    pub exe: Option<PathBuf>,
 }
 
 impl Default for SoakConfig {
@@ -96,6 +121,7 @@ impl Default for SoakConfig {
             p99_ceiling: Duration::from_millis(500),
             rss_ceiling_mb: 512,
             probes: 25,
+            exe: None,
         }
     }
 }
@@ -142,6 +168,12 @@ pub struct SoakReport {
     pub reload_rejects: u64,
     /// Valid reloads accepted mid-flap.
     pub reload_accepts: u64,
+    /// Completed kill -9/restart cycles, each recovered bit-exactly
+    /// against the uncrashed control process (0 when `exe` was unset).
+    pub crash_cycles: u64,
+    /// Completed follower promotions: the leader was SIGKILLed and the
+    /// caught-up follower answered byte-identically (0 when `exe` unset).
+    pub promotions: u64,
     /// `shed_total` from `/metrics` at the end of the run.
     pub metric_shed: u64,
     /// `deadline_expired_total` from `/metrics`.
@@ -188,12 +220,15 @@ impl SoakReport {
                 "note",
                 Json::from(format!(
                     "p99 ceiling headroom under fault injection: {} ok, {} shed, {} expired, \
-                     {} panics quarantined, {} reload flaps, drain flushed {}",
+                     {} panics quarantined, {} reload flaps, {} kill -9 recoveries, \
+                     {} promotions, drain flushed {}",
                     self.ok,
                     self.shed,
                     self.expired,
                     self.panicked,
                     self.reload_accepts,
+                    self.crash_cycles,
+                    self.promotions,
                     self.flushed
                 )),
             ),
@@ -246,6 +281,8 @@ struct Tally {
     oversized_cycles: AtomicU64,
     reload_rejects: AtomicU64,
     reload_accepts: AtomicU64,
+    crash_cycles: AtomicU64,
+    promotions: AtomicU64,
 }
 
 /// Bounded gate-violation collector (poison-tolerant: a panicking soak
@@ -604,6 +641,7 @@ fn degraded_replica_probe(
     metrics: &Arc<Metrics>,
     batch: BatchConfig,
     expected: u16,
+    expect_ready: bool,
     label: &str,
 ) {
     let registry = Arc::new(Registry::new(Arc::clone(metrics), batch));
@@ -624,6 +662,22 @@ fn degraded_replica_probe(
         server.shutdown();
         return;
     };
+    // Liveness/readiness split: a degraded server is always *live*, but
+    // only the maintenance-mode shedder (max_queue 0) is *not ready* —
+    // neither state is allowed to leak into the other endpoint.
+    match client.get("/healthz/live") {
+        Ok(r) if r.status == 200 => {}
+        Ok(r) => ctx.failures.push(format!("{label}: /healthz/live answered {}", r.status)),
+        Err(e) => transport_failure(ctx, label, &e),
+    }
+    let want_ready = if expect_ready { 200 } else { 503 };
+    match client.get("/healthz") {
+        Ok(r) if r.status == want_ready => {}
+        Ok(r) => ctx
+            .failures
+            .push(format!("{label}: /healthz answered {} instead of {want_ready}", r.status)),
+        Err(e) => transport_failure(ctx, label, &e),
+    }
     let edge = ctx.config.edge;
     let mut img = vec![0u8; edge * edge];
     for i in 0..ctx.config.probes {
@@ -643,6 +697,449 @@ fn degraded_replica_probe(
         }
     }
     server.shutdown();
+}
+
+/// Deterministic liveness/readiness probe for a **syncing follower**: a
+/// server flagged as a follower of an unreachable leader must be live
+/// (`/healthz/live` 200) but not ready (`/healthz` 503 naming the
+/// leader), keep serving reads, and bounce writes with a 409 whose body
+/// carries the leader's address — exactly what a load balancer and a
+/// redirecting client each need.
+fn syncing_replica_probe(ctx: Ctx<'_>) {
+    let registry = Arc::new(Registry::new(Arc::new(Metrics::new()), ctx.config.batch));
+    if registry
+        .insert_model("default", synthetic_model(ctx.config.dim.min(1_024), ctx.config.edge))
+        .is_err()
+    {
+        ctx.failures.push("syncing replica: cannot register model".to_owned());
+        return;
+    }
+    // A blackhole leader: the replica state exists and expects a model
+    // that can never catch up, so readiness must stay false forever.
+    let state = Arc::new(ReplicaState::new("10.255.255.1:9"));
+    state.expect_models(&["default".to_owned()]);
+    registry.set_replica(Arc::clone(&state));
+    let server_config = ServerConfig { workers: 2, ..ServerConfig::default() };
+    let Ok(mut server) = Server::start(registry, &server_config) else {
+        ctx.failures.push("syncing replica: cannot start server".to_owned());
+        return;
+    };
+    let Ok(mut client) = Client::connect(server.addr()) else {
+        ctx.failures.push("syncing replica: cannot connect".to_owned());
+        server.shutdown();
+        return;
+    };
+    match client.get("/healthz/live") {
+        Ok(r) if r.status == 200 => {}
+        Ok(r) => ctx.failures.push(format!("syncing replica: /healthz/live answered {}", r.status)),
+        Err(e) => transport_failure(ctx, "syncing replica liveness", &e),
+    }
+    match client.get("/healthz") {
+        Ok(r) if r.status == 503 => {
+            if !String::from_utf8_lossy(&r.body).contains("10.255.255.1:9") {
+                ctx.failures
+                    .push("syncing replica: /healthz 503 does not name the leader".to_owned());
+            }
+        }
+        Ok(r) => ctx
+            .failures
+            .push(format!("syncing replica: /healthz answered {} instead of 503", r.status)),
+        Err(e) => transport_failure(ctx, "syncing replica readiness", &e),
+    }
+    let mut img = vec![0u8; ctx.config.edge * ctx.config.edge];
+    bar_image(&mut img, ctx.config.edge, 0);
+    match client.post("/v1/predict", &Client::predict_body("default", &img)) {
+        Ok(r) if r.is_success() => {}
+        Ok(r) => {
+            ctx.failures.push(format!("syncing replica: read answered {} instead of 200", r.status))
+        }
+        Err(e) => transport_failure(ctx, "syncing replica read", &e),
+    }
+    match client.post("/v1/train", &Client::train_body("default", &img, 0)) {
+        Ok(r) if r.status == 409 => {
+            let named = r
+                .json()
+                .ok()
+                .and_then(|doc| doc.get("leader").and_then(Json::as_str).map(str::to_owned));
+            if named.as_deref() != Some("10.255.255.1:9") {
+                ctx.failures.push(format!(
+                    "syncing replica: 409 body names leader {named:?} instead of the real one"
+                ));
+            }
+        }
+        Ok(r) => ctx
+            .failures
+            .push(format!("syncing replica: write answered {} instead of 409", r.status)),
+        Err(e) => transport_failure(ctx, "syncing replica write", &e),
+    }
+    server.shutdown();
+}
+
+/// A `serve-soak --child-serve` child: a real inference server in its own
+/// process, so the harness can SIGKILL it mid-flight and prove the WAL's
+/// acked ⇒ durable contract with an actual dead process, not a simulation.
+struct ChildServer {
+    child: Child,
+    addr: SocketAddr,
+}
+
+impl ChildServer {
+    /// Spawns the child and blocks until it prints `LISTENING <addr>`.
+    fn spawn(exe: &Path, args: &[OsString]) -> io::Result<ChildServer> {
+        let mut child = Command::new(exe)
+            .arg("--child-serve")
+            .args(args)
+            .stdin(Stdio::null())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()?;
+        let stdout = child.stdout.take().expect("piped child stdout");
+        let mut reader = BufReader::new(stdout);
+        let mut line = String::new();
+        loop {
+            line.clear();
+            if reader.read_line(&mut line)? == 0 {
+                let _ = child.kill();
+                let _ = child.wait();
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "child exited before printing LISTENING",
+                ));
+            }
+            if let Some(rest) = line.trim().strip_prefix("LISTENING ") {
+                let addr = rest.parse().map_err(|e| {
+                    io::Error::new(io::ErrorKind::InvalidData, format!("bad LISTENING line: {e}"))
+                })?;
+                // Keep draining stdout so the child can never block on a
+                // full pipe.
+                std::thread::spawn(move || {
+                    let mut sink = String::new();
+                    while matches!(reader.read_line(&mut sink), Ok(n) if n > 0) {
+                        sink.clear();
+                    }
+                });
+                return Ok(ChildServer { child, addr });
+            }
+        }
+    }
+
+    /// SIGKILL — no drop handlers, no flush, no goodbye. Anything the
+    /// child acked must already be on disk.
+    fn kill9(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+impl Drop for ChildServer {
+    fn drop(&mut self) {
+        self.kill9();
+    }
+}
+
+/// Reads a model's training version off a live server's `/v1/models`.
+fn model_version(client: &mut Client, model: &str) -> Option<u64> {
+    let doc = client.get("/v1/models").ok()?.json().ok()?;
+    doc.get("models")?
+        .as_array()?
+        .iter()
+        .find(|m| m.get("name").and_then(Json::as_str) == Some(model))?
+        .get("version")
+        .and_then(Json::as_f64)
+        .map(|v| v as u64)
+}
+
+/// Streams `count` sequential, individually acked training examples.
+/// Returns false (after recording a failure) on the first non-2xx.
+fn train_acked(ctx: Ctx<'_>, client: &mut Client, count: usize, salt: usize, label: &str) -> bool {
+    let edge = ctx.config.edge;
+    let mut img = vec![0u8; edge * edge];
+    for i in 0..count {
+        let class = bar_image(&mut img, edge, salt + i);
+        match client.post("/v1/train", &Client::train_body("default", &img, class)) {
+            Ok(r) if r.is_success() => {}
+            Ok(r) => {
+                ctx.failures.push(format!("{label}: train {i} answered {}", r.status));
+                return false;
+            }
+            Err(e) => {
+                ctx.failures.push(format!("{label}: train {i} transport error: {e}"));
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Collects the raw response bodies for a fixed set of predict probes —
+/// byte-for-byte comparable across servers that must agree.
+fn predict_bodies(client: &mut Client, edge: usize, probes: usize) -> io::Result<Vec<Vec<u8>>> {
+    let mut img = vec![0u8; edge * edge];
+    let mut bodies = Vec::with_capacity(probes);
+    for i in 0..probes {
+        bar_image(&mut img, edge, i);
+        let response = client.post("/v1/predict", &Client::predict_body("default", &img))?;
+        if !response.is_success() {
+            return Err(io::Error::other(format!("predict {i} answered {}", response.status)));
+        }
+        bodies.push(response.body);
+    }
+    Ok(bodies)
+}
+
+/// The kill -9/restart durability cycle: a victim child and an
+/// identically trained **uncrashed control** child serve the same
+/// file-backed model; after every SIGKILL + restart the victim must come
+/// back at exactly the acked version, answer every probe byte-identically
+/// to the control, and never move its version lineage backwards.
+fn crash_recovery_probe(ctx: Ctx<'_>, exe: &Path, scratch: &Path) {
+    let edge = ctx.config.edge;
+    let model: hdc::AnyModel = synthetic_model(ctx.config.dim.min(1_024), edge).into();
+    let victim_path = scratch.join("crash-victim.hdc");
+    let control_path = scratch.join("crash-control.hdc");
+    for path in [&victim_path, &control_path] {
+        let saved = std::fs::File::create(path)
+            .and_then(|f| model.save(io::BufWriter::new(f)).map_err(io::Error::other));
+        if let Err(e) = saved {
+            ctx.failures.push(format!("crash probe: cannot seed {}: {e}", path.display()));
+            return;
+        }
+    }
+    let spawn = |path: &Path| ChildServer::spawn(exe, &[OsString::from("--model"), path.into()]);
+    let control = match spawn(&control_path) {
+        Ok(c) => c,
+        Err(e) => {
+            ctx.failures.push(format!("crash probe: cannot spawn control child: {e}"));
+            return;
+        }
+    };
+    let mut victim = match spawn(&victim_path) {
+        Ok(c) => c,
+        Err(e) => {
+            ctx.failures.push(format!("crash probe: cannot spawn victim child: {e}"));
+            return;
+        }
+    };
+    let Ok(mut control_client) = Client::connect(control.addr) else {
+        ctx.failures.push("crash probe: cannot connect to control".to_owned());
+        return;
+    };
+
+    let mut last_version = 0u64;
+    for cycle in 0..2u64 {
+        // Identical sequential acked trains to both processes; each ack
+        // means the WAL record is fsynced, so the upcoming SIGKILL must
+        // lose nothing.
+        let trains = 5 + cycle as usize;
+        let Ok(mut victim_client) = Client::connect(victim.addr) else {
+            ctx.failures.push(format!("crash probe: cannot connect to victim (cycle {cycle})"));
+            return;
+        };
+        let salt = cycle as usize * 100;
+        if !train_acked(ctx, &mut victim_client, trains, salt, "crash victim")
+            || !train_acked(ctx, &mut control_client, trains, salt, "crash control")
+        {
+            return;
+        }
+        let expected = model_version(&mut control_client, "default");
+
+        victim.kill9();
+        victim = match spawn(&victim_path) {
+            Ok(c) => c,
+            Err(e) => {
+                ctx.failures.push(format!("crash probe: victim did not restart: {e}"));
+                return;
+            }
+        };
+        let Ok(mut victim_client) = Client::connect(victim.addr) else {
+            ctx.failures.push("crash probe: cannot reconnect to recovered victim".to_owned());
+            return;
+        };
+        let recovered = model_version(&mut victim_client, "default");
+        if recovered != expected {
+            ctx.failures.push(format!(
+                "crash probe cycle {cycle}: recovered at version {recovered:?} instead of the \
+                 acked {expected:?} — the WAL lost or invented updates"
+            ));
+        }
+        if recovered.unwrap_or(0) < last_version {
+            ctx.failures.push(format!(
+                "crash probe cycle {cycle}: version lineage went backwards: {last_version} -> \
+                 {recovered:?}"
+            ));
+        }
+        last_version = recovered.unwrap_or(0);
+        match (
+            predict_bodies(&mut victim_client, edge, 8),
+            predict_bodies(&mut control_client, edge, 8),
+        ) {
+            (Ok(victim_bodies), Ok(control_bodies)) => {
+                if victim_bodies != control_bodies {
+                    ctx.failures.push(format!(
+                        "crash probe cycle {cycle}: recovered predictions differ from the \
+                         uncrashed control's — recovery is not bit-exact"
+                    ));
+                }
+            }
+            (v, c) => {
+                ctx.failures.push(format!(
+                    "crash probe cycle {cycle}: probe predicts failed (victim {:?}, control {:?})",
+                    v.err(),
+                    c.err()
+                ));
+            }
+        }
+        ctx.tally.crash_cycles.fetch_add(1, Relaxed);
+    }
+}
+
+/// Waits until the follower's `/metrics` replication section reports the
+/// model applied at (or past) `version`.
+fn wait_follower_applied(addr: SocketAddr, version: u64, patience: Duration) -> bool {
+    let start = Instant::now();
+    while start.elapsed() < patience {
+        if let Ok(mut client) = Client::connect(addr) {
+            let applied = client
+                .get("/metrics")
+                .ok()
+                .and_then(|r| r.json().ok())
+                .and_then(|doc| {
+                    doc.get("replication")?
+                        .get("models")?
+                        .as_array()?
+                        .iter()
+                        .find(|m| m.get("name").and_then(Json::as_str) == Some("default"))?
+                        .get("applied_version")
+                        .and_then(Json::as_f64)
+                })
+                .map(|v| v as u64);
+            if applied.is_some_and(|v| v >= version) {
+                return true;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    false
+}
+
+/// The follower-promotion probe: a leader child and a follower child
+/// tailing it; once the follower is caught up (replication lag 0 and
+/// `/healthz` ready), SIGKILL the leader — the follower must keep
+/// answering the same probes byte-identically at a non-decreasing
+/// version, stay live, and keep bouncing writes with a 409 naming the
+/// (dead) leader.
+fn failover_probe(ctx: Ctx<'_>, exe: &Path, scratch: &Path) {
+    let edge = ctx.config.edge;
+    let model: hdc::AnyModel = synthetic_model(ctx.config.dim.min(1_024), edge).into();
+    let leader_path = scratch.join("failover-leader.hdc");
+    let saved = std::fs::File::create(&leader_path)
+        .and_then(|f| model.save(io::BufWriter::new(f)).map_err(io::Error::other));
+    if let Err(e) = saved {
+        ctx.failures.push(format!("failover probe: cannot seed leader model: {e}"));
+        return;
+    }
+    let mut leader =
+        match ChildServer::spawn(exe, &[OsString::from("--model"), leader_path.clone().into()]) {
+            Ok(c) => c,
+            Err(e) => {
+                ctx.failures.push(format!("failover probe: cannot spawn leader: {e}"));
+                return;
+            }
+        };
+    let follower = match ChildServer::spawn(
+        exe,
+        &[OsString::from("--follower-of"), leader.addr.to_string().into()],
+    ) {
+        Ok(c) => c,
+        Err(e) => {
+            ctx.failures.push(format!("failover probe: cannot spawn follower: {e}"));
+            return;
+        }
+    };
+    let Ok(mut leader_client) = Client::connect(leader.addr) else {
+        ctx.failures.push("failover probe: cannot connect to leader".to_owned());
+        return;
+    };
+    if !train_acked(ctx, &mut leader_client, 6, 0, "failover leader") {
+        return;
+    }
+    let Some(expected) = model_version(&mut leader_client, "default") else {
+        ctx.failures.push("failover probe: leader reports no model version".to_owned());
+        return;
+    };
+    if !wait_follower_applied(follower.addr, expected, Duration::from_secs(30)) {
+        ctx.failures
+            .push(format!("failover probe: follower never caught up to leader version {expected}"));
+        return;
+    }
+    let Ok(mut follower_client) = Client::connect(follower.addr) else {
+        ctx.failures.push("failover probe: cannot connect to follower".to_owned());
+        return;
+    };
+    match follower_client.get("/healthz") {
+        Ok(r) if r.status == 200 => {}
+        Ok(r) => ctx.failures.push(format!(
+            "failover probe: caught-up follower /healthz answered {} instead of 200",
+            r.status
+        )),
+        Err(e) => transport_failure(ctx, "failover follower readiness", &e),
+    }
+    let leader_bodies = match predict_bodies(&mut leader_client, edge, 8) {
+        Ok(b) => b,
+        Err(e) => {
+            ctx.failures.push(format!("failover probe: leader probe predicts failed: {e}"));
+            return;
+        }
+    };
+
+    leader.kill9();
+
+    match predict_bodies(&mut follower_client, edge, 8) {
+        Ok(follower_bodies) => {
+            if follower_bodies != leader_bodies {
+                ctx.failures.push(
+                    "failover probe: follower predictions differ from the dead leader's — \
+                     promotion would serve different answers"
+                        .to_owned(),
+                );
+            }
+        }
+        Err(e) => {
+            ctx.failures
+                .push(format!("failover probe: follower stopped serving after the kill: {e}"));
+            return;
+        }
+    }
+    let follower_version = model_version(&mut follower_client, "default");
+    if follower_version < Some(expected) {
+        ctx.failures.push(format!(
+            "failover probe: follower version {follower_version:?} fell below the leader's \
+             acked {expected}"
+        ));
+    }
+    let mut img = vec![0u8; edge * edge];
+    let class = bar_image(&mut img, edge, 0);
+    match follower_client.post("/v1/train", &Client::train_body("default", &img, class)) {
+        Ok(r) if r.status == 409 => {
+            if !String::from_utf8_lossy(&r.body).contains(&leader.addr.to_string()) {
+                ctx.failures
+                    .push("failover probe: follower 409 does not name its leader".to_owned());
+            }
+        }
+        Ok(r) => ctx
+            .failures
+            .push(format!("failover probe: follower write answered {} instead of 409", r.status)),
+        Err(e) => transport_failure(ctx, "failover follower write", &e),
+    }
+    match follower_client.get("/healthz/live") {
+        Ok(r) if r.status == 200 => {}
+        Ok(r) => ctx.failures.push(format!(
+            "failover probe: follower /healthz/live answered {} after the kill",
+            r.status
+        )),
+        Err(e) => transport_failure(ctx, "failover follower liveness", &e),
+    }
+    ctx.tally.promotions.fetch_add(1, Relaxed);
 }
 
 /// Peak RSS (`VmHWM`) in KiB from `/proc/self/status`, where available.
@@ -773,6 +1270,7 @@ pub fn run(config: &SoakConfig) -> SoakReport {
         &metrics,
         BatchConfig { max_queue: 0, ..config.batch },
         503,
+        false,
         "maintenance-mode replica",
     );
     degraded_replica_probe(
@@ -785,8 +1283,18 @@ pub fn run(config: &SoakConfig) -> SoakReport {
             ..config.batch
         },
         504,
+        true,
         "zero-grace replica",
     );
+    // A follower that can never catch up must stay live-but-not-ready
+    // while serving reads and bouncing writes.
+    syncing_replica_probe(ctx);
+
+    // Process-level topology injectors: real children, real SIGKILLs.
+    if let Some(exe) = &config.exe {
+        crash_recovery_probe(ctx, exe, &scratch);
+        failover_probe(ctx, exe, &scratch);
+    }
 
     // Recovery: the model that survived the soak must still answer, and
     // one more training step must succeed (which also re-dirties it so
@@ -856,6 +1364,8 @@ pub fn run(config: &SoakConfig) -> SoakReport {
         oversized_cycles: tally.oversized_cycles.load(Relaxed),
         reload_rejects: tally.reload_rejects.load(Relaxed),
         reload_accepts: tally.reload_accepts.load(Relaxed),
+        crash_cycles: tally.crash_cycles.load(Relaxed),
+        promotions: tally.promotions.load(Relaxed),
         metric_shed: metrics.shed_total(),
         metric_expired: metrics.deadline_expired_total(),
         metric_panics: metrics.worker_panics_total(),
@@ -908,6 +1418,14 @@ fn audit(config: &SoakConfig, tally: &Tally, failures: &Failures, metrics: &Metr
         ("valid reload accepts", tally.reload_accepts.load(Relaxed), 1),
         ("shed responses", tally.shed.load(Relaxed), config.probes as u64),
         ("deadline expiries", tally.expired.load(Relaxed), config.probes as u64),
+        // The topology injectors only run when the harness knows its own
+        // binary; with `exe` unset their floors drop to zero.
+        (
+            "kill -9/restart recovery cycles",
+            tally.crash_cycles.load(Relaxed),
+            if config.exe.is_some() { 2 } else { 0 },
+        ),
+        ("follower promotions", tally.promotions.load(Relaxed), u64::from(config.exe.is_some())),
     ];
     for (what, count, minimum) in minimums {
         if count < minimum {
@@ -964,6 +1482,8 @@ mod tests {
             oversized_cycles: 1,
             reload_rejects: 1,
             reload_accepts: 1,
+            crash_cycles: 2,
+            promotions: 1,
             metric_shed: 2,
             metric_expired: 1,
             metric_panics: 3,

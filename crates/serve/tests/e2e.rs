@@ -317,6 +317,14 @@ fn healthz_and_models_report_registry_state() {
     let doc = health.json().unwrap();
     assert_eq!(doc.get("status").and_then(Json::as_str), Some("ok"));
     assert_eq!(doc.get("models").and_then(Json::as_f64), Some(1.0));
+    assert_eq!(doc.get("live").and_then(Json::as_bool), Some(true));
+    assert_eq!(doc.get("ready").and_then(Json::as_bool), Some(true));
+
+    // The liveness-only endpoint never reflects readiness state.
+    let live = client.get("/healthz/live").unwrap();
+    assert_eq!(live.status, 200);
+    let doc = live.json().unwrap();
+    assert_eq!(doc.get("live").and_then(Json::as_bool), Some(true));
 
     let models = client.get("/v1/models").unwrap().json().unwrap();
     let list = models.get("models").and_then(Json::as_array).unwrap();

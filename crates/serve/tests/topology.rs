@@ -1,0 +1,18 @@
+//! Topology smoke through the real `serve-soak` binary: the quick soak
+//! with the process-level injectors enabled, so `cargo test` itself
+//! proves kill -9 crash recovery (bit-exact vs an uncrashed control
+//! process) and follower promotion (byte-identical answers after the
+//! leader dies), not just the in-process approximations.
+
+use hdc_serve::soak::{run, SoakConfig};
+use std::path::PathBuf;
+
+#[test]
+fn topology_injectors_prove_crash_recovery_and_failover() {
+    let mut config = SoakConfig::quick();
+    config.exe = Some(PathBuf::from(env!("CARGO_BIN_EXE_serve-soak")));
+    let report = run(&config);
+    assert!(report.passed(), "soak gate violations: {:#?}", report.failures);
+    assert!(report.crash_cycles >= 2, "both kill -9 cycles must complete");
+    assert!(report.promotions >= 1, "the follower promotion must complete");
+}

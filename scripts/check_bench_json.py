@@ -48,10 +48,15 @@ DELTA_OPS = {"pack_words", "serve_predict", "serve_predict_binary", "serve_train
 # Ops whose acceptance bar differs from the generic MIN_SPEEDUP.
 # serve_soak's "speedup" is p99-ceiling headroom: > 1.0 means the soak's
 # latency ceiling held, so the floor is exactly break-even.
+# serve_wal_append compares file-backed training (fsynced WAL append per
+# published batch) coalesced vs batch-size-1: coalescing amortizes one
+# fsync over the whole batch while batch-size-1 pays it per example, so
+# anything at or below parity means durability broke the coalescing win.
 FLOOR_OVERRIDES = {
     "train_partial_fit": 50.0,
     "train_partial_fit_binary": 50.0,
     "serve_soak": 1.0,
+    "serve_wal_append": 1.0,
 }
 
 REQUIRED_OPS = {
@@ -63,7 +68,13 @@ REQUIRED_OPS = {
         "train_partial_fit",
         "train_partial_fit_binary",
     },
-    "serve": {"serve_predict", "serve_predict_binary", "serve_train", "serve_coalescing"},
+    "serve": {
+        "serve_predict",
+        "serve_predict_binary",
+        "serve_train",
+        "serve_wal_append",
+        "serve_coalescing",
+    },
     "serve_soak": {"serve_soak"},
 }
 
