@@ -400,6 +400,12 @@ pub fn serve(args: Args) -> CliResult {
         args.get_or("queue-deadline-ms", BatchConfig::default().queue_deadline.as_millis() as u64)?;
     let request_deadline_secs: u64 =
         args.get_or("request-deadline-secs", ServerConfig::default().request_deadline.as_secs())?;
+    let slow_request_ms: u64 =
+        args.get_or("slow-request-ms", ServerConfig::default().slow_request_ms)?;
+    if let Some(raw) = args.get("log-level") {
+        let level: hdc_serve::log::Level = raw.parse().map_err(|e| format!("--log-level: {e}"))?;
+        hdc_serve::log::set_level(level);
+    }
 
     let mut models: Vec<(String, String)> = Vec::new();
     if let Some(path) = args.get("model") {
@@ -464,6 +470,7 @@ pub fn serve(args: Args) -> CliResult {
         addr,
         workers,
         request_deadline: Duration::from_secs(request_deadline_secs),
+        slow_request_ms,
         ..ServerConfig::default()
     };
     let mut server = Server::start(registry, &config)?;
@@ -480,8 +487,9 @@ pub fn serve(args: Args) -> CliResult {
     );
     println!(
         "endpoints: GET /healthz | GET /healthz/live | GET /v1/models | GET /metrics | \
-         GET /v1/export | GET /v1/deltas | POST /v1/predict | POST /v1/train | \
-         POST /v1/feedback | POST /v1/snapshot | POST /v1/reload"
+         GET /debug/traces | GET /debug/traces/slow | GET /v1/export | GET /v1/deltas | \
+         POST /v1/predict | POST /v1/train | POST /v1/feedback | POST /v1/snapshot | \
+         POST /v1/reload"
     );
     server.join();
     Ok(())

@@ -53,6 +53,10 @@ COMMANDS:
              [--follower-of HOST:PORT: replicate that leader instead of
               serving writes; models bootstrap from the leader, writes
               get 409 naming it, /healthz turns ready once caught up]
+             [--slow-request-ms N: requests slower than this are copied to
+              /debug/traces/slow and logged with their stage breakdown,
+              0 disables]
+             [--log-level error|warn|info|debug: stderr log verbosity]
 
 Every run is deterministic given its seeds.";
 
@@ -114,6 +118,8 @@ fn main() -> ExitCode {
                 "queue-deadline-ms",
                 "request-deadline-secs",
                 "follower-of",
+                "slow-request-ms",
+                "log-level",
             ],
         )
         .map_err(Into::into)

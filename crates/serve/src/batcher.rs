@@ -79,6 +79,7 @@
 use crate::error::ServeError;
 use crate::metrics::Metrics;
 use crate::registry::SharedModel;
+use crate::trace::{ActiveTrace, Stage};
 use crate::wal::{self, DeltaOp, DeltaRecord, Wal};
 use hdc::{AnyModel, Model, Prediction};
 use std::collections::VecDeque;
@@ -197,20 +198,26 @@ pub struct FeedbackOutcome {
 /// receiver, so one worker can fan replies back out to many handlers.
 type Reply<T> = mpsc::Sender<Result<T, ServeError>>;
 
-/// One queued request awaiting execution.
+/// One queued request awaiting execution. Client jobs carry the
+/// request's [`ActiveTrace`] (when tracing is on) so the worker can
+/// stamp queue-wait/execute/WAL/publish spans and fault terminals onto
+/// the trace the HTTP layer will finalize.
 enum Job {
     Predict {
         input: Vec<u8>,
         reply: Reply<Prediction>,
+        trace: Option<Arc<ActiveTrace>>,
     },
     Train {
         examples: Vec<(Vec<u8>, usize)>,
         reply: Reply<TrainOutcome>,
+        trace: Option<Arc<ActiveTrace>>,
     },
     Feedback {
         input: Vec<u8>,
         label: usize,
         reply: Reply<FeedbackOutcome>,
+        trace: Option<Arc<ActiveTrace>>,
     },
     /// A hot-reload replacement model (boxed: it dwarfs the other
     /// variants). Executed in queue order by the single writer, which is
@@ -243,6 +250,17 @@ pub(crate) enum WalSwap {
 }
 
 impl Job {
+    /// The request trace riding this job, if any (swaps are operator
+    /// actions and never traced).
+    fn trace(&self) -> Option<&Arc<ActiveTrace>> {
+        match self {
+            Job::Predict { trace, .. } | Job::Train { trace, .. } | Job::Feedback { trace, .. } => {
+                trace.as_ref()
+            }
+            Job::Swap { .. } => None,
+        }
+    }
+
     /// Replies with `err`, whatever the job type.
     fn reject(self, err: ServeError) {
         match self {
@@ -343,6 +361,9 @@ impl Batcher {
             }
             if sheddable && queue.jobs.len() >= self.config.max_queue {
                 self.metrics.on_shed();
+                if let Some(trace) = job.trace() {
+                    trace.set_terminal("shed");
+                }
                 return Err(ServeError::Overloaded(format!(
                     "queue full ({} jobs waiting); retry later",
                     queue.jobs.len()
@@ -365,8 +386,23 @@ impl Batcher {
     /// Propagates per-input compute errors (wrong shape → 400); returns
     /// [`ServeError::Internal`] if the batcher is shutting down.
     pub fn predict(&self, input: Vec<u8>) -> Result<Prediction, ServeError> {
+        self.predict_traced(input, None)
+    }
+
+    /// [`predict`](Self::predict) carrying the request's trace: the
+    /// worker stamps queue-wait and execute spans onto it, and fault
+    /// paths (shed, queue deadline, panic) mark its terminal stage.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`predict`](Self::predict).
+    pub fn predict_traced(
+        &self,
+        input: Vec<u8>,
+        trace: Option<Arc<ActiveTrace>>,
+    ) -> Result<Prediction, ServeError> {
         let (reply, receive) = mpsc::channel();
-        self.enqueue(Job::Predict { input, reply }, &receive)
+        self.enqueue(Job::Predict { input, reply, trace }, &receive)
     }
 
     /// Enqueues labeled examples and blocks until they are absorbed into
@@ -379,11 +415,26 @@ impl Batcher {
     /// examples are then not applied); returns [`ServeError::Internal`]
     /// if the batcher is shutting down.
     pub fn train(&self, examples: Vec<(Vec<u8>, usize)>) -> Result<TrainOutcome, ServeError> {
+        self.train_traced(examples, None)
+    }
+
+    /// [`train`](Self::train) carrying the request's trace: the worker
+    /// additionally stamps WAL-append and publish spans, and the delta
+    /// record streamed to followers carries the batch's first trace id.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`train`](Self::train).
+    pub fn train_traced(
+        &self,
+        examples: Vec<(Vec<u8>, usize)>,
+        trace: Option<Arc<ActiveTrace>>,
+    ) -> Result<TrainOutcome, ServeError> {
         if examples.is_empty() {
             return Err(ServeError::BadRequest("training request carries no examples".into()));
         }
         let (reply, receive) = mpsc::channel();
-        self.enqueue(Job::Train { examples, reply }, &receive)
+        self.enqueue(Job::Train { examples, reply, trace }, &receive)
     }
 
     /// Enqueues one feedback round (true label for an input) and blocks
@@ -395,8 +446,23 @@ impl Batcher {
     /// Propagates shape/label errors; returns [`ServeError::Internal`] if
     /// the batcher is shutting down.
     pub fn feedback(&self, input: Vec<u8>, label: usize) -> Result<FeedbackOutcome, ServeError> {
+        self.feedback_traced(input, label, None)
+    }
+
+    /// [`feedback`](Self::feedback) carrying the request's trace, with
+    /// the same span/terminal stamping as [`train_traced`](Self::train_traced).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`feedback`](Self::feedback).
+    pub fn feedback_traced(
+        &self,
+        input: Vec<u8>,
+        label: usize,
+        trace: Option<Arc<ActiveTrace>>,
+    ) -> Result<FeedbackOutcome, ServeError> {
         let (reply, receive) = mpsc::channel();
-        self.enqueue(Job::Feedback { input, label, reply }, &receive)
+        self.enqueue(Job::Feedback { input, label, reply, trace }, &receive)
     }
 
     /// Enqueues a hot-reload replacement and blocks until the worker has
@@ -485,11 +551,17 @@ fn worker_loop(shared: &Shared, model: &SharedModel, metrics: &Metrics, config: 
         let now = Instant::now();
         let mut batch = Vec::with_capacity(drained.len());
         for queued in drained {
+            if let Some(trace) = queued.job.trace() {
+                trace.record_span(Stage::QueueWait, queued.enqueued_at, now);
+            }
             let expired = !config.queue_deadline.is_zero()
                 && !matches!(queued.job, Job::Swap { .. })
                 && now.duration_since(queued.enqueued_at) > config.queue_deadline;
             if expired {
                 metrics.on_deadline_expired();
+                if let Some(trace) = queued.job.trace() {
+                    trace.set_terminal("queue_deadline");
+                }
                 queued.job.reject(ServeError::DeadlineExpired(format!(
                     "request waited {:?} in queue (deadline {:?})",
                     now.duration_since(queued.enqueued_at),
@@ -514,7 +586,7 @@ fn execute(model: &SharedModel, metrics: &Metrics, batch: Vec<Job>) {
     let mut updates = Vec::new();
     for job in batch {
         match job {
-            Job::Predict { input, reply } => predicts.push((input, reply)),
+            Job::Predict { input, reply, trace } => predicts.push((input, reply, trace)),
             Job::Swap { model: replacement, wal, reply } => {
                 flush(model, metrics, &mut predicts, &mut updates);
                 let version = model.replace(Arc::new(*replacement));
@@ -547,15 +619,17 @@ fn flush(
     }
 }
 
-type PredictJob = (Vec<u8>, Reply<Prediction>);
+type PredictJob = (Vec<u8>, Reply<Prediction>, Option<Arc<ActiveTrace>>);
 
 /// Runs one predict inside its own `catch_unwind`: a panicking model
 /// poisons exactly this job (500 `Panicked`, counted in
-/// `worker_panics_total`) and nothing else.
+/// `worker_panics_total` and marked `terminal=panic` on its trace) and
+/// nothing else.
 fn predict_quarantined(
     model: &AnyModel,
     metrics: &Metrics,
     input: &[u8],
+    trace: Option<&Arc<ActiveTrace>>,
 ) -> Result<Prediction, ServeError> {
     catch_unwind(AssertUnwindSafe(|| {
         maybe_inject_panic(input);
@@ -563,18 +637,26 @@ fn predict_quarantined(
     }))
     .unwrap_or_else(|_| {
         metrics.on_worker_panic();
+        if let Some(trace) = trace {
+            trace.set_terminal("panic");
+        }
         Err(ServeError::Panicked("model panicked executing this request".into()))
     })
 }
 
 fn execute_predicts(model: &AnyModel, metrics: &Metrics, batch: &[PredictJob]) {
     metrics.on_batch(batch.len());
+    let started = Instant::now();
     if batch.len() == 1 {
-        let (input, reply) = &batch[0];
-        let _ = reply.send(predict_quarantined(model, metrics, input));
+        let (input, reply, trace) = &batch[0];
+        let result = predict_quarantined(model, metrics, input, trace.as_ref());
+        if let Some(trace) = trace {
+            trace.record_span(Stage::Execute, started, Instant::now());
+        }
+        let _ = reply.send(result);
         return;
     }
-    let inputs: Vec<&[u8]> = batch.iter().map(|(input, _)| &input[..]).collect();
+    let inputs: Vec<&[u8]> = batch.iter().map(|(input, _, _)| &input[..]).collect();
     let coalesced = catch_unwind(AssertUnwindSafe(|| {
         for input in &inputs {
             maybe_inject_panic(input);
@@ -583,7 +665,13 @@ fn execute_predicts(model: &AnyModel, metrics: &Metrics, batch: &[PredictJob]) {
     }));
     match coalesced {
         Ok(Ok(predictions)) => {
-            for ((_, reply), prediction) in batch.iter().zip(predictions) {
+            // Every rider shares the batch's execute span: that is the
+            // model time its reply actually waited on.
+            let finished = Instant::now();
+            for ((_, reply, trace), prediction) in batch.iter().zip(predictions) {
+                if let Some(trace) = trace {
+                    trace.record_span(Stage::Execute, started, finished);
+                }
                 let _ = reply.send(Ok(prediction));
             }
         }
@@ -593,8 +681,12 @@ fn execute_predicts(model: &AnyModel, metrics: &Metrics, batch: &[PredictJob]) {
         // exactly its own error, and only the truly poisoned jobs count
         // as panics.
         Ok(Err(_)) | Err(_) => {
-            for (input, reply) in batch {
-                let _ = reply.send(predict_quarantined(model, metrics, input));
+            for (input, reply, trace) in batch {
+                let result = predict_quarantined(model, metrics, input, trace.as_ref());
+                if let Some(trace) = trace {
+                    trace.record_span(Stage::Execute, started, Instant::now());
+                }
+                let _ = reply.send(result);
             }
         }
     }
@@ -613,6 +705,7 @@ fn execute_predicts(model: &AnyModel, metrics: &Metrics, batch: &[PredictJob]) {
 /// Panics happen on private clones before publish, so the published
 /// lineage stays monotonic no matter which jobs were poisoned.
 fn execute_updates(shared: &SharedModel, metrics: &Metrics, jobs: Vec<Job>) {
+    let execute_started = Instant::now();
     let snapshot = shared.snapshot();
     // Cheap by construction: the encoder is Arc-shared, so this copies
     // only the per-class counters and references.
@@ -624,13 +717,21 @@ fn execute_updates(shared: &SharedModel, metrics: &Metrics, jobs: Vec<Job>) {
     // this batch's publish, so replaying it is bit-exact.
     let mut ops: Vec<DeltaOp> = Vec::new();
 
-    // Partition, preserving queue order within each kind.
+    // Partition, preserving queue order within each kind. Every traced
+    // job in the coalesced batch shares the execute/WAL/publish spans —
+    // that is the wall time its acknowledgement actually waited on.
     let mut trains = Vec::new();
     let mut feedbacks = Vec::new();
+    let mut traces: Vec<Arc<ActiveTrace>> = Vec::new();
     for job in jobs {
+        if let Some(trace) = job.trace() {
+            traces.push(Arc::clone(trace));
+        }
         match job {
-            Job::Train { examples, reply } => trains.push((examples, reply)),
-            Job::Feedback { input, label, reply } => feedbacks.push((input, label, reply)),
+            Job::Train { examples, reply, trace } => trains.push((examples, reply, trace)),
+            Job::Feedback { input, label, reply, trace } => {
+                feedbacks.push((input, label, reply, trace));
+            }
             Job::Predict { .. } | Job::Swap { .. } => {
                 unreachable!("predicts and swaps split off before updates")
             }
@@ -643,7 +744,7 @@ fn execute_updates(shared: &SharedModel, metrics: &Metrics, jobs: Vec<Job>) {
     if !trains.is_empty() {
         let coalesced: Vec<(&[u8], usize)> = trains
             .iter()
-            .flat_map(|(examples, _)| examples.iter().map(|(i, l)| (&i[..], *l)))
+            .flat_map(|(examples, _, _)| examples.iter().map(|(i, l)| (&i[..], *l)))
             .collect();
         let fast_path = catch_unwind(AssertUnwindSafe(|| {
             let mut trial = model.clone();
@@ -657,7 +758,7 @@ fn execute_updates(shared: &SharedModel, metrics: &Metrics, jobs: Vec<Job>) {
                 debug_assert_eq!(applied, coalesced.len());
                 model = trial;
                 applied_total += applied;
-                for (examples, reply) in trains {
+                for (examples, reply, _) in trains {
                     train_results.push((reply, Ok(examples.len())));
                     ops.extend(
                         examples.into_iter().map(|(input, label)| DeltaOp::Train { input, label }),
@@ -668,7 +769,7 @@ fn execute_updates(shared: &SharedModel, metrics: &Metrics, jobs: Vec<Job>) {
             // one poisoned example panicked it; re-apply per job so only
             // the guilty request errors.
             Ok(Err(_)) | Err(_) => {
-                for (examples, reply) in trains {
+                for (examples, reply, trace) in trains {
                     let outcome = catch_unwind(AssertUnwindSafe(|| {
                         let mut trial = model.clone();
                         for (input, _) in &examples {
@@ -692,6 +793,9 @@ fn execute_updates(shared: &SharedModel, metrics: &Metrics, jobs: Vec<Job>) {
                         Ok(Err(e)) => Err(ServeError::from(e)),
                         Err(_) => {
                             metrics.on_worker_panic();
+                            if let Some(trace) = &trace {
+                                trace.set_terminal("panic");
+                            }
                             Err(ServeError::Panicked(
                                 "model panicked absorbing this request's examples".into(),
                             ))
@@ -705,7 +809,7 @@ fn execute_updates(shared: &SharedModel, metrics: &Metrics, jobs: Vec<Job>) {
 
     let mut feedback_results: Vec<(Reply<FeedbackOutcome>, Result<hdc::Feedback, ServeError>)> =
         Vec::with_capacity(feedbacks.len());
-    for (input, label, reply) in feedbacks {
+    for (input, label, reply, trace) in feedbacks {
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             let mut trial = model.clone();
             maybe_inject_panic(&input);
@@ -727,6 +831,9 @@ fn execute_updates(shared: &SharedModel, metrics: &Metrics, jobs: Vec<Job>) {
             Ok(Err(e)) => Err(ServeError::from(e)),
             Err(_) => {
                 metrics.on_worker_panic();
+                if let Some(trace) = &trace {
+                    trace.set_terminal("panic");
+                }
                 Err(ServeError::Panicked("model panicked applying this feedback".into()))
             }
         };
@@ -741,11 +848,20 @@ fn execute_updates(shared: &SharedModel, metrics: &Metrics, jobs: Vec<Job>) {
     // rescale runs first: it is part of the published state, and replay
     // reproduces it by running the same check after the record's ops.
     let changed = applied_total > 0 || feedback_updates > 0;
+    let execute_done = Instant::now();
+    for trace in &traces {
+        trace.record_span(Stage::Execute, execute_started, execute_done);
+    }
     let version = if changed {
         wal::maybe_rescale(&mut model);
-        let record = DeltaRecord { version: shared.version() + 1, ops };
+        let record = DeltaRecord {
+            version: shared.version() + 1,
+            ops,
+            trace: traces.first().map(|t| t.id().to_owned()),
+        };
         let mut slot = shared.wal_lock();
         if let Some(log) = slot.as_mut() {
+            let append_started = Instant::now();
             if let Err(e) = log.append(&record) {
                 drop(slot);
                 metrics.on_wal_append_error();
@@ -775,15 +891,24 @@ fn execute_updates(shared: &SharedModel, metrics: &Metrics, jobs: Vec<Job>) {
                 return;
             }
             metrics.on_wal_append();
+            let append_done = Instant::now();
+            for trace in &traces {
+                trace.record_span(Stage::WalAppend, append_started, append_done);
+            }
         }
         drop(slot);
         metrics.on_train_batch(applied_total + feedback_updates);
+        let publish_started = Instant::now();
         let version = shared.publish(Arc::new(model), (applied_total + feedback_updates) as u64);
         debug_assert_eq!(version, record.version, "single writer: no publish can interleave");
         // The ring serves followers; records enter it only after their
         // version is live, so a follower can never apply a version its
         // leader has not published.
         shared.deltas().push(Arc::new(record));
+        let publish_done = Instant::now();
+        for trace in &traces {
+            trace.record_span(Stage::Publish, publish_started, publish_done);
+        }
         version
     } else {
         shared.version()
@@ -1125,6 +1250,42 @@ mod tests {
         let rendered = format!("{batcher:?}");
         assert!(rendered.contains("pending="), "{rendered}");
         assert!(batcher.predict(vec![0u8; 16]).is_ok(), "accept path survives poison");
+    }
+
+    #[test]
+    fn traced_faults_mark_terminals_and_deltas_carry_the_trace_id() {
+        let shared = model();
+        let metrics = Arc::new(Metrics::new());
+
+        // A shed job's trace ends at terminal "shed".
+        let config = BatchConfig { max_queue: 0, ..BatchConfig::default() };
+        let batcher = Batcher::start(Arc::clone(&shared), Arc::clone(&metrics), config);
+        let trace = ActiveTrace::new("shed-1".into());
+        let err = batcher.predict_traced(vec![0u8; 16], Some(Arc::clone(&trace))).unwrap_err();
+        assert_eq!(err.status(), 503);
+        assert_eq!(trace.finalize(503, 1).terminal, "shed");
+        drop(batcher);
+
+        // A deadline-expired job's trace ends at terminal "queue_deadline".
+        let config = BatchConfig {
+            queue_deadline: Duration::from_nanos(1),
+            max_linger: Duration::ZERO,
+            ..BatchConfig::default()
+        };
+        let batcher = Batcher::start(Arc::clone(&shared), Arc::clone(&metrics), config);
+        let trace = ActiveTrace::new("late-1".into());
+        let err = batcher.predict_traced(vec![0u8; 16], Some(Arc::clone(&trace))).unwrap_err();
+        assert_eq!(err.status(), 504);
+        assert_eq!(trace.finalize(504, 1).terminal, "queue_deadline");
+        drop(batcher);
+
+        // A traced train stamps its id onto the streamed delta record,
+        // so the write can be followed to any follower that applies it.
+        let batcher = Batcher::start(Arc::clone(&shared), metrics, BatchConfig::default());
+        let trace = ActiveTrace::new("train-1".into());
+        batcher.train_traced(vec![(vec![224u8; 16], 1)], Some(trace)).unwrap();
+        let deltas = shared.deltas().collect_after(0, Duration::ZERO).unwrap();
+        assert_eq!(deltas.last().unwrap().trace.as_deref(), Some("train-1"));
     }
 
     #[test]

@@ -64,6 +64,11 @@ fn main() -> ExitCode {
         report.coalesced_final_version
     );
     println!("SPEEDUP serve_train {:.2}x", report.coalesced_train_rps / report.single_train_rps);
+    println!(
+        "tracing:      on {:>8.0} req/s   off {:>8.0} req/s",
+        report.traced_rps, report.untraced_rps
+    );
+    println!("OVERHEAD serve_trace_overhead {:.3}x (floor 0.95)", report.trace_overhead());
 
     let path = std::env::var("BENCH_SERVE_JSON").unwrap_or_else(|_| "BENCH_serve.json".to_string());
     let json = report.to_bench_json(quick);

@@ -96,12 +96,32 @@ impl Client {
         path: &str,
         body: Option<&str>,
     ) -> io::Result<Response> {
+        self.request_with_headers(method, path, &[], body)
+    }
+
+    /// [`request`](Self::request) with extra request headers — e.g. a
+    /// caller-chosen `X-Request-Id` to correlate this call with the
+    /// server's traces and logs.
+    ///
+    /// # Errors
+    ///
+    /// As [`request`](Self::request).
+    pub fn request_with_headers(
+        &mut self,
+        method: &str,
+        path: &str,
+        headers: &[(&str, &str)],
+        body: Option<&str>,
+    ) -> io::Result<Response> {
         let body = body.unwrap_or("");
-        write!(
-            self.writer,
-            "{method} {path} HTTP/1.1\r\nhost: localhost\r\ncontent-length: {}\r\n\r\n{body}",
-            body.len(),
-        )?;
+        let mut head = format!("{method} {path} HTTP/1.1\r\nhost: localhost\r\n");
+        for (name, value) in headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        write!(self.writer, "{head}content-length: {}\r\n\r\n{body}", body.len())?;
         self.writer.flush()?;
         self.read_response()
     }

@@ -79,6 +79,20 @@ impl std::fmt::Display for HttpError {
 
 impl std::error::Error for HttpError {}
 
+/// Stage timestamps captured while reading one request, for tracing:
+/// `first_byte` is when the request's first byte actually arrived (idle
+/// keep-alive wait is *not* request time), `head_done` when the blank
+/// line ended the head, `body_done` when the full body was buffered.
+#[derive(Debug, Clone, Copy)]
+pub struct ReadTimings {
+    /// First byte of the request line arrived.
+    pub first_byte: Instant,
+    /// Head (request line + headers + blank line) fully parsed.
+    pub head_done: Instant,
+    /// Body fully read (equals `head_done` for bodyless requests).
+    pub body_done: Instant,
+}
+
 /// Reads one request off a buffered stream. Returns `Ok(None)` on a clean
 /// EOF before any request byte (the peer closed a keep-alive connection).
 ///
@@ -96,9 +110,28 @@ pub fn read_request<R: BufRead>(
     reader: &mut R,
     deadline: Option<Instant>,
 ) -> Result<Option<Request>, HttpError> {
+    read_request_timed(reader, deadline, &mut None).map(|opt| opt.map(|(request, _)| request))
+}
+
+/// [`read_request`] plus per-stage [`ReadTimings`] for the trace layer.
+///
+/// `client_id` is filled with the peer's `x-request-id` header as soon as
+/// the head has parsed far enough to know it — including on the error
+/// paths (413, truncated-body 400, mid-body 408), so those replies can
+/// still echo the caller's id.
+///
+/// # Errors
+///
+/// Same contract as [`read_request`].
+pub fn read_request_timed<R: BufRead>(
+    reader: &mut R,
+    deadline: Option<Instant>,
+    client_id: &mut Option<String>,
+) -> Result<Option<(Request, ReadTimings)>, HttpError> {
     let mut line = Vec::new();
     let mut head_bytes = 0usize;
-    read_line(reader, &mut line, &mut head_bytes, deadline)?;
+    let mut first_byte = None;
+    read_line(reader, &mut line, &mut head_bytes, deadline, &mut first_byte)?;
     if line.is_empty() {
         return Ok(None);
     }
@@ -117,7 +150,7 @@ pub fn read_request<R: BufRead>(
 
     let mut headers = Vec::new();
     loop {
-        read_line(reader, &mut line, &mut head_bytes, deadline)?;
+        read_line(reader, &mut line, &mut head_bytes, deadline, &mut first_byte)?;
         if line.is_empty() {
             break;
         }
@@ -130,6 +163,7 @@ pub fn read_request<R: BufRead>(
     }
 
     let request = Request { method, path, headers, body: Vec::new() };
+    *client_id = request.header("x-request-id").map(str::to_owned);
     if request.header("transfer-encoding").is_some_and(|v| !v.eq_ignore_ascii_case("identity")) {
         return Err(HttpError::Bad(400, "chunked transfer encoding not supported".into()));
     }
@@ -142,6 +176,7 @@ pub fn read_request<R: BufRead>(
     if content_length > MAX_BODY_BYTES {
         return Err(HttpError::Bad(413, format!("body of {content_length} bytes exceeds limit")));
     }
+    let head_done = Instant::now();
     let mut request = request;
     if content_length > 0 {
         // Manual fill loop instead of `read_exact`: partial progress must
@@ -171,7 +206,12 @@ pub fn read_request<R: BufRead>(
             }
         }
     }
-    Ok(Some(request))
+    let timings = ReadTimings {
+        first_byte: first_byte.unwrap_or(head_done),
+        head_done,
+        body_done: Instant::now(),
+    };
+    Ok(Some((request, timings)))
 }
 
 /// Whether an I/O error is a socket read-timeout slice (retryable under a
@@ -208,6 +248,7 @@ fn read_line<R: BufRead>(
     line: &mut Vec<u8>,
     head_bytes: &mut usize,
     deadline: Option<Instant>,
+    first_byte: &mut Option<Instant>,
 ) -> Result<(), HttpError> {
     line.clear();
     loop {
@@ -217,6 +258,9 @@ fn read_line<R: BufRead>(
         let complete = match reader.fill_buf() {
             Ok([]) => break, // EOF; the terminator check below decides
             Ok(buf) => {
+                // The request clock starts at the first arrived byte, so
+                // idle keep-alive wait never counts as head-parse time.
+                first_byte.get_or_insert_with(Instant::now);
                 // Consume at most one byte past the head limit so the
                 // overflow is detectable without unbounded buffering.
                 let limit = buf.len().min(MAX_HEAD_BYTES + 1 - *head_bytes);
@@ -448,6 +492,37 @@ mod tests {
         // Without a deadline the stall stays a transport error.
         let result = read_request(&mut BufReader::new(Stall), None);
         assert!(matches!(result, Err(HttpError::Io(_))), "{result:?}");
+    }
+
+    #[test]
+    fn timed_read_reports_ordered_stage_instants() {
+        let raw: &[u8] = b"POST / HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcd";
+        let (request, timings) =
+            read_request_timed(&mut BufReader::new(raw), None, &mut None).unwrap().unwrap();
+        assert_eq!(request.body, b"abcd");
+        assert!(timings.first_byte <= timings.head_done);
+        assert!(timings.head_done <= timings.body_done);
+    }
+
+    #[test]
+    fn client_id_survives_post_head_rejections() {
+        // The 413 fires after the head parsed, so the caller's id must be
+        // recoverable for the error reply to echo.
+        let raw = format!(
+            "POST / HTTP/1.1\r\nx-request-id: req-9\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        let mut id = None;
+        let result = read_request_timed(&mut BufReader::new(raw.as_bytes()), None, &mut id);
+        assert!(matches!(result, Err(HttpError::Bad(413, _))));
+        assert_eq!(id.as_deref(), Some("req-9"));
+
+        // A head that never parses leaves no id behind.
+        let mut id = None;
+        let result =
+            read_request_timed(&mut BufReader::new(&b"NONSENSE\r\n\r\n"[..]), None, &mut id);
+        assert!(matches!(result, Err(HttpError::Bad(400, _))));
+        assert_eq!(id, None);
     }
 
     #[test]

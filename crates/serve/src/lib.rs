@@ -45,7 +45,20 @@
 //!   (the observable proof that coalescing happens), online-training
 //!   counters, p50/p99 latency from fixed power-of-two buckets, and the
 //!   overload accounting (`shed_total`, `deadline_expired_total`,
-//!   `worker_panics_total`, a queue-depth histogram).
+//!   `worker_panics_total`, a queue-depth histogram). `/metrics` renders
+//!   JSON by default and Prometheus text exposition with
+//!   `?format=prometheus`.
+//! * [`trace`] — per-request **distributed tracing**: every request gets
+//!   an id (client-supplied `X-Request-Id` or generated), echoed on every
+//!   response, with per-stage spans (head parse → body read → queue wait
+//!   → execute → WAL append → publish → reply write) recorded into a
+//!   fixed-size ring of completed traces (`GET /debug/traces`,
+//!   `GET /debug/traces/slow`) and per-stage/per-model latency
+//!   histograms. Delta records carry the originating trace id so a write
+//!   can be followed leader→follower.
+//! * [`log`] — a leveled (`--log-level`), rate-limited structured logger:
+//!   `key=value` lines on stderr with per-site token-bucket suppression
+//!   (`suppressed=N` tallies instead of silent gaps).
 //! * [`loadgen`] — a self-driving load generator that measures coalesced
 //!   vs batch-size-1 throughput (predicts *and* trains) and emits
 //!   `BENCH_serve.json` for CI.
@@ -99,6 +112,8 @@
 //! curl -X POST http://127.0.0.1:8080/v1/snapshot \
 //!     -d '{"model":"default","path":"snap.hdc"}'  # persist counters atomically
 //! curl http://127.0.0.1:8080/metrics        # batch/training stats, p50/p99
+//! curl http://127.0.0.1:8080/metrics?format=prometheus   # text exposition
+//! curl http://127.0.0.1:8080/debug/traces   # recent per-request stage traces
 //! curl -X POST http://127.0.0.1:8080/v1/reload \
 //!     -d '{"model":"default","path":"snap.hdc"}'   # hot reload, resumes training
 //! ```
@@ -143,11 +158,13 @@ pub mod error;
 pub mod http;
 pub mod json;
 pub mod loadgen;
+pub mod log;
 pub mod metrics;
 pub mod registry;
 pub mod replica;
 pub mod server;
 pub mod soak;
+pub mod trace;
 pub mod wal;
 
 pub use batcher::{BatchConfig, Batcher, FeedbackOutcome, TrainOutcome};
@@ -158,4 +175,5 @@ pub use metrics::Metrics;
 pub use registry::{ModelEntry, ModelInfo, Registry, SharedModel};
 pub use replica::{Replica, ReplicaState};
 pub use server::{Server, ServerConfig};
+pub use trace::{ActiveTrace, TraceRecord, TraceRing};
 pub use wal::{DeltaOp, DeltaRecord, Wal};

@@ -92,6 +92,12 @@ pub struct LoadgenReport {
     /// Fsynced WAL appends on the coalesced WAL side (proof the durable
     /// path ran and that appends were amortized across examples).
     pub wal_appends: u64,
+    /// Predict requests/second with per-request tracing enabled (the
+    /// default serving configuration).
+    pub traced_rps: f64,
+    /// Predict requests/second with tracing disabled — the baseline the
+    /// tracing tax is measured against.
+    pub untraced_rps: f64,
     /// Mean executed batch size in the coalescing run.
     pub coalesced_mean_batch: f64,
     /// Final model version on the coalesced side — the number of
@@ -125,6 +131,12 @@ impl LoadgenReport {
         self.coalesced_wal_train_rps / self.single_wal_train_rps
     }
 
+    /// Traced over untraced throughput: 1.0 means tracing is free, and
+    /// the CI gate holds the line at 0.95 (≤5% tax).
+    pub fn trace_overhead(&self) -> f64 {
+        self.traced_rps / self.untraced_rps
+    }
+
     /// Renders the `BENCH_serve.json` document. `scalar_ns` is ns/request
     /// for batch-size-1, `packed_ns` ns/request coalesced, matching the
     /// schema of `BENCH_kernels.json` so `scripts/check_bench_json.py`
@@ -154,6 +166,10 @@ impl LoadgenReport {
              {:.2}, \"note\": \"file-backed /v1/train with an fsynced WAL append per published \
              batch, {} clients, single={:.0} rps vs coalesced={:.0} rps, {} examples absorbed \
              in {} fsynced appends\"}},\n    \
+             \"serve_trace_overhead\": {{\"scalar_ns\": {:.1}, \"packed_ns\": {:.1}, \
+             \"speedup\": {:.3}, \"note\": \"predict throughput with tracing on vs off, {} \
+             clients, untraced={:.0} rps vs traced={:.0} rps (floor 0.95 = at most 5% tracing \
+             tax)\"}},\n    \
              \"serve_coalescing\": {{\"scalar_ns\": 1.0, \"packed_ns\": {:.4}, \"speedup\": \
              {:.2}, \"note\": \"mean executed batch size under concurrent load (1.0 = no \
              coalescing)\"}}\n  }}\n}}\n",
@@ -189,6 +205,12 @@ impl LoadgenReport {
             self.coalesced_wal_train_rps,
             self.train_requests,
             self.wal_appends,
+            1e9 / self.untraced_rps,
+            1e9 / self.traced_rps,
+            self.trace_overhead(),
+            self.config.clients,
+            self.untraced_rps,
+            self.traced_rps,
             1.0 / self.coalesced_mean_batch.max(1e-9),
             self.coalesced_mean_batch,
         )
@@ -274,15 +296,19 @@ pub(crate) fn bar_image(img: &mut [u8], edge: usize, row: usize) -> usize {
 /// Runs one measured side: starts a server with `batch` over `model`
 /// (either kind — the serving machinery is identical), saturates it with
 /// `per_client` predicts per client, then — when `train_phase` — with
-/// single-example online trains.
+/// single-example online trains. `trace_enabled` toggles per-request
+/// tracing; comparing a `true` side against a `false` one is the
+/// `serve_trace_overhead` measurement.
 fn run_side(
     config: &LoadgenConfig,
     batch: BatchConfig,
     model: impl Into<hdc::AnyModel>,
     per_client: usize,
     train_phase: bool,
+    trace_enabled: bool,
 ) -> SideReport {
     let metrics = Arc::new(Metrics::new());
+    metrics.set_trace_enabled(trace_enabled);
     let registry = Arc::new(Registry::new(Arc::clone(&metrics), batch));
     registry.insert_model("default", model).expect("register loadgen model");
     let server_config = ServerConfig { workers: config.clients + 2, ..ServerConfig::default() };
@@ -297,19 +323,44 @@ fn run_side(
             scope.spawn(move || {
                 let mut client = Client::connect(addr).expect("connect loadgen client");
                 let mut img = vec![0u8; edge * edge];
+                // The first request pins the X-Request-Id contract: a
+                // client-chosen id must come back verbatim.
+                let chosen = format!("loadgen-{client_id}");
                 for i in 0..per_client {
                     // Vary the image so encode work is realistic, not
                     // memoizable.
                     bar_image(&mut img, edge, client_id + i);
                     let body = Client::predict_body("default", &img);
-                    let response =
-                        client.post("/v1/predict", &body).expect("loadgen predict request");
+                    let response = if i == 0 {
+                        client
+                            .request_with_headers(
+                                "POST",
+                                "/v1/predict",
+                                &[("x-request-id", &chosen)],
+                                Some(&body),
+                            )
+                            .expect("loadgen predict request")
+                    } else {
+                        client.post("/v1/predict", &body).expect("loadgen predict request")
+                    };
                     assert!(
                         response.is_success(),
                         "predict failed: {} {}",
                         response.status,
                         String::from_utf8_lossy(&response.body)
                     );
+                    if i == 0 {
+                        assert_eq!(
+                            response.header("x-request-id"),
+                            Some(chosen.as_str()),
+                            "a client-supplied request id must echo back"
+                        );
+                    } else {
+                        assert!(
+                            response.header("x-request-id").is_some(),
+                            "every response must carry a request id"
+                        );
+                    }
                 }
             });
         }
@@ -441,6 +492,7 @@ pub fn run(config: &LoadgenConfig) -> LoadgenReport {
         synthetic_model(config.dim, config.edge),
         per_client,
         true,
+        true,
     );
     assert!(single.mean_batch <= 1.0 + 1e-9, "baseline must not coalesce");
     let coalesced = run_side(
@@ -448,6 +500,7 @@ pub fn run(config: &LoadgenConfig) -> LoadgenReport {
         config.coalesce,
         synthetic_model(config.dim, config.edge),
         per_client,
+        true,
         true,
     );
 
@@ -459,12 +512,34 @@ pub fn run(config: &LoadgenConfig) -> LoadgenReport {
         synthetic_binary_model(config.dim, config.edge),
         binary_per_client,
         false,
+        true,
     );
     let coalesced_binary = run_side(
         config,
         config.coalesce,
         synthetic_binary_model(config.dim, config.edge),
         binary_per_client,
+        false,
+        true,
+    );
+
+    // Tracing-overhead sides: the identical predict-only load, tracing
+    // on vs off. Everything else about the two servers matches, so the
+    // throughput ratio isolates the per-request tracing tax.
+    let traced = run_side(
+        config,
+        config.coalesce,
+        synthetic_model(config.dim, config.edge),
+        per_client,
+        false,
+        true,
+    );
+    let untraced = run_side(
+        config,
+        config.coalesce,
+        synthetic_model(config.dim, config.edge),
+        per_client,
+        false,
         false,
     );
 
@@ -499,6 +574,8 @@ pub fn run(config: &LoadgenConfig) -> LoadgenReport {
         coalesced_wal_train_rps,
         single_wal_train_rps,
         wal_appends,
+        traced_rps: traced.rps,
+        untraced_rps: untraced.rps,
         coalesced_mean_batch: coalesced.mean_batch,
         coalesced_final_version: coalesced.final_version,
         coalesced_p99_us: coalesced.p99_us,
@@ -533,6 +610,7 @@ mod tests {
         assert!(report.single_train_rps > 0.0 && report.coalesced_train_rps > 0.0);
         assert!(report.single_wal_train_rps > 0.0 && report.coalesced_wal_train_rps > 0.0);
         assert!(report.wal_appends > 0, "the WAL side must have appended");
+        assert!(report.traced_rps > 0.0 && report.untraced_rps > 0.0);
         assert!(report.coalesced_final_version > 0, "training must bump the version");
         assert!(
             report.coalesced_mean_batch > 1.0,
@@ -545,6 +623,7 @@ mod tests {
         assert!(json.contains("serve_predict_binary"), "{json}");
         assert!(json.contains("serve_train"), "{json}");
         assert!(json.contains("serve_wal_append"), "{json}");
+        assert!(json.contains("serve_trace_overhead"), "{json}");
         assert!(json.contains("serve_coalescing"), "{json}");
     }
 

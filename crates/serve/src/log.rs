@@ -1,0 +1,267 @@
+//! Leveled, rate-limited structured logging: `key=value` lines on stderr.
+//!
+//! Every line has the shape
+//!
+//! ```text
+//! ts=1754650000.123 level=warn site=batcher.panic trace=4f2a… msg="model panicked" model=default
+//! ```
+//!
+//! * `ts` is wall-clock seconds (millisecond precision) so lines from a
+//!   leader and its followers interleave meaningfully.
+//! * `site` identifies the call site (`module.event`), which is also the
+//!   rate-limiting key.
+//! * values containing spaces, quotes or `=` are double-quoted with the
+//!   obvious escapes; everything else is emitted bare.
+//!
+//! The global level is set once at startup (`--log-level`); records below
+//! it cost one relaxed atomic load and nothing else. Each site owns a
+//! token bucket ([`BURST`] tokens, refilled at [`REFILL_PER_SEC`]/s): a
+//! fault loop (a follower hammering a dead leader, a panic storm) cannot
+//! flood stderr, and when a suppressed site next gets a token its line
+//! carries `suppressed=N` so the gap is visible rather than silent.
+
+use std::io::Write as _;
+use std::sync::atomic::{AtomicU8, Ordering::Relaxed};
+use std::sync::{Mutex, OnceLock, PoisonError};
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+/// Log severities, in increasing verbosity order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// A request or subsystem failed in a way an operator should see.
+    Error = 0,
+    /// Degraded but handled: sheds, deadline expiries, slow requests.
+    Warn = 1,
+    /// Lifecycle events: startup, recovery, replication progress.
+    Info = 2,
+    /// High-volume detail (per-delta applies); off by default.
+    Debug = 3,
+}
+
+impl Level {
+    fn name(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+}
+
+impl std::str::FromStr for Level {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "error" => Ok(Level::Error),
+            "warn" | "warning" => Ok(Level::Warn),
+            "info" => Ok(Level::Info),
+            "debug" => Ok(Level::Debug),
+            other => Err(format!("unknown log level '{other}' (error|warn|info|debug)")),
+        }
+    }
+}
+
+/// Tokens a site can spend instantly before rate limiting bites.
+const BURST: f64 = 10.0;
+/// Tokens restored per second per site.
+const REFILL_PER_SEC: f64 = 5.0;
+
+static LEVEL: AtomicU8 = AtomicU8::new(Level::Info as u8);
+
+/// Sets the global level (records strictly above it are dropped).
+pub fn set_level(level: Level) {
+    LEVEL.store(level as u8, Relaxed);
+}
+
+/// The current global level.
+pub fn level() -> Level {
+    match LEVEL.load(Relaxed) {
+        0 => Level::Error,
+        1 => Level::Warn,
+        2 => Level::Info,
+        _ => Level::Debug,
+    }
+}
+
+/// Whether a record at `level` would currently be emitted (before rate
+/// limiting). Callers with expensive field formatting can gate on this.
+pub fn enabled(level: Level) -> bool {
+    (level as u8) <= LEVEL.load(Relaxed)
+}
+
+#[derive(Debug)]
+struct Bucket {
+    tokens: f64,
+    refilled: Instant,
+    suppressed: u64,
+}
+
+/// Per-site token buckets. Site keys are `&'static str` call-site labels,
+/// so the map stays small and never churns.
+fn buckets() -> &'static Mutex<std::collections::BTreeMap<&'static str, Bucket>> {
+    static BUCKETS: OnceLock<Mutex<std::collections::BTreeMap<&'static str, Bucket>>> =
+        OnceLock::new();
+    BUCKETS.get_or_init(|| Mutex::new(std::collections::BTreeMap::new()))
+}
+
+/// Takes a token for `site`. `Some(suppressed)` means "emit, and mention
+/// that `suppressed` earlier records were dropped"; `None` means drop.
+fn take_token(site: &'static str) -> Option<u64> {
+    let mut map = buckets().lock().unwrap_or_else(PoisonError::into_inner);
+    let now = Instant::now();
+    let bucket =
+        map.entry(site).or_insert_with(|| Bucket { tokens: BURST, refilled: now, suppressed: 0 });
+    let elapsed = now.saturating_duration_since(bucket.refilled).as_secs_f64();
+    bucket.tokens = (bucket.tokens + elapsed * REFILL_PER_SEC).min(BURST);
+    bucket.refilled = now;
+    if bucket.tokens >= 1.0 {
+        bucket.tokens -= 1.0;
+        Some(std::mem::take(&mut bucket.suppressed))
+    } else {
+        bucket.suppressed += 1;
+        None
+    }
+}
+
+/// Quotes a value for the key=value format when it needs it.
+fn render_value(value: &str) -> String {
+    let bare = !value.is_empty()
+        && value.bytes().all(|b| (0x21..=0x7e).contains(&b) && b != b'"' && b != b'=');
+    if bare {
+        value.to_owned()
+    } else {
+        let mut quoted = String::with_capacity(value.len() + 2);
+        quoted.push('"');
+        for c in value.chars() {
+            match c {
+                '"' => quoted.push_str("\\\""),
+                '\\' => quoted.push_str("\\\\"),
+                '\n' => quoted.push_str("\\n"),
+                '\r' => quoted.push_str("\\r"),
+                '\t' => quoted.push_str("\\t"),
+                c if (c as u32) < 0x20 => quoted.push_str(&format!("\\u{:04x}", c as u32)),
+                c => quoted.push(c),
+            }
+        }
+        quoted.push('"');
+        quoted
+    }
+}
+
+/// Formats one record as a key=value line (no trailing newline).
+fn render_line(level: Level, site: &str, message: &str, fields: &[(&str, String)]) -> String {
+    let now = SystemTime::now().duration_since(UNIX_EPOCH).unwrap_or_default();
+    let mut line = format!(
+        "ts={}.{:03} level={} site={} msg={}",
+        now.as_secs(),
+        now.subsec_millis(),
+        level.name(),
+        site,
+        render_value(message)
+    );
+    for (key, value) in fields {
+        line.push(' ');
+        line.push_str(key);
+        line.push('=');
+        line.push_str(&render_value(value));
+    }
+    line
+}
+
+/// Emits one structured record, subject to the global level and the
+/// per-site token bucket. `site` doubles as the rate-limit key, so keep
+/// it one per call site (`"replica.poll_error"`, not a formatted string).
+pub fn emit(level: Level, site: &'static str, message: &str, fields: &[(&str, String)]) {
+    if !enabled(level) {
+        return;
+    }
+    let Some(suppressed) = take_token(site) else {
+        return;
+    };
+    let mut line = render_line(level, site, message, fields);
+    if suppressed > 0 {
+        line.push_str(&format!(" suppressed={suppressed}"));
+    }
+    line.push('\n');
+    let _ = std::io::stderr().lock().write_all(line.as_bytes());
+}
+
+/// [`emit`] at [`Level::Error`].
+pub fn error(site: &'static str, message: &str, fields: &[(&str, String)]) {
+    emit(Level::Error, site, message, fields);
+}
+
+/// [`emit`] at [`Level::Warn`].
+pub fn warn(site: &'static str, message: &str, fields: &[(&str, String)]) {
+    emit(Level::Warn, site, message, fields);
+}
+
+/// [`emit`] at [`Level::Info`].
+pub fn info(site: &'static str, message: &str, fields: &[(&str, String)]) {
+    emit(Level::Info, site, message, fields);
+}
+
+/// [`emit`] at [`Level::Debug`].
+pub fn debug(site: &'static str, message: &str, fields: &[(&str, String)]) {
+    emit(Level::Debug, site, message, fields);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_parses_and_orders() {
+        assert_eq!("warn".parse::<Level>().unwrap(), Level::Warn);
+        assert_eq!("DEBUG".parse::<Level>().unwrap(), Level::Debug);
+        assert!("verbose".parse::<Level>().is_err());
+        assert!(Level::Error < Level::Warn && Level::Warn < Level::Info);
+    }
+
+    #[test]
+    fn values_quote_only_when_needed() {
+        assert_eq!(render_value("plain-123"), "plain-123");
+        assert_eq!(render_value("has space"), "\"has space\"");
+        assert_eq!(render_value("a=b"), "\"a=b\"");
+        assert_eq!(render_value("say \"hi\""), "\"say \\\"hi\\\"\"");
+        assert_eq!(render_value(""), "\"\"");
+        assert_eq!(render_value("line\nbreak"), "\"line\\nbreak\"");
+    }
+
+    #[test]
+    fn lines_carry_every_field_in_order() {
+        let line = render_line(
+            Level::Warn,
+            "test.site",
+            "slow request",
+            &[("trace", "abc123".to_owned()), ("total_us", "42".to_owned())],
+        );
+        assert!(line.starts_with("ts="), "{line}");
+        assert!(line.contains(" level=warn site=test.site msg=\"slow request\""), "{line}");
+        assert!(line.ends_with("trace=abc123 total_us=42"), "{line}");
+    }
+
+    #[test]
+    fn token_bucket_suppresses_and_tallies() {
+        // A site unique to this test so parallel tests cannot interfere.
+        let site = "log.test.bucket";
+        let mut emitted = 0u64;
+        let mut last_suppressed = 0u64;
+        for _ in 0..(BURST as u64 + 20) {
+            if let Some(suppressed) = take_token(site) {
+                emitted += 1;
+                last_suppressed = suppressed;
+            }
+        }
+        assert_eq!(emitted, BURST as u64, "burst must cap instantaneous emits");
+        assert_eq!(last_suppressed, 0, "suppressions happen only after the burst");
+        // Drain again: all suppressed now, then one refilled token reports
+        // the tally.
+        std::thread::sleep(std::time::Duration::from_millis(250));
+        let suppressed = take_token(site).expect("refill must grant a token");
+        assert!(suppressed >= 19, "the suppressed tally must surface, got {suppressed}");
+    }
+}

@@ -7,12 +7,37 @@
 //! error of at most one bucket width, which is plenty for a load report.
 
 use crate::json::Json;
-use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
-use std::time::Duration;
+use crate::trace::{TraceRecord, TraceRing, STAGE_COUNT, STAGE_NAMES};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, RwLock};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 /// Number of power-of-two latency buckets: bucket `i` holds samples with
-/// `us < 2^(i+1)`, the last bucket is open-ended (≥ ~8.4 s).
-const LATENCY_BUCKETS: usize = 24;
+/// `us < 2^(i+1)` (see [`latency_bucket_index`]), the last bucket is
+/// open-ended (≥ ~8.4 s).
+pub const LATENCY_BUCKETS: usize = 24;
+
+/// The bucket a latency sample of `us` microseconds lands in.
+///
+/// Bucket `i` holds samples satisfying `us < 2^(i+1)`, equivalently
+/// `2^i <= us < 2^(i+1)` for `i > 0`, with bucket 0 also absorbing the
+/// 0µs and 1µs samples. An *exact* power-of-two sample `us == 2^k` is
+/// therefore the **smallest** value in bucket `k`, not the largest in
+/// bucket `k-1` — the documented boundary is exclusive on the upper
+/// edge. The last bucket is open-ended.
+pub fn latency_bucket_index(us: u64) -> usize {
+    // 64 - leading_zeros(us|1) - 1 = floor(log2(max(us,1))).
+    (64 - (us | 1).leading_zeros() as usize - 1).min(LATENCY_BUCKETS - 1)
+}
+
+/// The exclusive upper bound (µs) of latency bucket `i`: samples in the
+/// bucket satisfy `us < latency_bucket_bound_us(i)`. The last bucket is
+/// open-ended; its nominal bound is returned anyway so quantiles have a
+/// finite answer.
+pub fn latency_bucket_bound_us(bucket: usize) -> u64 {
+    1u64 << (bucket.min(LATENCY_BUCKETS - 1) + 1)
+}
 
 /// Number of batch-size buckets: sizes `1..=MAX-1` exactly, the last
 /// bucket collects everything larger.
@@ -22,6 +47,59 @@ const BATCH_BUCKETS: usize = 65;
 /// samples that observed a depth `< 2^i` jobs already waiting (bucket 0 is
 /// an empty queue), the last bucket is open-ended.
 const QUEUE_DEPTH_BUCKETS: usize = 12;
+
+/// Completed traces kept in the main ring (`GET /debug/traces`). Sized so
+/// a burst of probe traffic at the end of a soak run does not evict the
+/// fault traces the audit wants to see.
+const TRACE_RING_CAPACITY: usize = 512;
+
+/// Slow traces kept in the dedicated ring (`GET /debug/traces/slow`) —
+/// smaller, but slow requests are rare so they survive much longer here
+/// than in the main ring.
+const SLOW_RING_CAPACITY: usize = 64;
+
+/// Per-stage, per-model latency histograms fed by completed traces: the
+/// same power-of-two buckets as the end-to-end histogram, one row per
+/// [`Stage`](crate::trace::Stage), plus sum/count for means.
+#[derive(Debug)]
+pub struct StageHist {
+    buckets: [[AtomicU64; LATENCY_BUCKETS]; STAGE_COUNT],
+    sum_us: [AtomicU64; STAGE_COUNT],
+    count: [AtomicU64; STAGE_COUNT],
+}
+
+impl StageHist {
+    fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| std::array::from_fn(|_| AtomicU64::new(0))),
+            sum_us: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Records one observed duration for `stage`.
+    fn observe(&self, stage: usize, us: u64) {
+        self.buckets[stage][latency_bucket_index(us)].fetch_add(1, Relaxed);
+        self.sum_us[stage].fetch_add(us, Relaxed);
+        self.count[stage].fetch_add(1, Relaxed);
+    }
+
+    /// Samples recorded for `stage` (index into
+    /// [`STAGE_NAMES`](crate::trace::STAGE_NAMES)).
+    pub fn stage_count(&self, stage: usize) -> u64 {
+        self.count[stage].load(Relaxed)
+    }
+
+    /// Sum of recorded durations (µs) for `stage`.
+    pub fn stage_sum_us(&self, stage: usize) -> u64 {
+        self.sum_us[stage].load(Relaxed)
+    }
+
+    /// Snapshot of `stage`'s bucket counts.
+    pub fn stage_buckets(&self, stage: usize) -> Vec<u64> {
+        self.buckets[stage].iter().map(|c| c.load(Relaxed)).collect()
+    }
+}
 
 /// Shared, append-only server statistics.
 #[derive(Debug)]
@@ -78,6 +156,21 @@ pub struct Metrics {
     replica_records_applied_total: AtomicU64,
     replica_resets_total: AtomicU64,
     replica_poll_errors_total: AtomicU64,
+    /// Tracing: the completed-trace ring (`/debug/traces`), the slow-trace
+    /// ring (`/debug/traces/slow`), the master switch (`X-Request-Id`
+    /// still echoes when off; only span/ring/histogram recording stops),
+    /// and the slow threshold in µs (0 = disabled).
+    traces: TraceRing,
+    slow_traces: TraceRing,
+    trace_enabled: AtomicBool,
+    slow_request_us: AtomicU64,
+    /// Per-model stage histograms, keyed by model name ("" for requests
+    /// that never resolved a model). Written once per completed trace;
+    /// the read lock is uncontended after the first request per model.
+    stage_hists: RwLock<BTreeMap<String, Arc<StageHist>>>,
+    /// Process vitals: monotonic start (uptime) and its wall-clock echo.
+    started: Instant,
+    start_epoch_secs: u64,
 }
 
 impl Default for Metrics {
@@ -120,6 +213,16 @@ impl Metrics {
             replica_records_applied_total: AtomicU64::new(0),
             replica_resets_total: AtomicU64::new(0),
             replica_poll_errors_total: AtomicU64::new(0),
+            traces: TraceRing::new(TRACE_RING_CAPACITY),
+            slow_traces: TraceRing::new(SLOW_RING_CAPACITY),
+            trace_enabled: AtomicBool::new(true),
+            slow_request_us: AtomicU64::new(0),
+            stage_hists: RwLock::new(BTreeMap::new()),
+            started: Instant::now(),
+            start_epoch_secs: SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .map(|d| d.as_secs())
+                .unwrap_or(0),
         }
     }
 
@@ -158,9 +261,7 @@ impl Metrics {
         let us = elapsed.as_micros().min(u128::from(u64::MAX)) as u64;
         self.latency_count.fetch_add(1, Relaxed);
         self.latency_sum_us.fetch_add(us, Relaxed);
-        // Bucket i covers us < 2^(i+1): 64 - leading_zeros(us|1) - 1 bits.
-        let bucket = (64 - (us | 1).leading_zeros() as usize - 1).min(LATENCY_BUCKETS - 1);
-        self.latency_hist[bucket].fetch_add(1, Relaxed);
+        self.latency_hist[latency_bucket_index(us)].fetch_add(1, Relaxed);
     }
 
     /// Counts one `/v1/train` request whose `examples` were absorbed.
@@ -243,6 +344,92 @@ impl Metrics {
     /// Counts one failed poll against the leader.
     pub fn on_replica_poll_error(&self) {
         self.replica_poll_errors_total.fetch_add(1, Relaxed);
+    }
+
+    /// Turns per-request trace recording on or off. `X-Request-Id`
+    /// echoing is part of the HTTP contract and stays on regardless; this
+    /// gates only span accumulation, ring pushes, and stage histograms —
+    /// exactly the work the `serve_trace_overhead` bench row measures.
+    pub fn set_trace_enabled(&self, enabled: bool) {
+        self.trace_enabled.store(enabled, Relaxed);
+    }
+
+    /// Whether per-request trace recording is on.
+    pub fn trace_enabled(&self) -> bool {
+        self.trace_enabled.load(Relaxed)
+    }
+
+    /// Sets the slow-request threshold (µs). Requests whose end-to-end
+    /// time meets it are copied into the slow ring and logged. 0 disables.
+    pub fn set_slow_request_us(&self, us: u64) {
+        self.slow_request_us.store(us, Relaxed);
+    }
+
+    /// The current slow-request threshold in µs (0 = disabled).
+    pub fn slow_request_us(&self) -> u64 {
+        self.slow_request_us.load(Relaxed)
+    }
+
+    /// Absorbs one completed trace: pushes it into the ring, feeds the
+    /// per-model stage histograms, and — when the slow threshold is set
+    /// and met — copies it into the slow ring. Returns `true` when the
+    /// record qualified as slow so the caller can emit the log line.
+    pub fn on_trace(&self, record: &TraceRecord) -> bool {
+        let hist = self.stage_hist_for(&record.model);
+        for (stage, &us) in record.stages.iter().enumerate() {
+            // Stages the request never entered stay zero and are not
+            // counted — a predict must not smear the write-only stages'
+            // distributions with zeros.
+            if us > 0 {
+                hist.observe(stage, us);
+            }
+        }
+        self.traces.push(record.clone());
+        let threshold = self.slow_request_us.load(Relaxed);
+        let slow = threshold > 0 && record.total_us >= threshold;
+        if slow {
+            self.slow_traces.push(record.clone());
+        }
+        slow
+    }
+
+    /// The completed-trace ring behind `GET /debug/traces`.
+    pub fn traces(&self) -> &TraceRing {
+        &self.traces
+    }
+
+    /// The slow-trace ring behind `GET /debug/traces/slow`.
+    pub fn slow_traces(&self) -> &TraceRing {
+        &self.slow_traces
+    }
+
+    /// The stage histogram for `model`, creating it on first use.
+    fn stage_hist_for(&self, model: &str) -> Arc<StageHist> {
+        if let Ok(map) = self.stage_hists.read() {
+            if let Some(hist) = map.get(model) {
+                return Arc::clone(hist);
+            }
+        }
+        let mut map = self.stage_hists.write().unwrap_or_else(std::sync::PoisonError::into_inner);
+        Arc::clone(map.entry(model.to_owned()).or_insert_with(|| Arc::new(StageHist::new())))
+    }
+
+    /// Snapshot of the per-model stage histograms (model name → hist).
+    pub fn stage_hists(&self) -> Vec<(String, Arc<StageHist>)> {
+        self.stage_hists
+            .read()
+            .map(|map| map.iter().map(|(k, v)| (k.clone(), Arc::clone(v))).collect())
+            .unwrap_or_default()
+    }
+
+    /// Seconds this process (strictly: this `Metrics`) has been up.
+    pub fn uptime_secs(&self) -> u64 {
+        self.started.elapsed().as_secs()
+    }
+
+    /// Wall-clock seconds since the epoch when this process started.
+    pub fn start_epoch_secs(&self) -> u64 {
+        self.start_epoch_secs
     }
 
     /// Delta records fsynced to write-ahead logs so far.
@@ -334,10 +521,10 @@ impl Metrics {
         for (i, bucket) in self.latency_hist.iter().enumerate() {
             seen += bucket.load(Relaxed);
             if seen >= rank {
-                return 1u64 << (i + 1);
+                return latency_bucket_bound_us(i);
             }
         }
-        1u64 << LATENCY_BUCKETS
+        latency_bucket_bound_us(LATENCY_BUCKETS - 1)
     }
 
     /// Total requests seen so far.
@@ -480,8 +667,286 @@ impl Metrics {
                     ("hist", Json::Arr(latency_hist)),
                 ]),
             ),
+            (
+                "process",
+                Json::obj([
+                    ("start_time_unix", Json::from(self.start_epoch_secs)),
+                    ("uptime_secs", Json::from(self.uptime_secs())),
+                    ("version", Json::from(env!("CARGO_PKG_VERSION"))),
+                    ("rss_kb", rss_current_kb().map_or(Json::Null, Json::from)),
+                ]),
+            ),
         ])
     }
+
+    /// Renders the snapshot in the Prometheus text exposition format
+    /// (version 0.0.4). The JSON surface from [`render`](Self::render)
+    /// stays canonical; this is a parallel view over the same atomics.
+    ///
+    /// Naming: everything is prefixed `hdc_`, counters end in `_total`,
+    /// histograms follow the `_bucket{le=…}` / `_sum` / `_count`
+    /// convention with **cumulative** bucket counts. Power-of-two bucket
+    /// `i` of the internal histograms holds `us < 2^(i+1)`; since samples
+    /// are integral µs that is exactly `le = 2^(i+1) - 1`.
+    pub fn render_prometheus(&self) -> String {
+        fn counter(out: &mut String, name: &str, help: &str, value: u64) {
+            out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}\n"));
+        }
+        let mut out = String::with_capacity(8 * 1024);
+        counter(
+            &mut out,
+            "hdc_requests_total",
+            "Requests accepted off the wire.",
+            self.requests_total.load(Relaxed),
+        );
+        let classes = [
+            ("2xx", self.responses_2xx.load(Relaxed)),
+            ("4xx", self.responses_4xx.load(Relaxed)),
+            ("5xx", self.responses_5xx.load(Relaxed)),
+        ];
+        out.push_str("# HELP hdc_responses_total Responses by status class.\n");
+        out.push_str("# TYPE hdc_responses_total counter\n");
+        for (class, value) in classes {
+            out.push_str(&format!("hdc_responses_total{{class=\"{class}\"}} {value}\n"));
+        }
+        counter(
+            &mut out,
+            "hdc_predict_requests_total",
+            "Predict requests.",
+            self.predict_requests.load(Relaxed),
+        );
+        counter(
+            &mut out,
+            "hdc_predict_inputs_total",
+            "Individual inputs carried by predict requests.",
+            self.predict_inputs.load(Relaxed),
+        );
+        counter(
+            &mut out,
+            "hdc_train_requests_total",
+            "Train requests.",
+            self.train_requests.load(Relaxed),
+        );
+        counter(
+            &mut out,
+            "hdc_train_examples_total",
+            "Examples absorbed through /v1/train.",
+            self.train_examples.load(Relaxed),
+        );
+        counter(
+            &mut out,
+            "hdc_train_batches_total",
+            "Coalesced update batches published (one version bump each).",
+            self.train_batches.load(Relaxed),
+        );
+        counter(
+            &mut out,
+            "hdc_feedback_requests_total",
+            "Feedback requests.",
+            self.feedback_requests.load(Relaxed),
+        );
+        counter(
+            &mut out,
+            "hdc_feedback_applied_total",
+            "Feedback requests that applied an adaptive update.",
+            self.feedback_applied.load(Relaxed),
+        );
+        counter(
+            &mut out,
+            "hdc_shed_total",
+            "Requests shed because a job queue was full (503).",
+            self.shed_total.load(Relaxed),
+        );
+        counter(
+            &mut out,
+            "hdc_deadline_expired_total",
+            "Queued jobs whose wait deadline expired (504).",
+            self.deadline_expired_total.load(Relaxed),
+        );
+        counter(
+            &mut out,
+            "hdc_worker_panics_total",
+            "Jobs quarantined by a model panic (500).",
+            self.worker_panics_total.load(Relaxed),
+        );
+        counter(
+            &mut out,
+            "hdc_worker_respawns_total",
+            "Batcher workers restarted after an escaped panic.",
+            self.worker_respawns_total.load(Relaxed),
+        );
+        counter(
+            &mut out,
+            "hdc_wal_appends_total",
+            "Delta records fsynced to write-ahead logs.",
+            self.wal_appends_total.load(Relaxed),
+        );
+        counter(
+            &mut out,
+            "hdc_wal_append_errors_total",
+            "Update batches refused because the WAL append failed.",
+            self.wal_append_errors_total.load(Relaxed),
+        );
+        counter(
+            &mut out,
+            "hdc_wal_records_replayed_total",
+            "Records replayed from WAL tails during crash recovery.",
+            self.wal_records_replayed.load(Relaxed),
+        );
+        counter(
+            &mut out,
+            "hdc_replica_records_applied_total",
+            "Delta records applied from the leader.",
+            self.replica_records_applied_total.load(Relaxed),
+        );
+        counter(
+            &mut out,
+            "hdc_replica_resets_total",
+            "Full follower re-bootstraps (snapshot transfer).",
+            self.replica_resets_total.load(Relaxed),
+        );
+        counter(
+            &mut out,
+            "hdc_replica_poll_errors_total",
+            "Failed polls against the leader.",
+            self.replica_poll_errors_total.load(Relaxed),
+        );
+        counter(
+            &mut out,
+            "hdc_traces_recorded_total",
+            "Completed traces pushed into the debug ring.",
+            self.traces.pushed(),
+        );
+        counter(
+            &mut out,
+            "hdc_traces_slow_total",
+            "Traces that met the slow-request threshold.",
+            self.slow_traces.pushed(),
+        );
+
+        // End-to-end request latency: a real Prometheus histogram (we have
+        // sum + count), cumulative buckets.
+        out.push_str("# HELP hdc_request_latency_us End-to-end request latency.\n");
+        out.push_str("# TYPE hdc_request_latency_us histogram\n");
+        let mut cumulative = 0u64;
+        for (i, bucket) in self.latency_hist.iter().enumerate() {
+            cumulative += bucket.load(Relaxed);
+            out.push_str(&format!(
+                "hdc_request_latency_us_bucket{{le=\"{}\"}} {cumulative}\n",
+                latency_bucket_bound_us(i) - 1
+            ));
+        }
+        out.push_str(&format!("hdc_request_latency_us_bucket{{le=\"+Inf\"}} {cumulative}\n"));
+        out.push_str(&format!(
+            "hdc_request_latency_us_sum {}\n",
+            self.latency_sum_us.load(Relaxed)
+        ));
+        out.push_str(&format!(
+            "hdc_request_latency_us_count {}\n",
+            self.latency_count.load(Relaxed)
+        ));
+
+        // Coalesced batch sizes: histogram over exact sizes 1..=64, +Inf.
+        out.push_str("# HELP hdc_batch_size Coalesced batch sizes executed.\n");
+        out.push_str("# TYPE hdc_batch_size histogram\n");
+        let mut cumulative = 0u64;
+        for (i, bucket) in self.batch_hist.iter().enumerate().take(BATCH_BUCKETS - 1) {
+            cumulative += bucket.load(Relaxed);
+            out.push_str(&format!("hdc_batch_size_bucket{{le=\"{}\"}} {cumulative}\n", i + 1));
+        }
+        cumulative += self.batch_hist[BATCH_BUCKETS - 1].load(Relaxed);
+        out.push_str(&format!("hdc_batch_size_bucket{{le=\"+Inf\"}} {cumulative}\n"));
+        out.push_str(&format!("hdc_batch_size_sum {}\n", self.batch_inputs.load(Relaxed)));
+        out.push_str(&format!("hdc_batch_size_count {}\n", self.batch_count.load(Relaxed)));
+
+        // Queue depth at enqueue: labeled counter (no meaningful sum).
+        out.push_str(
+            "# HELP hdc_queue_depth_observations_total Enqueues by observed queue depth.\n",
+        );
+        out.push_str("# TYPE hdc_queue_depth_observations_total counter\n");
+        for (i, bucket) in self.queue_depth_hist.iter().enumerate() {
+            let value = bucket.load(Relaxed);
+            if value > 0 {
+                out.push_str(&format!(
+                    "hdc_queue_depth_observations_total{{lt=\"{}\"}} {value}\n",
+                    1u64 << i
+                ));
+            }
+        }
+
+        // Per-stage, per-model latency: one histogram family, labeled.
+        out.push_str("# HELP hdc_stage_latency_us Per-stage request latency by model.\n");
+        out.push_str("# TYPE hdc_stage_latency_us histogram\n");
+        for (model, hist) in self.stage_hists() {
+            for (stage, stage_name) in STAGE_NAMES.iter().enumerate() {
+                if hist.stage_count(stage) == 0 {
+                    continue;
+                }
+                let mut cumulative = 0u64;
+                for (i, count) in hist.stage_buckets(stage).into_iter().enumerate() {
+                    cumulative += count;
+                    if count > 0 || i == LATENCY_BUCKETS - 1 {
+                        out.push_str(&format!(
+                            "hdc_stage_latency_us_bucket{{model=\"{model}\",stage=\"{stage_name}\",le=\"{}\"}} {cumulative}\n",
+                            latency_bucket_bound_us(i) - 1
+                        ));
+                    }
+                }
+                out.push_str(&format!(
+                    "hdc_stage_latency_us_bucket{{model=\"{model}\",stage=\"{stage_name}\",le=\"+Inf\"}} {cumulative}\n",
+                ));
+                out.push_str(&format!(
+                    "hdc_stage_latency_us_sum{{model=\"{model}\",stage=\"{stage_name}\"}} {}\n",
+                    hist.stage_sum_us(stage)
+                ));
+                out.push_str(&format!(
+                    "hdc_stage_latency_us_count{{model=\"{model}\",stage=\"{stage_name}\"}} {}\n",
+                    hist.stage_count(stage)
+                ));
+            }
+        }
+
+        // Process vitals.
+        out.push_str("# HELP hdc_process_start_time_seconds Unix start time.\n");
+        out.push_str("# TYPE hdc_process_start_time_seconds gauge\n");
+        out.push_str(&format!("hdc_process_start_time_seconds {}\n", self.start_epoch_secs));
+        out.push_str("# HELP hdc_process_uptime_seconds Seconds since start.\n");
+        out.push_str("# TYPE hdc_process_uptime_seconds gauge\n");
+        out.push_str(&format!("hdc_process_uptime_seconds {}\n", self.uptime_secs()));
+        if let Some(rss) = rss_current_kb() {
+            out.push_str("# HELP hdc_process_resident_memory_kilobytes Current RSS.\n");
+            out.push_str("# TYPE hdc_process_resident_memory_kilobytes gauge\n");
+            out.push_str(&format!("hdc_process_resident_memory_kilobytes {rss}\n"));
+        }
+        out.push_str("# HELP hdc_build_info Build metadata as labels.\n");
+        out.push_str("# TYPE hdc_build_info gauge\n");
+        out.push_str(&format!("hdc_build_info{{version=\"{}\"}} 1\n", env!("CARGO_PKG_VERSION")));
+        out
+    }
+}
+
+/// A field from `/proc/self/status`, in kB — `None` off Linux or when the
+/// field is missing (the serving code treats that as "unknown", never 0).
+fn proc_status_kb(field: &str) -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix(field) {
+            let rest = rest.trim_start_matches(':').trim();
+            let number = rest.split_whitespace().next()?;
+            return number.parse().ok();
+        }
+    }
+    None
+}
+
+/// Current resident set size in kB (`VmRSS`), `None` off Linux.
+pub fn rss_current_kb() -> Option<u64> {
+    proc_status_kb("VmRSS")
+}
+
+/// Peak resident set size in kB (`VmHWM`), `None` off Linux.
+pub fn rss_peak_kb() -> Option<u64> {
+    proc_status_kb("VmHWM")
 }
 
 #[cfg(test)]
@@ -625,5 +1090,102 @@ mod tests {
         assert_eq!(m.mean_batch_size(), 0.0);
         let rendered = m.render().render();
         assert!(rendered.contains("\"requests_total\":0"), "{rendered}");
+    }
+
+    #[test]
+    fn process_section_reports_vitals() {
+        let m = Metrics::new();
+        let snap = m.render();
+        let process = snap.get("process").expect("process section");
+        assert_eq!(process.get("version").unwrap().as_str(), Some(env!("CARGO_PKG_VERSION")));
+        assert!(process.get("start_time_unix").unwrap().as_f64().unwrap() > 0.0);
+        assert!(process.get("uptime_secs").unwrap().as_f64().is_some());
+        // On Linux VmRSS must be present and nonzero; elsewhere null.
+        if cfg!(target_os = "linux") {
+            assert!(process.get("rss_kb").unwrap().as_f64().unwrap() > 0.0);
+        }
+    }
+
+    #[test]
+    fn bucket_index_and_bound_agree() {
+        for us in [0u64, 1, 2, 3, 4, 127, 128, 129, 1 << 20, u64::MAX] {
+            let i = latency_bucket_index(us);
+            if i < LATENCY_BUCKETS - 1 {
+                assert!(us < latency_bucket_bound_us(i), "us={us} bucket={i}");
+            }
+            if i > 0 {
+                assert!(us >= latency_bucket_bound_us(i - 1), "us={us} bucket={i}");
+            }
+        }
+        // The exact power-of-two sample opens its bucket, not closes the
+        // previous one: 128 = 2^7 lands in bucket 7 (64 <= us < 256... no:
+        // bucket 7 covers 128 <= us < 256).
+        assert_eq!(latency_bucket_index(128), 7);
+        assert_eq!(latency_bucket_index(127), 6);
+    }
+
+    #[test]
+    fn traces_feed_ring_hists_and_slow_ring() {
+        let m = Metrics::new();
+        m.set_slow_request_us(1_000);
+        let mut fast = crate::trace::TraceRecord::synthetic(
+            "fast".into(),
+            "default".into(),
+            "reply_write",
+            200,
+        );
+        fast.status = 200;
+        fast.stages[crate::trace::Stage::QueueWait as usize] = 50;
+        fast.stages[crate::trace::Stage::Execute as usize] = 120;
+        assert!(!m.on_trace(&fast), "under the threshold");
+        let mut slow = fast.clone();
+        slow.id = "slow".into();
+        slow.total_us = 5_000;
+        assert!(m.on_trace(&slow), "at/over the threshold");
+        assert_eq!(m.traces().snapshot().len(), 2);
+        let slow_snap = m.slow_traces().snapshot();
+        assert_eq!(slow_snap.len(), 1);
+        assert_eq!(slow_snap[0].id, "slow");
+        let hists = m.stage_hists();
+        assert_eq!(hists.len(), 1);
+        assert_eq!(hists[0].0, "default");
+        assert_eq!(hists[0].1.stage_count(crate::trace::Stage::Execute as usize), 2);
+        assert_eq!(hists[0].1.stage_sum_us(crate::trace::Stage::Execute as usize), 240);
+        // Zero stages (head parse etc.) were skipped, not counted.
+        assert_eq!(hists[0].1.stage_count(crate::trace::Stage::WalAppend as usize), 0);
+    }
+
+    #[test]
+    fn prometheus_rendering_is_wellformed() {
+        let m = Metrics::new();
+        m.on_request();
+        m.on_response(200);
+        m.on_latency(Duration::from_micros(300));
+        m.on_batch(4);
+        m.on_enqueue_depth(2);
+        let mut record =
+            crate::trace::TraceRecord::synthetic("t1".into(), "default".into(), "reply_write", 400);
+        record.stages[crate::trace::Stage::Execute as usize] = 300;
+        m.on_trace(&record);
+        let text = m.render_prometheus();
+        assert!(text.contains("# TYPE hdc_requests_total counter\nhdc_requests_total 1\n"));
+        assert!(text.contains("hdc_responses_total{class=\"2xx\"} 1"), "{text}");
+        assert!(text.contains("hdc_request_latency_us_bucket{le=\"+Inf\"} 1"), "{text}");
+        assert!(text.contains("hdc_request_latency_us_count 1"), "{text}");
+        assert!(text.contains("hdc_batch_size_sum 4"), "{text}");
+        assert!(
+            text.contains("hdc_stage_latency_us_count{model=\"default\",stage=\"execute\"} 1"),
+            "{text}"
+        );
+        assert!(text.contains("hdc_build_info{version="), "{text}");
+        // Every non-comment line is `name[{labels}] value`.
+        for line in text.lines() {
+            if line.starts_with('#') {
+                continue;
+            }
+            let (series, value) = line.rsplit_once(' ').expect("value separator");
+            assert!(!series.is_empty(), "{line}");
+            assert!(value == "+Inf" || value.parse::<f64>().is_ok(), "unparsable value in {line}");
+        }
     }
 }

@@ -72,8 +72,10 @@
 use crate::batcher::{BatchConfig, Batcher, WalSwap};
 use crate::error::ServeError;
 use crate::json::Json;
+use crate::log;
 use crate::metrics::Metrics;
 use crate::replica::ReplicaState;
+use crate::trace::{self, TraceRecord};
 use crate::wal::{self, DeltaRing, Wal};
 use hdc::io::load_any;
 use hdc::{AnyModel, Model, ModelKind};
@@ -763,6 +765,7 @@ impl Registry {
         }
         // First load: recover. Open the sidecar log and replay its tail.
         let home = wal::wal_path(&admitted);
+        let replay_started = std::time::Instant::now();
         let (log, replay) = Wal::open(&home, file_version).map_err(|e| {
             ServeError::Internal(format!("cannot open write-ahead log {}: {e}", home.display()))
         })?;
@@ -780,6 +783,29 @@ impl Registry {
         let version = file_version.max(log.last_version());
         if !replay.is_empty() {
             self.metrics.on_wal_replay(replay.len() as u64);
+            // Crash recovery is visible the same way a request is: a
+            // synthetic trace in the ring (terminal "recovery") plus a
+            // structured log line, so an operator can see both that a
+            // replay happened and how long it took.
+            let replay_us = replay_started.elapsed().as_micros() as u64;
+            let record = TraceRecord::synthetic(
+                trace::generate_id(),
+                name.to_owned(),
+                "recovery",
+                replay_us,
+            );
+            log::info(
+                "registry.wal_replay",
+                "recovered model from write-ahead log",
+                &[
+                    ("trace", record.id.clone()),
+                    ("model", name.to_owned()),
+                    ("records", replay.len().to_string()),
+                    ("version", version.to_string()),
+                    ("replay_us", replay_us.to_string()),
+                ],
+            );
+            self.metrics.on_trace(&record);
         }
         self.install(
             name,
@@ -1374,6 +1400,11 @@ mod tests {
         assert_eq!(r.shared().trained_examples(), entry.shared().trained_examples());
         assert_counters_equal(&entry, &r);
         assert_eq!(recovered.metrics().wal_records_replayed(), 6);
+        // Recovery leaves a synthetic trace: a ring entry an operator
+        // (and the soak harness) can find via /debug/traces.
+        let traces = recovered.metrics().traces().snapshot();
+        let recovery = traces.iter().find(|t| t.terminal == "recovery");
+        assert_eq!(recovery.map(|t| t.model.as_str()), Some("default"));
 
         // Recovery is repeatable (the log is not consumed by replay).
         let again = registry();

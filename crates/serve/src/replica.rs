@@ -31,6 +31,7 @@
 
 use crate::client::Client;
 use crate::json::Json;
+use crate::log;
 use crate::registry::Registry;
 use crate::wal::{self, DeltaRecord};
 use hdc::io::load_any;
@@ -337,6 +338,16 @@ fn tail_model(
             continue;
         };
         if poll.reset || poll.generation != generation {
+            log::warn(
+                "replica.resync",
+                "leader continuity lost; re-bootstrapping",
+                &[
+                    ("model", name.to_owned()),
+                    ("reset", poll.reset.to_string()),
+                    ("leader_generation", poll.generation.to_string()),
+                    ("local_generation", generation.to_string()),
+                ],
+            );
             generation = 0;
             continue;
         }
@@ -360,6 +371,22 @@ fn tail_model(
                         examples += n;
                         applied = record.version;
                         count += 1;
+                        // The leader's trace id rides the record, so one
+                        // write is followable end to end: leader request
+                        // → delta record → this apply.
+                        log::debug(
+                            "replica.delta_apply",
+                            "applied replicated delta",
+                            &[
+                                ("model", name.to_owned()),
+                                ("version", record.version.to_string()),
+                                ("ops", record.ops.len().to_string()),
+                                (
+                                    "leader_trace",
+                                    record.trace.clone().unwrap_or_else(|| "-".into()),
+                                ),
+                            ],
+                        );
                     }
                     Err(_) => {
                         intact = false;
@@ -368,6 +395,11 @@ fn tail_model(
                 }
             }
             if !intact {
+                log::warn(
+                    "replica.gap",
+                    "delta sequence broken; re-bootstrapping",
+                    &[("model", name.to_owned()), ("applied", applied.to_string())],
+                );
                 generation = 0;
                 continue;
             }
@@ -424,6 +456,18 @@ fn bootstrap_model(client: &mut Client, registry: &Registry, name: &str) -> io::
     }
     let model = load_any(&mut response.body.as_slice()).map_err(io::Error::other)?;
     registry.install_synced(name, model, version, examples).map_err(io::Error::other)?;
+    // The leader stamped its request id on the export response; logging
+    // it ties this bootstrap to the leader-side trace of the same export.
+    log::info(
+        "replica.bootstrap",
+        "bootstrapped model from leader export",
+        &[
+            ("model", name.to_owned()),
+            ("version", version.to_string()),
+            ("generation", generation.to_string()),
+            ("leader_trace", response.header("x-request-id").unwrap_or("-").to_owned()),
+        ],
+    );
     Ok((generation, version))
 }
 

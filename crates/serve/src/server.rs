@@ -10,7 +10,9 @@
 use crate::error::ServeError;
 use crate::http::{self, HttpError, Request};
 use crate::json::{self, Json};
+use crate::log;
 use crate::registry::Registry;
+use crate::trace::{self, ActiveTrace, Stage, TraceRecord, STAGE_NAMES};
 use hdc::Model;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -41,6 +43,10 @@ pub struct ServerConfig {
     /// disables the deadline. Granularity is the internal read-poll slice
     /// (500 ms), so budgets below that round up to roughly one slice.
     pub request_deadline: Duration,
+    /// Requests slower than this end-to-end (milliseconds) are copied to
+    /// the slow-trace ring (`GET /debug/traces/slow`) and logged with
+    /// their per-stage breakdown. 0 disables slow-request capture.
+    pub slow_request_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -50,6 +56,7 @@ impl Default for ServerConfig {
             workers: 8,
             keep_alive_timeout: Duration::from_secs(30),
             request_deadline: Duration::from_secs(10),
+            slow_request_ms: 0,
         }
     }
 }
@@ -72,6 +79,16 @@ impl Server {
     pub fn start(registry: Arc<Registry>, config: &ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
+        registry.metrics().set_slow_request_us(config.slow_request_ms.saturating_mul(1_000));
+        log::info(
+            "server.start",
+            "listening",
+            &[
+                ("addr", addr.to_string()),
+                ("workers", config.workers.max(1).to_string()),
+                ("slow_request_ms", config.slow_request_ms.to_string()),
+            ],
+        );
         let stop = Arc::new(AtomicBool::new(false));
         let workers = config.workers.max(1);
         let mut accepters = Vec::with_capacity(workers);
@@ -200,13 +217,30 @@ fn serve_connection(
         // The request's first byte is buffered: its wall-clock deadline
         // starts now and covers the rest of the head plus the whole body.
         let deadline = (!request_deadline.is_zero()).then(|| Instant::now() + request_deadline);
-        match http::read_request(&mut reader, deadline) {
+        let mut client_id = None;
+        match http::read_request_timed(&mut reader, deadline, &mut client_id) {
             Ok(None) => return, // clean close
-            Ok(Some(request)) => {
+            Ok(Some((request, timings))) => {
                 let keep_alive = request.keep_alive();
                 registry.metrics().on_request();
-                let reply = route(&request, registry);
+                // The id echoes whether tracing is on or not — it is part
+                // of the HTTP contract; only the span/ring/histogram work
+                // is gated (that delta is what `serve_trace_overhead`
+                // measures).
+                let trace_id = request
+                    .header("x-request-id")
+                    .filter(|id| trace::valid_id(id))
+                    .map_or_else(trace::generate_id, str::to_owned);
+                let active =
+                    registry.metrics().trace_enabled().then(|| ActiveTrace::new(trace_id.clone()));
+                if let Some(active) = &active {
+                    active.record_span(Stage::HeadParse, timings.first_byte, timings.head_done);
+                    active.record_span(Stage::BodyRead, timings.head_done, timings.body_done);
+                }
+                let mut reply = route(&request, registry, active.as_ref());
                 registry.metrics().on_response(reply.status);
+                reply.headers.push(("x-request-id".to_owned(), trace_id));
+                let write_started = Instant::now();
                 if http::write_response_bytes(
                     &mut writer,
                     reply.status,
@@ -219,6 +253,16 @@ fn serve_connection(
                 {
                     return;
                 }
+                if let Some(active) = &active {
+                    let written = Instant::now();
+                    active.record_span(Stage::ReplyWrite, write_started, written);
+                    let total_us =
+                        written.saturating_duration_since(timings.first_byte).as_micros() as u64;
+                    let record = active.finalize(reply.status, total_us);
+                    if registry.metrics().on_trace(&record) {
+                        log_slow_request(&record);
+                    }
+                }
                 if !keep_alive {
                     let _ = writer.flush();
                     return;
@@ -226,21 +270,60 @@ fn serve_connection(
                 idle_since = Instant::now();
             }
             Err(HttpError::Bad(status, reason)) => {
-                // The request never parsed; answer and close (framing is
-                // unreliable past a malformed head).
+                // The request never completed; answer and close (framing
+                // is unreliable past a malformed read). Even these replies
+                // carry a request id: the client's own if the head parsed
+                // far enough to reveal one, generated otherwise.
                 registry.metrics().on_request();
                 registry.metrics().on_response(status);
+                let trace_id = client_id
+                    .take()
+                    .filter(|id| trace::valid_id(id))
+                    .unwrap_or_else(trace::generate_id);
                 let body = Json::obj([
-                    ("error", Json::from(reason)),
+                    ("error", Json::from(reason.as_str())),
                     ("status", Json::from(u64::from(status))),
                 ])
                 .render();
-                let _ = http::write_response(&mut writer, status, &[], &body, false);
+                let _ = http::write_response(
+                    &mut writer,
+                    status,
+                    &[("x-request-id", &trace_id)],
+                    &body,
+                    false,
+                );
+                if registry.metrics().trace_enabled() {
+                    // The request died while being read: the terminal is
+                    // the read stage it failed in.
+                    let terminal = if reason.contains("body") { "body_read" } else { "head_parse" };
+                    let mut record = TraceRecord::synthetic(trace_id, String::new(), terminal, 0);
+                    record.status = status;
+                    registry.metrics().on_trace(&record);
+                }
                 return;
             }
             Err(HttpError::Io(_)) => return,
         }
     }
+}
+
+/// One structured line per request that crossed the slow threshold, with
+/// the full stage breakdown so the log alone answers "where did the time
+/// go" even after the ring entry is evicted.
+fn log_slow_request(record: &TraceRecord) {
+    let mut fields: Vec<(&str, String)> = vec![
+        ("trace", record.id.clone()),
+        ("model", record.model.clone()),
+        ("status", record.status.to_string()),
+        ("total_us", record.total_us.to_string()),
+        ("terminal", record.terminal.to_owned()),
+    ];
+    for (i, name) in STAGE_NAMES.iter().enumerate() {
+        if record.stages[i] > 0 {
+            fields.push((name, record.stages[i].to_string()));
+        }
+    }
+    log::warn("server.slow_request", "slow request", &fields);
 }
 
 /// How long `GET /v1/deltas` long-polls for fresh records when the
@@ -289,7 +372,7 @@ fn require_leader(registry: &Registry) -> Result<(), ServeError> {
 /// Dispatches one parsed request to its handler; the error arm turns any
 /// [`ServeError`] into its status, extra headers (`Allow` on 405) and
 /// JSON body.
-fn route(request: &Request, registry: &Registry) -> Reply {
+fn route(request: &Request, registry: &Registry, active: Option<&Arc<ActiveTrace>>) -> Reply {
     // The path may carry a query string (`/v1/deltas?model=..&from=..`):
     // split it off so routing matches the bare path.
     let (path, query) = match request.path.split_once('?') {
@@ -302,18 +385,30 @@ fn route(request: &Request, registry: &Registry) -> Reply {
             200,
             &Json::obj([("status", Json::from("ok")), ("live", Json::from(true))]),
         )),
+        ("GET", "/metrics") if query_param(query, "format") == Some("prometheus") => Ok(Reply {
+            status: 200,
+            headers: Vec::new(),
+            content_type: "text/plain; version=0.0.4",
+            body: registry.metrics().render_prometheus().into_bytes(),
+        }),
         ("GET", "/metrics") => handle_metrics(registry).map(|doc| json_reply(200, &doc)),
+        ("GET", "/debug/traces") => {
+            handle_traces(query, registry, false).map(|doc| json_reply(200, &doc))
+        }
+        ("GET", "/debug/traces/slow") => {
+            handle_traces(query, registry, true).map(|doc| json_reply(200, &doc))
+        }
         ("GET", "/v1/models") => handle_models(registry).map(|doc| json_reply(200, &doc)),
         ("GET", "/v1/deltas") => handle_deltas(query, registry).map(|doc| json_reply(200, &doc)),
         ("GET", "/v1/export") => handle_export(query, registry),
         ("POST", "/v1/predict") => {
-            handle_predict(request, registry).map(|doc| json_reply(200, &doc))
+            handle_predict(request, registry, active).map(|doc| json_reply(200, &doc))
         }
         ("POST", "/v1/train") => require_leader(registry)
-            .and_then(|()| handle_train(request, registry))
+            .and_then(|()| handle_train(request, registry, active))
             .map(|doc| json_reply(200, &doc)),
         ("POST", "/v1/feedback") => require_leader(registry)
-            .and_then(|()| handle_feedback(request, registry))
+            .and_then(|()| handle_feedback(request, registry, active))
             .map(|doc| json_reply(200, &doc)),
         // A follower may snapshot (it persists replicated — hence
         // durable-on-the-leader — state locally) but not reload: a local
@@ -326,7 +421,8 @@ fn route(request: &Request, registry: &Registry) -> Reply {
             .map(|doc| json_reply(200, &doc)),
         (
             _,
-            "/healthz" | "/healthz/live" | "/metrics" | "/v1/models" | "/v1/deltas" | "/v1/export",
+            "/healthz" | "/healthz/live" | "/metrics" | "/debug/traces" | "/debug/traces/slow"
+            | "/v1/models" | "/v1/deltas" | "/v1/export",
         ) => Err(ServeError::MethodNotAllowed("GET")),
         (_, "/v1/predict" | "/v1/train" | "/v1/feedback" | "/v1/snapshot" | "/v1/reload") => {
             Err(ServeError::MethodNotAllowed("POST"))
@@ -492,6 +588,69 @@ fn handle_metrics(registry: &Registry) -> Result<Json, ServeError> {
     Ok(doc)
 }
 
+/// `GET /debug/traces[?model=NAME&status=N&min_us=N&terminal=NAME]` — the
+/// recent completed-trace ring, newest first, with optional filters; with
+/// `slow`, the dedicated slow-request ring (`/debug/traces/slow`) plus
+/// the active threshold.
+fn handle_traces(query: &str, registry: &Registry, slow: bool) -> Result<Json, ServeError> {
+    let model = query_param(query, "model");
+    let terminal = query_param(query, "terminal");
+    let status = match query_param(query, "status") {
+        None => None,
+        Some(raw) => Some(raw.parse::<u16>().map_err(|_| {
+            ServeError::BadRequest(format!(
+                "query parameter 'status' must be an HTTP status code, got '{raw}'"
+            ))
+        })?),
+    };
+    let min_us = match query_param(query, "min_us") {
+        None => 0,
+        Some(raw) => raw.parse::<u64>().map_err(|_| {
+            ServeError::BadRequest(format!(
+                "query parameter 'min_us' must be a non-negative integer, got '{raw}'"
+            ))
+        })?,
+    };
+    let metrics = registry.metrics();
+    let ring = if slow { metrics.slow_traces() } else { metrics.traces() };
+    let traces: Vec<Json> = ring
+        .snapshot()
+        .into_iter()
+        .rev() // newest first: the request you just made is on top
+        .filter(|r| model.is_none_or(|m| r.model == m))
+        .filter(|r| status.is_none_or(|s| r.status == s))
+        .filter(|r| terminal.is_none_or(|t| r.terminal == t))
+        .filter(|r| r.total_us >= min_us)
+        .map(|r| render_trace(&r))
+        .collect();
+    Ok(Json::obj([
+        ("enabled", Json::from(metrics.trace_enabled())),
+        ("capacity", Json::from(ring.capacity())),
+        ("pushed", Json::from(ring.pushed())),
+        ("slow_threshold_us", Json::from(metrics.slow_request_us())),
+        ("count", Json::from(traces.len())),
+        ("traces", Json::Arr(traces)),
+    ]))
+}
+
+/// Renders one trace record; only the stages the request entered appear.
+fn render_trace(record: &TraceRecord) -> Json {
+    let stages: Vec<(&'static str, Json)> = STAGE_NAMES
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| record.stages[i] > 0)
+        .map(|(i, name)| (*name, Json::from(record.stages[i])))
+        .collect();
+    Json::obj([
+        ("id", Json::from(record.id.as_str())),
+        ("model", Json::from(record.model.as_str())),
+        ("status", Json::from(u64::from(record.status))),
+        ("total_us", Json::from(record.total_us)),
+        ("terminal", Json::from(record.terminal)),
+        ("stages", Json::obj(stages)),
+    ])
+}
+
 /// Parses the request body as a JSON object.
 fn parse_body(request: &Request) -> Result<Json, ServeError> {
     let doc = json::parse(&request.body).map_err(|e| ServeError::BadRequest(e.to_string()))?;
@@ -573,11 +732,18 @@ fn render_prediction(p: &hdc::Prediction) -> Json {
 /// `POST /v1/predict` — body `{"model": name?, "input": [...]}` for one
 /// input (runs through the coalescer) or `{"inputs": [[...], ...]}` for an
 /// explicit batch (runs `predict_batch` directly).
-fn handle_predict(request: &Request, registry: &Registry) -> Result<Json, ServeError> {
+fn handle_predict(
+    request: &Request,
+    registry: &Registry,
+    active: Option<&Arc<ActiveTrace>>,
+) -> Result<Json, ServeError> {
     let started = Instant::now();
     let body = parse_body(request)?;
     let model_name = model_name(&body)?;
     let entry = registry.get(model_name)?;
+    if let Some(active) = active {
+        active.set_model(model_name);
+    }
     let response = match (body.get("input"), body.get("inputs")) {
         (Some(_), Some(_)) => {
             return Err(ServeError::BadRequest(
@@ -587,7 +753,7 @@ fn handle_predict(request: &Request, registry: &Registry) -> Result<Json, ServeE
         (Some(input), None) => {
             registry.metrics().on_predict(1);
             let pixels = decode_input(input, "input")?;
-            let prediction = entry.batcher().predict(pixels)?;
+            let prediction = entry.batcher().predict_traced(pixels, active.cloned())?;
             let mut obj = render_prediction(&prediction);
             if let Json::Obj(map) = &mut obj {
                 map.insert("model".into(), Json::from(model_name));
@@ -611,7 +777,11 @@ fn handle_predict(request: &Request, registry: &Registry) -> Result<Json, ServeE
             // An explicit batch is already coalesced: skip the queue and
             // do NOT record it in the batch histogram, which must reflect
             // only what the coalescer actually executed.
+            let execute_started = Instant::now();
             let predictions = entry.model().predict_batch(&refs).map_err(ServeError::from)?;
+            if let Some(active) = active {
+                active.record_span(Stage::Execute, execute_started, Instant::now());
+            }
             Json::obj([
                 ("model", Json::from(model_name)),
                 ("results", Json::Arr(predictions.iter().map(render_prediction).collect())),
@@ -632,11 +802,18 @@ fn handle_predict(request: &Request, registry: &Registry) -> Result<Json, ServeE
 /// `{"examples": [{"input": [...], "label": n}, ...]}`. Examples ride the
 /// model's coalescing batcher into one `partial_fit_batch`; the response
 /// reports how many were absorbed and the model version after the batch.
-fn handle_train(request: &Request, registry: &Registry) -> Result<Json, ServeError> {
+fn handle_train(
+    request: &Request,
+    registry: &Registry,
+    active: Option<&Arc<ActiveTrace>>,
+) -> Result<Json, ServeError> {
     let started = Instant::now();
     let body = parse_body(request)?;
     let model_name = model_name(&body)?;
     let entry = registry.get(model_name)?;
+    if let Some(active) = active {
+        active.set_model(model_name);
+    }
     let examples: Vec<(Vec<u8>, usize)> = match (body.get("input"), body.get("examples")) {
         (Some(_), Some(_)) => {
             return Err(ServeError::BadRequest(
@@ -663,7 +840,7 @@ fn handle_train(request: &Request, registry: &Registry) -> Result<Json, ServeErr
             ))
         }
     };
-    let outcome = entry.batcher().train(examples)?;
+    let outcome = entry.batcher().train_traced(examples, active.cloned())?;
     registry.metrics().on_train(outcome.applied);
     registry.metrics().on_latency(started.elapsed());
     Ok(Json::obj([
@@ -677,13 +854,20 @@ fn handle_train(request: &Request, registry: &Registry) -> Result<Json, ServeErr
 /// report the true label for an input (typically one the client previously
 /// predicted). The model applies an adaptive update only if it mispredicts
 /// the input; the response says what it predicted and whether it learned.
-fn handle_feedback(request: &Request, registry: &Registry) -> Result<Json, ServeError> {
+fn handle_feedback(
+    request: &Request,
+    registry: &Registry,
+    active: Option<&Arc<ActiveTrace>>,
+) -> Result<Json, ServeError> {
     let started = Instant::now();
     let body = parse_body(request)?;
     let model_name = model_name(&body)?;
     let entry = registry.get(model_name)?;
+    if let Some(active) = active {
+        active.set_model(model_name);
+    }
     let (input, label) = decode_example(&body, "body")?;
-    let outcome = entry.batcher().feedback(input, label)?;
+    let outcome = entry.batcher().feedback_traced(input, label, active.cloned())?;
     registry.metrics().on_feedback(outcome.updated);
     registry.metrics().on_latency(started.elapsed());
     Ok(Json::obj([
@@ -779,7 +963,7 @@ mod tests {
     /// Routes a request and hands back the JSON-route shape the tests
     /// assert on (status, headers, body text).
     fn call(request: &Request, registry: &Registry) -> (u16, Vec<(String, String)>, String) {
-        let reply = route(request, registry);
+        let reply = route(request, registry, None);
         (reply.status, reply.headers, String::from_utf8(reply.body).expect("text body"))
     }
 
@@ -1091,7 +1275,7 @@ mod tests {
         let entry = registry.get("default").unwrap();
         entry.batcher().train(vec![(vec![128u8; 16], 0)]).unwrap();
 
-        let reply = route(&get("/v1/export?model=default"), &registry);
+        let reply = route(&get("/v1/export?model=default"), &registry, None);
         assert_eq!(reply.status, 200);
         assert_eq!(reply.content_type, "application/octet-stream");
         let header =
@@ -1112,7 +1296,7 @@ mod tests {
             );
         }
 
-        let reply = route(&get("/v1/export?model=nope"), &registry);
+        let reply = route(&get("/v1/export?model=nope"), &registry, None);
         assert_eq!(reply.status, 404);
     }
 

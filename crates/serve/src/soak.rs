@@ -317,6 +317,12 @@ struct Ctx<'a> {
 /// Anything outside {2xx, 503-with-Retry-After, 504, quarantine-500} is an
 /// unexpected response and fails the run.
 fn classify(ctx: Ctx<'_>, response: &Response, context: &str) {
+    // Every response — success or rejection — must carry the request's
+    // trace id, or logs and `/debug/traces` cannot be correlated with
+    // what the client saw.
+    if response.header("x-request-id").is_none() {
+        ctx.failures.push(format!("{context}: response has no x-request-id header"));
+    }
     match response.status {
         200..=299 => {
             ctx.tally.ok.fetch_add(1, Relaxed);
@@ -956,6 +962,28 @@ fn crash_recovery_probe(ctx: Ctx<'_>, exe: &Path, scratch: &Path) {
             return;
         };
         let recovered = model_version(&mut victim_client, "default");
+        // The WAL replay that brought the victim back must itself be
+        // observable: a synthetic `recovery`-terminal trace in the ring.
+        match victim_client.get("/debug/traces?terminal=recovery") {
+            Ok(r) if r.is_success() => {
+                let count = r
+                    .json()
+                    .ok()
+                    .and_then(|doc| doc.get("traces")?.as_array().map(<[Json]>::len))
+                    .unwrap_or(0);
+                if count == 0 {
+                    ctx.failures.push(format!(
+                        "crash probe cycle {cycle}: recovered victim shows no \
+                         'recovery'-terminal trace in /debug/traces"
+                    ));
+                }
+            }
+            Ok(r) => ctx.failures.push(format!(
+                "crash probe cycle {cycle}: /debug/traces answered {} on the recovered victim",
+                r.status
+            )),
+            Err(e) => transport_failure(ctx, "crash probe trace fetch", &e),
+        }
         if recovered != expected {
             ctx.failures.push(format!(
                 "crash probe cycle {cycle}: recovered at version {recovered:?} instead of the \
@@ -1142,11 +1170,10 @@ fn failover_probe(ctx: Ctx<'_>, exe: &Path, scratch: &Path) {
     ctx.tally.promotions.fetch_add(1, Relaxed);
 }
 
-/// Peak RSS (`VmHWM`) in KiB from `/proc/self/status`, where available.
+/// Peak RSS (`VmHWM`) in KiB, read through the same probe `/metrics`
+/// publishes so the gate and the endpoint can never disagree.
 fn rss_peak_kb() -> Option<u64> {
-    let status = std::fs::read_to_string("/proc/self/status").ok()?;
-    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
-    line.split_ascii_whitespace().nth(1)?.parse().ok()
+    crate::metrics::rss_peak_kb()
 }
 
 /// Keeps the default panic hook from dumping a backtrace for every
@@ -1296,6 +1323,24 @@ pub fn run(config: &SoakConfig) -> SoakReport {
         failover_probe(ctx, exe, &scratch);
     }
 
+    // One last injected panic, fired after the load phase went quiet: the
+    // load phase's own panics may have been evicted from the bounded
+    // trace ring by healthy traffic, so this guarantees the audit's
+    // "every fault class is visible as a trace" scan has a fresh
+    // `panic`-terminal entry to find.
+    inject_panic_fill(Some(PANIC_MARKER));
+    if let Ok(mut client) = Client::connect(addr) {
+        let poisoned = vec![PANIC_MARKER; config.edge * config.edge];
+        let body = Client::predict_body("default", &poisoned);
+        match client.post("/v1/predict", &body) {
+            Ok(response) => classify(ctx, &response, "late panic probe"),
+            Err(e) => transport_failure(ctx, "late panic probe", &e),
+        }
+    } else {
+        failures.push("late panic probe: cannot connect".to_owned());
+    }
+    inject_panic_fill(None);
+
     // Recovery: the model that survived the soak must still answer, and
     // one more training step must succeed (which also re-dirties it so
     // the drain below provably flushes).
@@ -1434,6 +1479,23 @@ fn audit(config: &SoakConfig, tally: &Tally, failures: &Failures, metrics: &Metr
     }
     if metrics.queue_depth_hist().iter().sum::<u64>() == 0 {
         failures.push("queue-depth histogram recorded no enqueues".to_owned());
+    }
+    // Every injected fault class must be visible as a completed trace
+    // with the right terminal stage, not just as a counter increment —
+    // that is the whole point of the ring.
+    let traces = metrics.traces().snapshot();
+    let fault_terminals = [
+        ("shed", metrics.shed_total()),
+        ("queue_deadline", metrics.deadline_expired_total()),
+        ("panic", metrics.worker_panics_total()),
+    ];
+    for (terminal, counted) in fault_terminals {
+        if counted > 0 && !traces.iter().any(|r| r.terminal == terminal) {
+            failures.push(format!(
+                "/metrics counted {counted} '{terminal}' faults but no trace with that \
+                 terminal stage survives in the ring"
+            ));
+        }
     }
     let p99_us = metrics.latency_quantile_us(0.99);
     let ceiling_us = config.p99_ceiling.as_micros().min(u128::from(u64::MAX)) as u64;

@@ -113,6 +113,12 @@ pub struct DeltaRecord {
     /// The applied updates: trains first, then applied feedbacks, in
     /// execution order.
     pub ops: Vec<DeltaOp>,
+    /// The trace id of the first traced request that rode in this batch,
+    /// if any — carried on the replication wire form so a write can be
+    /// followed leader→follower in `/debug/traces` and the logs. Not
+    /// part of the durable binary format (recovery replays by version,
+    /// not by request), so records read back from disk carry `None`.
+    pub trace: Option<String>,
 }
 
 impl DeltaRecord {
@@ -166,7 +172,7 @@ impl DeltaRecord {
         if at != body.len() {
             return None;
         }
-        Some(DeltaRecord { version, ops })
+        Some(DeltaRecord { version, ops, trace: None })
     }
 
     /// The replication wire form of this record.
@@ -193,7 +199,11 @@ impl DeltaRecord {
                 ])
             })
             .collect::<Vec<_>>();
-        Json::obj([("version", Json::from(self.version)), ("ops", Json::from(ops))])
+        let mut fields = vec![("version", Json::from(self.version)), ("ops", Json::from(ops))];
+        if let Some(trace) = &self.trace {
+            fields.push(("trace", Json::from(trace.as_str())));
+        }
+        Json::obj(fields)
     }
 
     /// Parses the replication wire form; `None` means malformed.
@@ -223,7 +233,8 @@ impl DeltaRecord {
                 _ => return None,
             });
         }
-        Some(DeltaRecord { version: version as u64, ops })
+        let trace = doc.get("trace").and_then(Json::as_str).map(str::to_owned);
+        Some(DeltaRecord { version: version as u64, ops, trace })
     }
 }
 
@@ -780,6 +791,7 @@ mod tests {
                     label: (version as usize + 1) % 3,
                 },
             ],
+            trace: None,
         }
     }
 
@@ -954,6 +966,12 @@ mod tests {
         let parsed = crate::json::parse(rendered.as_bytes()).unwrap();
         let back = DeltaRecord::from_json(&parsed).unwrap();
         assert_eq!(back, original);
+        // The trace id survives the wire (it is replication-only: the
+        // binary disk form never carries it, as `record()` shows).
+        let traced = DeltaRecord { trace: Some("a1b2c3".to_owned()), ..record(43, 8) };
+        let rendered = traced.to_json().render();
+        let back = DeltaRecord::from_json(&crate::json::parse(rendered.as_bytes()).unwrap());
+        assert_eq!(back.unwrap(), traced);
         // Malformed wire forms are rejected, not misparsed.
         let bad = crate::json::parse(b"{\"version\": -1, \"ops\": []}").unwrap();
         assert!(DeltaRecord::from_json(&bad).is_none());

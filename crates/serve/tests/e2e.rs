@@ -503,6 +503,216 @@ fn snapshot_then_reload_resumes_the_version_lineage() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Reads a complete HTTP head (status line + headers) off a raw socket,
+/// returning the status and lowercased header names. For adversarial
+/// requests where the `Client` framing is unusable.
+fn read_raw_head(
+    stream: &mut TcpStream,
+    patience: Duration,
+) -> Option<(u16, Vec<(String, String)>)> {
+    let start = Instant::now();
+    let mut head = Vec::new();
+    let mut byte = [0u8; 1];
+    while start.elapsed() < patience && !head.ends_with(b"\r\n\r\n") {
+        match stream.read(&mut byte) {
+            Ok(0) => break,
+            Ok(_) => head.push(byte[0]),
+            Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {}
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => break,
+        }
+    }
+    let text = String::from_utf8_lossy(&head);
+    let mut lines = text.split("\r\n");
+    let status = lines.next()?.split_whitespace().nth(1)?.parse().ok()?;
+    let headers = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(n, v)| (n.trim().to_ascii_lowercase(), v.trim().to_owned()))
+        .collect();
+    Some((status, headers))
+}
+
+#[test]
+fn every_response_carries_a_request_id_and_echoes_a_supplied_one() {
+    let server = start_server(BatchConfig::default());
+    let addr = server.addr();
+    let mut client = Client::connect(addr).unwrap();
+
+    // A caller-chosen id round-trips on a healthy predict.
+    let body = Client::predict_body("default", &[224u8; PIXELS]);
+    let response = client
+        .request_with_headers("POST", "/v1/predict", &[("x-request-id", "e2e-echo-1")], Some(&body))
+        .unwrap();
+    assert_eq!(response.status, 200);
+    assert_eq!(response.header("x-request-id"), Some("e2e-echo-1"));
+
+    // Without one, the server generates an id.
+    let response = client.post("/v1/predict", &body).unwrap();
+    assert_eq!(response.status, 200);
+    let generated = response.header("x-request-id").expect("generated id").to_owned();
+    assert!(!generated.is_empty());
+
+    // An invalid id (too long to be safe to echo) is replaced, not echoed.
+    let oversized = "x".repeat(80);
+    let response = client
+        .request_with_headers("POST", "/v1/predict", &[("x-request-id", &oversized)], Some(&body))
+        .unwrap();
+    assert_eq!(response.status, 200);
+    let replaced = response.header("x-request-id").expect("replacement id");
+    assert_ne!(replaced, oversized, "an invalid id must not be echoed back");
+
+    // Every error path still stamps the id: 400, 404, 405.
+    for (path, body, expected) in [
+        ("/v1/predict", Some("{not json"), 400),
+        ("/v1/predict", Some(Client::predict_body("missing", &[0u8; PIXELS]).as_str()), 404),
+        ("/metrics", Some(""), 405),
+    ] {
+        let response = client
+            .request_with_headers("POST", path, &[("x-request-id", "e2e-err")], body)
+            .unwrap();
+        assert_eq!(response.status, expected);
+        assert_eq!(
+            response.header("x-request-id"),
+            Some("e2e-err"),
+            "{expected} response must echo the request id"
+        );
+    }
+
+    // The pre-routing 413 rejection — refused before the body is ever
+    // read — still answers with a request id on the raw socket.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.set_read_timeout(Some(Duration::from_millis(50))).unwrap();
+    stream
+        .write_all(
+            b"POST /v1/predict HTTP/1.1\r\nx-request-id: e2e-413\r\ncontent-length: 67108864\r\n\r\n",
+        )
+        .unwrap();
+    let (status, headers) = read_raw_head(&mut stream, Duration::from_secs(5)).unwrap();
+    assert_eq!(status, 413);
+    let id = headers.iter().find(|(n, _)| n == "x-request-id").map(|(_, v)| v.as_str());
+    assert_eq!(id, Some("e2e-413"), "the 413 rejection must echo the request id");
+}
+
+#[test]
+fn debug_traces_filters_work_over_a_live_socket() {
+    let server = start_server(BatchConfig::default());
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    let ok_body = Client::predict_body("default", &[224u8; PIXELS]);
+    let missing_body = Client::predict_body("missing", &[0u8; PIXELS]);
+    for _ in 0..3 {
+        assert_eq!(client.post("/v1/predict", &ok_body).unwrap().status, 200);
+    }
+    assert_eq!(client.post("/v1/predict", &missing_body).unwrap().status, 404);
+
+    // Unfiltered: everything so far, newest first.
+    let doc = client.get("/debug/traces").unwrap().json().unwrap();
+    assert_eq!(doc.get("enabled").and_then(Json::as_bool), Some(true));
+    let all = doc.get("traces").and_then(Json::as_array).unwrap().len();
+    assert!(all >= 4, "expected at least 4 completed traces, got {all}");
+
+    // status filter: only the 404.
+    let doc = client.get("/debug/traces?status=404").unwrap().json().unwrap();
+    let traces = doc.get("traces").and_then(Json::as_array).unwrap();
+    assert!(!traces.is_empty(), "the 404 must appear under its status filter");
+    assert!(traces.iter().all(|t| t.get("status").and_then(Json::as_f64) == Some(404.0)));
+
+    // model filter: only requests routed to `default`, all successful.
+    let doc = client.get("/debug/traces?model=default&status=200").unwrap().json().unwrap();
+    let traces = doc.get("traces").and_then(Json::as_array).unwrap();
+    assert!(traces.len() >= 3);
+    assert!(traces.iter().all(|t| t.get("model").and_then(Json::as_str) == Some("default")));
+
+    // min_us high enough to exclude everything.
+    let doc = client.get("/debug/traces?min_us=999999999999").unwrap().json().unwrap();
+    assert_eq!(doc.get("count").and_then(Json::as_f64), Some(0.0));
+
+    // Malformed filter values are a client error, not a panic.
+    assert_eq!(client.get("/debug/traces?status=nope").unwrap().status, 400);
+    assert_eq!(client.get("/debug/traces?min_us=-3").unwrap().status, 400);
+}
+
+/// The PR-8 acceptance path: a predict's echoed request id resolves in
+/// `/debug/traces` to a span record whose queue-wait + execute +
+/// reply-write stages sum to the end-to-end latency within one
+/// power-of-two bucket.
+#[test]
+fn trace_stages_sum_to_the_end_to_end_latency_within_one_bucket() {
+    use hdc_serve::metrics::latency_bucket_index;
+
+    let server = start_server(BatchConfig::default());
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    let body = Client::predict_body("default", &[224u8; PIXELS]);
+    let response = client
+        .request_with_headers("POST", "/v1/predict", &[("x-request-id", "e2e-stages")], Some(&body))
+        .unwrap();
+    assert_eq!(response.status, 200);
+
+    let doc = client.get("/debug/traces?model=default").unwrap().json().unwrap();
+    let traces = doc.get("traces").and_then(Json::as_array).unwrap();
+    let trace = traces
+        .iter()
+        .find(|t| t.get("id").and_then(Json::as_str) == Some("e2e-stages"))
+        .expect("the echoed request id must resolve to a trace");
+
+    assert_eq!(trace.get("terminal").and_then(Json::as_str), Some("reply_write"));
+    let total_us = trace.get("total_us").and_then(Json::as_f64).unwrap() as u64;
+    assert!(total_us > 0);
+    let stages = trace.get("stages").expect("stages object");
+    for required in ["queue_wait", "execute", "reply_write"] {
+        assert!(
+            stages.get(required).is_some(),
+            "a coalesced predict must pass through {required}: {stages:?}"
+        );
+    }
+    let Json::Obj(map) = stages else { panic!("stages must be an object") };
+    let sum_us: u64 = map.values().filter_map(Json::as_f64).map(|v| v as u64).sum();
+    assert!(sum_us <= total_us, "stages cannot exceed the end-to-end time");
+    let diff = latency_bucket_index(total_us) - latency_bucket_index(sum_us);
+    assert!(
+        diff <= 1,
+        "stage sum {sum_us}us must land within one bucket of the total {total_us}us"
+    );
+}
+
+#[test]
+fn slow_requests_are_copied_to_the_slow_ring_and_fast_ones_are_not() {
+    let registry = Arc::new(Registry::new(Arc::new(Metrics::new()), BatchConfig::default()));
+    registry.insert_model("default", trained_model(7)).unwrap();
+    let config = ServerConfig { workers: 4, slow_request_ms: 1, ..ServerConfig::default() };
+    let server = Server::start(registry, &config).unwrap();
+    let addr = server.addr();
+
+    // Deliver the head, stall 20 ms, then the body: the body-read stage
+    // alone pushes the request past the 1 ms slow threshold.
+    let body = Client::predict_body("default", &[224u8; PIXELS]);
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.set_read_timeout(Some(Duration::from_millis(50))).unwrap();
+    let head = format!(
+        "POST /v1/predict HTTP/1.1\r\nx-request-id: e2e-slow\r\ncontent-length: {}\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).unwrap();
+    std::thread::sleep(Duration::from_millis(20));
+    stream.write_all(body.as_bytes()).unwrap();
+    let (status, _) = read_raw_head(&mut stream, Duration::from_secs(5)).unwrap();
+    assert_eq!(status, 200);
+
+    let mut client = Client::connect(addr).unwrap();
+    let doc = client.get("/debug/traces/slow").unwrap().json().unwrap();
+    assert_eq!(doc.get("slow_threshold_us").and_then(Json::as_f64), Some(1_000.0));
+    let traces = doc.get("traces").and_then(Json::as_array).unwrap();
+    let slow = traces
+        .iter()
+        .find(|t| t.get("id").and_then(Json::as_str) == Some("e2e-slow"))
+        .expect("the lingering predict must land in the slow ring");
+    assert!(slow.get("total_us").and_then(Json::as_f64).unwrap() >= 1_000.0);
+
+    // The /debug/traces GET we just made is fast and must NOT be there.
+    assert!(traces.iter().all(|t| t.get("model").and_then(Json::as_str) == Some("default")));
+}
+
 #[test]
 fn hot_reload_over_http_swaps_the_model() {
     let dir = std::env::temp_dir().join(format!("hdc-serve-e2e-{}", std::process::id()));

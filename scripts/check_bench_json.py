@@ -52,11 +52,16 @@ DELTA_OPS = {"pack_words", "serve_predict", "serve_predict_binary", "serve_train
 # published batch) coalesced vs batch-size-1: coalescing amortizes one
 # fsync over the whole batch while batch-size-1 pays it per example, so
 # anything at or below parity means durability broke the coalescing win.
+# serve_trace_overhead's "speedup" is traced-rps / untraced-rps on the
+# same predict workload: the request-id echo is free (always on), so the
+# ratio measures the span/ring/histogram bookkeeping alone; 0.95 allows
+# at most a 5% tracing tax.
 FLOOR_OVERRIDES = {
     "train_partial_fit": 50.0,
     "train_partial_fit_binary": 50.0,
     "serve_soak": 1.0,
     "serve_wal_append": 1.0,
+    "serve_trace_overhead": 0.95,
 }
 
 REQUIRED_OPS = {
@@ -73,6 +78,7 @@ REQUIRED_OPS = {
         "serve_predict_binary",
         "serve_train",
         "serve_wal_append",
+        "serve_trace_overhead",
         "serve_coalescing",
     },
     "serve_soak": {"serve_soak"},

@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""CI gate for the Prometheus text exposition of `/metrics`.
+
+Reads the `GET /metrics?format=prometheus` body from stdin and validates
+it against the text-format 0.0.4 grammar subset this server emits:
+
+* every non-comment line is `name{labels} value` or `name value`;
+* metric names match `[a-zA-Z_:][a-zA-Z0-9_:]*` and carry the `hdc_`
+  namespace prefix;
+* label names match `[a-zA-Z_][a-zA-Z0-9_]*` and label values are quoted;
+* every sample is preceded by a `# TYPE` line for its metric family
+  (histogram samples belong to the family without the `_bucket` /
+  `_sum` / `_count` suffix);
+* `_bucket` samples carry an `le` label and each family's buckets are
+  cumulative (counts never decrease as `le` grows, ending at `+Inf`);
+* values parse as floats (`+Inf`/`-Inf`/`NaN` allowed).
+
+Exits non-zero with a line-numbered complaint on the first violation, so
+a malformed exposition fails the smoke job even though Prometheus itself
+is not running in CI.
+"""
+
+import math
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+SAMPLE_RE = re.compile(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{([^}]*)\})?\s+(\S+)$")
+LABEL_PAIR_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+HISTOGRAM_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def family_of(name: str) -> str:
+    for suffix in HISTOGRAM_SUFFIXES:
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def parse_value(raw: str) -> float:
+    if raw in ("+Inf", "Inf"):
+        return math.inf
+    if raw == "-Inf":
+        return -math.inf
+    return float(raw)  # raises on garbage; "NaN" parses
+
+
+def main() -> int:
+    text = sys.stdin.read()
+    if not text.strip():
+        print("empty exposition", file=sys.stderr)
+        return 1
+
+    typed = {}
+    samples = 0
+    buckets = {}  # family -> list of (le, count) in order of appearance
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+
+        def fail(message):
+            print(f"line {lineno}: {message}: {line!r}", file=sys.stderr)
+            return 1
+
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                return fail("comment is neither # HELP nor # TYPE")
+            if not NAME_RE.match(parts[2]):
+                return fail(f"bad metric name '{parts[2]}'")
+            if parts[1] == "TYPE":
+                if len(parts) != 4 or parts[3] not in TYPES:
+                    return fail("bad # TYPE line")
+                typed[parts[2]] = parts[3]
+            continue
+
+        match = SAMPLE_RE.match(line)
+        if not match:
+            return fail("not a 'name{labels} value' sample")
+        name, _, labels, value = match.groups()
+        if not name.startswith("hdc_"):
+            return fail(f"metric '{name}' lacks the hdc_ namespace prefix")
+        family = family_of(name)
+        if family not in typed:
+            return fail(f"sample of '{name}' has no preceding # TYPE for '{family}'")
+        label_pairs = {}
+        if labels:
+            stripped = LABEL_PAIR_RE.sub("", labels).replace(",", "").strip()
+            if stripped:
+                return fail(f"malformed labels '{labels}'")
+            for label_match in LABEL_PAIR_RE.finditer(labels):
+                if not LABEL_RE.match(label_match.group(1)):
+                    return fail(f"bad label name '{label_match.group(1)}'")
+                label_pairs[label_match.group(1)] = label_match.group(2)
+        try:
+            number = parse_value(value)
+        except ValueError:
+            return fail(f"unparseable sample value '{value}'")
+        if name.endswith("_bucket"):
+            if "le" not in label_pairs:
+                return fail("histogram _bucket sample without an le label")
+            key = (family, tuple(sorted((k, v) for k, v in label_pairs.items() if k != "le")))
+            buckets.setdefault(key, []).append((label_pairs["le"], number))
+        samples += 1
+
+    for (family, labels), series in buckets.items():
+        last = -math.inf
+        for le, count in series:
+            if count < last:
+                print(
+                    f"histogram '{family}' {dict(labels)} is not cumulative: "
+                    f"le={le} count {count} < previous {last}",
+                    file=sys.stderr,
+                )
+                return 1
+            last = count
+        if series[-1][0] != "+Inf":
+            print(f"histogram '{family}' {dict(labels)} does not end at le=+Inf", file=sys.stderr)
+            return 1
+
+    if samples == 0:
+        print("no samples in exposition", file=sys.stderr)
+        return 1
+    print(f"prometheus exposition ok: {samples} samples, {len(typed)} families")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
