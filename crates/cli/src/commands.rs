@@ -398,6 +398,8 @@ pub fn serve(args: Args) -> CliResult {
     let max_queue: usize = args.get_or("max-queue", BatchConfig::default().max_queue)?;
     let queue_deadline_ms: u64 =
         args.get_or("queue-deadline-ms", BatchConfig::default().queue_deadline.as_millis() as u64)?;
+    let predict_workers: usize =
+        args.get_or("predict-workers", hdc::batch::resolved_parallelism())?;
     let request_deadline_secs: u64 =
         args.get_or("request-deadline-secs", ServerConfig::default().request_deadline.as_secs())?;
     let slow_request_ms: u64 =
@@ -431,6 +433,7 @@ pub fn serve(args: Args) -> CliResult {
         max_linger: Duration::from_micros(linger_us),
         max_queue,
         queue_deadline: Duration::from_millis(queue_deadline_ms),
+        predict_workers,
     };
     let mut registry = Registry::new(Arc::new(Metrics::new()), batch);
     if let Some(dir) = args.get("model-dir") {
@@ -476,14 +479,15 @@ pub fn serve(args: Args) -> CliResult {
     let mut server = Server::start(registry, &config)?;
     println!(
         "serving {} model(s) on http://{} ({} workers, max batch {}, linger {}us, \
-         queue {} jobs / {}ms deadline)",
+         queue {} jobs / {}ms deadline, {} predict executor(s))",
         models.len(),
         server.addr(),
         workers,
         max_batch,
         linger_us,
         max_queue,
-        queue_deadline_ms
+        queue_deadline_ms,
+        predict_workers
     );
     println!(
         "endpoints: GET /healthz | GET /healthz/live | GET /v1/models | GET /metrics | \

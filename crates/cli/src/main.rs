@@ -49,6 +49,9 @@ COMMANDS:
              [--model-dir DIR: jail reload/snapshot paths, escapes get 403]
              [--max-queue N: bound the job queue, full sheds with 503]
              [--queue-deadline-ms N: queued too long gets 504, 0 disables]
+             [--predict-workers N: predict executor threads per model;
+              drained batches shard across them, default = core count,
+              1 keeps predicts on the batcher thread]
              [--request-deadline-secs N: slow request reads get 408, 0 disables]
              [--follower-of HOST:PORT: replicate that leader instead of
               serving writes; models bootstrap from the leader, writes
@@ -116,6 +119,7 @@ fn main() -> ExitCode {
                 "model-dir",
                 "max-queue",
                 "queue-deadline-ms",
+                "predict-workers",
                 "request-deadline-secs",
                 "follower-of",
                 "slow-request-ms",

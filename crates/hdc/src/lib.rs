@@ -121,7 +121,7 @@
 
 pub mod accumulator;
 pub mod am;
-pub(crate) mod batch;
+pub mod batch;
 pub mod binary;
 pub mod classifier;
 pub mod confusion;

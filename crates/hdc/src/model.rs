@@ -141,7 +141,10 @@ pub trait Model: Send + Sync {
     fn predict(&self, input: &Self::Input) -> Result<Prediction, HdcError>;
 
     /// Classifies a batch, results in input order and identical to a
-    /// [`predict`](Self::predict) loop.
+    /// [`predict`](Self::predict) loop. Batches at or above the tunable
+    /// [`crate::batch::parallel_threshold`] fan out across scoped threads
+    /// (contiguous chunks, reassembled in order), so the answers stay
+    /// bit-identical at any parallelism.
     ///
     /// # Errors
     ///

@@ -85,7 +85,7 @@ use hdc::{AnyModel, Model, Prediction};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
@@ -109,6 +109,14 @@ pub struct BatchConfig {
     /// past its caller's patience must not consume model time). Zero
     /// disables the deadline. Swap jobs are exempt.
     pub queue_deadline: Duration,
+    /// Predict executor threads per model. Drained predict batches are
+    /// split into contiguous shards across this pool, each shard
+    /// predicting against the same snapshotted model; train/feedback/
+    /// swap/publish stay on the single batcher worker. `0` or `1` keeps
+    /// predicts on the batcher thread (no pool). Defaults to the
+    /// process's [`hdc::batch::resolved_parallelism`]. Results are
+    /// bit-identical at any worker count.
+    pub predict_workers: usize,
 }
 
 impl Default for BatchConfig {
@@ -118,6 +126,7 @@ impl Default for BatchConfig {
             max_linger: Duration::from_millis(1),
             max_queue: 1_024,
             queue_deadline: Duration::from_secs(5),
+            predict_workers: hdc::batch::resolved_parallelism(),
         }
     }
 }
@@ -296,6 +305,100 @@ struct Shared {
     arrived: Condvar,
 }
 
+/// A shard of work for one predict executor. Tasks own everything they
+/// touch (jobs, a model snapshot `Arc`, a metrics `Arc`), so the pool
+/// never borrows from a caller's stack.
+type PoolTask = Box<dyn FnOnce() + Send>;
+
+/// One predict executor: a dedicated inbox plus the thread draining it.
+struct Executor {
+    /// `None` only during shutdown (the sender is dropped to stop the
+    /// thread before joining it).
+    tx: Option<mpsc::Sender<PoolTask>>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+/// The per-model predict executor pool.
+///
+/// The batcher worker stays the model's **single writer** — train,
+/// feedback, swap, and publish never touch this pool — but drained
+/// predict batches are split into contiguous shards, one per executor,
+/// each predicting against the same snapshotted `Arc<AnyModel>` and
+/// replying to its own jobs in shard order. Explicit client batches
+/// (`predict_batch_direct`) share the pool from connection threads; the
+/// round-robin cursor spreads concurrent fan-outs across executors.
+struct PredictPool {
+    executors: Vec<Executor>,
+    next: AtomicUsize,
+}
+
+impl PredictPool {
+    fn start(workers: usize) -> Self {
+        let executors = (0..workers)
+            .map(|i| {
+                let (tx, rx) = mpsc::channel::<PoolTask>();
+                let thread = std::thread::Builder::new()
+                    .name(format!("hdc-serve-predict-{i}"))
+                    .spawn(move || {
+                        while let Ok(task) = rx.recv() {
+                            // Tasks quarantine their own panics per job and
+                            // signal completion on drop; this outer catch is
+                            // the respawn net that keeps a stray panic
+                            // confined to the one affected executor — its
+                            // siblings and the batcher worker never notice.
+                            let _ = catch_unwind(AssertUnwindSafe(task));
+                        }
+                    })
+                    .expect("spawn predict executor");
+                Executor { tx: Some(tx), thread: Some(thread) }
+            })
+            .collect();
+        Self { executors, next: AtomicUsize::new(0) }
+    }
+
+    fn workers(&self) -> usize {
+        self.executors.len()
+    }
+
+    /// Hands `task` to the next executor round-robin. If that executor is
+    /// already gone (shutdown race) the task runs on the caller's thread —
+    /// completion is owed either way.
+    fn dispatch(&self, task: PoolTask) {
+        let slot = self.next.fetch_add(1, Ordering::Relaxed) % self.executors.len();
+        let sent = match &self.executors[slot].tx {
+            Some(tx) => tx.send(task).map_err(|mpsc::SendError(task)| task),
+            None => Err(task),
+        };
+        if let Err(task) = sent {
+            task();
+        }
+    }
+}
+
+impl Drop for PredictPool {
+    fn drop(&mut self) {
+        for executor in &mut self.executors {
+            executor.tx = None; // close the inbox: the thread drains and exits
+        }
+        for executor in &mut self.executors {
+            if let Some(thread) = executor.thread.take() {
+                let _ = thread.join();
+            }
+        }
+    }
+}
+
+/// Fires the fan-in signal even if a shard task unwinds mid-flight: the
+/// dispatcher counts completions, so a lost signal would hang the drain
+/// loop.
+struct SignalOnDrop(mpsc::Sender<()>);
+
+impl Drop for SignalOnDrop {
+    fn drop(&mut self) {
+        let _ = self.0.send(());
+    }
+}
+
 /// A per-model coalescing queue plus its worker thread.
 ///
 /// Dropping the batcher stops the worker; jobs still queued get an
@@ -304,7 +407,12 @@ pub struct Batcher {
     shared: Arc<Shared>,
     metrics: Arc<Metrics>,
     config: BatchConfig,
+    model: Arc<SharedModel>,
     worker: Option<std::thread::JoinHandle<()>>,
+    /// The predict executor pool; `None` when `predict_workers <= 1`
+    /// (predicts stay on the worker thread). Shared with the worker, so
+    /// it outlives in-flight shards and joins after the worker exits.
+    pool: Option<Arc<PredictPool>>,
 }
 
 impl std::fmt::Debug for Batcher {
@@ -328,13 +436,23 @@ impl Batcher {
             queue: Mutex::new(Queue { jobs: VecDeque::new(), stop: false }),
             arrived: Condvar::new(),
         });
+        let pool = (config.predict_workers > 1)
+            .then(|| Arc::new(PredictPool::start(config.predict_workers)));
         let worker_shared = Arc::clone(&shared);
         let worker_metrics = Arc::clone(&metrics);
+        let worker_model = Arc::clone(&model);
+        let worker_pool = pool.clone();
         let worker = std::thread::Builder::new()
             .name("hdc-serve-batcher".into())
             .spawn(move || loop {
                 let run = catch_unwind(AssertUnwindSafe(|| {
-                    worker_loop(&worker_shared, &model, &worker_metrics, config);
+                    worker_loop(
+                        &worker_shared,
+                        &worker_model,
+                        &worker_metrics,
+                        config,
+                        worker_pool.as_ref(),
+                    );
                 }));
                 match run {
                     Ok(()) => break, // clean stop
@@ -342,7 +460,13 @@ impl Batcher {
                 }
             })
             .expect("spawn batcher worker");
-        Self { shared, metrics, config, worker: Some(worker) }
+        Self { shared, metrics, config, model, worker: Some(worker), pool }
+    }
+
+    /// Configured predict-pool executor count (1 = no pool, predicts run
+    /// on the batcher worker).
+    pub fn predict_workers(&self) -> usize {
+        self.config.predict_workers.max(1)
     }
 
     fn enqueue<T>(
@@ -403,6 +527,111 @@ impl Batcher {
     ) -> Result<Prediction, ServeError> {
         let (reply, receive) = mpsc::channel();
         self.enqueue(Job::Predict { input, reply, trace }, &receive)
+    }
+
+    /// Runs one explicit (client-provided) batch against the current
+    /// model snapshot, sharded across the predict pool when one is
+    /// running. Skips the coalescing queue — and the batch histogram,
+    /// which must reflect only what the coalescer executed — but records
+    /// pool occupancy, shard sizes, and the request's `shard_execute`
+    /// span. Results are identical to [`hdc::Model::predict_batch`]:
+    /// input order is preserved and the lowest-index failure wins.
+    ///
+    /// # Errors
+    ///
+    /// The lowest-index input's compute error, or
+    /// [`ServeError::Panicked`] if the model panicked on a shard.
+    pub fn predict_batch_direct(
+        &self,
+        inputs: Vec<Vec<u8>>,
+        trace: Option<&Arc<ActiveTrace>>,
+    ) -> Result<Vec<Prediction>, ServeError> {
+        let model = self.model.snapshot();
+        let pool = self.pool.as_ref().filter(|p| p.workers() > 1 && inputs.len() > 1);
+        let Some(pool) = pool else {
+            // No pool (or a single input): predict inline on the calling
+            // connection thread, quarantining a panic to this request.
+            return catch_unwind(AssertUnwindSafe(|| {
+                for input in &inputs {
+                    maybe_inject_panic(input);
+                }
+                let refs: Vec<&[u8]> = inputs.iter().map(Vec::as_slice).collect();
+                model.predict_batch(&refs).map_err(ServeError::from)
+            }))
+            .unwrap_or_else(|_| {
+                self.metrics.on_worker_panic();
+                if let Some(trace) = trace {
+                    trace.set_terminal("panic");
+                }
+                Err(ServeError::Panicked("model panicked executing this batch".into()))
+            });
+        };
+
+        let split = split_contiguous(inputs, pool.workers());
+        let shards = split.len();
+        self.metrics.on_pool_fanout(shards);
+        let (result_tx, result_rx) = mpsc::channel();
+        for (index, shard) in split.into_iter().enumerate() {
+            self.metrics.on_pool_shard(shard.len());
+            let model = Arc::clone(&model);
+            let metrics = Arc::clone(&self.metrics);
+            let shard_trace = trace.cloned();
+            let result_tx = result_tx.clone();
+            pool.dispatch(Box::new(move || {
+                let shard_started = Instant::now();
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    for input in &shard {
+                        maybe_inject_panic(input);
+                    }
+                    let refs: Vec<&[u8]> = shard.iter().map(Vec::as_slice).collect();
+                    model.predict_batch(&refs).map_err(ServeError::from)
+                }))
+                .unwrap_or_else(|_| {
+                    metrics.on_worker_panic();
+                    Err(ServeError::Panicked("model panicked executing this batch".into()))
+                });
+                if let Some(trace) = &shard_trace {
+                    // Shards of one request accumulate into its single
+                    // shard_execute slot (record() adds).
+                    trace.record_span(Stage::ShardExecute, shard_started, Instant::now());
+                }
+                let _ = result_tx.send((index, outcome));
+            }));
+        }
+        drop(result_tx);
+
+        let mut results: Vec<Option<Result<Vec<Prediction>, ServeError>>> =
+            (0..shards).map(|_| None).collect();
+        while results.iter().any(Option::is_none) {
+            match result_rx.recv() {
+                Ok((i, outcome)) => results[i] = Some(outcome),
+                Err(_) => break, // an executor died mid-shard: treated as a panic below
+            }
+        }
+        // Shards are contiguous and assembled in order, so the first
+        // failing shard holds the lowest-index failure — identical to
+        // what a direct `predict_batch` would have reported.
+        let mut predictions = Vec::new();
+        for outcome in results {
+            match outcome {
+                Some(Ok(shard)) => predictions.extend(shard),
+                Some(Err(err)) => {
+                    if matches!(err, ServeError::Panicked(_)) {
+                        if let Some(trace) = trace {
+                            trace.set_terminal("panic");
+                        }
+                    }
+                    return Err(err);
+                }
+                None => {
+                    if let Some(trace) = trace {
+                        trace.set_terminal("panic");
+                    }
+                    return Err(ServeError::Panicked("model panicked executing this batch".into()));
+                }
+            }
+        }
+        Ok(predictions)
     }
 
     /// Enqueues labeled examples and blocks until they are absorbed into
@@ -498,7 +727,29 @@ impl Drop for Batcher {
     }
 }
 
-fn worker_loop(shared: &Shared, model: &SharedModel, metrics: &Metrics, config: BatchConfig) {
+/// Splits `items` into at most `workers` contiguous shards of near-equal
+/// size, preserving order. Contiguity is what keeps pooled results
+/// bit-identical to a sequential scan: concatenating the shards in order
+/// reproduces the input exactly, and the first failing shard holds the
+/// lowest-index failure.
+fn split_contiguous<T>(mut items: Vec<T>, workers: usize) -> Vec<Vec<T>> {
+    let target = workers.max(1).min(items.len().max(1));
+    let chunk = items.len().div_ceil(target).max(1);
+    let mut shards = Vec::with_capacity(target);
+    while !items.is_empty() {
+        let rest = items.split_off(chunk.min(items.len()));
+        shards.push(std::mem::replace(&mut items, rest));
+    }
+    shards
+}
+
+fn worker_loop(
+    shared: &Shared,
+    model: &SharedModel,
+    metrics: &Arc<Metrics>,
+    config: BatchConfig,
+    pool: Option<&Arc<PredictPool>>,
+) {
     let max_batch = config.max_batch.max(1);
     loop {
         let mut queue = lock_queue(&shared.queue);
@@ -571,7 +822,7 @@ fn worker_loop(shared: &Shared, model: &SharedModel, metrics: &Metrics, config: 
                 batch.push(queued.job);
             }
         }
-        execute(model, metrics, batch);
+        execute(model, metrics, pool, batch);
     }
 }
 
@@ -581,14 +832,19 @@ fn worker_loop(shared: &Shared, model: &SharedModel, metrics: &Metrics, config: 
 /// then the replacement model is installed, then execution continues —
 /// so a reload observed at queue position *k* affects exactly the jobs
 /// after position *k*.
-fn execute(model: &SharedModel, metrics: &Metrics, batch: Vec<Job>) {
+fn execute(
+    model: &SharedModel,
+    metrics: &Arc<Metrics>,
+    pool: Option<&Arc<PredictPool>>,
+    batch: Vec<Job>,
+) {
     let mut predicts = Vec::new();
     let mut updates = Vec::new();
     for job in batch {
         match job {
             Job::Predict { input, reply, trace } => predicts.push((input, reply, trace)),
             Job::Swap { model: replacement, wal, reply } => {
-                flush(model, metrics, &mut predicts, &mut updates);
+                flush(model, metrics, pool, &mut predicts, &mut updates);
                 let version = model.replace(Arc::new(*replacement));
                 let result = model.apply_wal_swap(wal, version).map(|()| version).map_err(|e| {
                     ServeError::Internal(format!(
@@ -600,19 +856,19 @@ fn execute(model: &SharedModel, metrics: &Metrics, batch: Vec<Job>) {
             other => updates.push(other),
         }
     }
-    flush(model, metrics, &mut predicts, &mut updates);
+    flush(model, metrics, pool, &mut predicts, &mut updates);
 }
 
 /// Executes and clears the buffered predict and update jobs.
 fn flush(
     model: &SharedModel,
-    metrics: &Metrics,
+    metrics: &Arc<Metrics>,
+    pool: Option<&Arc<PredictPool>>,
     predicts: &mut Vec<PredictJob>,
     updates: &mut Vec<Job>,
 ) {
     if !predicts.is_empty() {
-        execute_predicts(&model.snapshot(), metrics, predicts);
-        predicts.clear();
+        execute_predicts(&model.snapshot(), metrics, pool, std::mem::take(predicts));
     }
     if !updates.is_empty() {
         execute_updates(model, metrics, std::mem::take(updates));
@@ -644,7 +900,18 @@ fn predict_quarantined(
     })
 }
 
-fn execute_predicts(model: &AnyModel, metrics: &Metrics, batch: &[PredictJob]) {
+/// Runs one drained predict batch. With a pool, the batch is split into
+/// contiguous shards — one per executor — each predicting against the
+/// same `model` snapshot; the worker blocks until every shard has
+/// replied, so batch boundaries (and swap barriers) keep their exact
+/// pre-pool ordering. Without a pool the whole batch runs here, exactly
+/// as before.
+fn execute_predicts(
+    model: &Arc<AnyModel>,
+    metrics: &Arc<Metrics>,
+    pool: Option<&Arc<PredictPool>>,
+    batch: Vec<PredictJob>,
+) {
     metrics.on_batch(batch.len());
     let started = Instant::now();
     if batch.len() == 1 {
@@ -656,7 +923,48 @@ fn execute_predicts(model: &AnyModel, metrics: &Metrics, batch: &[PredictJob]) {
         let _ = reply.send(result);
         return;
     }
-    let inputs: Vec<&[u8]> = batch.iter().map(|(input, _, _)| &input[..]).collect();
+    let Some(pool) = pool.filter(|p| p.workers() > 1) else {
+        predict_shard(model, metrics, batch, started, false);
+        return;
+    };
+    let split = split_contiguous(batch, pool.workers());
+    metrics.on_pool_fanout(split.len());
+    let (done_tx, done_rx) = mpsc::channel();
+    let dispatched = split.len();
+    for shard in split {
+        metrics.on_pool_shard(shard.len());
+        let model = Arc::clone(model);
+        let metrics = Arc::clone(metrics);
+        let signal = SignalOnDrop(done_tx.clone());
+        pool.dispatch(Box::new(move || {
+            let _signal = signal;
+            predict_shard(&model, &metrics, shard, started, true);
+        }));
+    }
+    drop(done_tx);
+    // Fan-in: wait for every shard before draining the next batch, so the
+    // pool can never run ahead of the queue it serves.
+    for _ in 0..dispatched {
+        let _ = done_rx.recv();
+    }
+}
+
+/// Predicts one contiguous shard of a drained batch and replies to its
+/// jobs in order. Spans are recorded **before** replying — the HTTP layer
+/// finalizes a trace as soon as its reply lands, so a span stamped after
+/// the reply would be lost. Each rider's `execute` span runs from the
+/// whole batch's start (dispatch wait included: that is the model time
+/// its reply actually waited on); pooled shards additionally record their
+/// own `shard_execute` window.
+fn predict_shard(
+    model: &AnyModel,
+    metrics: &Metrics,
+    shard: Vec<PredictJob>,
+    batch_started: Instant,
+    pooled: bool,
+) {
+    let shard_started = Instant::now();
+    let inputs: Vec<&[u8]> = shard.iter().map(|(input, _, _)| &input[..]).collect();
     let coalesced = catch_unwind(AssertUnwindSafe(|| {
         for input in &inputs {
             maybe_inject_panic(input);
@@ -665,26 +973,31 @@ fn execute_predicts(model: &AnyModel, metrics: &Metrics, batch: &[PredictJob]) {
     }));
     match coalesced {
         Ok(Ok(predictions)) => {
-            // Every rider shares the batch's execute span: that is the
-            // model time its reply actually waited on.
             let finished = Instant::now();
-            for ((_, reply, trace), prediction) in batch.iter().zip(predictions) {
+            for ((_, reply, trace), prediction) in shard.iter().zip(predictions) {
                 if let Some(trace) = trace {
-                    trace.record_span(Stage::Execute, started, finished);
+                    if pooled {
+                        trace.record_span(Stage::ShardExecute, shard_started, finished);
+                    }
+                    trace.record_span(Stage::Execute, batch_started, finished);
                 }
                 let _ = reply.send(Ok(prediction));
             }
         }
-        // A batch fails fast on its lowest-index bad input — or panics on
+        // A shard fails fast on its lowest-index bad input — or panics on
         // its first poisoned one — which would punish every rider in the
-        // batch; fall back to per-job predicts so each request gets
+        // shard; fall back to per-job predicts so each request gets
         // exactly its own error, and only the truly poisoned jobs count
-        // as panics.
+        // as panics. Other shards never notice.
         Ok(Err(_)) | Err(_) => {
-            for (input, reply, trace) in batch {
-                let result = predict_quarantined(model, metrics, input, trace.as_ref());
-                if let Some(trace) = trace {
-                    trace.record_span(Stage::Execute, started, Instant::now());
+            for (input, reply, trace) in shard {
+                let result = predict_quarantined(model, metrics, &input, trace.as_ref());
+                let finished = Instant::now();
+                if let Some(trace) = &trace {
+                    if pooled {
+                        trace.record_span(Stage::ShardExecute, shard_started, finished);
+                    }
+                    trace.record_span(Stage::Execute, batch_started, finished);
                 }
                 let _ = reply.send(result);
             }
@@ -957,6 +1270,55 @@ mod tests {
             Batcher::start(Arc::clone(&shared), Arc::clone(&metrics), BatchConfig::default());
         let got = batcher.predict(vec![224u8; 16]).unwrap();
         assert_eq!(got.class, shared.snapshot().predict(&[224u8; 16][..]).unwrap().class);
+    }
+
+    #[test]
+    fn split_contiguous_covers_every_item_in_order() {
+        // The shard planner must (a) keep items contiguous and ordered,
+        // (b) never emit an empty shard, (c) emit at most `workers`
+        // shards, and (d) cope with len < workers, len == workers, and
+        // chunk arithmetic that yields fewer shards than workers
+        // (e.g. 9 items / 4 workers -> ceil(9/4)=3 -> 3 shards).
+        for len in [0usize, 1, 2, 3, 7, 9, 16, 19, 64] {
+            for workers in [1usize, 2, 3, 4, 8, 64] {
+                let items: Vec<usize> = (0..len).collect();
+                let shards = split_contiguous(items, workers);
+                assert!(shards.len() <= workers.max(1), "len {len} workers {workers}");
+                assert!(
+                    shards.iter().all(|s| !s.is_empty()) || len == 0,
+                    "empty shard at len {len} workers {workers}"
+                );
+                let reassembled: Vec<usize> = shards.into_iter().flatten().collect();
+                assert_eq!(
+                    reassembled,
+                    (0..len).collect::<Vec<_>>(),
+                    "len {len} workers {workers}: order or coverage broken"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pooled_predicts_match_inline_bit_for_bit() {
+        let shared = model();
+        let snapshot = shared.snapshot();
+        let inputs: Vec<Vec<u8>> = (0..9u8).map(|i| vec![i.wrapping_mul(37); 16]).collect();
+        let refs: Vec<&[u8]> = inputs.iter().map(Vec::as_slice).collect();
+        let direct = snapshot.predict_batch(&refs).unwrap();
+        for workers in [1usize, 2, 3, 8] {
+            let metrics = Arc::new(Metrics::new());
+            let config = BatchConfig { predict_workers: workers, ..BatchConfig::default() };
+            let batcher = Batcher::start(Arc::clone(&shared), metrics, config);
+            let answers = batcher.predict_batch_direct(inputs.clone(), None).unwrap();
+            for (actual, expected) in answers.iter().zip(&direct) {
+                assert_eq!(actual.class, expected.class);
+                assert_eq!(
+                    actual.similarity.to_bits(),
+                    expected.similarity.to_bits(),
+                    "{workers} workers: similarity drifted"
+                );
+            }
+        }
     }
 
     #[test]

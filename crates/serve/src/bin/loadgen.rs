@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! serve-loadgen [--quick true] [--clients N] [--requests N] [--dim N]
+//!               [--predict-workers N]
 //! ```
 //!
 //! Writes `BENCH_serve.json` (path overridable via the `BENCH_SERVE_JSON`
@@ -39,10 +40,19 @@ fn main() -> ExitCode {
     if let Some(dim) = flag::<usize>(&args, "--dim") {
         config.dim = dim;
     }
+    if let Some(workers) = flag::<usize>(&args, "--predict-workers") {
+        config.coalesce.predict_workers = workers;
+    }
 
     println!(
-        "loadgen: {} clients x {} requests, D = {}, {}x{} inputs, quick = {quick}",
-        config.clients, config.requests_per_client, config.dim, config.edge, config.edge
+        "loadgen: {} clients x {} requests, D = {}, {}x{} inputs, {} predict executor(s), \
+         quick = {quick}",
+        config.clients,
+        config.requests_per_client,
+        config.dim,
+        config.edge,
+        config.edge,
+        config.coalesce.predict_workers
     );
     let report = run(&config);
     println!("batch-size-1: {:>8.0} req/s   (p99 {} us)", report.single_rps, report.single_p99_us);
@@ -69,6 +79,15 @@ fn main() -> ExitCode {
         report.traced_rps, report.untraced_rps
     );
     println!("OVERHEAD serve_trace_overhead {:.3}x (floor 0.95)", report.trace_overhead());
+    for point in &report.scale_curve {
+        let base = report.scale_curve.first().map_or(point.rps, |p| p.rps);
+        println!(
+            "scale w{}: {:>8.0} req/s   ({:.3}x vs 1 worker)",
+            point.workers,
+            point.rps,
+            point.rps / base.max(1e-9)
+        );
+    }
 
     let path = std::env::var("BENCH_SERVE_JSON").unwrap_or_else(|_| "BENCH_serve.json".to_string());
     let json = report.to_bench_json(quick);

@@ -9,6 +9,7 @@
 //! serve-soak [--quick true] [--duration-secs N] [--clients N]
 //!            [--train-clients N] [--dim N] [--p99-ceiling-ms N]
 //!            [--rss-ceiling-mb N] [--probes N] [--topology BOOL]
+//!            [--predict-workers N]
 //! ```
 //!
 //! `--topology false` skips the process-level injectors (they are on by
@@ -110,6 +111,9 @@ fn main() -> ExitCode {
     }
     if let Some(probes) = flag::<usize>(&args, "--probes") {
         config.probes = probes;
+    }
+    if let Some(workers) = flag::<usize>(&args, "--predict-workers") {
+        config.batch.predict_workers = workers;
     }
     if flag::<bool>(&args, "--topology").unwrap_or(true) {
         match std::env::current_exe() {

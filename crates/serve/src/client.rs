@@ -207,6 +207,31 @@ impl Client {
         body
     }
 
+    /// The remote predict body for an explicit batch
+    /// (`{"model": ..., "inputs": [[...], [...]]}`) — the shape that rides
+    /// the predict pool directly, shared by the load generator's scaling
+    /// sweep and the parallel-predict tests.
+    pub fn predict_batch_body(model: &str, inputs: &[&[u8]]) -> String {
+        let mut body = String::from("{\"model\":\"");
+        body.push_str(model);
+        body.push_str("\",\"inputs\":[");
+        for (k, pixels) in inputs.iter().enumerate() {
+            if k > 0 {
+                body.push(',');
+            }
+            body.push('[');
+            for (i, p) in pixels.iter().enumerate() {
+                if i > 0 {
+                    body.push(',');
+                }
+                body.push_str(&p.to_string());
+            }
+            body.push(']');
+        }
+        body.push_str("]}");
+        body
+    }
+
     /// The remote train body for one labeled example — shared by the load
     /// generator, the CLI's `train --serve-url` mode, and smoke tests.
     pub fn train_body(model: &str, pixels: &[u8], label: usize) -> String {

@@ -16,7 +16,12 @@
 //!   rides the packed batch path instead of N scalar scans; concurrent
 //!   training requests coalesce the same way into one
 //!   [`hdc::Model::partial_fit_batch`], and hot-reload swaps ride the
-//!   same queue so they serialize against in-flight training.
+//!   same queue so they serialize against in-flight training. Drained
+//!   predict batches shard across a per-model **predict worker pool**
+//!   (`--predict-workers`, default = core count): contiguous shards
+//!   against one snapshotted model, results reassembled in order, so
+//!   answers are byte-identical at any worker count while the batcher
+//!   thread stays the single writer.
 //! * [`registry`] — named [`hdc::AnyModel`] entries (**dense and
 //!   binarized classifiers serve through identical machinery**; the
 //!   kind is sniffed from the `HDC1`/`HDB1` file magic by
@@ -51,7 +56,8 @@
 //! * [`trace`] — per-request **distributed tracing**: every request gets
 //!   an id (client-supplied `X-Request-Id` or generated), echoed on every
 //!   response, with per-stage spans (head parse → body read → queue wait
-//!   → execute → WAL append → publish → reply write) recorded into a
+//!   → execute → shard execute → WAL append → publish → reply write)
+//!   recorded into a
 //!   fixed-size ring of completed traces (`GET /debug/traces`,
 //!   `GET /debug/traces/slow`) and per-stage/per-model latency
 //!   histograms. Delta records carry the originating trace id so a write

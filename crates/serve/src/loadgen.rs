@@ -68,6 +68,16 @@ impl LoadgenConfig {
     }
 }
 
+/// One point on the predict-pool scaling curve: explicit-batch predict
+/// throughput with the model's pool pinned to `workers` executors.
+#[derive(Debug, Clone, Copy)]
+pub struct ScalePoint {
+    /// Predict executor threads (`BatchConfig::predict_workers`).
+    pub workers: usize,
+    /// Explicit-batch predict requests/second at that worker count.
+    pub rps: f64,
+}
+
 /// Results of one load run (both coalescing configurations, both kinds).
 #[derive(Debug, Clone)]
 pub struct LoadgenReport {
@@ -107,6 +117,10 @@ pub struct LoadgenReport {
     pub coalesced_p99_us: u64,
     /// p99 latency (µs) in the batch-size-1 run.
     pub single_p99_us: u64,
+    /// Predict-pool scaling curve: explicit-batch throughput at worker
+    /// counts {1, 2, 4, core count} (deduplicated, ascending). Feeds the
+    /// `serve_scale_w*` bench rows.
+    pub scale_curve: Vec<ScalePoint>,
     /// Total predict requests sent per side.
     pub requests: usize,
     /// Total train requests sent per side.
@@ -145,6 +159,31 @@ impl LoadgenReport {
     /// coalescing occurred (floor > 1).
     pub fn to_bench_json(&self, quick: bool) -> String {
         let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        // Scaling-curve rows: one `serve_scale_wN` op per swept worker
+        // count, speedup = rps(N) / rps(1). The 1-worker row is exactly
+        // 1.0 by construction; `check_bench_json.py` gates the rest
+        // (multicore must beat 1 worker, 1 core must not regress).
+        let scale_base_rps =
+            self.scale_curve.iter().find(|p| p.workers == 1).map_or(0.0, |p| p.rps);
+        let scale_rows: String = self
+            .scale_curve
+            .iter()
+            .map(|point| {
+                format!(
+                    ",\n    \"serve_scale_w{}\": {{\"scalar_ns\": {:.1}, \"packed_ns\": {:.1}, \
+                     \"speedup\": {:.3}, \"note\": \"explicit-batch predict throughput with {} \
+                     predict executor(s) vs 1, {} inputs per request, {} clients, {:.0} rps\"}}",
+                    point.workers,
+                    1e9 / scale_base_rps.max(1e-9),
+                    1e9 / point.rps.max(1e-9),
+                    point.rps / scale_base_rps.max(1e-9),
+                    point.workers,
+                    SCALE_BATCH,
+                    self.config.clients,
+                    point.rps,
+                )
+            })
+            .collect();
         let single_ns = 1e9 / self.single_rps;
         let coalesced_ns = 1e9 / self.coalesced_rps;
         let single_binary_ns = 1e9 / self.single_binary_rps;
@@ -172,7 +211,7 @@ impl LoadgenReport {
              tax)\"}},\n    \
              \"serve_coalescing\": {{\"scalar_ns\": 1.0, \"packed_ns\": {:.4}, \"speedup\": \
              {:.2}, \"note\": \"mean executed batch size under concurrent load (1.0 = no \
-             coalescing)\"}}\n  }}\n}}\n",
+             coalescing)\"}}{scale_rows}\n  }}\n}}\n",
             self.config.dim,
             quick,
             single_ns,
@@ -458,6 +497,69 @@ fn run_wal_side(
     ((config.clients * per_client) as f64 / elapsed, appends)
 }
 
+/// Inputs per explicit-batch request in the scaling sweep: large enough
+/// that every batch shards across even the widest tested pool, small
+/// enough that one request stays a realistic serving payload.
+const SCALE_BATCH: usize = 16;
+
+/// The worker counts the scaling sweep measures: {1, 2, 4, core count},
+/// deduplicated and ascending. On a single-core machine this still tests
+/// 2 and 4 — oversubscribed pools must not *regress*, which is exactly
+/// what the 1-core branch of the bench gate checks.
+pub fn scale_worker_counts() -> Vec<usize> {
+    let mut counts = vec![1, 2, 4, hdc::batch::resolved_parallelism()];
+    counts.sort_unstable();
+    counts.dedup();
+    counts
+}
+
+/// Runs one scaling-sweep side: a server whose model pool is pinned to
+/// `workers` executors, loaded with explicit-batch predicts (each request
+/// carries [`SCALE_BATCH`] inputs, so each one shards across the pool via
+/// `predict_batch_direct`). Returns requests/second.
+fn run_scale_side(config: &LoadgenConfig, workers: usize) -> f64 {
+    let metrics = Arc::new(Metrics::new());
+    let batch = BatchConfig { predict_workers: workers, ..config.coalesce };
+    let registry = Arc::new(Registry::new(Arc::clone(&metrics), batch));
+    registry
+        .insert_model("default", synthetic_model(config.dim, config.edge))
+        .expect("register scale-side model");
+    let server_config = ServerConfig { workers: config.clients + 2, ..ServerConfig::default() };
+    let mut server =
+        Server::start(Arc::clone(&registry), &server_config).expect("start scale-side server");
+    let addr = server.addr();
+
+    let edge = config.edge;
+    let per_client = config.scale_requests_per_client();
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for client_id in 0..config.clients {
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect scale-side client");
+                let mut imgs = vec![vec![0u8; edge * edge]; SCALE_BATCH];
+                for i in 0..per_client {
+                    for (k, img) in imgs.iter_mut().enumerate() {
+                        bar_image(img, edge, client_id + i + k);
+                    }
+                    let refs: Vec<&[u8]> = imgs.iter().map(Vec::as_slice).collect();
+                    let body = Client::predict_batch_body("default", &refs);
+                    let response =
+                        client.post("/v1/predict", &body).expect("scale-side predict request");
+                    assert!(
+                        response.is_success(),
+                        "scale-side predict failed: {} {}",
+                        response.status,
+                        String::from_utf8_lossy(&response.body)
+                    );
+                }
+            });
+        }
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+    server.shutdown();
+    (config.clients * per_client) as f64 / elapsed
+}
+
 /// A scratch directory for the WAL sides' model files (and their `.wal`
 /// sidecars); unique per process so concurrent CI jobs cannot collide.
 fn wal_scratch_dir() -> std::path::PathBuf {
@@ -479,6 +581,13 @@ impl LoadgenConfig {
     /// both keeps the wall clock bounded without skewing the ratio.
     fn binary_requests_per_client(&self) -> usize {
         (self.requests_per_client / 2).max(20)
+    }
+
+    /// Scaling-sweep requests per client: each request already carries
+    /// [`SCALE_BATCH`] inputs, so an eighth of the single-input load keeps
+    /// the total input volume comparable per swept worker count.
+    fn scale_requests_per_client(&self) -> usize {
+        (self.requests_per_client / 8).max(10)
     }
 }
 
@@ -564,6 +673,14 @@ pub fn run(config: &LoadgenConfig) -> LoadgenReport {
         run_wal_side(config, config.coalesce, &wal_dir.join("coalesced.hdc"), wal_per_client);
     let _ = std::fs::remove_dir_all(&wal_dir);
 
+    // The predict-pool scaling sweep: the same explicit-batch load at
+    // every tested worker count; ratios against the 1-worker point are
+    // the `serve_scale_w*` bench rows.
+    let scale_curve = scale_worker_counts()
+        .into_iter()
+        .map(|workers| ScalePoint { workers, rps: run_scale_side(config, workers) })
+        .collect();
+
     LoadgenReport {
         coalesced_rps: coalesced.rps,
         single_rps: single.rps,
@@ -580,6 +697,7 @@ pub fn run(config: &LoadgenConfig) -> LoadgenReport {
         coalesced_final_version: coalesced.final_version,
         coalesced_p99_us: coalesced.p99_us,
         single_p99_us: single.p99_us,
+        scale_curve,
         requests: config.clients * config.requests_per_client,
         train_requests: config.clients * config.train_requests_per_client(),
         config: config.clone(),
@@ -625,6 +743,13 @@ mod tests {
         assert!(json.contains("serve_wal_append"), "{json}");
         assert!(json.contains("serve_trace_overhead"), "{json}");
         assert!(json.contains("serve_coalescing"), "{json}");
+        assert!(json.contains("serve_scale_w1"), "{json}");
+        assert!(!report.scale_curve.is_empty(), "scaling sweep must have run");
+        assert_eq!(report.scale_curve[0].workers, 1, "curve starts at 1 worker");
+        for point in &report.scale_curve {
+            assert!(point.rps > 0.0, "scale point at {} workers measured nothing", point.workers);
+            assert!(json.contains(&format!("serve_scale_w{}", point.workers)), "{json}");
+        }
     }
 
     #[test]

@@ -15,7 +15,7 @@
 //!
 //! The global level is set once at startup (`--log-level`); records below
 //! it cost one relaxed atomic load and nothing else. Each site owns a
-//! token bucket ([`BURST`] tokens, refilled at [`REFILL_PER_SEC`]/s): a
+//! token bucket (`BURST` = 10 tokens, refilled at `REFILL_PER_SEC` = 5/s): a
 //! fault loop (a follower hammering a dead leader, a panic storm) cannot
 //! flood stderr, and when a suppressed site next gets a token its line
 //! carries `suppressed=N` so the gap is visible rather than silent.

@@ -48,6 +48,11 @@ const BATCH_BUCKETS: usize = 65;
 /// an empty queue), the last bucket is open-ended.
 const QUEUE_DEPTH_BUCKETS: usize = 12;
 
+/// Number of predict-pool occupancy buckets: occupancies `1..=MAX-1`
+/// exactly (shards dispatched per fan-out), the last bucket collects
+/// everything larger.
+const POOL_OCCUPANCY_BUCKETS: usize = 17;
+
 /// Completed traces kept in the main ring (`GET /debug/traces`). Sized so
 /// a burst of probe traffic at the end of a soak run does not evict the
 /// fault traces the audit wants to see.
@@ -85,7 +90,7 @@ impl StageHist {
     }
 
     /// Samples recorded for `stage` (index into
-    /// [`STAGE_NAMES`](crate::trace::STAGE_NAMES)).
+    /// [`STAGE_NAMES`]).
     pub fn stage_count(&self, stage: usize) -> u64 {
         self.count[stage].load(Relaxed)
     }
@@ -144,6 +149,14 @@ pub struct Metrics {
     /// Queue depth observed by each successful enqueue (jobs already
     /// waiting), in power-of-two buckets.
     queue_depth_hist: [AtomicU64; QUEUE_DEPTH_BUCKETS],
+    /// Predict-pool accounting: batches fanned out across executor
+    /// threads, how many shards each fan-out occupied, how large the
+    /// shards were, and the per-model configured worker count (a gauge,
+    /// set once per batcher start).
+    pool_fanouts_total: AtomicU64,
+    pool_occupancy_hist: [AtomicU64; POOL_OCCUPANCY_BUCKETS],
+    pool_shard_hist: [AtomicU64; BATCH_BUCKETS],
+    predict_workers: RwLock<BTreeMap<String, u64>>,
     /// Durability: delta records fsynced to a write-ahead log before
     /// publish, appends that failed (the batch was refused), and records
     /// replayed from log tails during crash recovery.
@@ -207,6 +220,10 @@ impl Metrics {
             worker_panics_total: AtomicU64::new(0),
             worker_respawns_total: AtomicU64::new(0),
             queue_depth_hist: std::array::from_fn(|_| AtomicU64::new(0)),
+            pool_fanouts_total: AtomicU64::new(0),
+            pool_occupancy_hist: std::array::from_fn(|_| AtomicU64::new(0)),
+            pool_shard_hist: std::array::from_fn(|_| AtomicU64::new(0)),
+            predict_workers: RwLock::new(BTreeMap::new()),
             wal_appends_total: AtomicU64::new(0),
             wal_append_errors_total: AtomicU64::new(0),
             wal_records_replayed: AtomicU64::new(0),
@@ -312,6 +329,53 @@ impl Metrics {
         // Bucket 0 holds depth 0; bucket i holds depth < 2^i.
         let bucket = (usize::BITS - depth.leading_zeros()) as usize;
         self.queue_depth_hist[bucket.min(QUEUE_DEPTH_BUCKETS - 1)].fetch_add(1, Relaxed);
+    }
+
+    /// Records one predict batch fanned out across the executor pool,
+    /// occupying `shards` executors.
+    pub fn on_pool_fanout(&self, shards: usize) {
+        self.pool_fanouts_total.fetch_add(1, Relaxed);
+        let bucket = (shards.max(1) - 1).min(POOL_OCCUPANCY_BUCKETS - 1);
+        self.pool_occupancy_hist[bucket].fetch_add(1, Relaxed);
+    }
+
+    /// Records the size of one contiguous shard handed to an executor.
+    pub fn on_pool_shard(&self, size: usize) {
+        let bucket = (size.max(1) - 1).min(BATCH_BUCKETS - 1);
+        self.pool_shard_hist[bucket].fetch_add(1, Relaxed);
+    }
+
+    /// Sets the predict-pool worker gauge for `model` (the configured
+    /// executor count, recorded when its batcher starts).
+    pub fn set_predict_workers(&self, model: &str, workers: usize) {
+        let mut map =
+            self.predict_workers.write().unwrap_or_else(std::sync::PoisonError::into_inner);
+        map.insert(model.to_string(), workers as u64);
+    }
+
+    /// Snapshot of the per-model predict-worker gauges.
+    pub fn predict_workers(&self) -> Vec<(String, u64)> {
+        self.predict_workers
+            .read()
+            .map(|map| map.iter().map(|(k, v)| (k.clone(), *v)).collect())
+            .unwrap_or_default()
+    }
+
+    /// Predict batches fanned out across the executor pool.
+    pub fn pool_fanouts_total(&self) -> u64 {
+        self.pool_fanouts_total.load(Relaxed)
+    }
+
+    /// Snapshot of the pool-occupancy histogram (bucket `i` = `i+1`
+    /// shards, last bucket open-ended).
+    pub fn pool_occupancy_hist(&self) -> Vec<u64> {
+        self.pool_occupancy_hist.iter().map(|c| c.load(Relaxed)).collect()
+    }
+
+    /// Snapshot of the shard-size histogram (bucket `i` = `i+1` inputs,
+    /// last bucket open-ended).
+    pub fn pool_shard_hist(&self) -> Vec<u64> {
+        self.pool_shard_hist.iter().map(|c| c.load(Relaxed)).collect()
     }
 
     /// Counts one delta record fsynced to a write-ahead log.
@@ -578,6 +642,26 @@ impl Metrics {
                 ])
             })
             .collect();
+        let size_hist = |hist: &[AtomicU64]| -> Vec<Json> {
+            hist.iter()
+                .enumerate()
+                .filter(|(_, c)| c.load(Relaxed) > 0)
+                .map(|(i, c)| {
+                    let label = if i == hist.len() - 1 {
+                        format!("{}+", i + 1)
+                    } else {
+                        (i + 1).to_string()
+                    };
+                    Json::obj([("size", Json::from(label)), ("count", Json::from(c.load(Relaxed)))])
+                })
+                .collect()
+        };
+        let pool_workers = Json::Obj(
+            self.predict_workers()
+                .into_iter()
+                .map(|(model, workers)| (model, Json::from(workers)))
+                .collect(),
+        );
         Json::obj([
             ("requests_total", Json::from(self.requests_total.load(Relaxed))),
             (
@@ -603,6 +687,15 @@ impl Metrics {
                     ("mean_size", Json::from(self.mean_batch_size())),
                     ("max_size", Json::from(self.batch_max.load(Relaxed))),
                     ("hist", Json::Arr(batch_hist)),
+                ]),
+            ),
+            (
+                "predict_pool",
+                Json::obj([
+                    ("workers", pool_workers),
+                    ("fanouts", Json::from(self.pool_fanouts_total.load(Relaxed))),
+                    ("occupancy_hist", Json::Arr(size_hist(&self.pool_occupancy_hist))),
+                    ("shard_size_hist", Json::Arr(size_hist(&self.pool_shard_hist))),
                 ]),
             ),
             (
@@ -874,6 +967,47 @@ impl Metrics {
             }
         }
 
+        // Predict pool: the per-model worker gauge, fan-out counter, and
+        // occupancy / shard-size histograms.
+        let pool_workers = self.predict_workers();
+        if !pool_workers.is_empty() {
+            out.push_str(
+                "# HELP hdc_predict_workers Configured predict-pool executors per model.\n",
+            );
+            out.push_str("# TYPE hdc_predict_workers gauge\n");
+            for (model, workers) in &pool_workers {
+                out.push_str(&format!("hdc_predict_workers{{model=\"{model}\"}} {workers}\n"));
+            }
+        }
+        counter(
+            &mut out,
+            "hdc_pool_fanouts_total",
+            "Predict batches fanned out across the executor pool.",
+            self.pool_fanouts_total.load(Relaxed),
+        );
+        out.push_str("# HELP hdc_pool_occupancy Executors occupied per pool fan-out.\n");
+        out.push_str("# TYPE hdc_pool_occupancy histogram\n");
+        let mut cumulative = 0u64;
+        for (i, bucket) in
+            self.pool_occupancy_hist.iter().enumerate().take(POOL_OCCUPANCY_BUCKETS - 1)
+        {
+            cumulative += bucket.load(Relaxed);
+            out.push_str(&format!("hdc_pool_occupancy_bucket{{le=\"{}\"}} {cumulative}\n", i + 1));
+        }
+        cumulative += self.pool_occupancy_hist[POOL_OCCUPANCY_BUCKETS - 1].load(Relaxed);
+        out.push_str(&format!("hdc_pool_occupancy_bucket{{le=\"+Inf\"}} {cumulative}\n"));
+        out.push_str(&format!("hdc_pool_occupancy_count {cumulative}\n"));
+        out.push_str("# HELP hdc_pool_shard_size Inputs per contiguous pool shard.\n");
+        out.push_str("# TYPE hdc_pool_shard_size histogram\n");
+        let mut cumulative = 0u64;
+        for (i, bucket) in self.pool_shard_hist.iter().enumerate().take(BATCH_BUCKETS - 1) {
+            cumulative += bucket.load(Relaxed);
+            out.push_str(&format!("hdc_pool_shard_size_bucket{{le=\"{}\"}} {cumulative}\n", i + 1));
+        }
+        cumulative += self.pool_shard_hist[BATCH_BUCKETS - 1].load(Relaxed);
+        out.push_str(&format!("hdc_pool_shard_size_bucket{{le=\"+Inf\"}} {cumulative}\n"));
+        out.push_str(&format!("hdc_pool_shard_size_count {cumulative}\n"));
+
         // Per-stage, per-model latency: one histogram family, labeled.
         out.push_str("# HELP hdc_stage_latency_us Per-stage request latency by model.\n");
         out.push_str("# TYPE hdc_stage_latency_us histogram\n");
@@ -995,6 +1129,59 @@ mod tests {
         let hist = snap.get("batches").unwrap().get("hist").unwrap().as_array().unwrap();
         assert_eq!(hist.len(), 1);
         assert_eq!(hist[0].get("size").unwrap().as_str(), Some("65+"));
+    }
+
+    #[test]
+    fn pool_counters_render_in_json_and_prometheus() {
+        let m = Metrics::new();
+        m.set_predict_workers("default", 3);
+        m.on_pool_fanout(3);
+        m.on_pool_fanout(2);
+        m.on_pool_shard(7);
+        m.on_pool_shard(6);
+        m.on_pool_shard(6);
+        assert_eq!(m.pool_fanouts_total(), 2);
+        assert_eq!(m.pool_occupancy_hist().iter().sum::<u64>(), 2);
+        assert_eq!(m.pool_shard_hist().iter().sum::<u64>(), 3);
+        assert_eq!(m.predict_workers(), vec![("default".to_owned(), 3)]);
+
+        let snap = m.render();
+        let pool = snap.get("predict_pool").unwrap();
+        assert_eq!(pool.get("workers").unwrap().get("default").unwrap().as_f64(), Some(3.0));
+        assert_eq!(pool.get("fanouts").unwrap().as_f64(), Some(2.0));
+        let occupancy = pool.get("occupancy_hist").unwrap().as_array().unwrap();
+        let three = occupancy
+            .iter()
+            .find(|b| b.get("size").unwrap().as_str() == Some("3"))
+            .expect("occupancy bucket for 3 executors");
+        assert_eq!(three.get("count").unwrap().as_f64(), Some(1.0));
+        let shard = pool.get("shard_size_hist").unwrap().as_array().unwrap();
+        let six = shard
+            .iter()
+            .find(|b| b.get("size").unwrap().as_str() == Some("6"))
+            .expect("shard bucket for size 6");
+        assert_eq!(six.get("count").unwrap().as_f64(), Some(2.0));
+
+        let prom = m.render_prometheus();
+        assert!(prom.contains("hdc_predict_workers{model=\"default\"} 3"), "{prom}");
+        assert!(prom.contains("hdc_pool_fanouts_total 2"), "{prom}");
+        assert!(prom.contains("hdc_pool_occupancy_count 2"), "{prom}");
+        assert!(prom.contains("hdc_pool_shard_size_count 3"), "{prom}");
+    }
+
+    #[test]
+    fn oversized_pool_occupancy_folds_into_last_bucket() {
+        let m = Metrics::new();
+        m.on_pool_fanout(500);
+        m.on_pool_shard(500);
+        let snap = m.render();
+        let pool = snap.get("predict_pool").unwrap();
+        let occupancy = pool.get("occupancy_hist").unwrap().as_array().unwrap();
+        assert_eq!(occupancy.len(), 1);
+        assert_eq!(occupancy[0].get("size").unwrap().as_str(), Some("17+"));
+        let shard = pool.get("shard_size_hist").unwrap().as_array().unwrap();
+        assert_eq!(shard.len(), 1);
+        assert_eq!(shard[0].get("size").unwrap().as_str(), Some("65+"));
     }
 
     #[test]

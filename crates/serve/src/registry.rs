@@ -399,6 +399,11 @@ enum WalAttach {
     Seed { version: u64, examples: u64 },
 }
 
+/// The `hdc::batch` fan-out threshold installed for serving: low enough
+/// that a modest explicit batch parallelizes inside the library, high
+/// enough that single requests never pay thread scatter.
+const SERVE_PARALLEL_THRESHOLD: usize = 16;
+
 /// Named models behind one process.
 #[derive(Debug)]
 pub struct Registry {
@@ -423,7 +428,14 @@ pub struct Registry {
 impl Registry {
     /// An empty registry whose batchers will use `batch_config` and record
     /// into `metrics`.
+    ///
+    /// Server-sized predict batches are much smaller than the offline
+    /// workloads `hdc` was tuned for, so the library's parallel threshold
+    /// is lowered here once: an explicit batch of a dozen requests should
+    /// already fan out inside `predict_batch` instead of waiting for the
+    /// offline default of 64.
     pub fn new(metrics: Arc<Metrics>, batch_config: BatchConfig) -> Self {
+        hdc::batch::set_parallel_threshold(SERVE_PARALLEL_THRESHOLD);
         Self {
             models: RwLock::new(BTreeMap::new()),
             metrics,
@@ -685,6 +697,7 @@ impl Registry {
             }
             let batcher =
                 Batcher::start(Arc::clone(&shared), Arc::clone(&self.metrics), self.batch_config);
+            self.metrics.set_predict_workers(name, batcher.predict_workers());
             let entry = Arc::new(ModelEntry {
                 shared,
                 batcher,

@@ -13,7 +13,6 @@ use crate::json::{self, Json};
 use crate::log;
 use crate::registry::Registry;
 use crate::trace::{self, ActiveTrace, Stage, TraceRecord, STAGE_NAMES};
-use hdc::Model;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -773,12 +772,13 @@ fn handle_predict(
                 .enumerate()
                 .map(|(i, a)| decode_input(a, &format!("inputs[{i}]")))
                 .collect::<Result<_, _>>()?;
-            let refs: Vec<&[u8]> = decoded.iter().map(Vec::as_slice).collect();
             // An explicit batch is already coalesced: skip the queue and
             // do NOT record it in the batch histogram, which must reflect
-            // only what the coalescer actually executed.
+            // only what the coalescer actually executed. It still shards
+            // across the model's predict pool, so a large explicit batch
+            // scales the same way coalesced traffic does.
             let execute_started = Instant::now();
-            let predictions = entry.model().predict_batch(&refs).map_err(ServeError::from)?;
+            let predictions = entry.batcher().predict_batch_direct(decoded, active)?;
             if let Some(active) = active {
                 active.record_span(Stage::Execute, execute_started, Instant::now());
             }

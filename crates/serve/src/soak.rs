@@ -116,9 +116,15 @@ impl Default for SoakConfig {
                 max_linger: Duration::from_micros(500),
                 max_queue: 128,
                 queue_deadline: Duration::from_millis(500),
+                // The pool is always on under soak (even on a 1-core
+                // container) so the fault injectors exercise the sharded
+                // predict path, not the inline fallback.
+                predict_workers: hdc::batch::resolved_parallelism().max(2),
             },
             request_deadline: Duration::from_secs(2),
-            p99_ceiling: Duration::from_millis(500),
+            // Tightened from the pre-pool 500 ms: sharded execution must
+            // not cost tail latency.
+            p99_ceiling: Duration::from_millis(450),
             rss_ceiling_mb: 512,
             probes: 25,
             exe: None,
@@ -1479,6 +1485,13 @@ fn audit(config: &SoakConfig, tally: &Tally, failures: &Failures, metrics: &Metr
     }
     if metrics.queue_depth_hist().iter().sum::<u64>() == 0 {
         failures.push("queue-depth histogram recorded no enqueues".to_owned());
+    }
+    // The soak forces the predict pool on; concurrent closed-loop clients
+    // must have produced at least one multi-job batch that actually
+    // sharded — otherwise the whole run silently exercised the inline
+    // path and proved nothing about the pool.
+    if config.batch.predict_workers > 1 && metrics.pool_fanouts_total() == 0 {
+        failures.push("predict pool was enabled but never fanned out a batch".to_owned());
     }
     // Every injected fault class must be visible as a completed trace
     // with the right terminal stage, not just as a counter increment —

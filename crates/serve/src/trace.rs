@@ -44,21 +44,34 @@ pub enum Stage {
     QueueWait = 2,
     /// Executing inside the coalesced batch (predict or update).
     Execute = 3,
+    /// Executing this request's shard on a predict-pool executor (the
+    /// slice of [`Stage::Execute`] spent on the shard itself; stays zero
+    /// when the batch ran inline on the batcher thread). For explicit
+    /// batches the request's shards accumulate into this one slot.
+    ShardExecute = 4,
     /// Appending + fsyncing the WAL record (writes only).
-    WalAppend = 4,
+    WalAppend = 5,
     /// Publishing the new model version (writes only).
-    Publish = 5,
+    Publish = 6,
     /// Writing the response bytes back to the socket.
-    ReplyWrite = 6,
+    ReplyWrite = 7,
 }
 
 /// Number of measured stages (the length of [`STAGE_NAMES`]).
-pub const STAGE_COUNT: usize = 7;
+pub const STAGE_COUNT: usize = 8;
 
 /// Stage names, indexed by `Stage as usize` — the vocabulary shared by
 /// `/debug/traces`, the per-stage histograms, and the docs.
-pub const STAGE_NAMES: [&str; STAGE_COUNT] =
-    ["head_parse", "body_read", "queue_wait", "execute", "wal_append", "publish", "reply_write"];
+pub const STAGE_NAMES: [&str; STAGE_COUNT] = [
+    "head_parse",
+    "body_read",
+    "queue_wait",
+    "execute",
+    "shard_execute",
+    "wal_append",
+    "publish",
+    "reply_write",
+];
 
 /// Terminal-stage names a trace can end on beyond the happy-path
 /// `reply_write`: the faults. Index 0 is the "unset" sentinel resolved to
@@ -290,6 +303,7 @@ mod tests {
     fn stage_names_line_up_with_the_enum() {
         assert_eq!(STAGE_NAMES[Stage::HeadParse as usize], "head_parse");
         assert_eq!(STAGE_NAMES[Stage::QueueWait as usize], "queue_wait");
+        assert_eq!(STAGE_NAMES[Stage::ShardExecute as usize], "shard_execute");
         assert_eq!(STAGE_NAMES[Stage::ReplyWrite as usize], "reply_write");
         assert_eq!(STAGE_NAMES.len(), STAGE_COUNT);
     }

@@ -744,3 +744,109 @@ fn hot_reload_over_http_swaps_the_model() {
 
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn predict_pool_stress_keeps_the_single_writer_invariant() {
+    // Hammer predicts through a sharded pool while train, feedback,
+    // hot-reload and snapshot traffic rides the single batcher writer:
+    // the version lineage must stay monotonic, every predict must answer
+    // from a coherent model (never a torn one), and no panic or respawn
+    // may fire.
+    let dir = std::env::temp_dir().join(format!("hdc-serve-stress-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let reload_path = dir.join("reload.hdc");
+    hdc::io::save_pixel_classifier(
+        &trained_model(7),
+        std::io::BufWriter::new(std::fs::File::create(&reload_path).unwrap()),
+    )
+    .unwrap();
+
+    let metrics = Arc::new(Metrics::new());
+    let batch = BatchConfig {
+        max_batch: 32,
+        max_linger: Duration::from_micros(200),
+        predict_workers: 3,
+        ..BatchConfig::default()
+    };
+    let registry = Arc::new(Registry::new(Arc::clone(&metrics), batch));
+    registry.insert_model("default", trained_model(7)).unwrap();
+    let config = ServerConfig { workers: 12, ..ServerConfig::default() };
+    let mut server = Server::start(Arc::clone(&registry), &config).unwrap();
+    let addr = server.addr();
+
+    let deadline = Instant::now() + Duration::from_millis(700);
+    std::thread::scope(|scope| {
+        // 6 predict hammers: every answer must be a coherent in-range
+        // class from whichever model version was current.
+        for client_id in 0..6usize {
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                let mut i = 0usize;
+                while Instant::now() < deadline {
+                    let fill = [0u8, 224, 96, 160][(client_id + i) % 4];
+                    let body = Client::predict_body("default", &[fill; PIXELS]);
+                    let response = client.post("/v1/predict", &body).unwrap();
+                    assert_eq!(response.status, 200, "{}", String::from_utf8_lossy(&response.body));
+                    let class =
+                        response.json().unwrap().get("class").and_then(Json::as_f64).unwrap();
+                    assert!(class == 0.0 || class == 1.0, "torn prediction: class {class}");
+                    i += 1;
+                }
+            });
+        }
+        // Writer traffic: train + feedback single-file through the queue.
+        for _ in 0..2 {
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                while Instant::now() < deadline {
+                    let train = Client::train_body("default", &[224u8; PIXELS], 1);
+                    assert!(client.post("/v1/train", &train).unwrap().is_success());
+                    let feedback = Client::train_body("default", &[0u8; PIXELS], 0);
+                    let response = client.post("/v1/feedback", &feedback).unwrap();
+                    assert!(response.is_success(), "{}", String::from_utf8_lossy(&response.body));
+                }
+            });
+        }
+        // Reload + snapshot flapper: swaps ride the same writer queue.
+        {
+            let reload_path = reload_path.clone();
+            let snap_path = dir.join("snap.hdc");
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                while Instant::now() < deadline {
+                    let body =
+                        format!("{{\"model\":\"default\",\"path\":\"{}\"}}", reload_path.display());
+                    assert!(client.post("/v1/reload", &body).unwrap().is_success());
+                    let body =
+                        format!("{{\"model\":\"default\",\"path\":\"{}\"}}", snap_path.display());
+                    assert!(client.post("/v1/snapshot", &body).unwrap().is_success());
+                    std::thread::sleep(Duration::from_millis(40));
+                }
+            });
+        }
+        // Lineage sampler: the published version must never move backward
+        // between two observations (reloads keep the lineage monotonic).
+        {
+            let registry = Arc::clone(&registry);
+            scope.spawn(move || {
+                let mut last = 0u64;
+                while Instant::now() < deadline {
+                    let version = registry.get("default").unwrap().version();
+                    assert!(version >= last, "version lineage moved backward: {last} -> {version}");
+                    last = version;
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+            });
+        }
+    });
+
+    assert!(metrics.pool_fanouts_total() > 0, "the stress load must have sharded batches");
+    assert_eq!(metrics.worker_panics_total(), 0, "no panic may fire under healthy stress");
+    assert_eq!(metrics.worker_respawns_total(), 0, "no worker may respawn under healthy stress");
+    assert!(
+        registry.get("default").unwrap().version() > 0,
+        "the writer traffic must have published"
+    );
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}

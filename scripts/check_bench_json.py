@@ -31,9 +31,18 @@ Three op classes:
   one online partial_fit must be >=50x cheaper than the full retrain it
   replaces at 10k x 10 classes, for BOTH classifier kinds — the
   online-learning acceptance bar; measured ~200x dense).
+* scaling-curve ops (serve_scale_wN, written by serve-loadgen's predict-
+  pool sweep): "speedup" is explicit-batch throughput at N predict
+  executors over 1 executor. Gated as a curve, not per-row: the 1-worker
+  row is the 1.0 anchor by construction; with >= 2 cores every in-core
+  multicore point must beat 1 worker and the curve must not collapse as
+  workers grow; on a 1-core runner extra executors cannot help, so the
+  gate only refuses a real regression (oversubscription must stay near
+  parity).
 """
 
 import json
+import re
 import sys
 
 # Margins are deliberately below the measured ratios (5-50x for the
@@ -64,6 +73,18 @@ FLOOR_OVERRIDES = {
     "serve_trace_overhead": 0.95,
 }
 
+SCALE_OP = re.compile(r"^serve_scale_w(\d+)$")
+
+# A 1-core runner cannot profit from more executors; the sweep there only
+# guards against the pool costing throughput. Scatter/gather overhead and
+# VM noise get a margin, a broken pool (ratio near 0.5) still fails.
+SCALE_1CORE_FLOOR = 0.7
+
+# With >= 2 cores the curve may flatten once workers exceed cores, but a
+# later in-core point dropping more than 10% below an earlier one means
+# added executors actively hurt — fail.
+SCALE_MONOTONE_TOLERANCE = 0.9
+
 REQUIRED_OPS = {
     "kernels": {
         "encode_ngram",
@@ -80,9 +101,56 @@ REQUIRED_OPS = {
         "serve_wal_append",
         "serve_trace_overhead",
         "serve_coalescing",
+        "serve_scale_w1",
     },
     "serve_soak": {"serve_soak"},
 }
+
+
+def check_scaling_curve(ops, cores):
+    """Gates the serve_scale_w* rows as one curve. Returns failed op names."""
+    curve = sorted(
+        (int(m.group(1)), op, row)
+        for op, row in ops.items()
+        if (m := SCALE_OP.match(op))
+    )
+    if not curve:
+        return []
+
+    failures = []
+    prev_in_core = None
+    for workers, op, row in curve:
+        speedup = row["speedup"]
+        if workers == 1:
+            # Self-ratio: anything but ~1.0 means the sweep is broken.
+            ok = abs(speedup - 1.0) < 1e-6
+            bar = "= 1.0 (anchor)"
+        elif cores == 1:
+            ok = speedup >= SCALE_1CORE_FLOOR
+            bar = f">= {SCALE_1CORE_FLOOR} (1-core: no regression)"
+        elif workers <= cores:
+            ok = speedup > 1.0
+            bar = "> 1.0 (in-core: must beat 1 worker)"
+            if ok and prev_in_core is not None:
+                if speedup < prev_in_core * SCALE_MONOTONE_TOLERANCE:
+                    ok = False
+                    bar = f">= {SCALE_MONOTONE_TOLERANCE} x previous point (curve collapsed)"
+        else:
+            # Oversubscribed beyond the core count: flattening is fine,
+            # falling below the 1-worker baseline is not.
+            ok = speedup >= SCALE_1CORE_FLOOR
+            bar = f">= {SCALE_1CORE_FLOOR} (oversubscribed: no regression)"
+        if workers <= cores and workers > 1 and speedup > 1.0:
+            prev_in_core = speedup
+        status = "ok  " if ok else "FAIL"
+        print(
+            f"  {status} {op:<22} scalar {row['scalar_ns']:>12.0f} ns  "
+            f"packed {row['packed_ns']:>10.0f} ns  {speedup:>6.2f}x  "
+            f"(curve bar: {bar})  [{row['note']}]"
+        )
+        if not ok:
+            failures.append(op)
+    return failures
 
 
 def main() -> int:
@@ -97,6 +165,8 @@ def main() -> int:
         f"quick={report['quick']} cores={report['cores']}"
     )
     for op, row in sorted(report["ops"].items()):
+        if SCALE_OP.match(op):
+            continue  # gated as a curve below, not per-row
         floor = FLOOR_OVERRIDES.get(op, MIN_DELTA if op in DELTA_OPS else MIN_SPEEDUP)
         ok = row["speedup"] > floor
         status = "ok  " if ok else "FAIL"
@@ -107,6 +177,8 @@ def main() -> int:
         )
         if not ok:
             failures.append(op)
+
+    failures.extend(check_scaling_curve(report["ops"], report["cores"]))
 
     missing = REQUIRED_OPS.get(suite, set()) - set(report["ops"])
     if missing:
