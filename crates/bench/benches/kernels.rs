@@ -177,6 +177,134 @@ impl Row {
     }
 }
 
+/// Per-backend kernel tiers: each SIMD-able op measured one tier against
+/// the tier below it, so the JSON trajectory shows where each backend's
+/// win comes from. `*@portable` rows baseline against the scalar reference
+/// loops (the packed-vs-scalar contract that predates backends);
+/// `*@avx2` rows baseline against the portable tier and are only emitted
+/// when the CPU supports AVX2 — `check_bench_json.py` arms their floors on
+/// the `cpu_features` header field, exactly like the multicore scaling
+/// gate.
+fn backend_rows(rows: &mut Vec<Row>) {
+    use hdc::kernel::{self, Backend};
+
+    let n = samples();
+    let mut rng = StdRng::seed_from_u64(41);
+    let (a, b) = fresh_pair(&mut rng);
+    let pa = kernel::pack_words(a.as_slice());
+    let pb = kernel::pack_words(b.as_slice());
+
+    let portable_hamming =
+        measure_ns(|| black_box(kernel::hamming_words_with(Backend::Portable, &pa, &pb)), n);
+    rows.push(Row {
+        op: "hamming@portable",
+        scalar_ns: measure_ns(
+            || black_box(reference::hamming_scalar(a.as_slice(), b.as_slice())),
+            n,
+        ),
+        packed_ns: portable_hamming,
+        note: "scalar i8 loop vs portable u64 tier",
+    });
+
+    // The fused AM scan, isolated from packing: one warm query against 10
+    // warm class references — per-reference loop (the pre-backend path) on
+    // the portable tier vs `hamming_many`.
+    const CLASSES: usize = 10;
+    let class_vectors: Vec<Hypervector> =
+        (0..CLASSES).map(|_| Hypervector::random(DIM, &mut rng)).collect();
+    let refs_owned: Vec<Vec<u64>> =
+        class_vectors.iter().map(|v| kernel::pack_words(v.as_slice())).collect();
+    let refs: Vec<&[u64]> = refs_owned.iter().map(Vec::as_slice).collect();
+    let mut distances = vec![0usize; CLASSES];
+    let portable_scan = measure_ns(
+        || {
+            let mut acc = 0usize;
+            for r in &refs {
+                acc += black_box(kernel::hamming_words_with(Backend::Portable, &pa, r));
+            }
+            acc
+        },
+        n,
+    );
+    rows.push(Row {
+        op: "am_scan@portable",
+        scalar_ns: measure_ns(
+            || {
+                let mut acc = 0usize;
+                for v in &class_vectors {
+                    acc += black_box(reference::hamming_scalar(a.as_slice(), v.as_slice()));
+                }
+                acc
+            },
+            n,
+        ),
+        packed_ns: portable_scan,
+        note: "scalar i8 loop vs portable tier, 10 classes warm",
+    });
+
+    if !Backend::Avx2.supported() {
+        println!("(AVX2 not detected: skipping @avx2 backend rows)");
+        return;
+    }
+
+    rows.push(Row {
+        op: "hamming@avx2",
+        scalar_ns: portable_hamming,
+        packed_ns: measure_ns(|| black_box(kernel::hamming_words_with(Backend::Avx2, &pa, &pb)), n),
+        note: "portable u64 tier vs AVX2 Harley-Seal popcount",
+    });
+
+    rows.push(Row {
+        op: "am_scan@avx2",
+        scalar_ns: portable_scan,
+        packed_ns: measure_ns(
+            || {
+                kernel::hamming_many_into_with(Backend::Avx2, &pa, &refs, &mut distances);
+                black_box(distances[0])
+            },
+            n,
+        ),
+        note: "portable per-reference loop vs fused AVX2 hamming_many, 10 classes warm",
+    });
+
+    let mut scratch = vec![0u64; kernel::words_for(DIM)];
+    rows.push(Row {
+        op: "pack@avx2",
+        scalar_ns: measure_ns(
+            || {
+                kernel::pack_words_into_with(Backend::Portable, a.as_slice(), &mut scratch);
+                black_box(scratch[0])
+            },
+            n,
+        ),
+        packed_ns: measure_ns(
+            || {
+                kernel::pack_words_into_with(Backend::Avx2, a.as_slice(), &mut scratch);
+                black_box(scratch[0])
+            },
+            n,
+        ),
+        note: "portable bit-matrix transpose vs AVX2 vpmovmskb gather",
+    });
+
+    let bundle: Vec<Vec<u64>> = (0..256)
+        .map(|_| kernel::pack_words(Hypervector::random(DIM, &mut rng).as_slice()))
+        .collect();
+    let bundle_with = |backend: Backend| {
+        let mut counter = kernel::BitCounter::new_with_backend(DIM, backend);
+        for v in &bundle {
+            counter.add(v.as_slice());
+        }
+        black_box(counter.bipolarize_packed())
+    };
+    rows.push(Row {
+        op: "bundle@avx2",
+        scalar_ns: measure_ns(|| bundle_with(Backend::Portable), n),
+        packed_ns: measure_ns(|| bundle_with(Backend::Avx2), n),
+        note: "portable CSA planes vs AVX2 256-bit planes, 256 vectors",
+    });
+}
+
 /// Measures the four ported encoders plus the pixel encoder: packed
 /// `encode` vs the scalar `encode_reference` oracle, one representative
 /// input each at `D = 10,000`.
@@ -370,8 +498,11 @@ fn write_json(rows: &[Row]) {
     }
     let json = format!(
         "{{\n  \"suite\": \"kernels\",\n  \"dim\": {DIM},\n  \"quick\": {},\n  \"cores\": \
-         {cores},\n  \"ops\": {{\n{ops}\n  }}\n}}\n",
-        quick()
+         {cores},\n  \"kernel_backend\": \"{}\",\n  \"cpu_features\": \"{}\",\n  \"ops\": \
+         {{\n{ops}\n  }}\n}}\n",
+        quick(),
+        hdc::kernel::backend::active(),
+        hdc::kernel::backend::cpu_features()
     );
     // A write failure must fail the bench run: CI's gate reads this file,
     // and exiting 0 here would let it validate stale numbers.
@@ -504,6 +635,7 @@ fn report_speedups(_c: &mut Criterion) {
         note: "ripple-carry vs CSA tree, 256 vectors",
     });
 
+    backend_rows(&mut rows);
     encoder_rows(&mut rows);
     train_rows(&mut rows);
 

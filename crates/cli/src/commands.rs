@@ -409,6 +409,39 @@ pub fn serve(args: Args) -> CliResult {
         hdc_serve::log::set_level(level);
     }
 
+    // Pin the kernel dispatch tier before any model loads (the first
+    // kernel call freezes the choice process-wide). A bad or unsupported
+    // tier must not take the server down: warn and serve on the portable
+    // fallback instead — the operator asked for "slower", never "down".
+    use hdc::kernel::backend;
+    if let Some(raw) = args.get("kernel-backend") {
+        match raw.parse::<hdc::kernel::Backend>() {
+            Ok(requested) => {
+                let actual = backend::force(requested);
+                if actual != requested {
+                    hdc_serve::log::warn(
+                        "serve.start",
+                        "requested kernel backend unavailable, using fallback",
+                        &[("requested", requested.to_string()), ("actual", actual.to_string())],
+                    );
+                }
+            }
+            Err(e) => hdc_serve::log::warn(
+                "serve.start",
+                "ignoring --kernel-backend",
+                &[("error", e), ("actual", backend::active().to_string())],
+            ),
+        }
+    }
+    hdc_serve::log::info(
+        "serve.start",
+        "kernel backend selected",
+        &[
+            ("backend", backend::active().to_string()),
+            ("cpu_features", backend::cpu_features().to_string()),
+        ],
+    );
+
     let mut models: Vec<(String, String)> = Vec::new();
     if let Some(path) = args.get("model") {
         models.push(("default".to_owned(), path.to_owned()));

@@ -60,6 +60,10 @@ COMMANDS:
               /debug/traces/slow and logged with their stage breakdown,
               0 disables]
              [--log-level error|warn|info|debug: stderr log verbosity]
+             [--kernel-backend scalar|portable|avx2: force the kernel
+              dispatch tier (default: best supported; also settable via
+              HDC_KERNEL_BACKEND). An unsupported tier warns and falls
+              back to portable rather than failing startup]
 
 Every run is deterministic given its seeds.";
 
@@ -124,6 +128,7 @@ fn main() -> ExitCode {
                 "follower-of",
                 "slow-request-ms",
                 "log-level",
+                "kernel-backend",
             ],
         )
         .map_err(Into::into)

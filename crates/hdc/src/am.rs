@@ -12,7 +12,7 @@ use crate::batch;
 use crate::encoder::bipolarize_sums;
 use crate::error::HdcError;
 use crate::hypervector::Hypervector;
-use crate::similarity::cosine;
+use crate::kernel;
 
 /// Index of the maximal similarity; ties resolve to the **last** maximal
 /// class, matching `Iterator::max_by` (and the binary classifier's
@@ -209,7 +209,15 @@ impl AssociativeMemory {
         if query.dim() != self.dim {
             return Err(HdcError::DimensionMismatch { expected: self.dim, actual: query.dim() });
         }
-        out.extend(self.references.iter().map(|r| cosine(query, r)));
+        // Fused AM scan: one `hamming_many` pass over every reference's
+        // packed mirror (the AVX2 tier shares each query load across four
+        // class vectors), then `cos = (D − 2h) / D` — the same integers
+        // per-reference `cosine` computes, so the result is bit-identical.
+        let query_words = query.packed().words();
+        let refs: Vec<&[u64]> = self.references.iter().map(|r| r.packed().words()).collect();
+        let distances = kernel::hamming_many(query_words, &refs);
+        let dim = self.dim;
+        out.extend(distances.iter().map(|&h| (dim as i64 - 2 * h as i64) as f64 / dim as f64));
         Ok(())
     }
 

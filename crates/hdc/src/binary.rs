@@ -17,7 +17,7 @@ use crate::classifier::{Feedback, Prediction};
 use crate::encoder::Encoder;
 use crate::error::HdcError;
 use crate::hypervector::Hypervector;
-use crate::kernel::{negate_words, BitCounter};
+use crate::kernel::{hamming_many, negate_words, BitCounter};
 use crate::packed::PackedHypervector;
 use std::sync::Arc;
 
@@ -459,8 +459,11 @@ impl<E: Encoder> BinaryClassifier<E> {
     /// The Hamming scan over the reference snapshot. Callers must have
     /// checked `finalized`.
     fn classify_packed(&self, query: &PackedHypervector) -> BinaryPrediction {
-        let distances: Vec<usize> =
-            self.references.iter().map(|r| r.hamming_distance(query)).collect();
+        // Fused AM scan: one `hamming_many` pass over the snapshot instead
+        // of per-reference distances (the AVX2 tier shares each query load
+        // across four class vectors); identical integers either way.
+        let refs: Vec<&[u64]> = self.references.iter().map(|r| r.words()).collect();
+        let distances = hamming_many(query.words(), &refs);
         // On exact ties the *last* minimal class wins, matching the dense
         // classifier's argmax-cosine tie-breaking so the two
         // implementations are interchangeable (cos = 1 − 2·h/D).

